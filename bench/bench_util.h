@@ -1,0 +1,32 @@
+#ifndef TDS_BENCH_BENCH_UTIL_H_
+#define TDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tds::bench {
+
+/// Prints a fixed-width table row.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int precision = 4) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+inline std::string FmtInt(long long value) { return std::to_string(value); }
+
+inline void Header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace tds::bench
+
+#endif  // TDS_BENCH_BENCH_UTIL_H_

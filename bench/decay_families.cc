@@ -1,0 +1,149 @@
+// Experiment DGF — decay-family geometry (Sections 3 and 5): for each decay
+// function, the dynamic range D(g), the WBMH region count
+// ceil(log_{1+eps} D(g)), measured bucket counts, and the WBMH-vs-CEH
+// verdict the paper derives:
+//   EXPD: log D = Theta(N) -> WBMH needs ~linear buckets; CEH wins.
+//   POLYD: log D = alpha log N -> WBMH needs O(log N) buckets; WBMH wins.
+//   sub-polynomial decay: even fewer buckets.
+// Also ablates the two WBMH knobs (bucketing eps, count rounding eps) and
+// the CEH bucket-weighting rule called out in DESIGN.md.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ceh.h"
+#include "core/exact.h"
+#include "core/wbmh.h"
+#include "decay/custom.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "histogram/wbmh_layout.h"
+#include "stream/generators.h"
+
+namespace tds {
+namespace {
+
+void GeometryTable() {
+  const Tick n = 1 << 16;
+  const double epsilon = 0.5;
+  bench::Header("region/bucket geometry at N=2^16, eps=0.5");
+  bench::PrintRow({"decay", "log2 D(g)", "regions", "buckets", "verdict"},
+                  18);
+  struct Entry {
+    DecayPtr decay;
+    const char* verdict;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({ExponentialDecay::Create(0.01).value(), "CEH wins"});
+  entries.push_back({PolynomialDecay::Create(0.5).value(), "WBMH wins"});
+  entries.push_back({PolynomialDecay::Create(1.0).value(), "WBMH wins"});
+  entries.push_back({PolynomialDecay::Create(2.0).value(), "WBMH wins"});
+  entries.push_back(
+      {CustomDecay::Create(
+           [](Tick age) {
+             return 1.0 / (1.0 + std::log2(static_cast<double>(age)));
+           },
+           kInfiniteHorizon, "1/(1+log x)")
+           .value(),
+       "WBMH wins big"});
+  for (const Entry& entry : entries) {
+    WbmhLayout::Options options;
+    options.decay = entry.decay;
+    options.epsilon = epsilon;
+    auto layout = WbmhLayout::Create(options);
+    if (!layout.ok()) continue;
+    layout->AdvanceTo(n);
+    layout->Settle();
+    const double log_d = std::log2(entry.decay->DynamicRange(n));
+    bench::PrintRow({entry.decay->Name(), bench::Fmt(log_d, 4),
+                     bench::FmtInt(layout->RegionCountUpTo(n)),
+                     bench::FmtInt(static_cast<long long>(
+                         layout->BucketCount())),
+                     entry.verdict},
+                    18);
+  }
+}
+
+void RoundingAblation() {
+  bench::Header("WBMH ablation: count rounding eps (POLYD alpha=1, N=2^15)");
+  bench::PrintRow({"count.eps", "max.relerr", "bits"});
+  auto decay = PolynomialDecay::Create(1.0).value();
+  const Stream stream = BernoulliStream(1 << 15, 0.5, 7);
+  for (double count_epsilon : {0.0, 0.05, 0.2, 0.5}) {
+    WbmhDecayedSum::Options options;
+    options.epsilon = 0.2;
+    options.count_epsilon = count_epsilon;
+    auto subject = WbmhDecayedSum::Create(decay, options);
+    auto exact = ExactDecayedSum::Create(decay);
+    double max_rel = 0.0;
+    size_t i = 0;
+    for (Tick t = 1; t <= (1 << 15); ++t) {
+      if (i < stream.size() && stream[i].t == t) {
+        (*subject)->Update(t, stream[i].value);
+        (*exact)->Update(t, stream[i].value);
+        ++i;
+      }
+      if (t % 4096 == 0) {
+        const double truth = (*exact)->Query(t);
+        if (truth > 0) {
+          max_rel = std::max(max_rel,
+                             std::fabs((*subject)->Query(t) - truth) / truth);
+        }
+      }
+    }
+    bench::PrintRow({bench::Fmt(count_epsilon, 2), bench::Fmt(max_rel, 3),
+                     bench::FmtInt(static_cast<long long>(
+                         (*subject)->StorageBits()))});
+  }
+}
+
+void BucketingAblation() {
+  bench::Header("WBMH ablation: bucketing eps (POLYD alpha=2, N=2^15)");
+  bench::PrintRow({"eps", "buckets", "max.relerr", "bits"});
+  auto decay = PolynomialDecay::Create(2.0).value();
+  const Stream stream = BernoulliStream(1 << 15, 0.5, 8);
+  for (double epsilon : {1.0, 0.5, 0.2, 0.05}) {
+    WbmhDecayedSum::Options options;
+    options.epsilon = epsilon;
+    options.count_epsilon = 0.0;
+    auto subject = WbmhDecayedSum::Create(decay, options);
+    auto exact = ExactDecayedSum::Create(decay);
+    double max_rel = 0.0;
+    size_t i = 0;
+    for (Tick t = 1; t <= (1 << 15); ++t) {
+      if (i < stream.size() && stream[i].t == t) {
+        (*subject)->Update(t, stream[i].value);
+        (*exact)->Update(t, stream[i].value);
+        ++i;
+      }
+      if (t % 4096 == 0) {
+        const double truth = (*exact)->Query(t);
+        if (truth > 0) {
+          max_rel = std::max(max_rel,
+                             std::fabs((*subject)->Query(t) - truth) / truth);
+        }
+      }
+    }
+    bench::PrintRow({bench::Fmt(epsilon, 2),
+                     bench::FmtInt(static_cast<long long>(
+                         (*subject)->layout().BucketCount())),
+                     bench::Fmt(max_rel, 3),
+                     bench::FmtInt(static_cast<long long>(
+                         (*subject)->StorageBits()))});
+  }
+}
+
+}  // namespace
+}  // namespace tds
+
+int main() {
+  std::printf(
+      "DGF: decay-family geometry and the WBMH-vs-CEH verdicts "
+      "(Section 5).\n");
+  tds::GeometryTable();
+  tds::RoundingAblation();
+  tds::BucketingAblation();
+  return 0;
+}

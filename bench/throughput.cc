@@ -1,0 +1,131 @@
+// Experiment THR — update/query throughput of every maintenance structure
+// (google-benchmark). The paper's algorithms are designed for per-item
+// streaming cost O(1) amortized (EH/WBMH) or O(1) exact (EWMA); this
+// harness verifies the implementations sustain millions of updates/sec.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/factory.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "moments/decayed_variance.h"
+#include "sampling/decayed_sampler.h"
+#include "sketch/decayed_lp_norm.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+std::unique_ptr<DecayedAggregate> MakeSubject(Backend backend) {
+  AggregateOptions options;
+  options.backend = backend;
+  options.epsilon = 0.1;
+  DecayPtr decay;
+  switch (backend) {
+    case Backend::kEwma:
+    case Backend::kRecentItems:
+      decay = ExponentialDecay::Create(0.001).value();
+      break;
+    case Backend::kWbmh:
+    case Backend::kCoarseCeh:
+      decay = PolynomialDecay::Create(1.0).value();
+      break;
+    default:
+      decay = SlidingWindowDecay::Create(1 << 16).value();
+      break;
+  }
+  return std::move(MakeDecayedSum(decay, options)).value();
+}
+
+void BM_Update(benchmark::State& state, Backend backend) {
+  auto subject = MakeSubject(backend);
+  Rng rng(1);
+  Tick t = 1;
+  for (auto _ : state) {
+    subject->Update(t, 1 + (rng.Next() & 1));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Query(benchmark::State& state, Backend backend) {
+  auto subject = MakeSubject(backend);
+  for (Tick t = 1; t <= (1 << 15); ++t) subject->Update(t, 1);
+  Tick now = 1 << 15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subject->Query(now));
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_CAPTURE(BM_Update, ewma, Backend::kEwma);
+BENCHMARK_CAPTURE(BM_Update, recent_items, Backend::kRecentItems);
+BENCHMARK_CAPTURE(BM_Update, ceh_sliwin, Backend::kCeh);
+BENCHMARK_CAPTURE(BM_Update, wbmh_polyd, Backend::kWbmh);
+BENCHMARK_CAPTURE(BM_Update, coarse_ceh_polyd, Backend::kCoarseCeh);
+BENCHMARK_CAPTURE(BM_Query, ewma, Backend::kEwma);
+BENCHMARK_CAPTURE(BM_Query, ceh_sliwin, Backend::kCeh);
+BENCHMARK_CAPTURE(BM_Query, wbmh_polyd, Backend::kWbmh);
+BENCHMARK_CAPTURE(BM_Query, coarse_ceh_polyd, Backend::kCoarseCeh);
+
+void BM_LpSketchUpdate(benchmark::State& state) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedLpNorm::Options options;
+  options.rows = static_cast<int>(state.range(0));
+  auto sketch = std::move(DecayedLpNorm::Create(decay, options)).value();
+  Rng rng(2);
+  Tick t = 1;
+  for (auto _ : state) {
+    sketch.Update(t, rng.NextBelow(1 << 16), 1 + rng.NextBelow(8));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpSketchUpdate)->Arg(16)->Arg(64);
+
+void BM_SamplerAdd(benchmark::State& state) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  auto sampler = std::move(DecayedSampler::Create(decay, {})).value();
+  Tick t = 1;
+  for (auto _ : state) {
+    sampler.Add(t, static_cast<double>(t));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerAdd);
+
+void BM_SamplerDraw(benchmark::State& state) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  auto sampler = std::move(DecayedSampler::Create(decay, {})).value();
+  for (Tick t = 1; t <= (1 << 14); ++t) sampler.Add(t, 0.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(1 << 14, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerDraw);
+
+void BM_VarianceObserve(benchmark::State& state) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.backend = Backend::kCeh;
+  auto variance = std::move(DecayedVariance::Create(decay, options)).value();
+  Rng rng(4);
+  Tick t = 1;
+  for (auto _ : state) {
+    variance.Observe(t, rng.NextBelow(32));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VarianceObserve);
+
+}  // namespace
+}  // namespace tds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Experiment EX-WBMH — regenerates the paper's Section 5 worked example:
+// decay g(x) = 1/x^2 with (1 + eps) = 5. The paper derives region
+// boundaries b_1 = 3, b_2 = 7, b_3 = 16 and prints the bucket
+// configurations (as weight tuples) at T = 1,2,3,4,6,8,9,10; the newest
+// bucket alternates between time-width 1 and 2. This binary prints the
+// same trace from the deterministic WbmhLayout.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "decay/polynomial.h"
+#include "histogram/wbmh_layout.h"
+
+namespace tds {
+namespace {
+
+std::string WeightTuple(const WbmhLayout::BucketSpan& span, Tick now) {
+  // The paper lists weights in increasing age order (newest slot first).
+  std::string out = "(";
+  for (Tick t = std::min(span.end, now); t >= span.start; --t) {
+    const Tick age = AgeAt(t, now);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "1/%lld",
+                  static_cast<long long>(age) * age);
+    out += buffer;
+    if (t > span.start) out += ",";
+  }
+  return out + ")";
+}
+
+}  // namespace
+}  // namespace tds
+
+int main() {
+  using namespace tds;
+  std::printf(
+      "EX-WBMH: g(x)=1/x^2, (1+eps)=5. Paper: regions b=(3,7,16,...);\n"
+      "bucket weight tuples at T=1..10 as printed in Section 5.\n\n");
+  WbmhLayout::Options options;
+  options.decay = PolynomialDecay::Create(2.0).value();
+  options.epsilon = 4.0;  // 1 + eps = 5
+  auto layout = WbmhLayout::Create(options);
+  if (!layout.ok()) {
+    std::printf("layout error: %s\n", layout.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("region boundaries b_i: ");
+  layout->RegionIndex(40);  // force extension past b_3
+  for (size_t i = 1; i < layout->RegionStarts().size(); ++i) {
+    std::printf("%lld ", static_cast<long long>(layout->RegionStarts()[i]));
+  }
+  std::printf("  (paper: 3 7 16)\n");
+  std::printf("seal period b_1 - 1 = %lld (newest bucket alternates width "
+              "1 and 2)\n\n",
+              static_cast<long long>(layout->SealPeriod()));
+
+  for (Tick t = 1; t <= 10; ++t) {
+    layout->AdvanceTo(t);
+    layout->Settle();
+    std::printf("T=%2lld: ", static_cast<long long>(t));
+    // Newest-first, as the paper prints them.
+    auto spans = layout->Spans();
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+      if (it->start > t) continue;  // not-yet-started open bucket
+      std::printf("%s; ", WeightTuple(*it, t).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper T=10: (1,1/4); (1/9,1/16,1/25,1/36); "
+      "(1/49,1/64,1/81,1/100)\n");
+  return 0;
+}

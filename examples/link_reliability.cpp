@@ -1,0 +1,58 @@
+// The paper's Figure 1 scenario as an application: an internet gateway
+// choosing between two paths based on time-decaying failure ratings
+// (Section 1.1 "gateway selection products" + the Section 1.2 example).
+//
+// L1 suffers a severe 5-hour outage; a day later L2 suffers a mild 30-
+// minute outage. A good rating scheme should eventually prefer L2 (its
+// failure was less severe), after a transition period right after L2's
+// failure. Only smooth sub-exponential decay (here POLYD) does this;
+// EXPD freezes the initial verdict forever.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/gateway.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+
+int main() {
+  using namespace tds;
+  constexpr Tick kDay = 24 * 60;  // minutes
+
+  struct Trace {
+    std::string label;
+    DecayPtr decay;
+  };
+  std::vector<Trace> traces = {
+      {"EXPD half-life 2d",
+       ExponentialDecay::Create(ExponentialDecay::LambdaForHalfLife(2 * kDay))
+           .value()},
+      {"POLYD alpha=2", PolynomialDecay::Create(2.0).value()},
+  };
+
+  for (const Trace& trace : traces) {
+    auto selector = GatewaySelector::Create(trace.decay, {}).value();
+    const int l1 = selector.AddPath("L1").value();
+    const int l2 = selector.AddPath("L2").value();
+    // Day 1: L1 down for 5 hours. Day 2: L2 down for 30 minutes.
+    selector.ReportBadness(l1, kDay, 5 * 60);
+    selector.ReportBadness(l2, 2 * kDay, 30);
+
+    std::printf("\n[%s]\n", trace.label.c_str());
+    std::printf("%6s %14s %14s %10s\n", "day", "rating(L1)", "rating(L2)",
+                "selected");
+    for (int day : {2, 3, 5, 8, 13, 21, 34, 55}) {
+      const Tick now = static_cast<Tick>(day) * kDay + 1;
+      std::printf("%6d %14.6f %14.6f %10s\n", day,
+                  selector.Rating(l1, now).value(),
+                  selector.Rating(l2, now).value(),
+                  selector.PathName(selector.BestPath(now).value()).c_str());
+    }
+  }
+  std::printf(
+      "\nUnder EXPD the selection never changes once both failures are\n"
+      "in the past; under POLYD, L1 is preferred just after L2's failure\n"
+      "(recency) but L2 emerges as the better path (severity), matching\n"
+      "the paper's Figure 1 narrative.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Random Early Detection (paper Section 1.1): a router simulates a queue
+// fed by on-off traffic and drops packets probabilistically based on a
+// time-decaying average of queue lengths. We compare the classic EWMA
+// average against a polynomial-decay average: POLYD keeps memory of a past
+// congestion episode longer (without freezing it), producing more cautious
+// drop behavior right after a burst ends.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/red.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "util/random.h"
+
+namespace {
+
+struct SimResult {
+  double drops = 0;
+  double max_queue = 0;
+  std::vector<double> avg_trace;
+};
+
+SimResult Simulate(tds::RedEstimator red) {
+  using namespace tds;
+  Rng rng(2718);
+  SimResult result;
+  double queue = 0.0;
+  for (Tick t = 1; t <= 6000; ++t) {
+    // On-off arrivals: heavy bursts of ~600 ticks every ~2000 ticks.
+    const bool burst = (t % 2000) < 600;
+    const double arrivals = burst ? 2.2 + rng.NextDouble() : 0.6;
+    const double service = 1.0;
+    const double drop_probability =
+        red.OnQueueSample(t, static_cast<uint64_t>(queue));
+    const double admitted = arrivals * (1.0 - drop_probability);
+    result.drops += arrivals - admitted;
+    queue = std::max(0.0, queue + admitted - service);
+    result.max_queue = std::max(result.max_queue, queue);
+    if (t % 400 == 0) result.avg_trace.push_back(red.AverageQueue(t));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tds;
+  RedEstimator::Options options;
+  options.min_threshold = 5.0;
+  options.max_threshold = 20.0;
+  options.max_probability = 0.2;
+
+  auto ewma_red =
+      RedEstimator::Create(ExponentialDecay::Create(0.02).value(), options)
+          .value();
+  auto polyd_red =
+      RedEstimator::Create(PolynomialDecay::Create(1.2).value(), options)
+          .value();
+
+  const SimResult ewma = Simulate(std::move(ewma_red));
+  const SimResult polyd = Simulate(std::move(polyd_red));
+
+  std::printf("RED over on-off traffic (6000 ticks, bursts of 600):\n\n");
+  std::printf("%-18s %12s %12s\n", "average decay", "dropped", "max queue");
+  std::printf("%-18s %12.1f %12.1f\n", "EWMA (classic)", ewma.drops,
+              ewma.max_queue);
+  std::printf("%-18s %12.1f %12.1f\n", "POLYD alpha=1.2", polyd.drops,
+              polyd.max_queue);
+
+  std::printf("\naverage-queue trace (every 400 ticks):\n%-8s %10s %10s\n",
+              "tick", "EWMA", "POLYD");
+  for (size_t i = 0; i < ewma.avg_trace.size(); ++i) {
+    std::printf("%-8zu %10.2f %10.2f\n", (i + 1) * 400, ewma.avg_trace[i],
+                polyd.avg_trace[i]);
+  }
+  std::printf(
+      "\nPOLYD's average decays polynomially after each burst: the router\n"
+      "stays cautious longer after congestion, while EWMA forgets at a\n"
+      "fixed exponential rate.\n");
+  return 0;
+}

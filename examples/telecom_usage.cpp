@@ -1,0 +1,61 @@
+// Carrier-scale usage profiles (paper Section 1.1, the AT&T giga-mining
+// application): one decayed usage score per customer, for very many
+// customers. This is the WBMH's flagship deployment shape — a single
+// shared, stream-independent bucket layout serves every customer, so each
+// customer pays only for approximate bucket counts.
+#include <cstdio>
+#include <vector>
+
+#include "apps/usage_profile.h"
+#include "decay/polynomial.h"
+#include "util/random.h"
+
+int main() {
+  using namespace tds;
+  const int kCustomers = 100000;
+  const Tick kTicks = 5000;  // e.g. hours of service life
+
+  UsageProfileSet::Options options;
+  options.epsilon = 0.5;        // bucketing precision
+  options.count_epsilon = 0.5;  // per-bucket count rounding
+  auto profiles =
+      UsageProfileSet::Create(PolynomialDecay::Create(1.0).value(), options)
+          .value();
+
+  // Zipf-ish activity: a few heavy hitters, a long tail.
+  Rng rng(31337);
+  uint64_t events = 0;
+  for (Tick t = 1; t <= kTicks; ++t) {
+    const int active = 40;  // customers active this tick
+    for (int i = 0; i < active; ++i) {
+      const double u = rng.NextOpenDouble();
+      const auto customer =
+          static_cast<uint64_t>(static_cast<double>(kCustomers) * u * u);
+      profiles.Record(customer, t, 1 + rng.NextBelow(5));
+      ++events;
+    }
+  }
+  profiles.SyncAll(kTicks);
+
+  std::printf("customers touched : %zu (of %d ids)\n",
+              profiles.CustomerCount(), kCustomers);
+  std::printf("usage events      : %llu\n",
+              static_cast<unsigned long long>(events));
+  std::printf("shared layout     : %zu buckets (one copy for everyone)\n",
+              profiles.layout().BucketCount());
+  std::printf("mean bits/customer: %.1f\n", profiles.MeanCustomerBits());
+  std::printf("total storage     : %.2f MB equivalent\n",
+              static_cast<double>(profiles.TotalStorageBits()) / 8.0 / 1e6);
+
+  std::printf("\nsample decayed usage scores at t=%lld:\n",
+              static_cast<long long>(kTicks));
+  for (uint64_t customer : {0u, 1u, 10u, 1000u, 50000u}) {
+    std::printf("  customer %-6llu -> %.2f\n",
+                static_cast<unsigned long long>(customer),
+                profiles.Query(customer, kTicks));
+  }
+  std::printf(
+      "\nBoundary state is shared: per-customer cost is a handful of\n"
+      "rounded counters (Section 5's storage argument).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "apps/gateway.h"
+
+namespace tds {
+
+StatusOr<GatewaySelector> GatewaySelector::Create(DecayPtr decay,
+                                                  const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  return GatewaySelector(std::move(decay), options);
+}
+
+StatusOr<int> GatewaySelector::AddPath(const std::string& name) {
+  auto badness = MakeDecayedSum(decay_, options_.aggregate);
+  if (!badness.ok()) return badness.status();
+  paths_.push_back(PathState{name, std::move(badness).value()});
+  return static_cast<int>(paths_.size()) - 1;
+}
+
+Status GatewaySelector::ReportBadness(int path, Tick t, uint64_t badness) {
+  if (path < 0 || path >= PathCount()) {
+    return Status::OutOfRange("no such path");
+  }
+  paths_[path].badness->Update(t, badness);
+  return Status::OK();
+}
+
+StatusOr<double> GatewaySelector::Rating(int path, Tick now) {
+  if (path < 0 || path >= PathCount()) {
+    return Status::OutOfRange("no such path");
+  }
+  return paths_[path].badness->Query(now);
+}
+
+StatusOr<int> GatewaySelector::BestPath(Tick now) {
+  if (paths_.empty()) return Status::FailedPrecondition("no paths");
+  int best = 0;
+  double best_rating = paths_[0].badness->Query(now);
+  for (int i = 1; i < PathCount(); ++i) {
+    const double rating = paths_[i].badness->Query(now);
+    if (rating < best_rating) {
+      best = i;
+      best_rating = rating;
+    }
+  }
+  return best;
+}
+
+size_t GatewaySelector::StorageBits() const {
+  size_t bits = 0;
+  for (const PathState& path : paths_) bits += path.badness->StorageBits();
+  return bits;
+}
+
+}  // namespace tds

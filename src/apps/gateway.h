@@ -1,0 +1,64 @@
+#ifndef TDS_APPS_GATEWAY_H_
+#define TDS_APPS_GATEWAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Internet gateway / path selection (paper Section 1.1 and the Figure 1
+/// link-reliability example): each candidate path accumulates a
+/// time-decaying sum of observed "badness" (failure minutes, losses,
+/// degradations); the path with the lowest decayed badness is selected.
+/// The choice of decay function determines how the ranking evolves — the
+/// paper's central illustration: under SLIWIN or EXPD the relative rating
+/// of two past failures is frozen (or flips once, by truncation), while
+/// under POLYD a link with a less severe failure eventually overtakes one
+/// with an older but larger failure.
+class GatewaySelector {
+ public:
+  struct Options {
+    AggregateOptions aggregate;
+  };
+
+  static StatusOr<GatewaySelector> Create(DecayPtr decay,
+                                          const Options& options);
+
+  /// Registers a path; returns its index.
+  StatusOr<int> AddPath(const std::string& name);
+
+  /// Records `badness` units (e.g. minutes of outage) on a path at tick t.
+  Status ReportBadness(int path, Tick t, uint64_t badness);
+
+  /// Decayed badness rating (lower is better).
+  StatusOr<double> Rating(int path, Tick now);
+
+  /// Index of the best (lowest-rated) path; ties break to lower index.
+  StatusOr<int> BestPath(Tick now);
+
+  int PathCount() const { return static_cast<int>(paths_.size()); }
+  const std::string& PathName(int path) const { return paths_[path].name; }
+
+  size_t StorageBits() const;
+
+ private:
+  struct PathState {
+    std::string name;
+    std::unique_ptr<DecayedAggregate> badness;
+  };
+
+  GatewaySelector(DecayPtr decay, const Options& options)
+      : decay_(std::move(decay)), options_(options) {}
+
+  DecayPtr decay_;
+  Options options_;
+  std::vector<PathState> paths_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_APPS_GATEWAY_H_

@@ -1,0 +1,76 @@
+#include "apps/holding_policy.h"
+
+#include <algorithm>
+
+namespace tds {
+
+StatusOr<CircuitHoldingPolicy> CircuitHoldingPolicy::Create(
+    DecayPtr decay, const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  return CircuitHoldingPolicy(std::move(decay), options);
+}
+
+Status CircuitHoldingPolicy::AddCircuit(const std::string& id) {
+  if (circuits_.contains(id)) return Status::OK();
+  auto average = MakeDecayedAverage(decay_, options_.aggregate);
+  if (!average.ok()) return average.status();
+  circuits_.emplace(id, CircuitState{std::move(average).value(), 0});
+  return Status::OK();
+}
+
+Status CircuitHoldingPolicy::OnBurst(const std::string& id, Tick t) {
+  auto it = circuits_.find(id);
+  if (it == circuits_.end()) {
+    return Status::InvalidArgument("unknown circuit: " + id);
+  }
+  CircuitState& state = it->second;
+  if (state.last_burst > 0 && t > state.last_burst) {
+    const uint64_t idle = static_cast<uint64_t>(t - state.last_burst);
+    state.idle_average.Observe(t, idle);
+  }
+  state.last_burst = t;
+  return Status::OK();
+}
+
+StatusOr<double> CircuitHoldingPolicy::AnticipatedIdle(const std::string& id,
+                                                       Tick now) {
+  auto it = circuits_.find(id);
+  if (it == circuits_.end()) {
+    return Status::InvalidArgument("unknown circuit: " + id);
+  }
+  CircuitState& state = it->second;
+  const double expected_gap = state.idle_average.Query(now, /*fallback=*/0.0);
+  const double already_idle =
+      state.last_burst > 0 ? static_cast<double>(now - state.last_burst) : 0.0;
+  // Expected remaining idle = expected gap net of time already waited,
+  // floored at zero, plus nothing if we have no history (fresh circuits are
+  // kept): a simple, monotone ranking score.
+  return std::max(0.0, expected_gap - already_idle) + already_idle;
+}
+
+std::vector<std::pair<std::string, double>> CircuitHoldingPolicy::CloseOrdering(
+    Tick now) {
+  std::vector<std::pair<std::string, double>> ordering;
+  ordering.reserve(circuits_.size());
+  for (auto& [id, state] : circuits_) {
+    auto score = AnticipatedIdle(id, now);
+    ordering.emplace_back(id, score.ok() ? *score : 0.0);
+  }
+  std::sort(ordering.begin(), ordering.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return ordering;
+}
+
+size_t CircuitHoldingPolicy::StorageBits() const {
+  size_t bits = 0;
+  for (const auto& [id, state] : circuits_) {
+    bits += state.idle_average.StorageBits();
+  }
+  return bits;
+}
+
+}  // namespace tds

@@ -1,0 +1,61 @@
+#ifndef TDS_APPS_HOLDING_POLICY_H_
+#define TDS_APPS_HOLDING_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/factory.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Holding-time policy for virtual circuits / persistent connections (paper
+/// Section 1.1, after Keshav et al. and Cohen–Kaplan–Oldham): each open
+/// circuit costs resources; when capacity is needed, close first the
+/// circuits with the longest *anticipated* idle time, estimated as a
+/// time-decaying average of previous idle gaps.
+class CircuitHoldingPolicy {
+ public:
+  struct Options {
+    AggregateOptions aggregate;
+  };
+
+  static StatusOr<CircuitHoldingPolicy> Create(DecayPtr decay,
+                                               const Options& options);
+
+  /// Registers a circuit (idempotent).
+  Status AddCircuit(const std::string& id);
+
+  /// Records a data burst on the circuit at tick t: the gap since the
+  /// previous burst is one observed idle time.
+  Status OnBurst(const std::string& id, Tick t);
+
+  /// Anticipated idle time (decayed average of observed idles) plus the
+  /// time already idle — higher means "close me first".
+  StatusOr<double> AnticipatedIdle(const std::string& id, Tick now);
+
+  /// Circuits ordered by descending anticipated idle time: the closing
+  /// order when capacity must be reclaimed.
+  std::vector<std::pair<std::string, double>> CloseOrdering(Tick now);
+
+  size_t StorageBits() const;
+
+ private:
+  struct CircuitState {
+    DecayedAverage idle_average;
+    Tick last_burst = 0;
+  };
+
+  CircuitHoldingPolicy(DecayPtr decay, const Options& options)
+      : decay_(std::move(decay)), options_(options) {}
+
+  DecayPtr decay_;
+  Options options_;
+  std::unordered_map<std::string, CircuitState> circuits_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_APPS_HOLDING_POLICY_H_

@@ -1,0 +1,36 @@
+#include "apps/red.h"
+
+#include <algorithm>
+
+namespace tds {
+
+StatusOr<RedEstimator> RedEstimator::Create(DecayPtr decay,
+                                            const Options& options) {
+  if (!(options.min_threshold >= 0.0) ||
+      options.max_threshold <= options.min_threshold) {
+    return Status::InvalidArgument("need 0 <= min_threshold < max_threshold");
+  }
+  if (!(options.max_probability > 0.0) || options.max_probability > 1.0) {
+    return Status::InvalidArgument("max_probability must be in (0, 1]");
+  }
+  auto average = MakeDecayedAverage(decay, options.aggregate);
+  if (!average.ok()) return average.status();
+  return RedEstimator(options, std::move(average).value());
+}
+
+double RedEstimator::OnQueueSample(Tick t, uint64_t queue_length) {
+  average_.Observe(t, queue_length);
+  return DropProbability(average_.Query(t));
+}
+
+double RedEstimator::AverageQueue(Tick now) { return average_.Query(now); }
+
+double RedEstimator::DropProbability(double average_queue) const {
+  if (average_queue <= options_.min_threshold) return 0.0;
+  if (average_queue >= options_.max_threshold) return 1.0;
+  const double fraction = (average_queue - options_.min_threshold) /
+                          (options_.max_threshold - options_.min_threshold);
+  return std::clamp(fraction * options_.max_probability, 0.0, 1.0);
+}
+
+}  // namespace tds

@@ -1,0 +1,54 @@
+#ifndef TDS_APPS_RED_H_
+#define TDS_APPS_RED_H_
+
+#include <memory>
+
+#include "core/factory.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Random Early Detection congestion estimator (paper Section 1.1, after
+/// Floyd & Jacobson): routers track a time-decaying average of queue
+/// lengths and drop packets with a probability that ramps up between two
+/// thresholds. Classically the average is an EWMA; this implementation
+/// accepts any decay function, which is exactly the flexibility the paper
+/// argues for (polynomial decay remembers congestion events longer without
+/// freezing their relative weight).
+class RedEstimator {
+ public:
+  struct Options {
+    /// No drops below this average queue length.
+    double min_threshold = 5.0;
+    /// All packets dropped above this average queue length.
+    double max_threshold = 15.0;
+    /// Drop probability as the average reaches max_threshold.
+    double max_probability = 0.1;
+    AggregateOptions aggregate;
+  };
+
+  static StatusOr<RedEstimator> Create(DecayPtr decay, const Options& options);
+
+  /// Records the instantaneous queue length observed at tick t and returns
+  /// the resulting drop probability for packets arriving now.
+  double OnQueueSample(Tick t, uint64_t queue_length);
+
+  /// Current decayed average queue length.
+  double AverageQueue(Tick now);
+
+  /// Drop probability implied by an average queue value.
+  double DropProbability(double average_queue) const;
+
+  size_t StorageBits() const { return average_.StorageBits(); }
+
+ private:
+  RedEstimator(const Options& options, DecayedAverage average)
+      : options_(options), average_(std::move(average)) {}
+
+  Options options_;
+  DecayedAverage average_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_APPS_RED_H_

@@ -1,0 +1,66 @@
+#ifndef TDS_APPS_USAGE_PROFILE_H_
+#define TDS_APPS_USAGE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "histogram/wbmh_counter.h"
+#include "histogram/wbmh_layout.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Per-customer usage summaries at carrier scale (paper Section 1.1, the
+/// AT&T "giga-mining" application: a summary per field on ~100M customers,
+/// where balancing information value against storage is critical). This is
+/// the showcase for the WBMH's stream-independent boundaries: one
+/// WbmhLayout serves every customer, and each customer costs only its
+/// bucket counts (Section 5's per-stream storage argument).
+class UsageProfileSet {
+ public:
+  struct Options {
+    /// Bucketing precision shared by all customers.
+    double epsilon = 0.5;
+    /// Count-rounding precision (see WbmhCounter).
+    double count_epsilon = 0.5;
+    Tick start = 1;
+  };
+
+  static StatusOr<UsageProfileSet> Create(DecayPtr decay,
+                                          const Options& options);
+
+  /// Records `amount` usage units for a customer at tick t. Customers are
+  /// created on first touch.
+  void Record(uint64_t customer, Tick t, uint64_t amount);
+
+  /// Decayed usage score for a customer (0 for never-seen customers).
+  double Query(uint64_t customer, Tick now);
+
+  /// Brings every counter up to date and trims the shared op log — the
+  /// periodic maintenance a deployment would run.
+  void SyncAll(Tick now);
+
+  size_t CustomerCount() const { return counters_.size(); }
+
+  /// Total storage: all per-customer counters plus the one shared layout's
+  /// boundary state (counted once).
+  size_t TotalStorageBits() const;
+
+  /// Average per-customer storage bits (counters only).
+  double MeanCustomerBits() const;
+
+  const WbmhLayout& layout() const { return *layout_; }
+
+ private:
+  UsageProfileSet(std::shared_ptr<WbmhLayout> layout, const Options& options)
+      : layout_(std::move(layout)), options_(options) {}
+
+  std::shared_ptr<WbmhLayout> layout_;
+  Options options_;
+  std::unordered_map<uint64_t, WbmhCounter> counters_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_APPS_USAGE_PROFILE_H_

@@ -1,0 +1,74 @@
+#ifndef TDS_CORE_CEH_H_
+#define TDS_CORE_CEH_H_
+
+#include <memory>
+#include <string>
+
+#include "core/decayed_aggregate.h"
+#include "histogram/exponential_histogram.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Cascaded Exponential Histogram (paper Section 4.2, Theorem 1): estimates
+/// the decayed sum under *any* decay function from a single Exponential
+/// Histogram, using summation by parts (Eq. 3):
+///   S_g(T) = g(N) S_win_N(T) + sum_i (g(N-i) - g(N-i+1)) S_win_{N-i}(T).
+/// Substituting the EH's window estimates and telescoping per bucket gives
+/// the O(log N)-term form (Eq. 4): with consecutive bucket end-ages
+/// a_0 < a_1 < ... (a_0 newest), bucket j contributes
+///   C_j * (g(a_j) + g(a_{j+1})) / 2
+/// (the (1/2) is the EH's half-count rule for the straddling bucket,
+/// telescoped across windows; the oldest bucket pairs with the age of the
+/// first arrival, or weight 0 past the horizon).
+///
+/// Storage O(eps^{-1} log^2 N) bits, query O(#buckets) = O(log N).
+class CehDecayedSum : public DecayedAggregate {
+ public:
+  struct Options {
+    double epsilon = 0.1;
+  };
+
+  static StatusOr<std::unique_ptr<CehDecayedSum>> Create(
+      DecayPtr decay, const Options& options);
+
+  void Update(Tick t, uint64_t value) override;
+  double Query(Tick now) override;
+  size_t StorageBits() const override;
+  std::string Name() const override { return "CEH"; }
+  const DecayPtr& decay() const override { return decay_; }
+
+  const ExponentialHistogram& histogram() const { return eh_; }
+
+  /// Merges another CEH over a disjoint substream (same decay + epsilon):
+  /// the distributed-streams setting. See ExponentialHistogram::MergeFrom.
+  Status MergeFrom(const CehDecayedSum& other) {
+    ++version_;
+    return eh_.MergeFrom(other.eh_);
+  }
+
+  /// Snapshot support (delegates to the histogram).
+  void EncodeState(class Encoder& encoder) const { eh_.EncodeState(encoder); }
+  Status DecodeState(class Decoder& decoder) {
+    return eh_.DecodeState(decoder);
+  }
+
+ private:
+  CehDecayedSum(DecayPtr decay, ExponentialHistogram eh);
+
+  double SafeWeight(Tick age) const;
+
+  DecayPtr decay_;
+  ExponentialHistogram eh_;
+  /// Memoized last query (the paper notes the running estimate can be
+  /// maintained at amortized O(1); repeated queries at one tick are the
+  /// common pattern and hit this cache).
+  Tick cached_now_ = -1;
+  uint64_t cached_version_ = 0;
+  double cached_estimate_ = 0.0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_CORE_CEH_H_

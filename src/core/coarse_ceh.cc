@@ -1,0 +1,234 @@
+#include "core/coarse_ceh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+CoarseCehDecayedSum::CoarseCehDecayedSum(DecayPtr decay,
+                                         const Options& options)
+    : decay_(std::move(decay)), options_(options), rng_(options.seed) {
+  cap_ = static_cast<uint64_t>(std::ceil(1.0 / options_.epsilon)) + 1;
+}
+
+StatusOr<std::unique_ptr<CoarseCehDecayedSum>> CoarseCehDecayedSum::Create(
+    DecayPtr decay, const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  if (!(options.epsilon > 0.0) || options.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (!(options.boundary_delta > 0.0)) {
+    return Status::InvalidArgument("boundary_delta must be > 0");
+  }
+  return std::unique_ptr<CoarseCehDecayedSum>(
+      new CoarseCehDecayedSum(std::move(decay), options));
+}
+
+void CoarseCehDecayedSum::AdvanceTo(Tick t) {
+  TDS_CHECK_GE(t, now_);
+  const Tick gap = t - now_;
+  now_ = t;
+  if (gap == 0) return;
+  for (auto& cls : classes_) {
+    for (Bucket& bucket : cls) {
+      bucket.age.Advance(gap, rng_);
+      max_age_seen_ = std::max(max_age_seen_, bucket.age.Estimate());
+    }
+  }
+  Expire();
+}
+
+void CoarseCehDecayedSum::Update(Tick t, uint64_t value) {
+  AdvanceTo(t);
+  if (value == 0) return;
+  total_count_ += value;
+  InsertUnits(value);
+}
+
+void CoarseCehDecayedSum::InsertUnits(uint64_t incoming_units) {
+  // Same canonical digit arithmetic as ExponentialHistogram::InsertUnits,
+  // with approximate ages in place of timestamps: all incoming buckets are
+  // brand new (age 1); a merge keeps the *younger* boundary.
+  uint64_t virtual_new = incoming_units;
+  std::vector<Bucket> real_carries;
+  const ApproxAge fresh(options_.boundary_delta);
+  size_t i = 0;
+  while (true) {
+    if (i >= classes_.size()) classes_.emplace_back();
+    auto& cls = classes_[i];
+    const uint64_t total = cls.size() + virtual_new;
+    uint64_t next_virtual = 0;
+    real_carries.clear();
+    if (total > cap_) {
+      const uint64_t merges = (total - cap_ + 1) / 2;
+      for (uint64_t m = 0; m < merges; ++m) {
+        if (cls.size() >= 2) {
+          Bucket a = cls.front();
+          cls.pop_front();
+          Bucket b = cls.front();
+          cls.pop_front();
+          a.age.TakeYounger(b.age);
+          a.count += b.count;
+          real_carries.push_back(a);
+        } else if (cls.size() == 1) {
+          Bucket a = cls.front();
+          cls.pop_front();
+          TDS_CHECK_GE(virtual_new, 1u);
+          --virtual_new;
+          a.age = fresh;  // merged with a just-arrived unit bucket
+          a.count <<= 1;
+          real_carries.push_back(a);
+        } else {
+          const uint64_t remaining = merges - m;
+          TDS_CHECK_GE(virtual_new, 2 * remaining);
+          virtual_new -= 2 * remaining;
+          next_virtual += remaining;
+          break;
+        }
+      }
+    }
+    const uint64_t unit = uint64_t{1} << i;
+    for (uint64_t v = 0; v < virtual_new; ++v) {
+      cls.push_back(Bucket{fresh, unit});
+    }
+    if (real_carries.empty() && next_virtual == 0) break;
+    if (i + 1 >= classes_.size()) classes_.emplace_back();
+    for (const Bucket& carry : real_carries) classes_[i + 1].push_back(carry);
+    virtual_new = next_virtual;
+    ++i;
+  }
+}
+
+void CoarseCehDecayedSum::Expire() {
+  const Tick horizon = decay_->Horizon();
+  if (horizon == kInfiniteHorizon || total_count_ == 0) return;
+  for (size_t c = classes_.size(); c-- > 0;) {
+    auto& cls = classes_[c];
+    while (!cls.empty() &&
+           cls.front().age.Estimate() > static_cast<double>(horizon)) {
+      total_count_ -= cls.front().count;
+      cls.pop_front();
+    }
+    if (!cls.empty()) break;
+  }
+}
+
+double CoarseCehDecayedSum::Query(Tick now) {
+  AdvanceTo(now);
+  const Tick horizon = decay_->Horizon();
+  double sum = 0.0;
+  for (const auto& cls : classes_) {
+    for (const Bucket& bucket : cls) {
+      const double age_estimate = std::max(1.0, bucket.age.Estimate());
+      const auto age = static_cast<Tick>(std::llround(age_estimate));
+      if (age > horizon) continue;
+      sum += static_cast<double>(bucket.count) * decay_->Weight(age);
+    }
+  }
+  return sum;
+}
+
+size_t CoarseCehDecayedSum::BucketCount() const {
+  size_t n = 0;
+  for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+std::vector<double> CoarseCehDecayedSum::BoundaryAges() const {
+  std::vector<double> ages;
+  for (size_t c = classes_.size(); c-- > 0;) {
+    for (const Bucket& bucket : classes_[c]) {
+      ages.push_back(bucket.age.Estimate());
+    }
+  }
+  return ages;
+}
+
+void CoarseCehDecayedSum::EncodeState(Encoder& encoder) const {
+  encoder.PutDouble(options_.epsilon);
+  encoder.PutDouble(options_.boundary_delta);
+  encoder.PutSigned(now_);
+  encoder.PutVarint(total_count_);
+  encoder.PutDouble(max_age_seen_);
+  uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (uint64_t word : rng_state) encoder.PutVarint(word);
+  encoder.PutVarint(classes_.size());
+  for (const auto& cls : classes_) {
+    encoder.PutVarint(cls.size());
+    for (const Bucket& bucket : cls) {
+      bucket.age.EncodeTo(encoder);
+      encoder.PutVarint(bucket.count);
+    }
+  }
+}
+
+Status CoarseCehDecayedSum::DecodeState(Decoder& decoder) {
+  double epsilon = 0.0, delta = 0.0;
+  if (!decoder.GetDouble(&epsilon) || !decoder.GetDouble(&delta)) {
+    return CorruptSnapshot("CoarseCEH header");
+  }
+  if (epsilon != options_.epsilon || delta != options_.boundary_delta) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  uint64_t total = 0, class_count = 0;
+  if (!decoder.GetSigned(&now_) || !decoder.GetVarint(&total) ||
+      !decoder.GetDouble(&max_age_seen_)) {
+    return CorruptSnapshot("CoarseCEH clock");
+  }
+  uint64_t rng_state[4];
+  for (uint64_t& word : rng_state) {
+    if (!decoder.GetVarint(&word)) return CorruptSnapshot("CoarseCEH rng");
+  }
+  rng_.RestoreState(rng_state);
+  if (!decoder.GetVarint(&class_count) || class_count > 64) {
+    return CorruptSnapshot("CoarseCEH classes");
+  }
+  if (now_ < 0 || !std::isfinite(max_age_seen_)) {
+    return CorruptSnapshot("CoarseCEH clock");
+  }
+  total_count_ = total;
+  classes_.assign(class_count, {});
+  uint64_t checksum = 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    auto& cls = classes_[c];
+    uint64_t buckets = 0;
+    if (!decoder.GetVarint(&buckets) || buckets > 2 * cap_ + 2) {
+      return CorruptSnapshot("CoarseCEH class");
+    }
+    const uint64_t expected = uint64_t{1} << c;
+    for (uint64_t i = 0; i < buckets; ++i) {
+      Bucket bucket;
+      if (!bucket.age.DecodeFrom(decoder) ||
+          !decoder.GetVarint(&bucket.count) || bucket.count != expected) {
+        return CorruptSnapshot("CoarseCEH bucket");
+      }
+      checksum += bucket.count;
+      cls.push_back(bucket);
+    }
+  }
+  if (checksum != total_count_) return CorruptSnapshot("CoarseCEH total");
+  return Status::OK();
+}
+
+size_t CoarseCehDecayedSum::StorageBits() const {
+  // Per bucket: an O(log log N) boundary plus a count exponent (counts are
+  // powers of two). One exact clock register is charged once.
+  const int age_bits =
+      ApproxAge::StorageBits(options_.boundary_delta, max_age_seen_);
+  const double count_log =
+      std::log2(static_cast<double>(std::max<uint64_t>(total_count_, 2)));
+  const int exp_bits =
+      static_cast<int>(std::ceil(std::log2(count_log + 1.0)));
+  const double clock_bits = std::ceil(
+      std::log2(static_cast<double>(std::max<Tick>(now_, 2)) + 1.0));
+  return static_cast<size_t>(
+      static_cast<double>(BucketCount()) * (age_bits + exp_bits) +
+      clock_bits);
+}
+
+}  // namespace tds

@@ -1,0 +1,89 @@
+#ifndef TDS_CORE_COARSE_CEH_H_
+#define TDS_CORE_COARSE_CEH_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decayed_aggregate.h"
+#include "util/approx_age.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// CEH with approximately-maintained time boundaries — the paper's
+/// Section 5 closing remark (attributed to Y. Matias): for polynomial
+/// decay, a constant-factor error in a bucket's boundary is only a
+/// constant-factor error in that bucket's contribution, so boundaries can
+/// be kept in O(log log N) bits each (ApproxAge), cutting the CEH's
+/// O(eps^-1 log^2 N) to O(eps^-1 log N log log N) — the same storage class
+/// as the WBMH, by a different route.
+///
+/// The histogram is the same domination-based structure as the exact CEH
+/// (power-of-two bucket counts, at most `cap` buckets per size class, two
+/// oldest merge on overflow); only the boundary representation changes.
+/// The estimate weights each bucket by g(approximate boundary age).
+///
+/// Guarantee: a constant-factor approximation for POLYD (the grid ratio
+/// and stochastic aging each contribute a bounded factor); the
+/// decay_families benchmark measures the constant. For (1 +- eps) answers
+/// use CehDecayedSum or WbmhDecayedSum.
+class CoarseCehDecayedSum : public DecayedAggregate {
+ public:
+  struct Options {
+    /// Bucket-count budget parameter, as in the exact CEH.
+    double epsilon = 0.1;
+    /// Boundary grid ratio (1 + delta): the age quantization coarseness.
+    double boundary_delta = 0.25;
+    uint64_t seed = 0xa9e5;
+  };
+
+  static StatusOr<std::unique_ptr<CoarseCehDecayedSum>> Create(
+      DecayPtr decay, const Options& options);
+
+  void Update(Tick t, uint64_t value) override;
+  double Query(Tick now) override;
+  size_t StorageBits() const override;
+  std::string Name() const override { return "COARSE_CEH"; }
+  const DecayPtr& decay() const override { return decay_; }
+
+  size_t BucketCount() const;
+
+  /// Approximate boundary ages, oldest first (for tests).
+  std::vector<double> BoundaryAges() const;
+
+  /// Snapshot support.
+  void EncodeState(class Encoder& encoder) const;
+  Status DecodeState(class Decoder& decoder);
+
+ private:
+  struct Bucket {
+    ApproxAge age;
+    uint64_t count = 0;
+  };
+
+  CoarseCehDecayedSum(DecayPtr decay, const Options& options);
+
+  void AdvanceTo(Tick t);
+  void InsertUnits(uint64_t units);
+  void Expire();
+
+  DecayPtr decay_;
+  Options options_;
+  uint64_t cap_;
+  Rng rng_;
+
+  /// classes_[i]: buckets of count 2^i, oldest at the front; every bucket
+  /// in classes_[i] is newer than every bucket in classes_[i+1].
+  std::vector<std::deque<Bucket>> classes_;
+
+  Tick now_ = 0;
+  uint64_t total_count_ = 0;
+  double max_age_seen_ = 2.0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_CORE_COARSE_CEH_H_

@@ -1,0 +1,46 @@
+#ifndef TDS_CORE_DECAYED_AGGREGATE_H_
+#define TDS_CORE_DECAYED_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "decay/decay_function.h"
+#include "util/common.h"
+
+namespace tds {
+
+/// A maintained time-decaying sum (paper Problem 2.1, DSP): after a stream
+/// of (tick, value) updates, Query(T) estimates
+///   S_g(T) = sum_i f_i * g(AgeAt(t_i, T)).
+/// With 0/1 values this is the Decaying Count Problem (DCP). Implementations
+/// trade storage for approximation quality; StorageBits() reports the
+/// paper's bit metric for the current state.
+///
+/// Single-threaded ("thread-compatible") by design, like the streaming
+/// model itself: one writer owns the structure.
+class DecayedAggregate {
+ public:
+  virtual ~DecayedAggregate() = default;
+
+  /// Adds `value` unit items arriving at tick t. Ticks must be
+  /// non-decreasing across calls; multiple updates per tick are allowed.
+  virtual void Update(Tick t, uint64_t value) = 0;
+
+  /// Estimated decayed sum at time `now` (>= the last update tick). May
+  /// advance internal clocks/expiry; repeated queries at the same `now`
+  /// return the same value.
+  virtual double Query(Tick now) = 0;
+
+  /// Storage consumed under the paper's bit-accounting metric.
+  virtual size_t StorageBits() const = 0;
+
+  /// Implementation name for reports, e.g. "CEH" or "WBMH".
+  virtual std::string Name() const = 0;
+
+  /// The decay function being maintained.
+  virtual const DecayPtr& decay() const = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_CORE_DECAYED_AGGREGATE_H_

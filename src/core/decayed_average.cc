@@ -1,0 +1,31 @@
+#include "core/decayed_average.h"
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<DecayedAverage> DecayedAverage::Create(
+    std::unique_ptr<DecayedAggregate> sum,
+    std::unique_ptr<DecayedAggregate> count) {
+  if (sum == nullptr || count == nullptr) {
+    return Status::InvalidArgument("both components required");
+  }
+  if (sum->decay()->Name() != count->decay()->Name()) {
+    return Status::InvalidArgument(
+        "sum and count must use the same decay function");
+  }
+  return DecayedAverage(std::move(sum), std::move(count));
+}
+
+void DecayedAverage::Observe(Tick t, uint64_t value) {
+  sum_->Update(t, value);
+  count_->Update(t, 1);
+}
+
+double DecayedAverage::Query(Tick now, double fallback) {
+  const double denominator = count_->Query(now);
+  if (denominator <= 0.0) return fallback;
+  return sum_->Query(now) / denominator;
+}
+
+}  // namespace tds

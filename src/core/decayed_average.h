@@ -1,0 +1,59 @@
+#ifndef TDS_CORE_DECAYED_AVERAGE_H_
+#define TDS_CORE_DECAYED_AVERAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/decayed_aggregate.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Time-decaying average (paper Problem 2.2, DAP):
+///   A_g(T) = sum_i f_i g(age_i) / sum_i g(age_i).
+/// The numerator is a decayed sum of the value stream and the denominator a
+/// decayed count of the arrival stream {(t_i, 1)}; both are maintained by
+/// any DecayedAggregate backend, and the ratio of two (1 +- eps) estimates
+/// is a (1 +- ~2 eps) estimate of the average.
+///
+/// Update(t, value) feeds `value` to the numerator and 1 (one observation)
+/// to the denominator — i.e. each call is one observed measurement.
+class DecayedAverage {
+ public:
+  /// Takes ownership of two freshly-created structures over the same decay.
+  static StatusOr<DecayedAverage> Create(
+      std::unique_ptr<DecayedAggregate> sum,
+      std::unique_ptr<DecayedAggregate> count);
+
+  /// Records one observation of `value` at tick t.
+  void Observe(Tick t, uint64_t value);
+
+  /// Estimated decayed average at `now`; returns fallback if no weight.
+  double Query(Tick now, double fallback = 0.0);
+
+  /// Decayed sum and count components.
+  double QuerySum(Tick now) { return sum_->Query(now); }
+  double QueryCount(Tick now) { return count_->Query(now); }
+
+  size_t StorageBits() const {
+    return sum_->StorageBits() + count_->StorageBits();
+  }
+
+  std::string Name() const { return "AVG[" + sum_->Name() + "]"; }
+
+  /// Component access (snapshot support; see core/snapshot.h).
+  DecayedAggregate& sum_component() { return *sum_; }
+  DecayedAggregate& count_component() { return *count_; }
+
+ private:
+  DecayedAverage(std::unique_ptr<DecayedAggregate> sum,
+                 std::unique_ptr<DecayedAggregate> count)
+      : sum_(std::move(sum)), count_(std::move(count)) {}
+
+  std::unique_ptr<DecayedAggregate> sum_;
+  std::unique_ptr<DecayedAggregate> count_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_CORE_DECAYED_AVERAGE_H_

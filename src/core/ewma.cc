@@ -1,0 +1,86 @@
+#include "core/ewma.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/rounded_counter.h"
+
+namespace tds {
+
+EwmaCounter::EwmaCounter(DecayPtr decay, double lambda, const Options& options)
+    : decay_(std::move(decay)),
+      lambda_(lambda),
+      mantissa_bits_(options.mantissa_bits) {}
+
+StatusOr<std::unique_ptr<EwmaCounter>> EwmaCounter::Create(
+    DecayPtr decay, const Options& options) {
+  const auto* expd = dynamic_cast<const ExponentialDecay*>(decay.get());
+  if (expd == nullptr) {
+    return Status::InvalidArgument("EwmaCounter requires ExponentialDecay");
+  }
+  if (options.mantissa_bits < 0) {
+    return Status::InvalidArgument("mantissa_bits must be >= 0");
+  }
+  return std::unique_ptr<EwmaCounter>(
+      new EwmaCounter(decay, expd->lambda(), options));
+}
+
+void EwmaCounter::AdvanceTo(Tick t) {
+  TDS_CHECK_GE(t, now_);
+  if (t != now_ && register_ != 0.0) {
+    register_ *= std::exp(-lambda_ * static_cast<double>(t - now_));
+    register_ = RoundedCounter::RoundValue(register_, mantissa_bits_);
+  }
+  now_ = t;
+}
+
+void EwmaCounter::Update(Tick t, uint64_t value) {
+  AdvanceTo(t);
+  if (value == 0) return;
+  if (first_arrival_ == 0) first_arrival_ = t;
+  register_ += static_cast<double>(value);
+  register_ = RoundedCounter::RoundValue(register_, mantissa_bits_);
+  if (register_ > max_register_) max_register_ = register_;
+}
+
+double EwmaCounter::Query(Tick now) {
+  AdvanceTo(now);
+  return register_ * std::exp(-lambda_);
+}
+
+void EwmaCounter::EncodeState(Encoder& encoder) const {
+  encoder.PutVarint(static_cast<uint64_t>(mantissa_bits_));
+  encoder.PutDouble(register_);
+  encoder.PutDouble(max_register_);
+  encoder.PutSigned(now_);
+  encoder.PutSigned(first_arrival_);
+}
+
+Status EwmaCounter::DecodeState(Decoder& decoder) {
+  uint64_t mantissa = 0;
+  if (!decoder.GetVarint(&mantissa) || !decoder.GetDouble(&register_) ||
+      !decoder.GetDouble(&max_register_) || !decoder.GetSigned(&now_) ||
+      !decoder.GetSigned(&first_arrival_)) {
+    return CorruptSnapshot("EWMA state");
+  }
+  if (static_cast<int>(mantissa) != mantissa_bits_) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  return Status::OK();
+}
+
+size_t EwmaCounter::StorageBits() const {
+  // Significand plus an exponent wide enough for the register's dynamic
+  // range: values shrink by e^{-lambda} per tick, so over N elapsed ticks
+  // the exponent spans ~lambda*N/ln2 + log2(max value) binades — the
+  // Theta(log N) of Lemma 3.1 comes from storing *which* binade.
+  const int significand = mantissa_bits_ > 0 ? mantissa_bits_ : 53;
+  const Tick elapsed =
+      first_arrival_ == 0 ? 1 : std::max<Tick>(now_ - first_arrival_ + 1, 1);
+  const double binades = lambda_ * static_cast<double>(elapsed) / M_LN2 +
+                         std::log2(std::max(max_register_, 2.0)) + 2.0;
+  return static_cast<size_t>(significand + std::ceil(std::log2(binades)));
+}
+
+}  // namespace tds

@@ -1,0 +1,90 @@
+#include "core/exact.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace tds {
+
+StatusOr<std::unique_ptr<ExactDecayedSum>> ExactDecayedSum::Create(
+    DecayPtr decay) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  return std::unique_ptr<ExactDecayedSum>(new ExactDecayedSum(std::move(decay)));
+}
+
+void ExactDecayedSum::Update(Tick t, uint64_t value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  if (value == 0) return;
+  if (!items_.empty() && items_.back().t == t) {
+    items_.back().value += value;
+  } else {
+    items_.push_back(Entry{t, value});
+  }
+  const Tick horizon = decay_->Horizon();
+  if (horizon != kInfiniteHorizon) {
+    while (!items_.empty() && AgeAt(items_.front().t, now_) > horizon) {
+      items_.pop_front();
+    }
+  }
+}
+
+double ExactDecayedSum::Query(Tick now) {
+  TDS_CHECK_GE(now, now_);
+  now_ = now;
+  double sum = 0.0;
+  const Tick horizon = decay_->Horizon();
+  for (const Entry& e : items_) {
+    const Tick age = AgeAt(e.t, now);
+    if (horizon != kInfiniteHorizon && age > horizon) continue;
+    sum += static_cast<double>(e.value) * decay_->Weight(age);
+  }
+  return sum;
+}
+
+void ExactDecayedSum::EncodeState(Encoder& encoder) const {
+  encoder.PutSigned(now_);
+  encoder.PutVarint(items_.size());
+  Tick previous = 0;
+  for (const Entry& entry : items_) {
+    encoder.PutVarint(static_cast<uint64_t>(entry.t - previous));
+    previous = entry.t;
+    encoder.PutVarint(entry.value);
+  }
+}
+
+Status ExactDecayedSum::DecodeState(Decoder& decoder) {
+  uint64_t size = 0;
+  if (!decoder.GetSigned(&now_) || !decoder.GetVarint(&size)) {
+    return CorruptSnapshot("Exact header");
+  }
+  items_.clear();
+  Tick previous = 0;
+  for (uint64_t i = 0; i < size; ++i) {
+    uint64_t delta = 0, value = 0;
+    if (!decoder.GetVarint(&delta) || !decoder.GetVarint(&value)) {
+      return CorruptSnapshot("Exact entry");
+    }
+    previous += static_cast<Tick>(delta);
+    items_.push_back(Entry{previous, value});
+  }
+  return Status::OK();
+}
+
+size_t ExactDecayedSum::StorageBits() const {
+  // Each entry: a timestamp plus an exact count.
+  const Tick elapsed = items_.empty() ? 1 : now_ - items_.front().t + 1;
+  const double ts_bits =
+      std::ceil(std::log2(static_cast<double>(std::max<Tick>(elapsed, 2)) + 1));
+  double bits = ts_bits;  // clock register
+  for (const Entry& e : items_) {
+    bits += ts_bits +
+            std::ceil(std::log2(static_cast<double>(e.value) + 1.0));
+  }
+  return static_cast<size_t>(bits);
+}
+
+}  // namespace tds

@@ -1,0 +1,51 @@
+#ifndef TDS_CORE_FACTORY_H_
+#define TDS_CORE_FACTORY_H_
+
+#include <memory>
+
+#include "core/decayed_aggregate.h"
+#include "core/decayed_average.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Which maintenance algorithm to use for a decayed sum.
+enum class Backend {
+  /// Pick the storage-optimal algorithm for the decay family, following the
+  /// paper's guidance: EXPD -> single EWMA register (Section 3.1);
+  /// SLIWIN -> plain Exponential Histogram (== CEH, Section 4.1);
+  /// polyexponential -> pipelined registers (Section 3.4);
+  /// WBMH-admissible (POLYD and other smooth sub-exponential decays) ->
+  /// WBMH (Section 5); anything else -> CEH (Section 4.2, works for all).
+  kAuto,
+  kExact,
+  kEwma,
+  kRecentItems,
+  kCeh,
+  /// CEH with O(log log N)-bit approximate boundaries (Section 5 closing
+  /// remark, after Y. Matias): constant-factor accuracy for POLYD in the
+  /// WBMH's storage class.
+  kCoarseCeh,
+  kWbmh,
+  kPolyExp,
+};
+
+struct AggregateOptions {
+  Backend backend = Backend::kAuto;
+  /// Target relative error.
+  double epsilon = 0.1;
+  /// First tick of the stream (WBMH layout origin).
+  Tick start = 1;
+};
+
+/// Creates a decayed-sum structure for `decay`.
+StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
+    DecayPtr decay, const AggregateOptions& options);
+
+/// Creates a decayed average (Problem 2.2) backed by two such structures.
+StatusOr<DecayedAverage> MakeDecayedAverage(DecayPtr decay,
+                                            const AggregateOptions& options);
+
+}  // namespace tds
+
+#endif  // TDS_CORE_FACTORY_H_

@@ -1,0 +1,129 @@
+#include "core/polyexp_counter.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace tds {
+
+PolyExpCounter::PolyExpCounter(DecayPtr decay, int k, double lambda,
+                               std::vector<double> query_coeffs)
+    : decay_(std::move(decay)),
+      k_(k),
+      lambda_(lambda),
+      query_coeffs_(std::move(query_coeffs)) {
+  binomial_.resize(k + 1);
+  for (int j = 0; j <= k; ++j) {
+    binomial_[j].resize(j + 1);
+    binomial_[j][0] = binomial_[j][j] = 1.0;
+    for (int r = 1; r < j; ++r) {
+      binomial_[j][r] = binomial_[j - 1][r - 1] + binomial_[j - 1][r];
+    }
+  }
+  registers_.assign(k + 1, 0.0);
+}
+
+StatusOr<std::unique_ptr<PolyExpCounter>> PolyExpCounter::Create(
+    DecayPtr decay) {
+  if (const auto* pe =
+          dynamic_cast<const PolyExponentialDecay*>(decay.get())) {
+    // Monomial x^k e^{-lambda x} / k!: the query polynomial is x^k / k!.
+    std::vector<double> coeffs(pe->k() + 1, 0.0);
+    double factorial = 1.0;
+    for (int i = 2; i <= pe->k(); ++i) factorial *= i;
+    coeffs.back() = 1.0 / factorial;
+    return std::unique_ptr<PolyExpCounter>(
+        new PolyExpCounter(decay, pe->k(), pe->lambda(), std::move(coeffs)));
+  }
+  if (const auto* gp =
+          dynamic_cast<const GeneralPolyExpDecay*>(decay.get())) {
+    return std::unique_ptr<PolyExpCounter>(new PolyExpCounter(
+        decay, gp->degree(), gp->lambda(), gp->coefficients()));
+  }
+  return Status::InvalidArgument(
+      "PolyExpCounter requires PolyExponentialDecay or GeneralPolyExpDecay");
+}
+
+StatusOr<std::unique_ptr<PolyExpCounter>> PolyExpCounter::Create(
+    int k, double lambda) {
+  auto decay = PolyExponentialDecay::Create(k, lambda);
+  if (!decay.ok()) return decay.status();
+  return Create(decay.value());
+}
+
+void PolyExpCounter::AdvanceTo(Tick t) {
+  TDS_CHECK_GE(t, now_);
+  if (t == now_) return;
+  const double gap = static_cast<double>(t - now_);
+  const double scale = std::exp(-lambda_ * gap);
+  std::vector<double> next(k_ + 1, 0.0);
+  for (int j = k_; j >= 0; --j) {
+    double sum = 0.0;
+    double gap_power = 1.0;  // gap^{j-r} for r = j down to 0
+    for (int r = j; r >= 0; --r) {
+      sum += binomial_[j][r] * gap_power * registers_[r];
+      gap_power *= gap;
+    }
+    next[j] = scale * sum;
+  }
+  registers_ = std::move(next);
+  now_ = t;
+}
+
+void PolyExpCounter::Update(Tick t, uint64_t value) {
+  AdvanceTo(t);
+  // A new item has age offset 0: only the j = 0 moment changes.
+  registers_[0] += static_cast<double>(value);
+}
+
+double PolyExpCounter::Query(Tick now) {
+  return QueryPolynomial(query_coeffs_, now);
+}
+
+double PolyExpCounter::QueryPolynomial(const std::vector<double>& coeffs,
+                                       Tick now) {
+  TDS_CHECK_LE(coeffs.size(), static_cast<size_t>(k_ + 1));
+  AdvanceTo(now);
+  double total = 0.0;
+  for (size_t j = 0; j < coeffs.size(); ++j) {
+    if (coeffs[j] == 0.0) continue;
+    double moment_shifted = 0.0;  // sum_i f_i (age_i+1)^j e^{-lambda age_i}
+    for (size_t r = 0; r <= j; ++r) {
+      moment_shifted += binomial_[j][r] * registers_[r];
+    }
+    total += coeffs[j] * moment_shifted;
+  }
+  return std::exp(-lambda_) * total;
+}
+
+void PolyExpCounter::EncodeState(Encoder& encoder) const {
+  encoder.PutVarint(static_cast<uint64_t>(k_));
+  encoder.PutSigned(now_);
+  for (double reg : registers_) encoder.PutDouble(reg);
+}
+
+Status PolyExpCounter::DecodeState(Decoder& decoder) {
+  uint64_t k = 0;
+  if (!decoder.GetVarint(&k) || !decoder.GetSigned(&now_)) {
+    return CorruptSnapshot("PolyExp header");
+  }
+  if (static_cast<int>(k) != k_) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  for (double& reg : registers_) {
+    if (!decoder.GetDouble(&reg)) return CorruptSnapshot("PolyExp register");
+  }
+  return Status::OK();
+}
+
+size_t PolyExpCounter::StorageBits() const {
+  // k+1 floating registers: 53-bit significands plus exponents sized like
+  // the EWMA register (each register is an exponentially decayed quantity).
+  const double binades =
+      lambda_ * std::max<double>(1.0, static_cast<double>(now_)) / M_LN2 + 64.0;
+  const double per_register = 53.0 + std::ceil(std::log2(binades));
+  return static_cast<size_t>(static_cast<double>(k_ + 1) * per_register);
+}
+
+}  // namespace tds

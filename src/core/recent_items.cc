@@ -1,0 +1,91 @@
+#include "core/recent_items.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace tds {
+
+RecentItemsExpCounter::RecentItemsExpCounter(DecayPtr decay, double lambda,
+                                             size_t capacity)
+    : decay_(std::move(decay)), lambda_(lambda), capacity_(capacity) {}
+
+StatusOr<std::unique_ptr<RecentItemsExpCounter>> RecentItemsExpCounter::Create(
+    DecayPtr decay, const Options& options) {
+  const auto* expd = dynamic_cast<const ExponentialDecay*>(decay.get());
+  if (expd == nullptr) {
+    return Status::InvalidArgument(
+        "RecentItemsExpCounter requires ExponentialDecay");
+  }
+  if (!(options.epsilon > 0.0) || options.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  const double lambda = expd->lambda();
+  const double c = std::ceil(
+      std::log(1.0 / ((1.0 - std::exp(-lambda)) * options.epsilon)) / lambda);
+  const size_t capacity = static_cast<size_t>(std::max(1.0, c));
+  return std::unique_ptr<RecentItemsExpCounter>(
+      new RecentItemsExpCounter(decay, lambda, capacity));
+}
+
+void RecentItemsExpCounter::Update(Tick t, uint64_t value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  if (value == 0) return;
+  const double effective =
+      static_cast<double>(t) +
+      std::log(static_cast<double>(value)) / lambda_;
+  effective_times_.insert(effective);
+  while (effective_times_.size() > capacity_) {
+    effective_times_.erase(effective_times_.begin());  // smallest = oldest
+  }
+}
+
+double RecentItemsExpCounter::Query(Tick now) {
+  TDS_CHECK_GE(now, now_);
+  now_ = now;
+  double sum = 0.0;
+  for (double effective : effective_times_) {
+    sum += std::exp(-lambda_ * (static_cast<double>(now) + 1.0 - effective));
+  }
+  return sum;
+}
+
+void RecentItemsExpCounter::EncodeState(Encoder& encoder) const {
+  encoder.PutVarint(capacity_);
+  encoder.PutSigned(now_);
+  encoder.PutVarint(effective_times_.size());
+  for (double effective : effective_times_) encoder.PutDouble(effective);
+}
+
+Status RecentItemsExpCounter::DecodeState(Decoder& decoder) {
+  uint64_t capacity = 0, size = 0;
+  if (!decoder.GetVarint(&capacity) || !decoder.GetSigned(&now_) ||
+      !decoder.GetVarint(&size)) {
+    return CorruptSnapshot("RecentItems header");
+  }
+  if (capacity == 0) return CorruptSnapshot("RecentItems capacity");
+  capacity_ = capacity;
+  if (size > capacity) return CorruptSnapshot("RecentItems size");
+  effective_times_.clear();
+  for (uint64_t i = 0; i < size; ++i) {
+    double effective = 0.0;
+    if (!decoder.GetDouble(&effective)) {
+      return CorruptSnapshot("RecentItems entry");
+    }
+    effective_times_.insert(effective);
+  }
+  return Status::OK();
+}
+
+size_t RecentItemsExpCounter::StorageBits() const {
+  // C timestamps of ceil(log2(elapsed)) bits (value shifting adds the same
+  // O(log(v_max)/lambda) additive range to each timestamp).
+  const double elapsed = std::max<double>(2.0, static_cast<double>(now_));
+  const double ts_bits = std::ceil(std::log2(elapsed + 1.0));
+  return static_cast<size_t>(
+      (static_cast<double>(effective_times_.size()) + 1.0) * ts_bits);
+}
+
+}  // namespace tds

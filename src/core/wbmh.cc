@@ -1,0 +1,100 @@
+#include "core/wbmh.h"
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace tds {
+
+WbmhDecayedSum::WbmhDecayedSum(std::shared_ptr<WbmhLayout> layout,
+                               const Options& options, bool owns_layout)
+    : decay_(layout->decay()),
+      layout_(layout),
+      counter_(layout,
+               WbmhCounter::Options{options.count_epsilon < 0.0
+                                        ? options.epsilon
+                                        : options.count_epsilon}),
+      owns_layout_(owns_layout) {}
+
+StatusOr<std::unique_ptr<WbmhDecayedSum>> WbmhDecayedSum::Create(
+    DecayPtr decay, const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  if (options.require_admissible && !decay->IsWbmhAdmissible()) {
+    return Status::FailedPrecondition(
+        "decay function fails the WBMH admissibility test "
+        "(g(x)/g(x+1) must be non-increasing); use CEH instead or set "
+        "require_admissible = false");
+  }
+  WbmhLayout::Options layout_options;
+  layout_options.decay = std::move(decay);
+  layout_options.epsilon = options.epsilon;
+  layout_options.start = options.start;
+  auto layout = WbmhLayout::Create(layout_options);
+  if (!layout.ok()) return layout.status();
+  auto shared =
+      std::make_shared<WbmhLayout>(std::move(layout).value());
+  return std::unique_ptr<WbmhDecayedSum>(
+      new WbmhDecayedSum(std::move(shared), options, /*owns_layout=*/true));
+}
+
+StatusOr<std::unique_ptr<WbmhDecayedSum>> WbmhDecayedSum::CreateShared(
+    std::shared_ptr<WbmhLayout> layout, const Options& options) {
+  if (layout == nullptr) {
+    return Status::InvalidArgument("shared layout required");
+  }
+  return std::unique_ptr<WbmhDecayedSum>(
+      new WbmhDecayedSum(std::move(layout), options, /*owns_layout=*/false));
+}
+
+void WbmhDecayedSum::Update(Tick t, uint64_t value) {
+  counter_.Add(t, value);
+  if (owns_layout_) layout_->TrimLog(counter_.AppliedSeq());
+}
+
+double WbmhDecayedSum::Query(Tick now) {
+  const double estimate = counter_.Query(now);
+  if (owns_layout_) layout_->TrimLog(counter_.AppliedSeq());
+  return estimate;
+}
+
+Status WbmhDecayedSum::EncodeState(Encoder& encoder) {
+  if (!owns_layout_) {
+    return Status::FailedPrecondition(
+        "shared-layout WBMH sums are snapshotted via their layout owner");
+  }
+  counter_.Sync();
+  layout_->TrimLog(counter_.AppliedSeq());
+  encoder.PutDouble(layout_->epsilon());
+  encoder.PutSigned(layout_->start());
+  Status status = layout_->EncodeState(encoder);
+  if (!status.ok()) return status;
+  return counter_.EncodeState(encoder);
+}
+
+Status WbmhDecayedSum::DecodeState(Decoder& decoder) {
+  if (!owns_layout_) {
+    return Status::FailedPrecondition(
+        "shared-layout WBMH sums are snapshotted via their layout owner");
+  }
+  double epsilon = 0.0;
+  int64_t start = 0;
+  if (!decoder.GetDouble(&epsilon) || !decoder.GetSigned(&start)) {
+    return CorruptSnapshot("WBMH header");
+  }
+  if (epsilon != layout_->epsilon() || start != layout_->start()) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  Status status = layout_->DecodeState(decoder);
+  if (!status.ok()) return status;
+  return counter_.DecodeState(decoder);
+}
+
+size_t WbmhDecayedSum::StorageBits() const {
+  // Paper accounting: per-stream storage is the bucket counts only — the
+  // boundary process is a deterministic function of (g, eps, T) and is
+  // never stored per stream (Section 5).
+  return counter_.StorageBits();
+}
+
+}  // namespace tds

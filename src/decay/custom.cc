@@ -1,0 +1,58 @@
+#include "decay/custom.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<DecayPtr> CustomDecay::Create(WeightFn weight, Tick horizon,
+                                       std::string name) {
+  if (!weight) return Status::InvalidArgument("null weight function");
+  if (horizon < 1) return Status::InvalidArgument("horizon must be >= 1");
+  // Spot-check non-negativity and monotonicity on a geometric grid.
+  const Tick limit = std::min<Tick>(horizon, Tick{1} << 20);
+  double prev = weight(1);
+  if (prev < 0.0) return Status::InvalidArgument("negative weight at age 1");
+  for (Tick age = 2; age <= limit; age = age + std::max<Tick>(1, age / 3)) {
+    const double w = weight(age);
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    if (w > prev * (1.0 + 1e-12)) {
+      return Status::InvalidArgument("weight increases with age");
+    }
+    prev = w;
+  }
+  return DecayPtr(new CustomDecay(std::move(weight), horizon, std::move(name)));
+}
+
+double CustomDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  if (age > horizon_) return 0.0;
+  return weight_(age);
+}
+
+StatusOr<DecayPtr> MakeTableDecay(const std::vector<double>& weights,
+                                  Tick step, std::string name) {
+  if (weights.empty()) return Status::InvalidArgument("empty weight table");
+  if (step < 1) return Status::InvalidArgument("step must be >= 1");
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] > weights[i - 1]) {
+      return Status::InvalidArgument("weight table must be non-increasing");
+    }
+  }
+  if (weights.front() < 0.0 || weights.back() < 0.0) {
+    return Status::InvalidArgument("weights must be nonnegative");
+  }
+  const Tick horizon = static_cast<Tick>(weights.size()) * step;
+  std::vector<double> table = weights;
+  auto fn = [table, step](Tick age) -> double {
+    const size_t index = static_cast<size_t>((age - 1) / step);
+    if (index >= table.size()) return 0.0;
+    return table[index];
+  };
+  return CustomDecay::Create(std::move(fn), horizon, std::move(name));
+}
+
+}  // namespace tds

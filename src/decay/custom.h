@@ -1,0 +1,47 @@
+#ifndef TDS_DECAY_CUSTOM_H_
+#define TDS_DECAY_CUSTOM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "decay/decay_function.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// A decay function backed by an arbitrary callable. The CEH algorithm
+/// (Theorem 1) works for *any* decay function; this adapter lets users
+/// supply one. Monotonicity is the caller's responsibility; Validate()
+/// spot-checks it on a grid.
+class CustomDecay : public DecayFunction {
+ public:
+  using WeightFn = std::function<double(Tick age)>;
+
+  /// `horizon` may be kInfiniteHorizon. `name` is used in reports.
+  /// Fails if a grid probe finds a negative or increasing weight.
+  static StatusOr<DecayPtr> Create(WeightFn weight, Tick horizon,
+                                   std::string name);
+
+  double Weight(Tick age) const override;
+  Tick Horizon() const override { return horizon_; }
+  std::string Name() const override { return name_; }
+
+ private:
+  CustomDecay(WeightFn weight, Tick horizon, std::string name)
+      : weight_(std::move(weight)), horizon_(horizon), name_(std::move(name)) {}
+
+  WeightFn weight_;
+  Tick horizon_;
+  std::string name_;
+};
+
+/// Step decay from an explicit table: weight `weights[i]` for ages in
+/// (edges[i-1], edges[i]] style ranges. Useful for piecewise policies, and a
+/// stress case for CEH on non-smooth functions.
+StatusOr<DecayPtr> MakeTableDecay(const std::vector<double>& weights,
+                                  Tick step, std::string name);
+
+}  // namespace tds
+
+#endif  // TDS_DECAY_CUSTOM_H_

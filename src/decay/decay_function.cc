@@ -1,0 +1,40 @@
+#include "decay/decay_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tds {
+
+bool DecayFunction::IsWbmhAdmissible() const {
+  // Numeric probe: checks that r(x) = g(x) / g(x+1) is non-increasing along
+  // a dense-then-geometric grid of ages. A closed-form override is preferred
+  // where available (EXPD, POLYD, SLIWIN all override).
+  const Tick limit = std::min(Horizon(), kProbeLimit);
+  double prev_ratio = std::numeric_limits<double>::infinity();
+  Tick x = 1;
+  Tick step = 1;
+  int dense_steps = 0;
+  while (x + 1 <= limit) {
+    const double gx = Weight(x);
+    const double gx1 = Weight(x + 1);
+    if (gx1 <= 0.0) break;  // reached the horizon
+    const double ratio = gx / gx1;
+    // Allow a hair of floating-point slack.
+    if (ratio > prev_ratio * (1.0 + 1e-12)) return false;
+    prev_ratio = ratio;
+    // Dense for the first 4096 ages, then geometric.
+    if (++dense_steps > 4096) step = std::max<Tick>(1, step + step / 8);
+    x += step;
+  }
+  return true;
+}
+
+double DecayFunction::DynamicRange(Tick n) const {
+  const double head = Weight(1);
+  const double tail = Weight(n);
+  if (tail <= 0.0) return std::numeric_limits<double>::infinity();
+  return head / tail;
+}
+
+}  // namespace tds

@@ -1,0 +1,54 @@
+#ifndef TDS_DECAY_DECAY_FUNCTION_H_
+#define TDS_DECAY_DECAY_FUNCTION_H_
+
+#include <memory>
+#include <string>
+
+#include "util/common.h"
+
+namespace tds {
+
+/// A decay function g (paper Section 2): non-increasing, nonnegative weight
+/// as a function of item age. Ages are >= 1 under this library's convention
+/// (see AgeAt in util/common.h).
+///
+/// Implementations must be immutable and thread-compatible; one instance is
+/// typically shared (via shared_ptr) across many aggregate structures.
+class DecayFunction {
+ public:
+  virtual ~DecayFunction() = default;
+
+  /// Weight assigned to an item of age `age >= 1`. Must be non-increasing in
+  /// `age` and zero for ages beyond Horizon().
+  virtual double Weight(Tick age) const = 0;
+
+  /// N(g): the largest age with positive weight, or kInfiniteHorizon if the
+  /// function never nullifies. The paper's storage metric N is
+  /// min(elapsed time, Horizon()).
+  virtual Tick Horizon() const { return kInfiniteHorizon; }
+
+  /// Human-readable name, e.g. "POLYD(2.0)".
+  virtual std::string Name() const = 0;
+
+  /// True when g(x)/g(x+1) is non-increasing in x — the applicability
+  /// condition of weight-based merging histograms (Section 5): the ratio of
+  /// two items' weights stays fixed or approaches 1 as time passes.
+  /// Subclasses with a closed form override this; the default performs a
+  /// numeric check over a geometric grid of ages (up to `probe_limit`).
+  virtual bool IsWbmhAdmissible() const;
+
+  /// D(g) truncated at age n: Weight(1) / Weight(n). The WBMH bucket count
+  /// is O(eps^{-1} log D(g)) (Section 5). Returns +inf if Weight(n) == 0.
+  double DynamicRange(Tick n) const;
+
+ protected:
+  /// Age bound used by the default numeric admissibility probe.
+  static constexpr Tick kProbeLimit = Tick{1} << 22;
+};
+
+/// Shared handle used across the library.
+using DecayPtr = std::shared_ptr<const DecayFunction>;
+
+}  // namespace tds
+
+#endif  // TDS_DECAY_DECAY_FUNCTION_H_

@@ -1,0 +1,30 @@
+#include "decay/exponential.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<DecayPtr> ExponentialDecay::Create(double lambda) {
+  if (!(lambda > 0.0) || !std::isfinite(lambda)) {
+    return Status::InvalidArgument("EXPD requires lambda > 0");
+  }
+  return DecayPtr(new ExponentialDecay(lambda));
+}
+
+double ExponentialDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  return std::exp(-lambda_ * static_cast<double>(age));
+}
+
+std::string ExponentialDecay::Name() const {
+  return "EXPD(" + std::to_string(lambda_) + ")";
+}
+
+double ExponentialDecay::LambdaForHalfLife(double half_life) {
+  TDS_CHECK_GT(half_life, 0.0);
+  return std::log(2.0) / half_life;
+}
+
+}  // namespace tds

@@ -1,0 +1,39 @@
+#ifndef TDS_DECAY_EXPONENTIAL_H_
+#define TDS_DECAY_EXPONENTIAL_H_
+
+#include <string>
+
+#include "decay/decay_function.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Exponential decay EXPD_lambda (paper Section 3.1): g(x) = exp(-lambda x).
+/// The relative weight of two items is constant over time, so the decay's
+/// "view" of the past never changes — the property the paper's link example
+/// argues against for reliability ratings.
+class ExponentialDecay : public DecayFunction {
+ public:
+  /// lambda > 0.
+  static StatusOr<DecayPtr> Create(double lambda);
+
+  double Weight(Tick age) const override;
+  std::string Name() const override;
+
+  /// g(x)/g(x+1) = e^lambda is constant, hence non-increasing.
+  bool IsWbmhAdmissible() const override { return true; }
+
+  double lambda() const { return lambda_; }
+
+  /// Convenience: the lambda for which weight halves every `half_life` ticks.
+  static double LambdaForHalfLife(double half_life);
+
+ private:
+  explicit ExponentialDecay(double lambda) : lambda_(lambda) {}
+
+  double lambda_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_DECAY_EXPONENTIAL_H_

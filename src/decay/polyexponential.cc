@@ -1,0 +1,81 @@
+#include "decay/polyexponential.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+PolyExponentialDecay::PolyExponentialDecay(int k, double lambda)
+    : k_(k), lambda_(lambda) {
+  double factorial = 1.0;
+  for (int i = 2; i <= k; ++i) factorial *= i;
+  inv_k_factorial_ = 1.0 / factorial;
+}
+
+StatusOr<DecayPtr> PolyExponentialDecay::Create(int k, double lambda) {
+  if (k < 0) return Status::InvalidArgument("PolyExp requires k >= 0");
+  if (k > 20) {
+    return Status::InvalidArgument("PolyExp supports k <= 20 (k! overflow)");
+  }
+  if (!(lambda > 0.0) || !std::isfinite(lambda)) {
+    return Status::InvalidArgument("PolyExp requires lambda > 0");
+  }
+  return DecayPtr(new PolyExponentialDecay(k, lambda));
+}
+
+double PolyExponentialDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  const double x = static_cast<double>(age);
+  return std::pow(x, k_) * std::exp(-lambda_ * x) * inv_k_factorial_;
+}
+
+std::string PolyExponentialDecay::Name() const {
+  return "POLYEXP(k=" + std::to_string(k_) + ",lambda=" +
+         std::to_string(lambda_) + ")";
+}
+
+StatusOr<DecayPtr> GeneralPolyExpDecay::Create(
+    std::vector<double> coefficients, double lambda) {
+  if (coefficients.empty() || coefficients.size() > 21) {
+    return Status::InvalidArgument("polynomial degree must be in [0, 20]");
+  }
+  bool any_positive = false;
+  for (double c : coefficients) {
+    if (c < 0.0 || !std::isfinite(c)) {
+      return Status::InvalidArgument("coefficients must be nonnegative");
+    }
+    any_positive |= c > 0.0;
+  }
+  if (!any_positive) {
+    return Status::InvalidArgument("polynomial must not be identically zero");
+  }
+  if (!(lambda > 0.0) || !std::isfinite(lambda)) {
+    return Status::InvalidArgument("lambda must be > 0");
+  }
+  return DecayPtr(new GeneralPolyExpDecay(std::move(coefficients), lambda));
+}
+
+double GeneralPolyExpDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  const double x = static_cast<double>(age);
+  double p = 0.0;
+  for (size_t j = coefficients_.size(); j-- > 0;) {
+    p = p * x + coefficients_[j];
+  }
+  return p * std::exp(-lambda_ * x);
+}
+
+std::string GeneralPolyExpDecay::Name() const {
+  std::string name = "GENPOLYEXP(deg=" + std::to_string(degree()) +
+                     ",lambda=" + std::to_string(lambda_) + ")";
+  return name;
+}
+
+bool GeneralPolyExpDecay::IsWbmhAdmissible() const {
+  // Constant polynomial reduces to pure exponential decay (admissible);
+  // anything with a rising part fails the monotone-ratio property.
+  return degree() == 0;
+}
+
+}  // namespace tds

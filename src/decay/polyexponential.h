@@ -1,0 +1,71 @@
+#ifndef TDS_DECAY_POLYEXPONENTIAL_H_
+#define TDS_DECAY_POLYEXPONENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "decay/decay_function.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Polyexponential decay (paper Section 3.4): g(x) = x^k e^{-lambda x} / k!.
+/// Non-monotone in general (rises to x = k/lambda then decays); the paper
+/// tracks it by reduction to k+1 pipelined exponential registers (Brown's
+/// double/triple exponential smoothing for k = 1, 2). Because the weight is
+/// not non-increasing for k >= 1, this family is handled by its dedicated
+/// PolyExpCounter rather than the histogram algorithms; Weight() still
+/// reports g for reference computations.
+class PolyExponentialDecay : public DecayFunction {
+ public:
+  /// k >= 0, lambda > 0.
+  static StatusOr<DecayPtr> Create(int k, double lambda);
+
+  double Weight(Tick age) const override;
+  std::string Name() const override;
+
+  /// Monotone only for k = 0; the ratio test also fails on the rising part.
+  bool IsWbmhAdmissible() const override { return k_ == 0; }
+
+  int k() const { return k_; }
+  double lambda() const { return lambda_; }
+
+ private:
+  PolyExponentialDecay(int k, double lambda);
+
+  int k_;
+  double lambda_;
+  double inv_k_factorial_;
+};
+
+/// General polyexponential decay g(x) = p(x) e^{-lambda x} for an arbitrary
+/// polynomial p with nonnegative coefficients (paper Section 3.4: decay by
+/// p_k(x) e^{-lambda x} reduces to k+1 pipelined exponential registers).
+/// Like the monomial case, g is generally non-monotone; it is maintained
+/// by GeneralPolyExpSum, not by the histogram algorithms.
+class GeneralPolyExpDecay : public DecayFunction {
+ public:
+  /// coefficients[j] multiplies x^j; at least one must be positive, all
+  /// nonnegative (so g >= 0), degree <= 20. lambda > 0.
+  static StatusOr<DecayPtr> Create(std::vector<double> coefficients,
+                                   double lambda);
+
+  double Weight(Tick age) const override;
+  std::string Name() const override;
+  bool IsWbmhAdmissible() const override;
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  double lambda() const { return lambda_; }
+  int degree() const { return static_cast<int>(coefficients_.size()) - 1; }
+
+ private:
+  GeneralPolyExpDecay(std::vector<double> coefficients, double lambda)
+      : coefficients_(std::move(coefficients)), lambda_(lambda) {}
+
+  std::vector<double> coefficients_;
+  double lambda_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_DECAY_POLYEXPONENTIAL_H_

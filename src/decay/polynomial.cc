@@ -1,0 +1,46 @@
+#include "decay/polynomial.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<DecayPtr> PolynomialDecay::Create(double alpha) {
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("POLYD requires alpha > 0");
+  }
+  return DecayPtr(new PolynomialDecay(alpha));
+}
+
+double PolynomialDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  return std::pow(static_cast<double>(age), -alpha_);
+}
+
+std::string PolynomialDecay::Name() const {
+  return "POLYD(" + std::to_string(alpha_) + ")";
+}
+
+StatusOr<DecayPtr> ShiftedPolynomialDecay::Create(double alpha, double shift) {
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("shifted POLYD requires alpha > 0");
+  }
+  if (!(shift >= 0.0) || !std::isfinite(shift)) {
+    return Status::InvalidArgument("shifted POLYD requires shift >= 0");
+  }
+  return DecayPtr(new ShiftedPolynomialDecay(alpha, shift));
+}
+
+double ShiftedPolynomialDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  return std::pow((static_cast<double>(age) + shift_) / (1.0 + shift_),
+                  -alpha_);
+}
+
+std::string ShiftedPolynomialDecay::Name() const {
+  return "SHIFTPOLYD(" + std::to_string(alpha_) + "," +
+         std::to_string(shift_) + ")";
+}
+
+}  // namespace tds

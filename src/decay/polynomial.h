@@ -1,0 +1,63 @@
+#ifndef TDS_DECAY_POLYNOMIAL_H_
+#define TDS_DECAY_POLYNOMIAL_H_
+
+#include <string>
+
+#include "decay/decay_function.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Polynomial decay POLYD_alpha (paper Section 3.3): g(x) = x^{-alpha}.
+/// The paper's headline family: the relative weights of two items approach 1
+/// over time (severity can outlast recency), log D(g) = alpha log N, and the
+/// WBMH tracks it in O(log N log log N) bits (Lemma 5.1) against the
+/// Omega(log N) lower bound of Theorem 2.
+class PolynomialDecay : public DecayFunction {
+ public:
+  /// alpha > 0.
+  static StatusOr<DecayPtr> Create(double alpha);
+
+  double Weight(Tick age) const override;
+  std::string Name() const override;
+
+  /// g(x)/g(x+1) = (1 + 1/x)^alpha is strictly decreasing in x.
+  bool IsWbmhAdmissible() const override { return true; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  explicit PolynomialDecay(double alpha) : alpha_(alpha) {}
+
+  double alpha_;
+};
+
+/// Shifted polynomial decay: g(x) = ((x + shift) / (1 + shift))^{-alpha},
+/// normalized so g(1) = 1. The shift flattens the decay for young ages (the
+/// first `shift` ticks lose little weight) while keeping the polynomial
+/// tail — a practical tuning knob between SLIWIN-like plateaus and pure
+/// POLYD, still WBMH-admissible (the ratio g(x)/g(x+1) = ((x+1+s)/(x+s))^a
+/// is decreasing in x).
+class ShiftedPolynomialDecay : public DecayFunction {
+ public:
+  /// alpha > 0, shift >= 0.
+  static StatusOr<DecayPtr> Create(double alpha, double shift);
+
+  double Weight(Tick age) const override;
+  std::string Name() const override;
+  bool IsWbmhAdmissible() const override { return true; }
+
+  double alpha() const { return alpha_; }
+  double shift() const { return shift_; }
+
+ private:
+  ShiftedPolynomialDecay(double alpha, double shift)
+      : alpha_(alpha), shift_(shift) {}
+
+  double alpha_;
+  double shift_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_DECAY_POLYNOMIAL_H_

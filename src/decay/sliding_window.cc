@@ -1,0 +1,23 @@
+#include "decay/sliding_window.h"
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<DecayPtr> SlidingWindowDecay::Create(Tick window) {
+  if (window < 1) {
+    return Status::InvalidArgument("SLIWIN requires window >= 1");
+  }
+  return DecayPtr(new SlidingWindowDecay(window));
+}
+
+double SlidingWindowDecay::Weight(Tick age) const {
+  TDS_CHECK_GE(age, 1);
+  return age <= window_ ? 1.0 : 0.0;
+}
+
+std::string SlidingWindowDecay::Name() const {
+  return "SLIWIN(" + std::to_string(window_) + ")";
+}
+
+}  // namespace tds

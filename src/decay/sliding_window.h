@@ -1,0 +1,38 @@
+#ifndef TDS_DECAY_SLIDING_WINDOW_H_
+#define TDS_DECAY_SLIDING_WINDOW_H_
+
+#include <string>
+
+#include "decay/decay_function.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Sliding-window decay SLIWIN_W (paper Section 3.2): g(x) = 1 for x <= W
+/// and 0 beyond. Introduced by Datar, Gionis, Indyk & Motwani, who showed
+/// Theta(eps^{-1} log^2 W) bits suffice and are necessary.
+class SlidingWindowDecay : public DecayFunction {
+ public:
+  /// window >= 1 ticks.
+  static StatusOr<DecayPtr> Create(Tick window);
+
+  double Weight(Tick age) const override;
+  Tick Horizon() const override { return window_; }
+  std::string Name() const override;
+
+  /// g(x)/g(x+1) jumps from 1 to +inf at the window edge, so the weight
+  /// ratio of two items *diverges* instead of approaching 1: sliding
+  /// windows are not WBMH-admissible (Section 5).
+  bool IsWbmhAdmissible() const override { return false; }
+
+  Tick window() const { return window_; }
+
+ private:
+  explicit SlidingWindowDecay(Tick window) : window_(window) {}
+
+  Tick window_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_DECAY_SLIDING_WINDOW_H_

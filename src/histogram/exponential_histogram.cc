@@ -1,0 +1,348 @@
+#include "histogram/exponential_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tds {
+
+ExponentialHistogram::ExponentialHistogram(const Options& options)
+    : epsilon_(options.epsilon), window_(options.window) {
+  // Per-class bucket budget k = ceil(1/eps) + 1 (Datar et al.): with at
+  // least cap_-1 buckets per smaller class, the straddling bucket's
+  // half-count correction is at most an eps fraction of the window count,
+  // including the worst case of a size-2 straddler.
+  cap_ = static_cast<uint64_t>(std::ceil(1.0 / epsilon_)) + 1;
+}
+
+StatusOr<ExponentialHistogram> ExponentialHistogram::Create(
+    const Options& options) {
+  if (!(options.epsilon > 0.0) || options.epsilon > 1.0) {
+    return Status::InvalidArgument("EH requires epsilon in (0, 1]");
+  }
+  if (options.window < 1) {
+    return Status::InvalidArgument("EH requires window >= 1");
+  }
+  return ExponentialHistogram(options);
+}
+
+void ExponentialHistogram::AdvanceTo(Tick t) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  Expire();
+}
+
+void ExponentialHistogram::Add(Tick t, uint64_t value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  if (value == 0) {
+    Expire();
+    return;
+  }
+  if (first_arrival_ == 0) first_arrival_ = t;
+  total_count_ += value;
+  InsertUnits(t, value);
+  Expire();
+}
+
+void ExponentialHistogram::InsertUnits(Tick t, uint64_t incoming_units) {
+  // `virtual_new` tracks not-yet-materialized buckets of count 2^i, all with
+  // timestamp t. Real carry buckets (which may carry older timestamps when
+  // pre-existing buckets get merged) are materialized eagerly; there are at
+  // most `cap_` of them per class, so the whole insertion costs
+  // O(cap_ * log(value)) instead of O(value).
+  uint64_t virtual_new = incoming_units;
+  std::vector<Bucket> real_carries;
+  size_t i = 0;
+  while (true) {
+    if (i >= classes_.size()) classes_.emplace_back();
+    auto& cls = classes_[i];
+    const uint64_t total = cls.size() + virtual_new;
+    uint64_t next_virtual = 0;
+    real_carries.clear();
+    if (total > cap_) {
+      // Sequential-insertion semantics: a merge fires each time the class
+      // reaches cap_+1 buckets, so `merges` pairs of the oldest buckets
+      // combine into the next class.
+      const uint64_t merges = (total - cap_ + 1) / 2;
+      for (uint64_t m = 0; m < merges; ++m) {
+        if (cls.size() >= 2) {
+          // Two oldest are both pre-existing buckets.
+          Bucket a = cls.front();
+          cls.pop_front();
+          Bucket b = cls.front();
+          cls.pop_front();
+          real_carries.push_back(Bucket{b.end, a.count + b.count});
+        } else if (cls.size() == 1) {
+          // One pre-existing bucket pairs with one incoming unit-bucket.
+          Bucket a = cls.front();
+          cls.pop_front();
+          TDS_CHECK_GE(virtual_new, 1u);
+          --virtual_new;
+          real_carries.push_back(Bucket{t, a.count << 1});
+        } else {
+          // All remaining merges pair incoming buckets with each other:
+          // pure arithmetic, so close them out in one step (this is what
+          // keeps huge-value insertion O(log v) instead of O(v)).
+          const uint64_t remaining = merges - m;
+          TDS_CHECK_GE(virtual_new, 2 * remaining);
+          virtual_new -= 2 * remaining;
+          next_virtual += remaining;
+          break;
+        }
+      }
+    }
+    // Materialize the surviving incoming buckets (newest in the class).
+    const uint64_t unit = uint64_t{1} << i;
+    for (uint64_t v = 0; v < virtual_new; ++v) cls.push_back(Bucket{t, unit});
+
+    if (real_carries.empty() && next_virtual == 0) break;
+    if (i + 1 >= classes_.size()) classes_.emplace_back();
+    // Carries were produced oldest-first and are newer than everything
+    // already in class i+1, so appending preserves the ordering invariant.
+    for (const Bucket& carry : real_carries) classes_[i + 1].push_back(carry);
+    virtual_new = next_virtual;
+    ++i;
+  }
+}
+
+void ExponentialHistogram::Expire() {
+  if (window_ == kInfiniteHorizon || total_count_ == 0) return;
+  const Tick cutoff = now_ - window_ + 1;  // arrivals < cutoff have age > W
+  for (size_t c = classes_.size(); c-- > 0;) {
+    auto& cls = classes_[c];
+    while (!cls.empty() && cls.front().end < cutoff) {
+      total_count_ -= cls.front().count;
+      cls.pop_front();
+    }
+    // Ordering invariant: once a bucket in this class survives, every
+    // bucket in lower classes is newer and survives too.
+    if (!cls.empty()) break;
+  }
+}
+
+double ExponentialHistogram::Estimate() const {
+  return EstimateWindow(window_ == kInfiniteHorizon
+                            ? (first_arrival_ == 0
+                                   ? Tick{1}
+                                   : now_ - first_arrival_ + 1)
+                            : window_);
+}
+
+double ExponentialHistogram::EstimateWindow(Tick w) const {
+  TDS_CHECK_GE(w, 1);
+  if (total_count_ == 0) return 0.0;
+  const Tick cutoff = now_ - w + 1;
+  double sum = 0.0;
+  bool found_oldest_kept = false;
+  double oldest_kept_count = 0.0;
+  bool any_skipped = false;
+  ForEachBucketOldestFirst([&](const Bucket& b) {
+    if (b.end < cutoff) {
+      any_skipped = true;
+      return;
+    }
+    if (!found_oldest_kept) {
+      found_oldest_kept = true;
+      oldest_kept_count = static_cast<double>(b.count);
+    }
+    sum += static_cast<double>(b.count);
+  });
+  if (!found_oldest_kept) return 0.0;
+  // The oldest kept bucket straddles the window boundary unless the entire
+  // stream lies inside the window; count half of it in that case. A size-1
+  // bucket never straddles: its single item sits exactly at the stored
+  // timestamp, which is inside the window.
+  if (oldest_kept_count > 1.5 && (any_skipped || first_arrival_ < cutoff)) {
+    sum -= oldest_kept_count / 2.0;
+  }
+  return sum;
+}
+
+size_t ExponentialHistogram::BucketCount() const {
+  size_t n = 0;
+  for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+std::vector<ExponentialHistogram::Bucket> ExponentialHistogram::Buckets()
+    const {
+  std::vector<Bucket> out;
+  out.reserve(BucketCount());
+  ForEachBucketOldestFirst([&](const Bucket& b) { out.push_back(b); });
+  return out;
+}
+
+Status ExponentialHistogram::MergeFrom(const ExponentialHistogram& other) {
+  if (other.epsilon_ != epsilon_ || other.window_ != window_) {
+    return Status::InvalidArgument(
+        "cannot merge histograms with different options");
+  }
+  // Gather both bucket lists and rebuild canonically. A bucket only
+  // records its end timestamp, but its items are spread back to the older
+  // neighbor's end; re-stamping everything at one point would bias the
+  // union estimate (newer -> systematic overweight under decay, older ->
+  // spurious expiry under sliding windows). Instead each input bucket is
+  // split into up to kMergeChunks pseudo-batches spread evenly across its
+  // reconstructed span (the last chunk exactly at the recorded end, so
+  // expiry semantics stay end-anchored), preserving the time distribution
+  // to within span/kMergeChunks.
+  constexpr uint64_t kMergeChunks = 8;
+  std::vector<Bucket> combined;
+  combined.reserve(kMergeChunks * (BucketCount() + other.BucketCount()));
+  auto gather = [&combined](const ExponentialHistogram& source) {
+    // Live buckets contain only in-window items, but the reconstructed
+    // span of the oldest one reaches back to the first arrival (older
+    // buckets expired wholesale); clamp to the window so chunks are not
+    // spuriously expired on re-insertion.
+    Tick floor = source.first_arrival();
+    if (source.window() != kInfiniteHorizon) {
+      floor = std::max(floor, source.now() - source.window() + 1);
+    }
+    Tick previous_end = floor;
+    source.ForEachBucketOldestFirst([&](const Bucket& b) {
+      const Tick start = std::max(previous_end, floor);
+      previous_end = b.end + 1;
+      const Tick span = b.end - start;
+      const uint64_t chunks =
+          std::min<uint64_t>({kMergeChunks, b.count,
+                              static_cast<uint64_t>(span) + 1});
+      uint64_t remaining = b.count;
+      for (uint64_t c = 0; c < chunks; ++c) {
+        const uint64_t piece =
+            c + 1 == chunks ? remaining : b.count / chunks;
+        remaining -= piece;
+        // Chunk c covers the c-th slice of [start, end]; stamp it at the
+        // slice end so the newest chunk sits exactly at b.end.
+        const Tick stamp =
+            start + span * static_cast<Tick>(c + 1) /
+                        static_cast<Tick>(chunks);
+        combined.push_back(Bucket{stamp, piece});
+      }
+    });
+  };
+  gather(*this);
+  gather(other);
+  std::stable_sort(
+      combined.begin(), combined.end(),
+      [](const Bucket& a, const Bucket& b) { return a.end < b.end; });
+
+  const Tick merged_now = std::max(now_, other.now_);
+  Tick merged_first = 0;
+  if (first_arrival_ != 0 && other.first_arrival_ != 0) {
+    merged_first = std::min(first_arrival_, other.first_arrival_);
+  } else {
+    merged_first = first_arrival_ != 0 ? first_arrival_
+                                       : other.first_arrival_;
+  }
+
+  classes_.clear();
+  total_count_ = 0;
+  now_ = 0;
+  first_arrival_ = 0;
+  for (const Bucket& b : combined) {
+    Add(b.end, b.count);
+  }
+  now_ = merged_now;
+  first_arrival_ = merged_first;
+  Expire();
+  return Status::OK();
+}
+
+void ExponentialHistogram::EncodeState(Encoder& encoder) const {
+  encoder.PutDouble(epsilon_);
+  encoder.PutSigned(window_);
+  encoder.PutSigned(now_);
+  encoder.PutSigned(first_arrival_);
+  encoder.PutVarint(total_count_);
+  encoder.PutVarint(classes_.size());
+  for (const auto& cls : classes_) {
+    encoder.PutVarint(cls.size());
+    Tick previous = 0;
+    for (const Bucket& b : cls) {
+      encoder.PutVarint(static_cast<uint64_t>(b.end - previous));
+      previous = b.end;
+      encoder.PutVarint(b.count);
+    }
+  }
+}
+
+Status ExponentialHistogram::DecodeState(Decoder& decoder) {
+  double epsilon = 0.0;
+  int64_t window = 0, now = 0, first_arrival = 0;
+  uint64_t total = 0, class_count = 0;
+  if (!decoder.GetDouble(&epsilon) || !decoder.GetSigned(&window) ||
+      !decoder.GetSigned(&now) || !decoder.GetSigned(&first_arrival) ||
+      !decoder.GetVarint(&total) || !decoder.GetVarint(&class_count)) {
+    return CorruptSnapshot("EH header");
+  }
+  if (epsilon != epsilon_ || window != window_) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  if (class_count > 64) return CorruptSnapshot("EH class count");
+  if (now < 0 || first_arrival < 0 || first_arrival > now) {
+    return CorruptSnapshot("EH clock");
+  }
+  now_ = now;
+  first_arrival_ = first_arrival;
+  total_count_ = total;
+  classes_.assign(class_count, {});
+  for (auto& cls : classes_) {
+    uint64_t buckets = 0;
+    if (!decoder.GetVarint(&buckets) || buckets > 2 * cap_ + 2) {
+      return CorruptSnapshot("EH class size");
+    }
+    Tick previous = 0;
+    for (uint64_t i = 0; i < buckets; ++i) {
+      uint64_t delta = 0, count = 0;
+      if (!decoder.GetVarint(&delta) || !decoder.GetVarint(&count)) {
+        return CorruptSnapshot("EH bucket");
+      }
+      previous += static_cast<Tick>(delta);
+      cls.push_back(Bucket{previous, count});
+    }
+  }
+  // Structural invariants (hostile snapshots must not yield a structure
+  // that later trips internal CHECKs): power-of-two counts matching the
+  // class, end timestamps within [first_arrival, now] strictly ascending
+  // within a class, the canonical class-ordering invariant, and a count
+  // checksum.
+  uint64_t checksum = 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    const uint64_t expected = uint64_t{1} << c;
+    Tick previous = 0;
+    for (const Bucket& b : classes_[c]) {
+      if (b.count != expected) return CorruptSnapshot("EH bucket size");
+      // Equal timestamps are legal (several buckets can come from one
+      // batch insert); only strict inversions are corrupt.
+      if (b.end < first_arrival_ || b.end > now_ || b.end < previous) {
+        return CorruptSnapshot("EH bucket order");
+      }
+      previous = b.end;
+      checksum += b.count;
+    }
+  }
+  for (size_t c = 0; c + 1 < classes_.size(); ++c) {
+    if (classes_[c].empty() || classes_[c + 1].empty()) continue;
+    if (classes_[c].front().end < classes_[c + 1].back().end) {
+      return CorruptSnapshot("EH class order");
+    }
+  }
+  if (checksum != total_count_) return CorruptSnapshot("EH total");
+  return Status::OK();
+}
+
+size_t ExponentialHistogram::StorageBits() const {
+  const Tick elapsed =
+      first_arrival_ == 0 ? Tick{1} : now_ - first_arrival_ + 1;
+  const Tick n_eff =
+      window_ == kInfiniteHorizon ? elapsed : std::min(elapsed, window_);
+  const double ts_bits =
+      std::ceil(std::log2(static_cast<double>(n_eff) + 1.0));
+  const double count_log =
+      std::log2(static_cast<double>(std::max<uint64_t>(total_count_, 2)));
+  const double exp_bits = std::ceil(std::log2(count_log + 1.0));
+  return static_cast<size_t>(
+      static_cast<double>(BucketCount()) * (ts_bits + exp_bits) + ts_bits);
+}
+
+}  // namespace tds

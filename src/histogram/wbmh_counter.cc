@@ -1,0 +1,169 @@
+#include "histogram/wbmh_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/common.h"
+
+namespace tds {
+
+WbmhCounter::WbmhCounter(std::shared_ptr<WbmhLayout> layout,
+                         const Options& options)
+    : layout_(std::move(layout)), count_epsilon_(options.count_epsilon) {
+  TDS_CHECK(layout_ != nullptr);
+  if (count_epsilon_ > 0.0) {
+    // RoundedCounter's per-round factor is (1 + 2^{1-bits}); choose bits so
+    // that factor <= 1 + eps (the level schedule widens it from here).
+    base_mantissa_bits_ = std::max(
+        2, static_cast<int>(std::ceil(std::log2(2.0 / count_epsilon_))));
+  } else {
+    base_mantissa_bits_ = 0;
+  }
+  applied_seq_ = layout_->OpSeq();
+}
+
+int WbmhCounter::MantissaBitsForLevel(uint32_t level) const {
+  if (base_mantissa_bits_ == 0) return 0;
+  // beta_i = eps / i^2 schedule (paper Section 5, unknown-N variant):
+  // 2 * log2(level) extra bits at merge level `level`.
+  const uint32_t l = std::max<uint32_t>(level, 1);
+  const int extra =
+      2 * static_cast<int>(std::ceil(std::log2(static_cast<double>(l) + 1.0)));
+  return base_mantissa_bits_ + extra;
+}
+
+void WbmhCounter::Sync() {
+  const uint64_t latest = layout_->OpSeq();
+  TDS_CHECK_MSG(applied_seq_ >= layout_->LogStart(),
+                "layout op log was trimmed past this counter's position");
+  for (; applied_seq_ < latest; ++applied_seq_) {
+    const WbmhLayout::Op& op = layout_->OpAt(applied_seq_);
+    switch (op.kind) {
+      case WbmhLayout::OpKind::kSeal:
+        break;  // counts materialize lazily on first Add
+      case WbmhLayout::OpKind::kMerge: {
+        auto right = counts_.find(op.b);
+        if (right == counts_.end()) break;
+        Cell absorbed = right->second;
+        counts_.erase(right);
+        Cell& left = counts_[op.a];
+        const uint32_t level =
+            std::max(left.level, absorbed.level) + 1;
+        left.level = level;
+        left.count.set_mantissa_bits(MantissaBitsForLevel(level));
+        left.count.Merge(absorbed.count);
+        break;
+      }
+      case WbmhLayout::OpKind::kDrop:
+        counts_.erase(op.a);
+        break;
+    }
+  }
+}
+
+void WbmhCounter::Add(Tick t, uint64_t value) {
+  layout_->AdvanceTo(t);
+  Sync();
+  if (value == 0) return;
+  const uint64_t bucket = layout_->BucketForArrival(t);
+  TDS_CHECK_MSG(bucket != 0, "arrival tick is before the oldest live bucket");
+  Cell& cell = counts_[bucket];
+  if (cell.count.mantissa_bits() == 0 && base_mantissa_bits_ > 0) {
+    cell.count.set_mantissa_bits(MantissaBitsForLevel(cell.level));
+  }
+  cell.count.Add(static_cast<double>(value));
+}
+
+double WbmhCounter::Query(Tick now) {
+  layout_->AdvanceTo(now);
+  Sync();
+  double sum = 0.0;
+  const DecayFunction& g = *layout_->decay();
+  layout_->ForEachSpanOldestFirst([&](const WbmhLayout::BucketSpan& span) {
+    auto it = counts_.find(span.id);
+    if (it == counts_.end() || it->second.count.IsZero()) return;
+    // All slots in a bucket carry weights within (1+eps); weight by the
+    // newest slot (one-sided overestimate, matching the paper's analysis).
+    const Tick age = std::max<Tick>(1, AgeAt(std::min(span.end, now), now));
+    sum += it->second.count.Value() * g.Weight(age);
+  });
+  return sum;
+}
+
+double WbmhCounter::RawTotal() const {
+  double total = 0.0;
+  for (const auto& [id, cell] : counts_) total += cell.count.Value();
+  return total;
+}
+
+Status WbmhCounter::EncodeState(Encoder& encoder) const {
+  if (applied_seq_ != layout_->OpSeq()) {
+    return Status::FailedPrecondition("counter not synced before encoding");
+  }
+  encoder.PutDouble(count_epsilon_);
+  encoder.PutVarint(applied_seq_);
+  encoder.PutVarint(counts_.size());
+  for (const auto& [id, cell] : counts_) {
+    encoder.PutVarint(id);
+    encoder.PutDouble(cell.count.Value());
+    encoder.PutVarint(cell.level);
+  }
+  return Status::OK();
+}
+
+Status WbmhCounter::DecodeState(Decoder& decoder) {
+  double count_epsilon = 0.0;
+  uint64_t applied = 0, size = 0;
+  if (!decoder.GetDouble(&count_epsilon) || !decoder.GetVarint(&applied) ||
+      !decoder.GetVarint(&size)) {
+    return CorruptSnapshot("WBMH counter header");
+  }
+  // count_epsilon is derived configuration: adopt the snapshot's value.
+  count_epsilon_ = count_epsilon;
+  if (count_epsilon_ > 0.0) {
+    base_mantissa_bits_ = std::max(
+        2, static_cast<int>(std::ceil(std::log2(2.0 / count_epsilon_))));
+  } else {
+    base_mantissa_bits_ = 0;
+  }
+  if (applied != layout_->OpSeq() || applied < layout_->LogStart()) {
+    return Status::FailedPrecondition(
+        "counter snapshot does not match the layout's op sequence");
+  }
+  applied_seq_ = applied;
+  counts_.clear();
+  for (uint64_t i = 0; i < size; ++i) {
+    uint64_t id = 0, level = 0;
+    double value = 0.0;
+    if (!decoder.GetVarint(&id) || !decoder.GetDouble(&value) ||
+        !decoder.GetVarint(&level)) {
+      return CorruptSnapshot("WBMH counter cell");
+    }
+    if (id == 0 || !std::isfinite(value) || value < 0.0 || level > 64) {
+      return CorruptSnapshot("WBMH counter cell value");
+    }
+    Cell cell;
+    cell.level = static_cast<uint32_t>(level);
+    cell.count.set_mantissa_bits(MantissaBitsForLevel(cell.level));
+    cell.count.Add(value);
+    counts_[id] = cell;
+  }
+  return Status::OK();
+}
+
+size_t WbmhCounter::StorageBits() const {
+  const double max_count = std::max(RawTotal(), 2.0);
+  size_t bits = 0;
+  for (const auto& [id, cell] : counts_) {
+    bits += static_cast<size_t>(cell.count.StorageBits(max_count));
+  }
+  // One op-sequence register (clock analogue), log2 of elapsed ticks.
+  const Tick elapsed = std::max<Tick>(2, layout_->now() - layout_->start() + 1);
+  bits += static_cast<size_t>(
+      std::ceil(std::log2(static_cast<double>(elapsed) + 1.0)));
+  return bits;
+}
+
+}  // namespace tds

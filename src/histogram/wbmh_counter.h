@@ -1,0 +1,88 @@
+#ifndef TDS_HISTOGRAM_WBMH_COUNTER_H_
+#define TDS_HISTOGRAM_WBMH_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "histogram/wbmh_layout.h"
+#include "util/rounded_counter.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Per-stream state of a Weight-Based Merging Histogram (paper Section 5):
+/// one (approximate) count per layout bucket, keyed by the layout's stable
+/// bucket ids. Boundaries live in the shared WbmhLayout; this object stores
+/// only counts, which is the paper's point — for 100M customer streams the
+/// boundary process is amortized across all of them.
+///
+/// Counts are held in RoundedCounter registers of ~log(1/eps) significant
+/// bits. Each merge re-rounds once; tracking the merge level l and widening
+/// the mantissa by 2*log2(l) bits implements the paper's beta_i = eps/i^2
+/// schedule, so the total multiplicative drift stays below (1 + eps) without
+/// knowing N in advance.
+class WbmhCounter {
+ public:
+  struct Options {
+    /// Count-rounding precision: accumulated rounding drift stays below
+    /// (1 + count_epsilon). Zero or negative disables rounding (exact
+    /// counts; the CEH-vs-WBMH ablation uses this).
+    double count_epsilon = 0.0;
+  };
+
+  WbmhCounter(std::shared_ptr<WbmhLayout> layout, const Options& options);
+
+  /// Adds `value` unit items arriving at tick t. Advances the shared layout
+  /// to t and replays any pending structural ops first.
+  void Add(Tick t, uint64_t value);
+
+  /// Replays structural ops up to the layout's current sequence number
+  /// without adding data (call before WbmhLayout::TrimLog when sharing).
+  void Sync();
+
+  /// Estimated decayed sum at time `now` (advances the layout).
+  /// Each bucket contributes count * g(age of its newest slot).
+  double Query(Tick now);
+
+  /// Sum of all bucket counts (no decay weighting).
+  double RawTotal() const;
+
+  /// Number of buckets with nonzero counts.
+  size_t ActiveBuckets() const { return counts_.size(); }
+
+  /// Last layout op sequence number applied.
+  uint64_t AppliedSeq() const { return applied_seq_; }
+
+  /// Storage bits under the paper's metric: per active bucket, the rounded
+  /// counter's mantissa+exponent (or exact log-count bits), plus one
+  /// sequence register. Boundary storage is *not* charged here — it is
+  /// shared across streams (charge the layout separately if unshared).
+  size_t StorageBits() const;
+
+  const std::shared_ptr<WbmhLayout>& layout() const { return layout_; }
+
+  /// Snapshot support. The counter must be synced to the layout's current
+  /// op sequence (Sync()) before encoding.
+  Status EncodeState(class Encoder& encoder) const;
+  Status DecodeState(class Decoder& decoder);
+
+ private:
+  struct Cell {
+    RoundedCounter count;
+    uint32_t level = 0;  ///< Merge depth, drives the mantissa schedule.
+  };
+
+  int MantissaBitsForLevel(uint32_t level) const;
+
+  std::shared_ptr<WbmhLayout> layout_;
+  double count_epsilon_;
+  int base_mantissa_bits_;  ///< 0 when rounding is disabled.
+
+  std::unordered_map<uint64_t, Cell> counts_;
+  uint64_t applied_seq_ = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_HISTOGRAM_WBMH_COUNTER_H_

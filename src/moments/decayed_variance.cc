@@ -1,0 +1,50 @@
+#include "moments/decayed_variance.h"
+
+#include <algorithm>
+
+namespace tds {
+
+StatusOr<DecayedVariance> DecayedVariance::Create(
+    DecayPtr decay, const AggregateOptions& options) {
+  auto second = MakeDecayedSum(decay, options);
+  if (!second.ok()) return second.status();
+  auto first = MakeDecayedSum(decay, options);
+  if (!first.ok()) return first.status();
+  auto mass = MakeDecayedSum(decay, options);
+  if (!mass.ok()) return mass.status();
+  return DecayedVariance(std::move(second).value(), std::move(first).value(),
+                         std::move(mass).value());
+}
+
+void DecayedVariance::Observe(Tick t, uint64_t value) {
+  second_->Update(t, value * value);
+  first_->Update(t, value);
+  mass_->Update(t, 1);
+}
+
+double DecayedVariance::QueryVg(Tick now) {
+  const double mass = mass_->Query(now);
+  if (mass <= 0.0) return 0.0;
+  const double s1 = first_->Query(now);
+  const double s2 = second_->Query(now);
+  return std::max(0.0, s2 - s1 * s1 / mass);
+}
+
+double DecayedVariance::QueryVariance(Tick now) {
+  const double mass = mass_->Query(now);
+  if (mass <= 0.0) return 0.0;
+  return QueryVg(now) / mass;
+}
+
+double DecayedVariance::QueryMean(Tick now) {
+  const double mass = mass_->Query(now);
+  if (mass <= 0.0) return 0.0;
+  return first_->Query(now) / mass;
+}
+
+size_t DecayedVariance::StorageBits() const {
+  return second_->StorageBits() + first_->StorageBits() +
+         mass_->StorageBits();
+}
+
+}  // namespace tds

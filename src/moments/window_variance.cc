@@ -1,0 +1,224 @@
+#include "moments/window_variance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tds {
+
+SlidingWindowVariance::SlidingWindowVariance(const Options& options)
+    : options_(options) {
+  // Babcock et al.'s merge budget: a bucket may hold at most ~eps^2/9 of
+  // the suffix's squared-deviation mass, so the straddling bucket's
+  // contribution stays an O(eps) fraction of the estimate.
+  theta_ = options.epsilon * options.epsilon / 9.0;
+}
+
+StatusOr<SlidingWindowVariance> SlidingWindowVariance::Create(
+    const Options& options) {
+  if (!(options.epsilon > 0.0) || options.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (options.window < 1) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  return SlidingWindowVariance(options);
+}
+
+SlidingWindowVariance::Bucket SlidingWindowVariance::Combine(const Bucket& a,
+                                                             const Bucket& b) {
+  Bucket out;
+  out.end = std::max(a.end, b.end);
+  out.n = a.n + b.n;
+  if (out.n <= 0.0) return out;
+  out.mean = (a.n * a.mean + b.n * b.mean) / out.n;
+  const double shift = a.mean - b.mean;
+  out.v = a.v + b.v + a.n * b.n * shift * shift / out.n;
+  return out;
+}
+
+void SlidingWindowVariance::Observe(Tick t, double value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  if (first_arrival_ == 0) first_arrival_ = t;
+  if (!buckets_.empty() && buckets_.back().end == t) {
+    // Same-tick items accumulate in one bucket (they expire together).
+    buckets_.back() = Combine(buckets_.back(), Bucket{t, 1.0, value, 0.0});
+  } else {
+    buckets_.push_back(Bucket{t, 1.0, value, 0.0});
+  }
+  Expire();
+  Canonicalize();
+}
+
+void SlidingWindowVariance::AdvanceTo(Tick t) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  Expire();
+}
+
+void SlidingWindowVariance::Expire() {
+  if (options_.window == kInfiniteHorizon) return;
+  const Tick cutoff = now_ - options_.window + 1;
+  while (!buckets_.empty() && buckets_.front().end < cutoff) {
+    buckets_.pop_front();
+  }
+}
+
+void SlidingWindowVariance::Canonicalize() {
+  // Suffix squared-deviation mass, newest -> oldest; suffix_v[i] is the V
+  // of everything strictly newer than bucket i.
+  const size_t count = buckets_.size();
+  if (count < 3) return;
+  std::vector<double> newer_v(count, 0.0);
+  Bucket suffix;  // combination of buckets (i+1 .. count-1)
+  bool have_suffix = false;
+  for (size_t i = count; i-- > 0;) {
+    newer_v[i] = have_suffix ? suffix.v : 0.0;
+    suffix = have_suffix ? Combine(buckets_[i], suffix) : buckets_[i];
+    have_suffix = true;
+  }
+  // One oldest-first merge pass per insert keeps the structure canonical
+  // (amortized like the EH: each item participates in O(log) merges).
+  std::deque<Bucket> merged;
+  size_t i = 0;
+  while (i < count) {
+    if (i + 2 < count) {  // never merge into the newest bucket
+      const Bucket candidate = Combine(buckets_[i], buckets_[i + 1]);
+      if (candidate.v <= theta_ * newer_v[i + 1]) {
+        merged.push_back(candidate);
+        i += 2;
+        continue;
+      }
+    }
+    merged.push_back(buckets_[i]);
+    ++i;
+  }
+  buckets_ = std::move(merged);
+}
+
+double SlidingWindowVariance::CountWindow(Tick w) const {
+  TDS_CHECK_GE(w, 1);
+  // Clamp to elapsed time so kInfiniteHorizon windows do not wrap.
+  if (w > now_) w = std::max<Tick>(now_, 1);
+  const Tick cutoff = now_ - w + 1;
+  double n = 0.0;
+  bool straddler = true;
+  for (const Bucket& b : buckets_) {
+    if (b.end < cutoff) continue;
+    if (straddler) {
+      straddler = false;
+      n += first_arrival_ >= cutoff ? b.n : b.n / 2.0;
+    } else {
+      n += b.n;
+    }
+  }
+  return n;
+}
+
+double SlidingWindowVariance::VarianceWindow(Tick w) const {
+  TDS_CHECK_GE(w, 1);
+  // Clamp to elapsed time so kInfiniteHorizon windows do not wrap.
+  if (w > now_) w = std::max<Tick>(now_, 1);
+  const Tick cutoff = now_ - w + 1;
+  Bucket combined;
+  bool any = false;
+  bool oldest_kept = true;
+  for (const Bucket& b : buckets_) {
+    if (b.end < cutoff) continue;
+    Bucket piece = b;
+    if (oldest_kept) {
+      oldest_kept = false;
+      if (first_arrival_ < cutoff) {
+        // Straddler: estimate the surviving half at the stored mean with
+        // half the deviation mass (Babcock et al.'s estimator).
+        piece.n = b.n / 2.0;
+        piece.v = b.v / 2.0;
+      }
+    }
+    combined = any ? Combine(combined, piece) : piece;
+    any = true;
+  }
+  if (!any || combined.n <= 1.0) return 0.0;
+  return combined.v / combined.n;
+}
+
+double SlidingWindowVariance::MeanWindow(Tick w) const {
+  TDS_CHECK_GE(w, 1);
+  // Clamp to elapsed time so kInfiniteHorizon windows do not wrap.
+  if (w > now_) w = std::max<Tick>(now_, 1);
+  const Tick cutoff = now_ - w + 1;
+  Bucket combined;
+  bool any = false;
+  bool oldest_kept = true;
+  for (const Bucket& b : buckets_) {
+    if (b.end < cutoff) continue;
+    Bucket piece = b;
+    if (oldest_kept) {
+      oldest_kept = false;
+      if (first_arrival_ < cutoff) {
+        piece.n = b.n / 2.0;
+        piece.v = b.v / 2.0;
+      }
+    }
+    combined = any ? Combine(combined, piece) : piece;
+    any = true;
+  }
+  return any ? combined.mean : 0.0;
+}
+
+size_t SlidingWindowVariance::StorageBits() const {
+  const Tick elapsed =
+      first_arrival_ == 0 ? 1 : std::max<Tick>(now_ - first_arrival_ + 1, 2);
+  const Tick n_eff = options_.window == kInfiniteHorizon
+                         ? elapsed
+                         : std::min(elapsed, options_.window);
+  const double ts_bits =
+      std::ceil(std::log2(static_cast<double>(n_eff) + 1.0));
+  // Three statistics per bucket at a 32-bit-significand budget each.
+  return static_cast<size_t>(static_cast<double>(buckets_.size()) *
+                                 (ts_bits + 3.0 * 32.0) +
+                             ts_bits);
+}
+
+void SlidingWindowVariance::EncodeState(Encoder& encoder) const {
+  encoder.PutDouble(options_.epsilon);
+  encoder.PutSigned(options_.window);
+  encoder.PutSigned(now_);
+  encoder.PutSigned(first_arrival_);
+  encoder.PutVarint(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    encoder.PutSigned(b.end);
+    encoder.PutDouble(b.n);
+    encoder.PutDouble(b.mean);
+    encoder.PutDouble(b.v);
+  }
+}
+
+Status SlidingWindowVariance::DecodeState(Decoder& decoder) {
+  double epsilon = 0.0;
+  int64_t window = 0;
+  uint64_t count = 0;
+  if (!decoder.GetDouble(&epsilon) || !decoder.GetSigned(&window) ||
+      !decoder.GetSigned(&now_) || !decoder.GetSigned(&first_arrival_) ||
+      !decoder.GetVarint(&count)) {
+    return CorruptSnapshot("window variance header");
+  }
+  if (epsilon != options_.epsilon || window != options_.window) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  buckets_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    Bucket b;
+    if (!decoder.GetSigned(&b.end) || !decoder.GetDouble(&b.n) ||
+        !decoder.GetDouble(&b.mean) || !decoder.GetDouble(&b.v)) {
+      return CorruptSnapshot("window variance bucket");
+    }
+    buckets_.push_back(b);
+  }
+  return Status::OK();
+}
+
+}  // namespace tds

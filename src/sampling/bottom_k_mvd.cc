@@ -1,0 +1,55 @@
+#include "sampling/bottom_k_mvd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<BottomKMvdList> BottomKMvdList::Create(int k, uint64_t seed) {
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "bottom-k estimator needs k >= 2 ((k-1)/r_k)");
+  }
+  return BottomKMvdList(k, seed);
+}
+
+void BottomKMvdList::Add(Tick t) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  const double rank = rng_.NextOpenDouble();
+  // The new arrival beats every retained item with a larger rank; items
+  // beaten k times are no longer in any suffix's bottom-k.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->rank > rank && ++(it->beaten) >= static_cast<uint32_t>(k_)) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  entries_.push_back(Entry{t, rank, 0});
+}
+
+void BottomKMvdList::ExpireOlderThan(Tick cutoff) {
+  while (!entries_.empty() && entries_.front().t < cutoff) {
+    entries_.pop_front();
+  }
+}
+
+double BottomKMvdList::EstimateCountSince(Tick cutoff) const {
+  std::vector<double> ranks;
+  for (const Entry& entry : entries_) {
+    if (entry.t >= cutoff) ranks.push_back(entry.rank);
+  }
+  if (static_cast<int>(ranks.size()) < k_) {
+    // Fewer than k retained in a suffix window means the window holds
+    // fewer than k items in total — and then it holds all of them.
+    return static_cast<double>(ranks.size());
+  }
+  auto kth = ranks.begin() + (k_ - 1);
+  std::nth_element(ranks.begin(), kth, ranks.end());
+  return static_cast<double>(k_ - 1) / *kth;
+}
+
+}  // namespace tds

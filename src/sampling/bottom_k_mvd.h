@@ -1,0 +1,63 @@
+#ifndef TDS_SAMPLING_BOTTOM_K_MVD_H_
+#define TDS_SAMPLING_BOTTOM_K_MVD_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/common.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Bottom-k MV/D list (paper Section 7.2, footnote 4, after Cohen's
+/// size-estimation framework): each arriving item draws a uniform rank; an
+/// item is retained while fewer than k later items have smaller ranks.
+/// The retained set therefore contains, for *every* suffix window, that
+/// window's k minimum-rank items; expected size is O(k log n).
+///
+/// The k-th minimum rank r_k of a window estimates the window's item count
+/// as (k-1)/r_k — unbiased for the inverse count under uniform ranks (the
+/// classic bottom-k estimator), which is what the paper's footnote needs:
+/// EH counts are (1 +- eps) but *biased*, and the decayed-selection
+/// reduction wants unbiased counts. Windows holding fewer than k retained
+/// items are counted exactly.
+class BottomKMvdList {
+ public:
+  struct Entry {
+    Tick t = 0;
+    double rank = 0.0;     ///< Uniform (0,1).
+    uint32_t beaten = 0;   ///< Number of later items with smaller rank.
+  };
+
+  /// k >= 2 (the estimator needs a (k-1)/r_k with k > 1).
+  static StatusOr<BottomKMvdList> Create(int k, uint64_t seed);
+
+  /// Records one item (non-decreasing ticks).
+  void Add(Tick t);
+
+  /// Drops retained items with t < cutoff.
+  void ExpireOlderThan(Tick cutoff);
+
+  /// Estimated number of items with t >= cutoff: exact while fewer than k
+  /// retained items are in range, else (k-1)/r_k.
+  double EstimateCountSince(Tick cutoff) const;
+
+  int k() const { return k_; }
+  size_t Size() const { return entries_.size(); }
+  const std::deque<Entry>& entries() const { return entries_; }
+
+ private:
+  BottomKMvdList(int k, uint64_t seed) : k_(k), rng_(seed) {}
+
+  int k_;
+  Rng rng_;
+  /// Time-ascending retained entries.
+  std::deque<Entry> entries_;
+  Tick now_ = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_SAMPLING_BOTTOM_K_MVD_H_

@@ -1,0 +1,54 @@
+#include "sampling/decayed_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace tds {
+
+StatusOr<DecayedQuantile> DecayedQuantile::Create(DecayPtr decay,
+                                                  const Options& options) {
+  if (options.copies < 1) {
+    return Status::InvalidArgument("copies must be >= 1");
+  }
+  std::vector<DecayedSampler> samplers;
+  samplers.reserve(options.copies);
+  for (int i = 0; i < options.copies; ++i) {
+    DecayedSampler::Options sampler_options;
+    sampler_options.epsilon = options.epsilon;
+    sampler_options.seed = HashCombine(options.seed, static_cast<uint64_t>(i));
+    auto sampler = DecayedSampler::Create(decay, sampler_options);
+    if (!sampler.ok()) return sampler.status();
+    samplers.push_back(std::move(sampler).value());
+  }
+  return DecayedQuantile(std::move(samplers));
+}
+
+void DecayedQuantile::Add(Tick t, double value) {
+  for (DecayedSampler& sampler : samplers_) sampler.Add(t, value);
+}
+
+std::optional<double> DecayedQuantile::Query(Tick now, double q, Rng& rng) {
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> values;
+  values.reserve(samplers_.size());
+  for (DecayedSampler& sampler : samplers_) {
+    auto entry = sampler.Sample(now, rng);
+    if (entry.has_value()) values.push_back(entry->value);
+  }
+  if (values.empty()) return std::nullopt;
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5));
+  std::nth_element(values.begin(), values.begin() + index, values.end());
+  return values[index];
+}
+
+size_t DecayedQuantile::StorageBits() const {
+  size_t bits = 0;
+  for (const DecayedSampler& sampler : samplers_) bits += sampler.StorageBits();
+  return bits;
+}
+
+}  // namespace tds

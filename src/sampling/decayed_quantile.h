@@ -1,0 +1,50 @@
+#ifndef TDS_SAMPLING_DECAYED_QUANTILE_H_
+#define TDS_SAMPLING_DECAYED_QUANTILE_H_
+
+#include <optional>
+#include <vector>
+
+#include "sampling/decayed_sampler.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Time-decaying approximate quantiles (paper Section 7.2): k independent
+/// decayed random selections (each with its own MV/D ranks) give k values
+/// distributed by the g-weighted item distribution; the empirical q-th
+/// order statistic is, with high probability, a [q +- O(1/sqrt(k)) + eps]
+/// quantile. The paper's "folklore" median trick is QueryMedian.
+class DecayedQuantile {
+ public:
+  struct Options {
+    int copies = 33;  ///< k: number of independent samplers (odd is best).
+    double epsilon = 0.05;
+    uint64_t seed = 7;
+  };
+
+  static StatusOr<DecayedQuantile> Create(DecayPtr decay,
+                                          const Options& options);
+
+  /// Records item (t, value) into every copy.
+  void Add(Tick t, double value);
+
+  /// Approximate q-quantile (q in [0,1]) of the decayed value
+  /// distribution. nullopt when no items carry weight.
+  std::optional<double> Query(Tick now, double q, Rng& rng);
+
+  std::optional<double> QueryMedian(Tick now, Rng& rng) {
+    return Query(now, 0.5, rng);
+  }
+
+  size_t StorageBits() const;
+
+ private:
+  explicit DecayedQuantile(std::vector<DecayedSampler> samplers)
+      : samplers_(std::move(samplers)) {}
+
+  std::vector<DecayedSampler> samplers_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_SAMPLING_DECAYED_QUANTILE_H_

@@ -1,0 +1,172 @@
+#include "sampling/decayed_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tds {
+
+DecayedSampler::DecayedSampler(DecayPtr decay, ExponentialHistogram eh,
+                               const Options& options)
+    : decay_(std::move(decay)),
+      counts_(std::move(eh)),
+      mvd_(options.seed) {
+  if (options.unbiased_count_k >= 2) {
+    unbiased_counts_ = std::move(BottomKMvdList::Create(
+                                     options.unbiased_count_k,
+                                     HashCombine(options.seed, 0xb0770317)))
+                           .value();
+  }
+}
+
+StatusOr<DecayedSampler> DecayedSampler::Create(DecayPtr decay,
+                                                const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  ExponentialHistogram::Options eh_options;
+  eh_options.epsilon = options.epsilon;
+  eh_options.window = decay->Horizon();
+  if (options.unbiased_count_k == 1) {
+    return Status::InvalidArgument("unbiased_count_k must be 0 or >= 2");
+  }
+  auto eh = ExponentialHistogram::Create(eh_options);
+  if (!eh.ok()) return eh.status();
+  return DecayedSampler(std::move(decay), std::move(eh).value(), options);
+}
+
+double DecayedSampler::SafeWeight(Tick age) const {
+  if (age < 1) age = 1;
+  if (age > decay_->Horizon()) return 0.0;
+  return decay_->Weight(age);
+}
+
+void DecayedSampler::Add(Tick t, double value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  counts_.Add(t, 1);
+  mvd_.Add(t, value);
+  if (unbiased_counts_.has_value()) unbiased_counts_->Add(t);
+  if (decay_->Horizon() != kInfiniteHorizon) {
+    const Tick cutoff = t - decay_->Horizon() + 1;
+    mvd_.ExpireOlderThan(cutoff);
+    if (unbiased_counts_.has_value()) {
+      unbiased_counts_->ExpireOlderThan(cutoff);
+    }
+  }
+}
+
+double DecayedSampler::CountSince(Tick cutoff) const {
+  if (unbiased_counts_.has_value()) {
+    return unbiased_counts_->EstimateCountSince(cutoff);
+  }
+  return counts_.EstimateWindow(counts_.now() - cutoff + 1);
+}
+
+std::optional<MvdList::Entry> DecayedSampler::Sample(Tick now, Rng& rng) {
+  TDS_CHECK_GE(now, now_);
+  now_ = now;
+  counts_.AdvanceTo(now);
+  if (decay_->Horizon() != kInfiniteHorizon) {
+    mvd_.ExpireOlderThan(now - decay_->Horizon() + 1);
+  }
+  if (mvd_.Size() == 0 || counts_.Empty()) return std::nullopt;
+
+  // Bucket end ages, newest first: segments of constant estimated count.
+  std::vector<Tick> ages;
+  counts_.ForEachBucketOldestFirst([&](const ExponentialHistogram::Bucket& b) {
+    ages.push_back(AgeAt(b.end, now));
+  });
+  std::reverse(ages.begin(), ages.end());  // ascending ages
+
+  // Oldest age that adds items: everything is included by then.
+  Tick full_age = AgeAt(counts_.first_arrival(), now);
+  if (decay_->Horizon() != kInfiniteHorizon) {
+    full_age = std::min(full_age, decay_->Horizon());
+  }
+
+  struct Segment {
+    Tick lo, hi;     // window sizes covered; hi == kInfiniteHorizon => lump
+    double count;    // estimated count of windows in the segment
+    double weight;   // (g(lo) - g(hi+1)) * count
+  };
+  std::vector<Segment> segments;
+  double total_weight = 0.0;
+  for (size_t j = 0; j < ages.size(); ++j) {
+    const Tick lo = ages[j];
+    const Tick hi = j + 1 < ages.size()
+                        ? std::min(ages[j + 1] - 1, full_age)
+                        : full_age;
+    if (hi < lo) continue;
+    const double count = CountSince(now - lo + 1);
+    const double weight = (SafeWeight(lo) - SafeWeight(hi + 1)) * count;
+    if (weight > 0.0) {
+      segments.push_back(Segment{lo, hi, count, weight});
+      total_weight += weight;
+    }
+  }
+  // Tail lump: windows larger than full_age all select from everything.
+  const double tail_weight =
+      SafeWeight(full_age + 1) * CountSince(now - full_age + 1);
+  if (tail_weight > 0.0) {
+    segments.push_back(
+        Segment{full_age, kInfiniteHorizon, 0.0, tail_weight});
+    total_weight += tail_weight;
+  }
+  if (segments.empty() || total_weight <= 0.0) return std::nullopt;
+
+  // Stage 1: categorical draw over segments.
+  double target = rng.NextDouble() * total_weight;
+  const Segment* chosen = &segments.back();
+  for (const Segment& s : segments) {
+    if (target < s.weight) {
+      chosen = &s;
+      break;
+    }
+    target -= s.weight;
+  }
+
+  // Stage 2: window size within the segment, P(w) ∝ g(w) - g(w+1),
+  // via inverse-CDF binary search on the monotone decay.
+  Tick w;
+  if (chosen->hi == kInfiniteHorizon) {
+    w = full_age;  // lump: full-window selection
+  } else {
+    const double g_lo = SafeWeight(chosen->lo);
+    const double g_hi = SafeWeight(chosen->hi + 1);
+    const double u = g_lo - rng.NextDouble() * (g_lo - g_hi);
+    Tick lo = chosen->lo, hi = chosen->hi;
+    // Smallest w in [lo, hi] with g(w+1) <= u.
+    while (lo < hi) {
+      const Tick mid = lo + (hi - lo) / 2;
+      if (SafeWeight(mid + 1) <= u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    w = lo;
+  }
+
+  // Stage 3: uniform selection from the window via the MV/D list.
+  auto entry = mvd_.MinRankSince(now - w + 1);
+  if (!entry.has_value()) {
+    // Estimated counts can place weight on empty windows; fall back to the
+    // full window, which is nonempty here.
+    entry = mvd_.MinRankSince(now - full_age + 1);
+  }
+  return entry;
+}
+
+size_t DecayedSampler::StorageBits() const {
+  const double ts_bits = std::ceil(
+      std::log2(static_cast<double>(std::max<Tick>(now_, 2)) + 1.0));
+  // Each MV/D entry: timestamp + rank (64) + value (64).
+  return counts_.StorageBits() +
+         static_cast<size_t>(static_cast<double>(mvd_.Size()) *
+                             (ts_bits + 128.0));
+}
+
+}  // namespace tds

@@ -1,0 +1,38 @@
+#include "sampling/mvd_list.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tds {
+
+void MvdList::Add(Tick t, double value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  const uint64_t rank = rng_.Next();
+  // The new item is the most recent, so it is retained iff nothing after it
+  // beats it — trivially true; retained predecessors with larger ranks are
+  // no longer suffix minima.
+  while (!entries_.empty() && entries_.back().rank >= rank) {
+    entries_.pop_back();
+  }
+  entries_.push_back(Entry{t, value, rank});
+}
+
+void MvdList::ExpireOlderThan(Tick cutoff) {
+  while (!entries_.empty() && entries_.front().t < cutoff) {
+    entries_.pop_front();
+  }
+}
+
+std::optional<MvdList::Entry> MvdList::MinRankSince(Tick cutoff) const {
+  // Entries are time-ascending with rank ascending: the earliest retained
+  // item in the window has the window's minimum rank.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), cutoff,
+      [](const Entry& e, Tick value) { return e.t < value; });
+  if (it == entries_.end()) return std::nullopt;
+  return *it;
+}
+
+}  // namespace tds

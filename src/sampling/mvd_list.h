@@ -1,0 +1,53 @@
+#ifndef TDS_SAMPLING_MVD_LIST_H_
+#define TDS_SAMPLING_MVD_LIST_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/common.h"
+#include "util/random.h"
+
+namespace tds {
+
+/// MV/D list (paper Section 7.2, after Cohen's size-estimation framework):
+/// every arriving item draws a uniform random rank, and an item is retained
+/// iff its rank is the minimum among all items that arrived at or after it.
+/// The retained items form a time-ordered list with strictly increasing
+/// ranks, of expected size O(log n); for any suffix window the first
+/// retained item inside the window is the minimum-rank item of the whole
+/// window — a uniform random selection from it.
+class MvdList {
+ public:
+  struct Entry {
+    Tick t = 0;
+    double value = 0.0;
+    uint64_t rank = 0;
+  };
+
+  explicit MvdList(uint64_t seed) : rng_(seed) {}
+
+  /// Adds an item (ticks must be non-decreasing).
+  void Add(Tick t, double value);
+
+  /// Drops retained items with t < cutoff (horizon expiry).
+  void ExpireOlderThan(Tick cutoff);
+
+  /// Minimum-rank item among items with t >= cutoff: a uniform random
+  /// selection from that window. nullopt if the window is empty of
+  /// retained items.
+  std::optional<Entry> MinRankSince(Tick cutoff) const;
+
+  size_t Size() const { return entries_.size(); }
+  const std::deque<Entry>& entries() const { return entries_; }
+
+ private:
+  Rng rng_;
+  /// Time-ascending, rank-ascending (suffix minima).
+  std::deque<Entry> entries_;
+  Tick now_ = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_SAMPLING_MVD_LIST_H_

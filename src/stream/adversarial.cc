@@ -1,0 +1,66 @@
+#include "stream/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+StatusOr<AdversarialFamily> MakeAdversarialFamily(double alpha, int k,
+                                                  Tick n) {
+  if (!(alpha > 0.0)) return Status::InvalidArgument("alpha must be > 0");
+  if (k < 3) return Status::InvalidArgument("k must be >= 3");
+  if (n < 16) return Status::InvalidArgument("n must be >= 16");
+
+  AdversarialFamily family;
+  family.alpha = alpha;
+  family.k = k;
+  family.n = n;
+  family.origin = n / 2 + 1;
+
+  // r = floor(alpha / (2 log k) * log(N/2)): the deepest slot's offset
+  // k^{2r/alpha} still fits within N/2.
+  const double log_k = std::log(static_cast<double>(k));
+  const double r_exact = alpha / (2.0 * log_k) *
+                         std::log(static_cast<double>(n) / 2.0);
+  const int r = static_cast<int>(std::floor(r_exact));
+  Tick prev_tick = family.origin;  // burst ticks must be strictly older
+  double base = 1.0;
+  for (int i = 1; i <= r; ++i) {
+    base *= k;
+    if (base > 1e15) break;  // keep counts in exactly-representable range
+    const double offset =
+        std::pow(static_cast<double>(k), 2.0 * i / alpha);
+    const Tick burst = family.origin - static_cast<Tick>(std::llround(offset));
+    if (burst < 1 || burst >= prev_tick) continue;  // rounded collision
+    family.burst_ticks.push_back(burst);
+    family.probe_ticks.push_back(family.origin +
+                                 static_cast<Tick>(std::llround(offset)));
+    family.base_counts.push_back(static_cast<uint64_t>(base));
+    prev_tick = burst;
+  }
+  family.slots = static_cast<int>(family.burst_ticks.size());
+  if (family.slots == 0) {
+    return Status::InvalidArgument("horizon too small for any burst slot");
+  }
+  return family;
+}
+
+Stream MakeAdversarialStream(const AdversarialFamily& family,
+                             const std::vector<int>& choices) {
+  TDS_CHECK_EQ(choices.size(), family.burst_ticks.size());
+  Stream stream;
+  stream.reserve(choices.size());
+  // Slot i+1 has the oldest tick for the largest i: emit in reverse so the
+  // stream is tick-ascending.
+  for (int i = family.slots - 1; i >= 0; --i) {
+    TDS_CHECK(choices[i] == 1 || choices[i] == 2);
+    stream.push_back(StreamItem{
+        family.burst_ticks[i],
+        static_cast<uint64_t>(choices[i]) * family.base_counts[i]});
+  }
+  return stream;
+}
+
+}  // namespace tds

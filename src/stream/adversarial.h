@@ -1,0 +1,42 @@
+#ifndef TDS_STREAM_ADVERSARIAL_H_
+#define TDS_STREAM_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// The lower-bound stream family of paper Section 6 (Theorem 2): for decay
+/// g(x) = 1/x^alpha, bursts of count C_i = n_i * k^i (n_i in {1,2}) placed
+/// at times -k^{2i/alpha} relative to an origin; when queried at time
+/// +k^{2i/alpha}, the i-th burst dominates the decayed sum, so any
+/// (1 +- 1/4)-estimator must remember every n_i — r = Theta(log N) bits.
+///
+/// Times are shifted so the whole construction lives on positive ticks:
+/// paper-time 0 maps to tick `origin`.
+struct AdversarialFamily {
+  double alpha = 1.0;
+  int k = 10;
+  Tick n = 0;          ///< Overall horizon parameter N.
+  Tick origin = 0;     ///< Tick corresponding to the paper's time 0.
+  int slots = 0;       ///< r: number of usable burst slots.
+  std::vector<Tick> burst_ticks;      ///< burst_ticks[i]: tick of slot i+1.
+  std::vector<Tick> probe_ticks;      ///< query tick for slot i+1.
+  std::vector<uint64_t> base_counts;  ///< k^{i+1}: burst i+1 is n * base.
+};
+
+/// Builds the family for decay 1/x^alpha with burst base k over horizon n.
+/// Slots whose burst ticks would collide after rounding are dropped.
+StatusOr<AdversarialFamily> MakeAdversarialFamily(double alpha, int k, Tick n);
+
+/// Materializes one member of the family. `choices[i]` must be 1 or 2 and
+/// selects n_{i+1}.
+Stream MakeAdversarialStream(const AdversarialFamily& family,
+                             const std::vector<int>& choices);
+
+}  // namespace tds
+
+#endif  // TDS_STREAM_ADVERSARIAL_H_

@@ -1,0 +1,131 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tds {
+
+namespace {
+
+uint64_t SamplePoisson(Rng& rng, double rate) {
+  // Knuth's method; adequate for the modest rates used in workloads.
+  const double limit = std::exp(-rate);
+  uint64_t k = 0;
+  double product = 1.0;
+  do {
+    ++k;
+    product *= rng.NextDouble();
+  } while (product > limit);
+  return k - 1;
+}
+
+Tick SampleGeometric(Rng& rng, double mean) {
+  // Geometric with the given mean, at least 1.
+  const double p = 1.0 / std::max(1.0, mean);
+  const double u = rng.NextOpenDouble();
+  const Tick value =
+      1 + static_cast<Tick>(std::floor(std::log(u) / std::log(1.0 - p)));
+  return std::max<Tick>(1, value);
+}
+
+}  // namespace
+
+Stream BernoulliStream(Tick length, double p, uint64_t seed) {
+  TDS_CHECK_GE(length, 1);
+  Rng rng(seed);
+  Stream stream;
+  for (Tick t = 1; t <= length; ++t) {
+    if (rng.NextBernoulli(p)) stream.push_back(StreamItem{t, 1});
+  }
+  return stream;
+}
+
+Stream ConstantStream(Tick length, uint64_t value) {
+  TDS_CHECK_GE(length, 1);
+  Stream stream;
+  stream.reserve(static_cast<size_t>(length));
+  for (Tick t = 1; t <= length; ++t) stream.push_back(StreamItem{t, value});
+  return stream;
+}
+
+Stream BurstyStream(Tick length, double busy_mean, double idle_mean,
+                    double rate, uint64_t seed) {
+  TDS_CHECK_GE(length, 1);
+  Rng rng(seed);
+  Stream stream;
+  Tick t = 1;
+  while (t <= length) {
+    const Tick busy = SampleGeometric(rng, busy_mean);
+    for (Tick i = 0; i < busy && t <= length; ++i, ++t) {
+      const uint64_t value = SamplePoisson(rng, rate);
+      if (value > 0) stream.push_back(StreamItem{t, value});
+    }
+    t += SampleGeometric(rng, idle_mean);
+  }
+  return stream;
+}
+
+Stream PoissonStream(Tick length, double rate, uint64_t seed) {
+  TDS_CHECK_GE(length, 1);
+  Rng rng(seed);
+  Stream stream;
+  for (Tick t = 1; t <= length; ++t) {
+    const uint64_t value = SamplePoisson(rng, rate);
+    if (value > 0) stream.push_back(StreamItem{t, value});
+  }
+  return stream;
+}
+
+Stream RampStream(Tick length, uint64_t low, uint64_t high) {
+  TDS_CHECK_GE(length, 1);
+  TDS_CHECK_LE(low, high);
+  Stream stream;
+  stream.reserve(static_cast<size_t>(length));
+  for (Tick t = 1; t <= length; ++t) {
+    const double frac =
+        length == 1 ? 1.0
+                    : static_cast<double>(t - 1) / static_cast<double>(length - 1);
+    const uint64_t value =
+        low + static_cast<uint64_t>(std::llround(frac * static_cast<double>(
+                                                            high - low)));
+    stream.push_back(StreamItem{t, value});
+  }
+  return stream;
+}
+
+Stream SparseStream(Tick length, Tick count, uint64_t seed) {
+  TDS_CHECK_GE(length, 1);
+  TDS_CHECK_GE(count, 1);
+  Rng rng(seed);
+  std::vector<Tick> ticks;
+  ticks.reserve(static_cast<size_t>(count));
+  for (Tick i = 0; i < count; ++i) {
+    ticks.push_back(1 + static_cast<Tick>(
+                            rng.NextBelow(static_cast<uint64_t>(length))));
+  }
+  std::sort(ticks.begin(), ticks.end());
+  ticks.erase(std::unique(ticks.begin(), ticks.end()), ticks.end());
+  Stream stream;
+  stream.reserve(ticks.size());
+  for (Tick t : ticks) stream.push_back(StreamItem{t, 1});
+  return stream;
+}
+
+Stream LevelShiftStream(Tick length, Tick change_tick, double level_a,
+                        double level_b, uint64_t seed) {
+  TDS_CHECK_GE(length, 1);
+  Rng rng(seed);
+  Stream stream;
+  stream.reserve(static_cast<size_t>(length));
+  for (Tick t = 1; t <= length; ++t) {
+    const double level = t < change_tick ? level_a : level_b;
+    const uint64_t value = SamplePoisson(rng, level);
+    stream.push_back(StreamItem{t, value});
+  }
+  return stream;
+}
+
+}  // namespace tds

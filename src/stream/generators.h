@@ -1,0 +1,48 @@
+#ifndef TDS_STREAM_GENERATORS_H_
+#define TDS_STREAM_GENERATORS_H_
+
+#include <cstdint>
+
+#include "stream/stream.h"
+
+namespace tds {
+
+/// Synthetic workloads standing in for the paper's application traces
+/// (Section 1.1): the paper reports no datasets, so these generators
+/// exercise the same code paths with controlled structure.
+
+/// Bernoulli 0/1 stream over ticks [1, length]: each tick carries a 1 with
+/// probability p.
+Stream BernoulliStream(Tick length, double p, uint64_t seed);
+
+/// Every tick carries exactly `value` items (the densest DCP input).
+Stream ConstantStream(Tick length, uint64_t value);
+
+/// On-off bursty stream: alternating busy/idle periods with geometric
+/// lengths (means busy_mean/idle_mean); busy ticks carry Poisson-ish values
+/// with mean `rate`. Models bursty data transfers (ATM circuits, RED
+/// queues).
+Stream BurstyStream(Tick length, double busy_mean, double idle_mean,
+                    double rate, uint64_t seed);
+
+/// Poisson arrivals: per-tick value ~ Poisson(rate) (Knuth's method; rate
+/// should be modest).
+Stream PoissonStream(Tick length, double rate, uint64_t seed);
+
+/// Integer values ramping from `low` to `high` over the stream (tests
+/// non-binary DSP handling and variance tracking).
+Stream RampStream(Tick length, uint64_t low, uint64_t high);
+
+/// Sparse stream: `count` single items at uniformly random distinct ticks
+/// in [1, length]. Stresses large time gaps between updates.
+Stream SparseStream(Tick length, Tick count, uint64_t seed);
+
+/// A stream of values with a level shift: mean `level_a` before
+/// `change_tick`, mean `level_b` after (for decayed average/variance
+/// responsiveness experiments).
+Stream LevelShiftStream(Tick length, Tick change_tick, double level_a,
+                        double level_b, uint64_t seed);
+
+}  // namespace tds
+
+#endif  // TDS_STREAM_GENERATORS_H_

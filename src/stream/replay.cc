@@ -1,0 +1,82 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+double ProbeResult::RelativeError() const {
+  if (exact <= 0.0) {
+    return estimate <= 1e-12 ? 0.0 : 1.0;
+  }
+  return std::fabs(estimate - exact) / exact;
+}
+
+ReplayReport ReplayAndCompare(const Stream& stream, DecayedAggregate& subject,
+                              DecayedAggregate& reference, Tick probe_every) {
+  TDS_CHECK_GE(probe_every, 1);
+  ReplayReport report;
+  Tick next_probe = probe_every;
+  auto probe = [&](Tick t) {
+    ProbeResult result;
+    result.t = t;
+    result.estimate = subject.Query(t);
+    result.exact = reference.Query(t);
+    result.storage_bits = subject.StorageBits();
+    report.probes.push_back(result);
+  };
+  for (const StreamItem& item : stream) {
+    while (next_probe < item.t) {
+      probe(next_probe);
+      next_probe += probe_every;
+    }
+    subject.Update(item.t, item.value);
+    reference.Update(item.t, item.value);
+  }
+  const Tick end = StreamEnd(stream);
+  while (next_probe <= end) {
+    probe(next_probe);
+    next_probe += probe_every;
+  }
+  if (end > 0 && (report.probes.empty() || report.probes.back().t != end)) {
+    probe(end);
+  }
+
+  double total = 0.0;
+  for (const ProbeResult& p : report.probes) {
+    const double err = p.RelativeError();
+    report.max_relative_error = std::max(report.max_relative_error, err);
+    report.max_storage_bits = std::max(report.max_storage_bits, p.storage_bits);
+    total += err;
+  }
+  if (!report.probes.empty()) {
+    report.mean_relative_error =
+        total / static_cast<double>(report.probes.size());
+  }
+  return report;
+}
+
+size_t ReplayMaxStorageBits(const Stream& stream, DecayedAggregate& subject,
+                            Tick probe_every) {
+  TDS_CHECK_GE(probe_every, 1);
+  size_t max_bits = 0;
+  Tick next_probe = probe_every;
+  for (const StreamItem& item : stream) {
+    while (next_probe < item.t) {
+      subject.Query(next_probe);
+      max_bits = std::max(max_bits, subject.StorageBits());
+      next_probe += probe_every;
+    }
+    subject.Update(item.t, item.value);
+  }
+  const Tick end = StreamEnd(stream);
+  if (end > 0) {
+    subject.Query(end);
+    max_bits = std::max(max_bits, subject.StorageBits());
+  }
+  return max_bits;
+}
+
+}  // namespace tds

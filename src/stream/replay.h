@@ -1,0 +1,44 @@
+#ifndef TDS_STREAM_REPLAY_H_
+#define TDS_STREAM_REPLAY_H_
+
+#include <vector>
+
+#include "core/decayed_aggregate.h"
+#include "stream/stream.h"
+
+namespace tds {
+
+/// One probe of an aggregate during a replay.
+struct ProbeResult {
+  Tick t = 0;
+  double estimate = 0.0;
+  double exact = 0.0;
+  size_t storage_bits = 0;
+
+  /// Relative error against the exact value (0 when both are ~0).
+  double RelativeError() const;
+};
+
+/// Accuracy summary over a replay.
+struct ReplayReport {
+  std::vector<ProbeResult> probes;
+  double max_relative_error = 0.0;
+  double mean_relative_error = 0.0;
+  size_t max_storage_bits = 0;
+};
+
+/// Replays `stream` into both `subject` and `reference` (which must use the
+/// same decay function; `reference` is typically ExactDecayedSum), probing
+/// both every `probe_every` ticks and at the final tick. Returns the
+/// accuracy report. This is the measurement harness behind the accuracy
+/// and lower-bound benchmarks.
+ReplayReport ReplayAndCompare(const Stream& stream, DecayedAggregate& subject,
+                              DecayedAggregate& reference, Tick probe_every);
+
+/// Replays without a reference, probing only storage.
+size_t ReplayMaxStorageBits(const Stream& stream, DecayedAggregate& subject,
+                            Tick probe_every);
+
+}  // namespace tds
+
+#endif  // TDS_STREAM_REPLAY_H_

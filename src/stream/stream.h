@@ -1,0 +1,35 @@
+#ifndef TDS_STREAM_STREAM_H_
+#define TDS_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace tds {
+
+/// One stream element: `value` unit items arriving at tick `t`
+/// (the paper's f(t), the sum of item values observed at time t).
+struct StreamItem {
+  Tick t = 0;
+  uint64_t value = 0;
+};
+
+/// A materialized stream: items in strictly increasing tick order.
+using Stream = std::vector<StreamItem>;
+
+/// Last tick of a stream (0 if empty).
+inline Tick StreamEnd(const Stream& stream) {
+  return stream.empty() ? 0 : stream.back().t;
+}
+
+/// Total item count.
+inline uint64_t StreamTotal(const Stream& stream) {
+  uint64_t total = 0;
+  for (const StreamItem& item : stream) total += item.value;
+  return total;
+}
+
+}  // namespace tds
+
+#endif  // TDS_STREAM_STREAM_H_

@@ -1,0 +1,101 @@
+#include "util/approx_age.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tds {
+
+namespace {
+double GridValue(double delta, uint32_t grid_level) {
+  return static_cast<double>(ApproxAge::kExactLimit) *
+         std::pow(1.0 + delta, static_cast<double>(grid_level));
+}
+}  // namespace
+
+Tick ApproxAge::SampleCountdown(Rng& rng) const {
+  // Dwell at grid level l-1 before promotion to l: Geometric with success
+  // probability 1/gap, where gap is the grid spacing being traversed.
+  const uint32_t grid_level = level_ - 1;
+  const double gap =
+      GridValue(delta_, grid_level + 1) - GridValue(delta_, grid_level);
+  const double p = 1.0 / std::max(1.0, gap);
+  const double u = rng.NextOpenDouble();
+  const double ticks = std::ceil(std::log(u) / std::log(1.0 - p));
+  return std::max<Tick>(1, static_cast<Tick>(ticks));
+}
+
+void ApproxAge::Advance(Tick ticks, Rng& rng) {
+  TDS_CHECK_GE(ticks, 0);
+  while (ticks > 0) {
+    if (level_ == 0) {
+      const Tick step = std::min(ticks, kExactLimit - exact_age_);
+      exact_age_ += step;
+      ticks -= step;
+      if (exact_age_ >= kExactLimit) {
+        // Enter the stochastic phase at grid level 0 (value kExactLimit).
+        level_ = 1;
+        countdown_ = SampleCountdown(rng);
+      }
+      continue;
+    }
+    if (countdown_ > ticks) {
+      countdown_ -= ticks;
+      ticks = 0;
+    } else {
+      ticks -= countdown_;
+      ++level_;
+      countdown_ = SampleCountdown(rng);
+    }
+  }
+}
+
+double ApproxAge::Estimate() const {
+  if (level_ == 0) return static_cast<double>(exact_age_);
+  return GridValue(delta_, level_ - 1);
+}
+
+void ApproxAge::TakeYounger(const ApproxAge& other) {
+  if (other.Estimate() < Estimate()) *this = other;
+}
+
+void ApproxAge::EncodeTo(Encoder& encoder) const {
+  encoder.PutDouble(delta_);
+  encoder.PutVarint(level_);
+  encoder.PutVarint(static_cast<uint64_t>(exact_age_));
+  encoder.PutVarint(static_cast<uint64_t>(countdown_));
+}
+
+bool ApproxAge::DecodeFrom(Decoder& decoder) {
+  uint64_t level = 0, exact_age = 0, countdown = 0;
+  double delta = 0.0;
+  if (!decoder.GetDouble(&delta) || !decoder.GetVarint(&level) ||
+      !decoder.GetVarint(&exact_age) || !decoder.GetVarint(&countdown)) {
+    return false;
+  }
+  // Hostile-snapshot guards: a tiny or non-finite grid ratio would make
+  // Advance() degenerate into per-tick stepping.
+  if (!std::isfinite(delta) || delta < 1e-6 || delta > 1e3) return false;
+  if (level > (1u << 20)) return false;
+  if (level == 0 && (exact_age < 1 || exact_age > kExactLimit)) return false;
+  if (level >= 1 && countdown < 1) return false;
+  delta_ = delta;
+  level_ = static_cast<uint32_t>(level);
+  exact_age_ = static_cast<Tick>(exact_age);
+  countdown_ = static_cast<Tick>(countdown);
+  return true;
+}
+
+int ApproxAge::StorageBits(double delta, double max_age) {
+  max_age = std::max(max_age, static_cast<double>(2 * kExactLimit));
+  const double levels =
+      std::log(max_age / static_cast<double>(kExactLimit)) /
+      std::log(1.0 + delta);
+  const int level_bits =
+      static_cast<int>(std::ceil(std::log2(levels + 2.0)));
+  const int exact_bits = 5;  // ages 1..16 plus the phase flag
+  return level_bits + exact_bits;
+}
+
+}  // namespace tds

@@ -1,0 +1,68 @@
+#ifndef TDS_UTIL_APPROX_AGE_H_
+#define TDS_UTIL_APPROX_AGE_H_
+
+#include <cstdint>
+
+#include "util/codec.h"
+#include "util/common.h"
+#include "util/random.h"
+
+namespace tds {
+
+/// An age (elapsed-tick) counter stored in O(log log N) bits, realizing the
+/// paper's Section 5 closing remark (attributed to Y. Matias): histogram
+/// time boundaries kept to within a constant factor suffice for polynomial
+/// decay — a constant-factor age error is only a constant-factor weight
+/// error — and such a boundary needs only O(log log N) bits.
+///
+/// Representation: ages up to kExactLimit are exact (a few bits); beyond
+/// that the age is a level l on the geometric grid kExactLimit*(1+delta)^l,
+/// promoted stochastically Morris-style — each elapsed tick promotes with
+/// probability 1/(gap to the next grid point), so expected dwell time per
+/// level equals the gap and the estimate stays unbiased in time-per-level.
+/// The level needs ceil(log2(#levels)) = O(log log N) bits. (A presampled
+/// geometric countdown accelerates advancement at runtime; being memoryless
+/// it carries no distributional information and is not chargeable state.)
+class ApproxAge {
+ public:
+  ApproxAge() : ApproxAge(0.25) {}
+  explicit ApproxAge(double delta) : delta_(delta) {}
+
+  /// Advances the age by `ticks` elapsed ticks (randomness from a shared
+  /// Rng; distinct boundaries may share one generator).
+  void Advance(Tick ticks, Rng& rng);
+
+  /// Current age estimate: exact below kExactLimit, else the grid value.
+  double Estimate() const;
+
+  /// Keeps the younger (smaller) of the two ages — bucket merges inherit
+  /// the newer boundary.
+  void TakeYounger(const ApproxAge& other);
+
+  /// Age below which values are stored exactly.
+  static constexpr Tick kExactLimit = 16;
+
+  bool exact_phase() const { return level_ == 0; }
+  uint32_t level() const { return level_; }
+
+  /// Snapshot support.
+  void EncodeTo(class Encoder& encoder) const;
+  bool DecodeFrom(class Decoder& decoder);
+
+  /// Chargeable bits for ages up to max_age: the exact field plus the
+  /// level field, ceil(log2(log_{1+delta}(max_age / kExactLimit))) bits.
+  static int StorageBits(double delta, double max_age);
+
+ private:
+  /// Samples the geometric dwell countdown for the current level.
+  Tick SampleCountdown(Rng& rng) const;
+
+  double delta_;
+  uint32_t level_ = 0;    ///< 0 = exact phase; l >= 1 = grid level l-1.
+  Tick exact_age_ = 1;    ///< Valid in the exact phase.
+  Tick countdown_ = 0;    ///< Presampled ticks until the next promotion.
+};
+
+}  // namespace tds
+
+#endif  // TDS_UTIL_APPROX_AGE_H_

@@ -1,0 +1,35 @@
+#ifndef TDS_UTIL_CHECK_H_
+#define TDS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant-checking macros. These guard internal invariants that indicate
+/// programmer error (not bad input); violations abort with a message. Input
+/// validation on public construction paths uses tds::Status instead.
+#define TDS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TDS_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TDS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TDS_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TDS_CHECK_LE(a, b) TDS_CHECK((a) <= (b))
+#define TDS_CHECK_LT(a, b) TDS_CHECK((a) < (b))
+#define TDS_CHECK_GE(a, b) TDS_CHECK((a) >= (b))
+#define TDS_CHECK_GT(a, b) TDS_CHECK((a) > (b))
+#define TDS_CHECK_EQ(a, b) TDS_CHECK((a) == (b))
+#define TDS_CHECK_NE(a, b) TDS_CHECK((a) != (b))
+
+#endif  // TDS_UTIL_CHECK_H_

@@ -1,0 +1,60 @@
+#ifndef TDS_UTIL_CODEC_H_
+#define TDS_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tds {
+
+/// Minimal binary encoder for structure snapshots: varints (LEB128),
+/// zigzag-signed varints, raw 64-bit doubles, and length-prefixed strings.
+/// The encoding is platform-independent (little-endian, no padding).
+class Encoder {
+ public:
+  void PutVarint(uint64_t value);
+  void PutSigned(int64_t value);
+  void PutDouble(double value);
+  void PutString(std::string_view value);
+
+  /// Returns the accumulated bytes (the encoder may be reused afterwards).
+  std::string Finish() { return std::move(buffer_); }
+
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Matching decoder. All getters return false (and leave the output
+/// untouched) on truncated or malformed input; decoding code converts that
+/// into Status::InvalidArgument at its API boundary.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetVarint(uint64_t* value);
+  bool GetSigned(int64_t* value);
+  bool GetDouble(double* value);
+  bool GetString(std::string* value);
+
+  /// True when all input has been consumed.
+  bool Done() const { return position_ >= data_.size(); }
+
+  size_t remaining() const { return data_.size() - position_; }
+
+ private:
+  std::string_view data_;
+  size_t position_ = 0;
+};
+
+/// Convenience error for decoders.
+inline Status CorruptSnapshot(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt snapshot: ") + what);
+}
+
+}  // namespace tds
+
+#endif  // TDS_UTIL_CODEC_H_

@@ -1,0 +1,77 @@
+#include "util/morris.h"
+
+#include <cmath>
+#include <vector>
+
+namespace tds {
+
+MorrisCounter::MorrisCounter(const Options& options)
+    : a_(options.a), rng_(options.seed) {}
+
+StatusOr<MorrisCounter> MorrisCounter::Create(const Options& options) {
+  if (!(options.a > 0.0)) {
+    return Status::InvalidArgument("Morris base parameter a must be > 0");
+  }
+  return MorrisCounter(options);
+}
+
+void MorrisCounter::Increment() {
+  const double p = std::pow(1.0 + a_, -static_cast<double>(c_));
+  if (rng_.NextBernoulli(p)) ++c_;
+}
+
+void MorrisCounter::Add(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) Increment();
+}
+
+double MorrisCounter::Estimate() const {
+  return (std::pow(1.0 + a_, static_cast<double>(c_)) - 1.0) / a_;
+}
+
+int MorrisCounter::StorageBits() const {
+  int bits = 1;
+  while ((1u << bits) < c_ + 2u) ++bits;
+  return bits;
+}
+
+MorrisEnsemble::MorrisEnsemble(std::vector<MorrisCounter> counters)
+    : counters_(std::move(counters)) {}
+
+StatusOr<MorrisEnsemble> MorrisEnsemble::Create(const Options& options) {
+  if (options.copies < 1) {
+    return Status::InvalidArgument("ensemble needs at least one copy");
+  }
+  std::vector<MorrisCounter> counters;
+  counters.reserve(options.copies);
+  for (int i = 0; i < options.copies; ++i) {
+    MorrisCounter::Options copy_options;
+    copy_options.a = options.a;
+    copy_options.seed = HashCombine(options.seed, static_cast<uint64_t>(i));
+    auto counter = MorrisCounter::Create(copy_options);
+    if (!counter.ok()) return counter.status();
+    counters.push_back(std::move(counter).value());
+  }
+  return MorrisEnsemble(std::move(counters));
+}
+
+void MorrisEnsemble::Increment() {
+  for (auto& counter : counters_) counter.Increment();
+}
+
+void MorrisEnsemble::Add(uint64_t n) {
+  for (auto& counter : counters_) counter.Add(n);
+}
+
+double MorrisEnsemble::Estimate() const {
+  double sum = 0.0;
+  for (const auto& counter : counters_) sum += counter.Estimate();
+  return sum / static_cast<double>(counters_.size());
+}
+
+int MorrisEnsemble::StorageBits() const {
+  int bits = 0;
+  for (const auto& counter : counters_) bits += counter.StorageBits();
+  return bits;
+}
+
+}  // namespace tds

@@ -1,0 +1,79 @@
+#ifndef TDS_UTIL_MORRIS_H_
+#define TDS_UTIL_MORRIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Morris's probabilistic counter (CACM 1978), cited in the paper's
+/// introduction as the O(log log n)-bit solution for approximate
+/// *non-decaying* counts. Included as a substrate and as the baseline for
+/// the storage-comparison benchmark.
+///
+/// The counter keeps a small register `c` and increments it with probability
+/// `(1+a)^{-c}`; the estimate is `((1+a)^c - 1) / a`. Smaller `a` gives
+/// better accuracy at the cost of a slightly larger register. The standard
+/// relative standard deviation is sqrt(a/2) per counter; averaging
+/// independent copies reduces it further (see MorrisEnsemble).
+class MorrisCounter {
+ public:
+  struct Options {
+    /// Base parameter a > 0; relative std dev ~ sqrt(a/2).
+    double a = 0.1;
+    uint64_t seed = 1;
+  };
+
+  static StatusOr<MorrisCounter> Create(const Options& options);
+
+  /// Registers one event.
+  void Increment();
+
+  /// Registers `n` events (n independent probabilistic increments).
+  void Add(uint64_t n);
+
+  /// Unbiased estimate of the number of events registered so far.
+  double Estimate() const;
+
+  /// Value of the internal register (for storage accounting/tests).
+  uint32_t Register() const { return c_; }
+
+  /// Bits needed for the register: ceil(log2(c+2)) — O(log log n).
+  int StorageBits() const;
+
+ private:
+  MorrisCounter(const Options& options);
+
+  double a_;
+  uint32_t c_ = 0;
+  Rng rng_;
+};
+
+/// Averages k independent Morris counters for tighter concentration.
+class MorrisEnsemble {
+ public:
+  struct Options {
+    double a = 0.1;
+    int copies = 8;
+    uint64_t seed = 1;
+  };
+
+  static StatusOr<MorrisEnsemble> Create(const Options& options);
+
+  void Increment();
+  void Add(uint64_t n);
+  double Estimate() const;
+  int StorageBits() const;
+
+ private:
+  explicit MorrisEnsemble(std::vector<MorrisCounter> counters);
+
+  std::vector<MorrisCounter> counters_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_UTIL_MORRIS_H_

@@ -1,0 +1,75 @@
+#include "util/stable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tds {
+
+namespace {
+
+// Chambers–Mallows–Stuck generator for a standard symmetric p-stable
+// variate from theta ~ U(-pi/2, pi/2) and W ~ Exp(1).
+double CmsStable(double p, double theta, double w) {
+  if (p == 2.0) {
+    // Direct Gaussian would need a different transform; handled by caller.
+    return 0.0;
+  }
+  if (p == 1.0) {
+    return std::tan(theta);  // Cauchy.
+  }
+  const double a = std::sin(p * theta) / std::pow(std::cos(theta), 1.0 / p);
+  const double b = std::pow(std::cos(theta * (1.0 - p)) / w, (1.0 - p) / p);
+  return a * b;
+}
+
+}  // namespace
+
+StableSampler::StableSampler(double p) : p_(p) {
+  if (p == 1.0) {
+    // |Cauchy| has median tan(pi/4) = 1.
+    median_abs_ = 1.0;
+  } else if (p == 2.0) {
+    // FromUniforms(p=2) yields N(0, 2) (standard 2-stable with the sketch
+    // scale convention); median of |N(0, sigma^2)| is sigma * Phi^{-1}(3/4).
+    median_abs_ = std::sqrt(2.0) * 0.6744897501960817;
+  } else {
+    // Deterministic Monte Carlo calibration: median of |X| over a fixed
+    // sample. The calibration constant only has to be consistent with
+    // FromUniforms, which uses the same transform.
+    constexpr int kSamples = 1 << 18;
+    std::vector<double> abs_values;
+    abs_values.reserve(kSamples);
+    Rng rng(0x5ab1e5eedULL);
+    for (int i = 0; i < kSamples; ++i) {
+      abs_values.push_back(
+          std::fabs(FromUniforms(rng.NextOpenDouble(), rng.NextOpenDouble())));
+    }
+    auto mid = abs_values.begin() + kSamples / 2;
+    std::nth_element(abs_values.begin(), mid, abs_values.end());
+    median_abs_ = *mid;
+  }
+}
+
+StatusOr<StableSampler> StableSampler::Create(double p) {
+  if (!(p > 0.0) || p > 2.0) {
+    return Status::InvalidArgument("stability index p must be in (0, 2]");
+  }
+  return StableSampler(p);
+}
+
+double StableSampler::FromUniforms(double u1, double u2) const {
+  const double theta = M_PI * (u1 - 0.5);  // U(-pi/2, pi/2)
+  if (p_ == 2.0) {
+    // 2-stable: Gaussian via Box-Muller on the same two uniforms. This is
+    // N(0, 2) under the standard S(2) parameterization.
+    return std::sqrt(2.0) *
+           (std::sqrt(-2.0 * std::log(u2)) * std::cos(2.0 * M_PI * u1));
+  }
+  const double w = -std::log(u2);  // Exp(1)
+  return CmsStable(p_, theta, w);
+}
+
+}  // namespace tds

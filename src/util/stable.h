@@ -1,0 +1,41 @@
+#ifndef TDS_UTIL_STABLE_H_
+#define TDS_UTIL_STABLE_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace tds {
+
+/// Samplers for symmetric p-stable distributions, the randomness behind
+/// Indyk's L_p sketch (Section 7.1 of the paper). For p = 1 this is the
+/// standard Cauchy distribution, for p = 2 the Gaussian; general p in (0, 2]
+/// uses the Chambers–Mallows–Stuck transform of two uniforms.
+class StableSampler {
+ public:
+  /// Creates a sampler for stability index p in (0, 2].
+  static StatusOr<StableSampler> Create(double p);
+
+  double p() const { return p_; }
+
+  /// Maps two uniforms u1 in (0,1), u2 in (0,1) to a standard symmetric
+  /// p-stable variate. Deterministic in (u1, u2): the sketch regenerates
+  /// matrix entries on the fly from hashed uniforms.
+  double FromUniforms(double u1, double u2) const;
+
+  /// Median of |X| for X standard symmetric p-stable. Indyk's median
+  /// estimator divides by this to unbias the norm estimate. Exact for
+  /// p = 1 and p = 2; calibrated once by deterministic Monte Carlo for
+  /// other p (and cached in the instance).
+  double MedianAbs() const { return median_abs_; }
+
+ private:
+  explicit StableSampler(double p);
+
+  double p_;
+  double median_abs_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_UTIL_STABLE_H_

@@ -1,0 +1,8 @@
+#include "util/status.h"
+
+namespace tds {
+
+// Status and StatusOr are header-only; this file anchors the translation unit
+// so the target always has at least one symbol from util/status.h.
+
+}  // namespace tds

@@ -1,0 +1,181 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "decay/custom.h"
+#include "decay/decay_function.h"
+#include "decay/exponential.h"
+#include "decay/polyexponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+
+namespace tds {
+namespace {
+
+TEST(ExponentialDecayTest, WeightsAndValidation) {
+  EXPECT_FALSE(ExponentialDecay::Create(0.0).ok());
+  EXPECT_FALSE(ExponentialDecay::Create(-1.0).ok());
+  auto decay = ExponentialDecay::Create(0.5).value();
+  EXPECT_DOUBLE_EQ(decay->Weight(1), std::exp(-0.5));
+  EXPECT_DOUBLE_EQ(decay->Weight(4), std::exp(-2.0));
+  EXPECT_EQ(decay->Horizon(), kInfiniteHorizon);
+  EXPECT_TRUE(decay->IsWbmhAdmissible());
+}
+
+TEST(ExponentialDecayTest, HalfLifeHelper) {
+  const double lambda = ExponentialDecay::LambdaForHalfLife(100.0);
+  auto decay = ExponentialDecay::Create(lambda).value();
+  EXPECT_NEAR(decay->Weight(101) / decay->Weight(1), 0.5, 1e-12);
+}
+
+TEST(SlidingWindowDecayTest, StepShape) {
+  EXPECT_FALSE(SlidingWindowDecay::Create(0).ok());
+  auto decay = SlidingWindowDecay::Create(64).value();
+  EXPECT_DOUBLE_EQ(decay->Weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(decay->Weight(64), 1.0);
+  EXPECT_DOUBLE_EQ(decay->Weight(65), 0.0);
+  EXPECT_EQ(decay->Horizon(), 64);
+  // The weight ratio diverges at the edge: not WBMH-admissible.
+  EXPECT_FALSE(decay->IsWbmhAdmissible());
+}
+
+TEST(PolynomialDecayTest, WeightsAndAdmissibility) {
+  EXPECT_FALSE(PolynomialDecay::Create(0.0).ok());
+  auto decay = PolynomialDecay::Create(2.0).value();
+  EXPECT_DOUBLE_EQ(decay->Weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(decay->Weight(10), 0.01);
+  EXPECT_TRUE(decay->IsWbmhAdmissible());
+  EXPECT_EQ(decay->Horizon(), kInfiniteHorizon);
+}
+
+TEST(PolynomialDecayTest, WeightRatiosApproachOne) {
+  // The paper's motivating property: the ratio of two items' weights tends
+  // to 1 as time passes (severity can outlast recency).
+  auto decay = PolynomialDecay::Create(1.0).value();
+  const Tick gap = 100;
+  double prev_ratio = std::numeric_limits<double>::infinity();
+  for (Tick age = 1; age < Tick{1} << 16; age *= 4) {
+    const double ratio = decay->Weight(age) / decay->Weight(age + gap);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_LT(prev_ratio, 1.01);
+}
+
+TEST(ExponentialDecayTest, WeightRatiosStayFixed) {
+  // Contrast: EXPD's relative weights are frozen forever (paper's critique).
+  auto decay = ExponentialDecay::Create(0.01).value();
+  const Tick gap = 100;
+  const double first = decay->Weight(1) / decay->Weight(1 + gap);
+  for (Tick age : {10, 100, 1000, 10000}) {
+    EXPECT_NEAR(decay->Weight(age) / decay->Weight(age + gap), first,
+                1e-9 * first);
+  }
+}
+
+TEST(PolyExponentialDecayTest, ShapeAndValidation) {
+  EXPECT_FALSE(PolyExponentialDecay::Create(-1, 0.1).ok());
+  EXPECT_FALSE(PolyExponentialDecay::Create(2, 0.0).ok());
+  EXPECT_FALSE(PolyExponentialDecay::Create(25, 0.1).ok());
+  auto decay = PolyExponentialDecay::Create(2, 0.1).value();
+  // g(x) = x^2 e^{-x/10} / 2 rises to x = 20 then decays.
+  EXPECT_LT(decay->Weight(1), decay->Weight(20));
+  EXPECT_GT(decay->Weight(20), decay->Weight(100));
+  EXPECT_FALSE(decay->IsWbmhAdmissible());
+  // k = 0 is plain exponential: admissible.
+  EXPECT_TRUE(PolyExponentialDecay::Create(0, 0.1).value()->IsWbmhAdmissible());
+}
+
+TEST(PolyExponentialDecayTest, MatchesClosedForm) {
+  auto decay = PolyExponentialDecay::Create(3, 0.2).value();
+  const double x = 7.0;
+  EXPECT_NEAR(decay->Weight(7),
+              std::pow(x, 3) * std::exp(-0.2 * x) / 6.0, 1e-12);
+}
+
+TEST(CustomDecayTest, ValidatesShape) {
+  EXPECT_FALSE(CustomDecay::Create(nullptr, 10, "null").ok());
+  EXPECT_FALSE(
+      CustomDecay::Create([](Tick) { return -1.0; }, 10, "negative").ok());
+  EXPECT_FALSE(
+      CustomDecay::Create([](Tick age) { return static_cast<double>(age); },
+                          1000, "increasing")
+          .ok());
+  auto ok = CustomDecay::Create(
+      [](Tick age) { return 1.0 / (1.0 + static_cast<double>(age)); },
+      kInfiniteHorizon, "harmonic");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->Name(), "harmonic");
+  EXPECT_DOUBLE_EQ((*ok)->Weight(1), 0.5);
+}
+
+TEST(CustomDecayTest, HorizonZeroesWeight) {
+  auto decay = CustomDecay::Create([](Tick) { return 1.0; }, 50, "box");
+  ASSERT_TRUE(decay.ok());
+  EXPECT_DOUBLE_EQ((*decay)->Weight(50), 1.0);
+  EXPECT_DOUBLE_EQ((*decay)->Weight(51), 0.0);
+}
+
+TEST(TableDecayTest, StepsAndValidation) {
+  EXPECT_FALSE(MakeTableDecay({}, 10, "empty").ok());
+  EXPECT_FALSE(MakeTableDecay({1.0, 2.0}, 10, "rising").ok());
+  EXPECT_FALSE(MakeTableDecay({1.0}, 0, "zerostep").ok());
+  auto decay = MakeTableDecay({1.0, 0.5, 0.25}, 10, "steps").value();
+  EXPECT_DOUBLE_EQ(decay->Weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(decay->Weight(10), 1.0);
+  EXPECT_DOUBLE_EQ(decay->Weight(11), 0.5);
+  EXPECT_DOUBLE_EQ(decay->Weight(21), 0.25);
+  EXPECT_DOUBLE_EQ(decay->Weight(31), 0.0);
+  EXPECT_EQ(decay->Horizon(), 30);
+}
+
+TEST(ShiftedPolynomialDecayTest, ShapeAndAdmissibility) {
+  EXPECT_FALSE(ShiftedPolynomialDecay::Create(0.0, 10.0).ok());
+  EXPECT_FALSE(ShiftedPolynomialDecay::Create(1.0, -1.0).ok());
+  auto decay = ShiftedPolynomialDecay::Create(2.0, 100.0).value();
+  EXPECT_DOUBLE_EQ(decay->Weight(1), 1.0);  // normalized at age 1
+  // Young ages barely decay...
+  EXPECT_GT(decay->Weight(10), 0.8);
+  // ...but the polynomial tail eventually takes over.
+  EXPECT_LT(decay->Weight(10000), 0.001);
+  EXPECT_TRUE(decay->IsWbmhAdmissible());
+  // Zero shift coincides with plain POLYD.
+  auto unshifted = ShiftedPolynomialDecay::Create(1.5, 0.0).value();
+  auto plain = PolynomialDecay::Create(1.5).value();
+  for (Tick age : {1, 7, 100, 5000}) {
+    EXPECT_NEAR(unshifted->Weight(age), plain->Weight(age), 1e-12);
+  }
+}
+
+TEST(DecayFunctionTest, DynamicRange) {
+  auto poly = PolynomialDecay::Create(2.0).value();
+  EXPECT_DOUBLE_EQ(poly->DynamicRange(100), 10000.0);  // (100)^2
+  auto sliwin = SlidingWindowDecay::Create(10).value();
+  EXPECT_DOUBLE_EQ(sliwin->DynamicRange(10), 1.0);
+  EXPECT_TRUE(std::isinf(sliwin->DynamicRange(11)));
+}
+
+TEST(DecayFunctionTest, NumericAdmissibilityProbe) {
+  // Default probe (no closed-form override) through CustomDecay-like class:
+  // 1/(1+x) has non-increasing ratio -> admissible.
+  class Harmonic : public DecayFunction {
+   public:
+    double Weight(Tick age) const override {
+      return 1.0 / (1.0 + static_cast<double>(age));
+    }
+    std::string Name() const override { return "harmonic"; }
+  };
+  EXPECT_TRUE(Harmonic().IsWbmhAdmissible());
+
+  // A decay with an abrupt cliff has an increasing ratio near the cliff.
+  class Cliff : public DecayFunction {
+   public:
+    double Weight(Tick age) const override { return age <= 100 ? 1.0 : 0.01; }
+    std::string Name() const override { return "cliff"; }
+  };
+  EXPECT_FALSE(Cliff().IsWbmhAdmissible());
+}
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,151 @@
+// Randomized differential testing: drive every backend with randomized
+// op sequences (bursty updates, idle gaps, interleaved queries, value
+// spikes, snapshot round-trips at random points) against the exact
+// reference, under generous per-backend error envelopes. Any crash, CHECK
+// failure, negative estimate, or envelope violation is a bug.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/factory.h"
+#include "core/snapshot.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+struct FuzzParam {
+  Backend backend;
+  int decay_kind;  // 0 = POLYD(1), 1 = POLYD(2.5), 2 = SLIWIN, 3 = EXPD
+  double envelope;
+  uint64_t seed;
+};
+
+DecayPtr MakeDecay(int kind) {
+  switch (kind) {
+    case 0: return PolynomialDecay::Create(1.0).value();
+    case 1: return PolynomialDecay::Create(2.5).value();
+    case 2: return SlidingWindowDecay::Create(700).value();
+    default: return ExponentialDecay::Create(0.01).value();
+  }
+}
+
+std::string FuzzName(const ::testing::TestParamInfo<FuzzParam>& info) {
+  const auto& p = info.param;
+  std::string name;
+  switch (p.backend) {
+    case Backend::kCeh: name = "Ceh"; break;
+    case Backend::kWbmh: name = "Wbmh"; break;
+    case Backend::kCoarseCeh: name = "Coarse"; break;
+    case Backend::kEwma: name = "Ewma"; break;
+    case Backend::kRecentItems: name = "Recent"; break;
+    default: name = "Other"; break;
+  }
+  name += "Decay" + std::to_string(p.decay_kind);
+  name += "Seed" + std::to_string(p.seed);
+  return name;
+}
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(DifferentialFuzzTest, RandomOpSequenceStaysInEnvelope) {
+  const FuzzParam param = GetParam();
+  const DecayPtr decay = MakeDecay(param.decay_kind);
+  AggregateOptions options;
+  options.backend = param.backend;
+  options.epsilon = 0.1;
+  auto subject_or = MakeDecayedSum(decay, options);
+  ASSERT_TRUE(subject_or.ok());
+  std::unique_ptr<DecayedAggregate> subject = std::move(subject_or).value();
+  auto exact = ExactDecayedSum::Create(decay);
+  ASSERT_TRUE(exact.ok());
+
+  Rng rng(param.seed);
+  Tick t = 1;
+  int violations = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t dice = rng.NextBelow(100);
+    if (dice < 60) {
+      // Common case: small advance + small update.
+      t += rng.NextBelow(3);
+      const uint64_t value = rng.NextBelow(4);
+      subject->Update(t, value);
+      (*exact)->Update(t, value);
+    } else if (dice < 70) {
+      // Idle gap.
+      t += 1 + rng.NextBelow(500);
+      subject->Update(t, 0);
+      (*exact)->Update(t, 0);
+    } else if (dice < 75) {
+      // Value spike.
+      t += 1;
+      const uint64_t value = 1 + rng.NextBelow(5000);
+      subject->Update(t, value);
+      (*exact)->Update(t, value);
+    } else if (dice < 95) {
+      // Query and compare.
+      const double estimate = subject->Query(t);
+      const double truth = (*exact)->Query(t);
+      ASSERT_GE(estimate, 0.0) << "step " << step;
+      if (truth > 1.0) {  // skip near-zero denominators
+        const double rel = std::fabs(estimate - truth) / truth;
+        if (rel > param.envelope) {
+          ++violations;
+          ASSERT_LE(violations, 0)
+              << "step " << step << " t=" << t << " est=" << estimate
+              << " truth=" << truth << " rel=" << rel;
+        }
+      }
+    } else {
+      // Snapshot round-trip at a random point.
+      std::string bytes;
+      const Status encoded = EncodeDecayedSum(*subject, &bytes);
+      ASSERT_TRUE(encoded.ok()) << encoded.ToString();
+      auto restored = DecodeDecayedSum(decay, bytes);
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      subject = std::move(restored).value();
+    }
+  }
+  // Final consistency probe.
+  const double estimate = subject->Query(t + 100);
+  const double truth = (*exact)->Query(t + 100);
+  if (truth > 1.0) {
+    EXPECT_LE(std::fabs(estimate - truth) / truth, param.envelope);
+  }
+}
+
+std::vector<FuzzParam> MakeGrid() {
+  std::vector<FuzzParam> grid;
+  uint64_t seed = 1;
+  for (int decay_kind : {0, 1, 2, 3}) {
+    for (uint64_t s = 0; s < 3; ++s) {
+      // CEH handles every decay; envelope 3*eps for bucket-granularity.
+      grid.push_back(FuzzParam{Backend::kCeh, decay_kind, 0.35, seed++});
+    }
+  }
+  for (int decay_kind : {0, 1}) {  // WBMH: admissible decays
+    for (uint64_t s = 0; s < 3; ++s) {
+      grid.push_back(FuzzParam{Backend::kWbmh, decay_kind, 0.35, seed++});
+    }
+  }
+  for (uint64_t s = 0; s < 3; ++s) {
+    // Coarse CEH: constant-factor contract.
+    grid.push_back(FuzzParam{Backend::kCoarseCeh, 0, 1.6, seed++});
+    grid.push_back(FuzzParam{Backend::kEwma, 3, 0.001, seed++});
+    grid.push_back(FuzzParam{Backend::kRecentItems, 3, 0.12, seed++});
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, DifferentialFuzzTest,
+                         ::testing::ValuesIn(MakeGrid()), FuzzName);
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,356 @@
+#include "histogram/exponential_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+using Bucket = ExponentialHistogram::Bucket;
+
+ExponentialHistogram MakeEh(double epsilon, Tick window) {
+  ExponentialHistogram::Options options;
+  options.epsilon = epsilon;
+  options.window = window;
+  auto eh = ExponentialHistogram::Create(options);
+  EXPECT_TRUE(eh.ok()) << eh.status().ToString();
+  return std::move(eh).value();
+}
+
+TEST(ExponentialHistogramTest, CreateValidatesOptions) {
+  ExponentialHistogram::Options options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(ExponentialHistogram::Create(options).ok());
+  options.epsilon = 1.5;
+  EXPECT_FALSE(ExponentialHistogram::Create(options).ok());
+  options.epsilon = 0.1;
+  options.window = 0;
+  EXPECT_FALSE(ExponentialHistogram::Create(options).ok());
+  options.window = 100;
+  EXPECT_TRUE(ExponentialHistogram::Create(options).ok());
+}
+
+TEST(ExponentialHistogramTest, EmptyEstimatesZero) {
+  ExponentialHistogram eh = MakeEh(0.1, 100);
+  EXPECT_EQ(eh.Estimate(), 0.0);
+  eh.AdvanceTo(50);
+  EXPECT_EQ(eh.Estimate(), 0.0);
+  EXPECT_EQ(eh.BucketCount(), 0u);
+  EXPECT_TRUE(eh.Empty());
+}
+
+TEST(ExponentialHistogramTest, ExactWhileEverythingInWindow) {
+  ExponentialHistogram eh = MakeEh(0.1, 1000);
+  uint64_t total = 0;
+  for (Tick t = 1; t <= 100; ++t) {
+    eh.Add(t, 1);
+    ++total;
+    // Nothing has expired, so the estimate must be exact.
+    EXPECT_DOUBLE_EQ(eh.Estimate(), static_cast<double>(total)) << "t=" << t;
+  }
+}
+
+TEST(ExponentialHistogramTest, BucketCountsArePowersOfTwo) {
+  ExponentialHistogram eh = MakeEh(0.2, kInfiniteHorizon);
+  for (Tick t = 1; t <= 500; ++t) eh.Add(t, 1);
+  for (const Bucket& b : eh.Buckets()) {
+    EXPECT_EQ(b.count & (b.count - 1), 0u) << "count=" << b.count;
+  }
+}
+
+TEST(ExponentialHistogramTest, BucketsOrderedOldestFirstWithTotalPreserved) {
+  ExponentialHistogram eh = MakeEh(0.2, kInfiniteHorizon);
+  uint64_t total = 0;
+  Rng rng(7);
+  for (Tick t = 1; t <= 300; ++t) {
+    const uint64_t value = rng.NextBelow(4);
+    eh.Add(t, value);
+    total += value;
+  }
+  Tick prev_end = 0;
+  uint64_t bucket_total = 0;
+  for (const Bucket& b : eh.Buckets()) {
+    EXPECT_GE(b.end, prev_end);
+    prev_end = b.end;
+    bucket_total += b.count;
+  }
+  EXPECT_EQ(bucket_total, total);
+  EXPECT_EQ(eh.TotalCount(), total);
+}
+
+TEST(ExponentialHistogramTest, ExpiryDropsOldBuckets) {
+  ExponentialHistogram eh = MakeEh(0.1, 10);
+  for (Tick t = 1; t <= 50; ++t) eh.Add(t, 1);
+  // Window is [41, 50]: no bucket may end before 41.
+  for (const Bucket& b : eh.Buckets()) EXPECT_GE(b.end, 41);
+  // Advance far: everything expires.
+  eh.AdvanceTo(100);
+  EXPECT_EQ(eh.BucketCount(), 0u);
+  EXPECT_EQ(eh.Estimate(), 0.0);
+}
+
+TEST(ExponentialHistogramTest, ValueInsertEqualsUnitInserts) {
+  // Adding v at tick t must leave exactly the same state as adding 1
+  // v times at tick t (the digit-arithmetic fast path is semantically a
+  // batch of unit insertions).
+  for (uint64_t value : {2u, 3u, 5u, 17u, 64u, 100u}) {
+    ExponentialHistogram fast = MakeEh(0.25, kInfiniteHorizon);
+    ExponentialHistogram slow = MakeEh(0.25, kInfiniteHorizon);
+    Rng rng(value);
+    for (Tick t = 1; t <= 40; ++t) {
+      const uint64_t v = (t % 3 == 0) ? value : rng.NextBelow(3);
+      fast.Add(t, v);
+      for (uint64_t i = 0; i < v; ++i) slow.Add(t, 1);
+      slow.AdvanceTo(t);
+    }
+    const auto fast_buckets = fast.Buckets();
+    const auto slow_buckets = slow.Buckets();
+    ASSERT_EQ(fast_buckets.size(), slow_buckets.size()) << "value=" << value;
+    for (size_t i = 0; i < fast_buckets.size(); ++i) {
+      EXPECT_EQ(fast_buckets[i].end, slow_buckets[i].end);
+      EXPECT_EQ(fast_buckets[i].count, slow_buckets[i].count);
+    }
+  }
+}
+
+// Brute-force window count for reference.
+uint64_t BruteWindowCount(const Stream& stream, Tick now, Tick w) {
+  uint64_t count = 0;
+  for (const StreamItem& item : stream) {
+    if (item.t <= now && AgeAt(item.t, now) <= w) count += item.value;
+  }
+  return count;
+}
+
+struct EhAccuracyParam {
+  double epsilon;
+  double density;
+  uint64_t seed;
+};
+
+class EhAccuracyTest : public ::testing::TestWithParam<EhAccuracyParam> {};
+
+TEST_P(EhAccuracyTest, AllWindowEstimatesWithinEpsilon) {
+  const EhAccuracyParam param = GetParam();
+  const Tick length = 2000;
+  const Stream stream = BernoulliStream(length, param.density, param.seed);
+  ExponentialHistogram eh = MakeEh(param.epsilon, kInfiniteHorizon);
+  for (const StreamItem& item : stream) eh.Add(item.t, item.value);
+  eh.AdvanceTo(length);
+  // Lemma 4.1: one EH answers every window size.
+  for (Tick w : {1, 2, 3, 5, 10, 50, 100, 500, 1000, 1999, 2000}) {
+    const double estimate = eh.EstimateWindow(w);
+    const double exact = static_cast<double>(BruteWindowCount(stream, length, w));
+    if (exact == 0.0) {
+      EXPECT_EQ(estimate, 0.0) << "w=" << w;
+      continue;
+    }
+    EXPECT_LE(std::fabs(estimate - exact), param.epsilon * exact + 1e-9)
+        << "w=" << w << " exact=" << exact << " est=" << estimate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EhAccuracyTest,
+    ::testing::Values(EhAccuracyParam{0.5, 0.5, 1}, EhAccuracyParam{0.2, 0.5, 2},
+                      EhAccuracyParam{0.1, 0.5, 3}, EhAccuracyParam{0.05, 0.5, 4},
+                      EhAccuracyParam{0.1, 0.05, 5}, EhAccuracyParam{0.1, 1.0, 6},
+                      EhAccuracyParam{0.02, 0.3, 7},
+                      EhAccuracyParam{0.3, 0.9, 8}));
+
+TEST(ExponentialHistogramTest, SlidingWindowEstimateWithinEpsilon) {
+  const double epsilon = 0.1;
+  const Tick window = 256;
+  ExponentialHistogram eh = MakeEh(epsilon, window);
+  const Stream stream = BernoulliStream(5000, 0.7, 99);
+  std::deque<StreamItem> live;
+  for (const StreamItem& item : stream) {
+    eh.Add(item.t, item.value);
+    live.push_back(item);
+    while (!live.empty() && AgeAt(live.front().t, item.t) > window) {
+      live.pop_front();
+    }
+    uint64_t exact = 0;
+    for (const StreamItem& x : live) exact += x.value;
+    const double estimate = eh.Estimate();
+    EXPECT_LE(std::fabs(estimate - static_cast<double>(exact)),
+              epsilon * static_cast<double>(exact) + 1e-9)
+        << "t=" << item.t;
+  }
+}
+
+TEST(ExponentialHistogramTest, StorageGrowsPolylogarithmically) {
+  // O(eps^{-1} log^2 N): doubling N should add roughly O(log N) bits, far
+  // from doubling the storage.
+  ExponentialHistogram eh = MakeEh(0.1, kInfiniteHorizon);
+  std::vector<size_t> bits;
+  Tick t = 1;
+  for (int stage = 0; stage < 6; ++stage) {
+    const Tick stage_end = Tick{1} << (10 + stage);
+    for (; t <= stage_end; ++t) eh.Add(t, 1);
+    bits.push_back(eh.StorageBits());
+  }
+  for (size_t i = 1; i < bits.size(); ++i) {
+    EXPECT_LT(bits[i], bits[i - 1] * 3 / 2)
+        << "storage should grow much slower than the stream";
+  }
+}
+
+TEST(ExponentialHistogramTest, LargeValueInsertIsFast) {
+  // The digit-arithmetic path must handle single huge values without O(v)
+  // work; this just asserts it completes and preserves the count.
+  ExponentialHistogram eh = MakeEh(0.1, kInfiniteHorizon);
+  eh.Add(1, uint64_t{1} << 40);
+  eh.Add(2, (uint64_t{1} << 40) + 12345);
+  EXPECT_EQ(eh.TotalCount(), (uint64_t{1} << 41) + 12345);
+  const double estimate = eh.EstimateWindow(2);
+  EXPECT_NEAR(estimate, static_cast<double>(eh.TotalCount()),
+              0.1 * static_cast<double>(eh.TotalCount()));
+}
+
+
+TEST(ExponentialHistogramTest, PerClassCapInvariant) {
+  // The canonical EH invariant: at most cap = ceil(1/eps)+1 buckets per
+  // size class at all times.
+  const double epsilon = 0.2;
+  const uint64_t cap = static_cast<uint64_t>(std::ceil(1.0 / epsilon)) + 1;
+  ExponentialHistogram eh = MakeEh(epsilon, kInfiniteHorizon);
+  Rng rng(13);
+  for (Tick t = 1; t <= 2000; ++t) {
+    eh.Add(t, rng.NextBelow(5));
+    std::map<uint64_t, uint64_t> per_class;
+    for (const Bucket& b : eh.Buckets()) ++per_class[b.count];
+    for (const auto& [size, count] : per_class) {
+      ASSERT_LE(count, cap) << "t=" << t << " size=" << size;
+    }
+  }
+}
+
+TEST(ExponentialHistogramTest, DeterministicReplay) {
+  // Two histograms fed the same stream are bit-identical, regardless of
+  // interleaved AdvanceTo calls.
+  ExponentialHistogram a = MakeEh(0.1, 512);
+  ExponentialHistogram b = MakeEh(0.1, 512);
+  Rng rng(21);
+  Tick t = 1;
+  for (int i = 0; i < 1500; ++i) {
+    t += rng.NextBelow(4);
+    const uint64_t value = rng.NextBelow(3);
+    a.Add(t, value);
+    b.AdvanceTo(t);  // extra advances must not matter
+    b.Add(t, value);
+  }
+  const auto buckets_a = a.Buckets();
+  const auto buckets_b = b.Buckets();
+  ASSERT_EQ(buckets_a.size(), buckets_b.size());
+  for (size_t i = 0; i < buckets_a.size(); ++i) {
+    EXPECT_EQ(buckets_a[i].end, buckets_b[i].end);
+    EXPECT_EQ(buckets_a[i].count, buckets_b[i].count);
+  }
+}
+
+TEST(ExponentialHistogramTest, WindowOneTracksLastTick) {
+  ExponentialHistogram eh = MakeEh(0.1, 1);
+  eh.Add(5, 3);
+  EXPECT_DOUBLE_EQ(eh.Estimate(), 3.0);
+  eh.AdvanceTo(6);
+  EXPECT_DOUBLE_EQ(eh.Estimate(), 0.0);
+  eh.Add(7, 2);
+  EXPECT_DOUBLE_EQ(eh.Estimate(), 2.0);
+}
+
+TEST(ExponentialHistogramTest, EstimateWindowBeyondStreamIsTotal) {
+  ExponentialHistogram eh = MakeEh(0.1, kInfiniteHorizon);
+  for (Tick t = 1; t <= 100; ++t) eh.Add(t, 1);
+  // Window covering the whole stream: exact.
+  EXPECT_DOUBLE_EQ(eh.EstimateWindow(100), 100.0);
+  EXPECT_DOUBLE_EQ(eh.EstimateWindow(5000), 100.0);
+}
+
+
+TEST(ExponentialHistogramMergeTest, RejectsMismatchedOptions) {
+  ExponentialHistogram a = MakeEh(0.1, 100);
+  ExponentialHistogram b = MakeEh(0.2, 100);
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+  ExponentialHistogram c = MakeEh(0.1, 200);
+  EXPECT_FALSE(a.MergeFrom(c).ok());
+}
+
+TEST(ExponentialHistogramMergeTest, DisjointStreamsApproximateUnion) {
+  // Two sites see interleaved halves of one stream; the merged histogram
+  // must estimate the union's window counts within the summed tolerances.
+  const double epsilon = 0.1;
+  const Tick window = 1024;
+  ExponentialHistogram site_a = MakeEh(epsilon, window);
+  ExponentialHistogram site_b = MakeEh(epsilon, window);
+  ExponentialHistogram centralized = MakeEh(epsilon, window);
+  const Stream stream = BernoulliStream(6000, 0.8, 31);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    (i % 2 == 0 ? site_a : site_b).Add(stream[i].t, stream[i].value);
+    centralized.Add(stream[i].t, stream[i].value);
+  }
+  site_a.AdvanceTo(6000);
+  site_b.AdvanceTo(6000);
+  centralized.AdvanceTo(6000);
+  ASSERT_TRUE(site_a.MergeFrom(site_b).ok());
+  EXPECT_EQ(site_a.TotalCount(), centralized.TotalCount());
+  for (Tick w : {16, 64, 256, 1024}) {
+    const double merged = site_a.EstimateWindow(w);
+    const double exact =
+        static_cast<double>(BruteWindowCount(stream, 6000, w));
+    if (exact == 0.0) continue;
+    EXPECT_LE(std::fabs(merged - exact), 2.5 * epsilon * exact + 1.0)
+        << "w=" << w;
+  }
+}
+
+TEST(ExponentialHistogramMergeTest, MergeIntoEmpty) {
+  ExponentialHistogram a = MakeEh(0.1, 256);
+  ExponentialHistogram b = MakeEh(0.1, 256);
+  for (Tick t = 1; t <= 100; ++t) b.Add(t, 1);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.TotalCount(), 100u);
+  EXPECT_EQ(a.now(), 100);
+  // And the other direction: merging an empty histogram is a no-op.
+  ExponentialHistogram empty = MakeEh(0.1, 256);
+  const uint64_t before = a.TotalCount();
+  ASSERT_TRUE(a.MergeFrom(empty).ok());
+  EXPECT_EQ(a.TotalCount(), before);
+}
+
+TEST(ExponentialHistogramMergeTest, ManySitesFanIn) {
+  // Coordinator fan-in across 8 sites.
+  const double epsilon = 0.1;
+  const Tick window = 2048;
+  std::vector<ExponentialHistogram> sites;
+  for (int s = 0; s < 8; ++s) sites.push_back(MakeEh(epsilon, window));
+  const Stream stream = BernoulliStream(4000, 0.9, 77);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    sites[i % 8].Add(stream[i].t, stream[i].value);
+  }
+  ExponentialHistogram coordinator = MakeEh(epsilon, window);
+  for (auto& site : sites) {
+    site.AdvanceTo(4000);
+    ASSERT_TRUE(coordinator.MergeFrom(site).ok());
+  }
+  const double exact =
+      static_cast<double>(BruteWindowCount(stream, 4000, window));
+  EXPECT_NEAR(coordinator.Estimate(), exact, 3 * epsilon * exact + 1.0);
+}
+
+TEST(ExponentialHistogramTest, AdvanceToRejectsTimeTravel) {
+  ExponentialHistogram eh = MakeEh(0.1, 100);
+  eh.Add(10, 1);
+  EXPECT_DEATH(eh.Add(5, 1), "TDS_CHECK");
+}
+
+}  // namespace
+}  // namespace tds

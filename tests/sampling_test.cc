@@ -1,0 +1,296 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "sampling/bottom_k_mvd.h"
+#include "sampling/decayed_quantile.h"
+#include "sampling/decayed_sampler.h"
+#include "sampling/mvd_list.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+TEST(MvdListTest, RanksStrictlyIncreaseWithTime) {
+  MvdList list(1);
+  for (Tick t = 1; t <= 2000; ++t) list.Add(t, static_cast<double>(t));
+  uint64_t prev = 0;
+  for (const auto& entry : list.entries()) {
+    EXPECT_GT(entry.rank, prev);
+    prev = entry.rank;
+  }
+}
+
+TEST(MvdListTest, SizeIsLogarithmic) {
+  MvdList list(2);
+  for (Tick t = 1; t <= 100000; ++t) list.Add(t, 0.0);
+  // Expected size ~ H_n ~ ln(100000) ~ 11.5; allow generous slack.
+  EXPECT_LE(list.Size(), 60u);
+  EXPECT_GE(list.Size(), 2u);
+}
+
+TEST(MvdListTest, MinRankSinceFindsWindowMinimum) {
+  MvdList list(3);
+  for (Tick t = 1; t <= 500; ++t) list.Add(t, static_cast<double>(t));
+  // The last item is always retained; a window of 1 returns it.
+  auto last = list.MinRankSince(500);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->t, 500);
+  // Full-window selection returns the globally minimal rank = front.
+  auto full = list.MinRankSince(1);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->rank, list.entries().front().rank);
+  EXPECT_FALSE(list.MinRankSince(501).has_value());
+}
+
+TEST(MvdListTest, UniformSelectionOverWindow) {
+  // Repeated independent MV/D lists: the min-rank item of a fixed window is
+  // uniform over the window's items.
+  const Tick window_start = 51, window_end = 100;
+  std::map<Tick, int> histogram;
+  const int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    MvdList list(1000 + trial);
+    for (Tick t = 1; t <= window_end; ++t) list.Add(t, 0.0);
+    auto pick = list.MinRankSince(window_start);
+    ASSERT_TRUE(pick.has_value());
+    ++histogram[pick->t];
+  }
+  const double expected = trials / 50.0;
+  for (Tick t = window_start; t <= window_end; ++t) {
+    EXPECT_NEAR(histogram[t], expected, expected * 0.35) << "t=" << t;
+  }
+}
+
+TEST(MvdListTest, ExpireDropsOldEntries) {
+  MvdList list(4);
+  for (Tick t = 1; t <= 100; ++t) list.Add(t, 0.0);
+  list.ExpireOlderThan(90);
+  for (const auto& entry : list.entries()) EXPECT_GE(entry.t, 90);
+}
+
+TEST(DecayedSamplerTest, EmptyReturnsNullopt) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  auto sampler = DecayedSampler::Create(decay, {});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  EXPECT_FALSE(sampler->Sample(10, rng).has_value());
+}
+
+TEST(DecayedSamplerTest, SingleItemAlwaysSelected) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  auto sampler = DecayedSampler::Create(decay, {});
+  ASSERT_TRUE(sampler.ok());
+  sampler->Add(5, 3.14);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    auto pick = sampler->Sample(100, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->t, 5);
+    EXPECT_DOUBLE_EQ(pick->value, 3.14);
+  }
+}
+
+// Selection frequencies should track the decayed weights. Because one
+// sampler's repeated draws share the MV/D randomness, we average over many
+// independent samplers.
+TEST(DecayedSamplerTest, SelectionFollowsDecayWeights) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  const Tick n = 64;
+  const Tick now = n;
+  // Exact weights of items 1..n at time n.
+  std::vector<double> weights(n + 1, 0.0);
+  double total = 0.0;
+  for (Tick t = 1; t <= n; ++t) {
+    weights[t] = decay->Weight(AgeAt(t, now));
+    total += weights[t];
+  }
+  std::vector<int> histogram(n + 1, 0);
+  const int trials = 30000;
+  Rng draw_rng(99);
+  for (int trial = 0; trial < trials; ++trial) {
+    DecayedSampler::Options options;
+    options.seed = 5000 + trial;
+    options.epsilon = 0.05;
+    auto sampler = DecayedSampler::Create(decay, options);
+    ASSERT_TRUE(sampler.ok());
+    for (Tick t = 1; t <= n; ++t) sampler->Add(t, static_cast<double>(t));
+    auto pick = sampler->Sample(now, draw_rng);
+    ASSERT_TRUE(pick.has_value());
+    ++histogram[pick->t];
+  }
+  // Compare aggregated frequencies over coarse age bands (single-item
+  // frequencies are noisy and EH-bias-sensitive).
+  struct Band {
+    Tick lo, hi;
+  };
+  for (const Band& band : {Band{49, 64}, Band{17, 48}, Band{1, 16}}) {
+    double expected = 0.0;
+    int observed = 0;
+    for (Tick t = band.lo; t <= band.hi; ++t) {
+      expected += weights[t] / total;
+      observed += histogram[t];
+    }
+    EXPECT_NEAR(static_cast<double>(observed) / trials, expected,
+                0.15 * expected + 0.01)
+        << "band [" << band.lo << "," << band.hi << "]";
+  }
+}
+
+TEST(DecayedSamplerTest, SlidingWindowNeverPicksExpired) {
+  auto decay = SlidingWindowDecay::Create(50).value();
+  DecayedSampler::Options options;
+  options.seed = 7;
+  auto sampler = DecayedSampler::Create(decay, options);
+  ASSERT_TRUE(sampler.ok());
+  for (Tick t = 1; t <= 500; ++t) sampler->Add(t, static_cast<double>(t));
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    auto pick = sampler->Sample(500, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_GE(pick->t, 451) << "expired item selected";
+  }
+}
+
+TEST(DecayedSamplerTest, RetainedItemsStaySmall) {
+  auto decay = PolynomialDecay::Create(2.0).value();
+  auto sampler = DecayedSampler::Create(decay, {});
+  ASSERT_TRUE(sampler.ok());
+  for (Tick t = 1; t <= 50000; ++t) sampler->Add(t, 0.0);
+  EXPECT_LE(sampler->RetainedItems(), 64u);
+}
+
+TEST(DecayedQuantileTest, MedianOfUniformValues) {
+  auto decay = SlidingWindowDecay::Create(1000).value();
+  DecayedQuantile::Options options;
+  options.copies = 65;
+  options.seed = 21;
+  auto quantile = DecayedQuantile::Create(decay, options);
+  ASSERT_TRUE(quantile.ok());
+  // Values 1..1000 all inside the window with equal weight: the q-quantile
+  // is ~1000q.
+  for (Tick t = 1; t <= 1000; ++t) {
+    quantile->Add(t, static_cast<double>(t));
+  }
+  Rng rng(22);
+  auto median = quantile->QueryMedian(1000, rng);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_NEAR(*median, 500.0, 170.0);
+  auto p90 = quantile->Query(1000, 0.9, rng);
+  ASSERT_TRUE(p90.has_value());
+  EXPECT_GT(*p90, *median);
+}
+
+TEST(DecayedQuantileTest, DecayShiftsQuantiles) {
+  // Old small values, recent large values: under strong decay the median
+  // should reflect the recent regime.
+  auto decay = PolynomialDecay::Create(3.0).value();
+  DecayedQuantile::Options options;
+  options.copies = 65;
+  options.seed = 31;
+  auto quantile = DecayedQuantile::Create(decay, options);
+  ASSERT_TRUE(quantile.ok());
+  for (Tick t = 1; t <= 900; ++t) quantile->Add(t, 1.0);
+  for (Tick t = 901; t <= 1000; ++t) quantile->Add(t, 100.0);
+  Rng rng(32);
+  auto median = quantile->QueryMedian(1000, rng);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_DOUBLE_EQ(*median, 100.0);
+}
+
+TEST(DecayedQuantileTest, EmptyReturnsNullopt) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  auto quantile = DecayedQuantile::Create(decay, {});
+  ASSERT_TRUE(quantile.ok());
+  Rng rng(1);
+  EXPECT_FALSE(quantile->QueryMedian(10, rng).has_value());
+}
+
+
+TEST(BottomKMvdListTest, CreateValidates) {
+  EXPECT_FALSE(BottomKMvdList::Create(1, 5).ok());
+  EXPECT_TRUE(BottomKMvdList::Create(2, 5).ok());
+}
+
+TEST(BottomKMvdListTest, ExactForSmallWindows) {
+  auto list = std::move(BottomKMvdList::Create(8, 9)).value();
+  for (Tick t = 1; t <= 5; ++t) list.Add(t);
+  EXPECT_DOUBLE_EQ(list.EstimateCountSince(1), 5.0);
+  EXPECT_DOUBLE_EQ(list.EstimateCountSince(4), 2.0);
+  EXPECT_DOUBLE_EQ(list.EstimateCountSince(6), 0.0);
+}
+
+TEST(BottomKMvdListTest, SizeStaysLogarithmic) {
+  auto list = std::move(BottomKMvdList::Create(16, 10)).value();
+  for (Tick t = 1; t <= 50000; ++t) list.Add(t);
+  // Expected size ~ k * ln(n) ~ 16 * 10.8 ~ 173; generous slack.
+  EXPECT_LE(list.Size(), 500u);
+  EXPECT_GE(list.Size(), 16u);
+}
+
+TEST(BottomKMvdListTest, UnbiasedWindowCounts) {
+  // Across many independent lists, the (k-1)/r_k estimate of a fixed
+  // window's count must average to the true count.
+  const Tick n = 4000;
+  const Tick cutoff = 1500;  // true window count = 2501
+  const double truth = static_cast<double>(n - cutoff + 1);
+  const int trials = 300;
+  double sum = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto list = std::move(BottomKMvdList::Create(32, 500 + trial)).value();
+    for (Tick t = 1; t <= n; ++t) list.Add(t);
+    sum += list.EstimateCountSince(cutoff);
+  }
+  const double mean = sum / trials;
+  // Relative std of one estimate ~ 1/sqrt(k-2) ~ 0.18; mean of 300 ~ 0.011.
+  EXPECT_NEAR(mean / truth, 1.0, 0.05);
+}
+
+TEST(BottomKMvdListTest, RetainedSupersetOfWindowBottomK) {
+  // Every suffix window's k minimum ranks must be retained: verify against
+  // a full shadow copy of all ranks.
+  const int k = 4;
+  auto list = std::move(BottomKMvdList::Create(k, 77)).value();
+  // Shadow with identical rank sequence: reproduce by reading entries as
+  // they are added (ranks of retained entries are visible; evicted ones
+  // are the beaten ones). Instead verify the *property*: for each cutoff,
+  // the k smallest retained ranks in range have at least (k) entries when
+  // the window holds >= k items, and their count never exceeds total.
+  const Tick n = 2000;
+  for (Tick t = 1; t <= n; ++t) list.Add(t);
+  for (Tick cutoff : {1, 500, 1500, 1990, 1999}) {
+    int in_range = 0;
+    for (const auto& entry : list.entries()) {
+      if (entry.t >= cutoff) ++in_range;
+    }
+    const Tick window_items = n - cutoff + 1;
+    EXPECT_GE(in_range, std::min<Tick>(window_items, k)) << cutoff;
+  }
+}
+
+TEST(DecayedSamplerTest, UnbiasedCountOptionWorks) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedSampler::Options options;
+  options.seed = 404;
+  options.unbiased_count_k = 1;  // invalid
+  EXPECT_FALSE(DecayedSampler::Create(decay, options).ok());
+  options.unbiased_count_k = 16;
+  auto sampler = DecayedSampler::Create(decay, options);
+  ASSERT_TRUE(sampler.ok());
+  for (Tick t = 1; t <= 500; ++t) sampler->Add(t, static_cast<double>(t));
+  Rng rng(405);
+  int hits = 0;
+  for (int i = 0; i < 50; ++i) {
+    hits += sampler->Sample(500, rng).has_value();
+  }
+  EXPECT_EQ(hits, 50);
+}
+
+}  // namespace
+}  // namespace tds

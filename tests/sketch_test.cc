@@ -1,0 +1,202 @@
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "core/snapshot.h"
+#include "sketch/decayed_lp_norm.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+struct CoordUpdate {
+  Tick t;
+  uint64_t coord;
+  uint64_t amount;
+};
+
+double ExactDecayedNorm(const std::vector<CoordUpdate>& updates,
+                        const DecayFunction& g, Tick now, double p) {
+  std::map<uint64_t, double> coords;
+  for (const CoordUpdate& u : updates) {
+    const Tick age = AgeAt(u.t, now);
+    if (age > g.Horizon()) continue;
+    coords[u.coord] += static_cast<double>(u.amount) * g.Weight(age);
+  }
+  double sum = 0.0;
+  for (const auto& [coord, value] : coords) {
+    sum += std::pow(std::fabs(value), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+std::vector<CoordUpdate> RandomUpdates(int n, uint64_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CoordUpdate> updates;
+  updates.reserve(n);
+  Tick t = 1;
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<Tick>(rng.NextBelow(3));
+    updates.push_back(
+        CoordUpdate{t, rng.NextBelow(dims), 1 + rng.NextBelow(9)});
+  }
+  return updates;
+}
+
+TEST(DecayedLpNormTest, CreateValidates) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedLpNorm::Options options;
+  options.rows = 0;
+  EXPECT_FALSE(DecayedLpNorm::Create(decay, options).ok());
+  options.rows = 8;
+  options.quantization = 0.0;
+  EXPECT_FALSE(DecayedLpNorm::Create(decay, options).ok());
+  options.quantization = 64.0;
+  options.p = 3.0;
+  EXPECT_FALSE(DecayedLpNorm::Create(decay, options).ok());
+  options.p = 1.0;
+  EXPECT_TRUE(DecayedLpNorm::Create(decay, options).ok());
+  EXPECT_FALSE(DecayedLpNorm::Create(nullptr, options).ok());
+}
+
+TEST(DecayedLpNormTest, ProjectionEntriesAreDeterministic) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedLpNorm::Options options;
+  options.rows = 4;
+  auto a = DecayedLpNorm::Create(decay, options);
+  auto b = DecayedLpNorm::Create(decay, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int row = 0; row < 4; ++row) {
+    for (uint64_t coord : {0u, 1u, 99u}) {
+      EXPECT_EQ(a->ProjectionEntry(row, coord), b->ProjectionEntry(row, coord));
+    }
+  }
+  EXPECT_NE(a->ProjectionEntry(0, 1), a->ProjectionEntry(1, 1));
+}
+
+struct LpParam {
+  double p;
+  uint64_t seed;
+};
+
+class LpAccuracyTest : public ::testing::TestWithParam<LpParam> {};
+
+TEST_P(LpAccuracyTest, EstimatesDecayedNormWithinMedianError) {
+  const LpParam param = GetParam();
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedLpNorm::Options options;
+  options.p = param.p;
+  options.rows = 128;
+  options.epsilon = 0.1;
+  options.seed = param.seed;
+  auto sketch = DecayedLpNorm::Create(decay, options);
+  ASSERT_TRUE(sketch.ok());
+  const auto updates = RandomUpdates(800, 64, param.seed);
+  for (const CoordUpdate& u : updates) sketch->Update(u.t, u.coord, u.amount);
+  const Tick now = updates.back().t;
+  const double exact = ExactDecayedNorm(updates, *decay, now, param.p);
+  const double estimate = sketch->Query(now);
+  ASSERT_GT(exact, 0.0);
+  // Median-of-128-rows estimator: statistical spread ~0.13, allow 3 sigma.
+  EXPECT_NEAR(estimate / exact, 1.0, 0.4)
+      << "p=" << param.p << " exact=" << exact << " est=" << estimate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LpAccuracyTest,
+                         ::testing::Values(LpParam{1.0, 11}, LpParam{1.0, 12},
+                                           LpParam{1.5, 13}, LpParam{2.0, 14},
+                                           LpParam{2.0, 15}));
+
+TEST(DecayedLpNormTest, DecayForgetsOldMass) {
+  // Under sliding-window decay, mass outside the window must vanish from
+  // the norm.
+  auto decay = SlidingWindowDecay::Create(100).value();
+  DecayedLpNorm::Options options;
+  options.p = 1.0;
+  options.rows = 32;
+  options.seed = 5;
+  auto sketch = DecayedLpNorm::Create(decay, options);
+  ASSERT_TRUE(sketch.ok());
+  for (Tick t = 1; t <= 50; ++t) sketch->Update(t, t % 8, 10);
+  const double early = sketch->Query(50);
+  EXPECT_GT(early, 0.0);
+  const double late = sketch->Query(500);  // everything expired
+  EXPECT_NEAR(late, 0.0, 1e-6);
+}
+
+TEST(DecayedLpNormTest, ScalesLinearly) {
+  // ||c * H||_p = c ||H||_p: doubling every amount should double the
+  // estimate (same randomness).
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedLpNorm::Options options;
+  options.rows = 32;
+  options.seed = 9;
+  auto sketch1 = DecayedLpNorm::Create(decay, options);
+  auto sketch2 = DecayedLpNorm::Create(decay, options);
+  ASSERT_TRUE(sketch1.ok());
+  ASSERT_TRUE(sketch2.ok());
+  const auto updates = RandomUpdates(300, 32, 17);
+  for (const CoordUpdate& u : updates) {
+    sketch1->Update(u.t, u.coord, u.amount);
+    sketch2->Update(u.t, u.coord, 2 * u.amount);
+  }
+  const Tick now = updates.back().t;
+  const double e1 = sketch1->Query(now);
+  const double e2 = sketch2->Query(now);
+  EXPECT_NEAR(e2 / e1, 2.0, 0.15);
+}
+
+TEST(DecayedLpNormTest, StorageIndependentOfDimensions) {
+  // o(d) storage: feeding many distinct coordinates must not blow up the
+  // state (rows * polylog, not per-coordinate).
+  auto decay = SlidingWindowDecay::Create(512).value();
+  DecayedLpNorm::Options options;
+  options.rows = 16;
+  options.seed = 23;
+  auto sketch = DecayedLpNorm::Create(decay, options);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(23);
+  for (Tick t = 1; t <= 2000; ++t) {
+    sketch->Update(t, rng.NextBelow(1u << 20), 1 + rng.NextBelow(4));
+  }
+  // 32 CEHs of polylog size; generous cap far below 2^20 coordinates.
+  EXPECT_LT(sketch->StorageBits(), 400000u);
+}
+
+
+TEST(DecayedLpNormTest, SnapshotRoundTripContinuesIdentically) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  DecayedLpNorm::Options options;
+  options.rows = 32;
+  options.seed = 77;
+  auto original = DecayedLpNorm::Create(decay, options);
+  ASSERT_TRUE(original.ok());
+  const auto updates = RandomUpdates(400, 64, 55);
+  const size_t half = updates.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    original->Update(updates[i].t, updates[i].coord, updates[i].amount);
+  }
+  std::string bytes;
+  ASSERT_TRUE(EncodeDecayedLpNorm(*original, &bytes).ok());
+  auto restored = DecodeDecayedLpNorm(decay, bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (size_t i = half; i < updates.size(); ++i) {
+    original->Update(updates[i].t, updates[i].coord, updates[i].amount);
+    restored->Update(updates[i].t, updates[i].coord, updates[i].amount);
+  }
+  const Tick now = updates.back().t + 10;
+  EXPECT_DOUBLE_EQ(original->Query(now), restored->Query(now));
+  // Wrong decay rejected; corrupt data rejected.
+  EXPECT_FALSE(
+      DecodeDecayedLpNorm(PolynomialDecay::Create(2.0).value(), bytes).ok());
+  EXPECT_FALSE(DecodeDecayedLpNorm(decay, "nope").ok());
+}
+
+}  // namespace
+}  // namespace tds

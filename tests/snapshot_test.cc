@@ -1,0 +1,301 @@
+// Snapshot (serialization) round-trips: encode a structure mid-stream,
+// decode it into a fresh instance, continue feeding both, and require
+// bit-identical answers forever after.
+#include "core/snapshot.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "decay/exponential.h"
+#include "decay/polyexponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "histogram/wbmh_counter.h"
+#include "histogram/wbmh_layout.h"
+#include "stream/generators.h"
+#include "util/codec.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+TEST(CodecTest, VarintRoundTrip) {
+  Encoder encoder;
+  for (uint64_t value : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 40,
+                         ~0ull}) {
+    encoder.PutVarint(value);
+  }
+  const std::string bytes = encoder.Finish();
+  Decoder decoder(bytes);
+  for (uint64_t expected : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 40,
+                            ~0ull}) {
+    uint64_t value = 0;
+    ASSERT_TRUE(decoder.GetVarint(&value));
+    EXPECT_EQ(value, expected);
+  }
+  EXPECT_TRUE(decoder.Done());
+}
+
+TEST(CodecTest, SignedAndDoubleRoundTrip) {
+  Encoder encoder;
+  encoder.PutSigned(-12345);
+  encoder.PutSigned(0);
+  encoder.PutSigned(987654321);
+  encoder.PutDouble(3.14159);
+  encoder.PutDouble(-0.0);
+  encoder.PutString("hello");
+  const std::string bytes = encoder.Finish();
+  Decoder decoder(bytes);
+  int64_t a = 0, b = 0, c = 0;
+  double d = 0, e = 0;
+  std::string s;
+  ASSERT_TRUE(decoder.GetSigned(&a));
+  ASSERT_TRUE(decoder.GetSigned(&b));
+  ASSERT_TRUE(decoder.GetSigned(&c));
+  ASSERT_TRUE(decoder.GetDouble(&d));
+  ASSERT_TRUE(decoder.GetDouble(&e));
+  ASSERT_TRUE(decoder.GetString(&s));
+  EXPECT_EQ(a, -12345);
+  EXPECT_EQ(b, 0);
+  EXPECT_EQ(c, 987654321);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_DOUBLE_EQ(e, -0.0);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(decoder.Done());
+}
+
+TEST(CodecTest, TruncationDetected) {
+  Encoder encoder;
+  encoder.PutDouble(1.0);
+  std::string bytes = encoder.Finish();
+  bytes.resize(4);
+  Decoder decoder(bytes);
+  double value = 0;
+  EXPECT_FALSE(decoder.GetDouble(&value));
+  uint64_t big = 0;
+  Decoder empty("");
+  EXPECT_FALSE(empty.GetVarint(&big));
+}
+
+struct SnapshotCase {
+  const char* label;
+  DecayPtr decay;
+  Backend backend;
+};
+
+class SnapshotRoundTripTest : public ::testing::TestWithParam<int> {};
+
+std::vector<SnapshotCase> Cases() {
+  std::vector<SnapshotCase> cases;
+  cases.push_back({"exact", PolynomialDecay::Create(1.0).value(),
+                   Backend::kExact});
+  cases.push_back({"ewma", ExponentialDecay::Create(0.01).value(),
+                   Backend::kEwma});
+  cases.push_back({"recent", ExponentialDecay::Create(0.05).value(),
+                   Backend::kRecentItems});
+  cases.push_back({"polyexp", PolyExponentialDecay::Create(2, 0.05).value(),
+                   Backend::kPolyExp});
+  cases.push_back({"ceh_sliwin", SlidingWindowDecay::Create(200).value(),
+                   Backend::kCeh});
+  cases.push_back({"ceh_polyd", PolynomialDecay::Create(1.5).value(),
+                   Backend::kCeh});
+  cases.push_back({"coarse", PolynomialDecay::Create(1.0).value(),
+                   Backend::kCoarseCeh});
+  cases.push_back({"wbmh", PolynomialDecay::Create(2.0).value(),
+                   Backend::kWbmh});
+  return cases;
+}
+
+TEST(SnapshotTest, MidStreamRoundTripContinuesIdentically) {
+  for (const SnapshotCase& test_case : Cases()) {
+    AggregateOptions options;
+    options.backend = test_case.backend;
+    options.epsilon = 0.1;
+    auto original = MakeDecayedSum(test_case.decay, options);
+    ASSERT_TRUE(original.ok()) << test_case.label;
+
+    const Stream stream = BurstyStream(3000, 25, 40, 2.0, 17);
+    size_t half = stream.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      (*original)->Update(stream[i].t, stream[i].value);
+    }
+
+    std::string bytes;
+    ASSERT_TRUE(EncodeDecayedSum(**original, &bytes).ok()) << test_case.label;
+    auto restored = DecodeDecayedSum(test_case.decay, bytes);
+    ASSERT_TRUE(restored.ok())
+        << test_case.label << ": " << restored.status().ToString();
+    EXPECT_EQ((*restored)->Name(), (*original)->Name());
+
+    // Continue both with the second half; answers must match exactly at
+    // every probe (the snapshot is the complete state).
+    for (size_t i = half; i < stream.size(); ++i) {
+      (*original)->Update(stream[i].t, stream[i].value);
+      (*restored)->Update(stream[i].t, stream[i].value);
+      if (i % 50 == 0) {
+        ASSERT_DOUBLE_EQ((*original)->Query(stream[i].t),
+                         (*restored)->Query(stream[i].t))
+            << test_case.label << " at " << stream[i].t;
+      }
+    }
+    const Tick end = StreamEnd(stream) + 500;
+    EXPECT_DOUBLE_EQ((*original)->Query(end), (*restored)->Query(end))
+        << test_case.label;
+    EXPECT_EQ((*original)->StorageBits(), (*restored)->StorageBits())
+        << test_case.label;
+  }
+}
+
+TEST(SnapshotTest, EmptyStructureRoundTrips) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.backend = Backend::kCeh;
+  auto original = MakeDecayedSum(decay, options);
+  std::string bytes;
+  ASSERT_TRUE(EncodeDecayedSum(**original, &bytes).ok());
+  auto restored = DecodeDecayedSum(decay, bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ((*restored)->Query(100), 0.0);
+}
+
+TEST(SnapshotTest, RejectsWrongDecay) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.backend = Backend::kCeh;
+  auto original = MakeDecayedSum(decay, options);
+  (*original)->Update(5, 3);
+  std::string bytes;
+  ASSERT_TRUE(EncodeDecayedSum(**original, &bytes).ok());
+  auto wrong = DecodeDecayedSum(PolynomialDecay::Create(2.0).value(), bytes);
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(SnapshotTest, RejectsCorruptData) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.backend = Backend::kWbmh;
+  auto original = MakeDecayedSum(decay, options);
+  for (Tick t = 1; t <= 500; ++t) (*original)->Update(t, 1);
+  std::string bytes;
+  ASSERT_TRUE(EncodeDecayedSum(**original, &bytes).ok());
+  EXPECT_FALSE(DecodeDecayedSum(decay, "garbage").ok());
+  std::string truncated = bytes.substr(0, bytes.size() / 2);
+  EXPECT_FALSE(DecodeDecayedSum(decay, truncated).ok());
+  std::string flipped = bytes;
+  flipped[2] ^= 0x5a;  // corrupt the magic
+  EXPECT_FALSE(DecodeDecayedSum(decay, flipped).ok());
+}
+
+TEST(SnapshotTest, DecayedAverageRoundTrip) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.epsilon = 0.1;
+  auto original = MakeDecayedAverage(decay, options);
+  ASSERT_TRUE(original.ok());
+  for (Tick t = 1; t <= 1000; ++t) original->Observe(t, 5 + t % 7);
+  std::string bytes;
+  ASSERT_TRUE(EncodeDecayedAverage(*original, &bytes).ok());
+  auto restored = DecodeDecayedAverage(decay, bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (Tick t = 1001; t <= 1500; ++t) {
+    original->Observe(t, 5 + t % 7);
+    restored->Observe(t, 5 + t % 7);
+  }
+  EXPECT_DOUBLE_EQ(original->Query(1500), restored->Query(1500));
+}
+
+TEST(SnapshotTest, DecoderSurvivesRandomBytes) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  Rng rng(31337);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(rng.NextBelow(200), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.NextBelow(256));
+    auto result = DecodeDecayedSum(decay, garbage);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(SnapshotTest, DecoderSurvivesMutatedSnapshots) {
+  // Take a real snapshot and flip random bytes: every outcome must be a
+  // clean error or a successfully-decoded structure (flips in count fields
+  // can decode), never a crash or CHECK.
+  auto decay = PolynomialDecay::Create(1.0).value();
+  Rng rng(999);
+  for (Backend backend :
+       {Backend::kCeh, Backend::kCoarseCeh, Backend::kWbmh}) {
+    AggregateOptions options;
+    options.backend = backend;
+    auto original = MakeDecayedSum(decay, options);
+    for (Tick t = 1; t <= 300; ++t) (*original)->Update(t, 1);
+    std::string bytes;
+    ASSERT_TRUE(EncodeDecayedSum(**original, &bytes).ok());
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string mutated = bytes;
+      const size_t index = rng.NextBelow(mutated.size());
+      mutated[index] = static_cast<char>(mutated[index] ^
+                                         (1u << rng.NextBelow(8)));
+      auto result = DecodeDecayedSum(decay, mutated);
+      if (result.ok() && backend != Backend::kWbmh) {
+        // Decoded fine: it must still answer queries without crashing.
+        // (Query far in the future: snapshot clocks are opaque here. WBMH
+        // is excluded — advancing its layout to 2^40 legitimately costs
+        // O(delta/period) events; its decode validation is the target.)
+        (*result)->Query(Tick{1} << 40);
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, SharedLayoutCounterRoundTrip) {
+  // Shared-layout deployments: snapshot the layout once and each counter
+  // separately; restore into a fresh layout+counters.
+  auto decay = PolynomialDecay::Create(1.0).value();
+  WbmhLayout::Options layout_options;
+  layout_options.decay = decay;
+  layout_options.epsilon = 0.5;
+  auto source_layout = std::make_shared<WbmhLayout>(
+      std::move(WbmhLayout::Create(layout_options)).value());
+  WbmhCounter counter_a(source_layout, WbmhCounter::Options{0.5});
+  WbmhCounter counter_b(source_layout, WbmhCounter::Options{0.5});
+  for (Tick t = 1; t <= 2000; ++t) {
+    counter_a.Add(t, 1);
+    if (t % 3 == 0) counter_b.Add(t, 2);
+  }
+  counter_a.Sync();
+  counter_b.Sync();
+  source_layout->TrimLog(source_layout->OpSeq());
+
+  Encoder layout_encoder;
+  ASSERT_TRUE(source_layout->EncodeState(layout_encoder).ok());
+  Encoder a_encoder, b_encoder;
+  ASSERT_TRUE(counter_a.EncodeState(a_encoder).ok());
+  ASSERT_TRUE(counter_b.EncodeState(b_encoder).ok());
+
+  auto restored_layout = std::make_shared<WbmhLayout>(
+      std::move(WbmhLayout::Create(layout_options)).value());
+  std::string layout_bytes = layout_encoder.Finish();
+  Decoder layout_decoder(layout_bytes);
+  ASSERT_TRUE(restored_layout->DecodeState(layout_decoder).ok());
+  WbmhCounter restored_a(restored_layout, WbmhCounter::Options{0.5});
+  WbmhCounter restored_b(restored_layout, WbmhCounter::Options{0.5});
+  std::string a_bytes = a_encoder.Finish();
+  std::string b_bytes = b_encoder.Finish();
+  Decoder a_decoder(a_bytes);
+  Decoder b_decoder(b_bytes);
+  ASSERT_TRUE(restored_a.DecodeState(a_decoder).ok());
+  ASSERT_TRUE(restored_b.DecodeState(b_decoder).ok());
+
+  // Continue both worlds identically.
+  for (Tick t = 2001; t <= 3000; ++t) {
+    counter_a.Add(t, 1);
+    restored_a.Add(t, 1);
+  }
+  EXPECT_DOUBLE_EQ(counter_a.Query(3000), restored_a.Query(3000));
+  EXPECT_DOUBLE_EQ(counter_b.Query(3000), restored_b.Query(3000));
+}
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/factory.h"
+#include "decay/polynomial.h"
+#include "stream/adversarial.h"
+#include "stream/generators.h"
+#include "stream/replay.h"
+
+namespace tds {
+namespace {
+
+TEST(GeneratorsTest, BernoulliDeterministicAndDense) {
+  const Stream a = BernoulliStream(1000, 0.5, 42);
+  const Stream b = BernoulliStream(1000, 0.5, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  EXPECT_NEAR(static_cast<double>(a.size()), 500.0, 100.0);
+  EXPECT_GE(a.front().t, 1);
+  EXPECT_LE(a.back().t, 1000);
+}
+
+TEST(GeneratorsTest, StreamsAreTickAscending) {
+  for (const Stream& stream :
+       {BernoulliStream(500, 0.3, 1), BurstyStream(500, 10, 20, 2.0, 2),
+        PoissonStream(500, 1.0, 3), SparseStream(100000, 50, 4),
+        LevelShiftStream(500, 250, 3.0, 9.0, 5)}) {
+    for (size_t i = 1; i < stream.size(); ++i) {
+      EXPECT_GT(stream[i].t, stream[i - 1].t);
+    }
+  }
+}
+
+TEST(GeneratorsTest, ConstantStream) {
+  const Stream stream = ConstantStream(10, 3);
+  ASSERT_EQ(stream.size(), 10u);
+  EXPECT_EQ(StreamTotal(stream), 30u);
+  EXPECT_EQ(StreamEnd(stream), 10);
+}
+
+TEST(GeneratorsTest, RampCoversRange) {
+  const Stream stream = RampStream(100, 5, 55);
+  EXPECT_EQ(stream.front().value, 5u);
+  EXPECT_EQ(stream.back().value, 55u);
+}
+
+TEST(GeneratorsTest, PoissonMeanRoughlyRate) {
+  const Stream stream = PoissonStream(20000, 2.5, 7);
+  const double mean =
+      static_cast<double>(StreamTotal(stream)) / 20000.0;
+  EXPECT_NEAR(mean, 2.5, 0.1);
+}
+
+TEST(GeneratorsTest, LevelShiftChangesMean) {
+  const Stream stream = LevelShiftStream(2000, 1000, 2.0, 12.0, 11);
+  double before = 0.0, after = 0.0;
+  for (const StreamItem& item : stream) {
+    (item.t < 1000 ? before : after) += static_cast<double>(item.value);
+  }
+  EXPECT_GT(after / before, 3.0);
+}
+
+TEST(AdversarialTest, FamilyStructure) {
+  EXPECT_FALSE(MakeAdversarialFamily(0.0, 10, 1 << 16).ok());
+  EXPECT_FALSE(MakeAdversarialFamily(1.0, 2, 1 << 16).ok());
+  EXPECT_FALSE(MakeAdversarialFamily(1.0, 10, 4).ok());
+  auto family = MakeAdversarialFamily(1.0, 10, 1 << 16);
+  ASSERT_TRUE(family.ok());
+  EXPECT_GE(family->slots, 2);
+  // Burst ticks strictly decrease with slot index (older bursts are bigger).
+  for (int i = 1; i < family->slots; ++i) {
+    EXPECT_LT(family->burst_ticks[i], family->burst_ticks[i - 1]);
+    EXPECT_EQ(family->base_counts[i], family->base_counts[i - 1] * 10);
+  }
+  for (int i = 0; i < family->slots; ++i) {
+    EXPECT_GE(family->burst_ticks[i], 1);
+    EXPECT_GT(family->probe_ticks[i], family->origin);
+  }
+}
+
+TEST(AdversarialTest, StreamMatchesChoices) {
+  auto family = MakeAdversarialFamily(1.0, 10, 1 << 14).value();
+  std::vector<int> choices(family.slots, 1);
+  choices[0] = 2;
+  const Stream stream = MakeAdversarialStream(family, choices);
+  ASSERT_EQ(stream.size(), static_cast<size_t>(family.slots));
+  // Stream is ascending; slot 0 (newest burst) is last.
+  EXPECT_EQ(stream.back().t, family.burst_ticks[0]);
+  EXPECT_EQ(stream.back().value, 2 * family.base_counts[0]);
+}
+
+TEST(AdversarialTest, DominantTermIsDistinguishable) {
+  // The core of Theorem 2: at probe time i, the choice n_i in {1, 2} moves
+  // the exact decayed sum by more than the off-slot contributions.
+  const double alpha = 1.0;
+  auto family = MakeAdversarialFamily(alpha, 10, 1 << 14).value();
+  auto decay = PolynomialDecay::Create(alpha).value();
+  for (int i = 0; i < family.slots; ++i) {
+    std::vector<int> low(family.slots, 1), high(family.slots, 1);
+    high[i] = 2;
+    auto exact_low = ExactDecayedSum::Create(decay);
+    auto exact_high = ExactDecayedSum::Create(decay);
+    for (const StreamItem& item : MakeAdversarialStream(family, low)) {
+      (*exact_low)->Update(item.t, item.value);
+    }
+    for (const StreamItem& item : MakeAdversarialStream(family, high)) {
+      (*exact_high)->Update(item.t, item.value);
+    }
+    const double s_low = (*exact_low)->Query(family.probe_ticks[i]);
+    const double s_high = (*exact_high)->Query(family.probe_ticks[i]);
+    // Doubling burst i moves the sum at probe i by a constant factor.
+    EXPECT_GT(s_high / s_low, 1.3) << "slot " << i;
+  }
+}
+
+TEST(ReplayTest, CompareAgainstSelfIsExact) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.backend = Backend::kExact;
+  auto subject = MakeDecayedSum(decay, options);
+  auto reference = MakeDecayedSum(decay, options);
+  const Stream stream = BernoulliStream(500, 0.5, 1);
+  const ReplayReport report =
+      ReplayAndCompare(stream, **subject, **reference, 50);
+  EXPECT_GT(report.probes.size(), 5u);
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 0.0);
+  EXPECT_GT(report.max_storage_bits, 0u);
+}
+
+TEST(ReplayTest, ReportsErrorsForApproximateSubject) {
+  auto decay = PolynomialDecay::Create(2.0).value();
+  AggregateOptions approx;
+  approx.backend = Backend::kWbmh;
+  approx.epsilon = 0.5;
+  auto subject = MakeDecayedSum(decay, approx);
+  ASSERT_TRUE(subject.ok());
+  AggregateOptions exact;
+  exact.backend = Backend::kExact;
+  auto reference = MakeDecayedSum(decay, exact);
+  const Stream stream = BernoulliStream(2000, 0.5, 2);
+  const ReplayReport report =
+      ReplayAndCompare(stream, **subject, **reference, 100);
+  EXPECT_GT(report.max_relative_error, 0.0);
+  EXPECT_LE(report.max_relative_error, 1.3);  // (1+eps)^2 slack
+  EXPECT_LE(report.mean_relative_error, report.max_relative_error);
+}
+
+TEST(ReplayTest, MaxStorageBits) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  AggregateOptions options;
+  options.backend = Backend::kCeh;
+  auto subject = MakeDecayedSum(decay, options);
+  const Stream stream = BernoulliStream(1000, 0.8, 3);
+  const size_t bits = ReplayMaxStorageBits(stream, **subject, 100);
+  EXPECT_GT(bits, 0u);
+  EXPECT_LT(bits, 100000u);
+}
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Smoke test for tds_cli: stream processing, probing, snapshot resume.
+set -e
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+printf '1 3\n2 0\n5 7\n9 2\n12 1\n' > "$TMP/stream.txt"
+"$CLI" --decay=poly:1.0 --probe=4 "$TMP/stream.txt" > "$TMP/out.txt"
+grep -q '^12' "$TMP/out.txt"
+
+# Snapshot resume must equal single-pass processing.
+printf '1 5\n3 5\n' > "$TMP/p1.txt"
+printf '6 5\n9 5\n' > "$TMP/p2.txt"
+printf '1 5\n3 5\n6 5\n9 5\n' > "$TMP/full.txt"
+"$CLI" --decay=sliwin:8 --save="$TMP/state.tds" "$TMP/p1.txt" > /dev/null
+"$CLI" --decay=sliwin:8 --load="$TMP/state.tds" "$TMP/p2.txt" | tail -1 > "$TMP/resumed.txt"
+"$CLI" --decay=sliwin:8 "$TMP/full.txt" | tail -1 > "$TMP/single.txt"
+cmp "$TMP/resumed.txt" "$TMP/single.txt"
+
+# Wrong decay on load must fail.
+if "$CLI" --decay=sliwin:9 --load="$TMP/state.tds" "$TMP/p2.txt" > /dev/null 2>&1; then
+  echo "expected decay mismatch to fail" >&2
+  exit 1
+fi
+echo CLI_SMOKE_OK

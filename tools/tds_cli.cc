@@ -1,0 +1,220 @@
+// tds_cli — maintain time-decaying aggregates over a text stream.
+//
+// Reads "tick value" pairs (one per line; '#' comments and blank lines
+// ignored; ticks non-decreasing) from a file or stdin and maintains a
+// decayed sum with the configured decay function and backend. Prints the
+// estimate at every probe interval and a final summary. Snapshots can be
+// written/loaded so a stream can be processed across invocations.
+//
+// Examples:
+//   tds_cli --decay=poly:1.5 --epsilon=0.1 < stream.txt
+//   tds_cli --decay=exp:0.01 --backend=ewma --probe=1000 stream.txt
+//   tds_cli --decay=sliwin:4096 --save=state.tds stream_part1.txt
+//   tds_cli --decay=sliwin:4096 --load=state.tds stream_part2.txt
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/factory.h"
+#include "core/snapshot.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+
+namespace {
+
+using namespace tds;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tds_cli [options] [input-file]\n"
+      "  --decay=KIND:PARAM   exp:<lambda> | poly:<alpha> | sliwin:<W>\n"
+      "                       (default poly:1.0)\n"
+      "  --backend=NAME       auto|exact|ewma|recent|ceh|coarse|wbmh\n"
+      "  --epsilon=E          accuracy target (default 0.1)\n"
+      "  --probe=P            print the estimate every P ticks (default 0:\n"
+      "                       only the final estimate)\n"
+      "  --save=FILE          write a snapshot after the stream ends\n"
+      "  --load=FILE          resume from a snapshot before reading\n");
+}
+
+StatusOr<DecayPtr> ParseDecay(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("decay spec needs KIND:PARAM");
+  }
+  const std::string kind = spec.substr(0, colon);
+  const double param = std::atof(spec.c_str() + colon + 1);
+  if (kind == "exp") return ExponentialDecay::Create(param);
+  if (kind == "poly") return PolynomialDecay::Create(param);
+  if (kind == "sliwin") {
+    return SlidingWindowDecay::Create(static_cast<Tick>(param));
+  }
+  return Status::InvalidArgument("unknown decay kind: " + kind);
+}
+
+StatusOr<Backend> ParseBackend(const std::string& name) {
+  if (name == "auto") return Backend::kAuto;
+  if (name == "exact") return Backend::kExact;
+  if (name == "ewma") return Backend::kEwma;
+  if (name == "recent") return Backend::kRecentItems;
+  if (name == "ceh") return Backend::kCeh;
+  if (name == "coarse") return Backend::kCoarseCeh;
+  if (name == "wbmh") return Backend::kWbmh;
+  return Status::InvalidArgument("unknown backend: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string decay_spec = "poly:1.0";
+  std::string backend_name = "auto";
+  std::string save_path, load_path, input_path;
+  double epsilon = 0.1;
+  Tick probe = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--decay=")) {
+      decay_spec = v;
+    } else if (const char* v = value_of("--backend=")) {
+      backend_name = v;
+    } else if (const char* v = value_of("--epsilon=")) {
+      epsilon = std::atof(v);
+    } else if (const char* v = value_of("--probe=")) {
+      probe = std::atoll(v);
+    } else if (const char* v = value_of("--save=")) {
+      save_path = v;
+    } else if (const char* v = value_of("--load=")) {
+      load_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      input_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  auto decay = ParseDecay(decay_spec);
+  if (!decay.ok()) {
+    std::fprintf(stderr, "error: %s\n", decay.status().ToString().c_str());
+    return 2;
+  }
+  auto backend = ParseBackend(backend_name);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
+    return 2;
+  }
+
+  std::unique_ptr<DecayedAggregate> sum;
+  if (!load_path.empty()) {
+    std::ifstream in(load_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", load_path.c_str());
+      return 1;
+    }
+    std::ostringstream blob;
+    blob << in.rdbuf();
+    auto restored = DecodeDecayedSum(decay.value(), blob.str());
+    if (!restored.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    sum = std::move(restored).value();
+  } else {
+    AggregateOptions options;
+    options.backend = *backend;
+    options.epsilon = epsilon;
+    auto created = MakeDecayedSum(decay.value(), options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    sum = std::move(created).value();
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!input_path.empty()) {
+    file.open(input_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  std::string line;
+  Tick last_tick = 0;
+  Tick next_probe = probe;
+  uint64_t items = 0;
+  size_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    long long tick = 0;
+    unsigned long long value = 0;
+    if (!(fields >> tick >> value)) {
+      std::fprintf(stderr, "warning: malformed line %zu skipped\n",
+                   line_number);
+      continue;
+    }
+    if (tick < last_tick) {
+      std::fprintf(stderr,
+                   "error: ticks must be non-decreasing (line %zu: %lld)\n",
+                   line_number, tick);
+      return 1;
+    }
+    while (probe > 0 && next_probe < tick) {
+      std::printf("%lld\t%.6f\t%zu\n", static_cast<long long>(next_probe),
+                  sum->Query(next_probe), sum->StorageBits());
+      next_probe += probe;
+    }
+    sum->Update(tick, value);
+    last_tick = tick;
+    items += value;
+  }
+
+  std::printf("# %s over %s: %llu items through tick %lld\n",
+              sum->Name().c_str(), sum->decay()->Name().c_str(),
+              static_cast<unsigned long long>(items),
+              static_cast<long long>(last_tick));
+  if (last_tick > 0) {
+    std::printf("%lld\t%.6f\t%zu\n", static_cast<long long>(last_tick),
+                sum->Query(last_tick), sum->StorageBits());
+  }
+
+  if (!save_path.empty()) {
+    std::string blob;
+    const Status status = EncodeDecayedSum(*sum, &blob);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(save_path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", save_path.c_str());
+      return 1;
+    }
+    std::printf("# snapshot (%zu bytes) -> %s\n", blob.size(),
+                save_path.c_str());
+  }
+  return 0;
+}
