@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy.dir/accuracy.cc.o"
+  "CMakeFiles/accuracy.dir/accuracy.cc.o.d"
+  "accuracy"
+  "accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

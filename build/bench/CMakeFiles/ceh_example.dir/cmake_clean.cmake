@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceh_example.dir/ceh_example.cc.o"
+  "CMakeFiles/ceh_example.dir/ceh_example.cc.o.d"
+  "ceh_example"
+  "ceh_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceh_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ceh_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decay_families.dir/decay_families.cc.o"
+  "CMakeFiles/decay_families.dir/decay_families.cc.o.d"
+  "decay_families"
+  "decay_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decay_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

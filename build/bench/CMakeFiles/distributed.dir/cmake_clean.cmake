@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed.dir/distributed.cc.o"
+  "CMakeFiles/distributed.dir/distributed.cc.o.d"
+  "distributed"
+  "distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_link_reliability.dir/fig1_link_reliability.cc.o"
+  "CMakeFiles/fig1_link_reliability.dir/fig1_link_reliability.cc.o.d"
+  "fig1_link_reliability"
+  "fig1_link_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_link_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

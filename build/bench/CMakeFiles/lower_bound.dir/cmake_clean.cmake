@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound.dir/lower_bound.cc.o"
+  "CMakeFiles/lower_bound.dir/lower_bound.cc.o.d"
+  "lower_bound"
+  "lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_norm.dir/lp_norm.cc.o"
+  "CMakeFiles/lp_norm.dir/lp_norm.cc.o.d"
+  "lp_norm"
+  "lp_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling.dir/sampling.cc.o"
+  "CMakeFiles/sampling.dir/sampling.cc.o.d"
+  "sampling"
+  "sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

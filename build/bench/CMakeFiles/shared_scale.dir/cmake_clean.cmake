@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_scale.dir/shared_scale.cc.o"
+  "CMakeFiles/shared_scale.dir/shared_scale.cc.o.d"
+  "shared_scale"
+  "shared_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

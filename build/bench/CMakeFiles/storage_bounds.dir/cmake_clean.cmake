@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_bounds.dir/storage_bounds.cc.o"
+  "CMakeFiles/storage_bounds.dir/storage_bounds.cc.o.d"
+  "storage_bounds"
+  "storage_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

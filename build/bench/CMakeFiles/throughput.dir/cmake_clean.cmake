@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput.dir/throughput.cc.o"
+  "CMakeFiles/throughput.dir/throughput.cc.o.d"
+  "throughput"
+  "throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance.dir/variance.cc.o"
+  "CMakeFiles/variance.dir/variance.cc.o.d"
+  "variance"
+  "variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

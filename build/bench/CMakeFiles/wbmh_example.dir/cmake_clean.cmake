@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbmh_example.dir/wbmh_example.cc.o"
+  "CMakeFiles/wbmh_example.dir/wbmh_example.cc.o.d"
+  "wbmh_example"
+  "wbmh_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbmh_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wbmh_example.
+# This may be replaced when dependencies are built.

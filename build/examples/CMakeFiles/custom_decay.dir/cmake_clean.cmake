@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_decay.dir/custom_decay.cpp.o"
+  "CMakeFiles/custom_decay.dir/custom_decay.cpp.o.d"
+  "custom_decay"
+  "custom_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holding_policy.dir/holding_policy.cpp.o"
+  "CMakeFiles/holding_policy.dir/holding_policy.cpp.o.d"
+  "holding_policy"
+  "holding_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holding_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

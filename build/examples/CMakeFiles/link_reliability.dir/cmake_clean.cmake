@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_reliability.dir/link_reliability.cpp.o"
+  "CMakeFiles/link_reliability.dir/link_reliability.cpp.o.d"
+  "link_reliability"
+  "link_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_red.dir/router_red.cpp.o"
+  "CMakeFiles/router_red.dir/router_red.cpp.o.d"
+  "router_red"
+  "router_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

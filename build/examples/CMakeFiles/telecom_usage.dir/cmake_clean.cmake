@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_usage.dir/telecom_usage.cpp.o"
+  "CMakeFiles/telecom_usage.dir/telecom_usage.cpp.o.d"
+  "telecom_usage"
+  "telecom_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gateway.cc" "src/CMakeFiles/tds.dir/apps/gateway.cc.o" "gcc" "src/CMakeFiles/tds.dir/apps/gateway.cc.o.d"
+  "/root/repo/src/apps/holding_policy.cc" "src/CMakeFiles/tds.dir/apps/holding_policy.cc.o" "gcc" "src/CMakeFiles/tds.dir/apps/holding_policy.cc.o.d"
+  "/root/repo/src/apps/red.cc" "src/CMakeFiles/tds.dir/apps/red.cc.o" "gcc" "src/CMakeFiles/tds.dir/apps/red.cc.o.d"
+  "/root/repo/src/apps/usage_profile.cc" "src/CMakeFiles/tds.dir/apps/usage_profile.cc.o" "gcc" "src/CMakeFiles/tds.dir/apps/usage_profile.cc.o.d"
+  "/root/repo/src/core/ceh.cc" "src/CMakeFiles/tds.dir/core/ceh.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/ceh.cc.o.d"
+  "/root/repo/src/core/coarse_ceh.cc" "src/CMakeFiles/tds.dir/core/coarse_ceh.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/coarse_ceh.cc.o.d"
+  "/root/repo/src/core/decayed_average.cc" "src/CMakeFiles/tds.dir/core/decayed_average.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/decayed_average.cc.o.d"
+  "/root/repo/src/core/ewma.cc" "src/CMakeFiles/tds.dir/core/ewma.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/ewma.cc.o.d"
+  "/root/repo/src/core/exact.cc" "src/CMakeFiles/tds.dir/core/exact.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/exact.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/tds.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/polyexp_counter.cc" "src/CMakeFiles/tds.dir/core/polyexp_counter.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/polyexp_counter.cc.o.d"
+  "/root/repo/src/core/recent_items.cc" "src/CMakeFiles/tds.dir/core/recent_items.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/recent_items.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/tds.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/wbmh.cc" "src/CMakeFiles/tds.dir/core/wbmh.cc.o" "gcc" "src/CMakeFiles/tds.dir/core/wbmh.cc.o.d"
+  "/root/repo/src/decay/custom.cc" "src/CMakeFiles/tds.dir/decay/custom.cc.o" "gcc" "src/CMakeFiles/tds.dir/decay/custom.cc.o.d"
+  "/root/repo/src/decay/decay_function.cc" "src/CMakeFiles/tds.dir/decay/decay_function.cc.o" "gcc" "src/CMakeFiles/tds.dir/decay/decay_function.cc.o.d"
+  "/root/repo/src/decay/exponential.cc" "src/CMakeFiles/tds.dir/decay/exponential.cc.o" "gcc" "src/CMakeFiles/tds.dir/decay/exponential.cc.o.d"
+  "/root/repo/src/decay/polyexponential.cc" "src/CMakeFiles/tds.dir/decay/polyexponential.cc.o" "gcc" "src/CMakeFiles/tds.dir/decay/polyexponential.cc.o.d"
+  "/root/repo/src/decay/polynomial.cc" "src/CMakeFiles/tds.dir/decay/polynomial.cc.o" "gcc" "src/CMakeFiles/tds.dir/decay/polynomial.cc.o.d"
+  "/root/repo/src/decay/sliding_window.cc" "src/CMakeFiles/tds.dir/decay/sliding_window.cc.o" "gcc" "src/CMakeFiles/tds.dir/decay/sliding_window.cc.o.d"
+  "/root/repo/src/histogram/exponential_histogram.cc" "src/CMakeFiles/tds.dir/histogram/exponential_histogram.cc.o" "gcc" "src/CMakeFiles/tds.dir/histogram/exponential_histogram.cc.o.d"
+  "/root/repo/src/histogram/wbmh_counter.cc" "src/CMakeFiles/tds.dir/histogram/wbmh_counter.cc.o" "gcc" "src/CMakeFiles/tds.dir/histogram/wbmh_counter.cc.o.d"
+  "/root/repo/src/histogram/wbmh_layout.cc" "src/CMakeFiles/tds.dir/histogram/wbmh_layout.cc.o" "gcc" "src/CMakeFiles/tds.dir/histogram/wbmh_layout.cc.o.d"
+  "/root/repo/src/moments/decayed_variance.cc" "src/CMakeFiles/tds.dir/moments/decayed_variance.cc.o" "gcc" "src/CMakeFiles/tds.dir/moments/decayed_variance.cc.o.d"
+  "/root/repo/src/moments/window_variance.cc" "src/CMakeFiles/tds.dir/moments/window_variance.cc.o" "gcc" "src/CMakeFiles/tds.dir/moments/window_variance.cc.o.d"
+  "/root/repo/src/sampling/bottom_k_mvd.cc" "src/CMakeFiles/tds.dir/sampling/bottom_k_mvd.cc.o" "gcc" "src/CMakeFiles/tds.dir/sampling/bottom_k_mvd.cc.o.d"
+  "/root/repo/src/sampling/decayed_quantile.cc" "src/CMakeFiles/tds.dir/sampling/decayed_quantile.cc.o" "gcc" "src/CMakeFiles/tds.dir/sampling/decayed_quantile.cc.o.d"
+  "/root/repo/src/sampling/decayed_sampler.cc" "src/CMakeFiles/tds.dir/sampling/decayed_sampler.cc.o" "gcc" "src/CMakeFiles/tds.dir/sampling/decayed_sampler.cc.o.d"
+  "/root/repo/src/sampling/mvd_list.cc" "src/CMakeFiles/tds.dir/sampling/mvd_list.cc.o" "gcc" "src/CMakeFiles/tds.dir/sampling/mvd_list.cc.o.d"
+  "/root/repo/src/sketch/decayed_lp_norm.cc" "src/CMakeFiles/tds.dir/sketch/decayed_lp_norm.cc.o" "gcc" "src/CMakeFiles/tds.dir/sketch/decayed_lp_norm.cc.o.d"
+  "/root/repo/src/stream/adversarial.cc" "src/CMakeFiles/tds.dir/stream/adversarial.cc.o" "gcc" "src/CMakeFiles/tds.dir/stream/adversarial.cc.o.d"
+  "/root/repo/src/stream/generators.cc" "src/CMakeFiles/tds.dir/stream/generators.cc.o" "gcc" "src/CMakeFiles/tds.dir/stream/generators.cc.o.d"
+  "/root/repo/src/stream/replay.cc" "src/CMakeFiles/tds.dir/stream/replay.cc.o" "gcc" "src/CMakeFiles/tds.dir/stream/replay.cc.o.d"
+  "/root/repo/src/util/approx_age.cc" "src/CMakeFiles/tds.dir/util/approx_age.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/approx_age.cc.o.d"
+  "/root/repo/src/util/codec.cc" "src/CMakeFiles/tds.dir/util/codec.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/codec.cc.o.d"
+  "/root/repo/src/util/morris.cc" "src/CMakeFiles/tds.dir/util/morris.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/morris.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/tds.dir/util/random.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/random.cc.o.d"
+  "/root/repo/src/util/rounded_counter.cc" "src/CMakeFiles/tds.dir/util/rounded_counter.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/rounded_counter.cc.o.d"
+  "/root/repo/src/util/stable.cc" "src/CMakeFiles/tds.dir/util/stable.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/stable.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tds.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tds.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_ceh_test.dir/coarse_ceh_test.cc.o"
+  "CMakeFiles/coarse_ceh_test.dir/coarse_ceh_test.cc.o.d"
+  "coarse_ceh_test"
+  "coarse_ceh_test.pdb"
+  "coarse_ceh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_ceh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

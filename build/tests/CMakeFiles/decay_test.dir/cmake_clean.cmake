@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decay_test.dir/decay_test.cc.o"
+  "CMakeFiles/decay_test.dir/decay_test.cc.o.d"
+  "decay_test"
+  "decay_test.pdb"
+  "decay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eh_test.dir/eh_test.cc.o"
+  "CMakeFiles/eh_test.dir/eh_test.cc.o.d"
+  "eh_test"
+  "eh_test.pdb"
+  "eh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

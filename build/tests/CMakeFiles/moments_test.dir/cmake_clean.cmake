@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moments_test.dir/moments_test.cc.o"
+  "CMakeFiles/moments_test.dir/moments_test.cc.o.d"
+  "moments_test"
+  "moments_test.pdb"
+  "moments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbmh_test.dir/wbmh_test.cc.o"
+  "CMakeFiles/wbmh_test.dir/wbmh_test.cc.o.d"
+  "wbmh_test"
+  "wbmh_test.pdb"
+  "wbmh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbmh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tds_cli.dir/tds_cli.cc.o"
+  "CMakeFiles/tds_cli.dir/tds_cli.cc.o.d"
+  "tds_cli"
+  "tds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
