@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace tds {
@@ -26,6 +27,22 @@ StatusOr<std::unique_ptr<CehDecayedSum>> CehDecayedSum::Create(
 void CehDecayedSum::Update(Tick t, uint64_t value) {
   eh_.Add(t, value);
   ++version_;
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status CehDecayedSum::DecodeState(Decoder& decoder) {
+  // Restoring replaces the histogram wholesale: any memoized query result
+  // predates the snapshot and must not survive it.
+  ++version_;
+  Status status = eh_.DecodeState(decoder);
+  if (status.ok()) TDS_AUDIT_MUTATION(AuditInvariants());
+  return status;
+}
+
+Status CehDecayedSum::AuditInvariants() const {
+  TDS_AUDIT_CHECK(cached_version_ <= version_,
+                  "memoized query is ahead of the mutation counter");
+  return eh_.AuditInvariants();
 }
 
 double CehDecayedSum::SafeWeight(Tick age) const {
@@ -65,6 +82,7 @@ double CehDecayedSum::Query(Tick now) {
   cached_now_ = now;
   cached_version_ = version_;
   cached_estimate_ = sum;
+  TDS_AUDIT_MUTATION(AuditInvariants());
   return sum;
 }
 

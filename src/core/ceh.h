@@ -49,9 +49,11 @@ class CehDecayedSum : public DecayedAggregate {
 
   /// Snapshot support (delegates to the histogram).
   void EncodeState(class Encoder& encoder) const { eh_.EncodeState(encoder); }
-  Status DecodeState(class Decoder& decoder) {
-    return eh_.DecodeState(decoder);
-  }
+  Status DecodeState(class Decoder& decoder);
+
+  /// Audits the underlying histogram plus the query-memoization bookkeeping
+  /// (see util/audit.h).
+  Status AuditInvariants() const;
 
  private:
   CehDecayedSum(DecayPtr decay, ExponentialHistogram eh);

@@ -9,6 +9,7 @@
 #include "core/recent_items.h"
 #include "core/wbmh.h"
 #include "sketch/decayed_lp_norm.h"
+#include "util/audit.h"
 #include "util/codec.h"
 
 namespace tds {
@@ -230,6 +231,23 @@ StatusOr<DecayedAverage> DecodeDecayedAverage(DecayPtr decay,
   if (!count.ok()) return count.status();
   return DecayedAverage::Create(std::move(sum).value(),
                                 std::move(count).value());
+}
+
+Status AuditSnapshotRoundTrip(DecayedAggregate& aggregate) {
+  std::string first;
+  Status status = EncodeDecayedSum(aggregate, &first);
+  if (!status.ok()) return status;
+  auto restored = DecodeDecayedSum(aggregate.decay(), first);
+  TDS_AUDIT_CHECK(restored.ok(), "decode of a fresh snapshot failed: " +
+                                     restored.status().ToString());
+  TDS_AUDIT_CHECK((*restored)->Name() == aggregate.Name(),
+                  "restored structure type mismatch");
+  std::string second;
+  status = EncodeDecayedSum(**restored, &second);
+  if (!status.ok()) return status;
+  TDS_AUDIT_CHECK(first == second,
+                  "snapshot round-trip is not byte-identical");
+  return Status::OK();
 }
 
 }  // namespace tds

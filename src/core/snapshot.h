@@ -46,6 +46,13 @@ Status EncodeDecayedAverage(class DecayedAverage& average, std::string* out);
 StatusOr<class DecayedAverage> DecodeDecayedAverage(DecayPtr decay,
                                                     std::string_view data);
 
+/// Audit for the snapshot codec (see util/audit.h): encodes `aggregate`,
+/// decodes onto a fresh instance bound to the same decay function, and
+/// re-encodes, requiring byte-identical output and a matching structure
+/// type — the self-inverse property stream resumption relies on. May sync
+/// internal state (WBMH trims its op log), never logical state.
+Status AuditSnapshotRoundTrip(DecayedAggregate& aggregate);
+
 }  // namespace tds
 
 #endif  // TDS_CORE_SNAPSHOT_H_

@@ -1,5 +1,6 @@
 #include "core/wbmh.h"
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 
@@ -50,12 +51,20 @@ StatusOr<std::unique_ptr<WbmhDecayedSum>> WbmhDecayedSum::CreateShared(
 void WbmhDecayedSum::Update(Tick t, uint64_t value) {
   counter_.Add(t, value);
   if (owns_layout_) layout_->TrimLog(counter_.AppliedSeq());
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 double WbmhDecayedSum::Query(Tick now) {
   const double estimate = counter_.Query(now);
   if (owns_layout_) layout_->TrimLog(counter_.AppliedSeq());
+  TDS_AUDIT_MUTATION(AuditInvariants());
   return estimate;
+}
+
+Status WbmhDecayedSum::AuditInvariants() {
+  Status status = layout_->AuditInvariants();
+  if (!status.ok()) return status;
+  return counter_.AuditInvariants();
 }
 
 Status WbmhDecayedSum::EncodeState(Encoder& encoder) {

@@ -59,6 +59,9 @@ class WbmhDecayedSum : public DecayedAggregate {
   Status EncodeState(class Encoder& encoder);
   Status DecodeState(class Decoder& decoder);
 
+  /// Audits the layout then the counter (see util/audit.h).
+  Status AuditInvariants();
+
  private:
   WbmhDecayedSum(std::shared_ptr<WbmhLayout> layout, const Options& options,
                  bool owns_layout);

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/audit.h"
 
 namespace tds {
 
@@ -29,6 +33,7 @@ void ExponentialHistogram::AdvanceTo(Tick t) {
   TDS_CHECK_GE(t, now_);
   now_ = t;
   Expire();
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void ExponentialHistogram::Add(Tick t, uint64_t value) {
@@ -36,12 +41,14 @@ void ExponentialHistogram::Add(Tick t, uint64_t value) {
   now_ = t;
   if (value == 0) {
     Expire();
+    TDS_AUDIT_MUTATION(AuditInvariants());
     return;
   }
   if (first_arrival_ == 0) first_arrival_ = t;
   total_count_ += value;
   InsertUnits(t, value);
   Expire();
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void ExponentialHistogram::InsertUnits(Tick t, uint64_t incoming_units) {
@@ -200,7 +207,11 @@ Status ExponentialHistogram::MergeFrom(const ExponentialHistogram& other) {
     }
     Tick previous_end = floor;
     source.ForEachBucketOldestFirst([&](const Bucket& b) {
-      const Tick start = std::max(previous_end, floor);
+      // Clamp to b.end: buckets in different classes may share an end
+      // timestamp (one multi-digit Add), making previous_end overshoot —
+      // an unclamped start would yield span -1 and zero chunks, silently
+      // dropping the bucket's whole count.
+      const Tick start = std::min(std::max(previous_end, floor), b.end);
       previous_end = b.end + 1;
       const Tick span = b.end - start;
       const uint64_t chunks =
@@ -245,6 +256,7 @@ Status ExponentialHistogram::MergeFrom(const ExponentialHistogram& other) {
   now_ = merged_now;
   first_arrival_ = merged_first;
   Expire();
+  TDS_AUDIT_MUTATION(AuditInvariants());
   return Status::OK();
 }
 
@@ -301,33 +313,59 @@ Status ExponentialHistogram::DecodeState(Decoder& decoder) {
       cls.push_back(Bucket{previous, count});
     }
   }
-  // Structural invariants (hostile snapshots must not yield a structure
-  // that later trips internal CHECKs): power-of-two counts matching the
-  // class, end timestamps within [first_arrival, now] strictly ascending
-  // within a class, the canonical class-ordering invariant, and a count
-  // checksum.
+  // Structural validation (hostile snapshots must not yield a structure
+  // that later trips internal CHECKs) is exactly the audit protocol:
+  // power-of-two counts matching the class, end timestamps within
+  // [first_arrival, now] non-decreasing in canonical order, the per-class
+  // cap, and the count checksum.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
+  }
+  return Status::OK();
+}
+
+Status ExponentialHistogram::AuditInvariants() const {
+  TDS_AUDIT_CHECK(
+      cap_ == static_cast<uint64_t>(std::ceil(1.0 / epsilon_)) + 1,
+      "per-class budget must be ceil(1/eps) + 1");
+  TDS_AUDIT_CHECK(classes_.size() <= 64, "more than 64 size classes");
+  TDS_AUDIT_CHECK(first_arrival_ >= 0 && now_ >= first_arrival_,
+                  "clock precedes first arrival");
+  if (first_arrival_ == 0) {
+    TDS_AUDIT_CHECK(total_count_ == 0 && BucketCount() == 0,
+                    "buckets present before any arrival");
+  }
+  const Tick cutoff = window_ == kInfiniteHorizon
+                          ? std::numeric_limits<Tick>::min()
+                          : now_ - window_ + 1;
   uint64_t checksum = 0;
-  for (size_t c = 0; c < classes_.size(); ++c) {
+  Tick previous_end = std::numeric_limits<Tick>::min();
+  for (size_t c = classes_.size(); c-- > 0;) {
+    const auto& cls = classes_[c];
+    TDS_AUDIT_CHECK(cls.size() <= cap_,
+                    "class " + std::to_string(c) + " holds " +
+                        std::to_string(cls.size()) + " buckets, cap " +
+                        std::to_string(cap_));
     const uint64_t expected = uint64_t{1} << c;
-    Tick previous = 0;
-    for (const Bucket& b : classes_[c]) {
-      if (b.count != expected) return CorruptSnapshot("EH bucket size");
-      // Equal timestamps are legal (several buckets can come from one
-      // batch insert); only strict inversions are corrupt.
-      if (b.end < first_arrival_ || b.end > now_ || b.end < previous) {
-        return CorruptSnapshot("EH bucket order");
-      }
-      previous = b.end;
+    for (const Bucket& b : cls) {
+      TDS_AUDIT_CHECK(b.count == expected,
+                      "class " + std::to_string(c) + " bucket count " +
+                          std::to_string(b.count));
+      // Canonical EH ordering: walking classes oldest-to-newest, end
+      // timestamps never decrease (equal stamps are legal — one batch
+      // insert spawns buckets in several classes).
+      TDS_AUDIT_CHECK(b.end >= previous_end, "canonical ordering violated");
+      TDS_AUDIT_CHECK(b.end >= first_arrival_ && b.end <= now_,
+                      "bucket timestamp outside [first_arrival, now]");
+      TDS_AUDIT_CHECK(b.end >= cutoff, "expired bucket retained");
+      previous_end = b.end;
       checksum += b.count;
     }
   }
-  for (size_t c = 0; c + 1 < classes_.size(); ++c) {
-    if (classes_[c].empty() || classes_[c + 1].empty()) continue;
-    if (classes_[c].front().end < classes_[c + 1].back().end) {
-      return CorruptSnapshot("EH class order");
-    }
-  }
-  if (checksum != total_count_) return CorruptSnapshot("EH total");
+  TDS_AUDIT_CHECK(checksum == total_count_,
+                  "total_count_ " + std::to_string(total_count_) +
+                      " != bucket sum " + std::to_string(checksum));
   return Status::OK();
 }
 

@@ -17,7 +17,7 @@ namespace tds {
 /// nonnegative integers) over a sliding window, in O(eps^{-1} log^2 W) bits.
 ///
 /// Buckets hold power-of-two counts; per size class at most
-/// `cap = ceil(1/(2 eps)) + 1` buckets are kept, and when a class overflows
+/// `cap = ceil(1/eps) + 1` buckets are kept, and when a class overflows
 /// its two oldest buckets merge into the next class (the paper's
 /// "domination-based" aggregation). Each bucket stores only the timestamp of
 /// its most recent item; a bucket expires when even that timestamp leaves
@@ -112,6 +112,14 @@ class ExponentialHistogram {
   /// Restores onto a freshly-created histogram; the encoded options must
   /// match this instance's options.
   Status DecodeState(class Decoder& decoder);
+
+  /// Verifies every structural invariant (see util/audit.h): the canonical
+  /// ordering — walking classes newest-to-oldest class index, all bucket end
+  /// timestamps are globally non-decreasing oldest-to-newest — per-class
+  /// power-of-two counts and the `cap = ceil(1/eps) + 1` budget, timestamps
+  /// within [first_arrival, now], no bucket outside a finite window, and
+  /// `total_count_` equal to the sum of bucket counts.
+  Status AuditInvariants() const;
 
  private:
   explicit ExponentialHistogram(const Options& options);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 #include "util/common.h"
@@ -61,6 +65,7 @@ void WbmhCounter::Sync() {
         break;
     }
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void WbmhCounter::Add(Tick t, uint64_t value) {
@@ -74,6 +79,41 @@ void WbmhCounter::Add(Tick t, uint64_t value) {
     cell.count.set_mantissa_bits(MantissaBitsForLevel(cell.level));
   }
   cell.count.Add(static_cast<double>(value));
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status WbmhCounter::AuditInvariants() const {
+  TDS_AUDIT_CHECK(applied_seq_ >= layout_->LogStart(),
+                  "layout op log was trimmed past this counter");
+  TDS_AUDIT_CHECK(applied_seq_ <= layout_->OpSeq(),
+                  "counter is ahead of the layout's op sequence");
+  const bool synced = applied_seq_ == layout_->OpSeq();
+  std::unordered_set<uint64_t> live;
+  if (synced) {
+    live.reserve(layout_->BucketCount());
+    layout_->ForEachSpanOldestFirst(
+        [&live](const WbmhLayout::BucketSpan& span) { live.insert(span.id); });
+  }
+  for (const auto& [id, cell] : counts_) {
+    TDS_AUDIT_CHECK(id != 0, "count keyed by the null bucket id");
+    const double value = cell.count.Value();
+    TDS_AUDIT_CHECK(std::isfinite(value) && value >= 0.0,
+                    "count register must be finite and nonnegative");
+    if (base_mantissa_bits_ == 0) {
+      TDS_AUDIT_CHECK(cell.count.mantissa_bits() == 0,
+                      "exact-mode register carries a mantissa width");
+    } else if (!cell.count.IsZero()) {
+      TDS_AUDIT_CHECK(
+          cell.count.mantissa_bits() == MantissaBitsForLevel(cell.level),
+          "mantissa width off the eps/i^2 schedule at level " +
+              std::to_string(cell.level));
+    }
+    if (synced) {
+      TDS_AUDIT_CHECK(live.contains(id),
+                      "count held for a bucket the layout dropped");
+    }
+  }
+  return Status::OK();
 }
 
 double WbmhCounter::Query(Tick now) {
@@ -105,7 +145,15 @@ Status WbmhCounter::EncodeState(Encoder& encoder) const {
   encoder.PutDouble(count_epsilon_);
   encoder.PutVarint(applied_seq_);
   encoder.PutVarint(counts_.size());
-  for (const auto& [id, cell] : counts_) {
+  // Deterministic cell order: the codec's self-inverse contract (see
+  // AuditSnapshotRoundTrip) requires byte-identical re-encoding, which the
+  // hash map's iteration order cannot provide.
+  std::vector<uint64_t> ids;
+  ids.reserve(counts_.size());
+  for (const auto& [id, cell] : counts_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const uint64_t id : ids) {
+    const Cell& cell = counts_.at(id);
     encoder.PutVarint(id);
     encoder.PutDouble(cell.count.Value());
     encoder.PutVarint(cell.level);
@@ -149,6 +197,12 @@ Status WbmhCounter::DecodeState(Decoder& decoder) {
     cell.count.set_mantissa_bits(MantissaBitsForLevel(cell.level));
     cell.count.Add(value);
     counts_[id] = cell;
+  }
+  // Cross-structure validation: e.g. a hostile snapshot may carry counts
+  // for bucket ids the (already decoded) layout does not hold.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
   }
   return Status::OK();
 }

@@ -67,6 +67,13 @@ class WbmhCounter {
   Status EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);
 
+  /// Verifies every structural invariant (see util/audit.h): the applied
+  /// sequence lies within the layout's retained log window, every count
+  /// register is finite and nonnegative with a mantissa width matching the
+  /// beta_i = eps/i^2 schedule for its merge level, and — once fully synced
+  /// — every counted bucket id is live in the layout.
+  Status AuditInvariants() const;
+
  private:
   struct Cell {
     RoundedCounter count;

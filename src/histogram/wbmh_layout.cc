@@ -1,7 +1,9 @@
 #include "histogram/wbmh_layout.h"
 
 #include <algorithm>
+#include <string>
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 
@@ -247,6 +249,7 @@ void WbmhLayout::AdvanceTo(Tick t) {
     ProcessTick(e);
   }
   now_ = t;
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void WbmhLayout::Settle() {
@@ -256,6 +259,75 @@ void WbmhLayout::Settle() {
     ProcessTick(e);
   }
   settled_through_ = now_;
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status WbmhLayout::AuditInvariants() {
+  TDS_AUDIT_CHECK(!nodes_.empty() && head_ != 0 && tail_ != 0,
+                  "the layout always holds an open bucket");
+  TDS_AUDIT_CHECK(now_ >= start_, "clock precedes the stream start");
+  TDS_AUDIT_CHECK(settled_through_ <= now_,
+                  "settled past the current clock");
+  TDS_AUDIT_CHECK(next_seq_ >= log_start_ &&
+                      next_seq_ - log_start_ == log_.size(),
+                  "op-log window does not match its sequence numbers");
+  TDS_AUDIT_CHECK(!starts_.empty() && starts_.front() == 1,
+                  "region table must start at age 1");
+  for (size_t i = 0; i + 1 < starts_.size(); ++i) {
+    TDS_AUDIT_CHECK(starts_[i] < starts_[i + 1],
+                    "region boundaries must be strictly increasing");
+  }
+
+  // Walk the bucket list oldest-to-newest: ids in range, links consistent,
+  // spans partitioning the timeline from `start_`, open bucket last.
+  size_t visited = 0;
+  uint64_t previous = 0;
+  Tick expected_start = start_;
+  for (uint64_t id = head_; id != 0;) {
+    const auto it = nodes_.find(id);
+    TDS_AUDIT_CHECK(it != nodes_.end(), "dangling bucket link");
+    const Node& node = it->second;
+    TDS_AUDIT_CHECK(++visited <= nodes_.size(), "cycle in the bucket list");
+    TDS_AUDIT_CHECK(id < next_id_, "bucket id beyond the id allocator");
+    TDS_AUDIT_CHECK(node.prev == previous, "prev link mismatch");
+    TDS_AUDIT_CHECK(node.start == expected_start,
+                    "bucket spans must partition the timeline (gap at " +
+                        std::to_string(node.start) + ")");
+    if (node.next != 0) {
+      TDS_AUDIT_CHECK(node.end >= node.start, "inverted sealed span");
+      expected_start = node.end + 1;
+    } else {
+      TDS_AUDIT_CHECK(id == tail_, "open bucket must be the tail");
+      TDS_AUDIT_CHECK(node.start <= now_ + 1,
+                      "open bucket starts past the clock");
+    }
+    previous = id;
+    id = node.next;
+  }
+  TDS_AUDIT_CHECK(visited == nodes_.size(), "orphaned bucket nodes");
+
+  // Drop eligibility: the head would have been dropped at the first settled
+  // tick where even its newest slot fell past the horizon.
+  if (horizon_ != kInfiniteHorizon && head_ != tail_) {
+    TDS_AUDIT_CHECK(settled_through_ - nodes_.at(head_).end < horizon_,
+                    "head bucket outlived the decay horizon");
+  }
+
+  // Weight-based merge condition: merges fire as soon as a sealed pair's
+  // combined span fits in one region, so at the settled tick no adjacent
+  // sealed pair may be merge-eligible (NextMergeTime returns the earliest
+  // T >= settled_through_; eligibility exactly at the settled tick means a
+  // merge event was missed).
+  for (uint64_t id = head_; id != 0; id = nodes_.at(id).next) {
+    const uint64_t next = nodes_.at(id).next;
+    if (next == 0 || next == tail_) continue;
+    const Tick t =
+        NextMergeTime(nodes_.at(id), nodes_.at(next), settled_through_);
+    TDS_AUDIT_CHECK(t > settled_through_,
+                    "adjacent sealed buckets were merge-eligible at the "
+                    "settled tick");
+  }
+  return Status::OK();
 }
 
 Status WbmhLayout::EncodeState(Encoder& encoder) const {
@@ -345,6 +417,13 @@ Status WbmhLayout::DecodeState(Decoder& decoder) {
     if (next != 0 && next != tail_) SchedulePair(id, next, now_);
   }
   RefreshNextDrop();
+  // A hostile snapshot that passed the field-level checks must still form a
+  // structurally valid layout (the audit covers cross-field invariants the
+  // per-node checks cannot see, e.g. merge eligibility at the settled tick).
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
+  }
   return Status::OK();
 }
 

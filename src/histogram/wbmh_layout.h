@@ -138,6 +138,15 @@ class WbmhLayout {
   Status EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);
 
+  /// Verifies every structural invariant (see util/audit.h): bucket spans
+  /// partition [start, ...] with consistent prev/next links and in-range
+  /// ids, op-log window accounting, strictly increasing region boundaries,
+  /// horizon-based drop eligibility of the head, and the weight-based merge
+  /// condition — no adjacent sealed pair may still be merge-eligible at the
+  /// last settled tick. Non-const only because the merge check can extend
+  /// the memoized region table (derived configuration, not stream state).
+  Status AuditInvariants();
+
  private:
   struct Node {
     Tick start = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace tds {
@@ -29,12 +30,42 @@ void BottomKMvdList::Add(Tick t) {
     }
   }
   entries_.push_back(Entry{t, rank, 0});
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void BottomKMvdList::ExpireOlderThan(Tick cutoff) {
   while (!entries_.empty() && entries_.front().t < cutoff) {
     entries_.pop_front();
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status BottomKMvdList::AuditInvariants() const {
+  Tick previous_t = 0;
+  bool first = true;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    TDS_AUDIT_CHECK(entry.t <= now_, "retained item postdates the clock");
+    TDS_AUDIT_CHECK(entry.rank > 0.0 && entry.rank < 1.0,
+                    "rank must lie in the open unit interval");
+    TDS_AUDIT_CHECK(entry.beaten < static_cast<uint32_t>(k_),
+                    "item beaten k times must have been evicted");
+    if (!first) {
+      TDS_AUDIT_CHECK(entry.t >= previous_t,
+                      "retained items must be time-ascending");
+    }
+    first = false;
+    previous_t = entry.t;
+    // `beaten` counts *all* later arrivals of smaller rank, so it is at
+    // least the number of retained ones.
+    uint32_t retained_beats = 0;
+    for (size_t j = i + 1; j < entries_.size(); ++j) {
+      if (entries_[j].rank < entry.rank) ++retained_beats;
+    }
+    TDS_AUDIT_CHECK(retained_beats <= entry.beaten,
+                    "beaten count below the retained later minima");
+  }
+  return Status::OK();
 }
 
 double BottomKMvdList::EstimateCountSince(Tick cutoff) const {

@@ -48,6 +48,12 @@ class BottomKMvdList {
   size_t Size() const { return entries_.size(); }
   const std::deque<Entry>& entries() const { return entries_; }
 
+  /// Verifies the bottom-k retention invariants (see util/audit.h): entries
+  /// time-ascending with ranks in (0, 1), every beaten count below k, and
+  /// each retained item beaten by at least every *retained* later item of
+  /// smaller rank.
+  Status AuditInvariants() const;
+
  private:
   BottomKMvdList(int k, uint64_t seed) : k_(k), rng_(seed) {}
 

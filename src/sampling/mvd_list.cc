@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace tds {
@@ -17,12 +18,34 @@ void MvdList::Add(Tick t, double value) {
     entries_.pop_back();
   }
   entries_.push_back(Entry{t, value, rank});
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void MvdList::ExpireOlderThan(Tick cutoff) {
   while (!entries_.empty() && entries_.front().t < cutoff) {
     entries_.pop_front();
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status MvdList::AuditInvariants() const {
+  bool first = true;
+  Tick previous_t = 0;
+  uint64_t previous_rank = 0;
+  for (const Entry& entry : entries_) {
+    TDS_AUDIT_CHECK(entry.t <= now_, "retained item postdates the clock");
+    if (!first) {
+      TDS_AUDIT_CHECK(entry.t >= previous_t,
+                      "retained items must be time-ascending");
+      // Strict: equal ranks mean the older item was not a suffix minimum.
+      TDS_AUDIT_CHECK(entry.rank > previous_rank,
+                      "suffix-minima ranks must be strictly increasing");
+    }
+    first = false;
+    previous_t = entry.t;
+    previous_rank = entry.rank;
+  }
+  return Status::OK();
 }
 
 std::optional<MvdList::Entry> MvdList::MinRankSince(Tick cutoff) const {

@@ -7,6 +7,7 @@
 
 #include "util/common.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace tds {
 
@@ -40,6 +41,11 @@ class MvdList {
 
   size_t Size() const { return entries_.size(); }
   const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Verifies the suffix-minima invariants (see util/audit.h): entries are
+  /// time-ascending (ties allowed within a tick) with *strictly* increasing
+  /// ranks, and no entry postdates the clock.
+  Status AuditInvariants() const;
 
  private:
   Rng rng_;

@@ -1,0 +1,21 @@
+#include "util/audit.h"
+
+#include <cstdio>
+
+namespace tds {
+
+Status AuditViolation(const char* file, int line, const char* condition,
+                      const std::string& detail) {
+  char location[512];
+  std::snprintf(location, sizeof(location), "audit violation at %s:%d: %s",
+                file, line, condition);
+  std::string message(location);
+  if (!detail.empty()) {
+    message += " (";
+    message += detail;
+    message += ")";
+  }
+  return Status::FailedPrecondition(std::move(message));
+}
+
+}  // namespace tds

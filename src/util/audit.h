@@ -1,0 +1,60 @@
+#ifndef TDS_UTIL_AUDIT_H_
+#define TDS_UTIL_AUDIT_H_
+
+#include <string>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Structural invariant audits.
+///
+/// Every core structure exposes a `Status AuditInvariants()` method that
+/// walks its internal state and verifies the invariants its algorithms rely
+/// on (canonical EH bucket ordering, WBMH span contiguity and
+/// merge-eligibility, MV/D rank monotonicity, count checksums, ...). Audits
+/// are:
+///
+///  * callable from tests at any time — they never mutate logical state
+///    (WbmhLayout may extend its memoized region table, which is derived
+///    configuration, not stream state);
+///  * run automatically after every mutation when the library is compiled
+///    with -DTDS_AUDIT=ON (`TDS_AUDIT_MUTATION` below), aborting on the
+///    first violation so sanitizer builds pinpoint the offending operation;
+///  * zero-overhead in ordinary Release builds (the hook compiles away).
+///
+/// Audit checks use TDS_AUDIT_CHECK, which returns a Status carrying the
+/// failed condition and source location instead of aborting, so tests can
+/// assert on *specific* violations (e.g. hostile-snapshot rejection).
+
+/// Builds the error Status for a failed audit check.
+Status AuditViolation(const char* file, int line, const char* condition,
+                      const std::string& detail);
+
+}  // namespace tds
+
+/// For use inside a `Status AuditInvariants()` body: fails the audit with
+/// the stringified condition, source location, and a detail message.
+#define TDS_AUDIT_CHECK(cond, detail)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      return ::tds::AuditViolation(__FILE__, __LINE__, #cond, (detail));    \
+    }                                                                       \
+  } while (0)
+
+/// Post-mutation hook: in TDS_AUDIT builds evaluates `status_expr`
+/// (typically `AuditInvariants()`) and aborts on violation; compiles to
+/// nothing otherwise. Place at the end of every mutating method.
+#ifdef TDS_AUDIT
+#define TDS_AUDIT_MUTATION(status_expr)                                      \
+  do {                                                                       \
+    const ::tds::Status tds_audit_status = (status_expr);                    \
+    TDS_CHECK_MSG(tds_audit_status.ok(),                                     \
+                  tds_audit_status.ToString().c_str());                      \
+  } while (0)
+#else
+#define TDS_AUDIT_MUTATION(status_expr) ((void)0)
+#endif
+
+#endif  // TDS_UTIL_AUDIT_H_

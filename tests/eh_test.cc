@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "stream/generators.h"
+#include "util/codec.h"
 #include "util/random.h"
 
 namespace tds {
@@ -350,6 +351,78 @@ TEST(ExponentialHistogramTest, AdvanceToRejectsTimeTravel) {
   ExponentialHistogram eh = MakeEh(0.1, 100);
   eh.Add(10, 1);
   EXPECT_DEATH(eh.Add(5, 1), "TDS_CHECK");
+}
+
+TEST(ExponentialHistogramMergeTest, SameTickMultiClassBucketsSurviveMerge) {
+  // Regression: a single large Add creates buckets in several classes, all
+  // sharing one end timestamp. The merge rebuild used to compute a negative
+  // span for the second and later ones (previous_end had already passed
+  // their end), round chunks down to zero, and silently drop their counts.
+  ExponentialHistogram a = MakeEh(0.1, 512);
+  a.Add(100, 1149);  // 1149 = 0b10001111101: buckets in 7 classes at t=100.
+  ExponentialHistogram b = MakeEh(0.1, 512);
+  b.Add(101, 3);
+  ASSERT_TRUE(b.MergeFrom(a).ok());
+  EXPECT_TRUE(b.AuditInvariants().ok());
+  EXPECT_NEAR(b.Estimate(), 1152.0, 0.1 * 1152.0 + 1.0);
+}
+
+TEST(ExponentialHistogramCodecTest, RoundTripPreservesStateExactly) {
+  ExponentialHistogram eh = MakeEh(0.1, 256);
+  const Stream stream = BurstyStream(2000, 25, 40, 2.0, 9);
+  for (const auto& [t, value] : stream) eh.Add(t, value);
+
+  Encoder encoder;
+  eh.EncodeState(encoder);
+  const std::string blob = encoder.Finish();
+
+  ExponentialHistogram restored = MakeEh(0.1, 256);
+  Decoder decoder(blob);
+  ASSERT_TRUE(restored.DecodeState(decoder).ok());
+  EXPECT_TRUE(decoder.Done());
+  EXPECT_TRUE(restored.AuditInvariants().ok());
+  EXPECT_EQ(restored.TotalCount(), eh.TotalCount());
+  EXPECT_DOUBLE_EQ(restored.Estimate(), eh.Estimate());
+  for (Tick w : {1, 7, 64, 256}) {
+    EXPECT_DOUBLE_EQ(restored.EstimateWindow(w), eh.EstimateWindow(w)) << w;
+  }
+
+  // Continuing both must stay bit-identical: the snapshot is the state.
+  for (Tick t = 2001; t < 2100; ++t) {
+    eh.Add(t, 1 + (t % 3));
+    restored.Add(t, 1 + (t % 3));
+    ASSERT_DOUBLE_EQ(restored.Estimate(), eh.Estimate()) << t;
+  }
+}
+
+TEST(ExponentialHistogramCodecTest, DecodeRejectsMismatchedOptions) {
+  ExponentialHistogram eh = MakeEh(0.1, 100);
+  eh.Add(5, 10);
+  Encoder encoder;
+  eh.EncodeState(encoder);
+  const std::string blob = encoder.Finish();
+
+  ExponentialHistogram wrong_eps = MakeEh(0.2, 100);
+  Decoder d1(blob);
+  EXPECT_FALSE(wrong_eps.DecodeState(d1).ok());
+
+  ExponentialHistogram wrong_window = MakeEh(0.1, 200);
+  Decoder d2(blob);
+  EXPECT_FALSE(wrong_window.DecodeState(d2).ok());
+}
+
+TEST(ExponentialHistogramCodecTest, DecodeRejectsTruncatedBlob) {
+  ExponentialHistogram eh = MakeEh(0.1, 100);
+  for (Tick t = 1; t <= 50; ++t) eh.Add(t, 2);
+  Encoder encoder;
+  eh.EncodeState(encoder);
+  const std::string blob = encoder.Finish();
+  for (size_t len = 0; len < blob.size(); ++len) {
+    ExponentialHistogram target = MakeEh(0.1, 100);
+    const std::string truncated = blob.substr(0, len);  // Decoder is a view.
+    Decoder decoder(truncated);
+    EXPECT_FALSE(target.DecodeState(decoder).ok()) << "len=" << len;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// Deterministic fuzz driver for the Cascaded Exponential Histogram:
+// interleaves Update / Query / MergeFrom / snapshot round-trips under every
+// decay family, auditing invariants and comparing against a brute-force
+// decayed sum after each operation.
+#include "core/ceh.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "fuzz_util.h"
+#include "util/codec.h"
+
+namespace tds {
+namespace {
+
+enum class DecayKind { kSliwin, kPolyOne, kPolyTwo, kExpd };
+
+DecayPtr MakeDecay(DecayKind kind) {
+  switch (kind) {
+    case DecayKind::kSliwin:
+      return SlidingWindowDecay::Create(96).value();
+    case DecayKind::kPolyOne:
+      return PolynomialDecay::Create(1.0).value();
+    case DecayKind::kPolyTwo:
+      return PolynomialDecay::Create(2.0).value();
+    case DecayKind::kExpd:
+      return ExponentialDecay::Create(0.05).value();
+  }
+  return nullptr;
+}
+
+/// Brute-force decayed sum: every item, weighted directly by the decay.
+class ExactDecayedReference {
+ public:
+  explicit ExactDecayedReference(DecayPtr decay) : decay_(std::move(decay)) {}
+
+  void Add(Tick t, uint64_t value) { items_.emplace_back(t, value); }
+
+  void MergeFrom(const ExactDecayedReference& other) {
+    for (const auto& item : other.items_) items_.push_back(item);
+  }
+
+  double Sum(Tick now) const {
+    double sum = 0.0;
+    for (const auto& [t, value] : items_) {
+      const Tick age = AgeAt(t, now);
+      if (decay_->Horizon() != kInfiniteHorizon && age > decay_->Horizon()) {
+        continue;
+      }
+      sum += static_cast<double>(value) * decay_->Weight(age);
+    }
+    return sum;
+  }
+
+ private:
+  DecayPtr decay_;
+  std::deque<std::pair<Tick, uint64_t>> items_;
+};
+
+struct FuzzCase {
+  uint64_t seed;
+  DecayKind decay;
+  double epsilon;
+  double envelope;  ///< Base relative envelope (pre-merge).
+  int ops;
+};
+
+class CehFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+std::unique_ptr<CehDecayedSum> MakeCeh(DecayKind kind, double epsilon) {
+  CehDecayedSum::Options options;
+  options.epsilon = epsilon;
+  auto ceh = CehDecayedSum::Create(MakeDecay(kind), options);
+  EXPECT_TRUE(ceh.ok()) << ceh.status().ToString();
+  return std::move(ceh).value();
+}
+
+TEST_P(CehFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
+  const FuzzCase fuzz = GetParam();
+  FuzzRng rng(fuzz.seed);
+  const DecayPtr decay = MakeDecay(fuzz.decay);
+
+  std::unique_ptr<CehDecayedSum> ceh = MakeCeh(fuzz.decay, fuzz.epsilon);
+  ExactDecayedReference exact(decay);
+  Tick now = 1;
+  int merges = 0;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
+                 " draw=" + std::to_string(rng.counter()));
+    const Status audit = ceh->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double reference = exact.Sum(now);
+    const double envelope = fuzz.envelope + merges * fuzz.epsilon;
+    EXPECT_NEAR(ceh->Query(now), reference,
+                envelope * reference + 0.5 + merges);
+  };
+
+  for (int op = 0; op < fuzz.ops; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 60) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value =
+          rng.NextBelow(25) == 0 ? 1 + rng.NextBelow(1000) : rng.NextBelow(4);
+      ceh->Update(now, value);
+      exact.Add(now, value);
+      check("Update");
+    } else if (kind < 75) {
+      // Quiet period: queries alone advance the clock and expire state.
+      now += static_cast<Tick>(rng.NextBelow(150));
+      check("Advance");
+    } else if (kind < 85) {
+      // Full snapshot round-trip through the typed codec; continue on the
+      // restored instance.
+      const Status audit_status = AuditSnapshotRoundTrip(*ceh);
+      ASSERT_TRUE(audit_status.ok()) << audit_status.ToString();
+      std::string blob;
+      const Status encode_status = EncodeDecayedSum(*ceh, &blob);
+      ASSERT_TRUE(encode_status.ok()) << encode_status.ToString();
+      auto restored = DecodeDecayedSum(decay, blob);
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      auto* typed = dynamic_cast<CehDecayedSum*>(restored->get());
+      ASSERT_NE(typed, nullptr);
+      restored->release();
+      ceh.reset(typed);
+      check("SnapshotRoundTrip");
+    } else if (kind < 92 && merges < 3) {
+      std::unique_ptr<CehDecayedSum> other = MakeCeh(fuzz.decay, fuzz.epsilon);
+      ExactDecayedReference other_exact(decay);
+      Tick other_now = std::max<Tick>(1, now - static_cast<Tick>(
+                                              rng.NextBelow(30)));
+      const int burst = 1 + static_cast<int>(rng.NextBelow(50));
+      for (int i = 0; i < burst; ++i) {
+        other_now += static_cast<Tick>(rng.NextBelow(2));
+        const uint64_t value = 1 + rng.NextBelow(3);
+        other->Update(other_now, value);
+        other_exact.Add(other_now, value);
+      }
+      now = std::max(now, other_now);
+      const Status status = ceh->MergeFrom(*other);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      exact.MergeFrom(other_exact);
+      ++merges;
+      check("MergeFrom");
+    } else {
+      // Repeated queries at one tick must be stable (memoization path).
+      const double first = ceh->Query(now);
+      EXPECT_DOUBLE_EQ(ceh->Query(now), first);
+      check("RepeatedQuery");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CehFuzzTest,
+    ::testing::Values(
+        FuzzCase{0xce01, DecayKind::kSliwin, 0.1, 0.11, 900},
+        FuzzCase{0xce02, DecayKind::kPolyOne, 0.1, 0.3, 900},
+        FuzzCase{0xce03, DecayKind::kPolyTwo, 0.1, 0.3, 700},
+        FuzzCase{0xce04, DecayKind::kExpd, 0.1, 0.3, 700},
+        FuzzCase{0xce05, DecayKind::kPolyOne, 0.02, 0.06, 600}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "Seed" + std::to_string(info.param.seed & 0xff) + "Decay" +
+             std::to_string(static_cast<int>(info.param.decay)) + "Eps" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100));
+    });
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,149 @@
+// Deterministic fuzz driver for ExponentialHistogram: randomized but
+// reproducible interleavings of Add / AdvanceTo / MergeFrom / EncodeState /
+// DecodeState / EstimateWindow, asserting AuditInvariants() and the
+// estimate-vs-exact error bound after every operation. Runs as an ordinary
+// ctest target; under the ASan+UBSan build (tools/check.sh asan) it doubles
+// as the memory-error net for the EH hot paths.
+#include "histogram/exponential_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_util.h"
+#include "util/codec.h"
+#include "util/common.h"
+
+namespace tds {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  double epsilon;
+  Tick window;
+  int ops;
+};
+
+class EhFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+ExponentialHistogram MakeEh(double epsilon, Tick window) {
+  ExponentialHistogram::Options options;
+  options.epsilon = epsilon;
+  options.window = window;
+  auto eh = ExponentialHistogram::Create(options);
+  EXPECT_TRUE(eh.ok()) << eh.status().ToString();
+  return std::move(eh).value();
+}
+
+TEST_P(EhFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
+  const FuzzCase fuzz = GetParam();
+  FuzzRng rng(fuzz.seed);
+
+  ExponentialHistogram eh = MakeEh(fuzz.epsilon, fuzz.window);
+  ExactWindowReference exact;
+  Tick now = 0;
+  // MergeFrom folds in a disjoint substream; each merge widens the error
+  // envelope by roughly the input histogram's own epsilon.
+  int merges = 0;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
+                 " draw=" + std::to_string(rng.counter()));
+    const Status audit = eh.AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    if (now == 0) return;
+    const double reference =
+        static_cast<double>(exact.WindowCount(now, fuzz.window));
+    const double envelope_rel = fuzz.epsilon * (1.05 + merges);
+    const double slack = 1.5 + 2.0 * merges;
+    EXPECT_NEAR(eh.Estimate(), reference,
+                envelope_rel * reference + slack);
+  };
+
+  for (int op = 0; op < fuzz.ops; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 55) {
+      // Add at the current tick or a short hop forward; occasional large
+      // values exercise the O(cap log v) digit insertion.
+      now += static_cast<Tick>(rng.NextBelow(3));
+      if (now == 0) now = 1;
+      const uint64_t value =
+          rng.NextBelow(20) == 0 ? 1 + rng.NextBelow(5000) : rng.NextBelow(4);
+      eh.Add(now, value);
+      exact.Add(now, value);
+      check("Add");
+    } else if (kind < 70) {
+      // Jumps larger than the window exercise wholesale expiry.
+      now += static_cast<Tick>(rng.NextBelow(
+          static_cast<uint64_t>(fuzz.window) + fuzz.window / 2 + 2));
+      eh.AdvanceTo(now);
+      check("AdvanceTo");
+    } else if (kind < 80) {
+      // Codec round-trip: continue the run on the decoded instance, so any
+      // state the codec loses poisons every later comparison.
+      Encoder encoder;
+      eh.EncodeState(encoder);
+      const std::string blob = encoder.Finish();
+      ExponentialHistogram restored = MakeEh(fuzz.epsilon, fuzz.window);
+      Decoder decoder(blob);
+      const Status status = restored.DecodeState(decoder);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      EXPECT_TRUE(decoder.Done());
+      EXPECT_DOUBLE_EQ(restored.Estimate(), eh.Estimate());
+      eh = std::move(restored);
+      check("DecodeState");
+    } else if (kind < 85 && merges < 3) {
+      // Merge in a short disjoint substream living in the recent past.
+      ExponentialHistogram other = MakeEh(fuzz.epsilon, fuzz.window);
+      ExactWindowReference other_exact;
+      const int burst = 1 + static_cast<int>(rng.NextBelow(40));
+      Tick other_now = std::max<Tick>(1, now - static_cast<Tick>(
+                                              rng.NextBelow(20)));
+      for (int i = 0; i < burst; ++i) {
+        other_now += static_cast<Tick>(rng.NextBelow(2));
+        const uint64_t value = 1 + rng.NextBelow(3);
+        other.Add(other_now, value);
+        other_exact.Add(other_now, value);
+      }
+      now = std::max(now, other_now);
+      const Status status = eh.MergeFrom(other);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      exact.MergeFrom(other_exact);
+      ++merges;
+      check("MergeFrom");
+    } else {
+      // Lemma 4.1: the same structure answers every window w <= W.
+      eh.AdvanceTo(now);
+      const Tick w =
+          1 + static_cast<Tick>(rng.NextBelow(
+                  static_cast<uint64_t>(fuzz.window)));
+      const double reference =
+          static_cast<double>(exact.WindowCount(now, w));
+      const double envelope_rel = fuzz.epsilon * (1.05 + merges);
+      const double slack = 1.5 + 2.0 * merges;
+      EXPECT_NEAR(eh.EstimateWindow(w), reference,
+                  envelope_rel * reference + slack)
+          << "w=" << w << " seed=" << fuzz.seed
+          << " draw=" << rng.counter();
+      check("EstimateWindow");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EhFuzzTest,
+    ::testing::Values(FuzzCase{0xe401, 0.1, 64, 1200},
+                      FuzzCase{0xe402, 0.1, 512, 1200},
+                      FuzzCase{0xe403, 0.02, 128, 900},
+                      FuzzCase{0xe404, 0.5, 32, 1200},
+                      FuzzCase{0xe405, 0.25, 1024, 900}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "Seed" + std::to_string(info.param.seed & 0xff) + "Eps" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100)) +
+             "W" + std::to_string(info.param.window);
+    });
+
+}  // namespace
+}  // namespace tds

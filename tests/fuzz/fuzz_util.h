@@ -1,0 +1,67 @@
+#ifndef TDS_TESTS_FUZZ_FUZZ_UTIL_H_
+#define TDS_TESTS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "util/common.h"
+#include "util/random.h"
+
+namespace tds {
+
+/// Deterministic operation sequencer for the fuzz drivers: a counter-based
+/// RNG (HashCombine over SplitMix64, the same primitive the sketches use to
+/// regenerate randomness on the fly), so op i of run `seed` is a pure
+/// function of (seed, i) — any failure replays from the two numbers in the
+/// test log, independent of platform or prior draws.
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : seed_(seed) {}
+
+  uint64_t Next() { return HashCombine(seed_, counter_++); }
+
+  /// Uniform in [0, bound); bound >= 1. (Modulo bias is irrelevant at test
+  /// bounds ~ 2^6 against a 64-bit draw.)
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [0, 1).
+  double NextUnit() { return BitsToUnitDouble(Next()); }
+
+  /// Draw counter consumed so far (for failure messages).
+  uint64_t counter() const { return counter_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t counter_ = 0;
+};
+
+/// Exact reference for windowed counts: remembers every (tick, value) pair
+/// and answers any suffix-window count by direct summation. Deliberately
+/// brute-force — the reference must share no code path with the structures
+/// under test.
+class ExactWindowReference {
+ public:
+  void Add(Tick t, uint64_t value) { items_.emplace_back(t, value); }
+
+  void MergeFrom(const ExactWindowReference& other) {
+    for (const auto& item : other.items_) items_.push_back(item);
+  }
+
+  /// Count of items with arrival in [now - w + 1, now].
+  uint64_t WindowCount(Tick now, Tick w) const {
+    const Tick cutoff = now - w + 1;
+    uint64_t total = 0;
+    for (const auto& [t, value] : items_) {
+      if (t >= cutoff && t <= now) total += value;
+    }
+    return total;
+  }
+
+ private:
+  std::deque<std::pair<Tick, uint64_t>> items_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_TESTS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,203 @@
+// Deterministic fuzz driver for the Weight-Based Merging Histogram:
+// interleaves Update / Query / quiet gaps / snapshot round-trips on an
+// owned-layout instance, and separately drives two counters over one shared
+// layout with periodic log trimming — the deployment shape the layout's op
+// log exists for. Audits layout + counter invariants after every operation.
+#include "core/wbmh.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "decay/polynomial.h"
+#include "fuzz_util.h"
+
+namespace tds {
+namespace {
+
+/// Brute-force decayed sum under `decay` (shared with the CEH driver in
+/// spirit, duplicated to stay self-contained per target).
+class ExactDecayedReference {
+ public:
+  explicit ExactDecayedReference(DecayPtr decay) : decay_(std::move(decay)) {}
+
+  void Add(Tick t, uint64_t value) { items_.emplace_back(t, value); }
+
+  double Sum(Tick now) const {
+    double sum = 0.0;
+    for (const auto& [t, value] : items_) {
+      const Tick age = AgeAt(t, now);
+      if (decay_->Horizon() != kInfiniteHorizon && age > decay_->Horizon()) {
+        continue;
+      }
+      sum += static_cast<double>(value) * decay_->Weight(age);
+    }
+    return sum;
+  }
+
+ private:
+  DecayPtr decay_;
+  std::deque<std::pair<Tick, uint64_t>> items_;
+};
+
+struct FuzzCase {
+  uint64_t seed;
+  double alpha;    ///< Polynomial decay exponent.
+  double epsilon;
+  double envelope; ///< Relative error budget for Query vs exact.
+  int ops;
+};
+
+class WbmhFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(WbmhFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
+  const FuzzCase fuzz = GetParam();
+  FuzzRng rng(fuzz.seed);
+  const DecayPtr decay = PolynomialDecay::Create(fuzz.alpha).value();
+
+  WbmhDecayedSum::Options options;
+  options.epsilon = fuzz.epsilon;
+  auto created = WbmhDecayedSum::Create(decay, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<WbmhDecayedSum> wbmh = std::move(created).value();
+
+  ExactDecayedReference exact(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
+                 " draw=" + std::to_string(rng.counter()));
+    const Status audit = wbmh->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double reference = exact.Sum(now);
+    EXPECT_NEAR(wbmh->Query(now), reference,
+                fuzz.envelope * reference + 0.5);
+  };
+
+  for (int op = 0; op < fuzz.ops; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 65) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value =
+          rng.NextBelow(25) == 0 ? 1 + rng.NextBelow(500) : rng.NextBelow(4);
+      wbmh->Update(now, value);
+      exact.Add(now, value);
+      check("Update");
+    } else if (kind < 82) {
+      // Quiet gap: forces seal/merge/drop event processing in one burst.
+      now += static_cast<Tick>(rng.NextBelow(200));
+      check("Gap");
+    } else if (kind < 90) {
+      // Snapshot round-trip (owned layout); continue on the restored copy.
+      const Status audit_status = AuditSnapshotRoundTrip(*wbmh);
+      ASSERT_TRUE(audit_status.ok()) << audit_status.ToString();
+      std::string blob;
+      const Status encode_status = EncodeDecayedSum(*wbmh, &blob);
+      ASSERT_TRUE(encode_status.ok()) << encode_status.ToString();
+      auto restored = DecodeDecayedSum(decay, blob);
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      auto* typed = dynamic_cast<WbmhDecayedSum*>(restored->get());
+      ASSERT_NE(typed, nullptr);
+      restored->release();
+      wbmh.reset(typed);
+      check("SnapshotRoundTrip");
+    } else {
+      // Repeated queries at a fixed tick must agree.
+      const double first = wbmh->Query(now);
+      EXPECT_DOUBLE_EQ(wbmh->Query(now), first);
+      check("RepeatedQuery");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, WbmhFuzzTest,
+    ::testing::Values(FuzzCase{0x3b01, 1.0, 0.2, 0.5, 900},
+                      FuzzCase{0x3b02, 2.0, 0.2, 0.5, 900},
+                      FuzzCase{0x3b03, 1.0, 0.05, 0.15, 600},
+                      FuzzCase{0x3b04, 0.5, 0.5, 1.0, 900}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "Seed" + std::to_string(info.param.seed & 0xff) + "Alpha" +
+             std::to_string(static_cast<int>(info.param.alpha * 10)) +
+             "Eps" + std::to_string(static_cast<int>(info.param.epsilon * 100));
+    });
+
+// Two counters over one shared layout, with periodic op-log trimming at the
+// slower counter's applied sequence — exercises the replay protocol that the
+// single-stream wrapper never stresses.
+TEST(WbmhSharedLayoutFuzzTest, TwoCountersOneLayoutWithTrimming) {
+  FuzzRng rng(0x3bff);
+  const DecayPtr decay = PolynomialDecay::Create(1.5).value();
+
+  WbmhLayout::Options layout_options;
+  layout_options.decay = decay;
+  layout_options.epsilon = 0.2;
+  layout_options.start = 1;
+  auto layout_or = WbmhLayout::Create(layout_options);
+  ASSERT_TRUE(layout_or.ok()) << layout_or.status().ToString();
+  auto layout = std::make_shared<WbmhLayout>(std::move(layout_or).value());
+
+  WbmhDecayedSum::Options options;
+  options.epsilon = 0.2;
+  auto a = WbmhDecayedSum::CreateShared(layout, options);
+  auto b = WbmhDecayedSum::CreateShared(layout, options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ExactDecayedReference exact_a(decay);
+  ExactDecayedReference exact_b(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " draw=" + std::to_string(rng.counter()));
+    Status audit = layout->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    audit = (*a)->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    audit = (*b)->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    EXPECT_NEAR((*a)->Query(now), exact_a.Sum(now),
+                0.5 * exact_a.Sum(now) + 0.5);
+    EXPECT_NEAR((*b)->Query(now), exact_b.Sum(now),
+                0.5 * exact_b.Sum(now) + 0.5);
+  };
+
+  for (int op = 0; op < 900; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 45) {
+      now += static_cast<Tick>(rng.NextBelow(2));
+      const uint64_t value = 1 + rng.NextBelow(3);
+      (*a)->Update(now, value);
+      exact_a.Add(now, value);
+      check("UpdateA");
+    } else if (kind < 80) {
+      // Stream B is burstier: it falls behind on replay between bursts,
+      // leaving real work for the shared-log catch-up path.
+      now += static_cast<Tick>(rng.NextBelow(40));
+      const uint64_t value = 1 + rng.NextBelow(10);
+      (*b)->Update(now, value);
+      exact_b.Add(now, value);
+      check("UpdateB");
+    } else if (kind < 92) {
+      now += static_cast<Tick>(rng.NextBelow(120));
+      check("Gap");
+    } else {
+      // Queries sync both counters to the layout's op sequence, after which
+      // the whole log may be discarded.
+      (void)(*a)->Query(now);
+      (void)(*b)->Query(now);
+      const uint64_t safe = std::min((*a)->counter().AppliedSeq(),
+                                     (*b)->counter().AppliedSeq());
+      layout->TrimLog(safe);
+      check("TrimLog");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,85 @@
+#!/bin/sh
+# tools/check.sh — one command for the full correctness-tooling matrix
+# (docs/CORRECTNESS.md). CI runs exactly this script so local runs and CI
+# cannot drift.
+#
+# Usage:
+#   tools/check.sh [stage...]
+#
+# Stages (default: "release asan tidy"; "all" = release asan tsan tidy):
+#   release   Release build + full ctest suite (tier-1 verify).
+#   asan      ASan+UBSan build with -DTDS_AUDIT=ON (structural invariant
+#             audits after every mutation) + full ctest suite.
+#   tsan      ThreadSanitizer build + full ctest suite.
+#   tidy      clang-tidy over src/ with the checked-in .clang-tidy, using
+#             the asan build's compilation database. Skipped with a notice
+#             when clang-tidy is not installed (the container image may not
+#             ship it); CI installs it.
+#
+# Every stage builds out-of-tree (build-release/, build-asan/, build-tsan/)
+# so the matrix never pollutes the default build/ directory.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+STAGES="${*:-release asan tidy}"
+if [ "$STAGES" = "all" ]; then
+  STAGES="release asan tsan tidy"
+fi
+
+log() { printf '\n== check.sh: %s ==\n' "$*"; }
+
+build_and_test() {
+  # build_and_test <dir> <extra cmake flags...>
+  dir="$ROOT/$1"
+  shift
+  cmake -S "$ROOT" -B "$dir" -DTDS_WERROR=ON "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+for stage in $STAGES; do
+  case "$stage" in
+    release)
+      log "Release build + ctest"
+      build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+      ;;
+    asan)
+      log "ASan+UBSan build (audits on) + ctest"
+      build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTDS_SANITIZE="address;undefined" -DTDS_AUDIT=ON
+      ;;
+    tsan)
+      log "TSan build + ctest"
+      build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTDS_SANITIZE=thread
+      ;;
+    tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        log "clang-tidy not installed; skipping the lint stage"
+        continue
+      fi
+      log "clang-tidy over src/"
+      # Reuse (or create) the asan build for its compile_commands.json.
+      if [ ! -f "$ROOT/build-asan/compile_commands.json" ]; then
+        cmake -S "$ROOT" -B "$ROOT/build-asan" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DTDS_SANITIZE="address;undefined" -DTDS_AUDIT=ON -DTDS_WERROR=ON
+      fi
+      if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -quiet -p "$ROOT/build-asan" -j "$JOBS" \
+          "^$ROOT/src/.*" "^$ROOT/tools/.*"
+      else
+        find "$ROOT/src" "$ROOT/tools" -name '*.cc' -print0 |
+          xargs -0 -n 1 -P "$JOBS" clang-tidy -quiet -p "$ROOT/build-asan"
+      fi
+      ;;
+    *)
+      echo "check.sh: unknown stage '$stage'" >&2
+      echo "known stages: release asan tsan tidy all" >&2
+      exit 2
+      ;;
+  esac
+done
+
+log "all requested stages passed"
