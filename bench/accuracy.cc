@@ -63,9 +63,11 @@ void RunEpsilon(double epsilon) {
 
   for (const Case& c : cases) {
     for (const Workload& w : workloads) {
-      AggregateOptions options;
-      options.backend = c.backend;
-      options.epsilon = epsilon;
+      const AggregateOptions options = AggregateOptions::Builder()
+                                       .backend(c.backend)
+                                       .epsilon(epsilon)
+                                       .Build()
+                                       .value();
       auto subject = MakeDecayedSum(c.decay, options);
       if (!subject.ok()) continue;
       auto reference = ExactDecayedSum::Create(c.decay);

@@ -1,0 +1,246 @@
+// Experiment ENG — ingestion throughput of the multi-stream engine
+// (docs/ENGINE.md): items/sec of AggregateRegistry as a function of batch
+// size (1 / 64 / 4096), and of ShardedAggregateEngine as a function of shard
+// count, over a power-law keyed stream. The reproduction target for the
+// batch-first API claim: batching amortizes per-item cascades into
+// per-(tick, key)-run work, so batch=4096 must beat batch=1 by >= 5x on at
+// least one histogram backend.
+//
+// Usage: engine_throughput [--smoke] [--out PATH]
+//   --smoke   small sizes for CI; exits nonzero if max speedup < 5x
+//   --out     JSON results path (default BENCH_engine.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+struct BackendCase {
+  std::string label;
+  DecayPtr decay;
+  Backend backend;
+};
+
+/// Bursty per-flow stream, the shape of the paper's applications (RED
+/// per-flow state, per-customer usage): at any tick only a bounded set of
+/// flows is active, a few heavy hitters recur every tick, and the long tail
+/// churns across the full key space. Each 4096-item block is one tick with
+/// 64 active flows drawn Pareto-style (rank = u^-2, so rank 1 recurs in
+/// ~29% of draws while large ranks are effectively one-shot keys). Ticks
+/// advance once per block, so every batch size in the sweep slices
+/// identical (key, tick, value) sequences.
+std::vector<KeyedItem> MakeStream(size_t items, uint64_t key_space,
+                                  uint64_t seed) {
+  constexpr size_t kBlock = 4096;
+  constexpr size_t kActiveFlows = 64;
+  std::vector<KeyedItem> stream;
+  stream.reserve(items);
+  Rng rng(seed);
+  Tick t = 1;
+  uint64_t active[kActiveFlows];
+  for (size_t i = 0; i < items; ++i) {
+    if (i % kBlock == 0) {
+      if (i > 0) ++t;
+      for (uint64_t& key : active) {
+        const double u = rng.NextOpenDouble();
+        const auto rank = static_cast<uint64_t>(1.0 / (u * u));
+        key = std::min(rank - 1, key_space - 1);
+      }
+    }
+    stream.push_back(KeyedItem{active[rng.NextBelow(kActiveFlows)], t,
+                               1 + rng.NextBelow(4)});
+  }
+  return stream;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  std::string backend;
+  std::string sweep;  // "batch" or "shard"
+  size_t param = 0;   // batch size or shard count
+  size_t items = 0;
+  size_t keys = 0;
+  double seconds = 0.0;
+  double items_per_sec = 0.0;
+  double check = 0.0;  // QueryTotal at the end: keeps work observable
+};
+
+Row RunBatchCase(const BackendCase& bc, const std::vector<KeyedItem>& stream,
+                 size_t key_space, size_t batch) {
+  AggregateRegistry::Options options;
+  options.aggregate = AggregateOptions::Builder()
+                          .backend(bc.backend)
+                          .epsilon(0.1)
+                          .Build()
+                          .value();
+  auto registry = AggregateRegistry::Create(bc.decay, options);
+  TDS_CHECK(registry.ok());
+  const auto start = std::chrono::steady_clock::now();
+  if (batch == 1) {
+    for (const KeyedItem& item : stream) {
+      registry->Update(item.key, item.t, item.value);
+    }
+  } else {
+    for (size_t i = 0; i < stream.size(); i += batch) {
+      const size_t n = std::min(batch, stream.size() - i);
+      registry->UpdateBatch(
+          std::span<const KeyedItem>(stream.data() + i, n));
+    }
+  }
+  const double seconds = SecondsSince(start);
+  Row row;
+  row.backend = bc.label;
+  row.sweep = "batch";
+  row.param = batch;
+  row.items = stream.size();
+  row.keys = key_space;
+  row.seconds = seconds;
+  row.items_per_sec = static_cast<double>(stream.size()) / seconds;
+  row.check = registry->QueryTotal(registry->now());
+  return row;
+}
+
+Row RunShardCase(const BackendCase& bc, const std::vector<KeyedItem>& stream,
+                 size_t key_space, uint32_t shards, size_t batch) {
+  ShardedAggregateEngine::Options options;
+  options.registry.aggregate = AggregateOptions::Builder()
+                                   .backend(bc.backend)
+                                   .epsilon(0.1)
+                                   .Build()
+                                   .value();
+  options.shards = shards;
+  auto engine = ShardedAggregateEngine::Create(bc.decay, options);
+  TDS_CHECK(engine.ok());
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < stream.size(); i += batch) {
+    const size_t n = std::min(batch, stream.size() - i);
+    (*engine)->IngestBatch(std::span<const KeyedItem>(stream.data() + i, n));
+  }
+  (*engine)->Flush();
+  const double seconds = SecondsSince(start);
+  Row row;
+  row.backend = bc.label;
+  row.sweep = "shard";
+  row.param = shards;
+  row.items = stream.size();
+  row.keys = key_space;
+  row.seconds = seconds;
+  row.items_per_sec = static_cast<double>(stream.size()) / seconds;
+  row.check = (*engine)->QueryTotal((*engine)->ShardSnapshot(0)->now());
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::vector<Row>& rows, double max_speedup) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", mode.c_str());
+  std::fprintf(f, "  \"max_batch_speedup\": %.3f,\n", max_speedup);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"sweep\": \"%s\", "
+                 "\"param\": %zu, \"items\": %zu, \"keys\": %zu, "
+                 "\"seconds\": %.6f, \"items_per_sec\": %.1f, "
+                 "\"query_total\": %.6g}%s\n",
+                 r.backend.c_str(), r.sweep.c_str(), r.param, r.items, r.keys,
+                 r.seconds, r.items_per_sec, r.check,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const size_t items = smoke ? 1 << 18 : 1 << 22;
+  const size_t key_space = smoke ? 1 << 16 : 1 << 20;
+  const size_t shard_items = smoke ? 1 << 17 : 1 << 21;
+
+  const std::vector<BackendCase> cases = {
+      {"CEH", SlidingWindowDecay::Create(4096).value(), Backend::kCeh},
+      {"WBMH", PolynomialDecay::Create(1.0).value(), Backend::kWbmh},
+      {"EWMA", ExponentialDecay::Create(0.001).value(), Backend::kEwma},
+  };
+  const std::vector<KeyedItem> stream = MakeStream(items, key_space, 42);
+  const std::vector<KeyedItem> shard_stream =
+      MakeStream(shard_items, key_space, 43);
+
+  std::vector<Row> rows;
+  double max_speedup = 0.0;
+  std::printf("%-8s %-6s %10s %12s %14s\n", "backend", "sweep", "param",
+              "seconds", "items/sec");
+  for (const BackendCase& bc : cases) {
+    double base = 0.0;
+    for (const size_t batch : {size_t{1}, size_t{64}, size_t{4096}}) {
+      const Row row = RunBatchCase(bc, stream, key_space, batch);
+      rows.push_back(row);
+      std::printf("%-8s %-6s %10zu %12.3f %14.0f\n", row.backend.c_str(),
+                  row.sweep.c_str(), row.param, row.seconds,
+                  row.items_per_sec);
+      if (batch == 1) base = row.items_per_sec;
+      if (batch == 4096 && base > 0.0) {
+        const double speedup = row.items_per_sec / base;
+        std::printf("%-8s batch=4096 vs batch=1 speedup: %.2fx\n",
+                    bc.label.c_str(), speedup);
+        if (speedup > max_speedup) max_speedup = speedup;
+      }
+    }
+  }
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const Row row = RunShardCase(cases[0], shard_stream, key_space, shards,
+                                 4096);
+    rows.push_back(row);
+    std::printf("%-8s %-6s %10zu %12.3f %14.0f\n", row.backend.c_str(),
+                row.sweep.c_str(), row.param, row.seconds, row.items_per_sec);
+  }
+
+  WriteJson(out, smoke ? "smoke" : "full", rows, max_speedup);
+  std::printf("max batch=4096 speedup over batch=1: %.2fx\n", max_speedup);
+  if (smoke && max_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: smoke gate requires >= 5x batch speedup on at least "
+                 "one backend\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tds
+
+int main(int argc, char** argv) { return tds::Main(argc, argv); }

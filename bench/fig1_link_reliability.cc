@@ -33,8 +33,10 @@ struct LinkScenario {
 };
 
 void RunDecay(const char* label, DecayPtr decay, const LinkScenario& s) {
-  AggregateOptions options;
-  options.epsilon = 0.05;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .epsilon(0.05)
+                                   .Build()
+                                   .value();
   auto l1 = MakeDecayedSum(decay, options);
   auto l2 = MakeDecayedSum(decay, options);
   if (!l1.ok() || !l2.ok()) {

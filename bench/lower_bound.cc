@@ -76,9 +76,11 @@ void RunHorizon(double alpha, Tick n, Rng& rng) {
     for (int& c : choices) c = 1 + static_cast<int>(rng.NextBelow(2));
     const Stream stream = MakeAdversarialStream(family, choices);
     for (Backend backend : {Backend::kCeh, Backend::kWbmh}) {
-      AggregateOptions options;
-      options.backend = backend;
-      options.epsilon = 0.02;
+      const AggregateOptions options = AggregateOptions::Builder()
+                                       .backend(backend)
+                                       .epsilon(0.02)
+                                       .Build()
+                                       .value();
       auto subject = MakeDecayedSum(decay, options);
       if (!subject.ok()) continue;
       for (const StreamItem& item : stream) {

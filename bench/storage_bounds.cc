@@ -28,9 +28,11 @@ namespace tds {
 namespace {
 
 size_t MeasureBits(DecayPtr decay, Backend backend, double epsilon, Tick n) {
-  AggregateOptions options;
-  options.backend = backend;
-  options.epsilon = epsilon;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(backend)
+                                   .epsilon(epsilon)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   if (!subject.ok()) return 0;
   for (Tick t = 1; t <= n; ++t) (*subject)->Update(t, 1);

@@ -19,9 +19,11 @@ namespace tds {
 namespace {
 
 std::unique_ptr<DecayedAggregate> MakeSubject(Backend backend) {
-  AggregateOptions options;
-  options.backend = backend;
-  options.epsilon = 0.1;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(backend)
+                                   .epsilon(0.1)
+                                   .Build()
+                                   .value();
   DecayPtr decay;
   switch (backend) {
     case Backend::kEwma:
@@ -112,8 +114,10 @@ BENCHMARK(BM_SamplerDraw);
 
 void BM_VarianceObserve(benchmark::State& state) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kCeh;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kCeh)
+                                   .Build()
+                                   .value();
   auto variance = std::move(DecayedVariance::Create(decay, options)).value();
   Rng rng(4);
   Tick t = 1;

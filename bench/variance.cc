@@ -18,11 +18,15 @@ namespace tds {
 namespace {
 
 void Run(DecayPtr decay, const Stream& stream, const char* workload) {
-  AggregateOptions approx;
-  approx.backend = Backend::kCeh;
-  approx.epsilon = 0.02;
-  AggregateOptions exact;
-  exact.backend = Backend::kExact;
+  const AggregateOptions approx = AggregateOptions::Builder()
+                                  .backend(Backend::kCeh)
+                                  .epsilon(0.02)
+                                  .Build()
+                                  .value();
+  const AggregateOptions exact = AggregateOptions::Builder()
+                                 .backend(Backend::kExact)
+                                 .Build()
+                                 .value();
   auto subject = DecayedVariance::Create(decay, approx);
   auto reference = DecayedVariance::Create(decay, exact);
   if (!subject.ok() || !reference.ok()) return;
@@ -58,12 +62,16 @@ void WindowShowdown() {
        std::vector<std::pair<const char*, Stream>>{
            {"level-shift", LevelShiftStream(6000, 3000, 4.0, 16.0, 42)},
            {"poisson", PoissonStream(6000, 9.0, 43)}}) {
-    AggregateOptions reduction_options;
-    reduction_options.backend = Backend::kCeh;
-    reduction_options.epsilon = 0.02;
+    const AggregateOptions reduction_options = AggregateOptions::Builder()
+                                               .backend(Backend::kCeh)
+                                               .epsilon(0.02)
+                                               .Build()
+                                               .value();
     auto reduction = DecayedVariance::Create(decay, reduction_options);
-    AggregateOptions exact_options;
-    exact_options.backend = Backend::kExact;
+    const AggregateOptions exact_options = AggregateOptions::Builder()
+                                           .backend(Backend::kExact)
+                                           .Build()
+                                           .value();
     auto reference = DecayedVariance::Create(decay, exact_options);
     SlidingWindowVariance::Options window_options;
     window_options.epsilon = 0.1;

@@ -26,8 +26,10 @@ int main() {
                    /*horizon=*/30 * kDay, "alert-score")
                    .value();
 
-  AggregateOptions options;
-  options.epsilon = 0.05;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .epsilon(0.05)
+                                   .Build()
+                                   .value();
   auto score = MakeDecayedSum(decay, options).value();
   std::printf("decay '%s' -> backend %s (non-admissible shapes fall back\n"
               "to the universal CEH)\n\n",

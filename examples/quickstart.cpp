@@ -21,8 +21,10 @@ int main() {
   // 2. Build maintenance structures. Backend::kAuto picks the paper's
   // storage-optimal algorithm per family: EWMA for EXPD, the Exponential
   // Histogram for SLIWIN, the Weight-Based Merging Histogram for POLYD.
-  AggregateOptions options;
-  options.epsilon = 0.1;  // (1 +- 0.1)-approximate answers
+  const AggregateOptions options = AggregateOptions::Builder()
+                                       .epsilon(0.1)  // (1 +- 0.1)-approx
+                                       .Build()
+                                       .value();
   auto expd_sum = MakeDecayedSum(expd, options).value();
   auto sliwin_sum = MakeDecayedSum(sliwin, options).value();
   auto polyd_sum = MakeDecayedSum(polyd, options).value();

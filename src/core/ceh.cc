@@ -26,24 +26,35 @@ StatusOr<std::unique_ptr<CehDecayedSum>> CehDecayedSum::Create(
 
 void CehDecayedSum::Update(Tick t, uint64_t value) {
   eh_.Add(t, value);
-  ++version_;
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+void CehDecayedSum::UpdateBatch(std::span<const StreamItem> items) {
+  // Coalesce runs of equal ticks into one Add: InsertUnits' sequential-
+  // insertion semantics make Add(t, a + b) identical to Add(t, a); Add(t, b),
+  // so the cascade fires once per distinct tick, not once per item.
+  size_t i = 0;
+  while (i < items.size()) {
+    const Tick t = items[i].t;
+    uint64_t total = 0;
+    for (; i < items.size() && items[i].t == t; ++i) total += items[i].value;
+    eh_.Add(t, total);
+  }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+void CehDecayedSum::Advance(Tick now) {
+  eh_.AdvanceTo(now);
   TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 Status CehDecayedSum::DecodeState(Decoder& decoder) {
-  // Restoring replaces the histogram wholesale: any memoized query result
-  // predates the snapshot and must not survive it.
-  ++version_;
   Status status = eh_.DecodeState(decoder);
   if (status.ok()) TDS_AUDIT_MUTATION(AuditInvariants());
   return status;
 }
 
-Status CehDecayedSum::AuditInvariants() const {
-  TDS_AUDIT_CHECK(cached_version_ <= version_,
-                  "memoized query is ahead of the mutation counter");
-  return eh_.AuditInvariants();
-}
+Status CehDecayedSum::AuditInvariants() const { return eh_.AuditInvariants(); }
 
 double CehDecayedSum::SafeWeight(Tick age) const {
   if (age < 1) age = 1;
@@ -51,14 +62,12 @@ double CehDecayedSum::SafeWeight(Tick age) const {
   return decay_->Weight(age);
 }
 
-double CehDecayedSum::Query(Tick now) {
-  if (now == cached_now_ && version_ == cached_version_) {
-    return cached_estimate_;
-  }
-  eh_.AdvanceTo(now);
+double CehDecayedSum::Query(Tick now) const {
   if (eh_.Empty()) return 0.0;
   // Walk buckets oldest -> newest; each bucket's trapezoid partner is the
   // end-age of its older neighbor (Eq. 4 telescoped; see class comment).
+  // Buckets past the horizon take SafeWeight == 0, so the unswept tail a
+  // const query cannot expire contributes nothing.
   double sum = 0.0;
   Tick older_age;  // end-age of the previous (older) bucket
   const Tick first_age = AgeAt(eh_.first_arrival(), now);
@@ -79,10 +88,6 @@ double CehDecayedSum::Query(Tick now) {
     sum += static_cast<double>(b.count) * w;
     older_age = age;
   });
-  cached_now_ = now;
-  cached_version_ = version_;
-  cached_estimate_ = sum;
-  TDS_AUDIT_MUTATION(AuditInvariants());
   return sum;
 }
 

@@ -33,7 +33,16 @@ class CehDecayedSum : public DecayedAggregate {
       DecayPtr decay, const Options& options);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  /// Amortized batch path: same-tick items are coalesced into one histogram
+  /// insertion, so the EH's merge cascade runs once per distinct tick
+  /// instead of once per item. Bit-identical to the per-item sequence (the
+  /// EH's InsertUnits implements sequential-insertion semantics).
+  void UpdateBatch(std::span<const StreamItem> items) override;
+  void Advance(Tick now) override;
+  /// Const and side-effect free: expired buckets contribute weight 0 via
+  /// SafeWeight, so skipping the histogram's expiry sweep never changes the
+  /// estimate. Call Advance(now) to actually reclaim their storage.
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "CEH"; }
   const DecayPtr& decay() const override { return decay_; }
@@ -42,17 +51,13 @@ class CehDecayedSum : public DecayedAggregate {
 
   /// Merges another CEH over a disjoint substream (same decay + epsilon):
   /// the distributed-streams setting. See ExponentialHistogram::MergeFrom.
-  Status MergeFrom(const CehDecayedSum& other) {
-    ++version_;
-    return eh_.MergeFrom(other.eh_);
-  }
+  Status MergeFrom(const CehDecayedSum& other) { return eh_.MergeFrom(other.eh_); }
 
   /// Snapshot support (delegates to the histogram).
   void EncodeState(class Encoder& encoder) const { eh_.EncodeState(encoder); }
   Status DecodeState(class Decoder& decoder);
 
-  /// Audits the underlying histogram plus the query-memoization bookkeeping
-  /// (see util/audit.h).
+  /// Audits the underlying histogram (see util/audit.h).
   Status AuditInvariants() const;
 
  private:
@@ -62,13 +67,6 @@ class CehDecayedSum : public DecayedAggregate {
 
   DecayPtr decay_;
   ExponentialHistogram eh_;
-  /// Memoized last query (the paper notes the running estimate can be
-  /// maintained at amortized O(1); repeated queries at one tick are the
-  /// common pattern and hit this cache).
-  Tick cached_now_ = -1;
-  uint64_t cached_version_ = 0;
-  double cached_estimate_ = 0.0;
-  uint64_t version_ = 0;
 };
 
 }  // namespace tds

@@ -117,13 +117,17 @@ void CoarseCehDecayedSum::Expire() {
   }
 }
 
-double CoarseCehDecayedSum::Query(Tick now) {
-  AdvanceTo(now);
+void CoarseCehDecayedSum::Advance(Tick now) { AdvanceTo(now); }
+
+double CoarseCehDecayedSum::Query(Tick now) const {
+  TDS_CHECK_GE(now, now_);
+  const double gap = static_cast<double>(now - now_);
   const Tick horizon = decay_->Horizon();
   double sum = 0.0;
   for (const auto& cls : classes_) {
     for (const Bucket& bucket : cls) {
-      const double age_estimate = std::max(1.0, bucket.age.Estimate());
+      const double age_estimate =
+          std::max(1.0, bucket.age.Estimate() + gap);
       const auto age = static_cast<Tick>(std::llround(age_estimate));
       if (age > horizon) continue;
       sum += static_cast<double>(bucket.count) * decay_->Weight(age);

@@ -44,7 +44,12 @@ class CoarseCehDecayedSum : public DecayedAggregate {
       DecayPtr decay, const Options& options);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  void Advance(Tick now) override;
+  /// Const and side-effect free: weights each bucket by its stored
+  /// approximate boundary age plus the deterministic gap since the last
+  /// mutation (the stochastic aging itself only runs inside
+  /// Update/Advance, so reads never touch the RNG).
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "COARSE_CEH"; }
   const DecayPtr& decay() const override { return decay_; }

@@ -2,9 +2,11 @@
 #define TDS_CORE_DECAYED_AGGREGATE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "decay/decay_function.h"
+#include "stream/stream.h"
 #include "util/common.h"
 
 namespace tds {
@@ -16,8 +18,22 @@ namespace tds {
 /// trade storage for approximation quality; StorageBits() reports the
 /// paper's bit metric for the current state.
 ///
+/// Time-handling contract:
+///  * Update / UpdateBatch / Advance are *mutations* and must be called with
+///    non-decreasing ticks by the single owning writer.
+///  * Query(now) is const and side-effect free: it never advances clocks,
+///    triggers expiry, or re-seeds RNG state, so any number of readers may
+///    query a quiescent structure concurrently (e.g. the engine's snapshot
+///    read path). `now` must be >= the last mutation tick; repeated queries
+///    at one `now` return the same value.
+///  * Advance(now) folds elapsed time into the structure explicitly:
+///    expiry, bucket cascades, register decay. Callers that previously
+///    relied on Query's hidden mutation for storage reclamation should call
+///    Advance(now) first.
+///
 /// Single-threaded ("thread-compatible") by design, like the streaming
-/// model itself: one writer owns the structure.
+/// model itself: one writer owns the structure; concurrent const access is
+/// safe only while no writer is active.
 class DecayedAggregate {
  public:
   virtual ~DecayedAggregate() = default;
@@ -26,10 +42,24 @@ class DecayedAggregate {
   /// non-decreasing across calls; multiple updates per tick are allowed.
   virtual void Update(Tick t, uint64_t value) = 0;
 
-  /// Estimated decayed sum at time `now` (>= the last update tick). May
-  /// advance internal clocks/expiry; repeated queries at the same `now`
-  /// return the same value.
-  virtual double Query(Tick now) = 0;
+  /// Batch update: equivalent to calling Update(item.t, item.value) for each
+  /// item in order. Items must be tick-sorted (non-decreasing) and start at
+  /// or after the last mutation tick. The default loops over Update();
+  /// backends with amortizable structural work (EH/CEH, WBMH) override it to
+  /// coalesce same-tick items and run cascades/merges once per batch — with
+  /// results bit-identical to the per-item sequence.
+  virtual void UpdateBatch(std::span<const StreamItem> items) {
+    for (const StreamItem& item : items) Update(item.t, item.value);
+  }
+
+  /// Explicitly advances internal clocks to `now` (>= the last mutation
+  /// tick): runs expiry, merges, and register decay. Equivalent to
+  /// Update(now, 0) for every backend, which is the default.
+  virtual void Advance(Tick now) { Update(now, 0); }
+
+  /// Estimated decayed sum at time `now` (>= the last mutation tick).
+  /// Const and side-effect free; see the class comment for the contract.
+  virtual double Query(Tick now) const = 0;
 
   /// Storage consumed under the paper's bit-accounting metric.
   virtual size_t StorageBits() const = 0;

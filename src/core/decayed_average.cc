@@ -22,7 +22,7 @@ void DecayedAverage::Observe(Tick t, uint64_t value) {
   count_->Update(t, 1);
 }
 
-double DecayedAverage::Query(Tick now, double fallback) {
+double DecayedAverage::Query(Tick now, double fallback) const {
   const double denominator = count_->Query(now);
   if (denominator <= 0.0) return fallback;
   return sum_->Query(now) / denominator;

@@ -28,12 +28,20 @@ class DecayedAverage {
   /// Records one observation of `value` at tick t.
   void Observe(Tick t, uint64_t value);
 
+  /// Advances both components' clocks/expiry to `now` (see
+  /// DecayedAggregate::Advance).
+  void Advance(Tick now) {
+    sum_->Advance(now);
+    count_->Advance(now);
+  }
+
   /// Estimated decayed average at `now`; returns fallback if no weight.
-  double Query(Tick now, double fallback = 0.0);
+  /// Const and side-effect free (see DecayedAggregate::Query).
+  double Query(Tick now, double fallback = 0.0) const;
 
   /// Decayed sum and count components.
-  double QuerySum(Tick now) { return sum_->Query(now); }
-  double QueryCount(Tick now) { return count_->Query(now); }
+  double QuerySum(Tick now) const { return sum_->Query(now); }
+  double QueryCount(Tick now) const { return count_->Query(now); }
 
   size_t StorageBits() const {
     return sum_->StorageBits() + count_->StorageBits();

@@ -44,9 +44,18 @@ void EwmaCounter::Update(Tick t, uint64_t value) {
   if (register_ > max_register_) max_register_ = register_;
 }
 
-double EwmaCounter::Query(Tick now) {
-  AdvanceTo(now);
-  return register_ * std::exp(-lambda_);
+void EwmaCounter::Advance(Tick now) { AdvanceTo(now); }
+
+double EwmaCounter::Query(Tick now) const {
+  TDS_CHECK_GE(now, now_);
+  // Same arithmetic as Advance(now) followed by a read — including the
+  // post-decay re-round — but on a local copy of the register.
+  double reg = register_;
+  if (now != now_ && reg != 0.0) {
+    reg *= std::exp(-lambda_ * static_cast<double>(now - now_));
+    reg = RoundedCounter::RoundValue(reg, mantissa_bits_);
+  }
+  return reg * std::exp(-lambda_);
 }
 
 void EwmaCounter::EncodeState(Encoder& encoder) const {

@@ -30,7 +30,8 @@ class EwmaCounter : public DecayedAggregate {
                                                        const Options& options);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  void Advance(Tick now) override;
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "EWMA"; }
   const DecayPtr& decay() const override { return decay_; }

@@ -32,9 +32,19 @@ void ExactDecayedSum::Update(Tick t, uint64_t value) {
   }
 }
 
-double ExactDecayedSum::Query(Tick now) {
+void ExactDecayedSum::Advance(Tick now) {
   TDS_CHECK_GE(now, now_);
   now_ = now;
+  const Tick horizon = decay_->Horizon();
+  if (horizon != kInfiniteHorizon) {
+    while (!items_.empty() && AgeAt(items_.front().t, now_) > horizon) {
+      items_.pop_front();
+    }
+  }
+}
+
+double ExactDecayedSum::Query(Tick now) const {
+  TDS_CHECK_GE(now, now_);
   double sum = 0.0;
   const Tick horizon = decay_->Horizon();
   for (const Entry& e : items_) {

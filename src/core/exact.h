@@ -20,7 +20,8 @@ class ExactDecayedSum : public DecayedAggregate {
   static StatusOr<std::unique_ptr<ExactDecayedSum>> Create(DecayPtr decay);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  void Advance(Tick now) override;
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "EXACT"; }
   const DecayPtr& decay() const override { return decay_; }

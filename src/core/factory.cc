@@ -1,5 +1,7 @@
 #include "core/factory.h"
 
+#include <cmath>
+
 #include "core/ceh.h"
 #include "core/coarse_ceh.h"
 #include "core/ewma.h"
@@ -42,13 +44,27 @@ StatusOr<std::unique_ptr<DecayedAggregate>> Upcast(
 
 }  // namespace
 
+Backend ResolveBackend(const DecayFunction& decay, Backend requested) {
+  return requested == Backend::kAuto ? ResolveAuto(decay) : requested;
+}
+
+StatusOr<AggregateOptions> AggregateOptions::Builder::Build() const {
+  if (!std::isfinite(options_.epsilon_) || !(options_.epsilon_ > 0.0) ||
+      options_.epsilon_ > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (options_.start_ < 1) {
+    return Status::InvalidArgument("start tick must be >= 1");
+  }
+  return options_;
+}
+
 StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
     DecayPtr decay, const AggregateOptions& options) {
   if (decay == nullptr) {
     return Status::InvalidArgument("decay function required");
   }
-  Backend backend = options.backend;
-  if (backend == Backend::kAuto) backend = ResolveAuto(*decay);
+  const Backend backend = ResolveBackend(*decay, options.backend());
   switch (backend) {
     case Backend::kExact:
       return Upcast(ExactDecayedSum::Create(std::move(decay)));
@@ -58,25 +74,25 @@ StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
     }
     case Backend::kRecentItems: {
       RecentItemsExpCounter::Options recent_options;
-      recent_options.epsilon = options.epsilon;
+      recent_options.epsilon = options.epsilon();
       return Upcast(
           RecentItemsExpCounter::Create(std::move(decay), recent_options));
     }
     case Backend::kCeh: {
       CehDecayedSum::Options ceh_options;
-      ceh_options.epsilon = options.epsilon;
+      ceh_options.epsilon = options.epsilon();
       return Upcast(CehDecayedSum::Create(std::move(decay), ceh_options));
     }
     case Backend::kCoarseCeh: {
       CoarseCehDecayedSum::Options coarse_options;
-      coarse_options.epsilon = options.epsilon;
+      coarse_options.epsilon = options.epsilon();
       return Upcast(
           CoarseCehDecayedSum::Create(std::move(decay), coarse_options));
     }
     case Backend::kWbmh: {
       WbmhDecayedSum::Options wbmh_options;
-      wbmh_options.epsilon = options.epsilon;
-      wbmh_options.start = options.start;
+      wbmh_options.epsilon = options.epsilon();
+      wbmh_options.start = options.start();
       return Upcast(WbmhDecayedSum::Create(std::move(decay), wbmh_options));
     }
     case Backend::kPolyExp:
@@ -96,5 +112,36 @@ StatusOr<DecayedAverage> MakeDecayedAverage(DecayPtr decay,
   return DecayedAverage::Create(std::move(sum).value(),
                                 std::move(count).value());
 }
+
+namespace {
+
+StatusOr<AggregateOptions> FromLegacy(const LegacyAggregateOptions& legacy) {
+  return AggregateOptions::Builder()
+      .backend(legacy.backend)
+      .epsilon(legacy.epsilon)
+      .start(legacy.start)
+      .Build();
+}
+
+}  // namespace
+
+// Definitions of the deprecated shims (the attribute targets callers, not
+// the out-of-line definitions, but some toolchains warn on both).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
+    DecayPtr decay, const LegacyAggregateOptions& options) {
+  auto validated = FromLegacy(options);
+  if (!validated.ok()) return validated.status();
+  return MakeDecayedSum(std::move(decay), validated.value());
+}
+
+StatusOr<DecayedAverage> MakeDecayedAverage(
+    DecayPtr decay, const LegacyAggregateOptions& options) {
+  auto validated = FromLegacy(options);
+  if (!validated.ok()) return validated.status();
+  return MakeDecayedAverage(std::move(decay), validated.value());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace tds

@@ -30,11 +30,75 @@ enum class Backend {
   kPolyExp,
 };
 
-struct AggregateOptions {
+/// Resolves kAuto to a concrete backend for `decay` per the paper's
+/// guidance (see Backend::kAuto); concrete backends pass through.
+Backend ResolveBackend(const DecayFunction& decay, Backend requested);
+
+/// Validated construction options for MakeDecayedSum / MakeDecayedAverage.
+/// Instances are immutable and always valid: build them with
+/// AggregateOptions::Builder, which rejects bad `epsilon` / `start` with a
+/// Status instead of letting them reach a backend.
+///
+///   auto options = AggregateOptions::Builder()
+///                      .backend(Backend::kCeh)
+///                      .epsilon(0.05)
+///                      .Build();
+///   if (!options.ok()) { ... }
+///   auto sum = MakeDecayedSum(decay, options.value());
+///
+/// The default-constructed value carries the defaults (kAuto, eps = 0.1,
+/// start = 1), which are valid by construction.
+class AggregateOptions {
+ public:
+  class Builder;
+
+  AggregateOptions() = default;
+
+  Backend backend() const { return backend_; }
+  /// Target relative error, in (0, 1].
+  double epsilon() const { return epsilon_; }
+  /// First tick of the stream (WBMH layout origin), >= 1.
+  Tick start() const { return start_; }
+
+ private:
+  Backend backend_ = Backend::kAuto;
+  double epsilon_ = 0.1;
+  Tick start_ = 1;
+};
+
+class AggregateOptions::Builder {
+ public:
+  Builder() = default;
+
+  Builder& backend(Backend backend) {
+    options_.backend_ = backend;
+    return *this;
+  }
+  Builder& epsilon(double epsilon) {
+    options_.epsilon_ = epsilon;
+    return *this;
+  }
+  Builder& start(Tick start) {
+    options_.start_ = start;
+    return *this;
+  }
+
+  /// Validates and returns the options: epsilon must be a finite value in
+  /// (0, 1] and start >= 1.
+  StatusOr<AggregateOptions> Build() const;
+
+ private:
+  AggregateOptions options_;
+};
+
+/// Deprecated pre-builder options struct, kept for one release so existing
+/// field-assignment call sites keep compiling (rename AggregateOptions ->
+/// LegacyAggregateOptions). The deprecated MakeDecayedSum overload funnels
+/// it through AggregateOptions::Builder, so invalid values now fail with a
+/// Status instead of reaching a backend.
+struct LegacyAggregateOptions {
   Backend backend = Backend::kAuto;
-  /// Target relative error.
   double epsilon = 0.1;
-  /// First tick of the stream (WBMH layout origin).
   Tick start = 1;
 };
 
@@ -45,6 +109,14 @@ StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
 /// Creates a decayed average (Problem 2.2) backed by two such structures.
 StatusOr<DecayedAverage> MakeDecayedAverage(DecayPtr decay,
                                             const AggregateOptions& options);
+
+[[deprecated("build options with AggregateOptions::Builder")]]
+StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
+    DecayPtr decay, const LegacyAggregateOptions& options);
+
+[[deprecated("build options with AggregateOptions::Builder")]]
+StatusOr<DecayedAverage> MakeDecayedAverage(
+    DecayPtr decay, const LegacyAggregateOptions& options);
 
 }  // namespace tds
 

@@ -52,9 +52,9 @@ StatusOr<std::unique_ptr<PolyExpCounter>> PolyExpCounter::Create(
   return Create(decay.value());
 }
 
-void PolyExpCounter::AdvanceTo(Tick t) {
+std::vector<double> PolyExpCounter::RegistersAt(Tick t) const {
   TDS_CHECK_GE(t, now_);
-  if (t == now_) return;
+  if (t == now_) return registers_;
   const double gap = static_cast<double>(t - now_);
   const double scale = std::exp(-lambda_ * gap);
   std::vector<double> next(k_ + 1, 0.0);
@@ -67,7 +67,11 @@ void PolyExpCounter::AdvanceTo(Tick t) {
     }
     next[j] = scale * sum;
   }
-  registers_ = std::move(next);
+  return next;
+}
+
+void PolyExpCounter::AdvanceTo(Tick t) {
+  registers_ = RegistersAt(t);
   now_ = t;
 }
 
@@ -77,20 +81,22 @@ void PolyExpCounter::Update(Tick t, uint64_t value) {
   registers_[0] += static_cast<double>(value);
 }
 
-double PolyExpCounter::Query(Tick now) {
+void PolyExpCounter::Advance(Tick now) { AdvanceTo(now); }
+
+double PolyExpCounter::Query(Tick now) const {
   return QueryPolynomial(query_coeffs_, now);
 }
 
 double PolyExpCounter::QueryPolynomial(const std::vector<double>& coeffs,
-                                       Tick now) {
+                                       Tick now) const {
   TDS_CHECK_LE(coeffs.size(), static_cast<size_t>(k_ + 1));
-  AdvanceTo(now);
+  const std::vector<double> registers = RegistersAt(now);
   double total = 0.0;
   for (size_t j = 0; j < coeffs.size(); ++j) {
     if (coeffs[j] == 0.0) continue;
     double moment_shifted = 0.0;  // sum_i f_i (age_i+1)^j e^{-lambda age_i}
     for (size_t r = 0; r <= j; ++r) {
-      moment_shifted += binomial_[j][r] * registers_[r];
+      moment_shifted += binomial_[j][r] * registers[r];
     }
     total += coeffs[j] * moment_shifted;
   }

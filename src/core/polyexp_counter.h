@@ -33,14 +33,15 @@ class PolyExpCounter : public DecayedAggregate {
                                                           double lambda);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  void Advance(Tick now) override;
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "POLYEXP_PIPE"; }
   const DecayPtr& decay() const override { return decay_; }
 
   /// Decayed sum under p(x) e^{-lambda x} where p(x) = sum_j coeffs[j] x^j
   /// (coeffs.size() <= k+1).
-  double QueryPolynomial(const std::vector<double>& coeffs, Tick now);
+  double QueryPolynomial(const std::vector<double>& coeffs, Tick now) const;
 
   /// Raw register values (for tests).
   const std::vector<double>& registers() const { return registers_; }
@@ -54,6 +55,10 @@ class PolyExpCounter : public DecayedAggregate {
                  std::vector<double> query_coeffs);
 
   void AdvanceTo(Tick t);
+
+  /// Register values after a side-effect-free advance to `t` (the binomial
+  /// gap jump computed into a temporary; the stored state is untouched).
+  std::vector<double> RegistersAt(Tick t) const;
 
   DecayPtr decay_;
   int k_;

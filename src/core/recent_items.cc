@@ -42,9 +42,13 @@ void RecentItemsExpCounter::Update(Tick t, uint64_t value) {
   }
 }
 
-double RecentItemsExpCounter::Query(Tick now) {
+void RecentItemsExpCounter::Advance(Tick now) {
   TDS_CHECK_GE(now, now_);
   now_ = now;
+}
+
+double RecentItemsExpCounter::Query(Tick now) const {
+  TDS_CHECK_GE(now, now_);
   double sum = 0.0;
   for (double effective : effective_times_) {
     sum += std::exp(-lambda_ * (static_cast<double>(now) + 1.0 - effective));

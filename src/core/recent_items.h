@@ -30,7 +30,8 @@ class RecentItemsExpCounter : public DecayedAggregate {
       DecayPtr decay, const Options& options);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  void Advance(Tick now) override;
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "RECENT_ITEMS"; }
   const DecayPtr& decay() const override { return decay_; }

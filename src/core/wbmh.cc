@@ -54,11 +54,20 @@ void WbmhDecayedSum::Update(Tick t, uint64_t value) {
   TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
-double WbmhDecayedSum::Query(Tick now) {
-  const double estimate = counter_.Query(now);
+void WbmhDecayedSum::UpdateBatch(std::span<const StreamItem> items) {
+  counter_.AddBatch(items);
   if (owns_layout_) layout_->TrimLog(counter_.AppliedSeq());
   TDS_AUDIT_MUTATION(AuditInvariants());
-  return estimate;
+}
+
+void WbmhDecayedSum::Advance(Tick now) {
+  counter_.Advance(now);
+  if (owns_layout_) layout_->TrimLog(counter_.AppliedSeq());
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+double WbmhDecayedSum::Query(Tick now) const {
+  return counter_.Estimate(now);
 }
 
 Status WbmhDecayedSum::AuditInvariants() {
@@ -96,6 +105,15 @@ Status WbmhDecayedSum::DecodeState(Decoder& decoder) {
   }
   Status status = layout_->DecodeState(decoder);
   if (!status.ok()) return status;
+  return counter_.DecodeState(decoder);
+}
+
+Status WbmhDecayedSum::EncodeCounterState(Encoder& encoder) {
+  counter_.Sync();
+  return counter_.EncodeState(encoder);
+}
+
+Status WbmhDecayedSum::DecodeCounterState(Decoder& decoder) {
   return counter_.DecodeState(decoder);
 }
 

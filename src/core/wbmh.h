@@ -43,7 +43,15 @@ class WbmhDecayedSum : public DecayedAggregate {
       std::shared_ptr<WbmhLayout> layout, const Options& options);
 
   void Update(Tick t, uint64_t value) override;
-  double Query(Tick now) override;
+  /// Amortized batch path: layout advance / op replay / bucket lookup run
+  /// once per distinct tick; counts still add per item so the rounded
+  /// registers stay bit-identical to the per-item sequence.
+  void UpdateBatch(std::span<const StreamItem> items) override;
+  void Advance(Tick now) override;
+  /// Const and side-effect free: evaluates over the layout as frozen by the
+  /// last mutation, with true ages relative to `now` (see
+  /// WbmhCounter::Estimate). Advance(now) first to roll merges/drops.
+  double Query(Tick now) const override;
   size_t StorageBits() const override;
   std::string Name() const override { return "WBMH"; }
   const DecayPtr& decay() const override { return decay_; }
@@ -58,6 +66,16 @@ class WbmhDecayedSum : public DecayedAggregate {
   /// Snapshot support (owned layouts only: the layout state is embedded).
   Status EncodeState(class Encoder& encoder);
   Status DecodeState(class Decoder& decoder);
+
+  /// Shared-layout registry support. SyncShared replays pending layout ops
+  /// without adding data, so the layout owner can TrimLog across all
+  /// counters. Encode/DecodeCounterState snapshot only the per-stream
+  /// counter — the owner encodes the shared layout once, separately, and
+  /// must decode it before any counter (the counter snapshot binds to the
+  /// layout's op sequence).
+  void SyncShared() { counter_.Sync(); }
+  Status EncodeCounterState(class Encoder& encoder);
+  Status DecodeCounterState(class Decoder& decoder);
 
   /// Audits the layout then the counter (see util/audit.h).
   Status AuditInvariants();

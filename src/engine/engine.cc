@@ -1,0 +1,229 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+/// Items popped per writer iteration; also the natural UpdateBatch size.
+constexpr size_t kDrainChunk = 4096;
+
+}  // namespace
+
+ShardedAggregateEngine::ShardedAggregateEngine(const Options& options)
+    : options_(options) {}
+
+StatusOr<std::unique_ptr<ShardedAggregateEngine>>
+ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  if (options.shards == 0) {
+    return Status::InvalidArgument("at least one shard required");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue capacity must be positive");
+  }
+  std::unique_ptr<ShardedAggregateEngine> engine(
+      new ShardedAggregateEngine(options));
+  engine->decay_ = decay;
+  engine->shards_.reserve(options.shards);
+  for (uint32_t i = 0; i < options.shards; ++i) {
+    auto shard = std::make_unique<Shard>(options.queue_capacity);
+    auto registry = AggregateRegistry::Create(decay, options.registry);
+    if (!registry.ok()) return registry.status();
+    shard->registry.emplace(std::move(registry).value());
+    engine->shards_.push_back(std::move(shard));
+  }
+  // Registries are fully constructed before any writer starts: thread
+  // creation is the happens-before edge that hands each registry to its
+  // writer.
+  for (auto& shard : engine->shards_) {
+    Shard* raw = shard.get();
+    raw->writer = std::thread([engine = engine.get(), raw] {
+      engine->WriterLoop(*raw);
+    });
+  }
+  return engine;
+}
+
+ShardedAggregateEngine::~ShardedAggregateEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->writer.joinable()) shard->writer.join();
+  }
+}
+
+uint32_t ShardedAggregateEngine::ShardForKey(uint64_t key,
+                                             uint32_t shard_count) {
+  // Re-mix before reducing: the registry's table probe uses SplitMix64(key)
+  // directly, so deriving the shard from a differently-salted hash keeps
+  // the two partitions independent.
+  return static_cast<uint32_t>(HashCombine(key, 0x7364726168735344ull) %
+                               shard_count);
+}
+
+void ShardedAggregateEngine::Ingest(uint64_t key, Tick t, uint64_t value) {
+  const KeyedItem item{key, t, value};
+  IngestBatch({&item, 1});
+}
+
+void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
+  if (items.empty()) return;
+  const uint32_t shard_count = shards();
+  if (shard_count == 1) {
+    Shard& shard = *shards_[0];
+    std::lock_guard<std::mutex> lock(shard.producer_mutex);
+    size_t offset = 0;
+    while (offset < items.size()) {
+      const size_t pushed =
+          shard.queue.TryPushN(items.data() + offset, items.size() - offset);
+      shard.enqueued.fetch_add(pushed, std::memory_order_release);
+      offset += pushed;
+      if (offset < items.size()) std::this_thread::yield();
+    }
+    return;
+  }
+  // Partition into per-shard slices, preserving arrival order within each.
+  std::vector<std::vector<KeyedItem>> buckets(shard_count);
+  for (const KeyedItem& item : items) {
+    buckets[ShardForKey(item.key, shard_count)].push_back(item);
+  }
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    if (buckets[i].empty()) continue;
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.producer_mutex);
+    size_t offset = 0;
+    while (offset < buckets[i].size()) {
+      const size_t pushed = shard.queue.TryPushN(
+          buckets[i].data() + offset, buckets[i].size() - offset);
+      shard.enqueued.fetch_add(pushed, std::memory_order_release);
+      offset += pushed;
+      if (offset < buckets[i].size()) std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedAggregateEngine::Flush() {
+  for (auto& shard : shards_) {
+    const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
+    while (shard->applied.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+uint64_t ShardedAggregateEngine::ItemsApplied() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->applied.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void ShardedAggregateEngine::WriterLoop(Shard& shard) {
+  std::vector<KeyedItem> buffer(kDrainChunk);
+  while (true) {
+    const size_t n = shard.queue.TryPopN(buffer.data(), buffer.size());
+    if (n > 0) {
+      if (options_.apply_batched) {
+        shard.registry->UpdateBatch({buffer.data(), n});
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          shard.registry->Update(buffer[i].key, buffer[i].t, buffer[i].value);
+        }
+      }
+      shard.applied.fetch_add(n, std::memory_order_release);
+    }
+    if (shard.snapshot_requested.exchange(false,
+                                          std::memory_order_acq_rel)) {
+      PublishSnapshot(shard);
+    }
+    if (n > 0) continue;  // keep draining while the queue is hot
+    if (stop_.load(std::memory_order_acquire)) {
+      if (shard.queue.EmptyApprox()) break;
+      continue;
+    }
+    std::this_thread::yield();
+  }
+  // Final publish so a reader whose request raced shutdown never hangs.
+  PublishSnapshot(shard);
+  {
+    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    shard.stopped = true;
+  }
+  shard.snapshot_cv.notify_all();
+}
+
+void ShardedAggregateEngine::PublishSnapshot(Shard& shard) {
+  uint64_t serving;
+  {
+    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    serving = shard.tickets_issued;
+  }
+  // Clone via the snapshot codec: everything applied before this point is
+  // in the clone, so any ticket issued before `serving` was read is served.
+  std::string blob;
+  const Status encoded = shard.registry->EncodeState(&blob);
+  TDS_CHECK_MSG(encoded.ok(), encoded.message().c_str());
+  auto decoded =
+      AggregateRegistry::Decode(decay_, options_.registry, blob);
+  TDS_CHECK_MSG(decoded.ok(), decoded.status().message().c_str());
+  auto clone = std::make_shared<const AggregateRegistry>(
+      std::move(decoded).value());
+  {
+    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    shard.snapshot = std::move(clone);
+    shard.tickets_served = std::max(shard.tickets_served, serving);
+  }
+  shard.snapshot_cv.notify_all();
+}
+
+std::shared_ptr<const AggregateRegistry> ShardedAggregateEngine::ShardSnapshot(
+    uint32_t shard_index) {
+  TDS_CHECK_LT(shard_index, shards_.size());
+  Shard& shard = *shards_[shard_index];
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    ticket = ++shard.tickets_issued;
+  }
+  shard.snapshot_requested.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(shard.snapshot_mutex);
+  shard.snapshot_cv.wait(lock, [&] {
+    return shard.tickets_served >= ticket || shard.stopped;
+  });
+  return shard.snapshot;
+}
+
+double ShardedAggregateEngine::QueryKey(uint64_t key, Tick now) {
+  const auto snapshot = ShardSnapshot(ShardForKey(key, shards()));
+  if (snapshot == nullptr) return 0.0;
+  return snapshot->Query(key, std::max(now, snapshot->now()));
+}
+
+double ShardedAggregateEngine::QueryTotal(Tick now) {
+  double total = 0.0;
+  for (uint32_t i = 0; i < shards(); ++i) {
+    const auto snapshot = ShardSnapshot(i);
+    if (snapshot == nullptr) continue;
+    total += snapshot->QueryTotal(std::max(now, snapshot->now()));
+  }
+  return total;
+}
+
+size_t ShardedAggregateEngine::KeyCount() {
+  size_t total = 0;
+  for (uint32_t i = 0; i < shards(); ++i) {
+    const auto snapshot = ShardSnapshot(i);
+    if (snapshot != nullptr) total += snapshot->KeyCount();
+  }
+  return total;
+}
+
+}  // namespace tds

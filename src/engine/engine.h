@@ -1,0 +1,127 @@
+#ifndef TDS_ENGINE_ENGINE_H_
+#define TDS_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/spsc_ring.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Sharded multi-stream aggregation engine: keys hash to N shards, each
+/// shard owns one AggregateRegistry mutated by exactly one writer thread,
+/// fed through a lock-free SPSC ring (multiple front-end producers are
+/// serialized by a per-shard mutex around the push side only — writers
+/// never take it).
+///
+/// Readers never block writers: queries are served from immutable
+/// point-in-time registry snapshots (encode → decode clones) that the
+/// writer publishes on request. A snapshot requested after Flush() reflects
+/// every item ingested before the Flush.
+///
+/// Ordering contract: each shard must observe non-decreasing ticks. A
+/// single producer feeding tick-ordered items satisfies this for every
+/// shard; concurrent producers must coordinate externally so their
+/// interleaving per shard stays tick-ordered (e.g. epoch-sliced ingestion,
+/// where all producers use the same tick within a slice and barrier
+/// between slices).
+class ShardedAggregateEngine {
+ public:
+  struct Options {
+    AggregateRegistry::Options registry;
+    uint32_t shards = 4;
+    /// Per-shard ingest queue capacity in items (rounded up to a power of
+    /// two). Producers block (yield-spin) when a queue is full.
+    size_t queue_capacity = 1 << 16;
+    /// Drain the queue through AggregateRegistry::UpdateBatch (amortized
+    /// hot path) instead of per-item Update. The resulting state is
+    /// bit-identical either way; this is the throughput knob.
+    bool apply_batched = true;
+  };
+
+  static StatusOr<std::unique_ptr<ShardedAggregateEngine>> Create(
+      DecayPtr decay, const Options& options);
+
+  /// Stops the writer threads and joins them (pending queue items are
+  /// drained first).
+  ~ShardedAggregateEngine();
+
+  ShardedAggregateEngine(const ShardedAggregateEngine&) = delete;
+  ShardedAggregateEngine& operator=(const ShardedAggregateEngine&) = delete;
+
+  /// Enqueues one item (thread-safe; blocks while the shard queue is full).
+  void Ingest(uint64_t key, Tick t, uint64_t value);
+
+  /// Enqueues a batch, preserving per-shard arrival order (thread-safe).
+  void IngestBatch(std::span<const KeyedItem> items);
+
+  /// Returns once every item ingested before the call has been applied.
+  void Flush();
+
+  /// Fresh immutable snapshot of one shard's registry, published by the
+  /// shard's writer without blocking ingestion. The snapshot reflects at
+  /// least everything applied before this call began.
+  std::shared_ptr<const AggregateRegistry> ShardSnapshot(uint32_t shard);
+
+  /// Decayed sum for `key` via a fresh shard snapshot. Evaluated at
+  /// max(now, snapshot clock) — a caller's clock may lag the stream's.
+  double QueryKey(uint64_t key, Tick now);
+
+  /// Sum over all shards, each via a fresh snapshot at max(now, its clock).
+  double QueryTotal(Tick now);
+
+  /// Total live keys across all shards (via fresh snapshots).
+  size_t KeyCount();
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint64_t ItemsApplied() const;
+
+  static uint32_t ShardForKey(uint64_t key, uint32_t shard_count);
+
+ private:
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+    SpscRing<KeyedItem> queue;
+    std::mutex producer_mutex;  ///< serializes producers; writer never takes it
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> applied{0};
+
+    /// Written only by the shard's writer thread (constructed before the
+    /// thread starts, which establishes the happens-before edge).
+    std::optional<AggregateRegistry> registry;
+
+    std::mutex snapshot_mutex;
+    std::condition_variable snapshot_cv;
+    std::atomic<bool> snapshot_requested{false};
+    std::shared_ptr<const AggregateRegistry> snapshot;  // guarded by mutex
+    uint64_t tickets_issued = 0;                        // guarded by mutex
+    uint64_t tickets_served = 0;                        // guarded by mutex
+    bool stopped = false;                               // guarded by mutex
+
+    std::thread writer;
+  };
+
+  explicit ShardedAggregateEngine(const Options& options);
+
+  void WriterLoop(Shard& shard);
+  void PublishSnapshot(Shard& shard);
+
+  DecayPtr decay_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace tds
+
+#endif  // TDS_ENGINE_ENGINE_H_

@@ -1,0 +1,595 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/ceh.h"
+#include "core/snapshot.h"
+#include "core/wbmh.h"
+#include "histogram/wbmh_layout.h"
+#include "util/audit.h"
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+constexpr char kRegistryMagic[] = "TDSREG1";
+constexpr size_t kInitialTableCapacity = 64;
+/// Shared-layout op-log high-water mark: past this many retained ops, the
+/// registry syncs every counter and trims the whole log (amortized O(1)
+/// per op: each op is replayed at most once per counter either way).
+constexpr uint64_t kMaxRetainedOps = 16384;
+
+const char* BackendTypeName(Backend backend) {
+  switch (backend) {
+    case Backend::kExact:
+      return "EXACT";
+    case Backend::kEwma:
+      return "EWMA";
+    case Backend::kRecentItems:
+      return "RECENT_ITEMS";
+    case Backend::kCeh:
+      return "CEH";
+    case Backend::kCoarseCeh:
+      return "COARSE_CEH";
+    case Backend::kWbmh:
+      return "WBMH";
+    case Backend::kPolyExp:
+      return "POLYEXP_PIPE";
+    case Backend::kAuto:
+      break;
+  }
+  TDS_CHECK_MSG(false, "unresolved backend");
+  return "";
+}
+
+}  // namespace
+
+AggregateRegistry::AggregateRegistry(DecayPtr decay, const Options& options,
+                                     Backend backend,
+                                     AggregateOptions resolved)
+    : decay_(std::move(decay)),
+      options_(options),
+      backend_(backend),
+      resolved_(resolved),
+      table_(kInitialTableCapacity, kEmptyEntry),
+      table_mask_(kInitialTableCapacity - 1),
+      now_(resolved.start() - 1) {}
+
+StatusOr<AggregateRegistry> AggregateRegistry::Create(DecayPtr decay,
+                                                      const Options& options) {
+  if (decay == nullptr) {
+    return Status::InvalidArgument("decay function required");
+  }
+  const Backend backend =
+      ResolveBackend(*decay, options.aggregate.backend());
+  auto resolved = AggregateOptions::Builder()
+                      .backend(backend)
+                      .epsilon(options.aggregate.epsilon())
+                      .start(options.aggregate.start())
+                      .Build();
+  if (!resolved.ok()) return resolved.status();
+  AggregateRegistry registry(decay, options, backend, resolved.value());
+  if (backend == Backend::kWbmh) {
+    if (!decay->IsWbmhAdmissible()) {
+      return Status::FailedPrecondition(
+          "decay function fails the WBMH admissibility test "
+          "(g(x)/g(x+1) must be non-increasing); use another backend");
+    }
+    WbmhLayout::Options layout_options;
+    layout_options.decay = decay;
+    layout_options.epsilon = options.aggregate.epsilon();
+    layout_options.start = options.aggregate.start();
+    auto layout = WbmhLayout::Create(layout_options);
+    if (!layout.ok()) return layout.status();
+    registry.layout_ = std::make_shared<WbmhLayout>(std::move(layout).value());
+    // A fresh layout already sits at the stream start tick; align the
+    // registry clock so an empty registry's snapshot is self-consistent
+    // (decode rejects blobs whose layout clock is ahead of the registry).
+    registry.now_ = registry.layout_->now();
+  }
+  // Probe construction: surface option/decay incompatibilities here, so the
+  // per-key create inside the ingest hot path can simply CHECK.
+  auto probe = registry.NewAggregate();
+  if (!probe.ok()) return probe.status();
+  registry.expiry_age_ = registry.DeriveExpiryAge();
+  return registry;
+}
+
+StatusOr<std::unique_ptr<DecayedAggregate>> AggregateRegistry::NewAggregate()
+    const {
+  if (layout_ != nullptr) {
+    WbmhDecayedSum::Options wbmh_options;
+    wbmh_options.epsilon = resolved_.epsilon();
+    wbmh_options.start = resolved_.start();
+    auto counter = WbmhDecayedSum::CreateShared(layout_, wbmh_options);
+    if (!counter.ok()) return counter.status();
+    return std::unique_ptr<DecayedAggregate>(std::move(counter).value());
+  }
+  return MakeDecayedSum(decay_, resolved_);
+}
+
+Tick AggregateRegistry::DeriveExpiryAge() const {
+  const double floor = options_.expiry_weight_floor;
+  if (floor < 0.0) return kInfiniteHorizon;  // expiry disabled entirely
+  const Tick horizon = decay_->Horizon();
+  if (horizon != kInfiniteHorizon) return horizon;
+  if (floor == 0.0) return kInfiniteHorizon;
+  const double w1 = decay_->Weight(1);
+  if (!(w1 > 0.0)) return 1;
+  const double target = floor * w1;
+  if (decay_->Weight(1) <= target) return 1;
+  // Doubling search then bisection for the smallest age whose weight has
+  // fallen to the floor. Decays that never get there (e.g. a constant tail)
+  // cap out and disable expiry.
+  const Tick cap = Tick{1} << 42;
+  Tick hi = 2;
+  while (hi < cap && decay_->Weight(hi) > target) hi <<= 1;
+  if (decay_->Weight(hi) > target) return kInfiniteHorizon;
+  Tick lo = hi >> 1;
+  while (lo + 1 < hi) {
+    const Tick mid = lo + (hi - lo) / 2;
+    if (decay_->Weight(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+uint32_t AggregateRegistry::Find(uint64_t key) const {
+  size_t pos = SplitMix64(key) & table_mask_;
+  while (true) {
+    const uint32_t entry = table_[pos];
+    if (entry == kEmptyEntry) return SlotArena<Slot>::kNone;
+    if (entry != kTombEntry && arena_.at(entry).key == key) return entry;
+    pos = (pos + 1) & table_mask_;
+  }
+}
+
+uint32_t AggregateRegistry::GetOrCreate(uint64_t key) {
+  RehashIfNeeded();
+  size_t pos = SplitMix64(key) & table_mask_;
+  size_t insert_pos = table_.size();  // first tombstone on the probe path
+  while (true) {
+    const uint32_t entry = table_[pos];
+    if (entry == kEmptyEntry) break;
+    if (entry == kTombEntry) {
+      if (insert_pos == table_.size()) insert_pos = pos;
+    } else if (arena_.at(entry).key == key) {
+      return entry;
+    }
+    pos = (pos + 1) & table_mask_;
+  }
+  if (insert_pos == table_.size()) {
+    insert_pos = pos;
+  } else {
+    --tombstones_;
+  }
+  auto aggregate = NewAggregate();
+  TDS_CHECK_MSG(aggregate.ok(), "per-key aggregate construction failed");
+  const uint32_t index = arena_.Allocate();
+  Slot& slot = arena_.at(index);
+  slot.aggregate = std::move(aggregate).value();
+  slot.key = key;
+  slot.last_tick = now_;
+  table_[insert_pos] = index;
+  ++live_;
+  return index;
+}
+
+void AggregateRegistry::RehashIfNeeded() {
+  if ((live_ + tombstones_ + 1) * 10 < table_.size() * 7) return;
+  // Double only when live keys drive the load; a tombstone-heavy table is
+  // rebuilt at the same size to reclaim the probe chains.
+  size_t capacity = table_.size();
+  if ((live_ + 1) * 10 >= capacity * 7) capacity *= 2;
+  Rehash(capacity);
+}
+
+void AggregateRegistry::Rehash(size_t new_capacity) {
+  std::vector<uint32_t> old = std::move(table_);
+  table_.assign(new_capacity, kEmptyEntry);
+  table_mask_ = new_capacity - 1;
+  tombstones_ = 0;
+  for (const uint32_t entry : old) {
+    if (entry == kEmptyEntry || entry == kTombEntry) continue;
+    size_t pos = SplitMix64(arena_.at(entry).key) & table_mask_;
+    while (table_[pos] != kEmptyEntry) pos = (pos + 1) & table_mask_;
+    table_[pos] = entry;
+  }
+}
+
+void AggregateRegistry::Evict(uint32_t index) {
+  size_t pos = SplitMix64(arena_.at(index).key) & table_mask_;
+  while (table_[pos] != index) {
+    TDS_CHECK(table_[pos] != kEmptyEntry);
+    pos = (pos + 1) & table_mask_;
+  }
+  table_[pos] = kTombEntry;
+  ++tombstones_;
+  arena_.Free(index);
+  --live_;
+}
+
+void AggregateRegistry::SweepStep(size_t budget) {
+  if (expiry_age_ == kInfiniteHorizon || arena_.extent() == 0) return;
+  budget = std::min<size_t>(budget, arena_.extent());
+  for (size_t i = 0; i < budget; ++i) {
+    if (sweep_cursor_ >= arena_.extent()) {
+      sweep_cursor_ = 0;
+      ++epoch_;
+    }
+    const uint32_t index = sweep_cursor_++;
+    const Slot& slot = arena_.at(index);
+    if (slot.aggregate != nullptr &&
+        AgeAt(slot.last_tick, now_) > expiry_age_) {
+      Evict(index);
+    }
+  }
+}
+
+void AggregateRegistry::SyncAllCounters() {
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    Slot& slot = arena_.at(i);
+    if (slot.aggregate == nullptr) continue;
+    static_cast<WbmhDecayedSum*>(slot.aggregate.get())->SyncShared();
+  }
+}
+
+void AggregateRegistry::MaybeTrimSharedLog() {
+  if (layout_ == nullptr) return;
+  if (layout_->OpSeq() - layout_->LogStart() <= kMaxRetainedOps) return;
+  // A counter may only be outrun by a trim after it has synced, so the
+  // policy is sync-all-then-trim (WbmhCounter::Sync CHECKs this).
+  SyncAllCounters();
+  layout_->TrimLog(layout_->OpSeq());
+}
+
+void AggregateRegistry::Update(uint64_t key, Tick t, uint64_t value) {
+  TDS_CHECK_GE(t, now_);
+  now_ = t;
+  const uint32_t index = GetOrCreate(key);
+  Slot& slot = arena_.at(index);
+  slot.aggregate->Update(t, value);
+  slot.last_tick = t;
+  SweepStep(options_.sweep_per_update);
+  MaybeTrimSharedLog();
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+void AggregateRegistry::UpdateBatch(std::span<const KeyedItem> items) {
+  if (items.empty()) return;
+  TDS_CHECK_GE(items.front().t, now_);
+  for (size_t i = 1; i < items.size(); ++i) {
+    TDS_CHECK_GE(items[i].t, items[i - 1].t);
+  }
+  // Tick-major processing keeps the shared WBMH layout's clock monotone and
+  // replays its structural ops in the same order as per-item ingestion
+  // (merge re-rounding is order-sensitive). The input is already tick-
+  // sorted, so the tick segments are contiguous as-is.
+  size_t begin = 0;
+  size_t total_runs = 0;
+  while (begin < items.size()) {
+    const Tick t = items[begin].t;
+    size_t end = begin;
+    while (end < items.size() && items[end].t == t) ++end;
+    now_ = t;
+    total_runs += IngestTickSegment(t, items.subspan(begin, end - begin));
+    begin = end;
+  }
+  SweepStep(static_cast<size_t>(options_.sweep_per_update) * total_runs);
+  MaybeTrimSharedLog();
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+size_t AggregateRegistry::IngestTickSegment(Tick t,
+                                            std::span<const KeyedItem> segment) {
+  // Group the segment's items by key in O(n): an open-addressing scratch
+  // map assigns each key a run, and per-item index chains keep that key's
+  // items in encounter order. Runs then apply in first-encounter order —
+  // per-key order is what per-item Update would have produced, and the
+  // reordering across keys is invisible because keys are independent and
+  // the shared layout state is a pure function of the (already advanced)
+  // tick. One table probe, one aggregate dispatch, and one histogram
+  // cascade per run instead of per item.
+  const size_t n = segment.size();
+  constexpr uint32_t kNoRun = 0xffffffffu;
+  size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  group_table_.assign(cap, kNoRun);
+  chain_.assign(n, kNoRun);
+  runs_.clear();
+  const size_t cap_mask = cap - 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t key = segment[i].key;
+    size_t probe = SplitMix64(key) & cap_mask;
+    while (true) {
+      const uint32_t r = group_table_[probe];
+      if (r == kNoRun) {
+        group_table_[probe] = static_cast<uint32_t>(runs_.size());
+        runs_.push_back(Run{key, i, i});
+        break;
+      }
+      if (runs_[r].key == key) {
+        chain_[runs_[r].tail] = i;
+        runs_[r].tail = i;
+        break;
+      }
+      probe = (probe + 1) & cap_mask;
+    }
+  }
+  for (const Run& run : runs_) {
+    run_scratch_.clear();
+    for (uint32_t i = run.head;; i = chain_[i]) {
+      run_scratch_.push_back(StreamItem{t, segment[i].value});
+      if (i == run.tail) break;
+    }
+    const uint32_t index = GetOrCreate(run.key);
+    Slot& slot = arena_.at(index);
+    slot.aggregate->UpdateBatch(run_scratch_);
+    slot.last_tick = t;
+  }
+  return runs_.size();
+}
+
+void AggregateRegistry::Advance(Tick now) {
+  TDS_CHECK_GE(now, now_);
+  now_ = now;
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    Slot& slot = arena_.at(i);
+    if (slot.aggregate != nullptr) slot.aggregate->Advance(now);
+  }
+  if (expiry_age_ != kInfiniteHorizon) {
+    for (uint32_t i = 0; i < arena_.extent(); ++i) {
+      const Slot& slot = arena_.at(i);
+      if (slot.aggregate != nullptr &&
+          AgeAt(slot.last_tick, now_) > expiry_age_) {
+        Evict(i);
+      }
+    }
+  }
+  // The eager pass completes an epoch and restarts the lazy cursor.
+  sweep_cursor_ = 0;
+  ++epoch_;
+  if (layout_ != nullptr) {
+    // Advance() synced every counter, so the whole log can go.
+    layout_->TrimLog(layout_->OpSeq());
+  }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+double AggregateRegistry::Query(uint64_t key, Tick now) const {
+  TDS_CHECK_GE(now, now_);
+  const uint32_t index = Find(key);
+  if (index == SlotArena<Slot>::kNone) return 0.0;
+  return arena_.at(index).aggregate->Query(now);
+}
+
+double AggregateRegistry::QueryTotal(Tick now) const {
+  TDS_CHECK_GE(now, now_);
+  double total = 0.0;
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    const Slot& slot = arena_.at(i);
+    if (slot.aggregate != nullptr) total += slot.aggregate->Query(now);
+  }
+  return total;
+}
+
+bool AggregateRegistry::Contains(uint64_t key) const {
+  return Find(key) != SlotArena<Slot>::kNone;
+}
+
+size_t AggregateRegistry::StorageBits() const {
+  size_t bits = 0;
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    const Slot& slot = arena_.at(i);
+    if (slot.aggregate != nullptr) bits += slot.aggregate->StorageBits();
+  }
+  if (layout_ != nullptr) {
+    // Shared boundary storage, charged once across all keys (the paper's
+    // amortization): two tick endpoints per bucket.
+    bits += layout_->BucketCount() * 2 * sizeof(Tick) * 8;
+  }
+  return bits;
+}
+
+Status AggregateRegistry::AuditInvariants() {
+  TDS_AUDIT_CHECK(
+      !table_.empty() && (table_.size() & (table_.size() - 1)) == 0,
+      "table capacity must be a power of two");
+  TDS_AUDIT_CHECK(table_mask_ == table_.size() - 1, "stale table mask");
+  TDS_AUDIT_CHECK(live_ + tombstones_ < table_.size(),
+                  "table has no empty entry left");
+  size_t live = 0;
+  size_t tombs = 0;
+  for (size_t pos = 0; pos < table_.size(); ++pos) {
+    const uint32_t entry = table_[pos];
+    if (entry == kEmptyEntry) continue;
+    if (entry == kTombEntry) {
+      ++tombs;
+      continue;
+    }
+    TDS_AUDIT_CHECK(entry < arena_.extent(), "table entry out of arena range");
+    const Slot& slot = arena_.at(entry);
+    TDS_AUDIT_CHECK(slot.aggregate != nullptr,
+                    "table entry points at a freed slot");
+    TDS_AUDIT_CHECK(Find(slot.key) == entry,
+                    "slot unreachable from its key's probe chain");
+    TDS_AUDIT_CHECK(slot.last_tick <= now_,
+                    "slot clock ahead of the registry clock");
+    ++live;
+  }
+  TDS_AUDIT_CHECK(live == live_, "live-count drift");
+  TDS_AUDIT_CHECK(tombs == tombstones_, "tombstone-count drift");
+  size_t arena_live = 0;
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    if (arena_.at(i).aggregate != nullptr) ++arena_live;
+  }
+  TDS_AUDIT_CHECK(arena_live == live_, "arena/table live-count mismatch");
+  TDS_AUDIT_CHECK(arena_.free_count() == arena_.extent() - live_,
+                  "arena free-list accounting drift");
+  if (layout_ != nullptr) {
+    const Status layout_audit = layout_->AuditInvariants();
+    if (!layout_audit.ok()) return layout_audit;
+  }
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    const Slot& slot = arena_.at(i);
+    if (slot.aggregate == nullptr) continue;
+    Status sub = Status::OK();
+    if (backend_ == Backend::kWbmh) {
+      // Counter-level audit: the shared layout was audited once above.
+      sub = static_cast<const WbmhDecayedSum*>(slot.aggregate.get())
+                ->counter()
+                .AuditInvariants();
+    } else if (auto* ceh = dynamic_cast<CehDecayedSum*>(slot.aggregate.get());
+               ceh != nullptr) {
+      sub = ceh->AuditInvariants();
+    }
+    if (!sub.ok()) return sub;
+  }
+  return Status::OK();
+}
+
+Status AggregateRegistry::EncodeState(std::string* out) {
+  TDS_CHECK(out != nullptr);
+  Encoder encoder;
+  encoder.PutString(kRegistryMagic);
+  encoder.PutString(decay_->Name());
+  encoder.PutVarint(static_cast<uint64_t>(backend_));
+  encoder.PutDouble(resolved_.epsilon());
+  encoder.PutSigned(resolved_.start());
+  encoder.PutSigned(now_);
+  // Sorted keys: the codec's self-inverse contract (byte-identical
+  // re-encode, see AuditSnapshotRoundTrip) rules out hash-order iteration.
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(live_);
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    const Slot& slot = arena_.at(i);
+    if (slot.aggregate != nullptr) entries.push_back({slot.key, i});
+  }
+  std::sort(entries.begin(), entries.end());
+  encoder.PutVarint(entries.size());
+  if (layout_ != nullptr) {
+    // Layout snapshots carry no op log, so every counter must be at the
+    // layout's op sequence before the log is dropped.
+    SyncAllCounters();
+    layout_->TrimLog(layout_->OpSeq());
+    Encoder sub;
+    const Status status = layout_->EncodeState(sub);
+    if (!status.ok()) return status;
+    encoder.PutString(sub.Finish());
+  }
+  for (const auto& [key, index] : entries) {
+    Slot& slot = arena_.at(index);
+    encoder.PutVarint(key);
+    encoder.PutSigned(slot.last_tick);
+    std::string payload;
+    if (layout_ != nullptr) {
+      Encoder sub;
+      const Status status =
+          static_cast<WbmhDecayedSum*>(slot.aggregate.get())
+              ->EncodeCounterState(sub);
+      if (!status.ok()) return status;
+      payload = sub.Finish();
+    } else {
+      const Status status = EncodeDecayedSum(*slot.aggregate, &payload);
+      if (!status.ok()) return status;
+    }
+    encoder.PutString(payload);
+  }
+  *out = encoder.Finish();
+  return Status::OK();
+}
+
+StatusOr<AggregateRegistry> AggregateRegistry::Decode(DecayPtr decay,
+                                                      const Options& options,
+                                                      std::string_view data) {
+  auto created = Create(std::move(decay), options);
+  if (!created.ok()) return created.status();
+  AggregateRegistry registry = std::move(created).value();
+  Decoder decoder(data);
+  std::string magic;
+  std::string name;
+  if (!decoder.GetString(&magic) || magic != kRegistryMagic) {
+    return CorruptSnapshot("registry magic");
+  }
+  if (!decoder.GetString(&name)) return CorruptSnapshot("decay name");
+  if (name != registry.decay_->Name()) {
+    return Status::InvalidArgument("snapshot decay mismatch: " + name);
+  }
+  uint64_t backend = 0;
+  double epsilon = 0.0;
+  int64_t start = 0;
+  int64_t now = 0;
+  uint64_t count = 0;
+  if (!decoder.GetVarint(&backend) || !decoder.GetDouble(&epsilon) ||
+      !decoder.GetSigned(&start) || !decoder.GetSigned(&now) ||
+      !decoder.GetVarint(&count)) {
+    return CorruptSnapshot("registry header");
+  }
+  if (backend != static_cast<uint64_t>(registry.backend_) ||
+      epsilon != registry.resolved_.epsilon() ||
+      start != registry.resolved_.start()) {
+    return Status::InvalidArgument("snapshot options mismatch");
+  }
+  if (now < registry.now_) return CorruptSnapshot("registry clock");
+  registry.now_ = now;
+  if (registry.layout_ != nullptr) {
+    std::string blob;
+    if (!decoder.GetString(&blob)) return CorruptSnapshot("layout blob");
+    Decoder sub(blob);
+    const Status status = registry.layout_->DecodeState(sub);
+    if (!status.ok()) return status;
+    if (!sub.Done()) return CorruptSnapshot("layout trailer");
+    if (registry.layout_->now() > now) {
+      return CorruptSnapshot("layout clock ahead of the registry");
+    }
+  }
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    int64_t last_tick = 0;
+    std::string payload;
+    if (!decoder.GetVarint(&key) || !decoder.GetSigned(&last_tick) ||
+        !decoder.GetString(&payload)) {
+      return CorruptSnapshot("registry entry");
+    }
+    if (i > 0 && key <= prev_key) {
+      return CorruptSnapshot("keys not strictly increasing");
+    }
+    prev_key = key;
+    if (last_tick > now) return CorruptSnapshot("entry clock");
+    const uint32_t index = registry.GetOrCreate(key);
+    Slot& slot = registry.arena_.at(index);
+    slot.last_tick = last_tick;
+    if (registry.layout_ != nullptr) {
+      Decoder sub(payload);
+      const Status status =
+          static_cast<WbmhDecayedSum*>(slot.aggregate.get())
+              ->DecodeCounterState(sub);
+      if (!status.ok()) return status;
+      if (!sub.Done()) return CorruptSnapshot("counter trailer");
+    } else {
+      auto decoded = DecodeDecayedSum(registry.decay_, payload);
+      if (!decoded.ok()) return decoded.status();
+      if ((*decoded)->Name() != BackendTypeName(registry.backend_)) {
+        return Status::InvalidArgument(
+            "snapshot backend mismatch: " + (*decoded)->Name());
+      }
+      slot.aggregate = std::move(decoded).value();
+    }
+  }
+  if (!decoder.Done()) return CorruptSnapshot("registry trailer");
+  const Status audit = registry.AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
+  }
+  return registry;
+}
+
+}  // namespace tds

@@ -1,0 +1,195 @@
+#ifndef TDS_ENGINE_REGISTRY_H_
+#define TDS_ENGINE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/decayed_aggregate.h"
+#include "core/factory.h"
+#include "engine/slot_arena.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace tds {
+
+class WbmhLayout;
+
+/// One keyed observation for a multi-stream registry or engine.
+struct KeyedItem {
+  uint64_t key = 0;
+  Tick t = 0;
+  uint64_t value = 0;
+};
+
+/// A registry of per-key decayed aggregates — the paper's deployment shape
+/// (Section 6 telecom application): millions of per-customer summaries, one
+/// decay function, one accuracy target, maintained together.
+///
+/// Storage design:
+///  * keys live in an open-addressing table (linear probing, tombstoned
+///    deletes, power-of-two capacity) mapping to dense 32-bit slot handles;
+///  * slots live in a chunked arena (stable addresses, recycled through a
+///    free list), each holding the key, its aggregate, and its last
+///    arrival tick;
+///  * for WBMH backends, all keys share ONE WbmhLayout — the paper's
+///    boundary-sharing argument — and the registry owns the op-log trim
+///    policy (a counter may only outrun the log if every counter has
+///    synced, so trims happen after sync-all passes).
+///
+/// Idle-key expiry: a key whose newest item has decayed to (essentially)
+/// nothing is evicted. The threshold age comes from the decay function
+/// itself: Horizon() when finite (evicted state is exactly zero), otherwise
+/// the smallest age whose weight falls below `expiry_weight_floor * g(1)`
+/// (approximate; disable with a non-positive floor). Expiry runs lazily —
+/// a bounded sweep piggybacks on every update, and each full pass over the
+/// arena completes one epoch; Advance() runs a full pass eagerly.
+///
+/// Threading contract (same as DecayedAggregate): Update / UpdateBatch /
+/// Advance / EncodeState require exclusive access and non-decreasing ticks;
+/// Query / QueryTotal are const and side-effect free, so any number of
+/// readers may run concurrently on a quiescent registry.
+class AggregateRegistry {
+ public:
+  struct Options {
+    /// Backend / epsilon / start for every per-key aggregate. kAuto is
+    /// resolved once at Create.
+    AggregateOptions aggregate;
+    /// Idle-key expiry floor for infinite-horizon decays (see class
+    /// comment); 0 disables expiry there, while finite horizons still
+    /// expire at the horizon age. A negative floor disables expiry
+    /// entirely — the differential-testing hook (an evicted-then-recreated
+    /// key rebuilds its histogram from scratch, which is within the
+    /// accuracy bound but not bit-identical to an uninterrupted one).
+    double expiry_weight_floor = 1e-9;
+    /// Slots examined per applied (tick, key) run by the lazy expiry sweep
+    /// (a single Update is one run, so the per-item path sweeps this many
+    /// slots per item; a coalesced batch sweeps per distinct run).
+    uint32_t sweep_per_update = 2;
+  };
+
+  static StatusOr<AggregateRegistry> Create(DecayPtr decay,
+                                            const Options& options);
+
+  AggregateRegistry(AggregateRegistry&&) = default;
+  AggregateRegistry& operator=(AggregateRegistry&&) = default;
+
+  /// Adds `value` at tick t (>= now()) to `key`, creating it on first use.
+  void Update(uint64_t key, Tick t, uint64_t value);
+
+  /// Batch ingest: items must have non-decreasing ticks (starting >= now()).
+  /// Internally regrouped tick-major (keeping the shared WBMH clock
+  /// monotone), then hash-grouped by key within each tick segment in O(n) —
+  /// per-key item order is preserved, and reordering across keys is
+  /// invisible because keys are independent structures — so the resulting
+  /// per-key state is bit-identical to feeding the same sequence through
+  /// Update, while table probes, layout advances, op replays, and histogram
+  /// cascades amortize over each (tick, key) run.
+  void UpdateBatch(std::span<const KeyedItem> items);
+
+  /// Advances every key's aggregate to `now` and runs a full expiry pass.
+  void Advance(Tick now);
+
+  /// Decayed sum of `key` at `now` (>= now()); 0 for absent keys.
+  double Query(uint64_t key, Tick now) const;
+
+  /// Sum of all keys' decayed sums at `now` (>= now()).
+  double QueryTotal(Tick now) const;
+
+  bool Contains(uint64_t key) const;
+
+  size_t KeyCount() const { return live_; }
+  Tick now() const { return now_; }
+  Backend backend() const { return backend_; }
+  const DecayPtr& decay() const { return decay_; }
+
+  /// Expiry threshold age (kInfiniteHorizon when expiry is disabled).
+  Tick expiry_age() const { return expiry_age_; }
+
+  /// Completed full passes of the lazy expiry sweep.
+  uint64_t sweep_epoch() const { return epoch_; }
+
+  /// Paper storage metric over all keys; a shared WBMH layout's boundary
+  /// storage is charged once (two ticks per bucket).
+  size_t StorageBits() const;
+
+  /// Structural invariant audit (see util/audit.h): table/arena/count
+  /// consistency, probe-chain reachability of every slot, clock bounds,
+  /// shared-layout + per-key sub-audits. Non-const only because WBMH
+  /// sub-audits may extend the layout's memoized region table.
+  Status AuditInvariants();
+
+  /// Snapshot codec (self-inverse: decode then re-encode is
+  /// byte-identical). Non-const: WBMH counters sync and the layout log is
+  /// trimmed first.
+  Status EncodeState(std::string* out);
+  static StatusOr<AggregateRegistry> Decode(DecayPtr decay,
+                                            const Options& options,
+                                            std::string_view data);
+
+ private:
+  struct Slot {
+    std::unique_ptr<DecayedAggregate> aggregate;  ///< null == free slot
+    uint64_t key = 0;
+    Tick last_tick = 0;
+  };
+
+  static constexpr uint32_t kEmptyEntry = 0xffffffffu;
+  static constexpr uint32_t kTombEntry = 0xfffffffeu;
+
+  AggregateRegistry(DecayPtr decay, const Options& options, Backend backend,
+                    AggregateOptions resolved);
+
+  StatusOr<std::unique_ptr<DecayedAggregate>> NewAggregate() const;
+  Tick DeriveExpiryAge() const;
+
+  /// Applies one same-tick segment of a batch, hash-grouped by key; returns
+  /// the number of (tick, key) runs applied (the sweep budget unit).
+  size_t IngestTickSegment(Tick t, std::span<const KeyedItem> segment);
+
+  uint32_t Find(uint64_t key) const;
+  uint32_t GetOrCreate(uint64_t key);
+  void RehashIfNeeded();
+  void Rehash(size_t new_capacity);
+  void Evict(uint32_t index);
+  void SweepStep(size_t budget);
+  void MaybeTrimSharedLog();
+  void SyncAllCounters();
+
+  DecayPtr decay_;
+  Options options_;
+  Backend backend_ = Backend::kAuto;
+  AggregateOptions resolved_;  ///< aggregate options with backend_ baked in
+  std::shared_ptr<WbmhLayout> layout_;  ///< non-null iff backend_ == kWbmh
+
+  std::vector<uint32_t> table_;  ///< slot handles; kEmptyEntry / kTombEntry
+  size_t table_mask_ = 0;
+  SlotArena<Slot> arena_;
+  size_t live_ = 0;
+  size_t tombstones_ = 0;
+
+  Tick now_ = 0;
+  Tick expiry_age_ = kInfiniteHorizon;
+  uint32_t sweep_cursor_ = 0;
+  uint64_t epoch_ = 0;
+
+  /// Batch regrouping scratch (IngestTickSegment): an open-addressing map
+  /// from key to run id, index chains threading each key's items in
+  /// encounter order, and the run directory itself.
+  struct Run {
+    uint64_t key = 0;
+    uint32_t head = 0;
+    uint32_t tail = 0;
+  };
+  std::vector<uint32_t> group_table_;
+  std::vector<uint32_t> chain_;
+  std::vector<Run> runs_;
+  std::vector<StreamItem> run_scratch_;  ///< per-(tick, key) run buffer
+};
+
+}  // namespace tds
+
+#endif  // TDS_ENGINE_REGISTRY_H_

@@ -1,0 +1,80 @@
+#ifndef TDS_ENGINE_SLOT_ARENA_H_
+#define TDS_ENGINE_SLOT_ARENA_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tds {
+
+/// Chunked slot arena backing the registry's keyed aggregates: slots live in
+/// fixed-size chunks so references stay stable across growth (no vector
+/// reallocation moves), indices are dense 32-bit handles for the open-
+/// addressing key table, and freed slots are recycled through a free list.
+///
+/// The arena does not track liveness itself — the owner distinguishes live
+/// from freed slots by their content (a freed slot is reset to a
+/// default-constructed T).
+template <typename T>
+class SlotArena {
+ public:
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  SlotArena() = default;
+  SlotArena(SlotArena&&) = default;
+  SlotArena& operator=(SlotArena&&) = default;
+
+  /// Returns the index of a default-constructed slot (recycled if possible).
+  uint32_t Allocate() {
+    if (!free_.empty()) {
+      const uint32_t index = free_.back();
+      free_.pop_back();
+      return index;
+    }
+    const uint32_t index = extent_;
+    TDS_CHECK_MSG(index != kNone, "slot arena exhausted");
+    if ((index >> kChunkShift) >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    ++extent_;
+    return index;
+  }
+
+  /// Resets the slot to a default-constructed T and recycles its index.
+  void Free(uint32_t index) {
+    at(index) = T{};
+    free_.push_back(index);
+  }
+
+  T& at(uint32_t index) {
+    TDS_CHECK_LT(index, extent_);
+    return (*chunks_[index >> kChunkShift])[index & kChunkMask];
+  }
+  const T& at(uint32_t index) const {
+    TDS_CHECK_LT(index, extent_);
+    return (*chunks_[index >> kChunkShift])[index & kChunkMask];
+  }
+
+  /// Number of slots ever allocated (the sweep cursor's iteration space);
+  /// includes currently-freed slots.
+  uint32_t extent() const { return extent_; }
+
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  static constexpr uint32_t kChunkShift = 12;  // 4096 slots per chunk
+  static constexpr uint32_t kChunkMask = (1u << kChunkShift) - 1;
+  using Chunk = std::array<T, 1u << kChunkShift>;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<uint32_t> free_;
+  uint32_t extent_ = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_ENGINE_SLOT_ARENA_H_

@@ -39,15 +39,19 @@ void ExponentialHistogram::AdvanceTo(Tick t) {
 void ExponentialHistogram::Add(Tick t, uint64_t value) {
   TDS_CHECK_GE(t, now_);
   now_ = t;
-  if (value == 0) {
-    Expire();
-    TDS_AUDIT_MUTATION(AuditInvariants());
-    return;
-  }
-  if (first_arrival_ == 0) first_arrival_ = t;
-  total_count_ += value;
-  InsertUnits(t, value);
+  // Expire BEFORE inserting: the merge cascade then only ever pairs live
+  // buckets, and — since a carry takes the newer partner's timestamp — can
+  // never produce a bucket that is itself already expired, so no trailing
+  // sweep is needed. This ordering is also what makes coalescing same-tick
+  // items into one Add identical to adding them one at a time: with
+  // insertion first, the expiry interleaved between two adds could remove a
+  // straddling bucket that the coalesced cascade would instead have merged.
   Expire();
+  if (value != 0) {
+    if (first_arrival_ == 0) first_arrival_ = t;
+    total_count_ += value;
+    InsertUnits(t, value);
+  }
   TDS_AUDIT_MUTATION(AuditInvariants());
 }
 

@@ -82,6 +82,36 @@ void WbmhCounter::Add(Tick t, uint64_t value) {
   TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
+void WbmhCounter::AddBatch(std::span<const StreamItem> items) {
+  size_t i = 0;
+  while (i < items.size()) {
+    const Tick t = items[i].t;
+    layout_->AdvanceTo(t);
+    Sync();
+    uint64_t bucket = 0;
+    Cell* cell = nullptr;
+    for (; i < items.size() && items[i].t == t; ++i) {
+      if (items[i].value == 0) continue;
+      if (cell == nullptr) {
+        bucket = layout_->BucketForArrival(t);
+        TDS_CHECK_MSG(bucket != 0,
+                      "arrival tick is before the oldest live bucket");
+        cell = &counts_[bucket];
+        if (cell->count.mantissa_bits() == 0 && base_mantissa_bits_ > 0) {
+          cell->count.set_mantissa_bits(MantissaBitsForLevel(cell->level));
+        }
+      }
+      cell->count.Add(static_cast<double>(items[i].value));
+    }
+  }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+void WbmhCounter::Advance(Tick now) {
+  layout_->AdvanceTo(now);
+  Sync();
+}
+
 Status WbmhCounter::AuditInvariants() const {
   TDS_AUDIT_CHECK(applied_seq_ >= layout_->LogStart(),
                   "layout op log was trimmed past this counter");
@@ -128,6 +158,61 @@ double WbmhCounter::Query(Tick now) {
     // newest slot (one-sided overestimate, matching the paper's analysis).
     const Tick age = std::max<Tick>(1, AgeAt(std::min(span.end, now), now));
     sum += it->second.count.Value() * g.Weight(age);
+  });
+  return sum;
+}
+
+double WbmhCounter::Estimate(Tick now) const {
+  const DecayFunction& g = *layout_->decay();
+  const Tick horizon = g.Horizon();
+  TDS_CHECK_GE(now, layout_->now());
+  double sum = 0.0;
+  if (applied_seq_ == layout_->OpSeq()) {
+    layout_->ForEachSpanOldestFirst([&](const WbmhLayout::BucketSpan& span) {
+      auto it = counts_.find(span.id);
+      if (it == counts_.end() || it->second.count.IsZero()) return;
+      const Tick age = std::max<Tick>(1, AgeAt(std::min(span.end, now), now));
+      if (horizon != kInfiniteHorizon && age > horizon) return;
+      sum += it->second.count.Value() * g.Weight(age);
+    });
+    return sum;
+  }
+  // Behind the layout: replay the pending structural ops on a local copy of
+  // the count values. Merges add exactly (no re-round), a one-sided
+  // difference from the synced register bounded by the rounding schedule.
+  TDS_CHECK_MSG(applied_seq_ >= layout_->LogStart(),
+                "layout op log was trimmed past this counter's position");
+  std::unordered_map<uint64_t, double> values;
+  values.reserve(counts_.size());
+  for (const auto& [id, cell] : counts_) {
+    if (!cell.count.IsZero()) values[id] = cell.count.Value();
+  }
+  for (uint64_t seq = applied_seq_; seq < layout_->OpSeq(); ++seq) {
+    const WbmhLayout::Op& op = layout_->OpAt(seq);
+    switch (op.kind) {
+      case WbmhLayout::OpKind::kSeal:
+        break;
+      case WbmhLayout::OpKind::kMerge: {
+        auto right = values.find(op.b);
+        if (right == values.end()) break;
+        const double absorbed = right->second;
+        values.erase(right);
+        values[op.a] += absorbed;
+        break;
+      }
+      case WbmhLayout::OpKind::kDrop:
+        values.erase(op.a);
+        break;
+    }
+  }
+  // Buckets the (frozen) layout has not yet dropped may already be fully
+  // past the horizon at `now`; they contribute nothing.
+  layout_->ForEachSpanOldestFirst([&](const WbmhLayout::BucketSpan& span) {
+    auto it = values.find(span.id);
+    if (it == values.end() || it->second == 0.0) return;
+    const Tick age = std::max<Tick>(1, AgeAt(std::min(span.end, now), now));
+    if (horizon != kInfiniteHorizon && age > horizon) return;
+    sum += it->second * g.Weight(age);
   });
   return sum;
 }

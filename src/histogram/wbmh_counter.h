@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "histogram/wbmh_layout.h"
+#include "stream/stream.h"
 #include "util/rounded_counter.h"
 #include "util/status.h"
 
@@ -37,13 +39,31 @@ class WbmhCounter {
   /// to t and replays any pending structural ops first.
   void Add(Tick t, uint64_t value);
 
+  /// Batch of tick-sorted items: the layout advance / op replay / bucket
+  /// lookup run once per *distinct* tick while counts are still added
+  /// per item (RoundedCounter rounds after every Add, so summing a run
+  /// first would change the register). Bit-identical to per-item Add.
+  void AddBatch(std::span<const StreamItem> items);
+
   /// Replays structural ops up to the layout's current sequence number
   /// without adding data (call before WbmhLayout::TrimLog when sharing).
   void Sync();
 
+  /// Advances the shared layout to `now` and replays the resulting ops.
+  void Advance(Tick now);
+
   /// Estimated decayed sum at time `now` (advances the layout).
   /// Each bucket contributes count * g(age of its newest slot).
   double Query(Tick now);
+
+  /// Side-effect-free estimate at `now` (>= the layout's clock): evaluates
+  /// the decayed sum over the bucket structure as of the layout's last
+  /// advance, with true ages relative to `now`. If this counter has not
+  /// applied the layout's latest ops, they are replayed on a local copy of
+  /// the count values (without re-rounding, a one-sided difference bounded
+  /// by the rounding eps). Buckets whose newest slot is past the horizon
+  /// contribute 0. Safe for concurrent readers of a quiescent structure.
+  double Estimate(Tick now) const;
 
   /// Sum of all bucket counts (no decay weighting).
   double RawTotal() const;

@@ -169,7 +169,9 @@ TEST(CoarseCehTest, ExpiresPastFiniteHorizon) {
   ASSERT_TRUE(subject.ok());
   for (Tick t = 1; t <= 200; ++t) (*subject)->Update(t, 1);
   const size_t buckets_hot = (*subject)->BucketCount();
-  (*subject)->Query(5000);  // everything far past the window
+  // Query alone is const and reclaims nothing; Advance runs the expiry.
+  EXPECT_NEAR((*subject)->Query(5000), 0.0, 1e-9);
+  (*subject)->Advance(5000);  // everything far past the window
   EXPECT_LT((*subject)->BucketCount(), buckets_hot);
   EXPECT_NEAR((*subject)->Query(5000), 0.0, 1e-9);
 }

@@ -256,8 +256,10 @@ TEST(CehDecayedSumTest, HandlesTableDecay) {
 
 TEST(DecayedAverageTest, TracksWeightedAverage) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.epsilon = 0.05;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .epsilon(0.05)
+                                   .Build()
+                                   .value();
   auto average = MakeDecayedAverage(decay, options);
   ASSERT_TRUE(average.ok());
   // Values around 10 then around 20: the decayed average must move toward
@@ -272,7 +274,9 @@ TEST(DecayedAverageTest, TracksWeightedAverage) {
   // EXPD-style responsiveness comparison is in the benches; here check the
   // estimate against the exact weighted average.
   auto exact_avg =
-      MakeDecayedAverage(decay, AggregateOptions{Backend::kExact, 0.0, 1});
+      MakeDecayedAverage(
+          decay,
+          AggregateOptions::Builder().backend(Backend::kExact).Build().value());
   ASSERT_TRUE(exact_avg.ok());
   Rng rng2(5);
   for (Tick u = 1; u <= 1000; ++u) exact_avg->Observe(u, 8 + rng2.NextBelow(5));
@@ -315,15 +319,17 @@ TEST(FactoryTest, AutoSelectsPaperRecommendedBackends) {
 
 TEST(FactoryTest, ExplicitBackendsHonored) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kExact;
-  EXPECT_EQ((*MakeDecayedSum(decay, options))->Name(), "EXACT");
-  options.backend = Backend::kCeh;
-  EXPECT_EQ((*MakeDecayedSum(decay, options))->Name(), "CEH");
-  options.backend = Backend::kWbmh;
-  EXPECT_EQ((*MakeDecayedSum(decay, options))->Name(), "WBMH");
-  options.backend = Backend::kEwma;  // mismatched decay
-  EXPECT_FALSE(MakeDecayedSum(decay, options).ok());
+  const auto with_backend = [](Backend backend) {
+    return AggregateOptions::Builder().backend(backend).Build().value();
+  };
+  EXPECT_EQ((*MakeDecayedSum(decay, with_backend(Backend::kExact)))->Name(),
+            "EXACT");
+  EXPECT_EQ((*MakeDecayedSum(decay, with_backend(Backend::kCeh)))->Name(),
+            "CEH");
+  EXPECT_EQ((*MakeDecayedSum(decay, with_backend(Backend::kWbmh)))->Name(),
+            "WBMH");
+  // Mismatched decay family for the explicit backend.
+  EXPECT_FALSE(MakeDecayedSum(decay, with_backend(Backend::kEwma)).ok());
 }
 
 
@@ -366,8 +372,10 @@ TEST(GeneralPolyExpTest, FactoryAutoSelectsPipeline) {
 
 TEST(FactoryTest, CoarseCehBackend) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kCoarseCeh;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kCoarseCeh)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   ASSERT_TRUE(subject.ok());
   EXPECT_EQ((*subject)->Name(), "COARSE_CEH");
@@ -378,6 +386,99 @@ TEST(FactoryTest, CoarseCehBackend) {
 TEST(FactoryTest, NullDecayRejected) {
   EXPECT_FALSE(MakeDecayedSum(nullptr, AggregateOptions{}).ok());
 }
+
+TEST(FactoryTest, ResolveBackendCoversEveryDecayFamily) {
+  const auto expd = ExponentialDecay::Create(0.2).value();
+  const auto sliwin = SlidingWindowDecay::Create(128).value();
+  const auto polyd = PolynomialDecay::Create(1.0).value();
+  const auto polyexp = PolyExponentialDecay::Create(2, 0.1).value();
+  const auto general = GeneralPolyExpDecay::Create({1.0, 1.0}, 0.05).value();
+
+  // kAuto resolves to the paper's storage-optimal backend per family.
+  EXPECT_EQ(ResolveBackend(*expd, Backend::kAuto), Backend::kEwma);
+  EXPECT_EQ(ResolveBackend(*sliwin, Backend::kAuto), Backend::kCeh);
+  EXPECT_EQ(ResolveBackend(*polyd, Backend::kAuto), Backend::kWbmh);
+  EXPECT_EQ(ResolveBackend(*polyexp, Backend::kAuto), Backend::kPolyExp);
+  EXPECT_EQ(ResolveBackend(*general, Backend::kAuto), Backend::kPolyExp);
+
+  // Custom decays have no closed-form family: the numeric admissibility
+  // probe routes smooth sub-exponential shapes to WBMH and everything else
+  // to the works-for-anything CEH.
+  const auto smooth = CustomDecay::Create(
+      [](Tick age) { return 1.0 / std::sqrt(static_cast<double>(age)); },
+      kInfiniteHorizon, "inv-sqrt");
+  ASSERT_TRUE(smooth.ok());
+  EXPECT_TRUE((*smooth)->IsWbmhAdmissible());
+  EXPECT_EQ(ResolveBackend(**smooth, Backend::kAuto), Backend::kWbmh);
+
+  const auto step = CustomDecay::Create(
+      [](Tick age) { return age <= 10 ? 1.0 : 0.5; }, kInfiniteHorizon,
+      "step");
+  ASSERT_TRUE(step.ok());
+  EXPECT_FALSE((*step)->IsWbmhAdmissible());
+  EXPECT_EQ(ResolveBackend(**step, Backend::kAuto), Backend::kCeh);
+
+  // Concrete requests pass through untouched, even against the guidance.
+  EXPECT_EQ(ResolveBackend(*polyd, Backend::kCeh), Backend::kCeh);
+  EXPECT_EQ(ResolveBackend(*expd, Backend::kExact), Backend::kExact);
+  EXPECT_EQ(ResolveBackend(*sliwin, Backend::kCoarseCeh),
+            Backend::kCoarseCeh);
+}
+
+TEST(AggregateOptionsTest, BuilderValidates) {
+  const auto with_epsilon = [](double epsilon) {
+    return AggregateOptions::Builder().epsilon(epsilon).Build();
+  };
+  EXPECT_FALSE(with_epsilon(0.0).ok());
+  EXPECT_FALSE(with_epsilon(-1.0).ok());
+  EXPECT_FALSE(with_epsilon(1.5).ok());
+  EXPECT_FALSE(with_epsilon(NAN).ok());
+  EXPECT_FALSE(with_epsilon(INFINITY).ok());
+  EXPECT_TRUE(with_epsilon(1.0).ok());
+  EXPECT_TRUE(with_epsilon(0.05).ok());
+
+  EXPECT_FALSE(AggregateOptions::Builder().start(0).Build().ok());
+  EXPECT_FALSE(AggregateOptions::Builder().start(-5).Build().ok());
+  const auto built = AggregateOptions::Builder()
+                         .backend(Backend::kWbmh)
+                         .epsilon(0.25)
+                         .start(7)
+                         .Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->backend(), Backend::kWbmh);
+  EXPECT_DOUBLE_EQ(built->epsilon(), 0.25);
+  EXPECT_EQ(built->start(), 7);
+
+  // Defaults are valid by construction.
+  const AggregateOptions defaults;
+  EXPECT_EQ(defaults.backend(), Backend::kAuto);
+  EXPECT_DOUBLE_EQ(defaults.epsilon(), 0.1);
+  EXPECT_EQ(defaults.start(), 1);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(FactoryTest, LegacyOptionsShimStillWorks) {
+  auto decay = SlidingWindowDecay::Create(32).value();
+  LegacyAggregateOptions legacy;
+  legacy.backend = Backend::kCeh;
+  legacy.epsilon = 0.2;
+  auto sum = MakeDecayedSum(decay, legacy);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->Name(), "CEH");
+
+  auto average = MakeDecayedAverage(decay, legacy);
+  ASSERT_TRUE(average.ok());
+
+  // The shim funnels through the Builder, so bad values now fail with a
+  // Status instead of reaching a backend.
+  legacy.epsilon = -1.0;
+  EXPECT_FALSE(MakeDecayedSum(decay, legacy).ok());
+  legacy.epsilon = 0.2;
+  legacy.start = 0;
+  EXPECT_FALSE(MakeDecayedSum(decay, legacy).ok());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace tds

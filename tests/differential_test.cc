@@ -58,9 +58,11 @@ class DifferentialFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
 TEST_P(DifferentialFuzzTest, RandomOpSequenceStaysInEnvelope) {
   const FuzzParam param = GetParam();
   const DecayPtr decay = MakeDecay(param.decay_kind);
-  AggregateOptions options;
-  options.backend = param.backend;
-  options.epsilon = 0.1;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(param.backend)
+                                   .epsilon(0.1)
+                                   .Build()
+                                   .value();
   auto subject_or = MakeDecayedSum(decay, options);
   ASSERT_TRUE(subject_or.ok());
   std::unique_ptr<DecayedAggregate> subject = std::move(subject_or).value();

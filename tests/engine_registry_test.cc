@@ -1,0 +1,313 @@
+// AggregateRegistry unit tests: key-table/arena bookkeeping, per-key state
+// fidelity against standalone aggregates, batch/per-item bit-identity, lazy
+// idle-key expiry, and the registry snapshot codec.
+#include "engine/registry.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "decay/exponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+AggregateRegistry::Options RegistryOptions(Backend backend, double epsilon) {
+  AggregateRegistry::Options options;
+  options.aggregate = AggregateOptions::Builder()
+                          .backend(backend)
+                          .epsilon(epsilon)
+                          .Build()
+                          .value();
+  return options;
+}
+
+TEST(AggregateRegistryTest, CreateResolvesAutoBackend) {
+  AggregateRegistry::Options options;  // kAuto
+  auto poly = AggregateRegistry::Create(PolynomialDecay::Create(1.0).value(),
+                                        options);
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->backend(), Backend::kWbmh);
+
+  auto sliwin = AggregateRegistry::Create(
+      SlidingWindowDecay::Create(64).value(), options);
+  ASSERT_TRUE(sliwin.ok());
+  EXPECT_EQ(sliwin->backend(), Backend::kCeh);
+
+  auto expd = AggregateRegistry::Create(
+      ExponentialDecay::Create(0.01).value(), options);
+  ASSERT_TRUE(expd.ok());
+  EXPECT_EQ(expd->backend(), Backend::kEwma);
+
+  EXPECT_FALSE(AggregateRegistry::Create(nullptr, options).ok());
+}
+
+TEST(AggregateRegistryTest, PerKeyStateMatchesStandaloneAggregates) {
+  auto decay = SlidingWindowDecay::Create(256).value();
+  const auto options = RegistryOptions(Backend::kCeh, 0.1);
+  auto registry = AggregateRegistry::Create(decay, options);
+  ASSERT_TRUE(registry.ok());
+
+  const std::vector<uint64_t> keys = {7, 99, 1234567};
+  std::vector<std::unique_ptr<DecayedAggregate>> standalone;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    standalone.push_back(
+        MakeDecayedSum(decay, options.aggregate).value());
+  }
+
+  Rng rng(42);
+  Tick t = 1;
+  for (int step = 0; step < 2000; ++step) {
+    t += static_cast<Tick>(rng.NextBelow(3));
+    const size_t which = rng.NextBelow(keys.size());
+    const uint64_t value = rng.NextBelow(5);
+    registry->Update(keys[which], t, value);
+    standalone[which]->Update(t, value);
+  }
+
+  EXPECT_EQ(registry->KeyCount(), keys.size());
+  double expected_total = 0.0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_DOUBLE_EQ(registry->Query(keys[i], t), standalone[i]->Query(t))
+        << "key=" << keys[i];
+    EXPECT_DOUBLE_EQ(registry->Query(keys[i], t + 50),
+                     standalone[i]->Query(t + 50));
+    expected_total += standalone[i]->Query(t);
+  }
+  EXPECT_NEAR(registry->QueryTotal(t), expected_total,
+              1e-9 * (1.0 + expected_total));
+  EXPECT_DOUBLE_EQ(registry->Query(31337, t), 0.0);  // absent key
+  EXPECT_FALSE(registry->Contains(31337));
+  EXPECT_TRUE(registry->AuditInvariants().ok());
+}
+
+TEST(AggregateRegistryTest, BatchMatchesPerItemBitForBit) {
+  for (const Backend backend : {Backend::kCeh, Backend::kWbmh}) {
+    auto decay = PolynomialDecay::Create(1.0).value();
+    auto options = RegistryOptions(backend, 0.1);
+    options.expiry_weight_floor = 0.0;  // expiry timing differs by design
+    auto per_item = AggregateRegistry::Create(decay, options);
+    auto batched = AggregateRegistry::Create(decay, options);
+    ASSERT_TRUE(per_item.ok());
+    ASSERT_TRUE(batched.ok());
+
+    Rng rng(7 + static_cast<uint64_t>(backend));
+    Tick t = 1;
+    std::vector<KeyedItem> items;
+    for (int step = 0; step < 3000; ++step) {
+      if (rng.NextBelow(3) == 0) t += static_cast<Tick>(rng.NextBelow(4));
+      items.push_back(KeyedItem{rng.NextBelow(50), t, rng.NextBelow(6)});
+    }
+    for (const KeyedItem& item : items) {
+      per_item->Update(item.key, item.t, item.value);
+    }
+    size_t offset = 0;
+    const size_t chunks[] = {1, 3, 64, 500, 1000};
+    size_t chunk_index = 0;
+    while (offset < items.size()) {
+      const size_t n =
+          std::min(chunks[chunk_index++ % 5], items.size() - offset);
+      batched->UpdateBatch({items.data() + offset, n});
+      offset += n;
+    }
+
+    EXPECT_EQ(per_item->KeyCount(), batched->KeyCount());
+    EXPECT_EQ(per_item->StorageBits(), batched->StorageBits());
+    for (uint64_t key = 0; key < 50; ++key) {
+      EXPECT_DOUBLE_EQ(per_item->Query(key, t), batched->Query(key, t))
+          << "backend=" << static_cast<int>(backend) << " key=" << key;
+      EXPECT_DOUBLE_EQ(per_item->Query(key, t + 123),
+                       batched->Query(key, t + 123));
+    }
+    EXPECT_TRUE(per_item->AuditInvariants().ok());
+    EXPECT_TRUE(batched->AuditInvariants().ok());
+  }
+}
+
+TEST(AggregateRegistryTest, IdleKeysExpireAtHorizon) {
+  auto decay = SlidingWindowDecay::Create(64).value();
+  auto registry =
+      AggregateRegistry::Create(decay, RegistryOptions(Backend::kCeh, 0.2));
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry->expiry_age(), 64);
+
+  for (uint64_t key = 1; key <= 20; ++key) registry->Update(key, 5, 1);
+  EXPECT_EQ(registry->KeyCount(), 20u);
+
+  // Eager pass: everything is idle far past the window.
+  registry->Advance(500);
+  EXPECT_EQ(registry->KeyCount(), 0u);
+  EXPECT_DOUBLE_EQ(registry->Query(3, 500), 0.0);
+  EXPECT_TRUE(registry->AuditInvariants().ok());
+
+  // Lazy path: one hot key keeps updating while the rest idle out; the
+  // bounded per-update sweep reclaims them without any Advance call.
+  auto lazy =
+      AggregateRegistry::Create(decay, RegistryOptions(Backend::kCeh, 0.2));
+  ASSERT_TRUE(lazy.ok());
+  for (uint64_t key = 1; key <= 20; ++key) lazy->Update(key, 5, 1);
+  const uint64_t epoch_before = lazy->sweep_epoch();
+  for (Tick t = 600; t < 700; ++t) lazy->Update(0, t, 1);
+  EXPECT_EQ(lazy->KeyCount(), 1u);
+  EXPECT_GT(lazy->sweep_epoch(), epoch_before);
+  EXPECT_TRUE(lazy->AuditInvariants().ok());
+}
+
+TEST(AggregateRegistryTest, ExpiryAgeFromDecayWeightFloor) {
+  auto decay = ExponentialDecay::Create(0.1).value();
+  auto options = RegistryOptions(Backend::kEwma, 0.1);
+  options.expiry_weight_floor = 1e-6;
+  auto registry = AggregateRegistry::Create(decay, options);
+  ASSERT_TRUE(registry.ok());
+  const Tick age = registry->expiry_age();
+  ASSERT_NE(age, kInfiniteHorizon);
+  // Smallest age whose weight is at or below the floor relative to g(1).
+  const double target = 1e-6 * decay->Weight(1);
+  EXPECT_LE(decay->Weight(age), target);
+  EXPECT_GT(decay->Weight(age - 1), target);
+
+  options.expiry_weight_floor = 0.0;
+  auto disabled = AggregateRegistry::Create(decay, options);
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_EQ(disabled->expiry_age(), kInfiniteHorizon);
+}
+
+TEST(AggregateRegistryTest, ManyKeysSurviveRehashAndRecycle) {
+  auto decay = SlidingWindowDecay::Create(128).value();
+  auto registry =
+      AggregateRegistry::Create(decay, RegistryOptions(Backend::kCeh, 0.25));
+  ASSERT_TRUE(registry.ok());
+  // Two generations: the first expires while the second grows through
+  // several table rehashes, recycling the first generation's slots.
+  for (uint64_t key = 0; key < 500; ++key) {
+    registry->Update(key, 1 + static_cast<Tick>(key / 200), 1);
+  }
+  EXPECT_EQ(registry->KeyCount(), 500u);
+  registry->Advance(1000);
+  EXPECT_EQ(registry->KeyCount(), 0u);
+  for (uint64_t key = 10000; key < 10800; ++key) {
+    registry->Update(key, 1000 + static_cast<Tick>((key - 10000) / 300), 2);
+  }
+  EXPECT_EQ(registry->KeyCount(), 800u);
+  for (uint64_t key = 10000; key < 10800; ++key) {
+    EXPECT_TRUE(registry->Contains(key));
+  }
+  EXPECT_FALSE(registry->Contains(42));
+  EXPECT_TRUE(registry->AuditInvariants().ok());
+}
+
+TEST(AggregateRegistryTest, SnapshotRoundTripIsByteIdentical) {
+  struct Config {
+    DecayPtr decay;
+    Backend backend;
+  };
+  const std::vector<Config> configs = {
+      {SlidingWindowDecay::Create(128).value(), Backend::kCeh},
+      {ExponentialDecay::Create(0.01).value(), Backend::kEwma},
+      {PolynomialDecay::Create(1.5).value(), Backend::kWbmh},
+  };
+  for (const Config& config : configs) {
+    const auto options = RegistryOptions(config.backend, 0.1);
+    auto registry = AggregateRegistry::Create(config.decay, options);
+    ASSERT_TRUE(registry.ok());
+    Rng rng(9);
+    Tick t = 1;
+    for (int step = 0; step < 1500; ++step) {
+      t += static_cast<Tick>(rng.NextBelow(2));
+      registry->Update(rng.NextBelow(40), t, rng.NextBelow(4));
+    }
+    std::string blob;
+    ASSERT_TRUE(registry->EncodeState(&blob).ok());
+    auto decoded = AggregateRegistry::Decode(config.decay, options, blob);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->KeyCount(), registry->KeyCount());
+    EXPECT_EQ(decoded->now(), registry->now());
+    for (uint64_t key = 0; key < 40; ++key) {
+      EXPECT_DOUBLE_EQ(decoded->Query(key, t + 10),
+                       registry->Query(key, t + 10))
+          << "backend=" << static_cast<int>(config.backend) << " key=" << key;
+    }
+    std::string reencoded;
+    ASSERT_TRUE(decoded->EncodeState(&reencoded).ok());
+    EXPECT_EQ(reencoded, blob)
+        << "re-encode not byte-identical, backend="
+        << static_cast<int>(config.backend);
+  }
+}
+
+// Regression: a fresh WBMH registry's shared layout already sits at the
+// stream start tick, so an *empty* registry must still encode a
+// self-consistent blob (the engine's snapshot path can run before the
+// first item arrives — TSan's scheduling exposed exactly that).
+TEST(AggregateRegistryTest, EmptyRegistrySnapshotRoundTrips) {
+  struct Config {
+    DecayPtr decay;
+    Backend backend;
+  };
+  const std::vector<Config> configs = {
+      {SlidingWindowDecay::Create(128).value(), Backend::kCeh},
+      {ExponentialDecay::Create(0.01).value(), Backend::kEwma},
+      {PolynomialDecay::Create(1.5).value(), Backend::kWbmh},
+  };
+  for (const Config& config : configs) {
+    const auto options = RegistryOptions(config.backend, 0.1);
+    auto registry = AggregateRegistry::Create(config.decay, options);
+    ASSERT_TRUE(registry.ok());
+    EXPECT_EQ(registry->KeyCount(), 0u);
+    std::string blob;
+    ASSERT_TRUE(registry->EncodeState(&blob).ok());
+    auto decoded = AggregateRegistry::Decode(config.decay, options, blob);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->KeyCount(), 0u);
+    EXPECT_EQ(decoded->now(), registry->now());
+    EXPECT_DOUBLE_EQ(decoded->Query(7, 100), 0.0);
+    std::string reencoded;
+    ASSERT_TRUE(decoded->EncodeState(&reencoded).ok());
+    EXPECT_EQ(reencoded, blob);
+  }
+}
+
+TEST(AggregateRegistryTest, HostileSnapshotsRejectedWithoutCrashing) {
+  auto decay = SlidingWindowDecay::Create(64).value();
+  const auto options = RegistryOptions(Backend::kCeh, 0.2);
+  auto registry = AggregateRegistry::Create(decay, options);
+  ASSERT_TRUE(registry.ok());
+  for (uint64_t key = 0; key < 5; ++key) registry->Update(key, 3, 2);
+  std::string blob;
+  ASSERT_TRUE(registry->EncodeState(&blob).ok());
+
+  // Every truncation must be rejected.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(
+        AggregateRegistry::Decode(decay, options, blob.substr(0, len)).ok())
+        << "prefix length " << len;
+  }
+  // Every single-byte corruption either fails cleanly or decodes to a
+  // state that passes its own audit — never crashes.
+  for (size_t pos = 0; pos < blob.size(); ++pos) {
+    std::string corrupt = blob;
+    corrupt[pos] ^= 0x2a;
+    auto decoded = AggregateRegistry::Decode(decay, options, corrupt);
+    if (decoded.ok()) {
+      EXPECT_TRUE(decoded->AuditInvariants().ok()) << "byte " << pos;
+    }
+  }
+  // Mismatched options are rejected up front.
+  EXPECT_FALSE(
+      AggregateRegistry::Decode(decay, RegistryOptions(Backend::kCeh, 0.4),
+                                blob)
+          .ok());
+  EXPECT_FALSE(AggregateRegistry::Decode(
+                   PolynomialDecay::Create(1.0).value(),
+                   RegistryOptions(Backend::kCeh, 0.2), blob)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tds

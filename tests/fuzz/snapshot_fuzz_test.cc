@@ -66,9 +66,11 @@ Status AuditIfSupported(DecayedAggregate& aggregate) {
 TEST(SnapshotFuzzTest, RoundTripAuditHoldsMidStreamForEveryBackend) {
   for (const SnapshotCase& test_case : Cases()) {
     SCOPED_TRACE(test_case.label);
-    AggregateOptions options;
-    options.backend = test_case.backend;
-    options.epsilon = 0.1;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(test_case.backend)
+                                     .epsilon(0.1)
+                                     .Build()
+                                     .value();
     auto aggregate = MakeDecayedSum(test_case.decay, options);
     ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
 
@@ -96,9 +98,11 @@ TEST(SnapshotFuzzTest, RoundTripAuditHoldsMidStreamForEveryBackend) {
 TEST(SnapshotFuzzTest, CorruptedBlobsAreRejectedOrDecodeToAuditCleanState) {
   for (const SnapshotCase& test_case : Cases()) {
     SCOPED_TRACE(test_case.label);
-    AggregateOptions options;
-    options.backend = test_case.backend;
-    options.epsilon = 0.1;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(test_case.backend)
+                                     .epsilon(0.1)
+                                     .Build()
+                                     .value();
     auto aggregate = MakeDecayedSum(test_case.decay, options);
     ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
 

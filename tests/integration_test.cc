@@ -35,9 +35,11 @@ TEST(IntegrationTest, AllBackendsAgreeOnLongBurstyWorkload) {
       {PolynomialDecay::Create(2.5).value(), Backend::kWbmh, 0.35},
   };
   for (const Subject& s : subjects) {
-    AggregateOptions options;
-    options.backend = s.backend;
-    options.epsilon = 0.1;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(s.backend)
+                                     .epsilon(0.1)
+                                     .Build()
+                                     .value();
     auto subject = MakeDecayedSum(s.decay, options);
     ASSERT_TRUE(subject.ok());
     auto reference = ExactDecayedSum::Create(s.decay);
@@ -50,8 +52,10 @@ TEST(IntegrationTest, AllBackendsAgreeOnLongBurstyWorkload) {
 
 TEST(IntegrationTest, UpdatesAndQueriesInterleave) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.epsilon = 0.1;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .epsilon(0.1)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   ASSERT_TRUE(subject.ok());
   auto reference = ExactDecayedSum::Create(decay);
@@ -86,9 +90,11 @@ TEST(IntegrationTest, ApproximateStructuresDecodeAdversarialSlots) {
     for (int& c : choices) c = 1 + static_cast<int>(rng.NextBelow(2));
     const Stream stream = MakeAdversarialStream(family, choices);
 
-    AggregateOptions options;
-    options.backend = backend;
-    options.epsilon = 0.02;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(backend)
+                                     .epsilon(0.02)
+                                     .Build()
+                                     .value();
     auto subject = MakeDecayedSum(decay, options);
     ASSERT_TRUE(subject.ok());
     for (const StreamItem& item : stream) {
@@ -120,11 +126,15 @@ TEST(IntegrationTest, ApproximateStructuresDecodeAdversarialSlots) {
 
 TEST(IntegrationTest, DecayedAverageAcrossBackendsConsistent) {
   auto decay = PolynomialDecay::Create(1.5).value();
-  AggregateOptions wbmh;
-  wbmh.backend = Backend::kWbmh;
-  wbmh.epsilon = 0.1;
-  AggregateOptions exact;
-  exact.backend = Backend::kExact;
+  const AggregateOptions wbmh = AggregateOptions::Builder()
+                                .backend(Backend::kWbmh)
+                                .epsilon(0.1)
+                                .Build()
+                                .value();
+  const AggregateOptions exact = AggregateOptions::Builder()
+                                 .backend(Backend::kExact)
+                                 .Build()
+                                 .value();
   auto approx_avg = MakeDecayedAverage(decay, wbmh);
   auto exact_avg = MakeDecayedAverage(decay, exact);
   ASSERT_TRUE(approx_avg.ok());
@@ -147,15 +157,19 @@ TEST(IntegrationTest, StorageOrderingMatchesPaper) {
   const Tick n = 1 << 15;
   const double epsilon = 0.1;
 
-  AggregateOptions options;
-  options.epsilon = epsilon;
-
-  options.backend = Backend::kEwma;
-  auto ewma = MakeDecayedSum(ExponentialDecay::Create(0.001).value(), options);
-  options.backend = Backend::kWbmh;
-  auto wbmh = MakeDecayedSum(PolynomialDecay::Create(1.0).value(), options);
-  options.backend = Backend::kCeh;
-  auto ceh = MakeDecayedSum(PolynomialDecay::Create(1.0).value(), options);
+  const auto with_backend = [&](Backend backend) {
+    return AggregateOptions::Builder()
+        .backend(backend)
+        .epsilon(epsilon)
+        .Build()
+        .value();
+  };
+  auto ewma = MakeDecayedSum(ExponentialDecay::Create(0.001).value(),
+                             with_backend(Backend::kEwma));
+  auto wbmh = MakeDecayedSum(PolynomialDecay::Create(1.0).value(),
+                             with_backend(Backend::kWbmh));
+  auto ceh = MakeDecayedSum(PolynomialDecay::Create(1.0).value(),
+                            with_backend(Backend::kCeh));
   ASSERT_TRUE(ewma.ok());
   ASSERT_TRUE(wbmh.ok());
   ASSERT_TRUE(ceh.ok());

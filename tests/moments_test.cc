@@ -61,8 +61,10 @@ std::vector<Observation> FromStream(const Stream& stream) {
 
 TEST(DecayedVarianceTest, ExactBackendMatchesBruteForce) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kExact;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kExact)
+                                   .Build()
+                                   .value();
   auto variance = DecayedVariance::Create(decay, options);
   ASSERT_TRUE(variance.ok());
   const Stream stream = LevelShiftStream(500, 250, 4.0, 12.0, 3);
@@ -75,9 +77,11 @@ TEST(DecayedVarianceTest, ExactBackendMatchesBruteForce) {
 
 TEST(DecayedVarianceTest, ApproximateBackendTracksTruth) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kCeh;
-  options.epsilon = 0.02;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kCeh)
+                                   .epsilon(0.02)
+                                   .Build()
+                                   .value();
   auto variance = DecayedVariance::Create(decay, options);
   ASSERT_TRUE(variance.ok());
   const Stream stream = LevelShiftStream(2000, 1000, 4.0, 16.0, 7);
@@ -93,8 +97,10 @@ TEST(DecayedVarianceTest, ApproximateBackendTracksTruth) {
 
 TEST(DecayedVarianceTest, ZeroForConstantValues) {
   auto decay = ExponentialDecay::Create(0.01).value();
-  AggregateOptions options;
-  options.backend = Backend::kExact;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kExact)
+                                   .Build()
+                                   .value();
   auto variance = DecayedVariance::Create(decay, options);
   ASSERT_TRUE(variance.ok());
   for (Tick t = 1; t <= 200; ++t) variance->Observe(t, 7);
@@ -115,8 +121,10 @@ TEST(DecayedVarianceTest, DecayEmphasizesRecentRegime) {
   // Old noisy regime, recent constant regime: with a sharp decay the
   // variance should collapse toward the recent (constant) regime.
   auto decay = PolynomialDecay::Create(3.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kExact;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kExact)
+                                   .Build()
+                                   .value();
   auto variance = DecayedVariance::Create(decay, options);
   ASSERT_TRUE(variance.ok());
   Rng rng(12);
@@ -131,8 +139,10 @@ TEST(DecayedVarianceTest, DecayEmphasizesRecentRegime) {
 
 TEST(DecayedVarianceTest, SlidingWindowForgetsCompletely) {
   auto decay = SlidingWindowDecay::Create(100).value();
-  AggregateOptions options;
-  options.backend = Backend::kExact;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kExact)
+                                   .Build()
+                                   .value();
   auto variance = DecayedVariance::Create(decay, options);
   ASSERT_TRUE(variance.ok());
   Rng rng(13);

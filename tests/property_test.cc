@@ -105,9 +105,11 @@ class AccuracyEnvelopeTest : public ::testing::TestWithParam<PropertyParam> {};
 TEST_P(AccuracyEnvelopeTest, MaxRelativeErrorWithinEnvelope) {
   const PropertyParam param = GetParam();
   const DecayPtr decay = MakeDecay(param.decay);
-  AggregateOptions options;
-  options.backend = param.backend;
-  options.epsilon = param.epsilon;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(param.backend)
+                                   .epsilon(param.epsilon)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   ASSERT_TRUE(subject.ok()) << subject.status().ToString();
   auto reference = ExactDecayedSum::Create(decay);
@@ -169,9 +171,11 @@ class MonotonicityTest : public ::testing::TestWithParam<PropertyParam> {};
 TEST_P(MonotonicityTest, RepeatedQueriesAreStableAndDecaying) {
   const PropertyParam param = GetParam();
   const DecayPtr decay = MakeDecay(param.decay);
-  AggregateOptions options;
-  options.backend = param.backend;
-  options.epsilon = param.epsilon;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(param.backend)
+                                   .epsilon(param.epsilon)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   ASSERT_TRUE(subject.ok());
   // One burst, then silence: the estimate decays over time. WBMH may tick
@@ -208,9 +212,11 @@ class StorageSanityTest : public ::testing::TestWithParam<PropertyParam> {};
 TEST_P(StorageSanityTest, StorageStaysPolylogarithmic) {
   const PropertyParam param = GetParam();
   const DecayPtr decay = MakeDecay(param.decay);
-  AggregateOptions options;
-  options.backend = param.backend;
-  options.epsilon = param.epsilon;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(param.backend)
+                                   .epsilon(param.epsilon)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   ASSERT_TRUE(subject.ok());
   size_t bits_at_4k = 0;

@@ -111,9 +111,11 @@ std::vector<SnapshotCase> Cases() {
 
 TEST(SnapshotTest, MidStreamRoundTripContinuesIdentically) {
   for (const SnapshotCase& test_case : Cases()) {
-    AggregateOptions options;
-    options.backend = test_case.backend;
-    options.epsilon = 0.1;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(test_case.backend)
+                                     .epsilon(0.1)
+                                     .Build()
+                                     .value();
     auto original = MakeDecayedSum(test_case.decay, options);
     ASSERT_TRUE(original.ok()) << test_case.label;
 
@@ -151,8 +153,10 @@ TEST(SnapshotTest, MidStreamRoundTripContinuesIdentically) {
 
 TEST(SnapshotTest, EmptyStructureRoundTrips) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kCeh;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kCeh)
+                                   .Build()
+                                   .value();
   auto original = MakeDecayedSum(decay, options);
   std::string bytes;
   ASSERT_TRUE(EncodeDecayedSum(**original, &bytes).ok());
@@ -163,8 +167,10 @@ TEST(SnapshotTest, EmptyStructureRoundTrips) {
 
 TEST(SnapshotTest, RejectsWrongDecay) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kCeh;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kCeh)
+                                   .Build()
+                                   .value();
   auto original = MakeDecayedSum(decay, options);
   (*original)->Update(5, 3);
   std::string bytes;
@@ -175,8 +181,10 @@ TEST(SnapshotTest, RejectsWrongDecay) {
 
 TEST(SnapshotTest, RejectsCorruptData) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kWbmh;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kWbmh)
+                                   .Build()
+                                   .value();
   auto original = MakeDecayedSum(decay, options);
   for (Tick t = 1; t <= 500; ++t) (*original)->Update(t, 1);
   std::string bytes;
@@ -191,8 +199,10 @@ TEST(SnapshotTest, RejectsCorruptData) {
 
 TEST(SnapshotTest, DecayedAverageRoundTrip) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.epsilon = 0.1;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .epsilon(0.1)
+                                   .Build()
+                                   .value();
   auto original = MakeDecayedAverage(decay, options);
   ASSERT_TRUE(original.ok());
   for (Tick t = 1; t <= 1000; ++t) original->Observe(t, 5 + t % 7);
@@ -226,8 +236,10 @@ TEST(SnapshotTest, DecoderSurvivesMutatedSnapshots) {
   Rng rng(999);
   for (Backend backend :
        {Backend::kCeh, Backend::kCoarseCeh, Backend::kWbmh}) {
-    AggregateOptions options;
-    options.backend = backend;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(backend)
+                                     .Build()
+                                     .value();
     auto original = MakeDecayedSum(decay, options);
     for (Tick t = 1; t <= 300; ++t) (*original)->Update(t, 1);
     std::string bytes;

@@ -120,8 +120,10 @@ TEST(AdversarialTest, DominantTermIsDistinguishable) {
 
 TEST(ReplayTest, CompareAgainstSelfIsExact) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kExact;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kExact)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   auto reference = MakeDecayedSum(decay, options);
   const Stream stream = BernoulliStream(500, 0.5, 1);
@@ -134,13 +136,17 @@ TEST(ReplayTest, CompareAgainstSelfIsExact) {
 
 TEST(ReplayTest, ReportsErrorsForApproximateSubject) {
   auto decay = PolynomialDecay::Create(2.0).value();
-  AggregateOptions approx;
-  approx.backend = Backend::kWbmh;
-  approx.epsilon = 0.5;
+  const AggregateOptions approx = AggregateOptions::Builder()
+                                  .backend(Backend::kWbmh)
+                                  .epsilon(0.5)
+                                  .Build()
+                                  .value();
   auto subject = MakeDecayedSum(decay, approx);
   ASSERT_TRUE(subject.ok());
-  AggregateOptions exact;
-  exact.backend = Backend::kExact;
+  const AggregateOptions exact = AggregateOptions::Builder()
+                                 .backend(Backend::kExact)
+                                 .Build()
+                                 .value();
   auto reference = MakeDecayedSum(decay, exact);
   const Stream stream = BernoulliStream(2000, 0.5, 2);
   const ReplayReport report =
@@ -152,8 +158,10 @@ TEST(ReplayTest, ReportsErrorsForApproximateSubject) {
 
 TEST(ReplayTest, MaxStorageBits) {
   auto decay = PolynomialDecay::Create(1.0).value();
-  AggregateOptions options;
-  options.backend = Backend::kCeh;
+  const AggregateOptions options = AggregateOptions::Builder()
+                                   .backend(Backend::kCeh)
+                                   .Build()
+                                   .value();
   auto subject = MakeDecayedSum(decay, options);
   const Stream stream = BernoulliStream(1000, 0.8, 3);
   const size_t bits = ReplayMaxStorageBits(stream, **subject, 100);

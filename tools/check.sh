@@ -6,11 +6,14 @@
 # Usage:
 #   tools/check.sh [stage...]
 #
-# Stages (default: "release asan tidy"; "all" = release asan tsan tidy):
+# Stages (default and "all": release asan tsan tidy):
 #   release   Release build + full ctest suite (tier-1 verify).
 #   asan      ASan+UBSan build with -DTDS_AUDIT=ON (structural invariant
 #             audits after every mutation) + full ctest suite.
-#   tsan      ThreadSanitizer build + full ctest suite.
+#   tsan      ThreadSanitizer build + full ctest suite — the required
+#             sanitizer coverage for the sharded engine's concurrent code
+#             (engine_concurrency_test: multi-producer ingest + snapshot
+#             readers racing the writer threads).
 #   tidy      clang-tidy over src/ with the checked-in .clang-tidy, using
 #             the asan build's compilation database. Skipped with a notice
 #             when clang-tidy is not installed (the container image may not
@@ -22,7 +25,7 @@ set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STAGES="${*:-release asan tidy}"
+STAGES="${*:-release asan tsan tidy}"
 if [ "$STAGES" = "all" ]; then
   STAGES="release asan tsan tidy"
 fi

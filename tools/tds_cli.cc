@@ -137,9 +137,11 @@ int main(int argc, char** argv) {
     }
     sum = std::move(restored).value();
   } else {
-    AggregateOptions options;
-    options.backend = *backend;
-    options.epsilon = epsilon;
+    const AggregateOptions options = AggregateOptions::Builder()
+                                     .backend(*backend)
+                                     .epsilon(epsilon)
+                                     .Build()
+                                     .value();
     auto created = MakeDecayedSum(decay.value(), options);
     if (!created.ok()) {
       std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
