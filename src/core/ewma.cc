@@ -44,6 +44,26 @@ void EwmaCounter::Update(Tick t, uint64_t value) {
   if (register_ > max_register_) max_register_ = register_;
 }
 
+void EwmaCounter::UpdateBatch(std::span<const StreamItem> items) {
+  // Fused same-tick path: one gap-decay multiply per distinct tick instead
+  // of one AdvanceTo check per item. The adds stay strictly per-item — each
+  // with its own post-add re-round — because (a + b) re-rounded once is not
+  // the same double as two rounded adds, and the batch path must be
+  // bit-identical to per-item ingestion.
+  size_t i = 0;
+  while (i < items.size()) {
+    const Tick t = items[i].t;
+    AdvanceTo(t);
+    for (; i < items.size() && items[i].t == t; ++i) {
+      if (items[i].value == 0) continue;
+      if (first_arrival_ == 0) first_arrival_ = t;
+      register_ += static_cast<double>(items[i].value);
+      register_ = RoundedCounter::RoundValue(register_, mantissa_bits_);
+      if (register_ > max_register_) max_register_ = register_;
+    }
+  }
+}
+
 void EwmaCounter::Advance(Tick now) { AdvanceTo(now); }
 
 double EwmaCounter::Query(Tick now) const {

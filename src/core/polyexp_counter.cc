@@ -71,6 +71,7 @@ std::vector<double> PolyExpCounter::RegistersAt(Tick t) const {
 }
 
 void PolyExpCounter::AdvanceTo(Tick t) {
+  if (t == now_) return;  // skip RegistersAt's vector copy on the hot path
   registers_ = RegistersAt(t);
   now_ = t;
 }
@@ -79,6 +80,20 @@ void PolyExpCounter::Update(Tick t, uint64_t value) {
   AdvanceTo(t);
   // A new item has age offset 0: only the j = 0 moment changes.
   registers_[0] += static_cast<double>(value);
+}
+
+void PolyExpCounter::UpdateBatch(std::span<const StreamItem> items) {
+  // Fused same-tick path: one O(k^2) binomial gap jump per distinct tick;
+  // within a tick every item is a bare M_0 add. The adds stay per-item and
+  // in order, so the result is bit-identical to per-item ingestion.
+  size_t i = 0;
+  while (i < items.size()) {
+    const Tick t = items[i].t;
+    AdvanceTo(t);
+    for (; i < items.size() && items[i].t == t; ++i) {
+      registers_[0] += static_cast<double>(items[i].value);
+    }
+  }
 }
 
 void PolyExpCounter::Advance(Tick now) { AdvanceTo(now); }

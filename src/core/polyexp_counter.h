@@ -33,6 +33,7 @@ class PolyExpCounter : public DecayedAggregate {
                                                           double lambda);
 
   void Update(Tick t, uint64_t value) override;
+  void UpdateBatch(std::span<const StreamItem> items) override;
   void Advance(Tick now) override;
   double Query(Tick now) const override;
   size_t StorageBits() const override;

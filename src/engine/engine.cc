@@ -29,6 +29,12 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("queue capacity must be positive");
   }
+  if (options.route_slices < options.shards) {
+    return Status::InvalidArgument("route_slices must be >= shards");
+  }
+  if (!(options.rebalance_skew >= 1.0)) {
+    return Status::InvalidArgument("rebalance_skew must be >= 1");
+  }
   std::unique_ptr<ShardedAggregateEngine> engine(
       new ShardedAggregateEngine(options));
   engine->decay_ = decay;
@@ -39,6 +45,11 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
     if (!registry.ok()) return registry.status();
     shard->registry.emplace(std::move(registry).value());
     engine->shards_.push_back(std::move(shard));
+  }
+  // Initial route: slices round-robin over shards.
+  engine->route_.resize(options.route_slices);
+  for (uint32_t s = 0; s < options.route_slices; ++s) {
+    engine->route_[s] = s % options.shards;
   }
   // Registries are fully constructed before any writer starts: thread
   // creation is the happens-before edge that hands each registry to its
@@ -59,13 +70,18 @@ ShardedAggregateEngine::~ShardedAggregateEngine() {
   }
 }
 
-uint32_t ShardedAggregateEngine::ShardForKey(uint64_t key,
-                                             uint32_t shard_count) {
+uint32_t ShardedAggregateEngine::SliceForKey(uint64_t key,
+                                             uint32_t slice_count) {
   // Re-mix before reducing: the registry's table probe uses SplitMix64(key)
-  // directly, so deriving the shard from a differently-salted hash keeps
+  // directly, so deriving the slice from a differently-salted hash keeps
   // the two partitions independent.
   return static_cast<uint32_t>(HashCombine(key, 0x7364726168735344ull) %
-                               shard_count);
+                               slice_count);
+}
+
+uint32_t ShardedAggregateEngine::RouteForKey(uint64_t key) const {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  return route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
 }
 
 void ShardedAggregateEngine::Ingest(uint64_t key, Tick t, uint64_t value) {
@@ -75,6 +91,9 @@ void ShardedAggregateEngine::Ingest(uint64_t key, Tick t, uint64_t value) {
 
 void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
   if (items.empty()) return;
+  // Shared route lock: many producers ingest concurrently; a migration
+  // takes it exclusively, so no item can land on a stale route entry.
+  std::shared_lock<std::shared_mutex> route_lock(route_mutex_);
   const uint32_t shard_count = shards();
   if (shard_count == 1) {
     Shard& shard = *shards_[0];
@@ -90,9 +109,10 @@ void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
     return;
   }
   // Partition into per-shard slices, preserving arrival order within each.
+  const auto slice_count = static_cast<uint32_t>(route_.size());
   std::vector<std::vector<KeyedItem>> buckets(shard_count);
   for (const KeyedItem& item : items) {
-    buckets[ShardForKey(item.key, shard_count)].push_back(item);
+    buckets[route_[SliceForKey(item.key, slice_count)]].push_back(item);
   }
   for (uint32_t i = 0; i < shard_count; ++i) {
     if (buckets[i].empty()) continue;
@@ -118,12 +138,44 @@ void ShardedAggregateEngine::Flush() {
   }
 }
 
+void ShardedAggregateEngine::WaitQueuesDrained() {
+  for (auto& shard : shards_) {
+    const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
+    while (shard->applied.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
 uint64_t ShardedAggregateEngine::ItemsApplied() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->applied.load(std::memory_order_acquire);
   }
   return total;
+}
+
+std::vector<ShardedAggregateEngine::ShardStats>
+ShardedAggregateEngine::Stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.live_keys = shard->live_keys.load(std::memory_order_relaxed);
+    s.arena_extent = shard->arena_extent.load(std::memory_order_relaxed);
+    s.items_applied = shard->applied.load(std::memory_order_acquire);
+    const uint64_t enqueued = shard->enqueued.load(std::memory_order_acquire);
+    s.queue_depth = enqueued - std::min(enqueued, s.items_applied);
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+void ShardedAggregateEngine::UpdateStats(Shard& shard) {
+  shard.live_keys.store(shard.registry->KeyCount(),
+                        std::memory_order_relaxed);
+  shard.arena_extent.store(shard.registry->ArenaExtent(),
+                           std::memory_order_relaxed);
 }
 
 void ShardedAggregateEngine::WriterLoop(Shard& shard) {
@@ -138,11 +190,17 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
           shard.registry->Update(buffer[i].key, buffer[i].t, buffer[i].value);
         }
       }
+      // Stats before the applied-counter release: once Flush() observes the
+      // count, the occupancy mirrors are current too.
+      UpdateStats(shard);
       shard.applied.fetch_add(n, std::memory_order_release);
     }
     if (shard.snapshot_requested.exchange(false,
                                           std::memory_order_acq_rel)) {
       PublishSnapshot(shard);
+    }
+    if (shard.command_requested.exchange(false, std::memory_order_acq_rel)) {
+      RunPendingCommand(shard);
     }
     if (n > 0) continue;  // keep draining while the queue is hot
     if (stop_.load(std::memory_order_acquire)) {
@@ -151,7 +209,11 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
     }
     std::this_thread::yield();
   }
-  // Final publish so a reader whose request raced shutdown never hangs.
+  // Serve anything that raced shutdown: a pending command first (its poster
+  // is blocked on it), then a final publish so no snapshot reader hangs.
+  if (shard.command_requested.exchange(false, std::memory_order_acq_rel)) {
+    RunPendingCommand(shard);
+  }
   PublishSnapshot(shard);
   {
     std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
@@ -168,26 +230,58 @@ void ShardedAggregateEngine::PublishSnapshot(Shard& shard) {
   }
   // Clone via the snapshot codec: everything applied before this point is
   // in the clone, so any ticket issued before `serving` was read is served.
-  std::string blob;
-  const Status encoded = shard.registry->EncodeState(&blob);
+  // The encode blob is retained alongside the clone — the merged-snapshot
+  // gather decodes from it without re-encoding.
+  auto blob = std::make_shared<std::string>();
+  const Status encoded = shard.registry->EncodeState(blob.get());
   TDS_CHECK_MSG(encoded.ok(), encoded.message().c_str());
   auto decoded =
-      AggregateRegistry::Decode(decay_, options_.registry, blob);
+      AggregateRegistry::Decode(decay_, options_.registry, *blob);
   TDS_CHECK_MSG(decoded.ok(), decoded.status().message().c_str());
   auto clone = std::make_shared<const AggregateRegistry>(
       std::move(decoded).value());
   {
     std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
     shard.snapshot = std::move(clone);
+    shard.snapshot_blob = std::move(blob);
     shard.tickets_served = std::max(shard.tickets_served, serving);
   }
   shard.snapshot_cv.notify_all();
 }
 
-std::shared_ptr<const AggregateRegistry> ShardedAggregateEngine::ShardSnapshot(
-    uint32_t shard_index) {
-  TDS_CHECK_LT(shard_index, shards_.size());
-  Shard& shard = *shards_[shard_index];
+void ShardedAggregateEngine::RunPendingCommand(Shard& shard) {
+  std::function<void(AggregateRegistry&)> fn;
+  {
+    std::lock_guard<std::mutex> lock(shard.command_mutex);
+    fn = std::move(shard.command);
+    shard.command = nullptr;
+  }
+  if (fn) fn(*shard.registry);
+  UpdateStats(shard);
+  {
+    std::lock_guard<std::mutex> lock(shard.command_mutex);
+    shard.command_done = true;
+  }
+  shard.command_cv.notify_all();
+}
+
+void ShardedAggregateEngine::RunOnWriter(
+    Shard& shard, std::function<void(AggregateRegistry&)> fn) {
+  {
+    std::lock_guard<std::mutex> lock(shard.command_mutex);
+    TDS_CHECK_MSG(shard.command == nullptr,
+                  "one writer command at a time (hold the route lock)");
+    shard.command = std::move(fn);
+    shard.command_done = false;
+  }
+  shard.command_requested.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(shard.command_mutex);
+  shard.command_cv.wait(lock, [&] { return shard.command_done; });
+}
+
+std::pair<std::shared_ptr<const AggregateRegistry>,
+          std::shared_ptr<const std::string>>
+ShardedAggregateEngine::TakeShardSnapshot(Shard& shard) {
   uint64_t ticket;
   {
     std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
@@ -198,11 +292,54 @@ std::shared_ptr<const AggregateRegistry> ShardedAggregateEngine::ShardSnapshot(
   shard.snapshot_cv.wait(lock, [&] {
     return shard.tickets_served >= ticket || shard.stopped;
   });
-  return shard.snapshot;
+  return {shard.snapshot, shard.snapshot_blob};
+}
+
+std::shared_ptr<const AggregateRegistry> ShardedAggregateEngine::ShardSnapshot(
+    uint32_t shard_index) {
+  TDS_CHECK_LT(shard_index, shards_.size());
+  return TakeShardSnapshot(*shards_[shard_index]).first;
+}
+
+StatusOr<MergedSnapshot> ShardedAggregateEngine::Snapshot() {
+  // Shared route lock across the whole gather: a migration between two
+  // shard captures would otherwise double-count (or drop) the moving keys.
+  std::vector<std::string> blobs;
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mutex_);
+    // Issue every ticket first so the shard writers publish concurrently.
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->snapshot_mutex);
+      ++shard->tickets_issued;
+    }
+    for (auto& shard : shards_) {
+      shard->snapshot_requested.store(true, std::memory_order_release);
+    }
+    blobs.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard->snapshot_mutex);
+      const uint64_t ticket = shard->tickets_issued;
+      shard->snapshot_cv.wait(lock, [&] {
+        return shard->tickets_served >= ticket || shard->stopped;
+      });
+      if (shard->snapshot_blob == nullptr) {
+        return Status::FailedPrecondition("shard snapshot unavailable");
+      }
+      blobs.push_back(*shard->snapshot_blob);
+    }
+  }
+  // Decode + fold outside the lock: the blobs are already a consistent cut.
+  return MergedSnapshot::FromShardBlobs(decay_, options_.registry, blobs);
 }
 
 double ShardedAggregateEngine::QueryKey(uint64_t key, Tick now) {
-  const auto snapshot = ShardSnapshot(ShardForKey(key, shards()));
+  // The shared route lock pins the key's shard for the duration (a
+  // migration between the route read and the snapshot would serve a
+  // snapshot that no longer holds the key).
+  std::shared_lock<std::shared_mutex> route_lock(route_mutex_);
+  const uint32_t shard_index =
+      route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
+  const auto snapshot = TakeShardSnapshot(*shards_[shard_index]).first;
   if (snapshot == nullptr) return 0.0;
   return snapshot->Query(key, std::max(now, snapshot->now()));
 }
@@ -224,6 +361,133 @@ size_t ShardedAggregateEngine::KeyCount() {
     if (snapshot != nullptr) total += snapshot->KeyCount();
   }
   return total;
+}
+
+Status ShardedAggregateEngine::MoveSlicesLocked(
+    uint32_t from_index, uint32_t to_index,
+    const std::vector<uint32_t>& moving) {
+  if (moving.empty() || from_index == to_index) return Status::OK();
+  const auto slice_count = static_cast<uint32_t>(route_.size());
+  std::vector<char> member(slice_count, 0);
+  for (const uint32_t slice : moving) {
+    TDS_CHECK_LT(slice, slice_count);
+    TDS_CHECK(route_[slice] == from_index);
+    member[slice] = 1;
+  }
+  // Flip the route first: producers are excluded by the exclusive lock, so
+  // nothing can land on the donor mid-move, and once the lock drops every
+  // new item for these slices already targets the receiver.
+  for (const uint32_t slice : moving) route_[slice] = to_index;
+  Shard& donor = *shards_[from_index];
+  Shard& receiver = *shards_[to_index];
+  // Both registry mutations run on their owner writer threads — the
+  // registries are never touched from this (caller) thread.
+  StatusOr<AggregateRegistry> extracted =
+      Status::FailedPrecondition("extraction did not run");
+  RunOnWriter(donor, [&](AggregateRegistry& registry) {
+    extracted = registry.ExtractIf([&](uint64_t key) {
+      return member[SliceForKey(key, slice_count)] != 0;
+    });
+  });
+  if (!extracted.ok()) return extracted.status();
+  Status merge_status = Status::OK();
+  RunOnWriter(receiver, [&](AggregateRegistry& registry) {
+    merge_status = registry.MergeFrom(std::move(extracted).value());
+  });
+  if (!merge_status.ok()) return merge_status;
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedAggregateEngine::MigrateSlices(std::span<const uint32_t> slices,
+                                             uint32_t to_shard) {
+  if (to_shard >= shards()) {
+    return Status::InvalidArgument("target shard out of range");
+  }
+  std::unique_lock<std::shared_mutex> route_lock(route_mutex_);
+  const auto slice_count = static_cast<uint32_t>(route_.size());
+  for (const uint32_t slice : slices) {
+    if (slice >= slice_count) {
+      return Status::InvalidArgument("route slice out of range");
+    }
+  }
+  WaitQueuesDrained();
+  // Group the requested slices by current owner and move per owner.
+  for (uint32_t owner = 0; owner < shards(); ++owner) {
+    if (owner == to_shard) continue;
+    std::vector<uint32_t> moving;
+    for (const uint32_t slice : slices) {
+      if (route_[slice] == owner) moving.push_back(slice);
+    }
+    const Status status = MoveSlicesLocked(owner, to_shard, moving);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
+  if (shards() < 2) return false;
+  std::unique_lock<std::shared_mutex> route_lock(route_mutex_);
+  // Drain so the live-key stats are exact and no in-flight item targets a
+  // slice about to move (producers are excluded by the exclusive lock).
+  WaitQueuesDrained();
+  uint32_t donor_index = 0;
+  uint32_t receiver_index = 0;
+  for (uint32_t i = 1; i < shards(); ++i) {
+    const uint64_t keys = shards_[i]->live_keys.load(std::memory_order_relaxed);
+    if (keys > shards_[donor_index]->live_keys.load(std::memory_order_relaxed)) {
+      donor_index = i;
+    }
+    if (keys <
+        shards_[receiver_index]->live_keys.load(std::memory_order_relaxed)) {
+      receiver_index = i;
+    }
+  }
+  const uint64_t donor_keys =
+      shards_[donor_index]->live_keys.load(std::memory_order_relaxed);
+  const uint64_t receiver_keys =
+      shards_[receiver_index]->live_keys.load(std::memory_order_relaxed);
+  if (donor_index == receiver_index ||
+      donor_keys < options_.rebalance_min_keys ||
+      static_cast<double>(donor_keys) <
+          options_.rebalance_skew * static_cast<double>(receiver_keys)) {
+    return false;
+  }
+  // Per-slice live-key histogram of the donor, computed on its writer.
+  const auto slice_count = static_cast<uint32_t>(route_.size());
+  std::vector<uint64_t> slice_keys(slice_count, 0);
+  RunOnWriter(*shards_[donor_index], [&](AggregateRegistry& registry) {
+    registry.ForEachKey([&](uint64_t key, Tick, const DecayedAggregate&) {
+      ++slice_keys[SliceForKey(key, slice_count)];
+    });
+  });
+  // Greedy heaviest-first selection: accept a slice while it still shrinks
+  // the donor/receiver gap (moving m keys changes the gap by -2m, so a
+  // slice helps iff 2*moved + its_keys < gap).
+  std::vector<uint32_t> candidates;
+  for (uint32_t s = 0; s < slice_count; ++s) {
+    if (route_[s] == donor_index && slice_keys[s] > 0) candidates.push_back(s);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (slice_keys[a] != slice_keys[b]) {
+                return slice_keys[a] > slice_keys[b];
+              }
+              return a < b;
+            });
+  const uint64_t gap = donor_keys - receiver_keys;
+  std::vector<uint32_t> moving;
+  uint64_t moved = 0;
+  for (const uint32_t s : candidates) {
+    if (2 * moved + slice_keys[s] < gap) {
+      moving.push_back(s);
+      moved += slice_keys[s];
+    }
+  }
+  if (moving.empty()) return false;
+  const Status status = MoveSlicesLocked(donor_index, receiver_index, moving);
+  if (!status.ok()) return status;
+  return true;
 }
 
 }  // namespace tds

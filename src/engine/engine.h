@@ -4,41 +4,62 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "engine/merged_snapshot.h"
 #include "engine/registry.h"
 #include "engine/spsc_ring.h"
 #include "util/status.h"
 
 namespace tds {
 
-/// Sharded multi-stream aggregation engine: keys hash to N shards, each
-/// shard owns one AggregateRegistry mutated by exactly one writer thread,
-/// fed through a lock-free SPSC ring (multiple front-end producers are
-/// serialized by a per-shard mutex around the push side only — writers
-/// never take it).
+/// Sharded multi-stream aggregation engine: keys hash to route *slices*
+/// (a fixed salted-hash partition), slices map to N shards through a
+/// mutable route table, and each shard owns one AggregateRegistry mutated
+/// by exactly one writer thread, fed through a lock-free SPSC ring
+/// (multiple front-end producers are serialized by a per-shard mutex
+/// around the push side only — writers never take it).
 ///
 /// Readers never block writers: queries are served from immutable
 /// point-in-time registry snapshots (encode → decode clones) that the
 /// writer publishes on request. A snapshot requested after Flush() reflects
-/// every item ingested before the Flush.
+/// every item ingested before the Flush. Snapshot() assembles one
+/// engine-wide MergedSnapshot from all shards at a single route-table cut.
+///
+/// Rebalancing: the slice→shard route table can be rewritten at runtime
+/// (RebalanceIfSkewed / MigrateSlices). A migration takes the route lock
+/// exclusively (briefly stalling producers), drains the affected queues,
+/// and moves the keys of the chosen slices between registries on the owner
+/// writer threads via AggregateRegistry::ExtractIf / MergeFrom — which
+/// preserve the engine's bit-identical-to-serial guarantee (per-key states
+/// are never advanced or re-rounded in transit).
 ///
 /// Ordering contract: each shard must observe non-decreasing ticks. A
 /// single producer feeding tick-ordered items satisfies this for every
 /// shard; concurrent producers must coordinate externally so their
 /// interleaving per shard stays tick-ordered (e.g. epoch-sliced ingestion,
 /// where all producers use the same tick within a slice and barrier
-/// between slices).
+/// between slices). Rebalancing additionally requires *globally*
+/// tick-ordered ingest: a migration can raise the receiving registry's
+/// clock to the donor's, so items enqueued later must not carry older
+/// ticks. Both example disciplines above already satisfy this.
 class ShardedAggregateEngine {
  public:
   struct Options {
     AggregateRegistry::Options registry;
     uint32_t shards = 4;
+    /// Route-table granularity: keys hash into this many slices, each
+    /// routed to one shard (must be >= shards; ideally many times larger
+    /// so migrations can move fine-grained key ranges).
+    uint32_t route_slices = 256;
     /// Per-shard ingest queue capacity in items (rounded up to a power of
     /// two). Producers block (yield-spin) when a queue is full.
     size_t queue_capacity = 1 << 16;
@@ -46,6 +67,21 @@ class ShardedAggregateEngine {
     /// hot path) instead of per-item Update. The resulting state is
     /// bit-identical either way; this is the throughput knob.
     bool apply_batched = true;
+    /// Skew trigger for RebalanceIfSkewed: rebalance when the busiest
+    /// shard holds at least this many times the live keys of the idlest.
+    double rebalance_skew = 2.0;
+    /// The busiest shard must hold at least this many live keys before a
+    /// rebalance is worth its stall (prevents thrashing on tiny tables).
+    uint64_t rebalance_min_keys = 1024;
+  };
+
+  /// Point-in-time per-shard occupancy counters, maintained by the shard
+  /// writers (exact after a Flush(), approximate while ingest is running).
+  struct ShardStats {
+    uint64_t live_keys = 0;
+    uint64_t arena_extent = 0;  ///< slots ever allocated (occupancy + churn)
+    uint64_t items_applied = 0;
+    uint64_t queue_depth = 0;  ///< enqueued but not yet applied
   };
 
   static StatusOr<std::unique_ptr<ShardedAggregateEngine>> Create(
@@ -72,8 +108,15 @@ class ShardedAggregateEngine {
   /// least everything applied before this call began.
   std::shared_ptr<const AggregateRegistry> ShardSnapshot(uint32_t shard);
 
-  /// Decayed sum for `key` via a fresh shard snapshot. Evaluated at
-  /// max(now, snapshot clock) — a caller's clock may lag the stream's.
+  /// One engine-wide merged view at a single route-table cut: per-shard
+  /// snapshots are gathered under the route lock (so no rebalance can slip
+  /// between shard captures and double-count a key) and folded into a
+  /// MergedSnapshot whose cut tick is the max shard clock captured.
+  StatusOr<MergedSnapshot> Snapshot();
+
+  /// Decayed sum for `key` via a fresh snapshot of its owning shard.
+  /// Evaluated at max(now, snapshot clock) — a caller's clock may lag the
+  /// stream's.
   double QueryKey(uint64_t key, Tick now);
 
   /// Sum over all shards, each via a fresh snapshot at max(now, its clock).
@@ -82,10 +125,37 @@ class ShardedAggregateEngine {
   /// Total live keys across all shards (via fresh snapshots).
   size_t KeyCount();
 
+  /// Per-shard occupancy stats (the rebalance trigger's inputs).
+  std::vector<ShardStats> Stats() const;
+
+  /// Checks the live-key skew trigger and, when it fires, migrates the
+  /// heaviest route slices from the busiest shard to the idlest until the
+  /// imbalance is halved. Returns true when a migration ran. Producers are
+  /// stalled for the duration (exclusive route lock + queue drain).
+  StatusOr<bool> RebalanceIfSkewed();
+
+  /// Explicitly re-routes `slices` to `to_shard`, migrating their live
+  /// keys from the current owners (the manual counterpart of
+  /// RebalanceIfSkewed, and the test hook for forced migrations).
+  Status MigrateSlices(std::span<const uint32_t> slices, uint32_t to_shard);
+
   uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t route_slices() const { return options_.route_slices; }
   uint64_t ItemsApplied() const;
 
-  static uint32_t ShardForKey(uint64_t key, uint32_t shard_count);
+  /// Completed migrations (RebalanceIfSkewed firings + MigrateSlices calls
+  /// that moved at least one slice).
+  uint64_t Rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+  /// The route slice a key hashes into (stable across rebalances; salted
+  /// independently of the registry's table probe hash).
+  static uint32_t SliceForKey(uint64_t key, uint32_t slice_count);
+
+  /// The shard currently routed for `key` (advisory: a rebalance may move
+  /// it at any time unless the caller also holds ingest quiescent).
+  uint32_t RouteForKey(uint64_t key) const;
 
  private:
   struct Shard {
@@ -97,16 +167,32 @@ class ShardedAggregateEngine {
     std::atomic<uint64_t> applied{0};
 
     /// Written only by the shard's writer thread (constructed before the
-    /// thread starts, which establishes the happens-before edge).
+    /// thread starts, which establishes the happens-before edge; a
+    /// migration mutates it on the writer thread via RunOnWriter).
     std::optional<AggregateRegistry> registry;
+
+    /// Occupancy stats mirrored by the writer after every applied batch
+    /// and every command (readable without stopping the writer).
+    std::atomic<uint64_t> live_keys{0};
+    std::atomic<uint64_t> arena_extent{0};
 
     std::mutex snapshot_mutex;
     std::condition_variable snapshot_cv;
     std::atomic<bool> snapshot_requested{false};
     std::shared_ptr<const AggregateRegistry> snapshot;  // guarded by mutex
+    std::shared_ptr<const std::string> snapshot_blob;   // guarded by mutex
     uint64_t tickets_issued = 0;                        // guarded by mutex
     uint64_t tickets_served = 0;                        // guarded by mutex
     bool stopped = false;                               // guarded by mutex
+
+    /// Writer-command channel (migrations): the registry must only ever be
+    /// touched from its writer thread, so cross-shard moves post closures
+    /// here and block until the writer has run them.
+    std::mutex command_mutex;
+    std::condition_variable command_cv;
+    std::function<void(AggregateRegistry&)> command;  // guarded by mutex
+    bool command_done = false;                        // guarded by mutex
+    std::atomic<bool> command_requested{false};
 
     std::thread writer;
   };
@@ -115,10 +201,41 @@ class ShardedAggregateEngine {
 
   void WriterLoop(Shard& shard);
   void PublishSnapshot(Shard& shard);
+  void RunPendingCommand(Shard& shard);
+  void UpdateStats(Shard& shard);
+
+  /// Issues a snapshot ticket and blocks until the writer serves it;
+  /// returns the published registry clone and its encode blob.
+  std::pair<std::shared_ptr<const AggregateRegistry>,
+            std::shared_ptr<const std::string>>
+  TakeShardSnapshot(Shard& shard);
+
+  /// Runs `fn` against the shard's registry on the shard's writer thread
+  /// and waits for completion (callers must hold the route lock
+  /// exclusively, which keeps commands one-at-a-time).
+  void RunOnWriter(Shard& shard, std::function<void(AggregateRegistry&)> fn);
+
+  /// Spin-waits until every queue is drained (callers hold the exclusive
+  /// route lock, so no new items can arrive).
+  void WaitQueuesDrained();
+
+  /// Moves the live keys of `moving` (all currently routed to
+  /// `from_index`) to `to_index` and flips their route entries. Requires
+  /// the exclusive route lock and drained queues.
+  Status MoveSlicesLocked(uint32_t from_index, uint32_t to_index,
+                          const std::vector<uint32_t>& moving);
 
   DecayPtr decay_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// slice → shard. Guarded by route_mutex_: producers, per-key readers,
+  /// and the merged-snapshot gather hold it shared; migrations hold it
+  /// exclusive.
+  mutable std::shared_mutex route_mutex_;
+  std::vector<uint32_t> route_;
+
+  std::atomic<uint64_t> rebalances_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -1,0 +1,113 @@
+#include "engine/merged_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/codec.h"
+
+namespace tds {
+namespace {
+
+constexpr char kMergedMagic[] = "TDSMRG1";
+
+}  // namespace
+
+StatusOr<MergedSnapshot> MergedSnapshot::FromShards(
+    std::vector<AggregateRegistry> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("merged snapshot needs at least one shard");
+  }
+  const auto source_shards = static_cast<uint32_t>(shards.size());
+  AggregateRegistry merged = std::move(shards.front());
+  for (size_t i = 1; i < shards.size(); ++i) {
+    const Status status = merged.MergeFrom(std::move(shards[i]));
+    if (!status.ok()) return status;
+  }
+  return MergedSnapshot(std::move(merged), source_shards);
+}
+
+StatusOr<MergedSnapshot> MergedSnapshot::FromShardBlobs(
+    DecayPtr decay, const AggregateRegistry::Options& options,
+    std::span<const std::string> blobs) {
+  std::vector<AggregateRegistry> shards;
+  shards.reserve(blobs.size());
+  for (const std::string& blob : blobs) {
+    auto decoded = AggregateRegistry::Decode(decay, options, blob);
+    if (!decoded.ok()) return decoded.status();
+    shards.push_back(std::move(decoded).value());
+  }
+  return FromShards(std::move(shards));
+}
+
+double MergedSnapshot::Query(uint64_t key, Tick now) const {
+  return registry_.Query(key, std::max(now, cut()));
+}
+
+double MergedSnapshot::QueryTotal(Tick now) const {
+  return registry_.QueryTotal(std::max(now, cut()));
+}
+
+std::vector<uint64_t> MergedSnapshot::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(registry_.KeyCount());
+  registry_.ForEachKey(
+      [&](uint64_t key, Tick, const DecayedAggregate&) { keys.push_back(key); });
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<MergedSnapshot::WeightedKey> MergedSnapshot::TopK(size_t k,
+                                                              Tick now) const {
+  const Tick at = std::max(now, cut());
+  std::vector<WeightedKey> all;
+  all.reserve(registry_.KeyCount());
+  registry_.ForEachKey(
+      [&](uint64_t key, Tick, const DecayedAggregate& aggregate) {
+        all.push_back(WeightedKey{key, aggregate.Query(at)});
+      });
+  std::sort(all.begin(), all.end(),
+            [](const WeightedKey& a, const WeightedKey& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.key < b.key;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Status MergedSnapshot::EncodeState(std::string* out) {
+  TDS_CHECK(out != nullptr);
+  std::string inner;
+  const Status status = registry_.EncodeState(&inner);
+  if (!status.ok()) return status;
+  Encoder encoder;
+  encoder.PutString(kMergedMagic);
+  encoder.PutVarint(source_shards_);
+  encoder.PutString(inner);
+  *out = encoder.Finish();
+  return Status::OK();
+}
+
+StatusOr<MergedSnapshot> MergedSnapshot::Decode(
+    DecayPtr decay, const AggregateRegistry::Options& options,
+    std::string_view data) {
+  Decoder decoder(data);
+  std::string magic;
+  if (!decoder.GetString(&magic) || magic != kMergedMagic) {
+    return CorruptSnapshot("merged snapshot magic");
+  }
+  uint64_t source_shards = 0;
+  std::string inner;
+  if (!decoder.GetVarint(&source_shards) || !decoder.GetString(&inner)) {
+    return CorruptSnapshot("merged snapshot header");
+  }
+  if (!decoder.Done()) return CorruptSnapshot("merged snapshot trailer");
+  if (source_shards == 0) return CorruptSnapshot("merged snapshot shards");
+  // The inner blob goes through the registry codec's full audit-on-decode.
+  auto registry = AggregateRegistry::Decode(std::move(decay), options, inner);
+  if (!registry.ok()) return registry.status();
+  return MergedSnapshot(std::move(registry).value(),
+                        static_cast<uint32_t>(source_shards));
+}
+
+}  // namespace tds

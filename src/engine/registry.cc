@@ -337,6 +337,123 @@ size_t AggregateRegistry::IngestTickSegment(Tick t,
   return runs_.size();
 }
 
+namespace {
+
+/// Moves one WBMH counter's state onto another counter bound to a
+/// structurally identical layout (same clock, same bucket ids, same op
+/// sequence) through the counter codec — the decode side re-validates the
+/// binding and audits the result.
+Status TransplantWbmhCounter(DecayedAggregate& from, DecayedAggregate& to) {
+  Encoder encoder;
+  Status status =
+      static_cast<WbmhDecayedSum&>(from).EncodeCounterState(encoder);
+  if (!status.ok()) return status;
+  const std::string blob = encoder.Finish();
+  Decoder decoder(blob);
+  status = static_cast<WbmhDecayedSum&>(to).DecodeCounterState(decoder);
+  if (!status.ok()) return status;
+  if (!decoder.Done()) return CorruptSnapshot("counter trailer");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AggregateRegistry::MergeFrom(AggregateRegistry&& other) {
+  if (decay_->Name() != other.decay_->Name() || backend_ != other.backend_ ||
+      resolved_.epsilon() != other.resolved_.epsilon() ||
+      resolved_.start() != other.resolved_.start()) {
+    return Status::InvalidArgument("MergeFrom: registry options mismatch");
+  }
+  // Disjointness pre-check before any mutation, so a failed merge leaves
+  // both registries intact.
+  for (uint32_t i = 0; i < other.arena_.extent(); ++i) {
+    const Slot& src = other.arena_.at(i);
+    if (src.aggregate != nullptr && Find(src.key) != SlotArena<Slot>::kNone) {
+      return Status::InvalidArgument("MergeFrom: registries share a key");
+    }
+  }
+  if (layout_ != nullptr) {
+    // Layout state at a given clock is stream-independent (the paper's
+    // boundary-sharing argument), so advancing the lagging layout to the
+    // leading layout's clock makes the two structurally identical — same
+    // bucket spans, same bucket ids, same op sequence — and counters can
+    // transplant across through the counter codec. Advancing a layout is
+    // exactly what ingesting at the later tick would have done, so the
+    // merged state stays bit-identical to a serially-fed registry.
+    const Tick layout_cut = std::max(layout_->now(), other.layout_->now());
+    layout_->AdvanceTo(layout_cut);
+    other.layout_->AdvanceTo(layout_cut);
+    SyncAllCounters();
+    other.SyncAllCounters();
+    layout_->TrimLog(layout_->OpSeq());
+    other.layout_->TrimLog(other.layout_->OpSeq());
+    if (layout_->OpSeq() != other.layout_->OpSeq()) {
+      return Status::FailedPrecondition(
+          "MergeFrom: shared layouts diverged at one clock");
+    }
+  }
+  // Per-key aggregates move over un-advanced: a key's state remains the
+  // pure function of its own update sequence (advancing here would insert
+  // an extra decay-and-reround step that a serially-fed registry never
+  // performs).
+  now_ = std::max(now_, other.now_);
+  for (uint32_t i = 0; i < other.arena_.extent(); ++i) {
+    Slot& src = other.arena_.at(i);
+    if (src.aggregate == nullptr) continue;
+    const uint32_t index = GetOrCreate(src.key);
+    Slot& dst = arena_.at(index);
+    if (layout_ != nullptr) {
+      const Status status =
+          TransplantWbmhCounter(*src.aggregate, *dst.aggregate);
+      if (!status.ok()) return status;
+    } else {
+      dst.aggregate = std::move(src.aggregate);
+    }
+    dst.last_tick = src.last_tick;
+  }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+  return Status::OK();
+}
+
+StatusOr<AggregateRegistry> AggregateRegistry::ExtractIf(
+    const std::function<bool(uint64_t)>& pred) {
+  auto created = Create(decay_, options_);
+  if (!created.ok()) return created.status();
+  AggregateRegistry out = std::move(created).value();
+  if (layout_ != nullptr) {
+    SyncAllCounters();
+    layout_->TrimLog(layout_->OpSeq());
+    // A fresh layout replayed to this layout's clock is structurally
+    // identical (stream independence again), including bucket ids and the
+    // op sequence, so extracted counters can bind to it via the codec.
+    out.layout_->AdvanceTo(layout_->now());
+    out.layout_->TrimLog(out.layout_->OpSeq());
+    if (out.layout_->OpSeq() != layout_->OpSeq()) {
+      return Status::FailedPrecondition(
+          "ExtractIf: replayed layout diverged from the source layout");
+    }
+  }
+  out.now_ = now_;
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    Slot& src = arena_.at(i);
+    if (src.aggregate == nullptr || !pred(src.key)) continue;
+    const uint32_t index = out.GetOrCreate(src.key);
+    Slot& dst = out.arena_.at(index);
+    if (layout_ != nullptr) {
+      const Status status =
+          TransplantWbmhCounter(*src.aggregate, *dst.aggregate);
+      if (!status.ok()) return status;
+    } else {
+      dst.aggregate = std::move(src.aggregate);
+    }
+    dst.last_tick = src.last_tick;
+    Evict(i);
+  }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+  TDS_AUDIT_MUTATION(out.AuditInvariants());
+  return out;
+}
+
 void AggregateRegistry::Advance(Tick now) {
   TDS_CHECK_GE(now, now_);
   now_ = now;
@@ -433,6 +550,8 @@ Status AggregateRegistry::AuditInvariants() {
   TDS_AUDIT_CHECK(arena_live == live_, "arena/table live-count mismatch");
   TDS_AUDIT_CHECK(arena_.free_count() == arena_.extent() - live_,
                   "arena free-list accounting drift");
+  TDS_AUDIT_CHECK(arena_.occupied() == live_,
+                  "arena occupancy / live-count drift");
   if (layout_ != nullptr) {
     const Status layout_audit = layout_->AuditInvariants();
     if (!layout_audit.ok()) return layout_audit;

@@ -2,6 +2,7 @@
 #define TDS_ENGINE_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -101,6 +102,38 @@ class AggregateRegistry {
 
   bool Contains(uint64_t key) const;
 
+  /// Calls f(key, last_tick, const DecayedAggregate&) for every live key,
+  /// in arena order (not key order). Const iteration only — mutating the
+  /// registry from inside f is undefined.
+  template <typename F>
+  void ForEachKey(F&& f) const {
+    for (uint32_t i = 0; i < arena_.extent(); ++i) {
+      const Slot& slot = arena_.at(i);
+      if (slot.aggregate != nullptr) f(slot.key, slot.last_tick, *slot.aggregate);
+    }
+  }
+
+  /// Absorbs every key of `other` (which must use the same decay, backend,
+  /// epsilon, and start, and share no keys with this registry). The merged
+  /// clock is the max of the two clocks. Existing per-key aggregates are
+  /// *not* advanced — a key's state stays the pure function of its own
+  /// update sequence, so the merged registry is bit-identical to one that
+  /// ingested both substreams serially (the cross-shard snapshot-merge
+  /// guarantee). For WBMH, both shared layouts are aligned to the later
+  /// layout clock (a stream-independent advance) and the incoming counters
+  /// are transplanted onto this registry's layout via the counter codec.
+  /// `other` is consumed; on error this registry is unchanged.
+  Status MergeFrom(AggregateRegistry&& other);
+
+  /// Moves every live key with pred(key) == true into a new registry with
+  /// the same options and clock (the shard-migration donor path). The
+  /// extracted aggregates are not advanced, preserving bit-identity; for
+  /// WBMH the new registry's layout is advanced to this layout's clock
+  /// (deterministically identical structure) and counters transplant via
+  /// the counter codec.
+  StatusOr<AggregateRegistry> ExtractIf(
+      const std::function<bool(uint64_t)>& pred);
+
   size_t KeyCount() const { return live_; }
   Tick now() const { return now_; }
   Backend backend() const { return backend_; }
@@ -115,6 +148,12 @@ class AggregateRegistry {
   /// Paper storage metric over all keys; a shared WBMH layout's boundary
   /// storage is charged once (two ticks per bucket).
   size_t StorageBits() const;
+
+  /// Slot-arena footprint: slots ever allocated (extent) and slots live
+  /// right now. extent - occupied is recyclable churn — the engine's
+  /// rebalance stats report both.
+  size_t ArenaExtent() const { return arena_.extent(); }
+  size_t ArenaOccupied() const { return arena_.occupied(); }
 
   /// Structural invariant audit (see util/audit.h): table/arena/count
   /// consistency, probe-chain reachability of every slot, clock bounds,

@@ -65,6 +65,11 @@ class SlotArena {
 
   size_t free_count() const { return free_.size(); }
 
+  /// Slots currently handed out (extent minus the free list) — the arena's
+  /// occupancy, reported by the engine's per-shard stats and cross-checked
+  /// against the owner's live count in audits.
+  size_t occupied() const { return extent_ - free_.size(); }
+
  private:
   static constexpr uint32_t kChunkShift = 12;  // 4096 slots per chunk
   static constexpr uint32_t kChunkMask = (1u << kChunkShift) - 1;

@@ -13,6 +13,7 @@
 #include "core/factory.h"
 #include "core/wbmh.h"
 #include "decay/exponential.h"
+#include "decay/polyexponential.h"
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
 #include "stream/stream.h"
@@ -44,8 +45,13 @@ TEST(BatchDifferentialTest, BatchBitIdenticalToPerItemUnderFuzz) {
       // WBMH with its per-distinct-tick amortized batch path.
       {PolynomialDecay::Create(1.0).value(), Backend::kWbmh},
       {PolynomialDecay::Create(2.5).value(), Backend::kWbmh},
-      // Backends on the default (loop) path, for interface coverage.
+      // Coarse CEH shares the EH cascade through its own batch grouping.
+      {PolynomialDecay::Create(1.0).value(), Backend::kCoarseCeh},
+      // Register backends with fused same-tick batch paths.
       {ExponentialDecay::Create(0.01).value(), Backend::kEwma},
+      {PolyExponentialDecay::Create(2, 0.05).value(), Backend::kPolyExp},
+      // Backends on the default (loop) path, for interface coverage.
+      {ExponentialDecay::Create(0.01).value(), Backend::kRecentItems},
       {PolynomialDecay::Create(1.0).value(), Backend::kExact},
   };
   for (const Config& config : configs) {

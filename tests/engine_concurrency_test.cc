@@ -119,6 +119,123 @@ TEST(ShardedEngineTest, MultiProducerMatchesSerialReference) {
   }
 }
 
+// Producers, merged-snapshot readers, and a rebalancer all race; the final
+// merged snapshot must still be byte-identical to the serial reference.
+// Byte equality is a valid oracle even with racing producers: every key is
+// owned by one producer (deterministic per-key sequence), same-tick
+// cross-key interleaving is invisible to per-key aggregates, the WBMH
+// layout is a pure function of the clock, and the codec sorts keys.
+TEST(ShardedEngineTest, RebalanceRacesProducersAndSnapshotReaders) {
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 30;
+  constexpr int kItemsPerRound = 50;
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kSlices = 64;
+
+  struct Config {
+    DecayPtr decay;
+    Backend backend;
+  };
+  const std::vector<Config> configs = {
+      {PolynomialDecay::Create(1.0).value(), Backend::kWbmh},
+      {SlidingWindowDecay::Create(4096).value(), Backend::kCeh},
+  };
+  for (const Config& config : configs) {
+    ShardedAggregateEngine::Options options;
+    options.registry = RegistryOptions(config.backend, 0.15);
+    options.registry.expiry_weight_floor = -1.0;  // byte-equality oracle
+    options.shards = kShards;
+    options.route_slices = kSlices;
+    options.rebalance_min_keys = 16;
+    options.rebalance_skew = 1.5;
+    options.queue_capacity = 1 << 12;
+    auto engine = ShardedAggregateEngine::Create(config.decay, options);
+    ASSERT_TRUE(engine.ok());
+
+    // Keys deliberately skewed onto shard 0's initial slices so the skew
+    // trigger actually fires while producers are running. Each producer
+    // owns a disjoint key slice (deterministic per-key order).
+    std::vector<uint64_t> pool;
+    for (uint64_t key = 1; pool.size() < kProducers * 24; ++key) {
+      const uint32_t slice = ShardedAggregateEngine::SliceForKey(key, kSlices);
+      if (slice % kShards == 0 || pool.size() % 7 == 0) pool.push_back(key);
+    }
+    std::vector<std::vector<std::vector<KeyedItem>>> schedule(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      Rng rng(2000 + p);
+      schedule[p].resize(kRounds);
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kItemsPerRound; ++i) {
+          const uint64_t key = pool[p * 24 + rng.NextBelow(24)];
+          schedule[p][r].push_back(KeyedItem{key, r + 1, rng.NextBelow(5)});
+        }
+      }
+    }
+
+    std::barrier round_barrier(kProducers);
+    std::atomic<bool> done{false};
+    std::atomic<int> migrations{0};
+    std::thread rebalancer([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto moved = (*engine)->RebalanceIfSkewed();
+        ASSERT_TRUE(moved.ok()) << moved.status().message();
+        if (moved.value()) migrations.fetch_add(1, std::memory_order_relaxed);
+        // Also exercise explicit migrations racing the skew path.
+        const uint32_t slice = static_cast<uint32_t>(
+            migrations.load(std::memory_order_relaxed) % kSlices);
+        ASSERT_TRUE((*engine)
+                        ->MigrateSlices(std::vector<uint32_t>{slice},
+                                        slice % kShards)
+                        .ok());
+        std::this_thread::yield();
+      }
+    });
+    std::thread snapshotter([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto merged = (*engine)->Snapshot();
+        ASSERT_TRUE(merged.ok()) << merged.status().message();
+        // A merged view can never double-count: its key count is bounded
+        // by the full population.
+        EXPECT_LE(merged->KeyCount(), pool.size());
+        std::this_thread::yield();
+      }
+    });
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int r = 0; r < kRounds; ++r) {
+          (*engine)->IngestBatch(schedule[p][r]);
+          round_barrier.arrive_and_wait();
+        }
+      });
+    }
+    for (auto& thread : producers) thread.join();
+    done.store(true, std::memory_order_release);
+    rebalancer.join();
+    snapshotter.join();
+    (*engine)->Flush();
+
+    auto reference = AggregateRegistry::Create(config.decay, options.registry);
+    ASSERT_TRUE(reference.ok());
+    for (int r = 0; r < kRounds; ++r) {
+      for (int p = 0; p < kProducers; ++p) {
+        for (const KeyedItem& item : schedule[p][r]) {
+          reference->Update(item.key, item.t, item.value);
+        }
+      }
+    }
+    auto merged = (*engine)->Snapshot();
+    ASSERT_TRUE(merged.ok()) << merged.status().message();
+    std::string merged_blob;
+    ASSERT_TRUE(merged->EncodeRegistryState(&merged_blob).ok());
+    std::string reference_blob;
+    ASSERT_TRUE(reference->EncodeState(&reference_blob).ok());
+    EXPECT_EQ(merged_blob, reference_blob)
+        << "backend=" << static_cast<int>(config.backend)
+        << " migrations=" << migrations.load();
+  }
+}
+
 TEST(ShardedEngineTest, BatchedAndUnbatchedApplyAgree) {
   auto decay = PolynomialDecay::Create(2.0).value();
   ShardedAggregateEngine::Options batched_options;

@@ -12,8 +12,8 @@
 #             audits after every mutation) + full ctest suite.
 #   tsan      ThreadSanitizer build + full ctest suite — the required
 #             sanitizer coverage for the sharded engine's concurrent code
-#             (engine_concurrency_test: multi-producer ingest + snapshot
-#             readers racing the writer threads).
+#             (engine_concurrency_test: multi-producer ingest, snapshot
+#             readers, and the rebalancer racing the writer threads).
 #   tidy      clang-tidy over src/ with the checked-in .clang-tidy, using
 #             the asan build's compilation database. Skipped with a notice
 #             when clang-tidy is not installed (the container image may not
@@ -51,11 +51,20 @@ for stage in $STAGES; do
       log "ASan+UBSan build (audits on) + ctest"
       build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DTDS_SANITIZE="address;undefined" -DTDS_AUDIT=ON
+      # The merge/rebalance differential and fuzz layer must exist in this
+      # leg (audits armed): --no-tests=error turns "the tests silently
+      # vanished" into a hard failure.
+      log "ASan leg: engine merge differential + fuzz drivers present"
+      ctest --test-dir "$ROOT/build-asan" --output-on-failure \
+        --no-tests=error -R 'EngineMerge|MergedSnapshot|RegistryMerge'
       ;;
     tsan)
       log "TSan build + ctest"
       build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DTDS_SANITIZE=thread
+      log "TSan leg: engine merge differential + fuzz drivers present"
+      ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
+        --no-tests=error -R 'EngineMerge|MergedSnapshot|RebalanceRaces'
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -23,4 +23,18 @@ if "$CLI" --decay=sliwin:9 --load="$TMP/state.tds" "$TMP/p2.txt" > /dev/null 2>&
   echo "expected decay mismatch to fail" >&2
   exit 1
 fi
+
+# Engine mode: "tick key value" triples -> merged-snapshot report. With a
+# full window, key 7 carries 3+5 = 8 and tops the ranking.
+printf '1 7 3\n1 9 2\n2 7 5\n3 11 1\n' > "$TMP/keyed.txt"
+"$CLI" --decay=sliwin:64 --engine=2 --topk=2 "$TMP/keyed.txt" > "$TMP/engine.txt"
+grep -q '^# engine: 2 shards, 4 items, 3 keys' "$TMP/engine.txt"
+head -1 "$TMP/engine.txt" | grep -q 'cut tick 3'
+grep -q '^7	8.000000$' "$TMP/engine.txt"
+
+# Engine mode rejects the single-aggregate snapshot options.
+if "$CLI" --engine=2 --save="$TMP/state.tds" "$TMP/keyed.txt" > /dev/null 2>&1; then
+  echo "expected --engine with --save to fail" >&2
+  exit 1
+fi
 echo CLI_SMOKE_OK

@@ -6,11 +6,18 @@
 // estimate at every probe interval and a final summary. Snapshots can be
 // written/loaded so a stream can be processed across invocations.
 //
+// With --engine=SHARDS the input is "tick key value" triples instead: they
+// are fed through the sharded multi-stream engine (batch ingest, periodic
+// skew-triggered rebalancing), and the final report is an engine-wide
+// merged snapshot — cut tick, per-shard occupancy, and the top keys by
+// decayed weight.
+//
 // Examples:
 //   tds_cli --decay=poly:1.5 --epsilon=0.1 < stream.txt
 //   tds_cli --decay=exp:0.01 --backend=ewma --probe=1000 stream.txt
 //   tds_cli --decay=sliwin:4096 --save=state.tds stream_part1.txt
 //   tds_cli --decay=sliwin:4096 --load=state.tds stream_part2.txt
+//   tds_cli --decay=sliwin:4096 --engine=4 --topk=20 keyed_stream.txt
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,12 +26,15 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/factory.h"
 #include "core/snapshot.h"
 #include "decay/exponential.h"
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
+#include "engine/engine.h"
+#include "engine/merged_snapshot.h"
 
 namespace {
 
@@ -41,7 +51,13 @@ void Usage() {
       "  --probe=P            print the estimate every P ticks (default 0:\n"
       "                       only the final estimate)\n"
       "  --save=FILE          write a snapshot after the stream ends\n"
-      "  --load=FILE          resume from a snapshot before reading\n");
+      "  --load=FILE          resume from a snapshot before reading\n"
+      "  --engine=SHARDS      sharded engine mode: input lines become\n"
+      "                       \"tick key value\" triples; prints a merged\n"
+      "                       snapshot report (incompatible with\n"
+      "                       --probe/--save/--load)\n"
+      "  --topk=K             keys to print in the engine report\n"
+      "                       (default 10)\n");
 }
 
 StatusOr<DecayPtr> ParseDecay(const std::string& spec) {
@@ -70,6 +86,92 @@ StatusOr<Backend> ParseBackend(const std::string& name) {
   return Status::InvalidArgument("unknown backend: " + name);
 }
 
+/// Sharded engine mode: "tick key value" triples -> batch ingest with
+/// periodic skew checks -> merged-snapshot report.
+int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
+                  uint32_t shards, size_t topk, std::istream& in) {
+  ShardedAggregateEngine::Options options;
+  options.registry.aggregate = AggregateOptions::Builder()
+                                   .backend(backend)
+                                   .epsilon(epsilon)
+                                   .Build()
+                                   .value();
+  options.shards = shards;
+  auto engine = ShardedAggregateEngine::Create(std::move(decay), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr size_t kBatch = 4096;
+  std::vector<KeyedItem> batch;
+  batch.reserve(kBatch);
+  std::string line;
+  Tick last_tick = 0;
+  uint64_t items = 0;
+  size_t line_number = 0;
+  const auto flush_batch = [&] {
+    if (batch.empty()) return true;
+    (*engine)->IngestBatch(batch);
+    batch.clear();
+    // Between batches is the natural rebalance point: the check is a pair
+    // of atomic stat reads unless the skew trigger actually fires.
+    auto rebalanced = (*engine)->RebalanceIfSkewed();
+    if (!rebalanced.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   rebalanced.status().ToString().c_str());
+      return false;
+    }
+    return true;
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    long long tick = 0;
+    unsigned long long key = 0;
+    unsigned long long value = 0;
+    if (!(fields >> tick >> key >> value)) {
+      std::fprintf(stderr, "warning: malformed line %zu skipped\n",
+                   line_number);
+      continue;
+    }
+    if (tick < last_tick) {
+      std::fprintf(stderr,
+                   "error: ticks must be non-decreasing (line %zu: %lld)\n",
+                   line_number, tick);
+      return 1;
+    }
+    batch.push_back(KeyedItem{key, tick, value});
+    last_tick = tick;
+    ++items;
+    if (batch.size() >= kBatch && !flush_batch()) return 1;
+  }
+  if (!flush_batch()) return 1;
+  (*engine)->Flush();
+
+  auto merged = (*engine)->Snapshot();
+  if (!merged.ok()) {
+    std::fprintf(stderr, "error: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# engine: %u shards, %llu items, %zu keys, cut tick %lld, "
+              "%llu rebalances\n",
+              (*engine)->shards(), static_cast<unsigned long long>(items),
+              merged->KeyCount(), static_cast<long long>(merged->cut()),
+              static_cast<unsigned long long>((*engine)->Rebalances()));
+  const auto stats = (*engine)->Stats();
+  for (size_t s = 0; s < stats.size(); ++s) {
+    std::printf("# shard %zu: %llu keys, %llu applied\n", s,
+                static_cast<unsigned long long>(stats[s].live_keys),
+                static_cast<unsigned long long>(stats[s].items_applied));
+  }
+  for (const auto& [key, weight] : merged->TopK(topk, merged->cut())) {
+    std::printf("%llu\t%.6f\n", static_cast<unsigned long long>(key), weight);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +180,8 @@ int main(int argc, char** argv) {
   std::string save_path, load_path, input_path;
   double epsilon = 0.1;
   Tick probe = 0;
+  long long engine_shards = 0;
+  size_t topk = 10;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,6 +201,10 @@ int main(int argc, char** argv) {
       save_path = v;
     } else if (const char* v = value_of("--load=")) {
       load_path = v;
+    } else if (const char* v = value_of("--engine=")) {
+      engine_shards = std::atoll(v);
+    } else if (const char* v = value_of("--topk=")) {
+      topk = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -118,6 +226,32 @@ int main(int argc, char** argv) {
   if (!backend.ok()) {
     std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
     return 2;
+  }
+
+  if (engine_shards != 0) {
+    if (engine_shards < 1) {
+      std::fprintf(stderr, "error: --engine needs a positive shard count\n");
+      return 2;
+    }
+    if (probe != 0 || !save_path.empty() || !load_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --engine is incompatible with "
+                   "--probe/--save/--load\n");
+      return 2;
+    }
+    std::ifstream engine_file;
+    std::istream* engine_in = &std::cin;
+    if (!input_path.empty()) {
+      engine_file.open(input_path);
+      if (!engine_file) {
+        std::fprintf(stderr, "error: cannot open %s\n", input_path.c_str());
+        return 1;
+      }
+      engine_in = &engine_file;
+    }
+    return RunEngineMode(std::move(decay).value(), *backend, epsilon,
+                         static_cast<uint32_t>(engine_shards), topk,
+                         *engine_in);
   }
 
   std::unique_ptr<DecayedAggregate> sum;
