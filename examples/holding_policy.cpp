@@ -8,6 +8,7 @@
 
 #include "apps/holding_policy.h"
 #include "decay/polynomial.h"
+#include "util/check.h"
 #include "util/random.h"
 
 int main() {
@@ -34,14 +35,14 @@ int main() {
       {"shifting", 200, 10},
   };
   Rng rng(99);
-  for (const Spec& spec : specs) policy.AddCircuit(spec.id);
+  for (const Spec& spec : specs) TDS_CHECK(policy.AddCircuit(spec.id).ok());
   for (const Spec& spec : specs) {
     Tick t = 1;
     while (t <= 3000) {
       const Tick gap = t < 1500 ? spec.early_gap : spec.late_gap;
       t += 1 + static_cast<Tick>(rng.NextBelow(
                static_cast<uint64_t>(2 * gap)));
-      if (t <= 3000) policy.OnBurst(spec.id, t);
+      if (t <= 3000) TDS_CHECK(policy.OnBurst(spec.id, t).ok());
     }
   }
 

@@ -14,6 +14,7 @@
 #include "apps/gateway.h"
 #include "decay/exponential.h"
 #include "decay/polynomial.h"
+#include "util/check.h"
 
 int main() {
   using namespace tds;
@@ -35,8 +36,8 @@ int main() {
     const int l1 = selector.AddPath("L1").value();
     const int l2 = selector.AddPath("L2").value();
     // Day 1: L1 down for 5 hours. Day 2: L2 down for 30 minutes.
-    selector.ReportBadness(l1, kDay, 5 * 60);
-    selector.ReportBadness(l2, 2 * kDay, 30);
+    TDS_CHECK(selector.ReportBadness(l1, kDay, 5 * 60).ok());
+    TDS_CHECK(selector.ReportBadness(l2, 2 * kDay, 30).ok());
 
     std::printf("\n[%s]\n", trace.label.c_str());
     std::printf("%6s %14s %14s %10s\n", "day", "rating(L1)", "rating(L2)",

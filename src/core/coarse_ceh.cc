@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/audit.h"
 #include "util/check.h"
 
 namespace tds {
@@ -47,6 +48,7 @@ void CoarseCehDecayedSum::Update(Tick t, uint64_t value) {
   if (value == 0) return;
   total_count_ += value;
   InsertUnits(value);
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void CoarseCehDecayedSum::InsertUnits(uint64_t incoming_units) {
@@ -117,7 +119,36 @@ void CoarseCehDecayedSum::Expire() {
   }
 }
 
-void CoarseCehDecayedSum::Advance(Tick now) { AdvanceTo(now); }
+void CoarseCehDecayedSum::Advance(Tick now) {
+  AdvanceTo(now);
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status CoarseCehDecayedSum::AuditInvariants() const {
+  TDS_AUDIT_CHECK(now_ >= 0, "negative clock");
+  TDS_AUDIT_CHECK(std::isfinite(max_age_seen_) && max_age_seen_ >= 1.0,
+                  "max age must be finite and >= 1");
+  TDS_AUDIT_CHECK(classes_.size() <= 64, "more than 64 size classes");
+  uint64_t checksum = 0;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    const auto& cls = classes_[c];
+    TDS_AUDIT_CHECK(cls.size() <= 2 * cap_ + 2, "class exceeds cap bound");
+    const uint64_t expected = uint64_t{1} << c;
+    for (const Bucket& bucket : cls) {
+      TDS_AUDIT_CHECK(bucket.count == expected,
+                      "bucket count not the class power of two");
+      const double age = bucket.age.Estimate();
+      TDS_AUDIT_CHECK(std::isfinite(age) && age >= 1.0,
+                      "boundary age must be finite and >= 1");
+      TDS_AUDIT_CHECK(age <= max_age_seen_,
+                      "boundary age past the recorded maximum");
+      checksum += bucket.count;
+    }
+  }
+  TDS_AUDIT_CHECK(checksum == total_count_,
+                  "bucket counts do not sum to the total");
+  return Status::OK();
+}
 
 double CoarseCehDecayedSum::Query(Tick now) const {
   TDS_CHECK_GE(now, now_);
@@ -216,6 +247,11 @@ Status CoarseCehDecayedSum::DecodeState(Decoder& decoder) {
     }
   }
   if (checksum != total_count_) return CorruptSnapshot("CoarseCEH total");
+  // Hostile-snapshot funnel: reject blobs whose state fails the audit.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
+  }
   return Status::OK();
 }
 

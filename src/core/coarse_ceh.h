@@ -59,6 +59,13 @@ class CoarseCehDecayedSum : public DecayedAggregate {
   /// Approximate boundary ages, oldest first (for tests).
   std::vector<double> BoundaryAges() const;
 
+  /// Structural invariants: every bucket in class c counts exactly 2^c,
+  /// the class total matches total_count_, per-class sizes respect the
+  /// cap bound, and all boundary ages are finite, >= 1, and covered by
+  /// max_age_seen_. (Age *ordering* across buckets is deliberately not
+  /// audited: stochastic aging may reorder estimates.)
+  Status AuditInvariants() const;
+
   /// Snapshot support.
   void EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 #include "util/rounded_counter.h"
@@ -42,6 +43,7 @@ void EwmaCounter::Update(Tick t, uint64_t value) {
   register_ += static_cast<double>(value);
   register_ = RoundedCounter::RoundValue(register_, mantissa_bits_);
   if (register_ > max_register_) max_register_ = register_;
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void EwmaCounter::UpdateBatch(std::span<const StreamItem> items) {
@@ -62,9 +64,31 @@ void EwmaCounter::UpdateBatch(std::span<const StreamItem> items) {
       if (register_ > max_register_) max_register_ = register_;
     }
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
-void EwmaCounter::Advance(Tick now) { AdvanceTo(now); }
+void EwmaCounter::Advance(Tick now) {
+  AdvanceTo(now);
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status EwmaCounter::AuditInvariants() const {
+  TDS_AUDIT_CHECK(std::isfinite(register_) && register_ >= 0.0,
+                  "register must be finite and nonnegative");
+  TDS_AUDIT_CHECK(std::isfinite(max_register_) && max_register_ >= 0.0,
+                  "max register must be finite and nonnegative");
+  TDS_AUDIT_CHECK(register_ <= max_register_ || register_ == 0.0,
+                  "register exceeds its running maximum");
+  TDS_AUDIT_CHECK(first_arrival_ >= 0, "negative first arrival");
+  TDS_AUDIT_CHECK(first_arrival_ == 0 || first_arrival_ <= now_,
+                  "first arrival past the clock");
+  if (mantissa_bits_ > 0) {
+    TDS_AUDIT_CHECK(
+        RoundedCounter::RoundValue(register_, mantissa_bits_) == register_,
+        "register not a fixed point of its mantissa rounding");
+  }
+  return Status::OK();
+}
 
 double EwmaCounter::Query(Tick now) const {
   TDS_CHECK_GE(now, now_);
@@ -95,6 +119,11 @@ Status EwmaCounter::DecodeState(Decoder& decoder) {
   }
   if (static_cast<int>(mantissa) != mantissa_bits_) {
     return Status::InvalidArgument("snapshot options mismatch");
+  }
+  // Hostile-snapshot funnel: reject blobs whose state fails the audit.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
   }
   return Status::OK();
 }

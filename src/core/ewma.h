@@ -37,6 +37,11 @@ class EwmaCounter : public DecayedAggregate {
   std::string Name() const override { return "EWMA"; }
   const DecayPtr& decay() const override { return decay_; }
 
+  /// Structural invariants: a finite nonnegative register bounded by the
+  /// running maximum, clock ordering, and (with mantissa rounding on) the
+  /// register being a fixed point of the re-round.
+  Status AuditInvariants() const;
+
   /// Snapshot support.
   void EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 
@@ -18,11 +19,16 @@ StatusOr<std::unique_ptr<ExactDecayedSum>> ExactDecayedSum::Create(
 void ExactDecayedSum::Update(Tick t, uint64_t value) {
   TDS_CHECK_GE(t, now_);
   now_ = t;
-  if (value == 0) return;
-  if (!items_.empty() && items_.back().t == t) {
-    items_.back().value += value;
-  } else {
-    items_.push_back(Entry{t, value});
+  // Prune even when value == 0: a zero-value update still advances the
+  // clock, and entries past the horizon must not outlive it (the audit's
+  // horizon invariant; an early return here once leaked expired entries
+  // until the next non-zero update).
+  if (value != 0) {
+    if (!items_.empty() && items_.back().t == t) {
+      items_.back().value += value;
+    } else {
+      items_.push_back(Entry{t, value});
+    }
   }
   const Tick horizon = decay_->Horizon();
   if (horizon != kInfiniteHorizon) {
@@ -30,6 +36,7 @@ void ExactDecayedSum::Update(Tick t, uint64_t value) {
       items_.pop_front();
     }
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void ExactDecayedSum::Advance(Tick now) {
@@ -41,6 +48,25 @@ void ExactDecayedSum::Advance(Tick now) {
       items_.pop_front();
     }
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status ExactDecayedSum::AuditInvariants() const {
+  Tick previous = -1;
+  bool first = true;
+  const Tick horizon = decay_->Horizon();
+  for (const Entry& entry : items_) {
+    TDS_AUDIT_CHECK(first || entry.t > previous, "item ticks not increasing");
+    TDS_AUDIT_CHECK(entry.t <= now_, "item tick past the clock");
+    TDS_AUDIT_CHECK(entry.value > 0, "zero-value item retained");
+    previous = entry.t;
+    first = false;
+  }
+  if (horizon != kInfiniteHorizon && !items_.empty()) {
+    TDS_AUDIT_CHECK(AgeAt(items_.front().t, now_) <= horizon,
+                    "item retained past the decay horizon");
+  }
+  return Status::OK();
 }
 
 double ExactDecayedSum::Query(Tick now) const {
@@ -80,6 +106,12 @@ Status ExactDecayedSum::DecodeState(Decoder& decoder) {
     }
     previous += static_cast<Tick>(delta);
     items_.push_back(Entry{previous, value});
+  }
+  // Hostile-snapshot funnel: structural validation IS the audit protocol,
+  // so a corrupt blob is rejected instead of installed.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
   }
   return Status::OK();
 }

@@ -29,6 +29,10 @@ class ExactDecayedSum : public DecayedAggregate {
   /// Number of retained (tick, value) pairs.
   size_t ItemCount() const { return items_.size(); }
 
+  /// Structural invariants: strictly increasing item ticks bounded by the
+  /// clock, positive values, and no item past a finite horizon.
+  Status AuditInvariants() const;
+
   /// Snapshot support.
   void EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 
@@ -80,6 +81,7 @@ void PolyExpCounter::Update(Tick t, uint64_t value) {
   AdvanceTo(t);
   // A new item has age offset 0: only the j = 0 moment changes.
   registers_[0] += static_cast<double>(value);
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void PolyExpCounter::UpdateBatch(std::span<const StreamItem> items) {
@@ -94,9 +96,38 @@ void PolyExpCounter::UpdateBatch(std::span<const StreamItem> items) {
       registers_[0] += static_cast<double>(items[i].value);
     }
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
-void PolyExpCounter::Advance(Tick now) { AdvanceTo(now); }
+void PolyExpCounter::Advance(Tick now) {
+  AdvanceTo(now);
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status PolyExpCounter::AuditInvariants() const {
+  TDS_AUDIT_CHECK(registers_.size() == static_cast<size_t>(k_) + 1,
+                  "register count must be k+1");
+  for (double reg : registers_) {
+    TDS_AUDIT_CHECK(std::isfinite(reg) && reg >= 0.0,
+                    "moment register must be finite and nonnegative");
+  }
+  TDS_AUDIT_CHECK(query_coeffs_.size() <= static_cast<size_t>(k_) + 1,
+                  "query polynomial degree exceeds k");
+  TDS_AUDIT_CHECK(binomial_.size() == static_cast<size_t>(k_) + 1,
+                  "Pascal triangle must have k+1 rows");
+  for (int j = 0; j <= k_; ++j) {
+    TDS_AUDIT_CHECK(binomial_[j].size() == static_cast<size_t>(j) + 1,
+                    "Pascal row length mismatch");
+    TDS_AUDIT_CHECK(binomial_[j][0] == 1.0 && binomial_[j][j] == 1.0,
+                    "Pascal row edges must be 1");
+    for (int r = 1; r < j; ++r) {
+      TDS_AUDIT_CHECK(
+          binomial_[j][r] == binomial_[j - 1][r - 1] + binomial_[j - 1][r],
+          "Pascal triangle recurrence violated");
+    }
+  }
+  return Status::OK();
+}
 
 double PolyExpCounter::Query(Tick now) const {
   return QueryPolynomial(query_coeffs_, now);
@@ -134,6 +165,11 @@ Status PolyExpCounter::DecodeState(Decoder& decoder) {
   }
   for (double& reg : registers_) {
     if (!decoder.GetDouble(&reg)) return CorruptSnapshot("PolyExp register");
+  }
+  // Hostile-snapshot funnel: reject blobs whose state fails the audit.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
   }
   return Status::OK();
 }

@@ -47,6 +47,11 @@ class PolyExpCounter : public DecayedAggregate {
   /// Raw register values (for tests).
   const std::vector<double>& registers() const { return registers_; }
 
+  /// Structural invariants: k+1 finite nonnegative moment registers (every
+  /// M_j is a sum of nonnegative terms), a consistent Pascal triangle, and
+  /// a query polynomial of degree <= k.
+  Status AuditInvariants() const;
+
   /// Snapshot support.
   void EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
 
@@ -40,11 +41,24 @@ void RecentItemsExpCounter::Update(Tick t, uint64_t value) {
   while (effective_times_.size() > capacity_) {
     effective_times_.erase(effective_times_.begin());  // smallest = oldest
   }
+  TDS_AUDIT_MUTATION(AuditInvariants());
 }
 
 void RecentItemsExpCounter::Advance(Tick now) {
   TDS_CHECK_GE(now, now_);
   now_ = now;
+  TDS_AUDIT_MUTATION(AuditInvariants());
+}
+
+Status RecentItemsExpCounter::AuditInvariants() const {
+  TDS_AUDIT_CHECK(capacity_ >= 1, "capacity must be positive");
+  TDS_AUDIT_CHECK(effective_times_.size() <= capacity_,
+                  "retained more than C timestamps");
+  for (double effective : effective_times_) {
+    TDS_AUDIT_CHECK(std::isfinite(effective),
+                    "non-finite effective timestamp");
+  }
+  return Status::OK();
 }
 
 double RecentItemsExpCounter::Query(Tick now) const {
@@ -79,6 +93,11 @@ Status RecentItemsExpCounter::DecodeState(Decoder& decoder) {
       return CorruptSnapshot("RecentItems entry");
     }
     effective_times_.insert(effective);
+  }
+  // Hostile-snapshot funnel: reject blobs whose state fails the audit.
+  const Status audit = AuditInvariants();
+  if (!audit.ok()) {
+    return Status::InvalidArgument("corrupt snapshot: " + audit.message());
   }
   return Status::OK();
 }

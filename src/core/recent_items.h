@@ -39,6 +39,9 @@ class RecentItemsExpCounter : public DecayedAggregate {
   /// The retention constant C from Lemma 3.1.
   size_t capacity() const { return capacity_; }
 
+  /// Structural invariants: at most C finite effective timestamps.
+  Status AuditInvariants() const;
+
   /// Snapshot support.
   void EncodeState(class Encoder& encoder) const;
   Status DecodeState(class Decoder& decoder);

@@ -46,10 +46,15 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
     shard->registry.emplace(std::move(registry).value());
     engine->shards_.push_back(std::move(shard));
   }
-  // Initial route: slices round-robin over shards.
-  engine->route_.resize(options.route_slices);
-  for (uint32_t s = 0; s < options.route_slices; ++s) {
-    engine->route_[s] = s % options.shards;
+  {
+    // Initial route: slices round-robin over shards. No other thread can
+    // hold route_mutex_ yet; locking anyway keeps the guarded-field write
+    // inside the analyzed discipline (and is uncontended).
+    WriterMutexLock route_lock(engine->route_mutex_);
+    engine->route_.resize(options.route_slices);
+    for (uint32_t s = 0; s < options.route_slices; ++s) {
+      engine->route_[s] = s % options.shards;
+    }
   }
   // Registries are fully constructed before any writer starts: thread
   // creation is the happens-before edge that hands each registry to its
@@ -80,7 +85,7 @@ uint32_t ShardedAggregateEngine::SliceForKey(uint64_t key,
 }
 
 uint32_t ShardedAggregateEngine::RouteForKey(uint64_t key) const {
-  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  ReaderMutexLock route_lock(route_mutex_);
   return route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
 }
 
@@ -93,11 +98,11 @@ void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
   if (items.empty()) return;
   // Shared route lock: many producers ingest concurrently; a migration
   // takes it exclusively, so no item can land on a stale route entry.
-  std::shared_lock<std::shared_mutex> route_lock(route_mutex_);
+  ReaderMutexLock route_lock(route_mutex_);
   const uint32_t shard_count = shards();
   if (shard_count == 1) {
     Shard& shard = *shards_[0];
-    std::lock_guard<std::mutex> lock(shard.producer_mutex);
+    MutexLock lock(shard.producer_mutex);
     size_t offset = 0;
     while (offset < items.size()) {
       const size_t pushed =
@@ -117,7 +122,7 @@ void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
   for (uint32_t i = 0; i < shard_count; ++i) {
     if (buckets[i].empty()) continue;
     Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.producer_mutex);
+    MutexLock lock(shard.producer_mutex);
     size_t offset = 0;
     while (offset < buckets[i].size()) {
       const size_t pushed = shard.queue.TryPushN(
@@ -216,16 +221,16 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
   }
   PublishSnapshot(shard);
   {
-    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    MutexLock lock(shard.snapshot_mutex);
     shard.stopped = true;
   }
-  shard.snapshot_cv.notify_all();
+  shard.snapshot_cv.NotifyAll();
 }
 
 void ShardedAggregateEngine::PublishSnapshot(Shard& shard) {
   uint64_t serving;
   {
-    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    MutexLock lock(shard.snapshot_mutex);
     serving = shard.tickets_issued;
   }
   // Clone via the snapshot codec: everything applied before this point is
@@ -241,42 +246,42 @@ void ShardedAggregateEngine::PublishSnapshot(Shard& shard) {
   auto clone = std::make_shared<const AggregateRegistry>(
       std::move(decoded).value());
   {
-    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    MutexLock lock(shard.snapshot_mutex);
     shard.snapshot = std::move(clone);
     shard.snapshot_blob = std::move(blob);
     shard.tickets_served = std::max(shard.tickets_served, serving);
   }
-  shard.snapshot_cv.notify_all();
+  shard.snapshot_cv.NotifyAll();
 }
 
 void ShardedAggregateEngine::RunPendingCommand(Shard& shard) {
   std::function<void(AggregateRegistry&)> fn;
   {
-    std::lock_guard<std::mutex> lock(shard.command_mutex);
+    MutexLock lock(shard.command_mutex);
     fn = std::move(shard.command);
     shard.command = nullptr;
   }
   if (fn) fn(*shard.registry);
   UpdateStats(shard);
   {
-    std::lock_guard<std::mutex> lock(shard.command_mutex);
+    MutexLock lock(shard.command_mutex);
     shard.command_done = true;
   }
-  shard.command_cv.notify_all();
+  shard.command_cv.NotifyAll();
 }
 
 void ShardedAggregateEngine::RunOnWriter(
     Shard& shard, std::function<void(AggregateRegistry&)> fn) {
   {
-    std::lock_guard<std::mutex> lock(shard.command_mutex);
+    MutexLock lock(shard.command_mutex);
     TDS_CHECK_MSG(shard.command == nullptr,
                   "one writer command at a time (hold the route lock)");
     shard.command = std::move(fn);
     shard.command_done = false;
   }
   shard.command_requested.store(true, std::memory_order_release);
-  std::unique_lock<std::mutex> lock(shard.command_mutex);
-  shard.command_cv.wait(lock, [&] { return shard.command_done; });
+  MutexLock lock(shard.command_mutex);
+  while (!shard.command_done) shard.command_cv.Wait(shard.command_mutex);
 }
 
 std::pair<std::shared_ptr<const AggregateRegistry>,
@@ -284,14 +289,14 @@ std::pair<std::shared_ptr<const AggregateRegistry>,
 ShardedAggregateEngine::TakeShardSnapshot(Shard& shard) {
   uint64_t ticket;
   {
-    std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+    MutexLock lock(shard.snapshot_mutex);
     ticket = ++shard.tickets_issued;
   }
   shard.snapshot_requested.store(true, std::memory_order_release);
-  std::unique_lock<std::mutex> lock(shard.snapshot_mutex);
-  shard.snapshot_cv.wait(lock, [&] {
-    return shard.tickets_served >= ticket || shard.stopped;
-  });
+  MutexLock lock(shard.snapshot_mutex);
+  while (shard.tickets_served < ticket && !shard.stopped) {
+    shard.snapshot_cv.Wait(shard.snapshot_mutex);
+  }
   return {shard.snapshot, shard.snapshot_blob};
 }
 
@@ -306,10 +311,10 @@ StatusOr<MergedSnapshot> ShardedAggregateEngine::Snapshot() {
   // shard captures would otherwise double-count (or drop) the moving keys.
   std::vector<std::string> blobs;
   {
-    std::shared_lock<std::shared_mutex> route_lock(route_mutex_);
+    ReaderMutexLock route_lock(route_mutex_);
     // Issue every ticket first so the shard writers publish concurrently.
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->snapshot_mutex);
+      MutexLock lock(shard->snapshot_mutex);
       ++shard->tickets_issued;
     }
     for (auto& shard : shards_) {
@@ -317,11 +322,11 @@ StatusOr<MergedSnapshot> ShardedAggregateEngine::Snapshot() {
     }
     blobs.reserve(shards_.size());
     for (auto& shard : shards_) {
-      std::unique_lock<std::mutex> lock(shard->snapshot_mutex);
+      MutexLock lock(shard->snapshot_mutex);
       const uint64_t ticket = shard->tickets_issued;
-      shard->snapshot_cv.wait(lock, [&] {
-        return shard->tickets_served >= ticket || shard->stopped;
-      });
+      while (shard->tickets_served < ticket && !shard->stopped) {
+        shard->snapshot_cv.Wait(shard->snapshot_mutex);
+      }
       if (shard->snapshot_blob == nullptr) {
         return Status::FailedPrecondition("shard snapshot unavailable");
       }
@@ -336,7 +341,7 @@ double ShardedAggregateEngine::QueryKey(uint64_t key, Tick now) {
   // The shared route lock pins the key's shard for the duration (a
   // migration between the route read and the snapshot would serve a
   // snapshot that no longer holds the key).
-  std::shared_lock<std::shared_mutex> route_lock(route_mutex_);
+  ReaderMutexLock route_lock(route_mutex_);
   const uint32_t shard_index =
       route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
   const auto snapshot = TakeShardSnapshot(*shards_[shard_index]).first;
@@ -404,7 +409,7 @@ Status ShardedAggregateEngine::MigrateSlices(std::span<const uint32_t> slices,
   if (to_shard >= shards()) {
     return Status::InvalidArgument("target shard out of range");
   }
-  std::unique_lock<std::shared_mutex> route_lock(route_mutex_);
+  WriterMutexLock route_lock(route_mutex_);
   const auto slice_count = static_cast<uint32_t>(route_.size());
   for (const uint32_t slice : slices) {
     if (slice >= slice_count) {
@@ -427,7 +432,7 @@ Status ShardedAggregateEngine::MigrateSlices(std::span<const uint32_t> slices,
 
 StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
   if (shards() < 2) return false;
-  std::unique_lock<std::shared_mutex> route_lock(route_mutex_);
+  WriterMutexLock route_lock(route_mutex_);
   // Drain so the live-key stats are exact and no in-flight item targets a
   // slice about to move (producers are excluded by the exclusive lock).
   WaitQueuesDrained();

@@ -2,22 +2,22 @@
 #define TDS_ENGINE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/merged_snapshot.h"
 #include "engine/registry.h"
 #include "engine/spsc_ring.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tds {
 
@@ -41,6 +41,13 @@ namespace tds {
 /// writer threads via AggregateRegistry::ExtractIf / MergeFrom — which
 /// preserve the engine's bit-identical-to-serial guarantee (per-key states
 /// are never advanced or re-rounded in transit).
+///
+/// Locking discipline — machine-checked, not just documented: every
+/// guarded field below carries TDS_GUARDED_BY and every lock-holding
+/// method TDS_REQUIRES, so `tools/check.sh thread-safety` (clang,
+/// -Werror=thread-safety) proves the rules hold on every path. See
+/// util/mutex.h for the annotated lock types and docs/CORRECTNESS.md for
+/// how to annotate new guarded state.
 ///
 /// Ordering contract: each shard must observe non-decreasing ticks. A
 /// single producer feeding tick-ordered items satisfies this for every
@@ -95,10 +102,11 @@ class ShardedAggregateEngine {
   ShardedAggregateEngine& operator=(const ShardedAggregateEngine&) = delete;
 
   /// Enqueues one item (thread-safe; blocks while the shard queue is full).
-  void Ingest(uint64_t key, Tick t, uint64_t value);
+  void Ingest(uint64_t key, Tick t, uint64_t value) TDS_EXCLUDES(route_mutex_);
 
   /// Enqueues a batch, preserving per-shard arrival order (thread-safe).
-  void IngestBatch(std::span<const KeyedItem> items);
+  void IngestBatch(std::span<const KeyedItem> items)
+      TDS_EXCLUDES(route_mutex_);
 
   /// Returns once every item ingested before the call has been applied.
   void Flush();
@@ -112,12 +120,12 @@ class ShardedAggregateEngine {
   /// snapshots are gathered under the route lock (so no rebalance can slip
   /// between shard captures and double-count a key) and folded into a
   /// MergedSnapshot whose cut tick is the max shard clock captured.
-  StatusOr<MergedSnapshot> Snapshot();
+  StatusOr<MergedSnapshot> Snapshot() TDS_EXCLUDES(route_mutex_);
 
   /// Decayed sum for `key` via a fresh snapshot of its owning shard.
   /// Evaluated at max(now, snapshot clock) — a caller's clock may lag the
   /// stream's.
-  double QueryKey(uint64_t key, Tick now);
+  double QueryKey(uint64_t key, Tick now) TDS_EXCLUDES(route_mutex_);
 
   /// Sum over all shards, each via a fresh snapshot at max(now, its clock).
   double QueryTotal(Tick now);
@@ -132,12 +140,13 @@ class ShardedAggregateEngine {
   /// heaviest route slices from the busiest shard to the idlest until the
   /// imbalance is halved. Returns true when a migration ran. Producers are
   /// stalled for the duration (exclusive route lock + queue drain).
-  StatusOr<bool> RebalanceIfSkewed();
+  StatusOr<bool> RebalanceIfSkewed() TDS_EXCLUDES(route_mutex_);
 
   /// Explicitly re-routes `slices` to `to_shard`, migrating their live
   /// keys from the current owners (the manual counterpart of
   /// RebalanceIfSkewed, and the test hook for forced migrations).
-  Status MigrateSlices(std::span<const uint32_t> slices, uint32_t to_shard);
+  Status MigrateSlices(std::span<const uint32_t> slices, uint32_t to_shard)
+      TDS_EXCLUDES(route_mutex_);
 
   uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t route_slices() const { return options_.route_slices; }
@@ -155,20 +164,22 @@ class ShardedAggregateEngine {
 
   /// The shard currently routed for `key` (advisory: a rebalance may move
   /// it at any time unless the caller also holds ingest quiescent).
-  uint32_t RouteForKey(uint64_t key) const;
+  uint32_t RouteForKey(uint64_t key) const TDS_EXCLUDES(route_mutex_);
 
  private:
   struct Shard {
     explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
 
     SpscRing<KeyedItem> queue;
-    std::mutex producer_mutex;  ///< serializes producers; writer never takes it
+    Mutex producer_mutex;  ///< serializes producers; writer never takes it
     std::atomic<uint64_t> enqueued{0};
     std::atomic<uint64_t> applied{0};
 
     /// Written only by the shard's writer thread (constructed before the
     /// thread starts, which establishes the happens-before edge; a
-    /// migration mutates it on the writer thread via RunOnWriter).
+    /// migration mutates it on the writer thread via RunOnWriter). Thread
+    /// *ownership* is a discipline Clang TSA cannot express, so this field
+    /// is deliberately unannotated.
     std::optional<AggregateRegistry> registry;
 
     /// Occupancy stats mirrored by the writer after every applied batch
@@ -176,22 +187,28 @@ class ShardedAggregateEngine {
     std::atomic<uint64_t> live_keys{0};
     std::atomic<uint64_t> arena_extent{0};
 
-    std::mutex snapshot_mutex;
-    std::condition_variable snapshot_cv;
+    /// Snapshot ticket channel: readers post a ticket and block; the
+    /// writer publishes a clone and serves every ticket issued before the
+    /// publish began.
+    Mutex snapshot_mutex;
+    CondVar snapshot_cv;
     std::atomic<bool> snapshot_requested{false};
-    std::shared_ptr<const AggregateRegistry> snapshot;  // guarded by mutex
-    std::shared_ptr<const std::string> snapshot_blob;   // guarded by mutex
-    uint64_t tickets_issued = 0;                        // guarded by mutex
-    uint64_t tickets_served = 0;                        // guarded by mutex
-    bool stopped = false;                               // guarded by mutex
+    std::shared_ptr<const AggregateRegistry> snapshot
+        TDS_GUARDED_BY(snapshot_mutex);
+    std::shared_ptr<const std::string> snapshot_blob
+        TDS_GUARDED_BY(snapshot_mutex);
+    uint64_t tickets_issued TDS_GUARDED_BY(snapshot_mutex) = 0;
+    uint64_t tickets_served TDS_GUARDED_BY(snapshot_mutex) = 0;
+    bool stopped TDS_GUARDED_BY(snapshot_mutex) = false;
 
     /// Writer-command channel (migrations): the registry must only ever be
     /// touched from its writer thread, so cross-shard moves post closures
     /// here and block until the writer has run them.
-    std::mutex command_mutex;
-    std::condition_variable command_cv;
-    std::function<void(AggregateRegistry&)> command;  // guarded by mutex
-    bool command_done = false;                        // guarded by mutex
+    Mutex command_mutex;
+    CondVar command_cv;
+    std::function<void(AggregateRegistry&)> command
+        TDS_GUARDED_BY(command_mutex);
+    bool command_done TDS_GUARDED_BY(command_mutex) = false;
     std::atomic<bool> command_requested{false};
 
     std::thread writer;
@@ -211,29 +228,30 @@ class ShardedAggregateEngine {
   TakeShardSnapshot(Shard& shard);
 
   /// Runs `fn` against the shard's registry on the shard's writer thread
-  /// and waits for completion (callers must hold the route lock
-  /// exclusively, which keeps commands one-at-a-time).
-  void RunOnWriter(Shard& shard, std::function<void(AggregateRegistry&)> fn);
+  /// and waits for completion (the exclusive route lock keeps commands
+  /// one-at-a-time).
+  void RunOnWriter(Shard& shard, std::function<void(AggregateRegistry&)> fn)
+      TDS_REQUIRES(route_mutex_);
 
-  /// Spin-waits until every queue is drained (callers hold the exclusive
-  /// route lock, so no new items can arrive).
-  void WaitQueuesDrained();
+  /// Spin-waits until every queue is drained (the exclusive route lock
+  /// guarantees no new items can arrive).
+  void WaitQueuesDrained() TDS_REQUIRES(route_mutex_);
 
   /// Moves the live keys of `moving` (all currently routed to
   /// `from_index`) to `to_index` and flips their route entries. Requires
   /// the exclusive route lock and drained queues.
   Status MoveSlicesLocked(uint32_t from_index, uint32_t to_index,
-                          const std::vector<uint32_t>& moving);
+                          const std::vector<uint32_t>& moving)
+      TDS_REQUIRES(route_mutex_);
 
   DecayPtr decay_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// slice → shard. Guarded by route_mutex_: producers, per-key readers,
-  /// and the merged-snapshot gather hold it shared; migrations hold it
-  /// exclusive.
-  mutable std::shared_mutex route_mutex_;
-  std::vector<uint32_t> route_;
+  /// slice → shard. Producers, per-key readers, and the merged-snapshot
+  /// gather hold route_mutex_ shared; migrations hold it exclusive.
+  mutable SharedMutex route_mutex_;
+  std::vector<uint32_t> route_ TDS_GUARDED_BY(route_mutex_);
 
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<bool> stop_{false};

@@ -66,12 +66,19 @@ std::vector<MergedSnapshot::WeightedKey> MergedSnapshot::TopK(size_t k,
       [&](uint64_t key, Tick, const DecayedAggregate& aggregate) {
         all.push_back(WeightedKey{key, aggregate.Query(at)});
       });
-  std::sort(all.begin(), all.end(),
-            [](const WeightedKey& a, const WeightedKey& b) {
-              if (a.weight != b.weight) return a.weight > b.weight;
-              return a.key < b.key;
-            });
-  if (all.size() > k) all.resize(k);
+  // Partial selection: O(n + k log k) instead of sorting all n live keys.
+  // The comparator is a strict total order (key breaks weight ties), so the
+  // result is deterministic regardless of nth_element's internal ordering.
+  const auto heavier = [](const WeightedKey& a, const WeightedKey& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.key < b.key;
+  };
+  if (all.size() > k) {
+    std::nth_element(all.begin(), all.begin() + static_cast<ptrdiff_t>(k),
+                     all.end(), heavier);
+    all.resize(k);
+  }
+  std::sort(all.begin(), all.end(), heavier);
   return all;
 }
 

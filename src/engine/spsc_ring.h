@@ -29,6 +29,15 @@ class SpscRing {
     mask_ = rounded - 1;
   }
 
+  /// Starts both cursors at `start_cursor` instead of 0. The cursors are
+  /// free-running uint64 counters (only their difference and low bits are
+  /// meaningful), so any start is valid; tests seed near 2^32 and 2^64 to
+  /// exercise cursor wraparound without billions of pushes.
+  SpscRing(size_t capacity, uint64_t start_cursor) : SpscRing(capacity) {
+    head_.store(start_cursor, std::memory_order_relaxed);
+    tail_.store(start_cursor, std::memory_order_relaxed);
+  }
+
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 

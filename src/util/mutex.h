@@ -1,0 +1,134 @@
+#ifndef TDS_UTIL_MUTEX_H_
+#define TDS_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tds {
+
+/// Annotated wrappers over the standard mutexes. These are the ONLY mutex
+/// types allowed outside this file (tools/tds_lint.py enforces it): raw
+/// std::mutex members are invisible to Clang's Thread Safety Analysis, so a
+/// field guarded by one is a locking rule that lives in a comment. Wrapping
+/// the standard types in TDS_CAPABILITY classes lets every guarded field be
+/// declared TDS_GUARDED_BY(mu) and every lock-holding method TDS_REQUIRES /
+/// TDS_EXCLUDES — and the check.sh thread-safety leg proves the discipline
+/// for all paths at compile time.
+///
+/// The wrappers add no state and no behavior; they compile to the standard
+/// types. Google style names (Lock/Unlock, MutexLock) follow the Abseil
+/// originals these mirror.
+
+/// Exclusive mutex (std::mutex) as a Clang TSA capability.
+class TDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TDS_ACQUIRE() { mu_.lock(); }
+  void Unlock() TDS_RELEASE() { mu_.unlock(); }
+  bool TryLock() TDS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex) as a Clang TSA capability.
+class TDS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() TDS_ACQUIRE() { mu_.lock(); }
+  void Unlock() TDS_RELEASE() { mu_.unlock(); }
+  void LockShared() TDS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() TDS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (std::lock_guard analogue).
+class TDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TDS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TDS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class TDS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) TDS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() TDS_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class TDS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) TDS_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() TDS_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable for tds::Mutex. Wait() takes the Mutex itself (not a
+/// lock object) and is annotated TDS_REQUIRES(mu): callers hold the mutex
+/// via MutexLock and loop on their predicate —
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// — which keeps the guarded predicate read inside the analyzed critical
+/// section (a predicate lambda handed to std::condition_variable::wait is a
+/// separate function the analysis cannot see into).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// From the caller's (and the analysis') view the mutex is held
+  /// throughout.
+  void Wait(Mutex& mu) TDS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // still held: ownership returns to the caller's scope
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_UTIL_MUTEX_H_

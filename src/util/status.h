@@ -21,7 +21,13 @@ enum class StatusCode {
 /// Lightweight RocksDB-style status object. Hot paths (Update/Query) are
 /// infallible by construction; Status appears only on configuration and
 /// factory paths.
-class Status {
+///
+/// [[nodiscard]] at class level: every function returning a Status by value
+/// warns (and fails -Werror builds) when the result is dropped on the
+/// floor — the audit protocol (AuditInvariants), the codec Decode paths,
+/// and MergeFrom/ExtractIf all report failure only through this channel.
+/// An intentionally ignored result must say so with a cast to void.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -55,9 +61,10 @@ class Status {
   std::string message_;
 };
 
-/// Value-or-error wrapper for factory functions.
+/// Value-or-error wrapper for factory functions. [[nodiscard]] like Status:
+/// discarding one silently discards both the value and the failure.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): interchangeable by design.
   StatusOr(Status status) : status_(std::move(status)) {

@@ -1,0 +1,95 @@
+#ifndef TDS_UTIL_THREAD_ANNOTATIONS_H_
+#define TDS_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (Abseil/RocksDB-style), under a
+/// TDS_ prefix. On Clang with -Wthread-safety these turn the engine's
+/// locking comments ("guarded by snapshot_mutex", "requires the exclusive
+/// route lock") into compile-time-checked contracts over *every* code path
+/// — not just the schedules a TSan run happens to execute. On other
+/// compilers every macro expands to nothing, so the annotations cost
+/// nothing off Clang.
+///
+/// Usage (see src/util/mutex.h for the annotated lock types):
+///   tds::Mutex mu_;
+///   int value_ TDS_GUARDED_BY(mu_);              // field needs mu_ held
+///   void Drain() TDS_REQUIRES(mu_);              // caller must hold mu_
+///   void Publish() TDS_EXCLUDES(mu_);            // caller must NOT hold mu_
+///
+/// tools/check.sh thread-safety builds the library with clang and
+/// -Werror=thread-safety; tests/negative_compile/ proves the annotations
+/// actually reject unguarded access.
+
+#if defined(__clang__) && !defined(SWIG)
+#define TDS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define TDS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability ("mutex", "shared_mutex").
+#define TDS_CAPABILITY(x) TDS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define TDS_SCOPED_CAPABILITY TDS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The field may only be accessed while holding the named capability.
+#define TDS_GUARDED_BY(x) TDS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by x.
+#define TDS_PT_GUARDED_BY(x) TDS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability exclusively.
+#define TDS_REQUIRES(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while holding the capability (shared).
+#define TDS_REQUIRES_SHARED(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and does not release it.
+#define TDS_ACQUIRE(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the capability shared and does not release it.
+#define TDS_ACQUIRE_SHARED(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the (exclusively held) capability.
+#define TDS_RELEASE(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function releases the (shared-held) capability.
+#define TDS_RELEASE_SHARED(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability whether held shared or exclusively.
+#define TDS_RELEASE_GENERIC(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// The function tries to acquire; first argument is the success value.
+#define TDS_TRY_ACQUIRE(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TDS_TRY_ACQUIRE_SHARED(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the capability
+/// (deadlock prevention on self-locking methods).
+#define TDS_EXCLUDES(...) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function asserts (at runtime) that the capability is held.
+#define TDS_ASSERT_CAPABILITY(x) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Returns a reference to the named capability (accessor annotations).
+#define TDS_RETURN_CAPABILITY(x) \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Keep engine code free
+/// of this — the check.sh thread-safety leg expects zero suppressions in
+/// src/engine (tools/tds_lint.py enforces it).
+#define TDS_NO_THREAD_SAFETY_ANALYSIS \
+  TDS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // TDS_UTIL_THREAD_ANNOTATIONS_H_

@@ -54,6 +54,18 @@ TEST(ExactDecayedSumTest, PrunesPastHorizon) {
   EXPECT_DOUBLE_EQ((*exact)->Query(1000), 50.0);
 }
 
+// Regression: a zero-value update advances the clock and must still prune —
+// the early-return path once left expired entries resident (caught by
+// AuditInvariants in the core fuzz driver).
+TEST(ExactDecayedSumTest, ZeroValueUpdatePrunesExpiredEntries) {
+  auto decay = SlidingWindowDecay::Create(10).value();
+  auto exact = ExactDecayedSum::Create(decay);
+  (*exact)->Update(1, 7);
+  (*exact)->Update(1000, 0);  // far past the horizon, adds nothing
+  EXPECT_EQ((*exact)->ItemCount(), 0u);
+  EXPECT_TRUE((*exact)->AuditInvariants().ok());
+}
+
 TEST(EwmaCounterTest, MatchesExactExponentialSum) {
   auto decay = ExponentialDecay::Create(0.05).value();
   auto ewma = EwmaCounter::Create(decay, {});

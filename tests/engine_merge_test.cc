@@ -399,6 +399,47 @@ TEST(MergedSnapshotTest, TopKMatchesBruteForce) {
   EXPECT_DOUBLE_EQ(merged->QueryTotal(t), (*engine)->QueryTotal(t));
 }
 
+// The partial-selection path must stay deterministic when many keys tie on
+// weight: ties break key-ascending, for every k including k = 0, k landing
+// inside a tie run, and k >= the live key count.
+TEST(MergedSnapshotTest, TopKBreaksTiesByKeyForEveryK) {
+  auto decay = SlidingWindowDecay::Create(512).value();
+  ShardedAggregateEngine::Options options;
+  options.registry = RegistryOptions(Backend::kExact);
+  options.shards = 3;
+  auto engine = ShardedAggregateEngine::Create(decay, options);
+  ASSERT_TRUE(engine.ok());
+  // Three tiers, heavily tied inside each: keys 0..9 weight 3, keys
+  // 10..19 weight 2, keys 20..29 weight 1, all at one tick.
+  std::vector<KeyedItem> items;
+  for (uint64_t key = 0; key < 30; ++key) {
+    items.push_back(KeyedItem{key, 1, 3 - key / 10});
+  }
+  (*engine)->IngestBatch(items);
+  (*engine)->Flush();
+  auto merged = (*engine)->Snapshot();
+  ASSERT_TRUE(merged.ok());
+
+  for (size_t k = 0; k <= 35; ++k) {
+    const auto top = merged->TopK(k, 1);
+    ASSERT_EQ(top.size(), std::min<size_t>(k, 30)) << "k=" << k;
+    for (size_t i = 0; i < top.size(); ++i) {
+      // With ties broken key-ascending the full order is exactly key order.
+      EXPECT_EQ(top[i].key, i) << "k=" << k;
+      if (i > 0) {
+        EXPECT_GE(top[i - 1].weight, top[i].weight) << "k=" << k;
+      }
+    }
+    // Same k twice: bit-identical (selection must not be order-sensitive).
+    const auto again = merged->TopK(k, 1);
+    ASSERT_EQ(again.size(), top.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(again[i].key, top[i].key);
+      EXPECT_DOUBLE_EQ(again[i].weight, top[i].weight);
+    }
+  }
+}
+
 TEST(MergedSnapshotTest, FromShardsValidates) {
   EXPECT_FALSE(MergedSnapshot::FromShards({}).ok());
   auto decay = PolynomialDecay::Create(1.0).value();

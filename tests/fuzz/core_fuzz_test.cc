@@ -1,0 +1,418 @@
+// Deterministic fuzz drivers for the Section 3 counter structures:
+// ExactDecayedSum, EwmaCounter, RecentItemsExpCounter, PolyExpCounter and
+// CoarseCehDecayedSum. Each driver interleaves Update / UpdateBatch /
+// quiet-period advances / snapshot round-trips from a counter-based RNG,
+// audits structural invariants after every operation, and compares the
+// estimate against a brute-force decayed sum at the guarantee each
+// structure actually makes (exact, fixed-point-rounded, eps-tail, or
+// constant-factor).
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coarse_ceh.h"
+#include "core/ewma.h"
+#include "core/exact.h"
+#include "core/polyexp_counter.h"
+#include "core/recent_items.h"
+#include "core/snapshot.h"
+#include "decay/exponential.h"
+#include "decay/polyexponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "fuzz_util.h"
+#include "util/codec.h"
+
+namespace tds {
+namespace {
+
+/// Brute-force decayed sum: every item, weighted directly by the decay.
+class ExactDecayedReference {
+ public:
+  explicit ExactDecayedReference(DecayPtr decay) : decay_(std::move(decay)) {}
+
+  void Add(Tick t, uint64_t value) { items_.emplace_back(t, value); }
+
+  double Sum(Tick now) const {
+    double sum = 0.0;
+    for (const auto& [t, value] : items_) {
+      const Tick age = AgeAt(t, now);
+      if (decay_->Horizon() != kInfiniteHorizon && age > decay_->Horizon()) {
+        continue;
+      }
+      sum += static_cast<double>(value) * decay_->Weight(age);
+    }
+    return sum;
+  }
+
+ private:
+  DecayPtr decay_;
+  std::deque<std::pair<Tick, uint64_t>> items_;
+};
+
+/// One snapshot round-trip through the typed codec; returns the restored
+/// instance (downcast to T) so the driver continues on decoded state.
+template <typename T>
+std::unique_ptr<T> RoundTrip(T& aggregate, const DecayPtr& decay) {
+  const Status audit_status = AuditSnapshotRoundTrip(aggregate);
+  EXPECT_TRUE(audit_status.ok()) << audit_status.ToString();
+  std::string blob;
+  const Status encode_status = EncodeDecayedSum(aggregate, &blob);
+  EXPECT_TRUE(encode_status.ok()) << encode_status.ToString();
+  auto restored = DecodeDecayedSum(decay, blob);
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  if (!restored.ok()) return nullptr;
+  auto* typed = dynamic_cast<T*>(restored->get());
+  EXPECT_NE(typed, nullptr);
+  if (typed == nullptr) return nullptr;
+  restored->release();
+  return std::unique_ptr<T>(typed);
+}
+
+// ---------------------------------------------------------------------------
+// ExactDecayedSum: the estimate IS the brute-force sum; require agreement to
+// floating-point noise, under both a finite-horizon and an infinite decay.
+
+struct ExactCase {
+  uint64_t seed;
+  bool sliding;  ///< sliding-window (finite horizon) vs polynomial decay
+  int ops;
+};
+
+class ExactFuzzTest : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactFuzzTest, MatchesBruteForceExactly) {
+  const ExactCase fuzz = GetParam();
+  FuzzRng rng(fuzz.seed);
+  const DecayPtr decay = fuzz.sliding
+                             ? SlidingWindowDecay::Create(64).value()
+                             : PolynomialDecay::Create(1.5).value();
+  auto exact = ExactDecayedSum::Create(decay).value();
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
+                 " draw=" + std::to_string(rng.counter()));
+    const Status audit = exact->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double expected = reference.Sum(now);
+    EXPECT_NEAR(exact->Query(now), expected, 1e-9 * expected + 1e-9);
+  };
+
+  for (int op = 0; op < fuzz.ops; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value = rng.NextBelow(5);
+      exact->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      check("Update");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(rng.NextBelow(100));
+      exact->Advance(now);
+      check("Advance");
+    } else {
+      exact = RoundTrip(*exact, decay);
+      ASSERT_NE(exact, nullptr);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactFuzzTest,
+                         ::testing::Values(ExactCase{0xea01, true, 800},
+                                           ExactCase{0xea02, false, 800},
+                                           ExactCase{0xea03, true, 500}),
+                         [](const ::testing::TestParamInfo<ExactCase>& info) {
+                           return "Seed" + std::to_string(info.param.seed &
+                                                          0xff) +
+                                  (info.param.sliding ? "Sliwin" : "Poly");
+                         });
+
+// ---------------------------------------------------------------------------
+// EwmaCounter: with mantissa rounding off the register is the brute-force
+// exponential sum to fp noise; with b mantissa bits each rounding step is a
+// relative (1 +- 2^-b) perturbation. Batch ingestion must be bit-identical
+// to per-item ingestion.
+
+struct EwmaCase {
+  uint64_t seed;
+  int mantissa_bits;  ///< 0 = full doubles
+  int ops;
+};
+
+class EwmaFuzzTest : public ::testing::TestWithParam<EwmaCase> {};
+
+TEST_P(EwmaFuzzTest, TracksReferenceAndBatchMatchesPerItem) {
+  const EwmaCase fuzz = GetParam();
+  FuzzRng rng(fuzz.seed);
+  const double lambda = 0.05;
+  const DecayPtr decay = ExponentialDecay::Create(lambda).value();
+  EwmaCounter::Options options;
+  options.mantissa_bits = fuzz.mantissa_bits;
+  auto ewma = EwmaCounter::Create(decay, options).value();
+  auto mirror = EwmaCounter::Create(decay, options).value();  // per-item twin
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+  // Mantissa rounding compounds per operation: each add/decay step perturbs
+  // by a relative 2^-b, so after n mutations the envelope is ~n * 2^-b.
+  int mutations = 0;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
+                 " draw=" + std::to_string(rng.counter()));
+    const Status audit = ewma->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double expected = reference.Sum(now);
+    const double rel =
+        fuzz.mantissa_bits > 0
+            ? static_cast<double>(mutations) *
+                  std::ldexp(1.0, -fuzz.mantissa_bits)
+            : 1e-9;
+    EXPECT_NEAR(ewma->Query(now), expected, rel * expected + 1e-9);
+    // The per-item twin replayed the identical item sequence: bit-equal.
+    EXPECT_DOUBLE_EQ(ewma->Query(now), mirror->Query(now));
+  };
+
+  for (int op = 0; op < fuzz.ops; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 45) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value = rng.NextBelow(6);
+      ewma->Update(now, value);
+      mirror->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      mutations += 2;
+      check("Update");
+    } else if (kind < 70) {
+      // Batch of same-tick-run items through UpdateBatch on the primary,
+      // per-item on the mirror.
+      std::vector<StreamItem> batch;
+      const int len = 1 + static_cast<int>(rng.NextBelow(8));
+      for (int i = 0; i < len; ++i) {
+        now += static_cast<Tick>(rng.NextBelow(2));
+        batch.push_back(StreamItem{now, rng.NextBelow(4)});
+      }
+      ewma->UpdateBatch(batch);
+      for (const StreamItem& item : batch) {
+        mirror->Update(item.t, item.value);
+        if (item.value > 0) reference.Add(item.t, item.value);
+      }
+      mutations += 2 * len;
+      check("UpdateBatch");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(rng.NextBelow(60));
+      ewma->Advance(now);
+      mirror->Advance(now);
+      ++mutations;
+      check("Advance");
+    } else {
+      ewma = RoundTrip(*ewma, decay);
+      ASSERT_NE(ewma, nullptr);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EwmaFuzzTest,
+                         ::testing::Values(EwmaCase{0xeb01, 0, 700},
+                                           EwmaCase{0xeb02, 16, 700},
+                                           EwmaCase{0xeb03, 24, 500}),
+                         [](const ::testing::TestParamInfo<EwmaCase>& info) {
+                           return "Seed" +
+                                  std::to_string(info.param.seed & 0xff) +
+                                  "Mantissa" +
+                                  std::to_string(info.param.mantissa_bits);
+                         });
+
+// ---------------------------------------------------------------------------
+// RecentItemsExpCounter: dropping all but the C most recent items only loses
+// mass, so the estimate is a lower bound on the brute-force sum; when the
+// structure never overflowed its capacity the two agree to fp noise.
+
+TEST(RecentItemsFuzzTest, EstimateLowerBoundsReferenceAndAuditsHold) {
+  FuzzRng rng(0xec01);
+  const double lambda = 0.1;
+  const DecayPtr decay = ExponentialDecay::Create(lambda).value();
+  RecentItemsExpCounter::Options options;
+  options.epsilon = 0.05;
+  auto recent = RecentItemsExpCounter::Create(decay, options).value();
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+  size_t inserted = 0;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " draw=" + std::to_string(rng.counter()));
+    const Status audit = recent->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double expected = reference.Sum(now);
+    const double estimate = recent->Query(now);
+    EXPECT_LE(estimate, expected * (1.0 + 1e-9) + 1e-9);
+    if (inserted <= recent->capacity()) {
+      // Nothing has been evicted yet: the value-shifted timestamps recover
+      // the sum exactly.
+      EXPECT_NEAR(estimate, expected, 1e-9 * expected + 1e-9);
+    }
+  };
+
+  for (int op = 0; op < 800; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value = 1 + rng.NextBelow(8);
+      recent->Update(now, value);
+      reference.Add(now, value);
+      ++inserted;
+      check("Update");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(rng.NextBelow(40));
+      recent->Advance(now);
+      check("Advance");
+    } else {
+      recent = RoundTrip(*recent, decay);
+      ASSERT_NE(recent, nullptr);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PolyExpCounter: the k+1 pipelined registers reproduce the brute-force
+// polyexponential sum up to fp noise from the binomial gap jumps. Batch
+// ingestion must be bit-identical to per-item ingestion.
+
+struct PolyExpCase {
+  uint64_t seed;
+  int k;
+  int ops;
+};
+
+class PolyExpFuzzTest : public ::testing::TestWithParam<PolyExpCase> {};
+
+TEST_P(PolyExpFuzzTest, RegistersTrackBruteForce) {
+  const PolyExpCase fuzz = GetParam();
+  FuzzRng rng(fuzz.seed);
+  const double lambda = 0.08;
+  const DecayPtr decay =
+      PolyExponentialDecay::Create(fuzz.k, lambda).value();
+  auto counter = PolyExpCounter::Create(decay).value();
+  auto mirror = PolyExpCounter::Create(decay).value();  // per-item twin
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
+                 " draw=" + std::to_string(rng.counter()));
+    const Status audit = counter->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double expected = reference.Sum(now);
+    EXPECT_NEAR(counter->Query(now), expected, 1e-6 * expected + 1e-6);
+    EXPECT_DOUBLE_EQ(counter->Query(now), mirror->Query(now));
+  };
+
+  for (int op = 0; op < fuzz.ops; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 45) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value = rng.NextBelow(5);
+      counter->Update(now, value);
+      mirror->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      check("Update");
+    } else if (kind < 70) {
+      std::vector<StreamItem> batch;
+      const int len = 1 + static_cast<int>(rng.NextBelow(8));
+      for (int i = 0; i < len; ++i) {
+        now += static_cast<Tick>(rng.NextBelow(2));
+        batch.push_back(StreamItem{now, rng.NextBelow(4)});
+      }
+      counter->UpdateBatch(batch);
+      for (const StreamItem& item : batch) {
+        mirror->Update(item.t, item.value);
+        if (item.value > 0) reference.Add(item.t, item.value);
+      }
+      check("UpdateBatch");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(rng.NextBelow(50));
+      counter->Advance(now);
+      mirror->Advance(now);
+      check("Advance");
+    } else {
+      counter = RoundTrip(*counter, decay);
+      ASSERT_NE(counter, nullptr);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyExpFuzzTest,
+                         ::testing::Values(PolyExpCase{0xed01, 1, 700},
+                                           PolyExpCase{0xed02, 2, 700},
+                                           PolyExpCase{0xed03, 3, 500}),
+                         [](const ::testing::TestParamInfo<PolyExpCase>&
+                                info) {
+                           return "Seed" +
+                                  std::to_string(info.param.seed & 0xff) +
+                                  "K" + std::to_string(info.param.k);
+                         });
+
+// ---------------------------------------------------------------------------
+// CoarseCehDecayedSum: only a constant-factor guarantee (grid quantization
+// plus stochastic aging), so the driver audits structure after every op and
+// requires the estimate to stay within a generous constant factor of the
+// brute-force sum. Deterministic: fixed seeds drive both the op sequence
+// and the aging RNG.
+
+TEST(CoarseCehFuzzTest, ConstantFactorAndAuditsHold) {
+  FuzzRng rng(0xee01);
+  const DecayPtr decay = PolynomialDecay::Create(1.0).value();
+  CoarseCehDecayedSum::Options options;
+  options.epsilon = 0.1;
+  options.boundary_delta = 0.25;
+  auto coarse = CoarseCehDecayedSum::Create(decay, options).value();
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    SCOPED_TRACE(std::string(op) + " draw=" + std::to_string(rng.counter()));
+    const Status audit = coarse->AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    const double expected = reference.Sum(now);
+    const double estimate = coarse->Query(now);
+    EXPECT_TRUE(std::isfinite(estimate) && estimate >= 0.0);
+    if (expected > 1.0) {
+      EXPECT_GE(estimate, expected / 8.0);
+      EXPECT_LE(estimate, expected * 8.0);
+    }
+  };
+
+  for (int op = 0; op < 600; ++op) {
+    const uint64_t kind = rng.NextBelow(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(rng.NextBelow(3));
+      const uint64_t value =
+          rng.NextBelow(30) == 0 ? 1 + rng.NextBelow(200) : rng.NextBelow(4);
+      coarse->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      check("Update");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(rng.NextBelow(40));
+      coarse->Advance(now);
+      check("Advance");
+    } else {
+      coarse = RoundTrip(*coarse, decay);
+      ASSERT_NE(coarse, nullptr);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Negative-compile proof for the [[nodiscard]] Status discipline: a
+# discarded Status must be rejected under -Werror=unused-result, and the
+# explicit (void) suppression must still compile. Works with both gcc and
+# clang (ctest passes the configured compiler in $1; repo root in $2).
+set -eu
+
+CXX="$1"
+ROOT="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="-std=c++20 -I$ROOT/src -Werror=unused-result"
+
+cat > "$TMP/discard.cc" <<'EOF'
+#include "util/status.h"
+tds::Status Make() { return tds::Status::OK(); }
+tds::StatusOr<int> MakeOr() { return 7; }
+int main() {
+  Make();    // discarded Status: must fail to compile
+  MakeOr();  // discarded StatusOr: must fail to compile
+  return 0;
+}
+EOF
+if $CXX $FLAGS -c "$TMP/discard.cc" -o "$TMP/discard.o" 2> "$TMP/err.txt"; then
+  echo "FAIL: a discarded Status/StatusOr compiled cleanly"
+  exit 1
+fi
+if ! grep -q "unused-result\|nodiscard\|ignoring return" "$TMP/err.txt"; then
+  echo "FAIL: compile failed, but not from the nodiscard diagnostic:"
+  cat "$TMP/err.txt"
+  exit 1
+fi
+
+cat > "$TMP/ok.cc" <<'EOF'
+#include "util/status.h"
+tds::Status Make() { return tds::Status::OK(); }
+int main() {
+  (void)Make();  // deliberate discard: the documented suppression
+  return Make().ok() ? 0 : 1;
+}
+EOF
+$CXX $FLAGS -c "$TMP/ok.cc" -o "$TMP/ok.o"
+
+echo "PASS: discard rejected, (void) suppression accepted"

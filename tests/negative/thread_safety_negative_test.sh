@@ -1,0 +1,62 @@
+#!/bin/sh
+# Negative-compile proof for the thread-safety annotations: reading a
+# TDS_GUARDED_BY field without its mutex must be rejected by Clang's
+# analysis, and the properly locked version must compile. Self-skips (ctest
+# SKIP_RETURN_CODE 77) when clang++ is not installed — the annotations are
+# no-ops off Clang, so only Clang can run this proof; CI installs it.
+set -eu
+
+ROOT="$1"
+CLANGXX="${CLANGXX:-clang++}"
+if ! command -v "$CLANGXX" > /dev/null 2>&1; then
+  echo "SKIP: clang++ not installed; thread-safety analysis requires Clang"
+  exit 77
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FLAGS="-std=c++20 -I$ROOT/src -Wthread-safety -Wthread-safety-beta \
+  -Werror=thread-safety -Werror=thread-safety-beta"
+
+cat > "$TMP/unguarded.cc" <<'EOF'
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+class Account {
+ public:
+  int Read() { return balance_; }  // no lock held: must fail to compile
+ private:
+  tds::Mutex mu_;
+  int balance_ TDS_GUARDED_BY(mu_) = 0;
+};
+int main() { Account account; return account.Read(); }
+EOF
+if $CLANGXX $FLAGS -c "$TMP/unguarded.cc" -o "$TMP/unguarded.o" \
+    2> "$TMP/err.txt"; then
+  echo "FAIL: unguarded access to a TDS_GUARDED_BY field compiled cleanly"
+  exit 1
+fi
+if ! grep -q "thread-safety\|requires holding" "$TMP/err.txt"; then
+  echo "FAIL: compile failed, but not from the thread-safety analysis:"
+  cat "$TMP/err.txt"
+  exit 1
+fi
+
+cat > "$TMP/guarded.cc" <<'EOF'
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+class Account {
+ public:
+  int Read() {
+    tds::MutexLock lock(mu_);
+    return balance_;
+  }
+ private:
+  tds::Mutex mu_;
+  int balance_ TDS_GUARDED_BY(mu_) = 0;
+};
+int main() { Account account; return account.Read(); }
+EOF
+$CLANGXX $FLAGS -c "$TMP/guarded.cc" -o "$TMP/guarded.o"
+
+echo "PASS: unguarded access rejected, locked access accepted"

@@ -1,0 +1,149 @@
+// SpscRing edge cases: capacity-1 rings, full-ring producer behavior,
+// cursor wraparound past 2^32 and 2^64 (seeded start cursors — the cursors
+// are free-running uint64 counters), and a counter-RNG fuzz interleaving
+// against a deque reference, plus a threaded FIFO check across the 32-bit
+// cursor boundary.
+#include "engine/spsc_ring.h"
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz_util.h"
+
+namespace tds {
+namespace {
+
+TEST(SpscRingTest, CapacityOneAlternatesPushPop) {
+  SpscRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_FALSE(ring.TryPush(i + 1)) << "capacity-1 ring accepted a second";
+    int out = -1;
+    ASSERT_EQ(ring.TryPopN(&out, 1), 1u);
+    EXPECT_EQ(out, i);
+    EXPECT_TRUE(ring.EmptyApprox());
+  }
+}
+
+TEST(SpscRingTest, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+}
+
+TEST(SpscRingTest, FullRingAcceptsOnlyWhatFits) {
+  SpscRing<int> ring(4);
+  std::vector<int> items{0, 1, 2, 3, 4, 5};
+  // Oversized batch: exactly capacity items accepted, in order.
+  EXPECT_EQ(ring.TryPushN(items.data(), items.size()), 4u);
+  EXPECT_FALSE(ring.TryPush(99));
+  EXPECT_EQ(ring.TryPushN(items.data(), items.size()), 0u);
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+  // Drain two, push an oversized batch again: only the two free slots fill.
+  int out[8] = {};
+  ASSERT_EQ(ring.TryPopN(out, 2), 2u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(ring.TryPushN(items.data(), items.size()), 2u);
+  // FIFO across the refill: 2 3 (original) then 0 1 (refill).
+  ASSERT_EQ(ring.TryPopN(out, 8), 4u);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[3], 1);
+}
+
+void RunWrapCheck(uint64_t start_cursor) {
+  SCOPED_TRACE("start_cursor=" + std::to_string(start_cursor));
+  SpscRing<uint64_t> ring(8, start_cursor);
+  uint64_t next_push = 0, next_pop = 0;
+  FuzzRng rng(start_cursor ^ 0x5b);
+  // Enough traffic to carry both cursors well past the seeded boundary.
+  while (next_pop < 200) {
+    if (rng.NextBelow(2) == 0) {
+      uint64_t batch[5];
+      const size_t n = 1 + rng.NextBelow(5);
+      for (size_t i = 0; i < n; ++i) batch[i] = next_push + i;
+      next_push += ring.TryPushN(batch, n);
+    } else {
+      uint64_t out[5];
+      const size_t got = ring.TryPopN(out, 1 + rng.NextBelow(5));
+      for (size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i], next_pop) << "FIFO break across cursor wrap";
+        ++next_pop;
+      }
+    }
+  }
+}
+
+TEST(SpscRingTest, SurvivesCursorWrapPast32And64Bits) {
+  RunWrapCheck((uint64_t{1} << 32) - 5);
+  RunWrapCheck(std::numeric_limits<uint64_t>::max() - 5);
+  RunWrapCheck(0);
+}
+
+TEST(SpscRingTest, FuzzInterleavedAgainstDequeReference) {
+  for (const uint64_t seed : {0xf1ull, 0xf2ull, 0xf3ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FuzzRng rng(seed);
+    const size_t capacity = size_t{1} << (1 + rng.NextBelow(4));
+    SpscRing<uint64_t> ring(capacity, rng.Next());  // arbitrary start cursor
+    std::deque<uint64_t> reference;
+    uint64_t sequence = 0;
+    for (int op = 0; op < 4000; ++op) {
+      if (rng.NextBelow(2) == 0) {
+        uint64_t batch[16];
+        const size_t n = 1 + rng.NextBelow(16);
+        for (size_t i = 0; i < n; ++i) batch[i] = sequence + i;
+        const size_t pushed = ring.TryPushN(batch, n);
+        const size_t expect =
+            std::min(n, capacity - reference.size());
+        ASSERT_EQ(pushed, expect) << "draw=" << rng.counter();
+        for (size_t i = 0; i < pushed; ++i) reference.push_back(batch[i]);
+        sequence += pushed;
+      } else {
+        uint64_t out[16];
+        const size_t want = 1 + rng.NextBelow(16);
+        const size_t got = ring.TryPopN(out, want);
+        ASSERT_EQ(got, std::min(want, reference.size()))
+            << "draw=" << rng.counter();
+        for (size_t i = 0; i < got; ++i) {
+          ASSERT_EQ(out[i], reference.front());
+          reference.pop_front();
+        }
+      }
+      ASSERT_EQ(ring.SizeApprox(), reference.size());
+    }
+  }
+}
+
+TEST(SpscRingTest, ThreadedFifoAcrossCursorBoundary) {
+  SpscRing<uint64_t> ring(64, (uint64_t{1} << 32) - 1000);
+  constexpr uint64_t kItems = 10000;  // crosses the seeded 2^32 boundary
+  std::thread producer([&] {
+    uint64_t next = 0;
+    while (next < kItems) {
+      if (ring.TryPush(next)) ++next;
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t out[32];
+  while (expected < kItems) {
+    const size_t got = ring.TryPopN(out, 32);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
+}  // namespace
+}  // namespace tds

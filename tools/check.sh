@@ -6,7 +6,7 @@
 # Usage:
 #   tools/check.sh [stage...]
 #
-# Stages (default and "all": release asan tsan tidy):
+# Stages (default and "all": release asan tsan tidy thread-safety lint):
 #   release   Release build + full ctest suite (tier-1 verify).
 #   asan      ASan+UBSan build with -DTDS_AUDIT=ON (structural invariant
 #             audits after every mutation) + full ctest suite.
@@ -18,6 +18,17 @@
 #             the asan build's compilation database. Skipped with a notice
 #             when clang-tidy is not installed (the container image may not
 #             ship it); CI installs it.
+#   thread-safety
+#             Clang Thread Safety Analysis as errors over src/ (the
+#             annotations in util/thread_annotations.h are no-ops off
+#             Clang, so this is the leg that actually checks the locking
+#             contracts), plus the negative-compile proof that an
+#             unguarded access is rejected. Skipped with a notice when
+#             clang++ is not installed; CI installs it.
+#   lint      Project-rule linter (tools/tds_lint.py) and its selftest:
+#             aggregate audit/fuzz coverage, no raw std::mutex outside
+#             util/mutex.h, no wall-clock or ambient randomness in
+#             src/core + src/engine, no ownerless task markers.
 #
 # Every stage builds out-of-tree (build-release/, build-asan/, build-tsan/)
 # so the matrix never pollutes the default build/ directory.
@@ -25,9 +36,9 @@ set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STAGES="${*:-release asan tsan tidy}"
+STAGES="${*:-release asan tsan tidy thread-safety lint}"
 if [ "$STAGES" = "all" ]; then
-  STAGES="release asan tsan tidy"
+  STAGES="release asan tsan tidy thread-safety lint"
 fi
 
 log() { printf '\n== check.sh: %s ==\n' "$*"; }
@@ -86,9 +97,30 @@ for stage in $STAGES; do
           xargs -0 -n 1 -P "$JOBS" clang-tidy -quiet -p "$ROOT/build-asan"
       fi
       ;;
+    thread-safety)
+      if ! command -v clang++ >/dev/null 2>&1; then
+        log "clang++ not installed; skipping the thread-safety stage"
+        continue
+      fi
+      log "Clang thread-safety analysis over src/ (as errors)"
+      cmake -S "$ROOT" -B "$ROOT/build-tsa" \
+        -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTDS_THREAD_SAFETY=ON
+      # The library target covers all of src/; no suppressions exist in
+      # engine code (tds_lint's raw-mutex rule keeps locking in the
+      # annotated wrappers).
+      cmake --build "$ROOT/build-tsa" -j "$JOBS" --target tds
+      log "thread-safety negative-compile proof"
+      sh "$ROOT/tests/negative/thread_safety_negative_test.sh" "$ROOT"
+      ;;
+    lint)
+      log "project-rule linter (tds_lint.py) + selftest"
+      python3 "$ROOT/tools/tds_lint.py" --root "$ROOT"
+      python3 "$ROOT/tools/tds_lint.py" --selftest --root "$ROOT"
+      ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "known stages: release asan tsan tidy all" >&2
+      echo "known stages: release asan tsan tidy thread-safety lint all" >&2
       exit 2
       ;;
   esac

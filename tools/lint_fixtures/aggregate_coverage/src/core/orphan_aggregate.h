@@ -1,0 +1,16 @@
+// Lint fixture: a DecayedAggregate implementation with no AuditInvariants
+// declaration and no fuzz driver must be rejected (rule:
+// aggregate-coverage). The fixture tree has an empty tests/fuzz/.
+#ifndef TDS_LINT_FIXTURE_ORPHAN_AGGREGATE_H_
+#define TDS_LINT_FIXTURE_ORPHAN_AGGREGATE_H_
+
+namespace tds_fixture {
+
+class OrphanAggregate : public DecayedAggregate {
+ public:
+  double Query(long now) const;
+};
+
+}  // namespace tds_fixture
+
+#endif  // TDS_LINT_FIXTURE_ORPHAN_AGGREGATE_H_

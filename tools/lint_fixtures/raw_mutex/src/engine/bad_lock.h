@@ -1,0 +1,17 @@
+// Lint fixture: raw standard-library lock primitives outside
+// src/util/mutex.h must be rejected (rule: raw-mutex).
+#ifndef TDS_LINT_FIXTURE_BAD_LOCK_H_
+#define TDS_LINT_FIXTURE_BAD_LOCK_H_
+
+#include <mutex>
+
+namespace tds_fixture {
+
+class BadLock {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace tds_fixture
+
+#endif  // TDS_LINT_FIXTURE_BAD_LOCK_H_

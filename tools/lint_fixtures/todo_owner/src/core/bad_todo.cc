@@ -1,0 +1,3 @@
+// Lint fixture: an ownerless TODO must be rejected (rule: todo-owner).
+// TODO: make this better someday
+namespace tds_fixture {}

@@ -1,0 +1,13 @@
+// Lint fixture: wall-clock reads and ambient randomness in src/core must
+// be rejected (rule: wall-clock).
+#include <chrono>
+#include <cstdlib>
+
+namespace tds_fixture {
+
+long BadClock() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return now.count() + rand();
+}
+
+}  // namespace tds_fixture
