@@ -131,9 +131,11 @@ Row RunShardCase(const BackendCase& bc, const std::vector<KeyedItem>& stream,
   const auto start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < stream.size(); i += batch) {
     const size_t n = std::min(batch, stream.size() - i);
-    (*engine)->IngestBatch(std::span<const KeyedItem>(stream.data() + i, n));
+    TDS_CHECK((*engine)
+                  ->IngestBatch(std::span<const KeyedItem>(stream.data() + i, n))
+                  .ok());
   }
-  (*engine)->Flush();
+  TDS_CHECK((*engine)->Flush().ok());
   const double seconds = SecondsSince(start);
   Row row;
   row.backend = bc.label;

@@ -1,0 +1,61 @@
+#ifndef TDS_ENGINE_CHECKPOINT_H_
+#define TDS_ENGINE_CHECKPOINT_H_
+
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/merged_snapshot.h"
+#include "util/status.h"
+
+namespace tds {
+
+/// Crash-consistent checkpointing of engine state.
+///
+/// A checkpoint file is a MergedSnapshot codec blob ("TDSMRG1", the same
+/// bytes tests byte-compare against serial references) followed by a fixed
+/// 24-byte footer: the magic "TDSCKPT1", the payload length, and an FNV-1a
+/// checksum of the payload (both little-endian u64). Putting the integrity
+/// data *after* the payload means any torn or truncated write — the file
+/// cut short, a hole in the middle, flipped bits — fails validation, since
+/// a partial file cannot end in a footer that matches its own contents.
+///
+/// Write protocol (all-or-nothing against crashes at any point):
+///   1. write payload + footer to `path + ".tmp"`, fsync the file;
+///   2. rotate any existing checkpoint to `path + ".prev"` (rename);
+///   3. rename the temp file onto `path` and fsync the directory.
+/// A crash before (3) leaves the previous checkpoint reachable (at `path`
+/// or `path + ".prev"`); a crash after leaves the new one. LoadCheckpoint
+/// validates `path` first and falls back to `path + ".prev"` when the
+/// primary is missing or fails validation, so recovery always lands on the
+/// newest checkpoint that was completely written.
+///
+/// Failpoints (see util/failpoint.h): "checkpoint.write" fails the write
+/// before any IO; "checkpoint.commit" fails it after the temp file is
+/// written but before the renames — simulating a crash mid-protocol.
+
+/// Flushes the engine, takes one engine-wide merged snapshot, and writes
+/// it to `path` under the protocol above.
+Status WriteCheckpoint(ShardedAggregateEngine& engine,
+                       const std::string& path);
+
+/// Writes an already-captured snapshot to `path` under the protocol above.
+Status WriteCheckpointSnapshot(MergedSnapshot& snapshot,
+                               const std::string& path);
+
+/// Loads and validates the checkpoint at `path` (falling back to
+/// `path + ".prev"`), decoding through the registry codec's full
+/// audit-on-decode path. `decay`/`options` must match the engine the
+/// checkpoint came from.
+StatusOr<MergedSnapshot> LoadCheckpoint(
+    DecayPtr decay, const AggregateRegistry::Options& options,
+    const std::string& path);
+
+/// LoadCheckpoint (with the engine's own decay/options) + engine.Restore.
+/// The engine must be fresh (nothing ingested); on any error it should be
+/// discarded — see ShardedAggregateEngine::Restore.
+Status RestoreFromCheckpoint(ShardedAggregateEngine& engine,
+                             const std::string& path);
+
+}  // namespace tds
+
+#endif  // TDS_ENGINE_CHECKPOINT_H_

@@ -1,10 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace tds {
@@ -12,6 +15,27 @@ namespace {
 
 /// Items popped per writer iteration; also the natural UpdateBatch size.
 constexpr size_t kDrainChunk = 4096;
+
+/// Empty polls a writer burns through before parking — keeps the drain
+/// loop hot across momentary gaps (a producer mid-cycle revisits within
+/// tens of microseconds; ~20-30ns per poll, two uncontended RMWs) without
+/// spinning a core when idle. On a single-core host the ladder collapses
+/// to one poll: spinning can never observe new work there, because the
+/// producer that would push it is starved for as long as the writer
+/// spins. A fruitless park re-parks after a single confirming poll
+/// instead of re-climbing the ladder, so an idle writer costs ~one poll
+/// per park slice, not kIdlePollRounds of spin per slice.
+constexpr uint32_t kIdlePollRounds = 1024;
+
+/// Upper bound on one idle park, and thus on how stale a sub-threshold
+/// backlog can get: pushes below half a ring don't wake the writer (see
+/// PushToShard), they ride until the slice expires. Deep backlogs, space
+/// waiters, drain waiters, snapshots, and commands all wake eagerly, so
+/// the slice only prices the background drain cadence — long enough that
+/// a fleet of parked writers doesn't preempt a busy producer every few
+/// hundred microseconds with timer wakes.
+constexpr std::chrono::nanoseconds kWriterParkSlice =
+    std::chrono::milliseconds(4);
 
 }  // namespace
 
@@ -34,6 +58,9 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
   }
   if (!(options.rebalance_skew >= 1.0)) {
     return Status::InvalidArgument("rebalance_skew must be >= 1");
+  }
+  if (options.block_deadline < std::chrono::nanoseconds::zero()) {
+    return Status::InvalidArgument("block_deadline must be non-negative");
   }
   std::unique_ptr<ShardedAggregateEngine> engine(
       new ShardedAggregateEngine(options));
@@ -68,9 +95,23 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
   return engine;
 }
 
-ShardedAggregateEngine::~ShardedAggregateEngine() {
-  stop_.store(true, std::memory_order_release);
+ShardedAggregateEngine::~ShardedAggregateEngine() { Stop(); }
+
+void ShardedAggregateEngine::Stop() {
+  {
+    WriterMutexLock route_lock(route_mutex_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Producers are excluded by the exclusive lock while the writers are
+    // still running, so the drain terminates. Ingest calls arriving after
+    // the lock drops observe stop_ under their shared lock and fail fast
+    // with kFailedPrecondition instead of queueing onto (or spinning
+    // against) writers that are about to exit — the old shutdown path
+    // could strand a producer spinning forever on a full ring.
+    WaitQueuesDrained();
+    stop_.store(true, std::memory_order_seq_cst);
+  }
   for (auto& shard : shards_) {
+    WakeWriter(*shard);
     if (shard->writer.joinable()) shard->writer.join();
   }
 }
@@ -89,29 +130,45 @@ uint32_t ShardedAggregateEngine::RouteForKey(uint64_t key) const {
   return route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
 }
 
-void ShardedAggregateEngine::Ingest(uint64_t key, Tick t, uint64_t value) {
+Status ShardedAggregateEngine::Ingest(uint64_t key, Tick t, uint64_t value) {
   const KeyedItem item{key, t, value};
-  IngestBatch({&item, 1});
+  return IngestBatch({&item, 1});
 }
 
-void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
-  if (items.empty()) return;
+Status ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
+  const Deadline deadline =
+      options_.backpressure == BackpressurePolicy::kBlockWithDeadline
+          ? Deadline::After(options_.block_deadline)
+          : Deadline::Infinite();
+  return IngestRouted(items, options_.backpressure, deadline);
+}
+
+Status ShardedAggregateEngine::TryUpdateBatch(
+    std::span<const KeyedItem> items, std::chrono::nanoseconds deadline) {
+  // Always the staged ladder: a caller asking for admission control wants
+  // parked waiting (not a burned core) up to its deadline, regardless of
+  // the engine-wide policy. A zero deadline makes one non-blocking attempt
+  // per shard.
+  return IngestRouted(items, BackpressurePolicy::kAdaptive,
+                      Deadline::After(deadline));
+}
+
+Status ShardedAggregateEngine::IngestRouted(std::span<const KeyedItem> items,
+                                            BackpressurePolicy policy,
+                                            const Deadline& deadline) {
+  if (items.empty()) return Status::OK();
   // Shared route lock: many producers ingest concurrently; a migration
   // takes it exclusively, so no item can land on a stale route entry.
+  // Stop() also sets stop_ under the exclusive lock, so within this
+  // critical section the flag is stable: checked once, producers can never
+  // block on a ring whose writer has exited.
   ReaderMutexLock route_lock(route_mutex_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
   const uint32_t shard_count = shards();
   if (shard_count == 1) {
-    Shard& shard = *shards_[0];
-    MutexLock lock(shard.producer_mutex);
-    size_t offset = 0;
-    while (offset < items.size()) {
-      const size_t pushed =
-          shard.queue.TryPushN(items.data() + offset, items.size() - offset);
-      shard.enqueued.fetch_add(pushed, std::memory_order_release);
-      offset += pushed;
-      if (offset < items.size()) std::this_thread::yield();
-    }
-    return;
+    return PushToShard(*shards_[0], items, policy, deadline);
   }
   // Partition into per-shard slices, preserving arrival order within each.
   const auto slice_count = static_cast<uint32_t>(route_.size());
@@ -119,37 +176,135 @@ void ShardedAggregateEngine::IngestBatch(std::span<const KeyedItem> items) {
   for (const KeyedItem& item : items) {
     buckets[route_[SliceForKey(item.key, slice_count)]].push_back(item);
   }
+  Status result = Status::OK();
   for (uint32_t i = 0; i < shard_count; ++i) {
     if (buckets[i].empty()) continue;
-    Shard& shard = *shards_[i];
-    MutexLock lock(shard.producer_mutex);
-    size_t offset = 0;
-    while (offset < buckets[i].size()) {
-      const size_t pushed = shard.queue.TryPushN(
-          buckets[i].data() + offset, buckets[i].size() - offset);
-      shard.enqueued.fetch_add(pushed, std::memory_order_release);
-      offset += pushed;
-      if (offset < buckets[i].size()) std::this_thread::yield();
-    }
+    // Keep pushing the other shards' shares after one shard rejects:
+    // admission is per shard, and the total drop count is in Stats().
+    const Status status =
+        PushToShard(*shards_[i], buckets[i], policy, deadline);
+    if (result.ok() && !status.ok()) result = status;
   }
+  return result;
 }
 
-void ShardedAggregateEngine::Flush() {
-  for (auto& shard : shards_) {
-    const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
-    while (shard->applied.load(std::memory_order_acquire) < target) {
-      std::this_thread::yield();
+Status ShardedAggregateEngine::PushToShard(Shard& shard,
+                                           std::span<const KeyedItem> items,
+                                           BackpressurePolicy policy,
+                                           const Deadline& deadline) {
+  MutexLock lock(shard.producer_mutex);
+  StagedWait wait(policy);
+  Status result = Status::OK();
+  size_t offset = 0;
+  while (offset < items.size()) {
+    size_t pushed = 0;
+    // The failpoint simulates a full ring (arm it with transient
+    // scenarios: a sticky fault plus an infinite deadline would model a
+    // writer that never drains, i.e. a genuine hang).
+    if (!TDS_FAILPOINT("engine.ring.push")) {
+      pushed =
+          shard.queue.TryPushN(items.data() + offset, items.size() - offset);
+    }
+    if (pushed > 0) {
+      // seq_cst: one half of the Dekker handshake with the writer's park
+      // sequence (see WakeWriter). Same x86 code as release (lock xadd).
+      shard.enqueued.fetch_add(pushed, std::memory_order_seq_cst);
+      // Lazy wake: a parked writer self-wakes every kWriterParkSlice and
+      // drains whatever accumulated, so steady ingest rides the ring and
+      // pays no wake syscall per push (on a single-core host every such
+      // wake also preempts the producer — per-push wakes there cost more
+      // than the apply itself). Wake eagerly only when this push crosses
+      // half the ring: the backlog is now deep enough that napping out
+      // the slice risks a full ring and a parked producer. The crossing
+      // test fires once per fill cycle instead of on every push while
+      // the backlog stays deep.
+      const size_t depth = shard.queue.SizeApprox();
+      const size_t wake_depth = shard.queue.capacity() / 2;
+      if (depth >= wake_depth && depth - pushed < wake_depth) {
+        WakeWriter(shard);
+      }
+      offset += pushed;
+      wait.OnProgress();
+      continue;
+    }
+    // About to wait for space: the writer must run *now*, so bypass the
+    // depth threshold (a parked writer would otherwise stretch this stall
+    // to its full park slice).
+    WakeWriter(shard);
+    if (!wait.Step(shard.space_mutex, shard.space_cv, shard.space_waiters,
+                   deadline)) {
+      const uint64_t dropped = items.size() - offset;
+      shard.items_rejected.fetch_add(dropped, std::memory_order_relaxed);
+      result = Status::Unavailable("shard queue full past the deadline");
+      break;
     }
   }
+  shard.park_count.fetch_add(wait.parks(), std::memory_order_relaxed);
+  const uint64_t streak = wait.max_streak();
+  uint64_t prev = shard.max_queue_stall.load(std::memory_order_relaxed);
+  while (streak > prev &&
+         !shard.max_queue_stall.compare_exchange_weak(
+             prev, streak, std::memory_order_relaxed)) {
+  }
+  return result;
+}
+
+Status ShardedAggregateEngine::Flush() {
+  for (auto& shard : shards_) {
+    const Status status = WaitShardApplied(
+        *shard, shard->enqueued.load(std::memory_order_acquire));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregateEngine::WaitShardApplied(Shard& shard,
+                                                uint64_t target) {
+  StagedWait wait(BackpressurePolicy::kAdaptive);
+  while (shard.applied.load(std::memory_order_acquire) < target) {
+    if (shard.writer_done.load(std::memory_order_acquire)) {
+      // Unreachable through the public API (Stop() drains first); defends
+      // against waiting forever on a writer that no longer exists.
+      return Status::FailedPrecondition(
+          "engine stopped with items still queued");
+    }
+    // Pushes below the half-ring threshold don't wake the writer; a drain
+    // waiter wants the backlog applied now, not at the next park slice.
+    WakeWriter(shard);
+    (void)wait.Step(shard.drain_mutex, shard.drain_cv, shard.drain_waiters,
+                    Deadline::Infinite());
+  }
+  return Status::OK();
 }
 
 void ShardedAggregateEngine::WaitQueuesDrained() {
   for (auto& shard : shards_) {
-    const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
-    while (shard->applied.load(std::memory_order_acquire) < target) {
-      std::this_thread::yield();
-    }
+    // Writers are alive here (Stop() drains before raising stop_, and the
+    // other callers refuse stopped engines), so the wait terminates.
+    (void)WaitShardApplied(*shard,
+                           shard->enqueued.load(std::memory_order_acquire));
   }
+}
+
+void ShardedAggregateEngine::WakeWriter(Shard& shard) {
+  // Dekker handshake with the writer's park sequence: callers publish
+  // work with a seq_cst store/RMW (enqueued, snapshot_requested,
+  // command_requested, stop_) before this seq_cst load, and the writer
+  // stores writer_parked seq_cst before its seq_cst pre-park re-check of
+  // those same flags. In the single total order over seq_cst operations
+  // at least one side observes the other — either this load sees the
+  // writer parked (and notifies), or the writer's re-check sees the work
+  // (and skips the wait). Weaker orderings permit the store-buffer
+  // outcome where both read stale values and the work sits unnoticed for
+  // a whole park slice. seq_cst operations rather than fences because
+  // TSan does not model fences (and GCC rejects them under
+  // -fsanitize=thread).
+  if (!shard.writer_parked.load(std::memory_order_seq_cst)) return;
+  // Lock then notify: if the writer is between its pre-park predicate
+  // check and the wait, this blocks until the wait begins, so the notify
+  // is not lost.
+  MutexLock lock(shard.wake_mutex);
+  shard.wake_cv.NotifyAll();
 }
 
 uint64_t ShardedAggregateEngine::ItemsApplied() const {
@@ -171,6 +326,10 @@ ShardedAggregateEngine::Stats() const {
     s.items_applied = shard->applied.load(std::memory_order_acquire);
     const uint64_t enqueued = shard->enqueued.load(std::memory_order_acquire);
     s.queue_depth = enqueued - std::min(enqueued, s.items_applied);
+    s.items_rejected = shard->items_rejected.load(std::memory_order_relaxed);
+    s.park_count = shard->park_count.load(std::memory_order_relaxed);
+    s.max_queue_stall =
+        shard->max_queue_stall.load(std::memory_order_relaxed);
     stats.push_back(s);
   }
   return stats;
@@ -185,9 +344,13 @@ void ShardedAggregateEngine::UpdateStats(Shard& shard) {
 
 void ShardedAggregateEngine::WriterLoop(Shard& shard) {
   std::vector<KeyedItem> buffer(kDrainChunk);
+  const uint32_t idle_poll_rounds =
+      std::thread::hardware_concurrency() > 1 ? kIdlePollRounds : 1;
+  uint32_t idle_polls = 0;
   while (true) {
     const size_t n = shard.queue.TryPopN(buffer.data(), buffer.size());
     if (n > 0) {
+      idle_polls = 0;
       if (options_.apply_batched) {
         shard.registry->UpdateBatch({buffer.data(), n});
       } else {
@@ -199,6 +362,17 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
       // count, the occupancy mirrors are current too.
       UpdateStats(shard);
       shard.applied.fetch_add(n, std::memory_order_release);
+      // Consumption freed ring space and may have completed a drain: wake
+      // parked producers / flushers. Registration is advisory (a waiter
+      // racing these reads re-checks within its bounded park slice).
+      if (shard.space_waiters.load(std::memory_order_seq_cst) > 0) {
+        MutexLock lock(shard.space_mutex);
+        shard.space_cv.NotifyAll();
+      }
+      if (shard.drain_waiters.load(std::memory_order_seq_cst) > 0) {
+        MutexLock lock(shard.drain_mutex);
+        shard.drain_cv.NotifyAll();
+      }
     }
     if (shard.snapshot_requested.exchange(false,
                                           std::memory_order_acq_rel)) {
@@ -212,7 +386,34 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
       if (shard.queue.EmptyApprox()) break;
       continue;
     }
-    std::this_thread::yield();
+    if (++idle_polls < idle_poll_rounds) continue;
+    // Idle: park until woken (bounded slice — see kWriterParkSlice). The
+    // pre-wait predicate re-check under wake_mutex pairs with WakeWriter's
+    // lock-then-notify, closing the check-to-wait window; the seq_cst
+    // store + seq_cst re-check loads pair with the posters' seq_cst
+    // publish + WakeWriter's seq_cst load (Dekker — see WakeWriter), so a
+    // poster that read writer_parked == false is guaranteed visible here.
+    // Pending work is judged by enqueued vs applied rather than the ring
+    // cursors: enqueued is the counter posters publish with seq_cst order
+    // (applied is this thread's own, so relaxed is exact). An item pushed
+    // but not yet counted can at worst ride out one park slice — the same
+    // bound as any sub-threshold backlog.
+    shard.writer_parked.store(true, std::memory_order_seq_cst);
+    {
+      MutexLock lock(shard.wake_mutex);
+      if (shard.enqueued.load(std::memory_order_seq_cst) ==
+              shard.applied.load(std::memory_order_relaxed) &&
+          !stop_.load(std::memory_order_seq_cst) &&
+          !shard.snapshot_requested.load(std::memory_order_seq_cst) &&
+          !shard.command_requested.load(std::memory_order_seq_cst)) {
+        (void)shard.wake_cv.WaitFor(shard.wake_mutex, kWriterParkSlice);
+      }
+    }
+    shard.writer_parked.store(false, std::memory_order_release);
+    // Re-park after one confirming poll rather than resetting to zero: a
+    // timed-out slice on an idle engine should not pay the full spin
+    // ladder again before the next park.
+    idle_polls = idle_poll_rounds;
   }
   // Serve anything that raced shutdown: a pending command first (its poster
   // is blocked on it), then a final publish so no snapshot reader hangs.
@@ -225,6 +426,17 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
     shard.stopped = true;
   }
   shard.snapshot_cv.NotifyAll();
+  shard.writer_done.store(true, std::memory_order_release);
+  // Release any waiter that raced shutdown (their predicates re-check
+  // writer_done / the drained counters).
+  {
+    MutexLock lock(shard.drain_mutex);
+  }
+  shard.drain_cv.NotifyAll();
+  {
+    MutexLock lock(shard.space_mutex);
+  }
+  shard.space_cv.NotifyAll();
 }
 
 void ShardedAggregateEngine::PublishSnapshot(Shard& shard) {
@@ -237,14 +449,26 @@ void ShardedAggregateEngine::PublishSnapshot(Shard& shard) {
   // in the clone, so any ticket issued before `serving` was read is served.
   // The encode blob is retained alongside the clone — the merged-snapshot
   // gather decodes from it without re-encoding.
+  //
+  // A codec failure (reachable only via failpoints; the encode/decode pair
+  // is self-inverse on any registry the audits admit) publishes a null
+  // snapshot: readers see "shard snapshot unavailable" / zero estimates
+  // for this publish, and the next request re-publishes from the intact
+  // registry — the shard keeps serving.
   auto blob = std::make_shared<std::string>();
-  const Status encoded = shard.registry->EncodeState(blob.get());
-  TDS_CHECK_MSG(encoded.ok(), encoded.message().c_str());
-  auto decoded =
-      AggregateRegistry::Decode(decay_, options_.registry, *blob);
-  TDS_CHECK_MSG(decoded.ok(), decoded.status().message().c_str());
-  auto clone = std::make_shared<const AggregateRegistry>(
-      std::move(decoded).value());
+  Status publish_status = shard.registry->EncodeState(blob.get());
+  std::shared_ptr<const AggregateRegistry> clone;
+  if (publish_status.ok()) {
+    auto decoded =
+        AggregateRegistry::Decode(decay_, options_.registry, *blob);
+    if (decoded.ok()) {
+      clone = std::make_shared<const AggregateRegistry>(
+          std::move(decoded).value());
+    } else {
+      publish_status = decoded.status();
+    }
+  }
+  if (!publish_status.ok()) blob = nullptr;
   {
     MutexLock lock(shard.snapshot_mutex);
     shard.snapshot = std::move(clone);
@@ -279,9 +503,17 @@ void ShardedAggregateEngine::RunOnWriter(
     shard.command = std::move(fn);
     shard.command_done = false;
   }
-  shard.command_requested.store(true, std::memory_order_release);
+  shard.command_requested.store(true, std::memory_order_seq_cst);
+  WakeWriter(shard);
   MutexLock lock(shard.command_mutex);
   while (!shard.command_done) shard.command_cv.Wait(shard.command_mutex);
+}
+
+void ShardedAggregateEngine::RunOnWriterForTest(
+    uint32_t shard, std::function<void(AggregateRegistry&)> fn) {
+  TDS_CHECK_LT(shard, shards_.size());
+  ReaderMutexLock route_lock(route_mutex_);
+  RunOnWriter(*shards_[shard], std::move(fn));
 }
 
 std::pair<std::shared_ptr<const AggregateRegistry>,
@@ -292,7 +524,8 @@ ShardedAggregateEngine::TakeShardSnapshot(Shard& shard) {
     MutexLock lock(shard.snapshot_mutex);
     ticket = ++shard.tickets_issued;
   }
-  shard.snapshot_requested.store(true, std::memory_order_release);
+  shard.snapshot_requested.store(true, std::memory_order_seq_cst);
+  WakeWriter(shard);
   MutexLock lock(shard.snapshot_mutex);
   while (shard.tickets_served < ticket && !shard.stopped) {
     shard.snapshot_cv.Wait(shard.snapshot_mutex);
@@ -318,7 +551,8 @@ StatusOr<MergedSnapshot> ShardedAggregateEngine::Snapshot() {
       ++shard->tickets_issued;
     }
     for (auto& shard : shards_) {
-      shard->snapshot_requested.store(true, std::memory_order_release);
+      shard->snapshot_requested.store(true, std::memory_order_seq_cst);
+      WakeWriter(*shard);
     }
     blobs.reserve(shards_.size());
     for (auto& shard : shards_) {
@@ -372,6 +606,7 @@ Status ShardedAggregateEngine::MoveSlicesLocked(
     uint32_t from_index, uint32_t to_index,
     const std::vector<uint32_t>& moving) {
   if (moving.empty() || from_index == to_index) return Status::OK();
+  TDS_FAILPOINT_RETURN("engine.migrate");
   const auto slice_count = static_cast<uint32_t>(route_.size());
   std::vector<char> member(slice_count, 0);
   for (const uint32_t slice : moving) {
@@ -379,14 +614,12 @@ Status ShardedAggregateEngine::MoveSlicesLocked(
     TDS_CHECK(route_[slice] == from_index);
     member[slice] = 1;
   }
-  // Flip the route first: producers are excluded by the exclusive lock, so
-  // nothing can land on the donor mid-move, and once the lock drops every
-  // new item for these slices already targets the receiver.
-  for (const uint32_t slice : moving) route_[slice] = to_index;
   Shard& donor = *shards_[from_index];
   Shard& receiver = *shards_[to_index];
   // Both registry mutations run on their owner writer threads — the
-  // registries are never touched from this (caller) thread.
+  // registries are never touched from this (caller) thread. The route
+  // flips only after both succeed, so a failure at either step leaves (or
+  // restores) every key on the shard its route entry names.
   StatusOr<AggregateRegistry> extracted =
       Status::FailedPrecondition("extraction did not run");
   RunOnWriter(donor, [&](AggregateRegistry& registry) {
@@ -394,12 +627,25 @@ Status ShardedAggregateEngine::MoveSlicesLocked(
       return member[SliceForKey(key, slice_count)] != 0;
     });
   });
+  // ExtractIf fails only before moving anything (entry checks and the
+  // "registry.extract" failpoint), so the donor is intact on error.
   if (!extracted.ok()) return extracted.status();
   Status merge_status = Status::OK();
   RunOnWriter(receiver, [&](AggregateRegistry& registry) {
     merge_status = registry.MergeFrom(std::move(extracted).value());
   });
-  if (!merge_status.ok()) return merge_status;
+  if (!merge_status.ok()) {
+    // MergeFrom refused before mutating (its contract), so `extracted`
+    // still owns every moving key: merge it back into the donor with
+    // failpoints suppressed — recovery must not be re-injected into.
+    RunOnWriter(donor, [&](AggregateRegistry& registry) {
+      failpoint::SuppressionScope suppress;
+      const Status undo = registry.MergeFrom(std::move(extracted).value());
+      TDS_CHECK_MSG(undo.ok(), "migration rollback failed");
+    });
+    return merge_status;
+  }
+  for (const uint32_t slice : moving) route_[slice] = to_index;
   rebalances_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -410,6 +656,9 @@ Status ShardedAggregateEngine::MigrateSlices(std::span<const uint32_t> slices,
     return Status::InvalidArgument("target shard out of range");
   }
   WriterMutexLock route_lock(route_mutex_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
   const auto slice_count = static_cast<uint32_t>(route_.size());
   for (const uint32_t slice : slices) {
     if (slice >= slice_count) {
@@ -431,8 +680,11 @@ Status ShardedAggregateEngine::MigrateSlices(std::span<const uint32_t> slices,
 }
 
 StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
-  if (shards() < 2) return false;
   WriterMutexLock route_lock(route_mutex_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  if (shards() < 2) return false;
   // Drain so the live-key stats are exact and no in-flight item targets a
   // slice about to move (producers are excluded by the exclusive lock).
   WaitQueuesDrained();
@@ -493,6 +745,42 @@ StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
   const Status status = MoveSlicesLocked(donor_index, receiver_index, moving);
   if (!status.ok()) return status;
   return true;
+}
+
+Status ShardedAggregateEngine::Restore(MergedSnapshot snapshot) {
+  WriterMutexLock route_lock(route_mutex_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  WaitQueuesDrained();
+  for (const auto& shard : shards_) {
+    if (shard->applied.load(std::memory_order_acquire) != 0 ||
+        shard->live_keys.load(std::memory_order_relaxed) != 0) {
+      return Status::FailedPrecondition(
+          "Restore requires a fresh engine (no items applied, no live keys)");
+    }
+  }
+  AggregateRegistry full = std::move(snapshot).ReleaseRegistry();
+  const auto slice_count = static_cast<uint32_t>(route_.size());
+  // Copy the route out of the guarded field: the partition predicate runs
+  // inside lambdas the analysis cannot follow.
+  const std::vector<uint32_t> route_copy = route_;
+  for (uint32_t i = 0; i < shards(); ++i) {
+    StatusOr<AggregateRegistry> part = full.ExtractIf([&](uint64_t key) {
+      return route_copy[SliceForKey(key, slice_count)] == i;
+    });
+    if (!part.ok()) return part.status();
+    if (part->KeyCount() == 0) continue;
+    Status merged = Status::OK();
+    RunOnWriter(*shards_[i], [&](AggregateRegistry& registry) {
+      merged = registry.MergeFrom(std::move(part).value());
+    });
+    // A mid-restore failure leaves the engine partially loaded: callers
+    // (engine/checkpoint.h) treat any Restore error as "discard the
+    // engine and retry on a fresh one".
+    if (!merged.ok()) return merged;
+  }
+  return Status::OK();
 }
 
 }  // namespace tds

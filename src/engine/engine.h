@@ -2,6 +2,7 @@
 #define TDS_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,6 +16,8 @@
 #include "engine/merged_snapshot.h"
 #include "engine/registry.h"
 #include "engine/spsc_ring.h"
+#include "engine/wait_strategy.h"
+#include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -33,6 +36,15 @@ namespace tds {
 /// writer publishes on request. A snapshot requested after Flush() reflects
 /// every item ingested before the Flush. Snapshot() assembles one
 /// engine-wide MergedSnapshot from all shards at a single route-table cut.
+///
+/// Backpressure: when a shard's ring fills, producers escalate through the
+/// staged wait (spin → yield → CondVar park; see BackpressurePolicy) and
+/// the writer signals on consumption — a blocked producer no longer burns
+/// a core. Admission control (TryUpdateBatch, kBlockWithDeadline) bounds
+/// the blocking and rejects the overflow with kUnavailable; rejects and
+/// parks are counted per shard in Stats(). Restore() (with
+/// engine/checkpoint.h) rebuilds a fresh engine from a checkpointed
+/// merged snapshot, byte-identical to the checkpointed state.
 ///
 /// Rebalancing: the slice→shard route table can be rewritten at runtime
 /// (RebalanceIfSkewed / MigrateSlices). A migration takes the route lock
@@ -68,8 +80,17 @@ class ShardedAggregateEngine {
     /// so migrations can move fine-grained key ranges).
     uint32_t route_slices = 256;
     /// Per-shard ingest queue capacity in items (rounded up to a power of
-    /// two). Producers block (yield-spin) when a queue is full.
+    /// two). What a producer does when a queue is full is `backpressure`'s
+    /// call.
     size_t queue_capacity = 1 << 16;
+    /// Full-queue behavior for Ingest/IngestBatch (see BackpressurePolicy
+    /// in engine/wait_strategy.h). TryUpdateBatch ignores this: it always
+    /// runs the staged ladder against its caller-supplied deadline.
+    BackpressurePolicy backpressure = BackpressurePolicy::kAdaptive;
+    /// Admission deadline for kBlockWithDeadline: how long one
+    /// Ingest/IngestBatch call may block before the remainder of the batch
+    /// is rejected with Status::Unavailable.
+    std::chrono::nanoseconds block_deadline = std::chrono::milliseconds(100);
     /// Drain the queue through AggregateRegistry::UpdateBatch (amortized
     /// hot path) instead of per-item Update. The resulting state is
     /// bit-identical either way; this is the throughput knob.
@@ -89,27 +110,56 @@ class ShardedAggregateEngine {
     uint64_t arena_extent = 0;  ///< slots ever allocated (occupancy + churn)
     uint64_t items_applied = 0;
     uint64_t queue_depth = 0;  ///< enqueued but not yet applied
+    /// Overload counters (admission control / backpressure):
+    uint64_t items_rejected = 0;  ///< dropped past a deadline (kUnavailable)
+    uint64_t park_count = 0;      ///< producer CondVar parks on a full queue
+    /// Longest run of consecutive failed push attempts by one producer — a
+    /// unitless stall measure (the engine reads no clock); anything large
+    /// means producers outran the shard writer for a sustained stretch.
+    uint64_t max_queue_stall = 0;
   };
 
   static StatusOr<std::unique_ptr<ShardedAggregateEngine>> Create(
       DecayPtr decay, const Options& options);
 
   /// Stops the writer threads and joins them (pending queue items are
-  /// drained first).
+  /// drained first). Equivalent to Stop().
   ~ShardedAggregateEngine();
 
   ShardedAggregateEngine(const ShardedAggregateEngine&) = delete;
   ShardedAggregateEngine& operator=(const ShardedAggregateEngine&) = delete;
 
-  /// Enqueues one item (thread-safe; blocks while the shard queue is full).
-  void Ingest(uint64_t key, Tick t, uint64_t value) TDS_EXCLUDES(route_mutex_);
+  /// Drains every queue, stops the writer threads, and joins them.
+  /// Idempotent. After Stop() the ingest surface returns
+  /// kFailedPrecondition (never blocks), while queries keep serving the
+  /// final published snapshots.
+  void Stop() TDS_EXCLUDES(route_mutex_);
 
-  /// Enqueues a batch, preserving per-shard arrival order (thread-safe).
-  void IngestBatch(std::span<const KeyedItem> items)
+  /// Enqueues one item (thread-safe). Blocking behavior follows
+  /// Options::backpressure; a stopped engine returns kFailedPrecondition,
+  /// a missed kBlockWithDeadline deadline returns kUnavailable.
+  Status Ingest(uint64_t key, Tick t, uint64_t value)
       TDS_EXCLUDES(route_mutex_);
 
-  /// Returns once every item ingested before the call has been applied.
-  void Flush();
+  /// Enqueues a batch, preserving per-shard arrival order (thread-safe).
+  /// Error contract as Ingest; on kUnavailable the items that fit were
+  /// enqueued and the remainder is counted in ShardStats::items_rejected.
+  Status IngestBatch(std::span<const KeyedItem> items)
+      TDS_EXCLUDES(route_mutex_);
+
+  /// Admission-controlled enqueue: blocks at most `deadline` (0 = one
+  /// non-blocking attempt per shard), then rejects the remainder with
+  /// kUnavailable and counts it in ShardStats::items_rejected. Ignores
+  /// Options::backpressure.
+  Status TryUpdateBatch(std::span<const KeyedItem> items,
+                        std::chrono::nanoseconds deadline)
+      TDS_EXCLUDES(route_mutex_);
+
+  /// Returns once every item ingested before the call has been applied —
+  /// or kFailedPrecondition if the engine stopped with items unapplied
+  /// (cannot happen through the public API, which drains before
+  /// stopping; defends against a writer dying mid-drain).
+  Status Flush();
 
   /// Fresh immutable snapshot of one shard's registry, published by the
   /// shard's writer without blocking ingestion. The snapshot reflects at
@@ -148,8 +198,19 @@ class ShardedAggregateEngine {
   Status MigrateSlices(std::span<const uint32_t> slices, uint32_t to_shard)
       TDS_EXCLUDES(route_mutex_);
 
+  /// Rebuilds shard state from a checkpointed merged snapshot (see
+  /// engine/checkpoint.h): the snapshot's registry is re-partitioned along
+  /// the current route table and merged onto the shard writers through the
+  /// same audited ExtractIf/MergeFrom path migrations use. Requires a
+  /// fresh engine (no items applied, no live keys) whose options match the
+  /// checkpoint's; queries afterwards are byte-identical to the
+  /// checkpointed state.
+  Status Restore(MergedSnapshot snapshot) TDS_EXCLUDES(route_mutex_);
+
   uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t route_slices() const { return options_.route_slices; }
+  const Options& options() const { return options_; }
+  const DecayPtr& decay() const { return decay_; }
   uint64_t ItemsApplied() const;
 
   /// Completed migrations (RebalanceIfSkewed firings + MigrateSlices calls
@@ -166,6 +227,16 @@ class ShardedAggregateEngine {
   /// it at any time unless the caller also holds ingest quiescent).
   uint32_t RouteForKey(uint64_t key) const TDS_EXCLUDES(route_mutex_);
 
+  /// Test hook: runs `fn` against `shard`'s registry on its writer thread
+  /// and blocks until done. A blocking `fn` deterministically stalls that
+  /// writer — the backpressure tests use this to fill a ring on purpose.
+  /// Holds the route lock shared (ingest keeps running); at most one
+  /// concurrent command per shard (migrations hold the lock exclusively,
+  /// so they never race this).
+  void RunOnWriterForTest(uint32_t shard,
+                          std::function<void(AggregateRegistry&)> fn)
+      TDS_EXCLUDES(route_mutex_);
+
  private:
   struct Shard {
     explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
@@ -174,6 +245,37 @@ class ShardedAggregateEngine {
     Mutex producer_mutex;  ///< serializes producers; writer never takes it
     std::atomic<uint64_t> enqueued{0};
     std::atomic<uint64_t> applied{0};
+
+    /// Full-queue producer parking (backpressure). The mutex guards no
+    /// fields — the waited-on state is the lock-free ring itself — so
+    /// waiter registration is an advisory atomic and parks are bounded
+    /// slices (see StagedWait); the writer notifies after consuming when
+    /// `space_waiters` is nonzero.
+    Mutex space_mutex;
+    CondVar space_cv;
+    std::atomic<uint32_t> space_waiters{0};
+
+    /// Drain watchers (Flush / WaitQueuesDrained) park here; the writer
+    /// notifies after advancing `applied` when `drain_waiters` is nonzero.
+    Mutex drain_mutex;
+    CondVar drain_cv;
+    std::atomic<uint32_t> drain_waiters{0};
+
+    /// Writer-idle parking: the writer parks in bounded slices when it has
+    /// nothing to do; producers, snapshot requesters, command posters, and
+    /// Stop() wake it through WakeWriter().
+    Mutex wake_mutex;
+    CondVar wake_cv;
+    std::atomic<bool> writer_parked{false};
+
+    /// Overload counters (ShardStats mirrors).
+    std::atomic<uint64_t> items_rejected{0};
+    std::atomic<uint64_t> park_count{0};
+    std::atomic<uint64_t> max_queue_stall{0};
+
+    /// Set by the writer thread on exit (Flush's defense against waiting
+    /// on a writer that no longer exists).
+    std::atomic<bool> writer_done{false};
 
     /// Written only by the shard's writer thread (constructed before the
     /// thread starts, which establishes the happens-before edge; a
@@ -228,13 +330,34 @@ class ShardedAggregateEngine {
   TakeShardSnapshot(Shard& shard);
 
   /// Runs `fn` against the shard's registry on the shard's writer thread
-  /// and waits for completion (the exclusive route lock keeps commands
-  /// one-at-a-time).
+  /// and waits for completion. Callers must hold the route lock (shared
+  /// suffices for the analysis; migrations hold it exclusively, which is
+  /// what actually keeps commands one-at-a-time — the test hook's shared
+  /// mode relies on migrations being excluded by its own lock).
   void RunOnWriter(Shard& shard, std::function<void(AggregateRegistry&)> fn)
-      TDS_REQUIRES(route_mutex_);
+      TDS_REQUIRES_SHARED(route_mutex_);
 
-  /// Spin-waits until every queue is drained (the exclusive route lock
-  /// guarantees no new items can arrive).
+  /// Pushes `items` onto one shard's ring, escalating through the staged
+  /// wait when full. Returns kUnavailable once `deadline` expires with
+  /// items still unqueued (the remainder is dropped and counted).
+  Status PushToShard(Shard& shard, std::span<const KeyedItem> items,
+                     BackpressurePolicy policy, const Deadline& deadline)
+      TDS_REQUIRES_SHARED(route_mutex_);
+
+  /// Route + partition + push for the whole ingest surface.
+  Status IngestRouted(std::span<const KeyedItem> items,
+                      BackpressurePolicy policy, const Deadline& deadline)
+      TDS_EXCLUDES(route_mutex_);
+
+  /// Blocks (parked) until `shard.applied` reaches `target`;
+  /// kFailedPrecondition if the writer exited first.
+  Status WaitShardApplied(Shard& shard, uint64_t target);
+
+  /// Wakes the shard's writer if it is parked idle.
+  void WakeWriter(Shard& shard);
+
+  /// Waits (parked) until every queue is drained (the exclusive route
+  /// lock guarantees no new items can arrive).
   void WaitQueuesDrained() TDS_REQUIRES(route_mutex_);
 
   /// Moves the live keys of `moving` (all currently routed to

@@ -77,6 +77,10 @@ class MergedSnapshot {
   /// against a serially-fed reference).
   const AggregateRegistry& registry() const { return registry_; }
 
+  /// Consumes the snapshot, yielding the merged registry (the engine's
+  /// Restore() path re-partitions it across shards).
+  AggregateRegistry ReleaseRegistry() && { return std::move(registry_); }
+
   /// Merged-snapshot codec, self-inverse like the registry codec it wraps:
   /// "TDSMRG1" header, source-shard count, then the merged registry blob.
   /// Non-const for the same reason as AggregateRegistry::EncodeState (WBMH

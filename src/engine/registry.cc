@@ -11,6 +11,7 @@
 #include "util/audit.h"
 #include "util/check.h"
 #include "util/codec.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace tds {
@@ -180,6 +181,14 @@ uint32_t AggregateRegistry::GetOrCreate(uint64_t key) {
   table_[insert_pos] = index;
   ++live_;
   return index;
+}
+
+StatusOr<uint32_t> AggregateRegistry::TryGetOrCreate(uint64_t key) {
+  if (Find(key) == SlotArena<Slot>::kNone &&
+      arena_.occupied() == arena_.extent()) {
+    TDS_FAILPOINT_RETURN("registry.arena.grow");
+  }
+  return GetOrCreate(key);
 }
 
 void AggregateRegistry::RehashIfNeeded() {
@@ -359,6 +368,10 @@ Status TransplantWbmhCounter(DecayedAggregate& from, DecayedAggregate& to) {
 }  // namespace
 
 Status AggregateRegistry::MergeFrom(AggregateRegistry&& other) {
+  // Entry-only injection: past this point the per-slot loop moves state
+  // (and WBMH transplant copies it), so a mid-loop abort could not honor
+  // "on error this registry is unchanged".
+  TDS_FAILPOINT_RETURN("registry.merge");
   if (decay_->Name() != other.decay_->Name() || backend_ != other.backend_ ||
       resolved_.epsilon() != other.resolved_.epsilon() ||
       resolved_.start() != other.resolved_.start()) {
@@ -417,6 +430,9 @@ Status AggregateRegistry::MergeFrom(AggregateRegistry&& other) {
 
 StatusOr<AggregateRegistry> AggregateRegistry::ExtractIf(
     const std::function<bool(uint64_t)>& pred) {
+  // Entry-only injection, mirroring MergeFrom: a failure here leaves the
+  // source registry untouched (the migration donor stays intact).
+  TDS_FAILPOINT_RETURN("registry.extract");
   auto created = Create(decay_, options_);
   if (!created.ok()) return created.status();
   AggregateRegistry out = std::move(created).value();
@@ -576,6 +592,7 @@ Status AggregateRegistry::AuditInvariants() {
 
 Status AggregateRegistry::EncodeState(std::string* out) {
   TDS_CHECK(out != nullptr);
+  TDS_FAILPOINT_RETURN("registry.encode");
   Encoder encoder;
   encoder.PutString(kRegistryMagic);
   encoder.PutString(decay_->Name());
@@ -628,6 +645,7 @@ Status AggregateRegistry::EncodeState(std::string* out) {
 StatusOr<AggregateRegistry> AggregateRegistry::Decode(DecayPtr decay,
                                                       const Options& options,
                                                       std::string_view data) {
+  TDS_FAILPOINT_RETURN("registry.decode");
   auto created = Create(std::move(decay), options);
   if (!created.ok()) return created.status();
   AggregateRegistry registry = std::move(created).value();
@@ -683,8 +701,9 @@ StatusOr<AggregateRegistry> AggregateRegistry::Decode(DecayPtr decay,
     }
     prev_key = key;
     if (last_tick > now) return CorruptSnapshot("entry clock");
-    const uint32_t index = registry.GetOrCreate(key);
-    Slot& slot = registry.arena_.at(index);
+    const StatusOr<uint32_t> index = registry.TryGetOrCreate(key);
+    if (!index.ok()) return index.status();
+    Slot& slot = registry.arena_.at(*index);
     slot.last_tick = last_tick;
     if (registry.layout_ != nullptr) {
       Decoder sub(payload);

@@ -191,6 +191,14 @@ class AggregateRegistry {
 
   uint32_t Find(uint64_t key) const;
   uint32_t GetOrCreate(uint64_t key);
+
+  /// GetOrCreate with injectable allocation failure: the failpoint
+  /// "registry.arena.grow" fires when `key` is absent and the slot arena
+  /// has no freed slot to recycle (the insert would grow the arena). Only
+  /// the Decode funnel calls this — the ingest hot path's GetOrCreate
+  /// treats allocation failure as fatal by design and must stay free of
+  /// per-item failpoint evaluations.
+  StatusOr<uint32_t> TryGetOrCreate(uint64_t key);
   void RehashIfNeeded();
   void Rehash(size_t new_capacity);
   void Evict(uint32_t index);

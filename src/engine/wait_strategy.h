@@ -1,0 +1,102 @@
+#ifndef TDS_ENGINE_WAIT_STRATEGY_H_
+#define TDS_ENGINE_WAIT_STRATEGY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/deadline.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace tds {
+
+/// How a producer behaves when its shard's ingest queue is full.
+enum class BackpressurePolicy {
+  /// Yield-spin until space appears (the pre-backpressure behavior; burns
+  /// a core per blocked producer — kept for latency-critical pinned-core
+  /// deployments and as the comparison baseline).
+  kSpin,
+  /// Staged wait: bounded spin, then bounded yielding, then park on the
+  /// shard's CondVar until the writer signals consumption. Blocked
+  /// producers cost (almost) no CPU. The default.
+  kAdaptive,
+  /// kAdaptive, but gives up once Options::block_deadline has elapsed:
+  /// the remainder of the batch is rejected with Status::Unavailable and
+  /// counted in ShardStats::items_rejected (admission control).
+  kBlockWithDeadline,
+};
+
+/// The staged wait ladder — and the ONLY sanctioned retry-wait loop in
+/// src/engine (tools/tds_lint.py rule `spin-loop` rejects yield/spin
+/// retries anywhere else in the engine; waits either go through this class
+/// or park on a CondVar).
+///
+/// Usage: attempt the operation; on failure call Step(), which escalates
+/// spin → yield → bounded CondVar park and returns false once the deadline
+/// has expired; on success call OnProgress() to reset the ladder.
+///
+/// Parks are bounded slices (kParkSlice) rather than open-ended waits:
+/// waiter registration (`waiters`) is advisory, so a notify that races a
+/// waiter's registration may be missed — the slice bounds the resulting
+/// stall instead of requiring a lock-step handshake on the hot path.
+class StagedWait {
+ public:
+  static constexpr uint32_t kSpinRounds = 64;
+  static constexpr uint32_t kYieldRounds = 16;
+  static constexpr std::chrono::nanoseconds kParkSlice =
+      std::chrono::milliseconds(1);
+
+  explicit StagedWait(BackpressurePolicy policy) : policy_(policy) {}
+
+  /// One escalation step after a failed attempt. Returns true to retry,
+  /// false once `deadline` is expired (give up; nothing waited on then).
+  bool Step(Mutex& mu, CondVar& cv, std::atomic<uint32_t>& waiters,
+            const Deadline& deadline) TDS_EXCLUDES(mu) {
+    if (deadline.Expired()) return false;
+    const uint64_t round = ++rounds_;
+    if (policy_ == BackpressurePolicy::kSpin) {
+      std::this_thread::yield();
+      return true;
+    }
+    if (round <= kSpinRounds) return true;  // hot retry, no syscall
+    if (round <= kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+      return true;
+    }
+    waiters.fetch_add(1, std::memory_order_seq_cst);
+    {
+      MutexLock lock(mu);
+      (void)cv.WaitFor(mu, deadline.RemainingCapped(kParkSlice));
+    }
+    waiters.fetch_sub(1, std::memory_order_seq_cst);
+    ++parks_;
+    return !deadline.Expired();
+  }
+
+  /// The attempt succeeded (or partially progressed): reset the ladder so
+  /// the next stall starts back at the spin stage.
+  void OnProgress() {
+    max_streak_ = std::max(max_streak_, rounds_);
+    rounds_ = 0;
+  }
+
+  /// CondVar parks taken so far (ShardStats::park_count).
+  uint64_t parks() const { return parks_; }
+
+  /// Longest run of consecutive failed attempts — a unitless stall measure
+  /// (ShardStats::max_queue_stall) that needs no clock in the engine.
+  uint64_t max_streak() const { return std::max(max_streak_, rounds_); }
+
+ private:
+  BackpressurePolicy policy_;
+  uint64_t rounds_ = 0;
+  uint64_t parks_ = 0;
+  uint64_t max_streak_ = 0;
+};
+
+}  // namespace tds
+
+#endif  // TDS_ENGINE_WAIT_STRATEGY_H_

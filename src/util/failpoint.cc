@@ -1,0 +1,125 @@
+#include "util/failpoint.h"
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/random.h"
+#include "util/thread_annotations.h"
+
+namespace tds {
+namespace failpoint {
+namespace {
+
+struct Entry {
+  std::string name;
+  Scenario scenario;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  Mutex mu;
+  std::vector<Entry> entries TDS_GUARDED_BY(mu);
+};
+
+/// Leaked singleton: failpoints may be evaluated from writer threads that
+/// outlive main()'s locals during process teardown.
+Registry& Global() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+thread_local int suppression_depth = 0;
+
+Entry* FindLocked(Registry& registry, std::string_view name)
+    TDS_REQUIRES(registry.mu) {
+  for (Entry& entry : registry.entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void Arm(std::string_view name, const Scenario& scenario) {
+  Registry& registry = Global();
+  MutexLock lock(registry.mu);
+  if (Entry* entry = FindLocked(registry, name)) {
+    entry->scenario = scenario;
+    entry->hits = 0;
+    entry->fires = 0;
+    return;
+  }
+  registry.entries.push_back(Entry{std::string(name), scenario, 0, 0});
+}
+
+void ArmNthHit(std::string_view name, uint64_t nth) {
+  Scenario scenario;
+  scenario.fire_on_hit = nth;
+  Arm(name, scenario);
+}
+
+void ArmProbability(std::string_view name, double p, uint64_t seed) {
+  Scenario scenario;
+  scenario.probability = p;
+  scenario.seed = seed;
+  Arm(name, scenario);
+}
+
+void Disarm(std::string_view name) {
+  Registry& registry = Global();
+  MutexLock lock(registry.mu);
+  for (auto it = registry.entries.begin(); it != registry.entries.end();
+       ++it) {
+    if (it->name == name) {
+      registry.entries.erase(it);
+      return;
+    }
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = Global();
+  MutexLock lock(registry.mu);
+  registry.entries.clear();
+}
+
+uint64_t Hits(std::string_view name) {
+  Registry& registry = Global();
+  MutexLock lock(registry.mu);
+  const Entry* entry = FindLocked(registry, name);
+  return entry == nullptr ? 0 : entry->hits;
+}
+
+uint64_t Fires(std::string_view name) {
+  Registry& registry = Global();
+  MutexLock lock(registry.mu);
+  const Entry* entry = FindLocked(registry, name);
+  return entry == nullptr ? 0 : entry->fires;
+}
+
+SuppressionScope::SuppressionScope() { ++suppression_depth; }
+SuppressionScope::~SuppressionScope() { --suppression_depth; }
+
+bool Evaluate(const char* name) {
+  if (suppression_depth > 0) return false;
+  Registry& registry = Global();
+  MutexLock lock(registry.mu);
+  Entry* entry = FindLocked(registry, name);
+  if (entry == nullptr) return false;
+  const uint64_t hit = ++entry->hits;
+  const Scenario& scenario = entry->scenario;
+  bool fire = false;
+  if (scenario.fire_on_hit != 0) {
+    fire = scenario.sticky ? hit >= scenario.fire_on_hit
+                           : hit == scenario.fire_on_hit;
+  }
+  if (!fire && scenario.probability > 0.0) {
+    fire = HashedUniform(scenario.seed, hit) < scenario.probability;
+  }
+  if (fire) ++entry->fires;
+  return fire;
+}
+
+}  // namespace failpoint
+}  // namespace tds

@@ -1,0 +1,108 @@
+#ifndef TDS_UTIL_FAILPOINT_H_
+#define TDS_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// Deterministic fault injection (docs/CORRECTNESS.md, "Failpoints").
+///
+/// A failpoint is a named site in fallible code — codec funnels, registry
+/// merges, queue pushes — that a test can *arm* to fail on demand:
+///
+///   // production code (src/engine/registry.cc):
+///   TDS_FAILPOINT_RETURN("registry.decode");
+///
+///   // test:
+///   failpoint::ArmNthHit("registry.decode", 3);   // fail the 3rd decode
+///   ...
+///   failpoint::DisarmAll();
+///
+/// Sites compile to live checks only under -DTDS_FAILPOINTS=ON (cmake
+/// option TDS_FAILPOINTS, used by the `faults` stage of tools/check.sh);
+/// in a normal build TDS_FAILPOINT(name) is the constant `false` and the
+/// whole site folds away. Firing decisions are deterministic: the
+/// probability mode draws HashCombine(seed, hit_index), the same
+/// counter-based scheme as the fuzz drivers, so any failure replays from
+/// its (seed, hit) pair.
+namespace tds {
+
+/// True when this build compiled failpoint sites in (-DTDS_FAILPOINTS=ON).
+/// Tests that need live injection skip themselves when false.
+inline constexpr bool kFailpointsEnabled =
+#ifdef TDS_FAILPOINTS
+    true;
+#else
+    false;
+#endif
+
+namespace failpoint {
+
+/// When and how often an armed failpoint fires. Evaluation of the site
+/// increments a per-name hit counter (1-based); the scenario decides per
+/// hit.
+struct Scenario {
+  /// Fire on exactly this hit (1-based); 0 disables the hit trigger.
+  uint64_t fire_on_hit = 0;
+  /// With fire_on_hit: keep firing on every later hit too (a persistent
+  /// fault rather than a transient one).
+  bool sticky = false;
+  /// Additionally fire any hit with this probability, drawn
+  /// deterministically from HashCombine(seed, hit).
+  double probability = 0.0;
+  uint64_t seed = 0;
+};
+
+/// Arms (or re-arms) `name`, resetting its hit counter.
+void Arm(std::string_view name, const Scenario& scenario);
+/// Fire exactly once, on the `nth` evaluation (1-based).
+void ArmNthHit(std::string_view name, uint64_t nth);
+/// Fire each evaluation independently with probability `p` (deterministic
+/// in (seed, hit)).
+void ArmProbability(std::string_view name, double p, uint64_t seed);
+
+void Disarm(std::string_view name);
+void DisarmAll();
+
+/// Evaluations of `name` since it was last armed (0 when not armed).
+uint64_t Hits(std::string_view name);
+/// Times `name` actually fired since it was last armed.
+uint64_t Fires(std::string_view name);
+
+/// Suppresses every failpoint on the current thread for the scope's
+/// lifetime. Recovery/rollback paths wrap themselves in one so that a
+/// sticky or probabilistic scenario cannot inject a second fault into the
+/// code undoing the first.
+class SuppressionScope {
+ public:
+  SuppressionScope();
+  ~SuppressionScope();
+  SuppressionScope(const SuppressionScope&) = delete;
+  SuppressionScope& operator=(const SuppressionScope&) = delete;
+};
+
+/// Site evaluation (called through TDS_FAILPOINT, not directly): true when
+/// the armed scenario for `name` fires this hit.
+bool Evaluate(const char* name);
+
+}  // namespace failpoint
+}  // namespace tds
+
+#ifdef TDS_FAILPOINTS
+#define TDS_FAILPOINT(name) (::tds::failpoint::Evaluate(name))
+#else
+#define TDS_FAILPOINT(name) (false)
+#endif
+
+/// The common site shape: fail the enclosing Status-returning function.
+#define TDS_FAILPOINT_RETURN(name)                                    \
+  do {                                                                \
+    if (TDS_FAILPOINT(name)) {                                        \
+      return ::tds::Status::Unavailable(std::string("injected fault: ") + \
+                                        (name));                      \
+    }                                                                 \
+  } while (0)
+
+#endif  // TDS_UTIL_FAILPOINT_H_

@@ -1,6 +1,7 @@
 #ifndef TDS_UTIL_MUTEX_H_
 #define TDS_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -120,6 +121,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // still held: ownership returns to the caller's scope
+  }
+
+  /// Timed Wait: returns false iff the timeout elapsed without a notify.
+  /// Spurious wakeups return true, so callers loop on their predicate
+  /// exactly as with Wait(). Lives here (src/util) so the engine never
+  /// reads a clock itself — the wall-clock lint rule keeps src/engine
+  /// tick-driven.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) TDS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // still held: ownership returns to the caller's scope
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -16,6 +16,10 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kUnimplemented,
+  /// Transient refusal: the operation could not run *now* (admission
+  /// control past its deadline, an injected failpoint) but may succeed if
+  /// retried. Never indicates corrupted state.
+  kUnavailable,
 };
 
 /// Lightweight RocksDB-style status object. Hot paths (Update/Query) are
@@ -45,6 +49,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

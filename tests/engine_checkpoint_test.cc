@@ -1,0 +1,332 @@
+// Crash-consistent checkpoint/recovery tests (engine/checkpoint.h):
+// checkpoint → restore must be byte-identical, and every torn-write shape
+// — truncation, bit flips, a crash between the commit renames — must be
+// *detected* and fall back to the last good checkpoint instead of loading
+// garbage.
+#include "engine/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "engine/engine.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+AggregateRegistry::Options RegistryOptions(Backend backend, double epsilon) {
+  AggregateRegistry::Options options;
+  options.aggregate = AggregateOptions::Builder()
+                          .backend(backend)
+                          .epsilon(epsilon)
+                          .Build()
+                          .value();
+  return options;
+}
+
+struct EngineCase {
+  const char* label;
+  Backend backend;
+  DecayPtr decay;
+};
+
+std::vector<EngineCase> Cases() {
+  return {
+      {"ceh-sliwin", Backend::kCeh, SlidingWindowDecay::Create(512).value()},
+      {"wbmh-poly", Backend::kWbmh, PolynomialDecay::Create(1.0).value()},
+  };
+}
+
+ShardedAggregateEngine::Options EngineOptions(const EngineCase& ec) {
+  ShardedAggregateEngine::Options options;
+  options.registry = RegistryOptions(ec.backend, 0.15);
+  options.shards = 3;
+  options.route_slices = 24;
+  return options;
+}
+
+std::unique_ptr<ShardedAggregateEngine> MakeEngine(const EngineCase& ec) {
+  auto engine = ShardedAggregateEngine::Create(ec.decay, EngineOptions(ec));
+  EXPECT_TRUE(engine.ok());
+  return std::move(engine).value();
+}
+
+/// Deterministic keyed stream; `phase` offsets the RNG so successive
+/// segments differ while staying tick-ordered from `start_tick`.
+std::vector<KeyedItem> Stream(uint64_t phase, Tick start_tick, int count,
+                              Tick* end_tick) {
+  Rng rng(900 + phase);
+  std::vector<KeyedItem> items;
+  Tick t = start_tick;
+  for (int i = 0; i < count; ++i) {
+    if (rng.NextBelow(4) == 0) ++t;
+    items.push_back(KeyedItem{rng.NextBelow(80), t, 1 + rng.NextBelow(3)});
+  }
+  *end_tick = t;
+  return items;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "tds_ckpt_" + name;
+}
+
+void RemoveCheckpointFiles(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".prev", ec);
+  std::filesystem::remove(path + ".tmp", ec);
+}
+
+/// The engine-wide registry blob — the byte-identity oracle.
+std::string MergedBlob(ShardedAggregateEngine& engine) {
+  auto merged = engine.Snapshot();
+  EXPECT_TRUE(merged.ok());
+  std::string blob;
+  EXPECT_TRUE(merged->EncodeRegistryState(&blob).ok());
+  return blob;
+}
+
+TEST(CheckpointTest, RoundTripIsByteIdentical) {
+  for (const EngineCase& ec : Cases()) {
+    SCOPED_TRACE(ec.label);
+    const std::string path = TempPath(std::string("roundtrip_") + ec.label);
+    RemoveCheckpointFiles(path);
+
+    auto source = MakeEngine(ec);
+    Tick t = 0;
+    ASSERT_TRUE(source->IngestBatch(Stream(1, 1, 5000, &t)).ok());
+    ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
+    const std::string source_blob = MergedBlob(*source);
+
+    auto restored = MakeEngine(ec);
+    ASSERT_TRUE(RestoreFromCheckpoint(*restored, path).ok());
+    EXPECT_EQ(MergedBlob(*restored), source_blob);
+    EXPECT_EQ(restored->KeyCount(), source->KeyCount());
+    for (uint64_t key = 0; key < 80; ++key) {
+      EXPECT_DOUBLE_EQ(restored->QueryKey(key, t), source->QueryKey(key, t))
+          << "key=" << key;
+    }
+    auto merged = restored->Snapshot();
+    ASSERT_TRUE(merged.ok());
+    const auto source_top = source->Snapshot();
+    ASSERT_TRUE(source_top.ok());
+    const auto top_restored = merged->TopK(10, t);
+    const auto top_source = source_top->TopK(10, t);
+    ASSERT_EQ(top_restored.size(), top_source.size());
+    for (size_t i = 0; i < top_source.size(); ++i) {
+      EXPECT_EQ(top_restored[i].key, top_source[i].key);
+      EXPECT_DOUBLE_EQ(top_restored[i].weight, top_source[i].weight);
+    }
+    RemoveCheckpointFiles(path);
+  }
+}
+
+TEST(CheckpointTest, IngestAfterRestoreStaysByteIdenticalToUninterrupted) {
+  for (const EngineCase& ec : Cases()) {
+    SCOPED_TRACE(ec.label);
+    const std::string path = TempPath(std::string("resume_") + ec.label);
+    RemoveCheckpointFiles(path);
+
+    // Checkpoint mid-stream, "crash" (destroy the engine), restore, feed
+    // the rest: the result must match an engine that never went down.
+    auto uninterrupted = MakeEngine(ec);
+    Tick t1 = 0;
+    const auto first = Stream(2, 1, 4000, &t1);
+    Tick t2 = 0;
+    const auto second = Stream(3, t1, 4000, &t2);
+    ASSERT_TRUE(uninterrupted->IngestBatch(first).ok());
+    ASSERT_TRUE(uninterrupted->IngestBatch(second).ok());
+    ASSERT_TRUE(uninterrupted->Flush().ok());
+
+    {
+      auto crashing = MakeEngine(ec);
+      ASSERT_TRUE(crashing->IngestBatch(first).ok());
+      ASSERT_TRUE(WriteCheckpoint(*crashing, path).ok());
+    }  // destroyed: everything after the checkpoint is lost, as in a crash
+
+    auto restored = MakeEngine(ec);
+    ASSERT_TRUE(RestoreFromCheckpoint(*restored, path).ok());
+    ASSERT_TRUE(restored->IngestBatch(second).ok());
+    ASSERT_TRUE(restored->Flush().ok());
+    EXPECT_EQ(MergedBlob(*restored), MergedBlob(*uninterrupted));
+    RemoveCheckpointFiles(path);
+  }
+}
+
+TEST(CheckpointTest, CorruptionIsDetected) {
+  const EngineCase ec = Cases()[0];
+  const std::string path = TempPath("corrupt");
+  auto source = MakeEngine(ec);
+  Tick t = 0;
+  ASSERT_TRUE(source->IngestBatch(Stream(4, 1, 2000, &t)).ok());
+
+  struct Mutilation {
+    const char* label;
+    void (*apply)(const std::string& path);
+  };
+  const Mutilation mutilations[] = {
+      {"truncate-1", [](const std::string& p) {
+         std::filesystem::resize_file(p, std::filesystem::file_size(p) - 1);
+       }},
+      {"truncate-half", [](const std::string& p) {
+         std::filesystem::resize_file(p, std::filesystem::file_size(p) / 2);
+       }},
+      {"truncate-empty", [](const std::string& p) {
+         std::filesystem::resize_file(p, 0);
+       }},
+      {"bitflip-middle", [](const std::string& p) {
+         std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+         const auto size =
+             static_cast<std::streamoff>(std::filesystem::file_size(p));
+         f.seekg(size / 2);
+         char byte = 0;
+         f.read(&byte, 1);
+         byte = static_cast<char>(byte ^ 0x40);
+         f.seekp(size / 2);
+         f.write(&byte, 1);
+       }},
+      {"bitflip-footer", [](const std::string& p) {
+         std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+         const auto size =
+             static_cast<std::streamoff>(std::filesystem::file_size(p));
+         f.seekp(size - 4);
+         const char byte = 0x01;
+         f.write(&byte, 1);
+       }},
+  };
+  for (const Mutilation& m : mutilations) {
+    SCOPED_TRACE(m.label);
+    RemoveCheckpointFiles(path);
+    ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
+    m.apply(path);
+    // No intact .prev exists, so the load must fail outright — never
+    // return a snapshot decoded from a damaged file.
+    auto loaded = LoadCheckpoint(ec.decay, EngineOptions(ec).registry, path);
+    EXPECT_FALSE(loaded.ok());
+    auto restored = MakeEngine(ec);
+    EXPECT_FALSE(RestoreFromCheckpoint(*restored, path).ok());
+    // The failed restore left the engine fresh and usable.
+    EXPECT_TRUE(restored->Ingest(1, 1, 1).ok());
+    EXPECT_TRUE(restored->Flush().ok());
+  }
+  RemoveCheckpointFiles(path);
+}
+
+TEST(CheckpointTest, CorruptPrimaryFallsBackToPreviousCheckpoint) {
+  const EngineCase ec = Cases()[0];
+  const std::string path = TempPath("fallback");
+  RemoveCheckpointFiles(path);
+
+  auto engine = MakeEngine(ec);
+  Tick t1 = 0;
+  ASSERT_TRUE(engine->IngestBatch(Stream(5, 1, 3000, &t1)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
+  const std::string old_blob = MergedBlob(*engine);
+
+  // Second checkpoint rotates the first to .prev; then the primary is
+  // torn. Recovery must land on the *previous* checkpoint, byte-exact.
+  Tick t2 = 0;
+  ASSERT_TRUE(engine->IngestBatch(Stream(6, t1, 3000, &t2)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
+  ASSERT_TRUE(std::filesystem::exists(path + ".prev"));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 3);
+
+  auto restored = MakeEngine(ec);
+  ASSERT_TRUE(RestoreFromCheckpoint(*restored, path).ok());
+  EXPECT_EQ(MergedBlob(*restored), old_blob);
+  RemoveCheckpointFiles(path);
+}
+
+TEST(CheckpointTest, RestoreRequiresFreshEngine) {
+  const EngineCase ec = Cases()[0];
+  const std::string path = TempPath("fresh");
+  RemoveCheckpointFiles(path);
+  auto source = MakeEngine(ec);
+  Tick t = 0;
+  ASSERT_TRUE(source->IngestBatch(Stream(7, 1, 500, &t)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
+
+  auto dirty = MakeEngine(ec);
+  ASSERT_TRUE(dirty->Ingest(1, 1, 1).ok());
+  ASSERT_TRUE(dirty->Flush().ok());
+  EXPECT_EQ(RestoreFromCheckpoint(*dirty, path).code(),
+            StatusCode::kFailedPrecondition);
+  RemoveCheckpointFiles(path);
+}
+
+TEST(CheckpointTest, OptionsMismatchIsRejected) {
+  const std::string path = TempPath("mismatch");
+  RemoveCheckpointFiles(path);
+  const EngineCase ec = Cases()[0];
+  auto source = MakeEngine(ec);
+  Tick t = 0;
+  ASSERT_TRUE(source->IngestBatch(Stream(8, 1, 500, &t)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
+
+  // Same decay, different epsilon: the snapshot header check must refuse.
+  ShardedAggregateEngine::Options other = EngineOptions(ec);
+  other.registry = RegistryOptions(ec.backend, 0.3);
+  auto mismatched = ShardedAggregateEngine::Create(ec.decay, other);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_FALSE(RestoreFromCheckpoint(**mismatched, path).ok());
+  RemoveCheckpointFiles(path);
+}
+
+TEST(CheckpointTest, MissingFileFailsCleanly) {
+  const EngineCase ec = Cases()[0];
+  auto engine = MakeEngine(ec);
+  EXPECT_FALSE(
+      RestoreFromCheckpoint(*engine, TempPath("does_not_exist")).ok());
+}
+
+TEST(CheckpointTest, InjectedCommitCrashKeepsPreviousCheckpoint) {
+  if (!kFailpointsEnabled) {
+    GTEST_SKIP() << "build without -DTDS_FAILPOINTS=ON";
+  }
+  failpoint::DisarmAll();
+  const EngineCase ec = Cases()[0];
+  const std::string path = TempPath("commit_crash");
+  RemoveCheckpointFiles(path);
+
+  auto engine = MakeEngine(ec);
+  Tick t1 = 0;
+  ASSERT_TRUE(engine->IngestBatch(Stream(9, 1, 2000, &t1)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
+  const std::string old_blob = MergedBlob(*engine);
+
+  // "checkpoint.write" refuses before any IO; "checkpoint.commit" dies
+  // after the temp file but before the renames. Either way the previous
+  // checkpoint must remain the loadable state.
+  Tick t2 = 0;
+  ASSERT_TRUE(engine->IngestBatch(Stream(10, t1, 2000, &t2)).ok());
+  failpoint::ArmNthHit("checkpoint.write", 1);
+  EXPECT_EQ(WriteCheckpoint(*engine, path).code(), StatusCode::kUnavailable);
+  failpoint::ArmNthHit("checkpoint.commit", 1);
+  EXPECT_EQ(WriteCheckpoint(*engine, path).code(), StatusCode::kUnavailable);
+  failpoint::DisarmAll();
+
+  auto restored = MakeEngine(ec);
+  ASSERT_TRUE(RestoreFromCheckpoint(*restored, path).ok());
+  EXPECT_EQ(MergedBlob(*restored), old_blob);
+
+  // With the faults cleared the interrupted checkpoint completes, and the
+  // crash-era checkpoint is what rotates to .prev.
+  ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
+  auto newest = MakeEngine(ec);
+  ASSERT_TRUE(RestoreFromCheckpoint(*newest, path).ok());
+  EXPECT_EQ(MergedBlob(*newest), MergedBlob(*engine));
+  RemoveCheckpointFiles(path);
+}
+
+}  // namespace
+}  // namespace tds

@@ -8,6 +8,7 @@
 // (c) the registry's batch path is bit-identical to per-item ingestion.
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <thread>
@@ -87,7 +88,7 @@ TEST(ShardedEngineTest, MultiProducerMatchesSerialReference) {
     for (int p = 0; p < kProducers; ++p) {
       producers.emplace_back([&, p] {
         for (int r = 0; r < kRounds; ++r) {
-          (*engine)->IngestBatch(schedule[p][r]);
+          EXPECT_TRUE((*engine)->IngestBatch(schedule[p][r]).ok());
           round_barrier.arrive_and_wait();
         }
       });
@@ -95,7 +96,7 @@ TEST(ShardedEngineTest, MultiProducerMatchesSerialReference) {
     for (auto& thread : producers) thread.join();
     done.store(true, std::memory_order_release);
     reader.join();
-    (*engine)->Flush();
+    ASSERT_TRUE((*engine)->Flush().ok());
     EXPECT_EQ((*engine)->ItemsApplied(),
               uint64_t{kProducers} * kRounds * kItemsPerRound);
 
@@ -204,7 +205,7 @@ TEST(ShardedEngineTest, RebalanceRacesProducersAndSnapshotReaders) {
     for (int p = 0; p < kProducers; ++p) {
       producers.emplace_back([&, p] {
         for (int r = 0; r < kRounds; ++r) {
-          (*engine)->IngestBatch(schedule[p][r]);
+          EXPECT_TRUE((*engine)->IngestBatch(schedule[p][r]).ok());
           round_barrier.arrive_and_wait();
         }
       });
@@ -213,7 +214,7 @@ TEST(ShardedEngineTest, RebalanceRacesProducersAndSnapshotReaders) {
     done.store(true, std::memory_order_release);
     rebalancer.join();
     snapshotter.join();
-    (*engine)->Flush();
+    ASSERT_TRUE((*engine)->Flush().ok());
 
     auto reference = AggregateRegistry::Create(config.decay, options.registry);
     ASSERT_TRUE(reference.ok());
@@ -236,6 +237,93 @@ TEST(ShardedEngineTest, RebalanceRacesProducersAndSnapshotReaders) {
   }
 }
 
+// Oversubscription: far more producers than cores, rings far smaller than
+// the offered load, adaptive backpressure. Producers must park (not burn a
+// core each) while writers catch up, and the blocking policy must admit
+// every item exactly once — no loss, no duplication, rejects impossible.
+TEST(ShardedEngineTest, OversubscribedProducersDontLoseOrDuplicate) {
+  const int kProducers =
+      2 * std::max(4u, std::thread::hardware_concurrency());
+  constexpr int kRounds = 8;
+  constexpr int kKeysPerProducer = 8;
+  constexpr int kItemsPerRound = 96;
+
+  ShardedAggregateEngine::Options options;
+  options.registry = RegistryOptions(Backend::kCeh, 0.2);
+  options.shards = 2;
+  options.queue_capacity = 64;  // far below the per-round offered load
+  options.backpressure = BackpressurePolicy::kAdaptive;
+  auto decay = SlidingWindowDecay::Create(1 << 16).value();
+  auto engine = ShardedAggregateEngine::Create(decay, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<std::vector<std::vector<KeyedItem>>> schedule(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    Rng rng(3000 + p);
+    schedule[p].resize(kRounds);
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kItemsPerRound; ++i) {
+        const uint64_t key =
+            p * kKeysPerProducer + rng.NextBelow(kKeysPerProducer);
+        schedule[p][r].push_back(KeyedItem{key, r + 1, 1 + rng.NextBelow(4)});
+      }
+    }
+  }
+
+  std::barrier round_barrier(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Mix the two blocking admission paths across producers.
+        if (p % 2 == 0) {
+          EXPECT_TRUE((*engine)->IngestBatch(schedule[p][r]).ok());
+        } else {
+          for (const KeyedItem& item : schedule[p][r]) {
+            EXPECT_TRUE((*engine)->Ingest(item.key, item.t, item.value).ok());
+          }
+        }
+        round_barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  ASSERT_TRUE((*engine)->Flush().ok());
+
+  // Conservation: every item applied exactly once, none rejected (the
+  // adaptive policy has no deadline, so admission always completes).
+  const uint64_t expected_items =
+      uint64_t{static_cast<uint64_t>(kProducers)} * kRounds * kItemsPerRound;
+  EXPECT_EQ((*engine)->ItemsApplied(), expected_items);
+  uint64_t rejected = 0;
+  uint64_t stall_ceiling = 0;
+  for (const auto& stats : (*engine)->Stats()) {
+    rejected += stats.items_rejected;
+    stall_ceiling = std::max(stall_ceiling, stats.max_queue_stall);
+  }
+  EXPECT_EQ(rejected, 0u);
+  // Stall streaks stay bounded: parked waits reset on progress, so no
+  // producer can have been wedged in a single astronomically long streak.
+  EXPECT_LT(stall_ceiling, 1u << 20);
+
+  auto reference = AggregateRegistry::Create(decay, options.registry);
+  ASSERT_TRUE(reference.ok());
+  for (int r = 0; r < kRounds; ++r) {
+    for (int p = 0; p < kProducers; ++p) {
+      for (const KeyedItem& item : schedule[p][r]) {
+        reference->Update(item.key, item.t, item.value);
+      }
+    }
+  }
+  for (uint64_t key = 0;
+       key < static_cast<uint64_t>(kProducers) * kKeysPerProducer; ++key) {
+    EXPECT_DOUBLE_EQ((*engine)->QueryKey(key, kRounds),
+                     reference->Query(key, kRounds))
+        << "key=" << key;
+  }
+  EXPECT_EQ((*engine)->KeyCount(), reference->KeyCount());
+}
+
 TEST(ShardedEngineTest, BatchedAndUnbatchedApplyAgree) {
   auto decay = PolynomialDecay::Create(2.0).value();
   ShardedAggregateEngine::Options batched_options;
@@ -256,10 +344,10 @@ TEST(ShardedEngineTest, BatchedAndUnbatchedApplyAgree) {
     if (rng.NextBelow(4) == 0) ++t;
     items.push_back(KeyedItem{rng.NextBelow(64), t, rng.NextBelow(3)});
   }
-  (*batched)->IngestBatch(items);
-  (*unbatched)->IngestBatch(items);
-  (*batched)->Flush();
-  (*unbatched)->Flush();
+  ASSERT_TRUE((*batched)->IngestBatch(items).ok());
+  ASSERT_TRUE((*unbatched)->IngestBatch(items).ok());
+  ASSERT_TRUE((*batched)->Flush().ok());
+  ASSERT_TRUE((*unbatched)->Flush().ok());
 
   for (uint64_t key = 0; key < 64; ++key) {
     EXPECT_DOUBLE_EQ((*batched)->QueryKey(key, t),
@@ -281,11 +369,11 @@ TEST(ShardedEngineTest, SnapshotReflectsFlushedItems) {
   ASSERT_TRUE(reference.ok());
   for (Tick t = 1; t <= 100; ++t) {
     for (uint64_t key = 0; key < 10; ++key) {
-      (*engine)->Ingest(key, t, key + 1);
+      ASSERT_TRUE((*engine)->Ingest(key, t, key + 1).ok());
       reference->Update(key, t, key + 1);
     }
   }
-  (*engine)->Flush();
+  ASSERT_TRUE((*engine)->Flush().ok());
 
   size_t snapshot_keys = 0;
   for (uint32_t shard = 0; shard < (*engine)->shards(); ++shard) {
@@ -312,7 +400,7 @@ TEST(ShardedEngineTest, DestructorDrainsPendingItems) {
   for (int i = 0; i < 10000; ++i) {
     items.push_back(KeyedItem{static_cast<uint64_t>(i % 97), 1, 1});
   }
-  (*engine)->IngestBatch(items);
+  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
   // Destroy without Flush: the writers must drain and join cleanly.
   engine.value().reset();
 }

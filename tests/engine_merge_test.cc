@@ -162,7 +162,7 @@ void FeedBoth(ShardedAggregateEngine& engine, AggregateRegistry& reference,
   constexpr size_t kChunk = 512;
   for (size_t i = 0; i < items.size(); i += kChunk) {
     const size_t n = std::min(kChunk, items.size() - i);
-    engine.IngestBatch({items.data() + i, n});
+    ASSERT_TRUE(engine.IngestBatch({items.data() + i, n}).ok());
   }
   for (const KeyedItem& item : items) {
     reference.Update(item.key, item.t, item.value);
@@ -206,7 +206,7 @@ TEST(MergedSnapshotTest, BitIdenticalToSerialReferenceAcrossRebalance) {
       items.push_back(KeyedItem{key, t, rng.NextBelow(5)});
     }
     FeedBoth(**engine, *reference, items);
-    (*engine)->Flush();
+    ASSERT_TRUE((*engine)->Flush().ok());
 
     // --- before any rebalance: byte-for-byte equality with the reference.
     auto merged = (*engine)->Snapshot();
@@ -243,7 +243,7 @@ TEST(MergedSnapshotTest, BitIdenticalToSerialReferenceAcrossRebalance) {
       more.push_back(KeyedItem{key, t, rng.NextBelow(5)});
     }
     FeedBoth(**engine, *reference, more);
-    (*engine)->Flush();
+    ASSERT_TRUE((*engine)->Flush().ok());
     merged = (*engine)->Snapshot();
     ASSERT_TRUE(merged.ok()) << merged.status().message();
     EXPECT_EQ(merged->KeyCount(), reference->KeyCount());
@@ -278,7 +278,7 @@ TEST(MergedSnapshotTest, ExplicitSliceMigrationPreservesEquality) {
     items.push_back(KeyedItem{rng.NextBelow(200), t, rng.NextBelow(4)});
   }
   FeedBoth(**engine, *reference, items);
-  (*engine)->Flush();
+  ASSERT_TRUE((*engine)->Flush().ok());
 
   // Move every slice to shard 2, in two waves, ingesting between them.
   const std::vector<uint32_t> first_wave = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
@@ -289,7 +289,7 @@ TEST(MergedSnapshotTest, ExplicitSliceMigrationPreservesEquality) {
     more.push_back(KeyedItem{rng.NextBelow(200), t, rng.NextBelow(4)});
   }
   FeedBoth(**engine, *reference, more);
-  (*engine)->Flush();
+  ASSERT_TRUE((*engine)->Flush().ok());
   const std::vector<uint32_t> second_wave = {12, 13, 14, 15, 16, 17, 18, 19,
                                              20, 21, 22, 23};
   ASSERT_TRUE((*engine)->MigrateSlices(second_wave, 2).ok());
@@ -325,8 +325,8 @@ TEST(MergedSnapshotTest, CodecRoundTripsAndRejectsCorruption) {
       if (rng.NextBelow(4) == 0) ++t;
       items.push_back(KeyedItem{rng.NextBelow(50), t, 1 + rng.NextBelow(3)});
     }
-    (*engine)->IngestBatch(items);
-    (*engine)->Flush();
+    ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+    ASSERT_TRUE((*engine)->Flush().ok());
     auto merged = (*engine)->Snapshot();
     ASSERT_TRUE(merged.ok());
 
@@ -370,8 +370,8 @@ TEST(MergedSnapshotTest, TopKMatchesBruteForce) {
     const uint64_t key = rng.NextBelow(1 + rng.NextBelow(80));
     items.push_back(KeyedItem{key, t, 1 + rng.NextBelow(4)});
   }
-  (*engine)->IngestBatch(items);
-  (*engine)->Flush();
+  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE((*engine)->Flush().ok());
   auto merged = (*engine)->Snapshot();
   ASSERT_TRUE(merged.ok());
 
@@ -415,8 +415,8 @@ TEST(MergedSnapshotTest, TopKBreaksTiesByKeyForEveryK) {
   for (uint64_t key = 0; key < 30; ++key) {
     items.push_back(KeyedItem{key, 1, 3 - key / 10});
   }
-  (*engine)->IngestBatch(items);
-  (*engine)->Flush();
+  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE((*engine)->Flush().ok());
   auto merged = (*engine)->Snapshot();
   ASSERT_TRUE(merged.ok());
 
@@ -467,8 +467,8 @@ TEST(ShardedEngineTest, RebalanceBelowThresholdsIsANoOp) {
   for (uint64_t key = 0; key < 100; ++key) {
     items.push_back(KeyedItem{key, 1, 1});
   }
-  (*engine)->IngestBatch(items);
-  (*engine)->Flush();
+  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE((*engine)->Flush().ok());
   auto rebalanced = (*engine)->RebalanceIfSkewed();
   ASSERT_TRUE(rebalanced.ok());
   EXPECT_FALSE(rebalanced.value());

@@ -6,7 +6,8 @@
 # Usage:
 #   tools/check.sh [stage...]
 #
-# Stages (default and "all": release asan tsan tidy thread-safety lint):
+# Stages (default and "all": release asan tsan faults tidy thread-safety
+# lint):
 #   release   Release build + full ctest suite (tier-1 verify).
 #   asan      ASan+UBSan build with -DTDS_AUDIT=ON (structural invariant
 #             audits after every mutation) + full ctest suite.
@@ -14,6 +15,12 @@
 #             sanitizer coverage for the sharded engine's concurrent code
 #             (engine_concurrency_test: multi-producer ingest, snapshot
 #             readers, and the rebalancer racing the writer threads).
+#   faults    Fault-injection matrix: ASan+UBSan build with
+#             -DTDS_FAILPOINTS=ON so the deterministic failpoints
+#             (util/failpoint.h) compile in, then the fault/checkpoint/
+#             backpressure suites and the fault fuzz driver — every
+#             injected failure must surface as a clean Status, never a
+#             crash, hang, leak, or audit violation.
 #   tidy      clang-tidy over src/ with the checked-in .clang-tidy, using
 #             the asan build's compilation database. Skipped with a notice
 #             when clang-tidy is not installed (the container image may not
@@ -36,9 +43,9 @@ set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STAGES="${*:-release asan tsan tidy thread-safety lint}"
+STAGES="${*:-release asan tsan faults tidy thread-safety lint}"
 if [ "$STAGES" = "all" ]; then
-  STAGES="release asan tsan tidy thread-safety lint"
+  STAGES="release asan tsan faults tidy thread-safety lint"
 fi
 
 log() { printf '\n== check.sh: %s ==\n' "$*"; }
@@ -75,7 +82,20 @@ for stage in $STAGES; do
         -DTDS_SANITIZE=thread
       log "TSan leg: engine merge differential + fuzz drivers present"
       ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
-        --no-tests=error -R 'EngineMerge|MergedSnapshot|RebalanceRaces'
+        --no-tests=error \
+        -R 'EngineMerge|MergedSnapshot|RebalanceRaces|Oversubscribed'
+      ;;
+    faults)
+      log "Fault-injection build (failpoints + ASan+UBSan + audits) + ctest"
+      build_and_test build-faults -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTDS_FAILPOINTS=ON -DTDS_SANITIZE="address;undefined" -DTDS_AUDIT=ON
+      # The fault matrix must actually run in this build (elsewhere the
+      # suites GTEST_SKIP without failpoints): --no-tests=error turns a
+      # silently-skipped matrix into a hard failure.
+      log "faults leg: fault matrix + checkpoint/backpressure suites present"
+      ctest --test-dir "$ROOT/build-faults" --output-on-failure \
+        --no-tests=error \
+        -R 'EngineFault|CheckpointTest|BackpressureTest'
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -120,7 +140,8 @@ for stage in $STAGES; do
       ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "known stages: release asan tsan tidy thread-safety lint all" >&2
+      echo "known stages: release asan tsan faults tidy thread-safety" \
+        "lint all" >&2
       exit 2
       ;;
   esac

@@ -37,4 +37,42 @@ if "$CLI" --engine=2 --save="$TMP/state.tds" "$TMP/keyed.txt" > /dev/null 2>&1; 
   echo "expected --engine with --save to fail" >&2
   exit 1
 fi
+
+# Engine checkpoint/restore: ingest -> checkpoint, restore into a fresh
+# engine with no further input -> identical top-k report (comments carry
+# run-local counters, so compare the data rows only).
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 --checkpoint="$TMP/engine.ckpt" \
+  "$TMP/keyed.txt" > "$TMP/ckpt_run.txt" 2> "$TMP/ckpt_err.txt"
+grep -q '# checkpoint -> ' "$TMP/ckpt_err.txt"
+: > "$TMP/empty.txt"
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 --restore="$TMP/engine.ckpt" \
+  "$TMP/empty.txt" > "$TMP/restored_run.txt"
+grep -v '^#' "$TMP/ckpt_run.txt" > "$TMP/ckpt_rows.txt"
+grep -v '^#' "$TMP/restored_run.txt" > "$TMP/restored_rows.txt"
+cmp "$TMP/ckpt_rows.txt" "$TMP/restored_rows.txt"
+
+# Checkpoint mid-stream + restore + remainder must equal one uninterrupted
+# run (crash/recover then catch up).
+printf '1 7 3\n1 9 2\n' > "$TMP/keyed_p1.txt"
+printf '2 7 5\n3 11 1\n' > "$TMP/keyed_p2.txt"
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 --checkpoint="$TMP/mid.ckpt" \
+  "$TMP/keyed_p1.txt" > /dev/null 2> /dev/null
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 --restore="$TMP/mid.ckpt" \
+  "$TMP/keyed_p2.txt" | grep -v '^#' > "$TMP/resumed_engine.txt"
+cmp "$TMP/resumed_engine.txt" "$TMP/ckpt_rows.txt"
+
+# A torn (truncated) checkpoint with no .prev must refuse to restore.
+SIZE="$(wc -c < "$TMP/mid.ckpt")"
+head -c "$((SIZE - 5))" "$TMP/mid.ckpt" > "$TMP/torn.ckpt"
+if "$CLI" --decay=sliwin:64 --engine=2 --restore="$TMP/torn.ckpt" \
+  "$TMP/empty.txt" > /dev/null 2>&1; then
+  echo "expected truncated checkpoint restore to fail" >&2
+  exit 1
+fi
+
+# Checkpoint options require engine mode.
+if "$CLI" --checkpoint="$TMP/x.ckpt" "$TMP/stream.txt" > /dev/null 2>&1; then
+  echo "expected --checkpoint without --engine to fail" >&2
+  exit 1
+fi
 echo CLI_SMOKE_OK

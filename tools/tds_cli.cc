@@ -33,6 +33,7 @@
 #include "decay/exponential.h"
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
+#include "engine/checkpoint.h"
 #include "engine/engine.h"
 #include "engine/merged_snapshot.h"
 
@@ -57,7 +58,12 @@ void Usage() {
       "                       snapshot report (incompatible with\n"
       "                       --probe/--save/--load)\n"
       "  --topk=K             keys to print in the engine report\n"
-      "                       (default 10)\n");
+      "                       (default 10)\n"
+      "  --checkpoint=FILE    (engine mode) write a crash-consistent\n"
+      "                       checkpoint after the stream ends\n"
+      "  --restore=FILE       (engine mode) restore from a checkpoint\n"
+      "                       before ingesting (decay/backend/epsilon must\n"
+      "                       match the checkpointed run)\n");
 }
 
 StatusOr<DecayPtr> ParseDecay(const std::string& spec) {
@@ -89,7 +95,9 @@ StatusOr<Backend> ParseBackend(const std::string& name) {
 /// Sharded engine mode: "tick key value" triples -> batch ingest with
 /// periodic skew checks -> merged-snapshot report.
 int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
-                  uint32_t shards, size_t topk, std::istream& in) {
+                  uint32_t shards, size_t topk,
+                  const std::string& checkpoint_path,
+                  const std::string& restore_path, std::istream& in) {
   ShardedAggregateEngine::Options options;
   options.registry.aggregate = AggregateOptions::Builder()
                                    .backend(backend)
@@ -102,6 +110,14 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  if (!restore_path.empty()) {
+    const Status restored = RestoreFromCheckpoint(**engine, restore_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "error: %s\n", restored.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# restored from %s\n", restore_path.c_str());
+  }
 
   constexpr size_t kBatch = 4096;
   std::vector<KeyedItem> batch;
@@ -112,7 +128,11 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
   size_t line_number = 0;
   const auto flush_batch = [&] {
     if (batch.empty()) return true;
-    (*engine)->IngestBatch(batch);
+    const Status ingested = (*engine)->IngestBatch(batch);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "error: %s\n", ingested.ToString().c_str());
+      return false;
+    }
     batch.clear();
     // Between batches is the natural rebalance point: the check is a pair
     // of atomic stat reads unless the skew trigger actually fires.
@@ -148,7 +168,19 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
     if (batch.size() >= kBatch && !flush_batch()) return 1;
   }
   if (!flush_batch()) return 1;
-  (*engine)->Flush();
+  const Status flushed = (*engine)->Flush();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "error: %s\n", flushed.ToString().c_str());
+    return 1;
+  }
+  if (!checkpoint_path.empty()) {
+    const Status written = WriteCheckpoint(**engine, checkpoint_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# checkpoint -> %s\n", checkpoint_path.c_str());
+  }
 
   auto merged = (*engine)->Snapshot();
   if (!merged.ok()) {
@@ -178,6 +210,7 @@ int main(int argc, char** argv) {
   std::string decay_spec = "poly:1.0";
   std::string backend_name = "auto";
   std::string save_path, load_path, input_path;
+  std::string checkpoint_path, restore_path;
   double epsilon = 0.1;
   Tick probe = 0;
   long long engine_shards = 0;
@@ -205,6 +238,10 @@ int main(int argc, char** argv) {
       engine_shards = std::atoll(v);
     } else if (const char* v = value_of("--topk=")) {
       topk = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--checkpoint=")) {
+      checkpoint_path = v;
+    } else if (const char* v = value_of("--restore=")) {
+      restore_path = v;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -251,7 +288,12 @@ int main(int argc, char** argv) {
     }
     return RunEngineMode(std::move(decay).value(), *backend, epsilon,
                          static_cast<uint32_t>(engine_shards), topk,
-                         *engine_in);
+                         checkpoint_path, restore_path, *engine_in);
+  }
+  if (!checkpoint_path.empty() || !restore_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint/--restore require --engine mode\n");
+    return 2;
   }
 
   std::unique_ptr<DecayedAggregate> sum;

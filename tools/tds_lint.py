@@ -17,6 +17,11 @@ Mechanical checks for conventions the compiler cannot enforce:
                       replayable. (bench/ and examples/ may read clocks.)
   todo-owner          Every task marker carries an owner — `(name):` after
                       the marker word.
+  spin-loop           No yield/pause/sleep retry idioms in src/engine
+                      outside wait_strategy.h: every producer or consumer
+                      wait goes through StagedWait, which bounds spinning
+                      and parks on a condition variable, so an overloaded
+                      engine cannot silently burn a core per thread.
 
 Usage:
   tools/tds_lint.py [--root DIR]     lint the tree (default: repo root)
@@ -61,6 +66,12 @@ WALL_CLOCK_PATTERN = re.compile(
 )
 
 TODO_PATTERN = re.compile(r"\b" + TODO_WORD + r"\b(?!\()")
+
+SPIN_PATTERN = re.compile(
+    r"std::this_thread::(yield|sleep_for|sleep_until)\s*\("
+    r"|\b_mm_pause\s*\("
+    r"|__builtin_ia32_pause\s*\("
+)
 
 AGGREGATE_DECL_PATTERN = re.compile(
     r"class\s+(\w+)\s*(?::\s*public\s+DecayedAggregate)"
@@ -158,6 +169,21 @@ def check_todo_owner(root: Path, out):
         )
 
 
+def check_spin_loop(root: Path, out):
+    exempt = root / "src" / "engine" / "wait_strategy.h"
+    for path in iter_source_files(root, ["src/engine"], CXX_SUFFIXES):
+        if path == exempt:
+            continue
+        scan_pattern(
+            "spin-loop",
+            SPIN_PATTERN,
+            path,
+            "yield/pause/sleep retry idiom outside wait_strategy.h; wait "
+            "through StagedWait so stalls stay bounded and parked",
+            out,
+        )
+
+
 def check_aggregate_coverage(root: Path, out):
     fuzz_dir = root / "tests" / "fuzz"
     fuzz_text = ""
@@ -197,6 +223,7 @@ def lint(root: Path):
     check_raw_mutex(root, out)
     check_wall_clock(root, out)
     check_todo_owner(root, out)
+    check_spin_loop(root, out)
     check_aggregate_coverage(root, out)
     return out
 
@@ -210,6 +237,7 @@ def selftest(repo_root: Path) -> int:
         "raw-mutex": fixtures / "raw_mutex",
         "wall-clock": fixtures / "wall_clock",
         "todo-owner": fixtures / "todo_owner",
+        "spin-loop": fixtures / "spin_loop",
         "aggregate-coverage": fixtures / "aggregate_coverage",
     }
     failures = 0
