@@ -50,8 +50,11 @@ class CehDecayedSum : public DecayedAggregate {
   const ExponentialHistogram& histogram() const { return eh_; }
 
   /// Merges another CEH over a disjoint substream (same decay + epsilon):
-  /// the distributed-streams setting. See ExponentialHistogram::MergeFrom.
-  Status MergeFrom(const CehDecayedSum& other) { return eh_.MergeFrom(other.eh_); }
+  /// the distributed-streams setting. See ExponentialHistogram::MergeFrom,
+  /// which runs the post-mutation audit itself.
+  Status MergeFrom(const CehDecayedSum& other) {  // tds-analyze: allow(audit-hook)
+    return eh_.MergeFrom(other.eh_);
+  }
 
   /// Snapshot support (delegates to the histogram).
   void EncodeState(class Encoder& encoder) const { eh_.EncodeState(encoder); }

@@ -87,7 +87,11 @@ Status WbmhDecayedSum::EncodeState(Encoder& encoder) {
   encoder.PutSigned(layout_->start());
   Status status = layout_->EncodeState(encoder);
   if (!status.ok()) return status;
-  return counter_.EncodeState(encoder);
+  status = counter_.EncodeState(encoder);
+  // Sync + TrimLog mutate the shared representation even though the
+  // logical state is unchanged — audit them like any other mutation.
+  if (status.ok()) TDS_AUDIT_MUTATION(AuditInvariants());
+  return status;
 }
 
 Status WbmhDecayedSum::DecodeState(Decoder& decoder) {
@@ -105,16 +109,22 @@ Status WbmhDecayedSum::DecodeState(Decoder& decoder) {
   }
   Status status = layout_->DecodeState(decoder);
   if (!status.ok()) return status;
-  return counter_.DecodeState(decoder);
+  status = counter_.DecodeState(decoder);
+  if (status.ok()) TDS_AUDIT_MUTATION(AuditInvariants());
+  return status;
 }
 
 Status WbmhDecayedSum::EncodeCounterState(Encoder& encoder) {
   counter_.Sync();
-  return counter_.EncodeState(encoder);
+  const Status status = counter_.EncodeState(encoder);
+  if (status.ok()) TDS_AUDIT_MUTATION(counter_.AuditInvariants());
+  return status;
 }
 
 Status WbmhDecayedSum::DecodeCounterState(Decoder& decoder) {
-  return counter_.DecodeState(decoder);
+  const Status status = counter_.DecodeState(decoder);
+  if (status.ok()) TDS_AUDIT_MUTATION(counter_.AuditInvariants());
+  return status;
 }
 
 size_t WbmhDecayedSum::StorageBits() const {

@@ -44,7 +44,12 @@ Status IoError(const std::string& what, const std::string& path) {
   // kUnavailable: environmental IO failures are transient from the
   // engine's point of view — the in-memory state is intact and the write
   // can be retried (against another path if need be).
-  return Status::Unavailable(what + " " + path + ": " + std::strerror(errno));
+  // strerror's static buffer is racy only if two threads fail IO in the
+  // same instant and both read the result later; checkpoint IO is
+  // serialized per engine, and a garbled message string cannot corrupt
+  // state.
+  return Status::Unavailable(what + " " + path + ": " +
+                             std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
 }
 
 /// write(2) the whole buffer, riding out partial writes and EINTR.

@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/random.h"
+#include "util/schedule_chaos.h"
 
 namespace tds {
 namespace {
@@ -209,6 +210,9 @@ Status ShardedAggregateEngine::PushToShard(Shard& shard,
       // seq_cst: one half of the Dekker handshake with the writer's park
       // sequence (see WakeWriter). Same x86 code as release (lock xadd).
       shard.enqueued.fetch_add(pushed, std::memory_order_seq_cst);
+      // Chaos point: widen the gap between publishing work and deciding
+      // whether to wake, so the writer's park decision races the count.
+      TDS_INTERLEAVE_POINT("engine.push.enqueued");
       // Lazy wake: a parked writer self-wakes every kWriterParkSlice and
       // drains whatever accumulated, so steady ingest rides the ring and
       // pays no wake syscall per push (on a single-core host every such
@@ -279,6 +283,9 @@ Status ShardedAggregateEngine::WaitShardApplied(Shard& shard,
 
 void ShardedAggregateEngine::WaitQueuesDrained() {
   for (auto& shard : shards_) {
+    // Chaos point: producers may still be appending when a migration
+    // drain samples `enqueued`; widen that race.
+    TDS_INTERLEAVE_POINT("engine.migrate.drain");
     // Writers are alive here (Stop() drains before raising stop_, and the
     // other callers refuse stopped engines), so the wait terminates.
     (void)WaitShardApplied(*shard,
@@ -300,6 +307,9 @@ void ShardedAggregateEngine::WakeWriter(Shard& shard) {
   // TSan does not model fences (and GCC rejects them under
   // -fsanitize=thread).
   if (!shard.writer_parked.load(std::memory_order_seq_cst)) return;
+  // Chaos point: the writer may un-park or re-park between our load and
+  // the lock; the notify must stay correct either way.
+  TDS_INTERLEAVE_POINT("engine.wake.notify");
   // Lock then notify: if the writer is between its pre-park predicate
   // check and the wait, this blocks until the wait begins, so the notify
   // is not lost.
@@ -399,6 +409,9 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
     // but not yet counted can at worst ride out one park slice — the same
     // bound as any sub-threshold backlog.
     shard.writer_parked.store(true, std::memory_order_seq_cst);
+    // Chaos point: the parked-flag-to-predicate-recheck window is the
+    // exact interval the Dekker handshake protects; stretch it.
+    TDS_INTERLEAVE_POINT("engine.park.window");
     {
       MutexLock lock(shard.wake_mutex);
       if (shard.enqueued.load(std::memory_order_seq_cst) ==
@@ -645,6 +658,10 @@ Status ShardedAggregateEngine::MoveSlicesLocked(
     });
     return merge_status;
   }
+  // Chaos point: the route flip happens only after both registries
+  // settled; perturbing just before it hunts readers that cached a stale
+  // shard index across the publish.
+  TDS_INTERLEAVE_POINT("engine.route.publish");
   for (const uint32_t slice : moving) route_[slice] = to_index;
   rebalances_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

@@ -639,6 +639,9 @@ Status AggregateRegistry::EncodeState(std::string* out) {
     encoder.PutString(payload);
   }
   *out = encoder.Finish();
+  // Encoding syncs counters and trims the layout log — representation
+  // mutations that deserve the same audit net as logical ones.
+  TDS_AUDIT_MUTATION(AuditInvariants());
   return Status::OK();
 }
 

@@ -1,0 +1,106 @@
+#ifndef TDS_UTIL_SCHEDULE_CHAOS_H_
+#define TDS_UTIL_SCHEDULE_CHAOS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+#include "util/random.h"
+
+namespace tds {
+namespace sched_chaos {
+
+/// Schedule-perturbation race amplifier (docs/CORRECTNESS.md, "Schedule
+/// chaos"). `TDS_INTERLEAVE_POINT(name)` marks a scheduling-sensitive
+/// instant — a cursor publish, a park/wake handshake, a route-table flip —
+/// and compiles to nothing in ordinary builds. Under -DTDS_SCHED_CHAOS=ON
+/// each named point keeps a per-site hit counter and, on a seeded subset
+/// of hits, yields the thread or sleeps a bounded few microseconds. The
+/// effect is to stretch the tiny race windows TSan needs threads to
+/// actually collide in, without changing any observable state: a chaos run
+/// must produce byte-identical results to a quiet one, only with far more
+/// interleavings explored per execution.
+///
+/// The policy is a pure function of (seed, point name, hit index) — see
+/// DecisionFor — so a failing schedule replays exactly from its seed
+/// (TDS_SCHED_CHAOS_SEED in the environment; tools/check.sh chaos pins
+/// one). Perturbation lives here in util/, not the engine: the engine's
+/// own sources stay free of yield/sleep idioms (the spin-loop lint rule),
+/// and the macro keeps the instrumented call sites grep-able.
+
+enum class Decision : std::uint8_t { kNone, kYield, kSleep };
+
+/// FNV-1a over the point name: stable across runs and platforms, so a
+/// seed's schedule does not depend on link order or pointer values.
+inline std::uint64_t PointHash(const char* name) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char* p = name; *p != '\0'; ++p) {
+    hash ^= static_cast<unsigned char>(*p);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// The seeded policy, exposed (and compiled) independently of the build
+/// flag so tests can pin its determinism and mix quality everywhere:
+/// ~1/16 of hits sleep, a further ~3/16 yield, the rest run undisturbed.
+inline Decision DecisionFor(std::uint64_t seed, const char* name,
+                            std::uint64_t hit) {
+  const std::uint64_t mixed = HashCombine(seed, HashCombine(PointHash(name), hit));
+  if ((mixed & 15u) == 0) return Decision::kSleep;
+  if ((mixed & 3u) == 1) return Decision::kYield;
+  return Decision::kNone;
+}
+
+/// Sleep length in [1, 100] microseconds for a sleeping hit — long enough
+/// to push another thread through the window, bounded so chaos legs stay
+/// fast and hang-free.
+inline std::uint64_t SleepMicrosFor(std::uint64_t seed, const char* name,
+                                    std::uint64_t hit) {
+  const std::uint64_t mixed =
+      HashCombine(seed ^ 0x5eedc4a05ull, HashCombine(PointHash(name), hit));
+  return 1 + mixed % 100;
+}
+
+/// Process-wide seed, read once from TDS_SCHED_CHAOS_SEED (default 1).
+inline std::uint64_t Seed() {
+  static const std::uint64_t seed = [] {
+    // Read once at first perturbation, before threads race on it.
+    const char* env = std::getenv("TDS_SCHED_CHAOS_SEED");  // NOLINT(concurrency-mt-unsafe)
+    if (env == nullptr || *env == '\0') return std::uint64_t{1};
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 0));
+  }();
+  return seed;
+}
+
+inline void Perturb(const char* name, std::uint64_t hit) {
+  switch (DecisionFor(Seed(), name, hit)) {
+    case Decision::kNone:
+      break;
+    case Decision::kYield:
+      std::this_thread::yield();
+      break;
+    case Decision::kSleep:
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(SleepMicrosFor(Seed(), name, hit)));
+      break;
+  }
+}
+
+}  // namespace sched_chaos
+}  // namespace tds
+
+#ifdef TDS_SCHED_CHAOS
+#define TDS_INTERLEAVE_POINT(name)                                        \
+  do {                                                                    \
+    static std::atomic<std::uint64_t> tds_interleave_hits{0};             \
+    ::tds::sched_chaos::Perturb(                                          \
+        name, tds_interleave_hits.fetch_add(1, std::memory_order_relaxed)); \
+  } while (0)
+#else
+#define TDS_INTERLEAVE_POINT(name) ((void)0)
+#endif
+
+#endif  // TDS_UTIL_SCHEDULE_CHAOS_H_

@@ -1,7 +1,9 @@
-// Deterministic fuzz driver for the Cascaded Exponential Histogram:
+// Dual-mode fuzz driver for the Cascaded Exponential Histogram:
 // interleaves Update / Query / MergeFrom / snapshot round-trips under every
 // decay family, auditing invariants and comparing against a brute-force
-// decayed sum after each operation.
+// decayed sum after each operation. The gtest-free core consumes a
+// FuzzInput byte stream: deterministic seed-driven ctest target by default,
+// coverage-guided libFuzzer harness under -DTDS_LIBFUZZER.
 #include "core/ceh.h"
 
 #include <algorithm>
@@ -9,8 +11,6 @@
 #include <memory>
 #include <string>
 #include <utility>
-
-#include <gtest/gtest.h>
 
 #include "core/snapshot.h"
 #include "decay/exponential.h"
@@ -66,98 +66,120 @@ class ExactDecayedReference {
   std::deque<std::pair<Tick, uint64_t>> items_;
 };
 
-struct FuzzCase {
-  uint64_t seed;
+struct CehFuzzConfig {
   DecayKind decay;
   double epsilon;
   double envelope;  ///< Base relative envelope (pre-merge).
-  int ops;
+  int max_ops;
 };
 
-class CehFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
-
-std::unique_ptr<CehDecayedSum> MakeCeh(DecayKind kind, double epsilon) {
+std::unique_ptr<CehDecayedSum> MakeCeh(DecayKind kind, double epsilon,
+                                       const FuzzInput& in) {
   CehDecayedSum::Options options;
   options.epsilon = epsilon;
   auto ceh = CehDecayedSum::Create(MakeDecay(kind), options);
-  EXPECT_TRUE(ceh.ok()) << ceh.status().ToString();
+  TDS_FUZZ_CHECK(ceh.ok(), in, "Create: ", ceh.status().ToString());
   return std::move(ceh).value();
 }
 
-TEST_P(CehFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
-  const FuzzCase fuzz = GetParam();
-  FuzzRng rng(fuzz.seed);
-  const DecayPtr decay = MakeDecay(fuzz.decay);
-
-  std::unique_ptr<CehDecayedSum> ceh = MakeCeh(fuzz.decay, fuzz.epsilon);
+void RunCehFuzz(const CehFuzzConfig& config, FuzzInput& in) {
+  const DecayPtr decay = MakeDecay(config.decay);
+  std::unique_ptr<CehDecayedSum> ceh =
+      MakeCeh(config.decay, config.epsilon, in);
   ExactDecayedReference exact(decay);
   Tick now = 1;
   int merges = 0;
 
   auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = ceh->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    TDS_FUZZ_CHECK_OK(ceh->AuditInvariants(), in, "after ", op);
     const double reference = exact.Sum(now);
-    const double envelope = fuzz.envelope + merges * fuzz.epsilon;
-    EXPECT_NEAR(ceh->Query(now), reference,
-                envelope * reference + 0.5 + merges);
+    const double envelope = config.envelope + merges * config.epsilon;
+    TDS_FUZZ_CHECK_NEAR(ceh->Query(now), reference,
+                        envelope * reference + 0.5 + merges, in,
+                        "after ", op);
   };
 
-  for (int op = 0; op < fuzz.ops; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
+  for (int op = 0; op < config.max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
     if (kind < 60) {
-      now += static_cast<Tick>(rng.NextBelow(3));
+      now += static_cast<Tick>(in.Below(3));
       const uint64_t value =
-          rng.NextBelow(25) == 0 ? 1 + rng.NextBelow(1000) : rng.NextBelow(4);
+          in.Below(25) == 0 ? 1 + in.Below(1000) : in.Below(4);
       ceh->Update(now, value);
       exact.Add(now, value);
       check("Update");
     } else if (kind < 75) {
       // Quiet period: queries alone advance the clock and expire state.
-      now += static_cast<Tick>(rng.NextBelow(150));
+      now += static_cast<Tick>(in.Below(150));
       check("Advance");
     } else if (kind < 85) {
       // Full snapshot round-trip through the typed codec; continue on the
       // restored instance.
-      const Status audit_status = AuditSnapshotRoundTrip(*ceh);
-      ASSERT_TRUE(audit_status.ok()) << audit_status.ToString();
+      TDS_FUZZ_CHECK_OK(AuditSnapshotRoundTrip(*ceh), in,
+                        "AuditSnapshotRoundTrip");
       std::string blob;
-      const Status encode_status = EncodeDecayedSum(*ceh, &blob);
-      ASSERT_TRUE(encode_status.ok()) << encode_status.ToString();
+      TDS_FUZZ_CHECK_OK(EncodeDecayedSum(*ceh, &blob), in, "Encode");
       auto restored = DecodeDecayedSum(decay, blob);
-      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      TDS_FUZZ_CHECK(restored.ok(), in,
+                     "Decode: ", restored.status().ToString());
       auto* typed = dynamic_cast<CehDecayedSum*>(restored->get());
-      ASSERT_NE(typed, nullptr);
+      TDS_FUZZ_CHECK(typed != nullptr, in, "decoded type is not CEH");
       restored->release();
       ceh.reset(typed);
       check("SnapshotRoundTrip");
     } else if (kind < 92 && merges < 3) {
-      std::unique_ptr<CehDecayedSum> other = MakeCeh(fuzz.decay, fuzz.epsilon);
+      std::unique_ptr<CehDecayedSum> other =
+          MakeCeh(config.decay, config.epsilon, in);
       ExactDecayedReference other_exact(decay);
-      Tick other_now = std::max<Tick>(1, now - static_cast<Tick>(
-                                              rng.NextBelow(30)));
-      const int burst = 1 + static_cast<int>(rng.NextBelow(50));
+      Tick other_now =
+          std::max<Tick>(1, now - static_cast<Tick>(in.Below(30)));
+      const int burst = 1 + static_cast<int>(in.Below(50));
       for (int i = 0; i < burst; ++i) {
-        other_now += static_cast<Tick>(rng.NextBelow(2));
-        const uint64_t value = 1 + rng.NextBelow(3);
+        other_now += static_cast<Tick>(in.Below(2));
+        const uint64_t value = 1 + in.Below(3);
         other->Update(other_now, value);
         other_exact.Add(other_now, value);
       }
       now = std::max(now, other_now);
-      const Status status = ceh->MergeFrom(*other);
-      ASSERT_TRUE(status.ok()) << status.ToString();
+      TDS_FUZZ_CHECK_OK(ceh->MergeFrom(*other), in, "MergeFrom");
       exact.MergeFrom(other_exact);
       ++merges;
       check("MergeFrom");
     } else {
       // Repeated queries at one tick must be stable (memoization path).
       const double first = ceh->Query(now);
-      EXPECT_DOUBLE_EQ(ceh->Query(now), first);
+      TDS_FUZZ_CHECK_DOUBLE_EQ(ceh->Query(now), first, in,
+                               "repeated query drifted");
       check("RepeatedQuery");
     }
   }
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  DecayKind decay;
+  double epsilon;
+  double envelope;
+  int ops;
+};
+
+class CehFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CehFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
+  const FuzzCase fuzz = GetParam();
+  FuzzInput in = FuzzInput::FromSeed(
+      fuzz.seed, static_cast<size_t>(fuzz.ops) * 16);
+  RunCehFuzz({fuzz.decay, fuzz.epsilon, fuzz.envelope, fuzz.ops}, in);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -176,3 +198,26 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point: leading bytes pick decay family + epsilon
+// (with the matching hand-calibrated envelope), the rest drive the ops.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  const auto decay = static_cast<tds::DecayKind>(in.Below(4));
+  const bool tight = in.Below(4) == 0;
+  tds::CehFuzzConfig config;
+  config.decay = decay;
+  config.epsilon = tight ? 0.02 : 0.1;
+  // The sliding-window envelope is tighter than the smooth-decay families
+  // (same calibration as the ctest seed list).
+  config.envelope = decay == tds::DecayKind::kSliwin
+                        ? (tight ? 0.03 : 0.11)
+                        : (tight ? 0.06 : 0.3);
+  config.max_ops = 4096;
+  tds::RunCehFuzz(config, in);
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

@@ -1,11 +1,12 @@
-// Deterministic fuzz drivers for the Section 3 counter structures:
+// Dual-mode fuzz drivers for the Section 3 counter structures:
 // ExactDecayedSum, EwmaCounter, RecentItemsExpCounter, PolyExpCounter and
 // CoarseCehDecayedSum. Each driver interleaves Update / UpdateBatch /
-// quiet-period advances / snapshot round-trips from a counter-based RNG,
-// audits structural invariants after every operation, and compares the
-// estimate against a brute-force decayed sum at the guarantee each
+// quiet-period advances / snapshot round-trips from a FuzzInput byte
+// stream, audits structural invariants after every operation, and compares
+// the estimate against a brute-force decayed sum at the guarantee each
 // structure actually makes (exact, fixed-point-rounded, eps-tail, or
-// constant-factor).
+// constant-factor). Under -DTDS_LIBFUZZER the first input byte dispatches
+// among the five gtest-free cores.
 #include <algorithm>
 #include <cmath>
 #include <deque>
@@ -13,8 +14,6 @@
 #include <string>
 #include <utility>
 #include <vector>
-
-#include <gtest/gtest.h>
 
 #include "core/coarse_ceh.h"
 #include "core/ewma.h"
@@ -59,18 +58,17 @@ class ExactDecayedReference {
 /// One snapshot round-trip through the typed codec; returns the restored
 /// instance (downcast to T) so the driver continues on decoded state.
 template <typename T>
-std::unique_ptr<T> RoundTrip(T& aggregate, const DecayPtr& decay) {
-  const Status audit_status = AuditSnapshotRoundTrip(aggregate);
-  EXPECT_TRUE(audit_status.ok()) << audit_status.ToString();
+std::unique_ptr<T> RoundTrip(T& aggregate, const DecayPtr& decay,
+                             const FuzzInput& in) {
+  TDS_FUZZ_CHECK_OK(AuditSnapshotRoundTrip(aggregate), in,
+                    "AuditSnapshotRoundTrip");
   std::string blob;
-  const Status encode_status = EncodeDecayedSum(aggregate, &blob);
-  EXPECT_TRUE(encode_status.ok()) << encode_status.ToString();
+  TDS_FUZZ_CHECK_OK(EncodeDecayedSum(aggregate, &blob), in, "Encode");
   auto restored = DecodeDecayedSum(decay, blob);
-  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
-  if (!restored.ok()) return nullptr;
+  TDS_FUZZ_CHECK(restored.ok(), in,
+                 "Decode: ", restored.status().ToString());
   auto* typed = dynamic_cast<T*>(restored->get());
-  EXPECT_NE(typed, nullptr);
-  if (typed == nullptr) return nullptr;
+  TDS_FUZZ_CHECK(typed != nullptr, in, "decoded type mismatch");
   restored->release();
   return std::unique_ptr<T>(typed);
 }
@@ -78,6 +76,276 @@ std::unique_ptr<T> RoundTrip(T& aggregate, const DecayPtr& decay) {
 // ---------------------------------------------------------------------------
 // ExactDecayedSum: the estimate IS the brute-force sum; require agreement to
 // floating-point noise, under both a finite-horizon and an infinite decay.
+
+void RunExactFuzz(bool sliding, int max_ops, FuzzInput& in) {
+  const DecayPtr decay = sliding ? SlidingWindowDecay::Create(64).value()
+                                 : PolynomialDecay::Create(1.5).value();
+  auto exact = ExactDecayedSum::Create(decay).value();
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    TDS_FUZZ_CHECK_OK(exact->AuditInvariants(), in, "after ", op);
+    const double expected = reference.Sum(now);
+    TDS_FUZZ_CHECK_NEAR(exact->Query(now), expected,
+                        1e-9 * expected + 1e-9, in, "after ", op);
+  };
+
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(in.Below(3));
+      const uint64_t value = in.Below(5);
+      exact->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      check("Update");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(in.Below(100));
+      exact->Advance(now);
+      check("Advance");
+    } else {
+      exact = RoundTrip(*exact, decay, in);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EwmaCounter: with mantissa rounding off the register is the brute-force
+// exponential sum to fp noise; with b mantissa bits each rounding step is a
+// relative (1 +- 2^-b) perturbation. Batch ingestion must be bit-identical
+// to per-item ingestion.
+
+void RunEwmaFuzz(int mantissa_bits, int max_ops, FuzzInput& in) {
+  const double lambda = 0.05;
+  const DecayPtr decay = ExponentialDecay::Create(lambda).value();
+  EwmaCounter::Options options;
+  options.mantissa_bits = mantissa_bits;
+  auto ewma = EwmaCounter::Create(decay, options).value();
+  auto mirror = EwmaCounter::Create(decay, options).value();  // per-item twin
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+  // Mantissa rounding compounds per operation: each add/decay step perturbs
+  // by a relative 2^-b, so after n mutations the envelope is ~n * 2^-b.
+  int mutations = 0;
+
+  auto check = [&](const char* op) {
+    TDS_FUZZ_CHECK_OK(ewma->AuditInvariants(), in, "after ", op);
+    const double expected = reference.Sum(now);
+    const double rel =
+        mantissa_bits > 0
+            ? static_cast<double>(mutations) * std::ldexp(1.0, -mantissa_bits)
+            : 1e-9;
+    TDS_FUZZ_CHECK_NEAR(ewma->Query(now), expected, rel * expected + 1e-9,
+                        in, "after ", op);
+    // The per-item twin replayed the identical item sequence: bit-equal.
+    TDS_FUZZ_CHECK_DOUBLE_EQ(ewma->Query(now), mirror->Query(now), in,
+                             "batch/per-item divergence after ", op);
+  };
+
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 45) {
+      now += static_cast<Tick>(in.Below(3));
+      const uint64_t value = in.Below(6);
+      ewma->Update(now, value);
+      mirror->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      mutations += 2;
+      check("Update");
+    } else if (kind < 70) {
+      // Batch of same-tick-run items through UpdateBatch on the primary,
+      // per-item on the mirror.
+      std::vector<StreamItem> batch;
+      const int len = 1 + static_cast<int>(in.Below(8));
+      for (int i = 0; i < len; ++i) {
+        now += static_cast<Tick>(in.Below(2));
+        batch.push_back(StreamItem{now, in.Below(4)});
+      }
+      ewma->UpdateBatch(batch);
+      for (const StreamItem& item : batch) {
+        mirror->Update(item.t, item.value);
+        if (item.value > 0) reference.Add(item.t, item.value);
+      }
+      mutations += 2 * len;
+      check("UpdateBatch");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(in.Below(60));
+      ewma->Advance(now);
+      mirror->Advance(now);
+      ++mutations;
+      check("Advance");
+    } else {
+      ewma = RoundTrip(*ewma, decay, in);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RecentItemsExpCounter: dropping all but the C most recent items only loses
+// mass, so the estimate is a lower bound on the brute-force sum; when the
+// structure never overflowed its capacity the two agree to fp noise.
+
+void RunRecentItemsFuzz(int max_ops, FuzzInput& in) {
+  const double lambda = 0.1;
+  const DecayPtr decay = ExponentialDecay::Create(lambda).value();
+  RecentItemsExpCounter::Options options;
+  options.epsilon = 0.05;
+  auto recent = RecentItemsExpCounter::Create(decay, options).value();
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+  size_t inserted = 0;
+
+  auto check = [&](const char* op) {
+    TDS_FUZZ_CHECK_OK(recent->AuditInvariants(), in, "after ", op);
+    const double expected = reference.Sum(now);
+    const double estimate = recent->Query(now);
+    TDS_FUZZ_CHECK(estimate <= expected * (1.0 + 1e-9) + 1e-9, in,
+                   "estimate=", estimate, " exceeds reference=", expected);
+    if (inserted <= recent->capacity()) {
+      // Nothing has been evicted yet: the value-shifted timestamps recover
+      // the sum exactly.
+      TDS_FUZZ_CHECK_NEAR(estimate, expected, 1e-9 * expected + 1e-9, in,
+                          "after ", op);
+    }
+  };
+
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(in.Below(3));
+      const uint64_t value = 1 + in.Below(8);
+      recent->Update(now, value);
+      reference.Add(now, value);
+      ++inserted;
+      check("Update");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(in.Below(40));
+      recent->Advance(now);
+      check("Advance");
+    } else {
+      recent = RoundTrip(*recent, decay, in);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PolyExpCounter: the k+1 pipelined registers reproduce the brute-force
+// polyexponential sum up to fp noise from the binomial gap jumps. Batch
+// ingestion must be bit-identical to per-item ingestion.
+
+void RunPolyExpFuzz(int k, int max_ops, FuzzInput& in) {
+  const double lambda = 0.08;
+  const DecayPtr decay = PolyExponentialDecay::Create(k, lambda).value();
+  auto counter = PolyExpCounter::Create(decay).value();
+  auto mirror = PolyExpCounter::Create(decay).value();  // per-item twin
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    TDS_FUZZ_CHECK_OK(counter->AuditInvariants(), in, "after ", op);
+    const double expected = reference.Sum(now);
+    TDS_FUZZ_CHECK_NEAR(counter->Query(now), expected,
+                        1e-6 * expected + 1e-6, in, "after ", op);
+    TDS_FUZZ_CHECK_DOUBLE_EQ(counter->Query(now), mirror->Query(now), in,
+                             "batch/per-item divergence after ", op);
+  };
+
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 45) {
+      now += static_cast<Tick>(in.Below(3));
+      const uint64_t value = in.Below(5);
+      counter->Update(now, value);
+      mirror->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      check("Update");
+    } else if (kind < 70) {
+      std::vector<StreamItem> batch;
+      const int len = 1 + static_cast<int>(in.Below(8));
+      for (int i = 0; i < len; ++i) {
+        now += static_cast<Tick>(in.Below(2));
+        batch.push_back(StreamItem{now, in.Below(4)});
+      }
+      counter->UpdateBatch(batch);
+      for (const StreamItem& item : batch) {
+        mirror->Update(item.t, item.value);
+        if (item.value > 0) reference.Add(item.t, item.value);
+      }
+      check("UpdateBatch");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(in.Below(50));
+      counter->Advance(now);
+      mirror->Advance(now);
+      check("Advance");
+    } else {
+      counter = RoundTrip(*counter, decay, in);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CoarseCehDecayedSum: only a constant-factor guarantee (grid quantization
+// plus stochastic aging), so the driver audits structure after every op and
+// requires the estimate to stay within a generous constant factor of the
+// brute-force sum. Deterministic: the input stream drives both the op
+// sequence and (indirectly) the aging RNG.
+
+void RunCoarseCehFuzz(int max_ops, FuzzInput& in) {
+  const DecayPtr decay = PolynomialDecay::Create(1.0).value();
+  CoarseCehDecayedSum::Options options;
+  options.epsilon = 0.1;
+  options.boundary_delta = 0.25;
+  auto coarse = CoarseCehDecayedSum::Create(decay, options).value();
+  ExactDecayedReference reference(decay);
+  Tick now = 1;
+
+  auto check = [&](const char* op) {
+    TDS_FUZZ_CHECK_OK(coarse->AuditInvariants(), in, "after ", op);
+    const double expected = reference.Sum(now);
+    const double estimate = coarse->Query(now);
+    TDS_FUZZ_CHECK(std::isfinite(estimate) && estimate >= 0.0, in,
+                   "estimate=", estimate);
+    if (expected > 1.0) {
+      TDS_FUZZ_CHECK(estimate >= expected / 8.0 &&
+                         estimate <= expected * 8.0,
+                     in, "estimate=", estimate, " expected=", expected,
+                     " after ", op);
+    }
+  };
+
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(in.Below(3));
+      const uint64_t value =
+          in.Below(30) == 0 ? 1 + in.Below(200) : in.Below(4);
+      coarse->Update(now, value);
+      if (value > 0) reference.Add(now, value);
+      check("Update");
+    } else if (kind < 85) {
+      now += static_cast<Tick>(in.Below(40));
+      coarse->Advance(now);
+      check("Advance");
+    } else {
+      coarse = RoundTrip(*coarse, decay, in);
+      check("SnapshotRoundTrip");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
 
 struct ExactCase {
   uint64_t seed;
@@ -89,41 +357,9 @@ class ExactFuzzTest : public ::testing::TestWithParam<ExactCase> {};
 
 TEST_P(ExactFuzzTest, MatchesBruteForceExactly) {
   const ExactCase fuzz = GetParam();
-  FuzzRng rng(fuzz.seed);
-  const DecayPtr decay = fuzz.sliding
-                             ? SlidingWindowDecay::Create(64).value()
-                             : PolynomialDecay::Create(1.5).value();
-  auto exact = ExactDecayedSum::Create(decay).value();
-  ExactDecayedReference reference(decay);
-  Tick now = 1;
-
-  auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = exact->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    const double expected = reference.Sum(now);
-    EXPECT_NEAR(exact->Query(now), expected, 1e-9 * expected + 1e-9);
-  };
-
-  for (int op = 0; op < fuzz.ops; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
-    if (kind < 70) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      const uint64_t value = rng.NextBelow(5);
-      exact->Update(now, value);
-      if (value > 0) reference.Add(now, value);
-      check("Update");
-    } else if (kind < 85) {
-      now += static_cast<Tick>(rng.NextBelow(100));
-      exact->Advance(now);
-      check("Advance");
-    } else {
-      exact = RoundTrip(*exact, decay);
-      ASSERT_NE(exact, nullptr);
-      check("SnapshotRoundTrip");
-    }
-  }
+  FuzzInput in = FuzzInput::FromSeed(
+      fuzz.seed, static_cast<size_t>(fuzz.ops) * 8);
+  RunExactFuzz(fuzz.sliding, fuzz.ops, in);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactFuzzTest,
@@ -136,12 +372,6 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ExactFuzzTest,
                                   (info.param.sliding ? "Sliwin" : "Poly");
                          });
 
-// ---------------------------------------------------------------------------
-// EwmaCounter: with mantissa rounding off the register is the brute-force
-// exponential sum to fp noise; with b mantissa bits each rounding step is a
-// relative (1 +- 2^-b) perturbation. Batch ingestion must be bit-identical
-// to per-item ingestion.
-
 struct EwmaCase {
   uint64_t seed;
   int mantissa_bits;  ///< 0 = full doubles
@@ -152,73 +382,9 @@ class EwmaFuzzTest : public ::testing::TestWithParam<EwmaCase> {};
 
 TEST_P(EwmaFuzzTest, TracksReferenceAndBatchMatchesPerItem) {
   const EwmaCase fuzz = GetParam();
-  FuzzRng rng(fuzz.seed);
-  const double lambda = 0.05;
-  const DecayPtr decay = ExponentialDecay::Create(lambda).value();
-  EwmaCounter::Options options;
-  options.mantissa_bits = fuzz.mantissa_bits;
-  auto ewma = EwmaCounter::Create(decay, options).value();
-  auto mirror = EwmaCounter::Create(decay, options).value();  // per-item twin
-  ExactDecayedReference reference(decay);
-  Tick now = 1;
-  // Mantissa rounding compounds per operation: each add/decay step perturbs
-  // by a relative 2^-b, so after n mutations the envelope is ~n * 2^-b.
-  int mutations = 0;
-
-  auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = ewma->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    const double expected = reference.Sum(now);
-    const double rel =
-        fuzz.mantissa_bits > 0
-            ? static_cast<double>(mutations) *
-                  std::ldexp(1.0, -fuzz.mantissa_bits)
-            : 1e-9;
-    EXPECT_NEAR(ewma->Query(now), expected, rel * expected + 1e-9);
-    // The per-item twin replayed the identical item sequence: bit-equal.
-    EXPECT_DOUBLE_EQ(ewma->Query(now), mirror->Query(now));
-  };
-
-  for (int op = 0; op < fuzz.ops; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
-    if (kind < 45) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      const uint64_t value = rng.NextBelow(6);
-      ewma->Update(now, value);
-      mirror->Update(now, value);
-      if (value > 0) reference.Add(now, value);
-      mutations += 2;
-      check("Update");
-    } else if (kind < 70) {
-      // Batch of same-tick-run items through UpdateBatch on the primary,
-      // per-item on the mirror.
-      std::vector<StreamItem> batch;
-      const int len = 1 + static_cast<int>(rng.NextBelow(8));
-      for (int i = 0; i < len; ++i) {
-        now += static_cast<Tick>(rng.NextBelow(2));
-        batch.push_back(StreamItem{now, rng.NextBelow(4)});
-      }
-      ewma->UpdateBatch(batch);
-      for (const StreamItem& item : batch) {
-        mirror->Update(item.t, item.value);
-        if (item.value > 0) reference.Add(item.t, item.value);
-      }
-      mutations += 2 * len;
-      check("UpdateBatch");
-    } else if (kind < 85) {
-      now += static_cast<Tick>(rng.NextBelow(60));
-      ewma->Advance(now);
-      mirror->Advance(now);
-      ++mutations;
-      check("Advance");
-    } else {
-      ewma = RoundTrip(*ewma, decay);
-      ASSERT_NE(ewma, nullptr);
-      check("SnapshotRoundTrip");
-    }
-  }
+  FuzzInput in = FuzzInput::FromSeed(
+      fuzz.seed, static_cast<size_t>(fuzz.ops) * 16);
+  RunEwmaFuzz(fuzz.mantissa_bits, fuzz.ops, in);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EwmaFuzzTest,
@@ -232,61 +398,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EwmaFuzzTest,
                                   std::to_string(info.param.mantissa_bits);
                          });
 
-// ---------------------------------------------------------------------------
-// RecentItemsExpCounter: dropping all but the C most recent items only loses
-// mass, so the estimate is a lower bound on the brute-force sum; when the
-// structure never overflowed its capacity the two agree to fp noise.
-
 TEST(RecentItemsFuzzTest, EstimateLowerBoundsReferenceAndAuditsHold) {
-  FuzzRng rng(0xec01);
-  const double lambda = 0.1;
-  const DecayPtr decay = ExponentialDecay::Create(lambda).value();
-  RecentItemsExpCounter::Options options;
-  options.epsilon = 0.05;
-  auto recent = RecentItemsExpCounter::Create(decay, options).value();
-  ExactDecayedReference reference(decay);
-  Tick now = 1;
-  size_t inserted = 0;
-
-  auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " draw=" + std::to_string(rng.counter()));
-    const Status audit = recent->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    const double expected = reference.Sum(now);
-    const double estimate = recent->Query(now);
-    EXPECT_LE(estimate, expected * (1.0 + 1e-9) + 1e-9);
-    if (inserted <= recent->capacity()) {
-      // Nothing has been evicted yet: the value-shifted timestamps recover
-      // the sum exactly.
-      EXPECT_NEAR(estimate, expected, 1e-9 * expected + 1e-9);
-    }
-  };
-
-  for (int op = 0; op < 800; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
-    if (kind < 70) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      const uint64_t value = 1 + rng.NextBelow(8);
-      recent->Update(now, value);
-      reference.Add(now, value);
-      ++inserted;
-      check("Update");
-    } else if (kind < 85) {
-      now += static_cast<Tick>(rng.NextBelow(40));
-      recent->Advance(now);
-      check("Advance");
-    } else {
-      recent = RoundTrip(*recent, decay);
-      ASSERT_NE(recent, nullptr);
-      check("SnapshotRoundTrip");
-    }
-  }
+  FuzzInput in = FuzzInput::FromSeed(0xec01, 800 * 8);
+  RunRecentItemsFuzz(800, in);
 }
-
-// ---------------------------------------------------------------------------
-// PolyExpCounter: the k+1 pipelined registers reproduce the brute-force
-// polyexponential sum up to fp noise from the binomial gap jumps. Batch
-// ingestion must be bit-identical to per-item ingestion.
 
 struct PolyExpCase {
   uint64_t seed;
@@ -298,58 +413,9 @@ class PolyExpFuzzTest : public ::testing::TestWithParam<PolyExpCase> {};
 
 TEST_P(PolyExpFuzzTest, RegistersTrackBruteForce) {
   const PolyExpCase fuzz = GetParam();
-  FuzzRng rng(fuzz.seed);
-  const double lambda = 0.08;
-  const DecayPtr decay =
-      PolyExponentialDecay::Create(fuzz.k, lambda).value();
-  auto counter = PolyExpCounter::Create(decay).value();
-  auto mirror = PolyExpCounter::Create(decay).value();  // per-item twin
-  ExactDecayedReference reference(decay);
-  Tick now = 1;
-
-  auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = counter->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    const double expected = reference.Sum(now);
-    EXPECT_NEAR(counter->Query(now), expected, 1e-6 * expected + 1e-6);
-    EXPECT_DOUBLE_EQ(counter->Query(now), mirror->Query(now));
-  };
-
-  for (int op = 0; op < fuzz.ops; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
-    if (kind < 45) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      const uint64_t value = rng.NextBelow(5);
-      counter->Update(now, value);
-      mirror->Update(now, value);
-      if (value > 0) reference.Add(now, value);
-      check("Update");
-    } else if (kind < 70) {
-      std::vector<StreamItem> batch;
-      const int len = 1 + static_cast<int>(rng.NextBelow(8));
-      for (int i = 0; i < len; ++i) {
-        now += static_cast<Tick>(rng.NextBelow(2));
-        batch.push_back(StreamItem{now, rng.NextBelow(4)});
-      }
-      counter->UpdateBatch(batch);
-      for (const StreamItem& item : batch) {
-        mirror->Update(item.t, item.value);
-        if (item.value > 0) reference.Add(item.t, item.value);
-      }
-      check("UpdateBatch");
-    } else if (kind < 85) {
-      now += static_cast<Tick>(rng.NextBelow(50));
-      counter->Advance(now);
-      mirror->Advance(now);
-      check("Advance");
-    } else {
-      counter = RoundTrip(*counter, decay);
-      ASSERT_NE(counter, nullptr);
-      check("SnapshotRoundTrip");
-    }
-  }
+  FuzzInput in = FuzzInput::FromSeed(
+      fuzz.seed, static_cast<size_t>(fuzz.ops) * 16);
+  RunPolyExpFuzz(fuzz.k, fuzz.ops, in);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolyExpFuzzTest,
@@ -363,56 +429,41 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PolyExpFuzzTest,
                                   "K" + std::to_string(info.param.k);
                          });
 
-// ---------------------------------------------------------------------------
-// CoarseCehDecayedSum: only a constant-factor guarantee (grid quantization
-// plus stochastic aging), so the driver audits structure after every op and
-// requires the estimate to stay within a generous constant factor of the
-// brute-force sum. Deterministic: fixed seeds drive both the op sequence
-// and the aging RNG.
-
 TEST(CoarseCehFuzzTest, ConstantFactorAndAuditsHold) {
-  FuzzRng rng(0xee01);
-  const DecayPtr decay = PolynomialDecay::Create(1.0).value();
-  CoarseCehDecayedSum::Options options;
-  options.epsilon = 0.1;
-  options.boundary_delta = 0.25;
-  auto coarse = CoarseCehDecayedSum::Create(decay, options).value();
-  ExactDecayedReference reference(decay);
-  Tick now = 1;
-
-  auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " draw=" + std::to_string(rng.counter()));
-    const Status audit = coarse->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    const double expected = reference.Sum(now);
-    const double estimate = coarse->Query(now);
-    EXPECT_TRUE(std::isfinite(estimate) && estimate >= 0.0);
-    if (expected > 1.0) {
-      EXPECT_GE(estimate, expected / 8.0);
-      EXPECT_LE(estimate, expected * 8.0);
-    }
-  };
-
-  for (int op = 0; op < 600; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
-    if (kind < 70) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      const uint64_t value =
-          rng.NextBelow(30) == 0 ? 1 + rng.NextBelow(200) : rng.NextBelow(4);
-      coarse->Update(now, value);
-      if (value > 0) reference.Add(now, value);
-      check("Update");
-    } else if (kind < 85) {
-      now += static_cast<Tick>(rng.NextBelow(40));
-      coarse->Advance(now);
-      check("Advance");
-    } else {
-      coarse = RoundTrip(*coarse, decay);
-      ASSERT_NE(coarse, nullptr);
-      check("SnapshotRoundTrip");
-    }
-  }
+  FuzzInput in = FuzzInput::FromSeed(0xee01, 600 * 8);
+  RunCoarseCehFuzz(600, in);
 }
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point: the first byte dispatches among the five
+// Section 3 counter cores, the next bytes pick that core's configuration.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  constexpr int kMaxOps = 4096;
+  switch (in.Below(5)) {
+    case 0:
+      tds::RunExactFuzz(in.Below(2) == 0, kMaxOps, in);
+      break;
+    case 1: {
+      constexpr int kMantissa[] = {0, 16, 24};
+      tds::RunEwmaFuzz(kMantissa[in.Below(3)], kMaxOps, in);
+      break;
+    }
+    case 2:
+      tds::RunRecentItemsFuzz(kMaxOps, in);
+      break;
+    case 3:
+      tds::RunPolyExpFuzz(1 + static_cast<int>(in.Below(3)), kMaxOps, in);
+      break;
+    default:
+      tds::RunCoarseCehFuzz(kMaxOps, in);
+      break;
+  }
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

@@ -1,20 +1,133 @@
-// Deterministic fuzz driver for ExponentialHistogram: randomized but
+// Dual-mode fuzz driver for ExponentialHistogram: randomized but
 // reproducible interleavings of Add / AdvanceTo / MergeFrom / EncodeState /
 // DecodeState / EstimateWindow, asserting AuditInvariants() and the
-// estimate-vs-exact error bound after every operation. Runs as an ordinary
-// ctest target; under the ASan+UBSan build (tools/check.sh asan) it doubles
-// as the memory-error net for the EH hot paths.
+// estimate-vs-exact error bound after every operation. The gtest-free core
+// consumes a FuzzInput byte stream, so the same code runs both as the
+// deterministic seed-driven ctest target and — under -DTDS_LIBFUZZER — as a
+// coverage-guided LLVMFuzzerTestOneInput harness (docs/CORRECTNESS.md,
+// "Dual-mode fuzzing").
 #include "histogram/exponential_histogram.h"
 
 #include <algorithm>
 #include <cmath>
 #include <string>
 
-#include <gtest/gtest.h>
-
 #include "fuzz_util.h"
 #include "util/codec.h"
 #include "util/common.h"
+
+namespace tds {
+namespace {
+
+struct EhFuzzConfig {
+  double epsilon;
+  Tick window;
+  int max_ops;
+};
+
+ExponentialHistogram MakeEh(double epsilon, Tick window,
+                            const FuzzInput& in) {
+  ExponentialHistogram::Options options;
+  options.epsilon = epsilon;
+  options.window = window;
+  auto eh = ExponentialHistogram::Create(options);
+  TDS_FUZZ_CHECK(eh.ok(), in, "Create: ", eh.status().ToString());
+  return std::move(eh).value();
+}
+
+void RunEhFuzz(const EhFuzzConfig& config, FuzzInput& in) {
+  ExponentialHistogram eh = MakeEh(config.epsilon, config.window, in);
+  ExactWindowReference exact;
+  Tick now = 0;
+  // MergeFrom folds in a disjoint substream; each merge widens the error
+  // envelope by roughly the input histogram's own epsilon.
+  int merges = 0;
+
+  auto check = [&](const char* op) {
+    TDS_FUZZ_CHECK_OK(eh.AuditInvariants(), in, "after ", op);
+    if (now == 0) return;
+    const double reference =
+        static_cast<double>(exact.WindowCount(now, config.window));
+    const double envelope_rel = config.epsilon * (1.05 + merges);
+    const double slack = 1.5 + 2.0 * merges;
+    TDS_FUZZ_CHECK_NEAR(eh.Estimate(), reference,
+                        envelope_rel * reference + slack, in, "after ", op);
+  };
+
+  for (int op = 0; op < config.max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 55) {
+      // Add at the current tick or a short hop forward; occasional large
+      // values exercise the O(cap log v) digit insertion.
+      now += static_cast<Tick>(in.Below(3));
+      if (now == 0) now = 1;
+      const uint64_t value =
+          in.Below(20) == 0 ? 1 + in.Below(5000) : in.Below(4);
+      eh.Add(now, value);
+      exact.Add(now, value);
+      check("Add");
+    } else if (kind < 70) {
+      // Jumps larger than the window exercise wholesale expiry.
+      now += static_cast<Tick>(in.Below(
+          static_cast<uint64_t>(config.window) + config.window / 2 + 2));
+      eh.AdvanceTo(now);
+      check("AdvanceTo");
+    } else if (kind < 80) {
+      // Codec round-trip: continue the run on the decoded instance, so any
+      // state the codec loses poisons every later comparison.
+      Encoder encoder;
+      eh.EncodeState(encoder);
+      const std::string blob = encoder.Finish();
+      ExponentialHistogram restored =
+          MakeEh(config.epsilon, config.window, in);
+      Decoder decoder(blob);
+      TDS_FUZZ_CHECK_OK(restored.DecodeState(decoder), in, "DecodeState");
+      TDS_FUZZ_CHECK(decoder.Done(), in, "decoder not fully consumed");
+      TDS_FUZZ_CHECK_DOUBLE_EQ(restored.Estimate(), eh.Estimate(), in,
+                               "decode round-trip");
+      eh = std::move(restored);
+      check("DecodeState");
+    } else if (kind < 85 && merges < 3) {
+      // Merge in a short disjoint substream living in the recent past.
+      ExponentialHistogram other =
+          MakeEh(config.epsilon, config.window, in);
+      ExactWindowReference other_exact;
+      const int burst = 1 + static_cast<int>(in.Below(40));
+      Tick other_now =
+          std::max<Tick>(1, now - static_cast<Tick>(in.Below(20)));
+      for (int i = 0; i < burst; ++i) {
+        other_now += static_cast<Tick>(in.Below(2));
+        const uint64_t value = 1 + in.Below(3);
+        other.Add(other_now, value);
+        other_exact.Add(other_now, value);
+      }
+      now = std::max(now, other_now);
+      TDS_FUZZ_CHECK_OK(eh.MergeFrom(other), in, "MergeFrom");
+      exact.MergeFrom(other_exact);
+      ++merges;
+      check("MergeFrom");
+    } else {
+      // Lemma 4.1: the same structure answers every window w <= W.
+      eh.AdvanceTo(now);
+      const Tick w = 1 + static_cast<Tick>(
+                             in.Below(static_cast<uint64_t>(config.window)));
+      const double reference =
+          static_cast<double>(exact.WindowCount(now, w));
+      const double envelope_rel = config.epsilon * (1.05 + merges);
+      const double slack = 1.5 + 2.0 * merges;
+      TDS_FUZZ_CHECK_NEAR(eh.EstimateWindow(w), reference,
+                          envelope_rel * reference + slack, in, "w=", w);
+      check("EstimateWindow");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
 
 namespace tds {
 namespace {
@@ -28,108 +141,11 @@ struct FuzzCase {
 
 class EhFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
 
-ExponentialHistogram MakeEh(double epsilon, Tick window) {
-  ExponentialHistogram::Options options;
-  options.epsilon = epsilon;
-  options.window = window;
-  auto eh = ExponentialHistogram::Create(options);
-  EXPECT_TRUE(eh.ok()) << eh.status().ToString();
-  return std::move(eh).value();
-}
-
 TEST_P(EhFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
   const FuzzCase fuzz = GetParam();
-  FuzzRng rng(fuzz.seed);
-
-  ExponentialHistogram eh = MakeEh(fuzz.epsilon, fuzz.window);
-  ExactWindowReference exact;
-  Tick now = 0;
-  // MergeFrom folds in a disjoint substream; each merge widens the error
-  // envelope by roughly the input histogram's own epsilon.
-  int merges = 0;
-
-  auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = eh.AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    if (now == 0) return;
-    const double reference =
-        static_cast<double>(exact.WindowCount(now, fuzz.window));
-    const double envelope_rel = fuzz.epsilon * (1.05 + merges);
-    const double slack = 1.5 + 2.0 * merges;
-    EXPECT_NEAR(eh.Estimate(), reference,
-                envelope_rel * reference + slack);
-  };
-
-  for (int op = 0; op < fuzz.ops; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
-    if (kind < 55) {
-      // Add at the current tick or a short hop forward; occasional large
-      // values exercise the O(cap log v) digit insertion.
-      now += static_cast<Tick>(rng.NextBelow(3));
-      if (now == 0) now = 1;
-      const uint64_t value =
-          rng.NextBelow(20) == 0 ? 1 + rng.NextBelow(5000) : rng.NextBelow(4);
-      eh.Add(now, value);
-      exact.Add(now, value);
-      check("Add");
-    } else if (kind < 70) {
-      // Jumps larger than the window exercise wholesale expiry.
-      now += static_cast<Tick>(rng.NextBelow(
-          static_cast<uint64_t>(fuzz.window) + fuzz.window / 2 + 2));
-      eh.AdvanceTo(now);
-      check("AdvanceTo");
-    } else if (kind < 80) {
-      // Codec round-trip: continue the run on the decoded instance, so any
-      // state the codec loses poisons every later comparison.
-      Encoder encoder;
-      eh.EncodeState(encoder);
-      const std::string blob = encoder.Finish();
-      ExponentialHistogram restored = MakeEh(fuzz.epsilon, fuzz.window);
-      Decoder decoder(blob);
-      const Status status = restored.DecodeState(decoder);
-      ASSERT_TRUE(status.ok()) << status.ToString();
-      EXPECT_TRUE(decoder.Done());
-      EXPECT_DOUBLE_EQ(restored.Estimate(), eh.Estimate());
-      eh = std::move(restored);
-      check("DecodeState");
-    } else if (kind < 85 && merges < 3) {
-      // Merge in a short disjoint substream living in the recent past.
-      ExponentialHistogram other = MakeEh(fuzz.epsilon, fuzz.window);
-      ExactWindowReference other_exact;
-      const int burst = 1 + static_cast<int>(rng.NextBelow(40));
-      Tick other_now = std::max<Tick>(1, now - static_cast<Tick>(
-                                              rng.NextBelow(20)));
-      for (int i = 0; i < burst; ++i) {
-        other_now += static_cast<Tick>(rng.NextBelow(2));
-        const uint64_t value = 1 + rng.NextBelow(3);
-        other.Add(other_now, value);
-        other_exact.Add(other_now, value);
-      }
-      now = std::max(now, other_now);
-      const Status status = eh.MergeFrom(other);
-      ASSERT_TRUE(status.ok()) << status.ToString();
-      exact.MergeFrom(other_exact);
-      ++merges;
-      check("MergeFrom");
-    } else {
-      // Lemma 4.1: the same structure answers every window w <= W.
-      eh.AdvanceTo(now);
-      const Tick w =
-          1 + static_cast<Tick>(rng.NextBelow(
-                  static_cast<uint64_t>(fuzz.window)));
-      const double reference =
-          static_cast<double>(exact.WindowCount(now, w));
-      const double envelope_rel = fuzz.epsilon * (1.05 + merges);
-      const double slack = 1.5 + 2.0 * merges;
-      EXPECT_NEAR(eh.EstimateWindow(w), reference,
-                  envelope_rel * reference + slack)
-          << "w=" << w << " seed=" << fuzz.seed
-          << " draw=" << rng.counter();
-      check("EstimateWindow");
-    }
-  }
+  FuzzInput in = FuzzInput::FromSeed(
+      fuzz.seed, static_cast<size_t>(fuzz.ops) * 16);
+  RunEhFuzz({fuzz.epsilon, fuzz.window, fuzz.ops}, in);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -147,3 +163,21 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point: the leading bytes pick the histogram
+// configuration, the rest drive the op stream.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  constexpr double kEpsilons[] = {0.02, 0.1, 0.25, 0.5};
+  constexpr tds::Tick kWindows[] = {32, 64, 128, 512, 1024};
+  tds::EhFuzzConfig config;
+  config.epsilon = kEpsilons[in.Below(4)];
+  config.window = kWindows[in.Below(5)];
+  config.max_ops = 4096;
+  tds::RunEhFuzz(config, in);
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

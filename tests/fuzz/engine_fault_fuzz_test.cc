@@ -1,13 +1,13 @@
-// Deterministic fault-injection fuzz driver (docs/CORRECTNESS.md): a live
-// ShardedAggregateEngine is driven through seed-derived interleavings of
-// ingest, queries, snapshots, migrations, and checkpoint round-trips while
-// failpoints (util/failpoint.h) are armed and disarmed at random. The
-// contract under test is the robustness one, not value accuracy: every
-// injected failure must surface as a clean Status — never a crash, hang,
-// or audit violation — and once the faults are cleared the engine must
-// stabilize: Flush succeeds, snapshots publish again, invariants audit
-// clean, and every submitted item is accounted for as applied or rejected
-// (conservation: nothing lost, nothing duplicated).
+// Dual-mode fault-injection fuzz driver (docs/CORRECTNESS.md): a live
+// ShardedAggregateEngine is driven through byte-stream-derived
+// interleavings of ingest, queries, snapshots, migrations, and checkpoint
+// round-trips while failpoints (util/failpoint.h) are armed and disarmed at
+// random. The contract under test is the robustness one, not value
+// accuracy: every injected failure must surface as a clean Status — never a
+// crash, hang, or audit violation — and once the faults are cleared the
+// engine must stabilize: Flush succeeds, snapshots publish again,
+// invariants audit clean, and every submitted item is accounted for as
+// applied or rejected (conservation: nothing lost, nothing duplicated).
 //
 // Ingest always uses TryUpdateBatch with a finite deadline so that even a
 // sticky "engine.ring.push" fault ends in kUnavailable, keeping the driver
@@ -21,8 +21,6 @@
 #include <string>
 #include <utility>
 #include <vector>
-
-#include <gtest/gtest.h>
 
 #include "core/factory.h"
 #include "decay/polynomial.h"
@@ -65,12 +63,12 @@ ShardedAggregateEngine::Options EngineOptions(Backend backend) {
 /// A status from a fault-bearing operation: success or a clean refusal
 /// (injected faults surface as kUnavailable; validation of fuzz-chosen
 /// arguments may legitimately say kInvalidArgument).
-void ExpectCleanStatus(const Status& status) {
+void ExpectCleanStatus(const Status& status, const FuzzInput& in) {
   if (status.ok()) return;
-  EXPECT_TRUE(status.code() == StatusCode::kUnavailable ||
-              status.code() == StatusCode::kFailedPrecondition ||
-              status.code() == StatusCode::kInvalidArgument)
-      << status.message();
+  TDS_FUZZ_CHECK(status.code() == StatusCode::kUnavailable ||
+                     status.code() == StatusCode::kFailedPrecondition ||
+                     status.code() == StatusCode::kInvalidArgument,
+                 in, "unclean status: ", status.ToString());
 }
 
 uint64_t StatsAccounted(const ShardedAggregateEngine& engine) {
@@ -80,6 +78,141 @@ uint64_t StatsAccounted(const ShardedAggregateEngine& engine) {
   }
   return total;
 }
+
+struct FaultFuzzCoverage {
+  uint64_t checkpoints_ok = 0;
+  uint64_t faults_armed = 0;
+};
+
+FaultFuzzCoverage RunEngineFaultFuzz(const DecayPtr& decay, Backend backend,
+                                     const std::string& ckpt_path,
+                                     int max_ops, FuzzInput& in) {
+  failpoint::DisarmAll();
+  const auto options = EngineOptions(backend);
+  auto created = ShardedAggregateEngine::Create(decay, options);
+  TDS_FUZZ_CHECK(created.ok(), in, created.status().ToString());
+  auto& engine = **created;
+
+  Tick t = 1;
+  uint64_t submitted = 0;
+  FaultFuzzCoverage coverage;
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(16);
+    if (kind < 7) {
+      // Ingest under whatever faults are live. Finite deadline: the
+      // call must terminate even against a sticky ring-push fault.
+      const size_t size = 1 + in.Below(96);
+      std::vector<KeyedItem> batch;
+      batch.reserve(size);
+      for (size_t i = 0; i < size; ++i) {
+        if (in.Below(4) == 0) ++t;
+        batch.push_back(KeyedItem{in.Below(kKeySpace), t, 1 + in.Below(4)});
+      }
+      ExpectCleanStatus(
+          engine.TryUpdateBatch(batch, std::chrono::milliseconds(50)), in);
+      // Accepted or rejected, every item is now the engine's to
+      // account for (partial admission lands in items_rejected).
+      submitted += size;
+    } else if (kind < 9) {
+      // Queries against possibly-null published snapshots: any double
+      // is fine, crashing or hanging is not.
+      (void)engine.QueryKey(in.Below(kKeySpace), t);
+      (void)engine.KeyCount();
+    } else if (kind == 9) {
+      auto merged = engine.Snapshot();
+      if (!merged.ok()) ExpectCleanStatus(merged.status(), in);
+    } else if (kind == 10) {
+      // Migration under faults: refusal must leave routing coherent —
+      // proven by later conservation + audits, not asserted here.
+      std::vector<uint32_t> slices;
+      const uint32_t first = static_cast<uint32_t>(in.Below(kSlices));
+      const uint32_t count = 1 + static_cast<uint32_t>(in.Below(5));
+      for (uint32_t i = 0; i < count; ++i) {
+        slices.push_back((first + i) % kSlices);
+      }
+      ExpectCleanStatus(
+          engine.MigrateSlices(slices,
+                               static_cast<uint32_t>(in.Below(kShards))),
+          in);
+    } else if (kind == 11) {
+      // Checkpoint write/load round-trip under faults. A load is only
+      // attempted from a checkpoint that reported success — and then
+      // it must decode (possibly via .prev) unless a fault hits the
+      // load path itself.
+      const Status wrote = WriteCheckpoint(engine, ckpt_path);
+      ExpectCleanStatus(wrote, in);
+      if (wrote.ok()) {
+        ++coverage.checkpoints_ok;
+        auto loaded = LoadCheckpoint(decay, options.registry, ckpt_path);
+        if (!loaded.ok()) ExpectCleanStatus(loaded.status(), in);
+      }
+    } else if (kind < 15) {
+      // Arm a random failpoint with a random scenario. Probability
+      // scenarios are seeded from the input stream: replayable.
+      const char* name = kFailpoints[in.Below(std::size(kFailpoints))];
+      const uint64_t mode = in.Below(3);
+      if (mode == 0) {
+        failpoint::ArmNthHit(name, 1 + in.Below(4));
+      } else if (mode == 1) {
+        failpoint::Scenario scenario;
+        scenario.fire_on_hit = 1;
+        scenario.sticky = true;
+        failpoint::Arm(name, scenario);
+      } else {
+        failpoint::ArmProbability(name, 0.4, in.U64());
+      }
+      ++coverage.faults_armed;
+    } else {
+      failpoint::DisarmAll();
+    }
+
+    // Periodic stabilization: with faults cleared the engine must be
+    // fully healthy again — this is the recovery half of the contract.
+    if ((op + 1) % 40 == 0) {
+      failpoint::DisarmAll();
+      TDS_FUZZ_CHECK_OK(engine.Flush(), in, "Flush op=", op);
+      auto merged = engine.Snapshot();
+      TDS_FUZZ_CHECK(merged.ok(), in,
+                     "Snapshot: ", merged.status().ToString());
+      AggregateRegistry registry = std::move(*merged).ReleaseRegistry();
+      TDS_FUZZ_CHECK_OK(registry.AuditInvariants(), in, "audit op=", op);
+      TDS_FUZZ_CHECK(StatsAccounted(engine) == submitted, in,
+                     "conservation: accounted=", StatsAccounted(engine),
+                     " submitted=", submitted);
+    }
+  }
+
+  // Final settle: conservation plus a clean audit after the storm.
+  failpoint::DisarmAll();
+  TDS_FUZZ_CHECK_OK(engine.Flush(), in, "final Flush");
+  TDS_FUZZ_CHECK(StatsAccounted(engine) == submitted, in,
+                 "final conservation: accounted=", StatsAccounted(engine),
+                 " submitted=", submitted);
+  auto merged = engine.Snapshot();
+  TDS_FUZZ_CHECK(merged.ok(), in,
+                 "final Snapshot: ", merged.status().ToString());
+  AggregateRegistry registry = std::move(*merged).ReleaseRegistry();
+  TDS_FUZZ_CHECK_OK(registry.AuditInvariants(), in, "final audit");
+  engine.Stop();
+  return coverage;
+}
+
+void CleanupCheckpoint(const std::string& ckpt_path) {
+  std::error_code ec;
+  std::filesystem::remove(ckpt_path, ec);
+  std::filesystem::remove(ckpt_path + ".prev", ec);
+  std::filesystem::remove(ckpt_path + ".tmp", ec);
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
 
 TEST(EngineFaultFuzzTest, InjectedFaultsNeverCrashHangOrCorrupt) {
   if (!kFailpointsEnabled) {
@@ -99,123 +232,47 @@ TEST(EngineFaultFuzzTest, InjectedFaultsNeverCrashHangOrCorrupt) {
   for (const Config& config : configs) {
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       SCOPED_TRACE(::testing::Message() << config.label << " seed=" << seed);
-      failpoint::DisarmAll();
-      const auto options = EngineOptions(config.backend);
-      auto created = ShardedAggregateEngine::Create(config.decay, options);
-      ASSERT_TRUE(created.ok());
-      auto& engine = **created;
-
-      FuzzRng rng(seed * 9176 + static_cast<uint64_t>(config.backend));
-      Tick t = 1;
-      uint64_t submitted = 0;
-      uint64_t checkpoints_ok = 0;
-      uint64_t faults_armed = 0;
-      for (int op = 0; op < 220; ++op) {
-        SCOPED_TRACE(::testing::Message()
-                     << "op=" << op << " counter=" << rng.counter());
-        const uint64_t kind = rng.NextBelow(16);
-        if (kind < 7) {
-          // Ingest under whatever faults are live. Finite deadline: the
-          // call must terminate even against a sticky ring-push fault.
-          const size_t size = 1 + rng.NextBelow(96);
-          std::vector<KeyedItem> batch;
-          batch.reserve(size);
-          for (size_t i = 0; i < size; ++i) {
-            if (rng.NextBelow(4) == 0) ++t;
-            batch.push_back(
-                KeyedItem{rng.NextBelow(kKeySpace), t, 1 + rng.NextBelow(4)});
-          }
-          ExpectCleanStatus(
-              engine.TryUpdateBatch(batch, std::chrono::milliseconds(50)));
-          // Accepted or rejected, every item is now the engine's to
-          // account for (partial admission lands in items_rejected).
-          submitted += size;
-        } else if (kind < 9) {
-          // Queries against possibly-null published snapshots: any double
-          // is fine, crashing or hanging is not.
-          (void)engine.QueryKey(rng.NextBelow(kKeySpace), t);
-          (void)engine.KeyCount();
-        } else if (kind == 9) {
-          auto merged = engine.Snapshot();
-          if (!merged.ok()) ExpectCleanStatus(merged.status());
-        } else if (kind == 10) {
-          // Migration under faults: refusal must leave routing coherent —
-          // proven by later conservation + audits, not asserted here.
-          std::vector<uint32_t> slices;
-          const uint32_t first = static_cast<uint32_t>(rng.NextBelow(kSlices));
-          const uint32_t count = 1 + static_cast<uint32_t>(rng.NextBelow(5));
-          for (uint32_t i = 0; i < count; ++i) {
-            slices.push_back((first + i) % kSlices);
-          }
-          ExpectCleanStatus(engine.MigrateSlices(
-              slices, static_cast<uint32_t>(rng.NextBelow(kShards))));
-        } else if (kind == 11) {
-          // Checkpoint write/load round-trip under faults. A load is only
-          // attempted from a checkpoint that reported success — and then
-          // it must decode (possibly via .prev) unless a fault hits the
-          // load path itself.
-          const Status wrote = WriteCheckpoint(engine, ckpt_path);
-          ExpectCleanStatus(wrote);
-          if (wrote.ok()) {
-            ++checkpoints_ok;
-            auto loaded =
-                LoadCheckpoint(config.decay, options.registry, ckpt_path);
-            if (!loaded.ok()) ExpectCleanStatus(loaded.status());
-          }
-        } else if (kind < 15) {
-          // Arm a random failpoint with a random scenario. Probability
-          // scenarios are seeded from the draw counter: replayable.
-          const char* name = kFailpoints[rng.NextBelow(std::size(kFailpoints))];
-          const uint64_t mode = rng.NextBelow(3);
-          if (mode == 0) {
-            failpoint::ArmNthHit(name, 1 + rng.NextBelow(4));
-          } else if (mode == 1) {
-            failpoint::Scenario scenario;
-            scenario.fire_on_hit = 1;
-            scenario.sticky = true;
-            failpoint::Arm(name, scenario);
-          } else {
-            failpoint::ArmProbability(name, 0.4, rng.Next());
-          }
-          ++faults_armed;
-        } else {
-          failpoint::DisarmAll();
-        }
-
-        // Periodic stabilization: with faults cleared the engine must be
-        // fully healthy again — this is the recovery half of the contract.
-        if ((op + 1) % 40 == 0) {
-          failpoint::DisarmAll();
-          const Status flushed = engine.Flush();
-          ASSERT_TRUE(flushed.ok()) << flushed.message();
-          auto merged = engine.Snapshot();
-          ASSERT_TRUE(merged.ok()) << merged.status().message();
-          AggregateRegistry registry = std::move(*merged).ReleaseRegistry();
-          const Status audit = registry.AuditInvariants();
-          ASSERT_TRUE(audit.ok()) << audit.message();
-          EXPECT_EQ(StatsAccounted(engine), submitted);
-        }
-      }
-
-      // Final settle: conservation plus a clean audit after the storm.
-      failpoint::DisarmAll();
-      ASSERT_TRUE(engine.Flush().ok());
-      EXPECT_EQ(StatsAccounted(engine), submitted);
-      auto merged = engine.Snapshot();
-      ASSERT_TRUE(merged.ok()) << merged.status().message();
-      AggregateRegistry registry = std::move(*merged).ReleaseRegistry();
-      ASSERT_TRUE(registry.AuditInvariants().ok());
-      EXPECT_GT(faults_armed, 0u);
-      EXPECT_GT(checkpoints_ok, 0u);
-      engine.Stop();
+      FuzzInput in = FuzzInput::FromSeed(
+          seed * 9176 + static_cast<uint64_t>(config.backend), 220 * 128);
+      const FaultFuzzCoverage coverage =
+          RunEngineFaultFuzz(config.decay, config.backend, ckpt_path, 220,
+                             in);
+      EXPECT_GT(coverage.faults_armed, 0u);
+      EXPECT_GT(coverage.checkpoints_ok, 0u);
     }
   }
   failpoint::DisarmAll();
-  std::error_code ec;
-  std::filesystem::remove(ckpt_path, ec);
-  std::filesystem::remove(ckpt_path + ".prev", ec);
-  std::filesystem::remove(ckpt_path + ".tmp", ec);
+  CleanupCheckpoint(ckpt_path);
 }
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point. Without -DTDS_FAILPOINTS the harness is a
+// no-op (the fault surface does not exist); the fuzz build enables both.
+// Coverage counters are bookkeeping for the deterministic wrapper, not an
+// invariant arbitrary byte streams could promise.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (!tds::kFailpointsEnabled) return 0;
+  tds::FuzzInput in(data, size);
+  const std::string ckpt_path =
+      (std::filesystem::temp_directory_path() / "tds_fault_fuzzer_ckpt")
+          .string();
+  constexpr int kMaxOps = 512;
+  if (in.Below(2) == 0) {
+    (void)tds::RunEngineFaultFuzz(
+        tds::SlidingWindowDecay::Create(96).value(), tds::Backend::kCeh,
+        ckpt_path, kMaxOps, in);
+  } else {
+    (void)tds::RunEngineFaultFuzz(tds::PolynomialDecay::Create(1.0).value(),
+                                  tds::Backend::kWbmh, ckpt_path, kMaxOps,
+                                  in);
+  }
+  tds::failpoint::DisarmAll();
+  tds::CleanupCheckpoint(ckpt_path);
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

@@ -1,9 +1,16 @@
 #ifndef TDS_TESTS_FUZZ_FUZZ_UTIL_H_
 #define TDS_TESTS_FUZZ_FUZZ_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <sstream>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "util/common.h"
 #include "util/random.h"
@@ -35,6 +42,220 @@ class FuzzRng {
   uint64_t seed_;
   uint64_t counter_ = 0;
 };
+
+/// Byte-stream fuzz input: the one op-sequencing abstraction behind both
+/// execution modes of every driver in tests/fuzz/ (docs/CORRECTNESS.md,
+/// "Dual-mode fuzzing").
+///
+///  * ctest mode — `FuzzInput::FromSeed(seed, n)` materializes n bytes from
+///    the counter-RNG stream (HashCombine over SplitMix64, 8 little-endian
+///    bytes per draw), so the deterministic suites keep their replay-from-
+///    (seed, offset) property and their historical seed lists.
+///  * libFuzzer mode — `FuzzInput(data, size)` wraps the engine-provided
+///    byte buffer directly, so coverage feedback mutates the very bytes the
+///    driver consumes.
+///
+/// Draws consume the minimum whole bytes for the requested range (1 byte
+/// for bounds <= 256, etc.) so corpus bytes stay individually meaningful to
+/// the mutator. Once the stream is exhausted every draw returns zero —
+/// deterministic, never UB — and `exhausted()` lets drivers end their op
+/// loop. Same bytes always mean the same op sequence.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  static FuzzInput FromSeed(uint64_t seed, size_t num_bytes) {
+    std::vector<uint8_t> bytes(num_bytes);
+    FuzzRng rng(seed);
+    for (size_t i = 0; i < num_bytes; i += 8) {
+      const uint64_t word = rng.Next();
+      for (size_t j = 0; j < 8 && i + j < num_bytes; ++j) {
+        bytes[i + j] = static_cast<uint8_t>(word >> (8 * j));
+      }
+    }
+    return FuzzInput(std::move(bytes), seed);
+  }
+
+  FuzzInput(FuzzInput&& other) noexcept { *this = std::move(other); }
+  FuzzInput& operator=(FuzzInput&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    data_ = other.owned_.empty() ? other.data_ : owned_.data();
+    size_ = other.size_;
+    pos_ = other.pos_;
+    seed_ = other.seed_;
+    seeded_ = other.seeded_;
+    return *this;
+  }
+  FuzzInput(const FuzzInput&) = delete;
+  FuzzInput& operator=(const FuzzInput&) = delete;
+
+  bool exhausted() const { return pos_ >= size_; }
+  size_t remaining() const { return pos_ >= size_ ? 0 : size_ - pos_; }
+  size_t consumed() const { return pos_; }
+
+  /// Next byte, or 0 once the stream is exhausted.
+  uint8_t Byte() { return pos_ < size_ ? data_[pos_++] : (pos_++, 0); }
+
+  /// 8 bytes little-endian (zero-padded past the end).
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(Byte()) << (8 * i);
+    return v;
+  }
+
+  /// Uniform-ish in [0, bound), consuming the minimum whole bytes for the
+  /// bound. (Modulo bias is irrelevant at test bounds ~ 2^6.)
+  uint64_t Below(uint64_t bound) {
+    if (bound <= 1) return 0;
+    int width = 8;
+    if (bound <= (UINT64_C(1) << 8)) {
+      width = 1;
+    } else if (bound <= (UINT64_C(1) << 16)) {
+      width = 2;
+    } else if (bound <= (UINT64_C(1) << 32)) {
+      width = 4;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(Byte()) << (8 * i);
+    }
+    return v % bound;
+  }
+
+  /// Uniform in [0, 1).
+  double Unit() { return BitsToUnitDouble(U64()); }
+
+  /// Replay context for failure messages: how this input was produced and
+  /// where in the stream the failure hit.
+  std::string Context() const {
+    std::ostringstream os;
+    if (seeded_) {
+      os << "mode=seed seed=0x" << std::hex << seed_ << std::dec;
+    } else {
+      os << "mode=bytes";
+    }
+    os << " consumed=" << pos_ << "/" << size_;
+    return os.str();
+  }
+
+ private:
+  FuzzInput(std::vector<uint8_t> bytes, uint64_t seed)
+      : owned_(std::move(bytes)),
+        data_(owned_.data()),
+        size_(owned_.size()),
+        seed_(seed),
+        seeded_(true) {}
+
+  std::vector<uint8_t> owned_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+  uint64_t seed_ = 0;
+  bool seeded_ = false;
+};
+
+/// 4-ULP double comparison (the same tolerance gtest's ASSERT_DOUBLE_EQ
+/// uses), so the gtest-free fuzz cores keep byte-level oracles exactly as
+/// strict as the historical drivers.
+inline bool FuzzDoubleEq(double a, double b) {
+  if (a == b) return true;  // covers +0/-0 and exact equality
+  if (std::isnan(a) || std::isnan(b)) return false;
+  auto biased = [](double d) {
+    int64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    // Map sign-magnitude to a monotone integer line so ULP distance is a
+    // plain subtraction.
+    return bits < 0 ? INT64_MIN - bits : bits;
+  };
+  const int64_t ia = biased(a);
+  const int64_t ib = biased(b);
+  const uint64_t dist =
+      ia > ib ? static_cast<uint64_t>(ia) - static_cast<uint64_t>(ib)
+              : static_cast<uint64_t>(ib) - static_cast<uint64_t>(ia);
+  return dist <= 4;
+}
+
+namespace fuzz_internal {
+
+inline void FuzzMsgAppend(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void FuzzMsgAppend(std::ostringstream& os, const T& value,
+                   const Rest&... rest) {
+  os << value;
+  FuzzMsgAppend(os, rest...);
+}
+
+template <typename... Args>
+std::string FuzzMsg(const Args&... args) {
+  std::ostringstream os;
+  FuzzMsgAppend(os, args...);
+  return os.str();
+}
+
+/// Abort with full replay context. Under gtest this fails the test (abort
+/// is a process failure); under libFuzzer it is a finding with the input
+/// preserved — the one failure behavior both modes understand.
+[[noreturn]] inline void FuzzFail(const char* expr, const char* file, int line,
+                                  const FuzzInput& input,
+                                  const std::string& detail) {
+  std::fprintf(stderr, "\n%s:%d: fuzz check failed: %s\n  input: %s\n  %s\n",
+               file, line, expr, input.Context().c_str(), detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fuzz_internal
+
+/// Assertion layer for the dual-mode fuzz cores: gtest-free so the same
+/// code compiles into the deterministic ctest binaries and the libFuzzer
+/// targets. Each macro takes the driving FuzzInput so every failure prints
+/// its replay coordinates (mode, seed, byte offset).
+#define TDS_FUZZ_CHECK(cond, input, ...)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::tds::fuzz_internal::FuzzFail(                                     \
+          #cond, __FILE__, __LINE__, (input),                             \
+          ::tds::fuzz_internal::FuzzMsg(__VA_ARGS__));                    \
+    }                                                                     \
+  } while (0)
+
+#define TDS_FUZZ_CHECK_OK(status_expr, input, ...)                        \
+  do {                                                                    \
+    const auto& tds_fuzz_status = (status_expr);                          \
+    if (!tds_fuzz_status.ok()) {                                          \
+      ::tds::fuzz_internal::FuzzFail(                                     \
+          #status_expr " is ok", __FILE__, __LINE__, (input),             \
+          ::tds::fuzz_internal::FuzzMsg(__VA_ARGS__, " status=",          \
+                                        tds_fuzz_status.ToString()));     \
+    }                                                                     \
+  } while (0)
+
+#define TDS_FUZZ_CHECK_NEAR(a, b, tolerance, input, ...)                  \
+  do {                                                                    \
+    const double tds_fuzz_a = (a);                                        \
+    const double tds_fuzz_b = (b);                                        \
+    const double tds_fuzz_tol = (tolerance);                              \
+    if (!(std::fabs(tds_fuzz_a - tds_fuzz_b) <= tds_fuzz_tol)) {          \
+      ::tds::fuzz_internal::FuzzFail(                                     \
+          "|" #a " - " #b "| <= " #tolerance, __FILE__, __LINE__, (input),\
+          ::tds::fuzz_internal::FuzzMsg(#a "=", tds_fuzz_a, " " #b "=",   \
+                                        tds_fuzz_b, " tol=", tds_fuzz_tol,\
+                                        " ", __VA_ARGS__));               \
+    }                                                                     \
+  } while (0)
+
+#define TDS_FUZZ_CHECK_DOUBLE_EQ(a, b, input, ...)                        \
+  do {                                                                    \
+    const double tds_fuzz_a = (a);                                        \
+    const double tds_fuzz_b = (b);                                        \
+    if (!::tds::FuzzDoubleEq(tds_fuzz_a, tds_fuzz_b)) {                   \
+      ::tds::fuzz_internal::FuzzFail(                                     \
+          #a " ~= " #b, __FILE__, __LINE__, (input),                      \
+          ::tds::fuzz_internal::FuzzMsg(#a "=", tds_fuzz_a, " " #b "=",   \
+                                        tds_fuzz_b, " ", __VA_ARGS__));   \
+    }                                                                     \
+  } while (0)
 
 /// Exact reference for windowed counts: remembers every (tick, value) pair
 /// and answers any suffix-window count by direct summation. Deliberately

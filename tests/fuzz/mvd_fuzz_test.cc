@@ -1,7 +1,9 @@
-// Deterministic fuzz driver for the MV/D sampling lists: interleaved
+// Dual-mode fuzz driver for the MV/D sampling lists: interleaved
 // Add / ExpireOlderThan / window queries, auditing the suffix-minima (and
 // bottom-k) retention invariants after every operation and cross-checking
 // query answers against brute-force scans of the retained entries.
+// Gtest-free FuzzInput cores run both as the deterministic ctest target and
+// as a libFuzzer harness under -DTDS_LIBFUZZER.
 #include "sampling/bottom_k_mvd.h"
 #include "sampling/mvd_list.h"
 
@@ -10,41 +12,32 @@
 #include <optional>
 #include <string>
 
-#include <gtest/gtest.h>
-
 #include "fuzz_util.h"
 
 namespace tds {
 namespace {
 
-class MvdFuzzTest : public ::testing::TestWithParam<uint64_t> {};
-
-TEST_P(MvdFuzzTest, SuffixMinimaListStaysCanonical) {
-  const uint64_t seed = GetParam();
-  FuzzRng rng(seed);
-  MvdList list(seed * 2654435761u + 1);
+void RunMvdListFuzz(uint64_t rank_seed, int max_ops, FuzzInput& in) {
+  MvdList list(rank_seed * 2654435761u + 1);
 
   Tick now = 1;
   Tick expire_cutoff = 0;
 
   auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = list.AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    TDS_FUZZ_CHECK_OK(list.AuditInvariants(), in, "after ", op);
   };
 
-  for (int op = 0; op < 2000; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
     if (kind < 60) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      list.Add(now, static_cast<double>(rng.NextBelow(1000)));
+      now += static_cast<Tick>(in.Below(3));
+      list.Add(now, static_cast<double>(in.Below(1000)));
       check("Add");
     } else if (kind < 75) {
       // Horizon expiry; cutoffs are non-decreasing like a real horizon.
       expire_cutoff = std::max(
           expire_cutoff,
-          now > 50 ? now - static_cast<Tick>(rng.NextBelow(50)) : Tick{0});
+          now > 50 ? now - static_cast<Tick>(in.Below(50)) : Tick{0});
       list.ExpireOlderThan(expire_cutoff);
       check("ExpireOlderThan");
     } else {
@@ -52,9 +45,9 @@ TEST_P(MvdFuzzTest, SuffixMinimaListStaysCanonical) {
       // list: the first retained entry inside the window IS the min-rank
       // entry of the window (the structure's core claim).
       const Tick cutoff =
-          expire_cutoff + static_cast<Tick>(
-                              rng.NextBelow(static_cast<uint64_t>(
-                                  now - expire_cutoff + 1)));
+          expire_cutoff +
+          static_cast<Tick>(
+              in.Below(static_cast<uint64_t>(now - expire_cutoff + 1)));
       const std::optional<MvdList::Entry> got = list.MinRankSince(cutoff);
       std::optional<MvdList::Entry> want;
       for (const MvdList::Entry& entry : list.entries()) {
@@ -62,23 +55,22 @@ TEST_P(MvdFuzzTest, SuffixMinimaListStaysCanonical) {
           want = entry;
         }
       }
-      ASSERT_EQ(got.has_value(), want.has_value()) << "cutoff=" << cutoff;
+      TDS_FUZZ_CHECK(got.has_value() == want.has_value(), in,
+                     "cutoff=", cutoff);
       if (got) {
-        EXPECT_EQ(got->t, want->t);
-        EXPECT_EQ(got->rank, want->rank);
-        EXPECT_EQ(got->value, want->value);
+        TDS_FUZZ_CHECK(got->t == want->t && got->rank == want->rank &&
+                           got->value == want->value,
+                       in, "min-rank entry mismatch, cutoff=", cutoff);
       }
       check("MinRankSince");
     }
   }
 }
 
-TEST_P(MvdFuzzTest, BottomKListStaysCanonicalAndEstimatesLoosely) {
-  const uint64_t seed = GetParam();
-  FuzzRng rng(seed ^ 0x9e3779b97f4a7c15ull);
+void RunBottomKMvdFuzz(uint64_t rank_seed, int max_ops, FuzzInput& in) {
   constexpr int kK = 32;
-  auto created = BottomKMvdList::Create(kK, seed * 40503u + 3);
-  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto created = BottomKMvdList::Create(kK, rank_seed * 40503u + 3);
+  TDS_FUZZ_CHECK(created.ok(), in, "Create: ", created.status().ToString());
   BottomKMvdList list = std::move(created).value();
 
   // Full arrival log, for exact window counts.
@@ -87,30 +79,27 @@ TEST_P(MvdFuzzTest, BottomKListStaysCanonicalAndEstimatesLoosely) {
   Tick expire_cutoff = 0;
 
   auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = list.AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    TDS_FUZZ_CHECK_OK(list.AuditInvariants(), in, "after ", op);
   };
 
-  for (int op = 0; op < 2000; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
     if (kind < 65) {
-      now += static_cast<Tick>(rng.NextBelow(2));
+      now += static_cast<Tick>(in.Below(2));
       list.Add(now);
       arrivals.push_back(now);
       check("Add");
     } else if (kind < 78) {
       expire_cutoff = std::max(
           expire_cutoff,
-          now > 80 ? now - static_cast<Tick>(rng.NextBelow(80)) : Tick{0});
+          now > 80 ? now - static_cast<Tick>(in.Below(80)) : Tick{0});
       list.ExpireOlderThan(expire_cutoff);
       check("ExpireOlderThan");
     } else {
       const Tick cutoff =
-          expire_cutoff + static_cast<Tick>(
-                              rng.NextBelow(static_cast<uint64_t>(
-                                  now - expire_cutoff + 1)));
+          expire_cutoff +
+          static_cast<Tick>(
+              in.Below(static_cast<uint64_t>(now - expire_cutoff + 1)));
       uint64_t exact = 0;
       for (Tick t : arrivals) {
         if (t >= cutoff) ++exact;
@@ -122,19 +111,43 @@ TEST_P(MvdFuzzTest, BottomKListStaysCanonicalAndEstimatesLoosely) {
       const double estimate = list.EstimateCountSince(cutoff);
       if (retained_in_range < static_cast<size_t>(kK)) {
         // Sub-k windows are counted exactly.
-        EXPECT_DOUBLE_EQ(estimate, static_cast<double>(exact))
-            << "cutoff=" << cutoff;
+        TDS_FUZZ_CHECK_DOUBLE_EQ(estimate, static_cast<double>(exact), in,
+                                 "cutoff=", cutoff);
       } else {
         // (k-1)/r_k concentrates around the truth; a deterministic seed
         // only needs a loose band (rel sd ~ 1/sqrt(k-2) ~ 0.18 at k=32).
-        EXPECT_GT(estimate, 0.25 * static_cast<double>(exact))
-            << "cutoff=" << cutoff << " exact=" << exact;
-        EXPECT_LT(estimate, 4.0 * static_cast<double>(exact))
-            << "cutoff=" << cutoff << " exact=" << exact;
+        TDS_FUZZ_CHECK(estimate > 0.25 * static_cast<double>(exact) &&
+                           estimate < 4.0 * static_cast<double>(exact),
+                       in, "estimate=", estimate, " exact=", exact,
+                       " cutoff=", cutoff);
       }
       check("EstimateCountSince");
     }
   }
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
+
+class MvdFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvdFuzzTest, SuffixMinimaListStaysCanonical) {
+  const uint64_t seed = GetParam();
+  FuzzInput in = FuzzInput::FromSeed(seed, 2000 * 8);
+  RunMvdListFuzz(seed, 2000, in);
+}
+
+TEST_P(MvdFuzzTest, BottomKListStaysCanonicalAndEstimatesLoosely) {
+  const uint64_t seed = GetParam();
+  FuzzInput in = FuzzInput::FromSeed(seed ^ 0x9e3779b97f4a7c15ull, 2000 * 8);
+  RunBottomKMvdFuzz(seed, 2000, in);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MvdFuzzTest,
@@ -147,3 +160,21 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MvdFuzzTest,
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point: first bytes pick the sub-driver and the
+// rank-hash seed, the rest drive the op stream.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  const uint64_t which = in.Below(2);
+  const uint64_t rank_seed = 1 + in.Below(64);
+  if (which == 0) {
+    tds::RunMvdListFuzz(rank_seed, 8192, in);
+  } else {
+    tds::RunBottomKMvdFuzz(rank_seed, 8192, in);
+  }
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

@@ -1,5 +1,5 @@
-// Deterministic fuzz driver for AggregateRegistry (docs/CORRECTNESS.md
-// conventions): seed-driven interleavings of single updates, batches,
+// Dual-mode fuzz driver for AggregateRegistry (docs/CORRECTNESS.md
+// conventions): byte-stream-driven interleavings of single updates, batches,
 // advances, queries, and snapshot round-trips, checked after every phase
 // against a per-key map of standalone aggregates fed the identical item
 // sequence — plus structural audits. With expiry disabled the registry adds
@@ -14,8 +14,6 @@
 #include <unordered_map>
 #include <utility>
 #include <vector>
-
-#include <gtest/gtest.h>
 
 #include "core/factory.h"
 #include "decay/polynomial.h"
@@ -53,6 +51,186 @@ struct Reference {
   }
 };
 
+void RunRegistryNoEvictionFuzz(const DecayPtr& decay, Backend backend,
+                               int max_ops, FuzzInput& in) {
+  AggregateRegistry::Options options;
+  options.aggregate = AggregateOptions::Builder()
+                          .backend(backend)
+                          .epsilon(0.15)
+                          .Build()
+                          .value();
+  // The reference never evicts, so the registry must not either:
+  // a negative floor turns expiry off even for finite horizons.
+  options.expiry_weight_floor = -1.0;
+  auto registry = AggregateRegistry::Create(decay, options);
+  TDS_FUZZ_CHECK(registry.ok(), in, registry.status().ToString());
+  Reference reference{decay, options.aggregate, {}};
+
+  Tick t = 1;
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t roll = in.Below(100);
+    if (roll < 55) {
+      t += static_cast<Tick>(in.Below(3));
+      const uint64_t key = in.Below(kKeySpace);
+      const uint64_t value = in.Below(5);
+      registry->Update(key, t, value);
+      reference.Update(key, t, value);
+    } else if (roll < 80) {
+      std::vector<KeyedItem> batch;
+      const size_t size = in.Below(40);
+      for (size_t i = 0; i < size; ++i) {
+        if (in.Below(3) == 0) t += static_cast<Tick>(in.Below(2));
+        batch.push_back(KeyedItem{in.Below(kKeySpace), t, in.Below(5)});
+      }
+      registry->UpdateBatch(batch);
+      for (const KeyedItem& item : batch) {
+        reference.Update(item.key, item.t, item.value);
+      }
+    } else if (roll < 88) {
+      t += static_cast<Tick>(in.Below(30));
+      registry->Advance(t);
+      reference.Advance(t);
+    } else if (roll < 96) {
+      // Align clocks first: the registry's shared WBMH layout advances
+      // whenever ANY key ingests, so an idle key's structure can be
+      // further merged than its standalone reference (both correct, but
+      // bit-equality needs both structures at the same tick).
+      registry->Advance(t);
+      reference.Advance(t);
+      for (int probe = 0; probe < 3; ++probe) {
+        const uint64_t key = in.Below(kKeySpace + 4);  // some absent
+        TDS_FUZZ_CHECK_DOUBLE_EQ(registry->Query(key, t),
+                                 reference.Query(key, t), in,
+                                 "op=", op, " key=", key);
+      }
+    } else {
+      std::string blob;
+      TDS_FUZZ_CHECK_OK(registry->EncodeState(&blob), in, "EncodeState");
+      auto decoded = AggregateRegistry::Decode(decay, options, blob);
+      TDS_FUZZ_CHECK(decoded.ok(), in,
+                     "op=", op, ": ", decoded.status().ToString());
+      std::string reencoded;
+      TDS_FUZZ_CHECK_OK(decoded->EncodeState(&reencoded), in, "re-encode");
+      TDS_FUZZ_CHECK(blob == reencoded, in,
+                     "snapshot not self-inverse, op=", op);
+      for (uint64_t key = 0; key < kKeySpace; ++key) {
+        TDS_FUZZ_CHECK_DOUBLE_EQ(decoded->Query(key, t),
+                                 registry->Query(key, t), in, "key=", key);
+      }
+    }
+    if (op % 25 == 0) {
+      TDS_FUZZ_CHECK_OK(registry->AuditInvariants(), in, "op=", op);
+    }
+    TDS_FUZZ_CHECK(registry->KeyCount() == reference.keys.size(), in,
+                   "op=", op, " registry=", registry->KeyCount(),
+                   " reference=", reference.keys.size());
+  }
+  TDS_FUZZ_CHECK_OK(registry->AuditInvariants(), in, "final");
+}
+
+// With expiry enabled (the default), evicted keys may be recreated with a
+// fresh histogram, so exact structural comparison no longer applies; instead
+// every answer must stay within the CEH accuracy band of the exact window
+// count (half the straddling bucket, i.e. O(epsilon) relative plus a
+// granularity term), and structure + snapshot invariants must keep holding.
+// Returns the number of eviction passes observed, so the deterministic
+// wrapper can assert the machinery was actually exercised across its seeds.
+int RunRegistryEvictionFuzz(int max_ops, FuzzInput& in) {
+  constexpr Tick kWindow = 96;
+  const DecayPtr decay = SlidingWindowDecay::Create(kWindow).value();
+  int evictions_observed = 0;
+  AggregateRegistry::Options options;
+  options.aggregate = AggregateOptions::Builder()
+                          .backend(Backend::kCeh)
+                          .epsilon(0.15)
+                          .Build()
+                          .value();
+  auto registry = AggregateRegistry::Create(decay, options);
+  TDS_FUZZ_CHECK(registry.ok(), in, registry.status().ToString());
+  TDS_FUZZ_CHECK(registry->expiry_age() == kWindow, in, "expiry_age");
+
+  // Exact truth: every item ever ingested, summed over the live window.
+  std::unordered_map<uint64_t, std::vector<std::pair<Tick, uint64_t>>> items;
+  auto truth = [&](uint64_t key, Tick now) {
+    double sum = 0.0;
+    const auto it = items.find(key);
+    if (it == items.end()) return sum;
+    for (const auto& [arrival, value] : it->second) {
+      if (AgeAt(arrival, now) <= kWindow) sum += static_cast<double>(value);
+    }
+    return sum;
+  };
+  auto check_key = [&](uint64_t key, Tick now, int op) {
+    const double expect = truth(key, now);
+    const double got = registry->Query(key, now);
+    TDS_FUZZ_CHECK_NEAR(got, expect, 0.2 * expect + 1.0, in,
+                        "op=", op, " key=", key);
+  };
+
+  Tick t = 1;
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t roll = in.Below(100);
+    if (roll < 45) {
+      t += static_cast<Tick>(in.Below(4));
+      const uint64_t key = in.Below(kKeySpace);
+      const uint64_t value = in.Below(5);
+      registry->Update(key, t, value);
+      items[key].emplace_back(t, value);
+    } else if (roll < 70) {
+      std::vector<KeyedItem> batch;
+      const size_t size = in.Below(40);
+      for (size_t i = 0; i < size; ++i) {
+        if (in.Below(3) == 0) t += static_cast<Tick>(in.Below(2));
+        batch.push_back(KeyedItem{in.Below(kKeySpace), t, in.Below(5)});
+      }
+      registry->UpdateBatch(batch);
+      for (const KeyedItem& item : batch) {
+        items[item.key].emplace_back(item.t, item.value);
+      }
+    } else if (roll < 85) {
+      // Long advances push whole keys past the horizon and trigger the
+      // full eviction pass.
+      t += static_cast<Tick>(in.Below(2) ? in.Below(150) : in.Below(20));
+      registry->Advance(t);
+      if (registry->KeyCount() < items.size()) ++evictions_observed;
+    } else if (roll < 95) {
+      for (int probe = 0; probe < 3; ++probe) {
+        check_key(in.Below(kKeySpace + 4), t, op);
+      }
+    } else {
+      std::string blob;
+      TDS_FUZZ_CHECK_OK(registry->EncodeState(&blob), in, "EncodeState");
+      auto decoded = AggregateRegistry::Decode(decay, options, blob);
+      TDS_FUZZ_CHECK(decoded.ok(), in,
+                     "op=", op, ": ", decoded.status().ToString());
+      std::string reencoded;
+      TDS_FUZZ_CHECK_OK(decoded->EncodeState(&reencoded), in, "re-encode");
+      TDS_FUZZ_CHECK(blob == reencoded, in,
+                     "snapshot not self-inverse, op=", op);
+      for (uint64_t key = 0; key < kKeySpace; ++key) {
+        TDS_FUZZ_CHECK_DOUBLE_EQ(decoded->Query(key, t),
+                                 registry->Query(key, t), in, "key=", key);
+      }
+    }
+    if (op % 25 == 0) {
+      TDS_FUZZ_CHECK_OK(registry->AuditInvariants(), in, "op=", op);
+    }
+    TDS_FUZZ_CHECK(registry->KeyCount() <= items.size(), in, "op=", op);
+  }
+  TDS_FUZZ_CHECK_OK(registry->AuditInvariants(), in, "final");
+  return evictions_observed;
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
+
 TEST(RegistryFuzzTest, MatchesPerKeyReferenceUnderFuzzedInterleavings) {
   struct Config {
     DecayPtr decay;
@@ -64,184 +242,20 @@ TEST(RegistryFuzzTest, MatchesPerKeyReferenceUnderFuzzedInterleavings) {
   };
   for (const Config& config : configs) {
     for (uint64_t seed = 1; seed <= 4; ++seed) {
-      AggregateRegistry::Options options;
-      options.aggregate = AggregateOptions::Builder()
-                              .backend(config.backend)
-                              .epsilon(0.15)
-                              .Build()
-                              .value();
-      // The reference never evicts, so the registry must not either:
-      // a negative floor turns expiry off even for finite horizons.
-      options.expiry_weight_floor = -1.0;
-      auto registry = AggregateRegistry::Create(config.decay, options);
-      ASSERT_TRUE(registry.ok());
-      Reference reference{config.decay, options.aggregate, {}};
-
-      FuzzRng rng(seed * 1009 + static_cast<uint64_t>(config.backend));
-      Tick t = 1;
-      for (int op = 0; op < 350; ++op) {
-        const uint64_t roll = rng.NextBelow(100);
-        if (roll < 55) {
-          t += static_cast<Tick>(rng.NextBelow(3));
-          const uint64_t key = rng.NextBelow(kKeySpace);
-          const uint64_t value = rng.NextBelow(5);
-          registry->Update(key, t, value);
-          reference.Update(key, t, value);
-        } else if (roll < 80) {
-          std::vector<KeyedItem> batch;
-          const size_t size = rng.NextBelow(40);
-          for (size_t i = 0; i < size; ++i) {
-            if (rng.NextBelow(3) == 0) t += static_cast<Tick>(rng.NextBelow(2));
-            batch.push_back(
-                KeyedItem{rng.NextBelow(kKeySpace), t, rng.NextBelow(5)});
-          }
-          registry->UpdateBatch(batch);
-          for (const KeyedItem& item : batch) {
-            reference.Update(item.key, item.t, item.value);
-          }
-        } else if (roll < 88) {
-          t += static_cast<Tick>(rng.NextBelow(30));
-          registry->Advance(t);
-          reference.Advance(t);
-        } else if (roll < 96) {
-          // Align clocks first: the registry's shared WBMH layout advances
-          // whenever ANY key ingests, so an idle key's structure can be
-          // further merged than its standalone reference (both correct, but
-          // bit-equality needs both structures at the same tick).
-          registry->Advance(t);
-          reference.Advance(t);
-          for (int probe = 0; probe < 3; ++probe) {
-            const uint64_t key = rng.NextBelow(kKeySpace + 4);  // some absent
-            ASSERT_DOUBLE_EQ(registry->Query(key, t),
-                             reference.Query(key, t))
-                << "seed=" << seed << " op=" << op << " key=" << key
-                << " draws=" << rng.counter();
-          }
-        } else {
-          std::string blob;
-          ASSERT_TRUE(registry->EncodeState(&blob).ok());
-          auto decoded =
-              AggregateRegistry::Decode(config.decay, options, blob);
-          ASSERT_TRUE(decoded.ok())
-              << "seed=" << seed << " op=" << op << ": "
-              << decoded.status().ToString();
-          std::string reencoded;
-          ASSERT_TRUE(decoded->EncodeState(&reencoded).ok());
-          ASSERT_EQ(blob, reencoded)
-              << "snapshot not self-inverse, seed=" << seed << " op=" << op;
-          for (uint64_t key = 0; key < kKeySpace; ++key) {
-            ASSERT_DOUBLE_EQ(decoded->Query(key, t), registry->Query(key, t));
-          }
-        }
-        if (op % 25 == 0) {
-          const Status audit = registry->AuditInvariants();
-          ASSERT_TRUE(audit.ok())
-              << "seed=" << seed << " op=" << op << ": " << audit.ToString();
-        }
-        ASSERT_EQ(registry->KeyCount(), reference.keys.size())
-            << "seed=" << seed << " op=" << op;
-      }
-      const Status audit = registry->AuditInvariants();
-      ASSERT_TRUE(audit.ok()) << audit.ToString();
+      SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+      FuzzInput in = FuzzInput::FromSeed(
+          seed * 1009 + static_cast<uint64_t>(config.backend), 350 * 48);
+      RunRegistryNoEvictionFuzz(config.decay, config.backend, 350, in);
     }
   }
 }
 
-// With expiry enabled (the default), evicted keys may be recreated with a
-// fresh histogram, so exact structural comparison no longer applies; instead
-// every answer must stay within the CEH accuracy band of the exact window
-// count (half the straddling bucket, i.e. O(epsilon) relative plus a
-// granularity term), and structure + snapshot invariants must keep holding.
 TEST(RegistryFuzzTest, EvictionUnderFuzzStaysWithinWindowBounds) {
-  constexpr Tick kWindow = 96;
-  const DecayPtr decay = SlidingWindowDecay::Create(kWindow).value();
   int evictions_observed = 0;
   for (uint64_t seed = 1; seed <= 4; ++seed) {
-    AggregateRegistry::Options options;
-    options.aggregate = AggregateOptions::Builder()
-                            .backend(Backend::kCeh)
-                            .epsilon(0.15)
-                            .Build()
-                            .value();
-    auto registry = AggregateRegistry::Create(decay, options);
-    ASSERT_TRUE(registry.ok());
-    ASSERT_EQ(registry->expiry_age(), kWindow);
-
-    // Exact truth: every item ever ingested, summed over the live window.
-    std::unordered_map<uint64_t, std::vector<std::pair<Tick, uint64_t>>> items;
-    auto truth = [&](uint64_t key, Tick now) {
-      double sum = 0.0;
-      const auto it = items.find(key);
-      if (it == items.end()) return sum;
-      for (const auto& [arrival, value] : it->second) {
-        if (AgeAt(arrival, now) <= kWindow) sum += static_cast<double>(value);
-      }
-      return sum;
-    };
-    auto check_key = [&](uint64_t key, Tick now, int op) {
-      const double expect = truth(key, now);
-      const double got = registry->Query(key, now);
-      ASSERT_NEAR(got, expect, 0.2 * expect + 1.0)
-          << "seed=" << seed << " op=" << op << " key=" << key;
-    };
-
-    FuzzRng rng(seed * 7177);
-    Tick t = 1;
-    for (int op = 0; op < 350; ++op) {
-      const uint64_t roll = rng.NextBelow(100);
-      if (roll < 45) {
-        t += static_cast<Tick>(rng.NextBelow(4));
-        const uint64_t key = rng.NextBelow(kKeySpace);
-        const uint64_t value = rng.NextBelow(5);
-        registry->Update(key, t, value);
-        items[key].emplace_back(t, value);
-      } else if (roll < 70) {
-        std::vector<KeyedItem> batch;
-        const size_t size = rng.NextBelow(40);
-        for (size_t i = 0; i < size; ++i) {
-          if (rng.NextBelow(3) == 0) t += static_cast<Tick>(rng.NextBelow(2));
-          batch.push_back(
-              KeyedItem{rng.NextBelow(kKeySpace), t, rng.NextBelow(5)});
-        }
-        registry->UpdateBatch(batch);
-        for (const KeyedItem& item : batch) {
-          items[item.key].emplace_back(item.t, item.value);
-        }
-      } else if (roll < 85) {
-        // Long advances push whole keys past the horizon and trigger the
-        // full eviction pass.
-        t += static_cast<Tick>(rng.NextBelow(2) ? rng.NextBelow(150)
-                                                : rng.NextBelow(20));
-        registry->Advance(t);
-        if (registry->KeyCount() < items.size()) ++evictions_observed;
-      } else if (roll < 95) {
-        for (int probe = 0; probe < 3; ++probe) {
-          check_key(rng.NextBelow(kKeySpace + 4), t, op);
-        }
-      } else {
-        std::string blob;
-        ASSERT_TRUE(registry->EncodeState(&blob).ok());
-        auto decoded = AggregateRegistry::Decode(decay, options, blob);
-        ASSERT_TRUE(decoded.ok())
-            << "seed=" << seed << " op=" << op << ": "
-            << decoded.status().ToString();
-        std::string reencoded;
-        ASSERT_TRUE(decoded->EncodeState(&reencoded).ok());
-        ASSERT_EQ(blob, reencoded)
-            << "snapshot not self-inverse, seed=" << seed << " op=" << op;
-        for (uint64_t key = 0; key < kKeySpace; ++key) {
-          ASSERT_DOUBLE_EQ(decoded->Query(key, t), registry->Query(key, t));
-        }
-      }
-      if (op % 25 == 0) {
-        const Status audit = registry->AuditInvariants();
-        ASSERT_TRUE(audit.ok())
-            << "seed=" << seed << " op=" << op << ": " << audit.ToString();
-      }
-      ASSERT_LE(registry->KeyCount(), items.size());
-    }
-    const Status audit = registry->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    FuzzInput in = FuzzInput::FromSeed(seed * 7177, 350 * 48);
+    evictions_observed += RunRegistryEvictionFuzz(350, in);
   }
   // The long advances must actually have reclaimed idle keys somewhere
   // across the seeds, or this test is not exercising eviction at all.
@@ -250,3 +264,29 @@ TEST(RegistryFuzzTest, EvictionUnderFuzzStaysWithinWindowBounds) {
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point: first bytes pick the sub-driver and the
+// (decay, backend) pairing, the rest drive the op stream. (Eviction counts
+// are coverage bookkeeping for the deterministic wrapper, not an invariant
+// arbitrary byte streams could promise.)
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  constexpr int kMaxOps = 2048;
+  const uint64_t which = in.Below(4);
+  if (which == 0) {
+    (void)tds::RunRegistryEvictionFuzz(kMaxOps, in);
+  } else if (which == 1) {
+    tds::RunRegistryNoEvictionFuzz(
+        tds::PolynomialDecay::Create(1.0).value(), tds::Backend::kWbmh,
+        kMaxOps, in);
+  } else {
+    tds::RunRegistryNoEvictionFuzz(
+        tds::SlidingWindowDecay::Create(96).value(), tds::Backend::kCeh,
+        kMaxOps, in);
+  }
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

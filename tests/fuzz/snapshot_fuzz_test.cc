@@ -1,16 +1,16 @@
-// Deterministic fuzz driver for the snapshot codec: every supported
+// Dual-mode fuzz driver for the snapshot codec: every supported
 // (backend, decay) pairing is driven through random update/advance
 // schedules, then (a) the encode/decode/re-encode self-inverse audit must
 // hold mid-stream, and (b) deterministic corruptions — truncations and byte
 // flips — must be rejected or decoded into a structure that still answers
-// queries without tripping a sanitizer.
+// queries without tripping a sanitizer. Under -DTDS_LIBFUZZER the harness
+// additionally feeds raw fuzz bytes straight into DecodeDecayedSum, the
+// purest adversarial-decode surface in the codebase.
 #include "core/snapshot.h"
 
 #include <memory>
 #include <string>
 #include <vector>
-
-#include <gtest/gtest.h>
 
 #include "core/ceh.h"
 #include "core/factory.h"
@@ -63,91 +63,144 @@ Status AuditIfSupported(DecayedAggregate& aggregate) {
   return Status::OK();
 }
 
+void RunSnapshotRoundTripFuzz(const SnapshotCase& test_case, int max_ops,
+                              FuzzInput& in) {
+  const AggregateOptions options = AggregateOptions::Builder()
+                                       .backend(test_case.backend)
+                                       .epsilon(0.1)
+                                       .Build()
+                                       .value();
+  auto aggregate = MakeDecayedSum(test_case.decay, options);
+  TDS_FUZZ_CHECK(aggregate.ok(), in, test_case.label, ": ",
+                 aggregate.status().ToString());
+
+  Tick now = 1;
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
+    if (kind < 70) {
+      now += static_cast<Tick>(in.Below(3));
+      (*aggregate)->Update(now, 1 + in.Below(5));
+    } else if (kind < 90) {
+      now += static_cast<Tick>(in.Below(150));
+      (void)(*aggregate)->Query(now);
+    } else {
+      TDS_FUZZ_CHECK_OK(AuditSnapshotRoundTrip(**aggregate), in,
+                        test_case.label, " op=", op);
+    }
+  }
+  TDS_FUZZ_CHECK_OK(AuditSnapshotRoundTrip(**aggregate), in,
+                    test_case.label, " final");
+}
+
+void RunSnapshotCorruptionFuzz(const SnapshotCase& test_case, int warm_ops,
+                               FuzzInput& in) {
+  const AggregateOptions options = AggregateOptions::Builder()
+                                       .backend(test_case.backend)
+                                       .epsilon(0.1)
+                                       .Build()
+                                       .value();
+  auto aggregate = MakeDecayedSum(test_case.decay, options);
+  TDS_FUZZ_CHECK(aggregate.ok(), in, test_case.label, ": ",
+                 aggregate.status().ToString());
+
+  Tick now = 1;
+  for (int i = 0; i < warm_ops && !in.exhausted(); ++i) {
+    now += static_cast<Tick>(in.Below(3));
+    (*aggregate)->Update(now, 1 + in.Below(5));
+  }
+  std::string blob;
+  TDS_FUZZ_CHECK_OK(EncodeDecayedSum(**aggregate, &blob), in,
+                    test_case.label);
+  TDS_FUZZ_CHECK(!blob.empty(), in, test_case.label, ": empty blob");
+
+  auto probe = [&](const std::string& mutated, const char* what,
+                   size_t where) {
+    auto decoded = DecodeDecayedSum(test_case.decay, mutated);
+    if (!decoded.ok()) return;  // Rejection is the expected outcome.
+    // If a mutation slips past validation the result must still be a
+    // structurally coherent summary. (Querying it is NOT safe here: a
+    // flipped clock byte may decode to a later `now`, and Query's
+    // contract requires the caller's tick to be >= it.)
+    TDS_FUZZ_CHECK_OK(AuditIfSupported(**decoded), in, test_case.label,
+                      " ", what, "_at_", where);
+  };
+
+  // Every truncation length (including the empty blob).
+  for (size_t len = 0; len < blob.size(); ++len) {
+    probe(blob.substr(0, len), "truncate", len);
+  }
+  // Deterministic single-byte flips across the blob.
+  for (size_t pos = 0; pos < blob.size(); ++pos) {
+    const auto flip = static_cast<unsigned char>(
+        1u << (HashCombine(0x5a03, pos) % 8));
+    std::string mutated = blob;
+    mutated[pos] = static_cast<char>(
+        static_cast<unsigned char>(mutated[pos]) ^ flip);
+    probe(mutated, "flip", pos);
+  }
+  // Decoding onto the wrong decay function must fail by name check.
+  const DecayPtr wrong_decay = PolynomialDecay::Create(3.25).value();
+  auto wrong = DecodeDecayedSum(wrong_decay, blob);
+  TDS_FUZZ_CHECK(!wrong.ok(), in, test_case.label,
+                 ": wrong-decay decode was accepted");
+}
+
+}  // namespace
+}  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
+
 TEST(SnapshotFuzzTest, RoundTripAuditHoldsMidStreamForEveryBackend) {
   for (const SnapshotCase& test_case : Cases()) {
     SCOPED_TRACE(test_case.label);
-    const AggregateOptions options = AggregateOptions::Builder()
-                                     .backend(test_case.backend)
-                                     .epsilon(0.1)
-                                     .Build()
-                                     .value();
-    auto aggregate = MakeDecayedSum(test_case.decay, options);
-    ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
-
-    FuzzRng rng(0x5a01);
-    Tick now = 1;
-    for (int op = 0; op < 400; ++op) {
-      const uint64_t kind = rng.NextBelow(100);
-      if (kind < 70) {
-        now += static_cast<Tick>(rng.NextBelow(3));
-        (*aggregate)->Update(now, 1 + rng.NextBelow(5));
-      } else if (kind < 90) {
-        now += static_cast<Tick>(rng.NextBelow(150));
-        (void)(*aggregate)->Query(now);
-      } else {
-        const Status audit = AuditSnapshotRoundTrip(**aggregate);
-        ASSERT_TRUE(audit.ok())
-            << "op=" << op << ": " << audit.ToString();
-      }
-    }
-    const Status audit = AuditSnapshotRoundTrip(**aggregate);
-    EXPECT_TRUE(audit.ok()) << audit.ToString();
+    FuzzInput in = FuzzInput::FromSeed(0x5a01, 400 * 8);
+    RunSnapshotRoundTripFuzz(test_case, 400, in);
   }
 }
 
 TEST(SnapshotFuzzTest, CorruptedBlobsAreRejectedOrDecodeToAuditCleanState) {
   for (const SnapshotCase& test_case : Cases()) {
     SCOPED_TRACE(test_case.label);
-    const AggregateOptions options = AggregateOptions::Builder()
-                                     .backend(test_case.backend)
-                                     .epsilon(0.1)
-                                     .Build()
-                                     .value();
-    auto aggregate = MakeDecayedSum(test_case.decay, options);
-    ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
-
-    FuzzRng rng(0x5a02);
-    Tick now = 1;
-    for (int i = 0; i < 600; ++i) {
-      now += static_cast<Tick>(rng.NextBelow(3));
-      (*aggregate)->Update(now, 1 + rng.NextBelow(5));
-    }
-    std::string blob;
-    const Status encode_status = EncodeDecayedSum(**aggregate, &blob);
-    ASSERT_TRUE(encode_status.ok()) << encode_status.ToString();
-    ASSERT_FALSE(blob.empty());
-
-    auto probe = [&](const std::string& mutated, const std::string& what) {
-      SCOPED_TRACE(what);
-      auto decoded = DecodeDecayedSum(test_case.decay, mutated);
-      if (!decoded.ok()) return;  // Rejection is the expected outcome.
-      // If a mutation slips past validation the result must still be a
-      // structurally coherent summary. (Querying it is NOT safe here: a
-      // flipped clock byte may decode to a later `now`, and Query's
-      // contract requires the caller's tick to be >= it.)
-      const Status audit = AuditIfSupported(**decoded);
-      EXPECT_TRUE(audit.ok()) << audit.ToString();
-    };
-
-    // Every truncation length (including the empty blob).
-    for (size_t len = 0; len < blob.size(); ++len) {
-      probe(blob.substr(0, len), "truncate_to_" + std::to_string(len));
-    }
-    // Deterministic single-byte flips across the blob.
-    for (size_t pos = 0; pos < blob.size(); ++pos) {
-      const auto flip = static_cast<unsigned char>(
-          1u << (HashCombine(0x5a03, pos) % 8));
-      std::string mutated = blob;
-      mutated[pos] = static_cast<char>(
-          static_cast<unsigned char>(mutated[pos]) ^ flip);
-      probe(mutated, "flip_at_" + std::to_string(pos));
-    }
-    // Decoding onto the wrong decay function must fail by name check.
-    const DecayPtr wrong_decay = PolynomialDecay::Create(3.25).value();
-    auto wrong = DecodeDecayedSum(wrong_decay, blob);
-    EXPECT_FALSE(wrong.ok()) << test_case.label;
+    FuzzInput in = FuzzInput::FromSeed(0x5a02, 600 * 4);
+    RunSnapshotCorruptionFuzz(test_case, 600, in);
   }
 }
 
 }  // namespace
 }  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point. Three sub-harnesses: round-trip audits,
+// deterministic corruption sweeps, and — the headline one — decoding the
+// remaining raw fuzz bytes directly, so the mutator explores the codec's
+// validation lattice without any structure-building detour.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  const auto cases = tds::Cases();
+  const uint64_t which = in.Below(4);
+  const tds::SnapshotCase& test_case = cases[in.Below(cases.size())];
+  if (which == 0) {
+    tds::RunSnapshotRoundTripFuzz(test_case, 2048, in);
+  } else if (which == 1) {
+    tds::RunSnapshotCorruptionFuzz(test_case, 512, in);
+  } else {
+    std::string blob(reinterpret_cast<const char*>(data) + in.consumed(),
+                     in.remaining());
+    auto decoded = tds::DecodeDecayedSum(test_case.decay, blob);
+    if (decoded.ok()) {
+      const tds::Status audit = tds::AuditIfSupported(**decoded);
+      TDS_FUZZ_CHECK(audit.ok(), in,
+                     "raw decode accepted but audit failed: ",
+                     audit.ToString());
+    }
+  }
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

@@ -1,8 +1,10 @@
-// Deterministic fuzz driver for the Weight-Based Merging Histogram:
+// Dual-mode fuzz driver for the Weight-Based Merging Histogram:
 // interleaves Update / Query / quiet gaps / snapshot round-trips on an
 // owned-layout instance, and separately drives two counters over one shared
 // layout with periodic log trimming — the deployment shape the layout's op
 // log exists for. Audits layout + counter invariants after every operation.
+// Gtest-free FuzzInput cores run both as the deterministic ctest target and
+// as a libFuzzer harness under -DTDS_LIBFUZZER.
 #include "core/wbmh.h"
 
 #include <algorithm>
@@ -10,8 +12,6 @@
 #include <memory>
 #include <string>
 #include <utility>
-
-#include <gtest/gtest.h>
 
 #include "core/snapshot.h"
 #include "decay/polynomial.h"
@@ -45,93 +45,73 @@ class ExactDecayedReference {
   std::deque<std::pair<Tick, uint64_t>> items_;
 };
 
-struct FuzzCase {
-  uint64_t seed;
-  double alpha;    ///< Polynomial decay exponent.
+struct WbmhFuzzConfig {
+  double alpha;     ///< Polynomial decay exponent.
   double epsilon;
-  double envelope; ///< Relative error budget for Query vs exact.
-  int ops;
+  double envelope;  ///< Relative error budget for Query vs exact.
+  int max_ops;
 };
 
-class WbmhFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
-
-TEST_P(WbmhFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
-  const FuzzCase fuzz = GetParam();
-  FuzzRng rng(fuzz.seed);
-  const DecayPtr decay = PolynomialDecay::Create(fuzz.alpha).value();
+void RunWbmhFuzz(const WbmhFuzzConfig& config, FuzzInput& in) {
+  const DecayPtr decay = PolynomialDecay::Create(config.alpha).value();
 
   WbmhDecayedSum::Options options;
-  options.epsilon = fuzz.epsilon;
+  options.epsilon = config.epsilon;
   auto created = WbmhDecayedSum::Create(decay, options);
-  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  TDS_FUZZ_CHECK(created.ok(), in, "Create: ", created.status().ToString());
   std::unique_ptr<WbmhDecayedSum> wbmh = std::move(created).value();
 
   ExactDecayedReference exact(decay);
   Tick now = 1;
 
   auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " seed=" + std::to_string(fuzz.seed) +
-                 " draw=" + std::to_string(rng.counter()));
-    const Status audit = wbmh->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
+    TDS_FUZZ_CHECK_OK(wbmh->AuditInvariants(), in, "after ", op);
     const double reference = exact.Sum(now);
-    EXPECT_NEAR(wbmh->Query(now), reference,
-                fuzz.envelope * reference + 0.5);
+    TDS_FUZZ_CHECK_NEAR(wbmh->Query(now), reference,
+                        config.envelope * reference + 0.5, in, "after ", op);
   };
 
-  for (int op = 0; op < fuzz.ops; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
+  for (int op = 0; op < config.max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
     if (kind < 65) {
-      now += static_cast<Tick>(rng.NextBelow(3));
+      now += static_cast<Tick>(in.Below(3));
       const uint64_t value =
-          rng.NextBelow(25) == 0 ? 1 + rng.NextBelow(500) : rng.NextBelow(4);
+          in.Below(25) == 0 ? 1 + in.Below(500) : in.Below(4);
       wbmh->Update(now, value);
       exact.Add(now, value);
       check("Update");
     } else if (kind < 82) {
       // Quiet gap: forces seal/merge/drop event processing in one burst.
-      now += static_cast<Tick>(rng.NextBelow(200));
+      now += static_cast<Tick>(in.Below(200));
       check("Gap");
     } else if (kind < 90) {
       // Snapshot round-trip (owned layout); continue on the restored copy.
-      const Status audit_status = AuditSnapshotRoundTrip(*wbmh);
-      ASSERT_TRUE(audit_status.ok()) << audit_status.ToString();
+      TDS_FUZZ_CHECK_OK(AuditSnapshotRoundTrip(*wbmh), in,
+                        "AuditSnapshotRoundTrip");
       std::string blob;
-      const Status encode_status = EncodeDecayedSum(*wbmh, &blob);
-      ASSERT_TRUE(encode_status.ok()) << encode_status.ToString();
+      TDS_FUZZ_CHECK_OK(EncodeDecayedSum(*wbmh, &blob), in, "Encode");
       auto restored = DecodeDecayedSum(decay, blob);
-      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      TDS_FUZZ_CHECK(restored.ok(), in,
+                     "Decode: ", restored.status().ToString());
       auto* typed = dynamic_cast<WbmhDecayedSum*>(restored->get());
-      ASSERT_NE(typed, nullptr);
+      TDS_FUZZ_CHECK(typed != nullptr, in, "decoded type is not WBMH");
       restored->release();
       wbmh.reset(typed);
       check("SnapshotRoundTrip");
     } else {
       // Repeated queries at a fixed tick must agree.
       const double first = wbmh->Query(now);
-      EXPECT_DOUBLE_EQ(wbmh->Query(now), first);
+      TDS_FUZZ_CHECK_DOUBLE_EQ(wbmh->Query(now), first, in,
+                               "repeated query drifted");
       check("RepeatedQuery");
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Seeds, WbmhFuzzTest,
-    ::testing::Values(FuzzCase{0x3b01, 1.0, 0.2, 0.5, 900},
-                      FuzzCase{0x3b02, 2.0, 0.2, 0.5, 900},
-                      FuzzCase{0x3b03, 1.0, 0.05, 0.15, 600},
-                      FuzzCase{0x3b04, 0.5, 0.5, 1.0, 900}),
-    [](const ::testing::TestParamInfo<FuzzCase>& info) {
-      return "Seed" + std::to_string(info.param.seed & 0xff) + "Alpha" +
-             std::to_string(static_cast<int>(info.param.alpha * 10)) +
-             "Eps" + std::to_string(static_cast<int>(info.param.epsilon * 100));
-    });
-
 // Two counters over one shared layout, with periodic op-log trimming at the
 // slower counter's applied sequence — exercises the replay protocol that the
 // single-stream wrapper never stresses.
-TEST(WbmhSharedLayoutFuzzTest, TwoCountersOneLayoutWithTrimming) {
-  FuzzRng rng(0x3bff);
+void RunWbmhSharedLayoutFuzz(int max_ops, FuzzInput& in) {
   const DecayPtr decay = PolynomialDecay::Create(1.5).value();
 
   WbmhLayout::Options layout_options;
@@ -139,52 +119,49 @@ TEST(WbmhSharedLayoutFuzzTest, TwoCountersOneLayoutWithTrimming) {
   layout_options.epsilon = 0.2;
   layout_options.start = 1;
   auto layout_or = WbmhLayout::Create(layout_options);
-  ASSERT_TRUE(layout_or.ok()) << layout_or.status().ToString();
+  TDS_FUZZ_CHECK(layout_or.ok(), in,
+                 "layout Create: ", layout_or.status().ToString());
   auto layout = std::make_shared<WbmhLayout>(std::move(layout_or).value());
 
   WbmhDecayedSum::Options options;
   options.epsilon = 0.2;
   auto a = WbmhDecayedSum::CreateShared(layout, options);
   auto b = WbmhDecayedSum::CreateShared(layout, options);
-  ASSERT_TRUE(a.ok()) << a.status().ToString();
-  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  TDS_FUZZ_CHECK(a.ok(), in, "CreateShared a: ", a.status().ToString());
+  TDS_FUZZ_CHECK(b.ok(), in, "CreateShared b: ", b.status().ToString());
 
   ExactDecayedReference exact_a(decay);
   ExactDecayedReference exact_b(decay);
   Tick now = 1;
 
   auto check = [&](const char* op) {
-    SCOPED_TRACE(std::string(op) + " draw=" + std::to_string(rng.counter()));
-    Status audit = layout->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    audit = (*a)->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    audit = (*b)->AuditInvariants();
-    ASSERT_TRUE(audit.ok()) << audit.ToString();
-    EXPECT_NEAR((*a)->Query(now), exact_a.Sum(now),
-                0.5 * exact_a.Sum(now) + 0.5);
-    EXPECT_NEAR((*b)->Query(now), exact_b.Sum(now),
-                0.5 * exact_b.Sum(now) + 0.5);
+    TDS_FUZZ_CHECK_OK(layout->AuditInvariants(), in, "layout after ", op);
+    TDS_FUZZ_CHECK_OK((*a)->AuditInvariants(), in, "a after ", op);
+    TDS_FUZZ_CHECK_OK((*b)->AuditInvariants(), in, "b after ", op);
+    TDS_FUZZ_CHECK_NEAR((*a)->Query(now), exact_a.Sum(now),
+                        0.5 * exact_a.Sum(now) + 0.5, in, "a after ", op);
+    TDS_FUZZ_CHECK_NEAR((*b)->Query(now), exact_b.Sum(now),
+                        0.5 * exact_b.Sum(now) + 0.5, in, "b after ", op);
   };
 
-  for (int op = 0; op < 900; ++op) {
-    const uint64_t kind = rng.NextBelow(100);
+  for (int op = 0; op < max_ops && !in.exhausted(); ++op) {
+    const uint64_t kind = in.Below(100);
     if (kind < 45) {
-      now += static_cast<Tick>(rng.NextBelow(2));
-      const uint64_t value = 1 + rng.NextBelow(3);
+      now += static_cast<Tick>(in.Below(2));
+      const uint64_t value = 1 + in.Below(3);
       (*a)->Update(now, value);
       exact_a.Add(now, value);
       check("UpdateA");
     } else if (kind < 80) {
       // Stream B is burstier: it falls behind on replay between bursts,
       // leaving real work for the shared-log catch-up path.
-      now += static_cast<Tick>(rng.NextBelow(40));
-      const uint64_t value = 1 + rng.NextBelow(10);
+      now += static_cast<Tick>(in.Below(40));
+      const uint64_t value = 1 + in.Below(10);
       (*b)->Update(now, value);
       exact_b.Add(now, value);
       check("UpdateB");
     } else if (kind < 92) {
-      now += static_cast<Tick>(rng.NextBelow(120));
+      now += static_cast<Tick>(in.Below(120));
       check("Gap");
     } else {
       // Queries sync both counters to the layout's op sequence, after which
@@ -201,3 +178,70 @@ TEST(WbmhSharedLayoutFuzzTest, TwoCountersOneLayoutWithTrimming) {
 
 }  // namespace
 }  // namespace tds
+
+#ifndef TDS_LIBFUZZER
+
+#include <gtest/gtest.h>
+
+namespace tds {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  double alpha;
+  double epsilon;
+  double envelope;
+  int ops;
+};
+
+class WbmhFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(WbmhFuzzTest, InterleavedOpsKeepInvariantsAndAccuracy) {
+  const FuzzCase fuzz = GetParam();
+  FuzzInput in = FuzzInput::FromSeed(
+      fuzz.seed, static_cast<size_t>(fuzz.ops) * 16);
+  RunWbmhFuzz({fuzz.alpha, fuzz.epsilon, fuzz.envelope, fuzz.ops}, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, WbmhFuzzTest,
+    ::testing::Values(FuzzCase{0x3b01, 1.0, 0.2, 0.5, 900},
+                      FuzzCase{0x3b02, 2.0, 0.2, 0.5, 900},
+                      FuzzCase{0x3b03, 1.0, 0.05, 0.15, 600},
+                      FuzzCase{0x3b04, 0.5, 0.5, 1.0, 900}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "Seed" + std::to_string(info.param.seed & 0xff) + "Alpha" +
+             std::to_string(static_cast<int>(info.param.alpha * 10)) +
+             "Eps" + std::to_string(static_cast<int>(info.param.epsilon * 100));
+    });
+
+TEST(WbmhSharedLayoutFuzzTest, TwoCountersOneLayoutWithTrimming) {
+  FuzzInput in = FuzzInput::FromSeed(0x3bff, 900 * 16);
+  RunWbmhSharedLayoutFuzz(900, in);
+}
+
+}  // namespace
+}  // namespace tds
+
+#else  // TDS_LIBFUZZER
+
+// Coverage-guided entry point: the first byte picks the sub-driver (shared
+// layout vs owned), the next bytes pick decay exponent + epsilon.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  tds::FuzzInput in(data, size);
+  if (in.Below(4) == 0) {
+    tds::RunWbmhSharedLayoutFuzz(4096, in);
+    return 0;
+  }
+  constexpr double kAlphas[] = {0.5, 1.0, 2.0};
+  const bool tight = in.Below(4) == 0;
+  tds::WbmhFuzzConfig config;
+  config.alpha = kAlphas[in.Below(3)];
+  config.epsilon = tight ? 0.05 : 0.2;
+  config.envelope = tight ? 0.15 : (config.alpha < 1.0 ? 1.0 : 0.5);
+  config.max_ops = 4096;
+  tds::RunWbmhFuzz(config, in);
+  return 0;
+}
+
+#endif  // TDS_LIBFUZZER

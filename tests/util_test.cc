@@ -9,8 +9,11 @@
 #include "util/morris.h"
 #include "util/random.h"
 #include "util/rounded_counter.h"
+#include "util/schedule_chaos.h"
 #include "util/stable.h"
 #include "util/status.h"
+
+#include "fuzz/fuzz_util.h"
 
 namespace tds {
 namespace {
@@ -253,6 +256,119 @@ TEST(RoundedCounterTest, StorageBitsAccounting) {
   RoundedCounter rounded(8);
   EXPECT_GE(rounded.StorageBits(1e6), 8 + 4);  // mantissa + exponent field
   EXPECT_LE(rounded.StorageBits(1e6), 8 + 6);
+}
+
+// --- FuzzInput: the byte-stream contract behind the dual-mode drivers ---
+
+TEST(FuzzInputTest, FromSeedIsDeterministic) {
+  FuzzInput a = FuzzInput::FromSeed(0xE401, 256);
+  FuzzInput b = FuzzInput::FromSeed(0xE401, 256);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a.Byte(), b.Byte()) << "byte " << i;
+  // A different seed diverges (first word is HashCombine(seed, 0)).
+  FuzzInput c = FuzzInput::FromSeed(0xE402, 8);
+  FuzzInput d = FuzzInput::FromSeed(0xE401, 8);
+  EXPECT_NE(c.U64(), d.U64());
+}
+
+TEST(FuzzInputTest, FromSeedMatchesRngWordStream) {
+  // FromSeed materializes FuzzRng words 8 little-endian bytes at a time —
+  // the contract tools/make_fuzz_corpus.py's python twin replays.
+  FuzzInput in = FuzzInput::FromSeed(42, 32);
+  FuzzRng rng(42);
+  for (int word = 0; word < 4; ++word) EXPECT_EQ(in.U64(), rng.Next());
+}
+
+TEST(FuzzInputTest, BelowConsumesMinimumWidthAndRespectsBound) {
+  const uint8_t bytes[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  FuzzInput in(bytes, sizeof(bytes));
+  EXPECT_LT(in.Below(16), 16u);
+  EXPECT_EQ(in.consumed(), 1u);  // bound <= 2^8: one byte
+  EXPECT_LT(in.Below(1000), 1000u);
+  EXPECT_EQ(in.consumed(), 3u);  // bound <= 2^16: two bytes
+  EXPECT_EQ(in.Below(1), 0u);    // degenerate bound consumes nothing
+  EXPECT_EQ(in.consumed(), 3u);
+  FuzzInput wide(bytes, sizeof(bytes));
+  EXPECT_LT(wide.Below(UINT64_C(1) << 20), UINT64_C(1) << 20);
+  EXPECT_EQ(wide.consumed(), 4u);  // bound <= 2^32: four bytes
+}
+
+TEST(FuzzInputTest, ExhaustionIsZeroAndSticky) {
+  const uint8_t bytes[] = {0xAB, 0xCD};
+  FuzzInput in(bytes, sizeof(bytes));
+  EXPECT_FALSE(in.exhausted());
+  EXPECT_EQ(in.remaining(), 2u);
+  EXPECT_EQ(in.Byte(), 0xAB);
+  EXPECT_EQ(in.Byte(), 0xCD);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(in.remaining(), 0u);
+  // Every draw past the end is a deterministic zero, never UB.
+  EXPECT_EQ(in.Byte(), 0u);
+  EXPECT_EQ(in.U64(), 0u);
+  EXPECT_EQ(in.Below(100), 0u);
+  EXPECT_TRUE(in.exhausted());
+}
+
+// --- Schedule chaos: the seeded perturbation policy (src/util/schedule_chaos.h)
+// is compiled and testable even when TDS_SCHED_CHAOS is off; the macro must
+// also be usable (as a no-op) in unperturbed builds. ---
+
+TEST(ScheduleChaosTest, MacroCompilesInAnyBuild) {
+  TDS_INTERLEAVE_POINT("util_test.noop");
+}
+
+TEST(ScheduleChaosTest, DecisionIsPureFunctionOfInputs) {
+  for (uint64_t hit = 0; hit < 64; ++hit) {
+    EXPECT_EQ(sched_chaos::DecisionFor(7, "ring.push.publish", hit),
+              sched_chaos::DecisionFor(7, "ring.push.publish", hit));
+    EXPECT_EQ(sched_chaos::SleepMicrosFor(7, "ring.push.publish", hit),
+              sched_chaos::SleepMicrosFor(7, "ring.push.publish", hit));
+  }
+}
+
+TEST(ScheduleChaosTest, MixCoversAllDecisionsAtDocumentedRates) {
+  int sleeps = 0;
+  int yields = 0;
+  int nones = 0;
+  constexpr int kHits = 4096;
+  for (uint64_t hit = 0; hit < kHits; ++hit) {
+    switch (sched_chaos::DecisionFor(1, "engine.park.window", hit)) {
+      case sched_chaos::Decision::kSleep: ++sleeps; break;
+      case sched_chaos::Decision::kYield: ++yields; break;
+      case sched_chaos::Decision::kNone: ++nones; break;
+    }
+  }
+  // ~1/16 sleep, ~3/16 yield, rest undisturbed; generous 2x bands.
+  EXPECT_GT(sleeps, kHits / 32);
+  EXPECT_LT(sleeps, kHits / 8);
+  EXPECT_GT(yields, kHits / 11);
+  EXPECT_LT(yields, kHits / 3);
+  EXPECT_GT(nones, kHits / 2);
+}
+
+TEST(ScheduleChaosTest, SeedAndPointNameChangeTheSchedule) {
+  int diverged_by_seed = 0;
+  int diverged_by_name = 0;
+  for (uint64_t hit = 0; hit < 256; ++hit) {
+    if (sched_chaos::DecisionFor(1, "ring.pop.claim", hit) !=
+        sched_chaos::DecisionFor(2, "ring.pop.claim", hit)) {
+      ++diverged_by_seed;
+    }
+    if (sched_chaos::DecisionFor(1, "ring.pop.claim", hit) !=
+        sched_chaos::DecisionFor(1, "ring.push.claim", hit)) {
+      ++diverged_by_name;
+    }
+  }
+  EXPECT_GT(diverged_by_seed, 0);
+  EXPECT_GT(diverged_by_name, 0);
+}
+
+TEST(ScheduleChaosTest, SleepsAreBounded) {
+  for (uint64_t hit = 0; hit < 512; ++hit) {
+    const uint64_t micros =
+        sched_chaos::SleepMicrosFor(1, "engine.route.publish", hit);
+    EXPECT_GE(micros, 1u);
+    EXPECT_LE(micros, 100u);
+  }
 }
 
 }  // namespace

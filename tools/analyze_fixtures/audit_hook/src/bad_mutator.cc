@@ -1,0 +1,12 @@
+#include "bad_mutator.h"
+
+namespace fixture {
+
+Status Ledger::Apply(int delta) {
+  total_ += delta;
+  return Status::OK();
+}
+
+Status Ledger::AuditInvariants() const { return Status::OK(); }
+
+}  // namespace fixture

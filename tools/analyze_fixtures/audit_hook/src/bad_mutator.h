@@ -1,0 +1,24 @@
+// Deliberate violation fixture for tds_analyze.py --selftest: an audited
+// class (declares AuditInvariants) whose fallible mutator neither runs
+// TDS_AUDIT_MUTATION nor calls AuditInvariants.
+#ifndef FIXTURE_BAD_MUTATOR_H_
+#define FIXTURE_BAD_MUTATOR_H_
+
+#include "util/status.h"
+
+namespace fixture {
+
+class Ledger {
+ public:
+  Status AuditInvariants() const;
+
+  /// Applies a delta to the running total.
+  Status Apply(int delta);
+
+ private:
+  long total_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_MUTATOR_H_

@@ -1,0 +1,14 @@
+#include "bad_query.h"
+
+namespace fixture {
+
+// (Fixture trees are analyzed, never compiled: the direct non-const call
+// below is exactly the mutation-from-const shape the rule rejects.)
+double CachedSum::Query(long now) const {
+  RefreshCache(now);
+  return cache_;
+}
+
+void CachedSum::RefreshCache(long now) { cache_ = static_cast<double>(now); }
+
+}  // namespace fixture

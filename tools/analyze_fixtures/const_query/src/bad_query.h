@@ -1,0 +1,22 @@
+// Deliberate violation fixture for tds_analyze.py --selftest: a const
+// Query that refreshes a cache through a non-const member — a data race
+// once snapshots are read concurrently.
+#ifndef FIXTURE_BAD_QUERY_H_
+#define FIXTURE_BAD_QUERY_H_
+
+namespace fixture {
+
+class CachedSum {
+ public:
+  double Query(long now) const;
+
+  /// Recomputes the cached value at `now`.
+  void RefreshCache(long now);
+
+ private:
+  double cache_ = 0.0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_QUERY_H_

@@ -1,0 +1,12 @@
+#include "bad_failpoint.h"
+
+namespace fixture {
+
+Status Journal::Append(int entry) {
+  size_ += 1;
+  TDS_FAILPOINT_RETURN("journal.append");
+  entries_[size_ - 1] = entry;
+  return Status::OK();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Deliberate violation fixture for tds_analyze.py --selftest: a method
+// documented unchanged-on-error writes member state before its failpoint,
+// so an injected fault would leave the object half-mutated.
+#ifndef FIXTURE_BAD_FAILPOINT_H_
+#define FIXTURE_BAD_FAILPOINT_H_
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace fixture {
+
+class Journal {
+ public:
+  /// Appends the entry; on error this journal is unchanged.
+  Status Append(int entry);
+
+ private:
+  int size_ = 0;
+  int entries_[16] = {};
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_FAILPOINT_H_

@@ -1,0 +1,21 @@
+// Deliberate violation fixture for tds_analyze.py --selftest: two
+// functions acquire the same pair of mutexes in opposite orders, the
+// classic AB/BA deadlock. The analyzer must reject the cycle.
+#include "util/mutex.h"
+
+namespace fixture {
+
+Mutex g_alpha;
+Mutex g_beta;
+
+void First() {
+  MutexLock alpha(g_alpha);
+  MutexLock beta(g_beta);
+}
+
+void Second() {
+  MutexLock beta(g_beta);
+  MutexLock alpha(g_alpha);
+}
+
+}  // namespace fixture

@@ -7,7 +7,7 @@
 #   tools/check.sh [stage...]
 #
 # Stages (default and "all": release asan tsan faults tidy thread-safety
-# lint):
+# lint analyze chaos coverage fuzz):
 #   release   Release build + full ctest suite (tier-1 verify).
 #   asan      ASan+UBSan build with -DTDS_AUDIT=ON (structural invariant
 #             audits after every mutation) + full ctest suite.
@@ -35,7 +35,29 @@
 #   lint      Project-rule linter (tools/tds_lint.py) and its selftest:
 #             aggregate audit/fuzz coverage, no raw std::mutex outside
 #             util/mutex.h, no wall-clock or ambient randomness in
-#             src/core + src/engine, no ownerless task markers.
+#             src/core + src/engine, no ownerless task markers, every
+#             fuzz driver registered in both execution modes.
+#   analyze   Semantic analyzer (tools/tds_analyze.py) and its selftest:
+#             lock-acquisition-order cycles, const-Query purity,
+#             audit-hooked Status mutators, no-write-before-failpoint.
+#             Uses the libclang AST frontend when the clang python
+#             bindings are installed, else the builtin frontend — both
+#             enforce the same rules, so this stage never skips.
+#   chaos     Schedule-perturbation race amplifier: TSan build with
+#             -DTDS_SCHED_CHAOS=ON so every TDS_INTERLEAVE_POINT
+#             (util/schedule_chaos.h) yields/sleeps on a seeded schedule,
+#             then the engine concurrency + ring suites. Catches
+#             interleavings a quiet TSan run rarely reaches; the seed is
+#             pinned so a failure replays.
+#   coverage  gcov line-coverage report over src/core from the fuzz-driver
+#             leg (-DTDS_COVERAGE=ON build), with a hard floor enforced by
+#             tools/coverage_report.py — the guard that keeps the fuzz
+#             drivers actually exercising the core sketches.
+#   fuzz      Coverage-guided fuzzing smoke: clang + -DTDS_LIBFUZZER=ON
+#             builds every tests/fuzz driver as a libFuzzer target
+#             (ASan+UBSan+audits riding along), then runs each briefly
+#             from its seed corpus (tests/fuzz/corpus/). Skipped with a
+#             notice when clang++ is not installed; CI installs it.
 #
 # Every stage builds out-of-tree (build-release/, build-asan/, build-tsan/)
 # so the matrix never pollutes the default build/ directory.
@@ -43,9 +65,9 @@ set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STAGES="${*:-release asan tsan faults tidy thread-safety lint}"
+STAGES="${*:-release asan tsan faults tidy thread-safety lint analyze chaos coverage fuzz}"
 if [ "$STAGES" = "all" ]; then
-  STAGES="release asan tsan faults tidy thread-safety lint"
+  STAGES="release asan tsan faults tidy thread-safety lint analyze chaos coverage fuzz"
 fi
 
 log() { printf '\n== check.sh: %s ==\n' "$*"; }
@@ -138,10 +160,84 @@ for stage in $STAGES; do
       python3 "$ROOT/tools/tds_lint.py" --root "$ROOT"
       python3 "$ROOT/tools/tds_lint.py" --selftest --root "$ROOT"
       ;;
+    analyze)
+      log "semantic analyzer (tds_analyze.py) + selftest"
+      python3 "$ROOT/tools/tds_analyze.py" --selftest --root "$ROOT"
+      # Hand the analyzer a compilation database so a clang-equipped host
+      # exercises the libclang AST frontend; without the bindings it
+      # prints a notice and runs the builtin frontend on the same rules.
+      if [ ! -f "$ROOT/build-asan/compile_commands.json" ]; then
+        cmake -S "$ROOT" -B "$ROOT/build-asan" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DTDS_SANITIZE="address;undefined" -DTDS_AUDIT=ON -DTDS_WERROR=ON
+      fi
+      python3 "$ROOT/tools/tds_analyze.py" --root "$ROOT" \
+        --compdb "$ROOT/build-asan/compile_commands.json"
+      log "seed-corpus freshness (make_fuzz_corpus.py --check)"
+      python3 "$ROOT/tools/make_fuzz_corpus.py" --check
+      ;;
+    chaos)
+      log "TSan + schedule chaos (TDS_SCHED_CHAOS=ON, pinned seed) + engine suites"
+      cmake -S "$ROOT" -B "$ROOT/build-chaos" -DTDS_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTDS_SANITIZE=thread \
+        -DTDS_SCHED_CHAOS=ON
+      cmake --build "$ROOT/build-chaos" -j "$JOBS" \
+        --target engine_concurrency_test spsc_ring_test util_test
+      # The perturbed interleavings must leave results byte-identical:
+      # the same suites that pass quiet TSan must pass chaotic TSan.
+      TDS_SCHED_CHAOS_SEED="${TDS_SCHED_CHAOS_SEED:-1}" \
+        ctest --test-dir "$ROOT/build-chaos" --output-on-failure \
+        --no-tests=error -R 'ShardedEngine|SpscRing|ScheduleChaos'
+      ;;
+    coverage)
+      log "fuzz-driver line coverage over src/core (gcov) + floor"
+      cmake -S "$ROOT" -B "$ROOT/build-cov" -DTDS_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTDS_COVERAGE=ON
+      cmake --build "$ROOT/build-cov" -j "$JOBS" --target \
+        core_fuzz_test eh_fuzz_test ceh_fuzz_test wbmh_fuzz_test \
+        mvd_fuzz_test snapshot_fuzz_test registry_fuzz_test \
+        engine_merge_fuzz_test engine_fault_fuzz_test
+      ctest --test-dir "$ROOT/build-cov" -j "$JOBS" --output-on-failure \
+        --no-tests=error -R 'Fuzz'
+      # Floor set from a measured 78%: tightening it requires new fuzz
+      # coverage, loosening it requires editing this line in review.
+      python3 "$ROOT/tools/coverage_report.py" \
+        --build-dir "$ROOT/build-cov" --filter src/core --floor 70
+      ;;
+    fuzz)
+      if ! command -v clang++ >/dev/null 2>&1; then
+        log "clang++ not installed; skipping the libFuzzer fuzz stage"
+        continue
+      fi
+      log "libFuzzer smoke over tests/fuzz drivers (clang, ASan+UBSan+audits)"
+      cmake -S "$ROOT" -B "$ROOT/build-fuzz" -DTDS_WERROR=ON \
+        -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTDS_LIBFUZZER=ON -DTDS_SANITIZE="address;undefined" \
+        -DTDS_AUDIT=ON -DTDS_FAILPOINTS=ON
+      cmake --build "$ROOT/build-fuzz" -j "$JOBS" --target \
+        core_fuzz_test_fuzzer eh_fuzz_test_fuzzer ceh_fuzz_test_fuzzer \
+        wbmh_fuzz_test_fuzzer mvd_fuzz_test_fuzzer \
+        snapshot_fuzz_test_fuzzer registry_fuzz_test_fuzzer \
+        engine_merge_fuzz_test_fuzzer engine_fault_fuzz_test_fuzzer
+      # Bounded smoke: each driver replays its seed corpus, then fuzzes
+      # briefly with coverage feedback. CI keeps this short; drop the cap
+      # for a real fuzzing session.
+      FUZZ_SECONDS="${FUZZ_SECONDS:-10}"
+      for driver in core_fuzz_test eh_fuzz_test ceh_fuzz_test \
+          wbmh_fuzz_test mvd_fuzz_test snapshot_fuzz_test \
+          registry_fuzz_test engine_merge_fuzz_test engine_fault_fuzz_test
+      do
+        log "fuzz: $driver (${FUZZ_SECONDS}s)"
+        "$ROOT/build-fuzz/tests/fuzz/${driver}_fuzzer" \
+          -max_total_time="$FUZZ_SECONDS" -rss_limit_mb=4096 \
+          -print_final_stats=1 \
+          "$ROOT/tests/fuzz/corpus/$driver"
+      done
+      ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
       echo "known stages: release asan tsan faults tidy thread-safety" \
-        "lint all" >&2
+        "lint analyze chaos coverage fuzz all" >&2
       exit 2
       ;;
   esac

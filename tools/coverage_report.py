@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Line-coverage report + floor for a --coverage (gcov-format) build.
+
+tools/check.sh's `coverage` stage builds with -DTDS_COVERAGE=ON, runs the
+fuzz-driver ctest leg, then calls this script: it walks the build tree for
+.gcno note files whose sources fall under --filter (default src/core),
+runs gcov on each, and aggregates executed/total line counts. The run
+fails when aggregate coverage dips below --floor — the guard that keeps
+the dual-mode fuzz drivers (tests/fuzz/) actually exercising the core
+sketches rather than rotting into shallow smoke tests.
+
+Works with GCC's gcov and (via --gcov "llvm-cov gcov") clang's gcov-format
+output. No third-party coverage tools required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# gcov -n output comes in (File, Lines executed) pairs:
+#   File '/root/repo/src/core/eh.cc'
+#   Lines executed:93.55% of 341
+FILE_PATTERN = re.compile(r"^File '(?P<path>[^']*)'")
+LINES_PATTERN = re.compile(
+    r"^Lines executed:(?P<pct>[0-9.]+)% of (?P<total>\d+)")
+NO_LINES_PATTERN = re.compile(r"^No executable lines")
+
+
+def find_gcno_files(build_dir):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcno"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def run_gcov(gcov_argv, gcno_path, cwd):
+    proc = subprocess.run(
+        gcov_argv + ["-n", gcno_path],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.stdout
+
+
+def parse_gcov_output(text):
+    """Yields (source_path, executed_lines, total_lines) per reported file."""
+    current = None
+    for line in text.splitlines():
+        file_match = FILE_PATTERN.match(line)
+        if file_match:
+            current = file_match.group("path")
+            continue
+        if current is None:
+            continue
+        lines_match = LINES_PATTERN.match(line)
+        if lines_match:
+            total = int(lines_match.group("total"))
+            pct = float(lines_match.group("pct"))
+            executed = int(round(total * pct / 100.0))
+            yield current, executed, total
+            current = None
+        elif NO_LINES_PATTERN.match(line):
+            current = None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree configured with -DTDS_COVERAGE=ON")
+    parser.add_argument("--source-root", default=None,
+                        help="repo root (default: this script's parent dir)")
+    parser.add_argument("--filter", default="src/core",
+                        help="source prefix (relative to root) to report on")
+    parser.add_argument("--floor", type=float, default=0.0,
+                        help="fail when aggregate line coverage %% is below")
+    parser.add_argument("--gcov", default=None,
+                        help='gcov command (e.g. "llvm-cov gcov"); '
+                             "default: gcov, falling back to llvm-cov gcov")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.source_root or
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+    build_dir = os.path.abspath(args.build_dir)
+    filter_prefix = os.path.join(root, args.filter) + os.sep
+
+    if args.gcov:
+        gcov_argv = args.gcov.split()
+    elif shutil.which("gcov"):
+        gcov_argv = ["gcov"]
+    elif shutil.which("llvm-cov"):
+        gcov_argv = ["llvm-cov", "gcov"]
+    else:
+        print("coverage_report: no gcov or llvm-cov on PATH", file=sys.stderr)
+        return 2
+
+    gcno_files = find_gcno_files(build_dir)
+    if not gcno_files:
+        print(f"coverage_report: no .gcno files under {build_dir} "
+              "(build with -DTDS_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 2
+
+    per_file = {}
+    with tempfile.TemporaryDirectory(prefix="tds_gcov_") as scratch:
+        for gcno in gcno_files:
+            for path, executed, total in parse_gcov_output(
+                    run_gcov(gcov_argv, gcno, scratch)):
+                resolved = os.path.abspath(
+                    path if os.path.isabs(path) else os.path.join(root, path))
+                if not resolved.startswith(filter_prefix):
+                    continue
+                # A source compiled into several objects (headers, or one TU
+                # per test binary) reports once per object; keep the best
+                # run, since the floor asks "is this line reachable by the
+                # suite", not "by every binary".
+                executed_before, total_before = per_file.get(
+                    resolved, (-1, 0))
+                if executed > executed_before:
+                    per_file[resolved] = (executed, max(total, total_before))
+
+    if not per_file:
+        print(f"coverage_report: no sources under {args.filter} reported "
+              "coverage", file=sys.stderr)
+        return 2
+
+    grand_executed = 0
+    grand_total = 0
+    print(f"Line coverage under {args.filter} "
+          f"({os.path.basename(build_dir)}):")
+    for path in sorted(per_file):
+        executed, total = per_file[path]
+        grand_executed += executed
+        grand_total += total
+        pct = 100.0 * executed / total if total else 100.0
+        print(f"  {pct:6.2f}%  {executed:5d}/{total:<5d}  "
+              f"{os.path.relpath(path, root)}")
+    aggregate = 100.0 * grand_executed / grand_total if grand_total else 100.0
+    print(f"  ------\n  {aggregate:6.2f}%  {grand_executed:5d}/{grand_total:<5d}"
+          f"  aggregate")
+
+    if aggregate < args.floor:
+        print(f"coverage_report: FAIL — aggregate {aggregate:.2f}% is below "
+              f"the floor of {args.floor:.2f}%", file=sys.stderr)
+        return 1
+    print(f"coverage_report: OK (floor {args.floor:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+// Deliberate violation fixture for tds_lint.py --selftest: a fuzz driver
+// with only the deterministic gtest leg — no LLVMFuzzerTestOneInput, no
+// tds_add_fuzz_test() registration, no seed corpus.
+#include <gtest/gtest.h>
+
+TEST(BadFuzzTest, OnlyDeterministicMode) { EXPECT_TRUE(true); }

@@ -1,0 +1,882 @@
+#!/usr/bin/env python3
+"""Semantic analyzer (docs/CORRECTNESS.md, "Semantic analysis pass").
+
+Whole-program checks that need cross-file context — one level above
+tools/tds_lint.py's per-line conventions, one level below a compiler:
+
+  lock-order      Builds the program-wide lock-acquisition graph: every
+                  MutexLock / ReaderMutexLock / WriterMutexLock scope adds
+                  an edge held-mutex -> acquired-mutex, and a TDS_REQUIRES /
+                  TDS_REQUIRES_SHARED annotation counts as holding that
+                  mutex for the whole function. Any cycle (including a
+                  self-edge) is a potential deadlock and is rejected with
+                  one acquisition site per edge.
+  const-query     `Query(...) const` definitions must not call non-const
+                  methods of their own class: the engine publishes
+                  aggregates to concurrent readers through const snapshots,
+                  so a mutating Query is a data race the type system was
+                  supposed to prevent.
+  audit-hook      On any class that declares `Status AuditInvariants()`,
+                  every non-const Status-returning method (a fallible
+                  mutator) must audit before returning — either the
+                  TDS_AUDIT_MUTATION hook (audit builds abort at the
+                  offending mutation) or a direct AuditInvariants() call
+                  (the hostile-snapshot funnel: reject instead of install).
+                  Either way, no fallible mutator escapes the audit net.
+  failpoint-order Functions documented "unchanged on error" that contain
+                  TDS_FAILPOINT_RETURN must not write member state before
+                  the failpoint: the injected early return must exit while
+                  the object is still untouched, or the documentation (and
+                  the fault-fuzz oracle built on it) is a lie.
+
+Frontends (--frontend=auto|libclang|builtin):
+
+  libclang   Parses the translation units listed in a compilation database
+             (--compdb, default build/compile_commands.json) through the
+             clang Python bindings and extracts facts from the real AST.
+  builtin    A dependency-free tokenizer (comment/string stripping, brace
+             tracking, declaration scanning) over src/. Less precise on
+             exotic C++ but exact on this codebase's house style; it is
+             what keeps the analyzer runnable on toolchains without clang.
+
+`auto` uses libclang when `clang.cindex` imports and can open a library,
+and otherwise prints a notice and falls back to builtin — the analysis
+always runs. Both frontends feed the same rule engine, so fixtures and
+allow markers behave identically.
+
+A finding may be suppressed with a `tds-analyze: allow(<rule>)` marker on
+the offending line or on the method's declaration; like lint allows, new
+markers are reviewed as suppressions, not fixes.
+
+Usage:
+  tools/tds_analyze.py [--root DIR] [--frontend F] [--compdb FILE]
+  tools/tds_analyze.py --selftest     prove each rule rejects its fixture
+                                      (tools/analyze_fixtures/), then the
+                                      real tree must pass clean
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+LOCK_CLASSES = ("MutexLock", "ReaderMutexLock", "WriterMutexLock")
+
+LOCK_DECL_PATTERN = re.compile(
+    r"\b(MutexLock|ReaderMutexLock|WriterMutexLock)\s+\w+\s*\(([^()]*)\)"
+)
+
+REQUIRES_PATTERN = re.compile(r"\bTDS_REQUIRES(?:_SHARED)?\s*\(([^()]*)\)")
+
+DEFINITION_PATTERN = re.compile(
+    r"^[ \t]*(?P<prefix>[\w:<>,&*~\s]*?)"
+    r"(?P<cls>\w+)::(?P<name>~?\w+)\s*\(",
+    re.M,
+)
+
+AUDIT_DECL_PATTERN = re.compile(r"\bStatus\s+AuditInvariants\s*\(")
+
+FAILPOINT_PATTERN = re.compile(r"\bTDS_FAILPOINT_RETURN\s*\(")
+
+# Writes to member-convention identifiers (trailing underscore): direct
+# assignment / compound assignment / increment, or a mutating container or
+# domain verb called on the member.
+MEMBER_WRITE_PATTERN = re.compile(
+    r"\b\w+_\s*(?:=(?!=)|\+=|-=|\*=|/=|\+\+|--)"
+    r"|\b\w+_\s*(?:\.|->)\s*"
+    r"(?:push_back|pop_back|clear|erase|insert|emplace\w*|resize|assign|"
+    r"Advance\w*|Trim\w*|Sync\w*|Reset\w*|Set\w+)\s*\("
+)
+
+ALLOW_PATTERN = re.compile(r"tds-analyze:\s*allow\(([\w-]+)\)")
+
+
+@dataclass
+class MethodDecl:
+    cls: str
+    name: str
+    is_const: bool
+    is_static: bool
+    returns: str
+    path: Path
+    line: int
+    doc: str
+    requires: tuple
+    inline_body: str = ""
+    decl_text: str = ""
+
+
+@dataclass
+class Definition:
+    cls: str
+    name: str
+    is_const: bool
+    path: Path
+    line: int
+    body: str
+    body_line: int
+    quals: str
+    doc: str
+
+
+@dataclass
+class Acquisition:
+    mutex: str
+    kind: str
+    path: Path
+    line: int
+    function: str
+
+
+@dataclass
+class Facts:
+    # (held, acquired) -> first Acquisition proving the edge.
+    lock_edges: dict = field(default_factory=dict)
+    # (cls, name) -> [MethodDecl] (overloads keep every declaration).
+    methods: dict = field(default_factory=dict)
+    # (cls, name) -> [Definition]
+    definitions: dict = field(default_factory=dict)
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Shared text utilities
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving offsets and
+    newlines so positions map 1:1 back to the original text."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def match_paren(text: str, open_pos: int) -> int:
+    """Index just past the parenthesis group opening at open_pos."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Index just past the brace block opening at open_pos."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def doc_comment_above(text: str, decl_line: int) -> str:
+    """The ///-or-//-comment block immediately preceding decl_line."""
+    lines = text.splitlines()
+    doc = []
+    i = decl_line - 2
+    while i >= 0 and lines[i].lstrip().startswith("//"):
+        doc.append(lines[i].strip())
+        i -= 1
+    return "\n".join(reversed(doc))
+
+
+def normalize_mutex(expr: str) -> str:
+    """`engine->shards_[i].wake_mutex` -> `wake_mutex`: the trailing member
+    component names the lock for ordering purposes (all instances of one
+    member share one rank)."""
+    expr = re.sub(r"\[[^\]]*\]", "", expr.strip())
+    expr = expr.strip("&* \t\n")
+    for sep in ("->", "."):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip() or "<unknown>"
+
+
+def allowed(rule: str, line_text: str) -> bool:
+    match = ALLOW_PATTERN.search(line_text)
+    return match is not None and match.group(1) == rule
+
+
+def iter_source_files(root: Path):
+    base = root / "src"
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if "analyze_fixtures" in path.relative_to(root).parts:
+            continue
+        if path.is_file() and path.suffix in CXX_SUFFIXES:
+            yield path
+
+
+# --------------------------------------------------------------------------
+# Builtin frontend
+# --------------------------------------------------------------------------
+
+
+def parse_class_methods(path: Path, text: str, stripped: str, facts: Facts):
+    """Scans class bodies for method declarations (and inline bodies)."""
+    for cls_match in re.finditer(
+            r"\b(?:class|struct)\s+(?:TDS_\w+\s+)*(\w+)[^;{(]*\{", stripped):
+        cls = cls_match.group(1)
+        body_open = cls_match.end() - 1
+        body_close = match_brace(stripped, body_open)
+        scan_method_decls(path, text, stripped, cls,
+                          body_open + 1, body_close - 1, facts)
+
+
+def scan_method_decls(path, text, stripped, cls, start, end, facts):
+    i = start
+    stmt_start = start
+    depth = 0
+    while i < end:
+        ch = stripped[i]
+        if ch == "{":
+            i = match_brace(stripped, i)
+            stmt_start = i
+            continue
+        if ch == ";":
+            stmt_start = i + 1
+            i += 1
+            continue
+        if ch == "(" and depth == 0:
+            stmt = stripped[stmt_start:i]
+            name_match = re.search(r"(~?\w+)\s*$", stmt)
+            if not name_match:
+                i += 1
+                continue
+            name = name_match.group(1)
+            prefix = stmt[:name_match.start()].strip()
+            args_end = match_paren(stripped, i)
+            # Qualifiers run to the declaration terminator.
+            j = args_end
+            while j < end and stripped[j] not in ";{":
+                if stripped[j] == "(":
+                    j = match_paren(stripped, j)
+                else:
+                    j += 1
+            quals = stripped[args_end:j]
+            inline_body = ""
+            if j < end and stripped[j] == "{":
+                body_end = match_brace(stripped, j)
+                inline_body = stripped[j:body_end]
+                next_i = body_end
+            else:
+                next_i = j + 1
+            decl_line = line_of(stripped, stmt_start + name_match.start(1))
+            if name not in (cls, "~" + cls) and not prefix.endswith(
+                    ("return", "new")) and re.search(r"\w", prefix):
+                requires = tuple(
+                    normalize_mutex(arg)
+                    for m in REQUIRES_PATTERN.finditer(quals)
+                    for arg in m.group(1).split(","))
+                decl = MethodDecl(
+                    cls=cls,
+                    name=name,
+                    is_const=re.search(r"\)\s*const\b|\bconst\s*$|^\s*const\b",
+                                       quals) is not None,
+                    is_static="static" in prefix.split(),
+                    returns=prefix,
+                    path=path,
+                    line=decl_line,
+                    doc=doc_comment_above(text, decl_line),
+                    requires=requires,
+                    inline_body=inline_body,
+                    decl_text=text.splitlines()[decl_line - 1]
+                    if decl_line <= len(text.splitlines()) else "",
+                )
+                facts.methods.setdefault((cls, name), []).append(decl)
+            i = next_i
+            stmt_start = next_i
+            continue
+        i += 1
+
+
+def parse_definitions(path: Path, text: str, stripped: str, facts: Facts):
+    """Out-of-line `Class::Method(...)` definitions with their bodies."""
+    for match in DEFINITION_PATTERN.finditer(stripped):
+        args_end = match_paren(stripped, match.end() - 1)
+        j = args_end
+        while j < len(stripped) and stripped[j] not in ";{":
+            if stripped[j] == "(":
+                j = match_paren(stripped, j)
+            else:
+                j += 1
+        if j >= len(stripped) or stripped[j] != "{":
+            continue  # declaration or pointer-to-member expression
+        body_end = match_brace(stripped, j)
+        quals = stripped[args_end:j]
+        decl_line = line_of(stripped, match.start())
+        facts.definitions.setdefault(
+            (match.group("cls"), match.group("name")), []).append(
+                Definition(
+                    cls=match.group("cls"),
+                    name=match.group("name"),
+                    is_const=re.search(r"\bconst\b", quals) is not None,
+                    path=path,
+                    line=decl_line,
+                    body=stripped[j:body_end],
+                    body_line=line_of(stripped, j),
+                    quals=quals,
+                    doc=doc_comment_above(text, decl_line),
+                ))
+
+
+def scan_lock_scopes(path: Path, stripped: str, facts: Facts,
+                     requires_at):
+    """Whole-file brace-depth walk maintaining the held-lock stack; every
+    acquisition adds edges from each currently-held mutex (stack plus the
+    enclosing function's TDS_REQUIRES set)."""
+    held = []  # (mutex, depth_at_acquisition)
+    depth = 0
+    i = 0
+    n = len(stripped)
+    decls = [(m.start(), m) for m in LOCK_DECL_PATTERN.finditer(stripped)]
+    decl_index = 0
+    while i < n:
+        ch = stripped[i]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            while held and held[-1][1] > depth:
+                held.pop()
+        if decl_index < len(decls) and decls[decl_index][0] == i:
+            match = decls[decl_index][1]
+            decl_index += 1
+            mutex = normalize_mutex(match.group(2))
+            kind = match.group(1)
+            line = line_of(stripped, i)
+            function, requires = requires_at(i)
+            acquisition = Acquisition(mutex, kind, path, line, function)
+            for outer in list(requires) + [m for m, _ in held]:
+                if outer == mutex and kind == "ReaderMutexLock":
+                    continue  # shared re-entry is not an ordering edge
+                facts.lock_edges.setdefault((outer, mutex), acquisition)
+            held.append((mutex, depth))
+        i += 1
+
+
+def builtin_extract(root: Path) -> Facts:
+    facts = Facts()
+    files = []
+    for path in iter_source_files(root):
+        text = path.read_text(errors="replace")
+        stripped = strip_comments_and_strings(text)
+        files.append((path, text, stripped))
+        parse_class_methods(path, text, stripped, facts)
+        parse_definitions(path, text, stripped, facts)
+
+    # TDS_REQUIRES comes from header declarations and from definition
+    # signatures; a position inside a definition inherits its function's set.
+    header_requires = {}
+    for (cls, name), decls in facts.methods.items():
+        mutexes = tuple(m for d in decls for m in d.requires)
+        if mutexes:
+            header_requires[(cls, name)] = mutexes
+
+    for path, text, stripped in files:
+        spans = []
+        for defs in facts.definitions.values():
+            for d in defs:
+                if d.path != path:
+                    continue
+                start = stripped.find(d.body,
+                                      max(0, offset_of_line(stripped,
+                                                            d.body_line) - 1))
+                if start < 0:
+                    continue
+                req = set(header_requires.get((d.cls, d.name), ()))
+                for m in REQUIRES_PATTERN.finditer(d.quals):
+                    for arg in m.group(1).split(","):
+                        req.add(normalize_mutex(arg))
+                spans.append((start, start + len(d.body),
+                              f"{d.cls}::{d.name}", tuple(req)))
+        # Inline header bodies with requires annotations.
+        for decls in facts.methods.values():
+            for m in decls:
+                if m.path != path or not m.inline_body or not m.requires:
+                    continue
+                start = stripped.find(m.inline_body)
+                if start >= 0:
+                    spans.append((start, start + len(m.inline_body),
+                                  f"{m.cls}::{m.name}", m.requires))
+        spans.sort()
+
+        def requires_at(pos, spans=spans):
+            for start, end, func, req in spans:
+                if start <= pos < end:
+                    return func, req
+            return "<file scope>", ()
+
+        scan_lock_scopes(path, stripped, facts, requires_at)
+    return facts
+
+
+def offset_of_line(text: str, line: int) -> int:
+    offset = 0
+    for _ in range(line - 1):
+        nl = text.find("\n", offset)
+        if nl < 0:
+            return offset
+        offset = nl + 1
+    return offset
+
+
+# --------------------------------------------------------------------------
+# libclang frontend (best-effort mirror; facts feed the same rule engine)
+# --------------------------------------------------------------------------
+
+
+def libclang_extract(root: Path, compdb: Path, cindex) -> Facts:
+    """AST-based extraction: method constness, lock scopes, and call facts
+    come from cursors; macro positions (TDS_AUDIT_MUTATION,
+    TDS_FAILPOINT_RETURN) from the detailed preprocessing record; the
+    TDS_REQUIRES sets reuse the textual scan (the thread-safety attributes
+    are not exposed argument-accurately through the Python bindings)."""
+    entries = json.loads(compdb.read_text())
+    index = cindex.Index.create()
+    facts = builtin_extract(root)  # baseline: decls, docs, requires
+    facts.lock_edges = {}  # replaced by AST-accurate scopes below
+
+    header_requires = {}
+    for (cls, name), decls in facts.methods.items():
+        mutexes = tuple(m for d in decls for m in d.requires)
+        if mutexes:
+            header_requires[(cls, name)] = mutexes
+
+    seen = set()
+    src_root = (root / "src").resolve()
+    for entry in entries:
+        file_path = (Path(entry["directory"]) / entry["file"]).resolve()
+        if src_root not in file_path.parents or file_path in seen:
+            continue
+        seen.add(file_path)
+        args = [a for a in entry.get("arguments")
+                or entry.get("command", "").split()
+                if a not in ("-c", "-o")][1:]
+        args = [a for a in args if not a.endswith((".cc", ".o", ".cpp"))]
+        tu = index.parse(
+            str(file_path), args=args,
+            options=cindex.TranslationUnit
+            .PARSE_DETAILED_PROCESSING_RECORD)
+
+        def walk_function(cursor):
+            qual = cursor.spelling
+            parent = cursor.semantic_parent
+            if parent is not None and parent.kind.is_declaration():
+                qual = f"{parent.spelling}::{cursor.spelling}"
+            requires = list(header_requires.get(
+                (parent.spelling if parent else "", cursor.spelling), ()))
+
+            def walk_block(node, held):
+                local = list(held)
+                for child in node.get_children():
+                    if child.kind == cindex.CursorKind.DECL_STMT:
+                        for decl in child.get_children():
+                            type_name = decl.type.spelling.rsplit("::", 1)[-1]
+                            if type_name in LOCK_CLASSES:
+                                tokens = [t.spelling
+                                          for t in decl.get_tokens()]
+                                try:
+                                    open_idx = tokens.index("(")
+                                    expr = "".join(
+                                        tokens[open_idx + 1:tokens.index(")")])
+                                except ValueError:
+                                    expr = "<unknown>"
+                                mutex = normalize_mutex(expr)
+                                acq = Acquisition(
+                                    mutex, type_name,
+                                    Path(str(decl.location.file)),
+                                    decl.location.line, qual)
+                                for outer in local:
+                                    if (outer == mutex
+                                            and type_name == "ReaderMutexLock"):
+                                        continue
+                                    facts.lock_edges.setdefault(
+                                        (outer, mutex), acq)
+                                local.append(mutex)
+                    elif child.kind == cindex.CursorKind.COMPOUND_STMT:
+                        walk_block(child, local)
+                    else:
+                        walk_block(child, local)
+
+            walk_block(cursor, requires)
+
+        def visit(cursor):
+            if cursor.kind in (cindex.CursorKind.CXX_METHOD,
+                               cindex.CursorKind.FUNCTION_DECL,
+                               cindex.CursorKind.CONSTRUCTOR,
+                               cindex.CursorKind.DESTRUCTOR) \
+                    and cursor.is_definition():
+                walk_function(cursor)
+            for child in cursor.get_children():
+                if child.location.file and str(
+                        child.location.file).startswith(str(src_root)):
+                    visit(child)
+
+        visit(tu.cursor)
+    return facts
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+def rule_lock_order(facts: Facts, out):
+    graph = {}
+    for (held, acquired), acq in facts.lock_edges.items():
+        graph.setdefault(held, {})[acquired] = acq
+        if held == acquired and not allowed(
+                "lock-order", read_line(acq.path, acq.line)):
+            out.append(Finding(
+                "lock-order", acq.path, acq.line,
+                f"{acq.function} re-acquires {held} while already "
+                "holding it (self-deadlock)"))
+
+    # Iterative DFS cycle detection with path reconstruction.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in
+             set(graph) | {b for edges in graph.values() for b in edges}}
+    stack_path = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack_path.append(node)
+        for nxt, acq in sorted(graph.get(node, {}).items()):
+            if nxt == node:
+                continue
+            if color[nxt] == GRAY:
+                cycle = stack_path[stack_path.index(nxt):] + [nxt]
+                if any(allowed("lock-order",
+                               read_line(a.path, a.line))
+                       for a in provenances(cycle)):
+                    continue
+                sites = "; ".join(
+                    f"{a.path.name}:{a.line} {fr}->{to} in {a.function}"
+                    for (fr, to), a in zip(zip(cycle, cycle[1:]),
+                                           provenances(cycle)))
+                out.append(Finding(
+                    "lock-order", acq.path, acq.line,
+                    "lock-order cycle "
+                    + " -> ".join(cycle) + f" ({sites})"))
+                continue
+            if color[nxt] == WHITE:
+                dfs(nxt)
+        stack_path.pop()
+        color[node] = BLACK
+
+    def provenances(cycle):
+        return [graph[a][b] for a, b in zip(cycle, cycle[1:])]
+
+    for node in sorted(color):
+        if color[node] == WHITE:
+            dfs(node)
+
+
+def read_line(path: Path, line: int) -> str:
+    try:
+        return path.read_text(errors="replace").splitlines()[line - 1]
+    except (OSError, IndexError):
+        return ""
+
+
+def rule_const_query(facts: Facts, out):
+    for (cls, name), defs in sorted(facts.definitions.items()):
+        if name != "Query":
+            continue
+        nonconst = {
+            m.name
+            for (mcls, _), decls in facts.methods.items() if mcls == cls
+            for m in decls
+            if not m.is_const and not m.is_static
+            and m.name not in (cls, "~" + cls)
+        }
+        for d in defs:
+            if not d.is_const or not nonconst:
+                continue
+            check_const_body(cls, d, d.body, d.body_line, nonconst, out)
+    # Inline const Query bodies declared in headers.
+    for (cls, name), decls in sorted(facts.methods.items()):
+        if name != "Query":
+            continue
+        nonconst = {
+            m.name
+            for (mcls, _), ds in facts.methods.items() if mcls == cls
+            for m in ds
+            if not m.is_const and not m.is_static
+            and m.name not in (cls, "~" + cls)
+        }
+        for m in decls:
+            if m.is_const and m.inline_body and nonconst:
+                check_const_body(cls, m, m.inline_body, m.line, nonconst, out)
+
+
+def check_const_body(cls, where, body, body_line, nonconst, out):
+    for target in sorted(nonconst):
+        for pattern in (rf"(?<![\w.>]){re.escape(target)}\s*\(",
+                        rf"this->\s*{re.escape(target)}\s*\("):
+            for match in re.finditer(pattern, body):
+                line = body_line + body.count("\n", 0, match.start())
+                if allowed("const-query", read_line(where.path, line)):
+                    continue
+                out.append(Finding(
+                    "const-query", where.path, line,
+                    f"{cls}::Query is const but calls non-const "
+                    f"{cls}::{target}"))
+
+
+def rule_audit_hook(facts: Facts, out):
+    audited_classes = {
+        cls for (cls, name) in facts.methods if name == "AuditInvariants"
+    }
+    for (cls, name), decls in sorted(facts.methods.items()):
+        if cls not in audited_classes or name == "AuditInvariants":
+            continue
+        for m in decls:
+            if m.is_const or m.is_static:
+                continue
+            returns = m.returns.split()[-1] if m.returns.split() else ""
+            if returns != "Status":
+                continue
+            if allowed("audit-hook", m.decl_text):
+                continue
+            bodies = [m.inline_body] if m.inline_body else [
+                d.body for d in facts.definitions.get((cls, name), [])
+                if not allowed("audit-hook", read_line(d.path, d.line))
+            ]
+            if not bodies:
+                continue  # declared but not defined in the scanned tree
+            if any("TDS_AUDIT_MUTATION" in b or "AuditInvariants" in b
+                   for b in bodies):
+                continue
+            out.append(Finding(
+                "audit-hook", m.path, m.line,
+                f"{cls}::{name} is a Status-returning mutator on an "
+                "audited class but neither runs TDS_AUDIT_MUTATION nor "
+                "calls AuditInvariants"))
+
+
+def rule_failpoint_order(facts: Facts, out):
+    for (cls, name), defs in sorted(facts.definitions.items()):
+        decl_doc = "\n".join(
+            m.doc for m in facts.methods.get((cls, name), []))
+        for d in defs:
+            fp = FAILPOINT_PATTERN.search(d.body)
+            if not fp:
+                continue
+            doc = (decl_doc + "\n" + d.doc).lower()
+            if "unchanged" not in doc:
+                continue
+            prefix = d.body[:fp.start()]
+            for match in MEMBER_WRITE_PATTERN.finditer(prefix):
+                line = d.body_line + d.body.count("\n", 0, match.start())
+                if allowed("failpoint-order", read_line(d.path, line)):
+                    continue
+                out.append(Finding(
+                    "failpoint-order", d.path, line,
+                    f"{cls}::{name} is documented unchanged-on-error but "
+                    "writes member state before TDS_FAILPOINT_RETURN"))
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def load_libclang():
+    """Returns the clang.cindex module, or None with a printed notice."""
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:  # library not found / version mismatch
+        return None
+    return cindex
+
+
+def analyze(root: Path, frontend: str, compdb: Path):
+    cindex = None
+    if frontend in ("auto", "libclang"):
+        cindex = load_libclang()
+        if cindex is None:
+            if frontend == "libclang":
+                return None, "libclang requested but clang.cindex is unusable"
+            print("tds_analyze: notice: clang python bindings unavailable; "
+                  "using the builtin frontend")
+    if cindex is not None and compdb.is_file():
+        try:
+            facts = libclang_extract(root, compdb, cindex)
+        except Exception as err:  # pragma: no cover - environment-specific
+            print(f"tds_analyze: notice: libclang frontend failed ({err}); "
+                  "falling back to the builtin frontend")
+            facts = builtin_extract(root)
+    else:
+        if cindex is not None:
+            print(f"tds_analyze: notice: no compilation database at "
+                  f"{compdb}; using the builtin frontend")
+        facts = builtin_extract(root)
+
+    out = []
+    rule_lock_order(facts, out)
+    rule_const_query(facts, out)
+    rule_audit_hook(facts, out)
+    rule_failpoint_order(facts, out)
+    return out, None
+
+
+def selftest(repo_root: Path, compdb: Path) -> int:
+    """Every fixture tree must trigger exactly its rule (the deliberate
+    violations are rejected) and the real tree must pass clean."""
+    fixtures = repo_root / "tools" / "analyze_fixtures"
+    expected = {
+        "lock-order": fixtures / "lock_order",
+        "const-query": fixtures / "const_query",
+        "audit-hook": fixtures / "audit_hook",
+        "failpoint-order": fixtures / "failpoint_order",
+    }
+    failures = 0
+    for rule, tree in expected.items():
+        if not tree.is_dir():
+            print(f"selftest: missing fixture tree {tree}", file=sys.stderr)
+            failures += 1
+            continue
+        found, err = analyze(tree, "builtin", compdb)
+        if err:
+            print(f"selftest: {err}", file=sys.stderr)
+            return 1
+        hits = [f for f in found if f.rule == rule]
+        strays = [f for f in found if f.rule != rule]
+        if not hits:
+            print(f"selftest: fixture {tree.name} did NOT trigger {rule}",
+                  file=sys.stderr)
+            failures += 1
+        if strays:
+            for finding in strays:
+                print(f"selftest: stray finding: {finding}", file=sys.stderr)
+            failures += 1
+        if hits and not strays:
+            print(f"selftest: {rule}: fixture rejected as intended")
+    found, err = analyze(repo_root, "builtin", compdb)
+    if err:
+        print(f"selftest: {err}", file=sys.stderr)
+        return 1
+    if found:
+        for finding in found:
+            print(finding, file=sys.stderr)
+        print("selftest: real tree is not clean", file=sys.stderr)
+        failures += 1
+    else:
+        print("selftest: real tree clean")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="tree to analyze (default: the repository root)")
+    parser.add_argument(
+        "--frontend", choices=("auto", "libclang", "builtin"),
+        default="auto",
+        help="fact extractor: libclang AST when available, or the "
+        "dependency-free builtin parser")
+    parser.add_argument(
+        "--compdb", type=Path, default=None,
+        help="compilation database for the libclang frontend "
+        "(default: <root>/build/compile_commands.json)")
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="verify each rule rejects its fixture violation, then "
+        "analyze the real tree")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    compdb = (args.compdb or root / "build" /
+              "compile_commands.json").resolve()
+    if args.selftest:
+        return selftest(root, compdb)
+    findings, err = analyze(root, args.frontend, compdb)
+    if err:
+        # Explicit-frontend unavailability is a visible skip, not a failure:
+        # the caller asked for an analysis this toolchain cannot run.
+        print(f"tds_analyze: skipping: {err}")
+        return 0
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"tds_analyze: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("tds_analyze: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,13 @@ Mechanical checks for conventions the compiler cannot enforce:
                       wait goes through StagedWait, which bounds spinning
                       and parks on a condition variable, so an overloaded
                       engine cannot silently burn a core per thread.
+  fuzz-dual-mode      Every fuzz driver (tests/fuzz/*_fuzz_test.cc) must
+                      register both execution modes: a deterministic gtest
+                      wrapper (the ctest leg) and an
+                      LLVMFuzzerTestOneInput entry point (the libFuzzer
+                      leg), be wired through tds_add_fuzz_test() in
+                      tests/fuzz/CMakeLists.txt, and ship a seed corpus
+                      under tests/fuzz/corpus/<driver>/.
 
 Usage:
   tools/tds_lint.py [--root DIR]     lint the tree (default: repo root)
@@ -218,6 +225,60 @@ def check_aggregate_coverage(root: Path, out):
                 )
 
 
+def check_fuzz_dual_mode(root: Path, out):
+    fuzz_dir = root / "tests" / "fuzz"
+    if not fuzz_dir.is_dir():
+        return
+    cmake_path = fuzz_dir / "CMakeLists.txt"
+    cmake_text = (
+        cmake_path.read_text(errors="replace") if cmake_path.is_file() else ""
+    )
+    for path in sorted(fuzz_dir.glob("*_fuzz_test.cc")):
+        name = path.stem
+        text = path.read_text(errors="replace")
+        if "LLVMFuzzerTestOneInput" not in text:
+            out.append(
+                Violation(
+                    "fuzz-dual-mode",
+                    path,
+                    1,
+                    f"{name} has no LLVMFuzzerTestOneInput entry point; "
+                    "every driver must also run under -DTDS_LIBFUZZER=ON",
+                )
+            )
+        if not re.search(r"\bTEST(_F|_P)?\s*\(", text):
+            out.append(
+                Violation(
+                    "fuzz-dual-mode",
+                    path,
+                    1,
+                    f"{name} has no gtest wrapper; every driver must keep "
+                    "its deterministic ctest leg",
+                )
+            )
+        if f"tds_add_fuzz_test({name})" not in cmake_text:
+            out.append(
+                Violation(
+                    "fuzz-dual-mode",
+                    path,
+                    1,
+                    f"{name} is not registered via tds_add_fuzz_test() in "
+                    "tests/fuzz/CMakeLists.txt",
+                )
+            )
+        corpus = fuzz_dir / "corpus" / name
+        if not corpus.is_dir() or not any(corpus.iterdir()):
+            out.append(
+                Violation(
+                    "fuzz-dual-mode",
+                    path,
+                    1,
+                    f"{name} ships no seed corpus under tests/fuzz/corpus/"
+                    f"{name}/ (regenerate with tools/make_fuzz_corpus.py)",
+                )
+            )
+
+
 def lint(root: Path):
     out = []
     check_raw_mutex(root, out)
@@ -225,6 +286,7 @@ def lint(root: Path):
     check_todo_owner(root, out)
     check_spin_loop(root, out)
     check_aggregate_coverage(root, out)
+    check_fuzz_dual_mode(root, out)
     return out
 
 
@@ -239,6 +301,7 @@ def selftest(repo_root: Path) -> int:
         "todo-owner": fixtures / "todo_owner",
         "spin-loop": fixtures / "spin_loop",
         "aggregate-coverage": fixtures / "aggregate_coverage",
+        "fuzz-dual-mode": fixtures / "fuzz_dual_mode",
     }
     failures = 0
     for rule, tree in expected.items():
