@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/producer_session.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/random.h"
@@ -74,15 +75,21 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
     shard->registry.emplace(std::move(registry).value());
     engine->shards_.push_back(std::move(shard));
   }
+  engine->slice_ingest_ =
+      std::vector<std::atomic<uint64_t>>(options.route_slices);
   {
-    // Initial route: slices round-robin over shards. No other thread can
-    // hold route_mutex_ yet; locking anyway keeps the guarded-field write
-    // inside the analyzed discipline (and is uncontended).
+    // Initial route: slices round-robin over shards, published as epoch 1.
+    // No other thread can hold route_mutex_ yet; locking anyway keeps the
+    // guarded-field writes inside the analyzed discipline (uncontended).
     WriterMutexLock route_lock(engine->route_mutex_);
-    engine->route_.resize(options.route_slices);
+    auto table = std::make_shared<RouteTable>();
+    table->generation = 1;
+    table->shard_of_slice.resize(options.route_slices);
     for (uint32_t s = 0; s < options.route_slices; ++s) {
-      engine->route_[s] = s % options.shards;
+      table->shard_of_slice[s] = s % options.shards;
     }
+    engine->PublishRoute(std::move(table));
+    engine->slice_ingest_seen_.assign(options.route_slices, 0);
   }
   // Registries are fully constructed before any writer starts: thread
   // creation is the happens-before edge that hands each registry to its
@@ -102,14 +109,18 @@ void ShardedAggregateEngine::Stop() {
   {
     WriterMutexLock route_lock(route_mutex_);
     if (stop_.load(std::memory_order_acquire)) return;
-    // Producers are excluded by the exclusive lock while the writers are
-    // still running, so the drain terminates. Ingest calls arriving after
-    // the lock drops observe stop_ under their shared lock and fail fast
+    // Quiesce the ingest surface: the raised fence blocks new flush
+    // episodes and waits out the in-flight ones (the role the exclusive
+    // route lock played when producers still took it), so the drain below
+    // terminates. stop_ is published seq_cst *before* the fence drops —
+    // in the seq_cst total order any flusher that wakes to a lowered
+    // fence has its stop_ re-check after this store, so it fails fast
     // with kFailedPrecondition instead of queueing onto (or spinning
-    // against) writers that are about to exit — the old shutdown path
-    // could strand a producer spinning forever on a full ring.
+    // against) writers that are about to exit.
+    RaiseFence();
     WaitQueuesDrained();
     stop_.store(true, std::memory_order_seq_cst);
+    LowerFence();
   }
   for (auto& shard : shards_) {
     WakeWriter(*shard);
@@ -127,8 +138,9 @@ uint32_t ShardedAggregateEngine::SliceForKey(uint64_t key,
 }
 
 uint32_t ShardedAggregateEngine::RouteForKey(uint64_t key) const {
-  ReaderMutexLock route_lock(route_mutex_);
-  return route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
+  const auto table = CurrentRoute();
+  return table->shard_of_slice[SliceForKey(
+      key, static_cast<uint32_t>(table->shard_of_slice.size()))];
 }
 
 Status ShardedAggregateEngine::Ingest(uint64_t key, Tick t, uint64_t value) {
@@ -158,41 +170,85 @@ Status ShardedAggregateEngine::IngestRouted(std::span<const KeyedItem> items,
                                             BackpressurePolicy policy,
                                             const Deadline& deadline) {
   if (items.empty()) return Status::OK();
-  // Shared route lock: many producers ingest concurrently; a migration
-  // takes it exclusively, so no item can land on a stale route entry.
-  // Stop() also sets stop_ under the exclusive lock, so within this
-  // critical section the flag is stable: checked once, producers can never
-  // block on a ring whose writer has exited.
-  ReaderMutexLock route_lock(route_mutex_);
-  if (stop_.load(std::memory_order_acquire)) {
-    return Status::FailedPrecondition("engine is stopped");
+  // The legacy surface is literally a session now: stage the whole batch
+  // on an internal one-shot session and flush once against the caller's
+  // deadline. staging_capacity of size+1 disables auto-flush so one
+  // deadline spans the whole batch, exactly the historical contract.
+  ProducerSessionOptions opts;
+  opts.staging_capacity = items.size() + 1;
+  opts.backpressure = policy;
+  ProducerSession session(this, opts, /*internal=*/true);
+  const Status staged = session.AddBatch(items);
+  if (!staged.ok()) return staged;
+  return session.FlushStaged(deadline);
+}
+
+Status ShardedAggregateEngine::EnterFlush(const Deadline& deadline,
+                                          bool* stalled) {
+  StagedWait wait(BackpressurePolicy::kAdaptive);
+  while (true) {
+    // seq_cst increment-then-check against RaiseFence's seq_cst
+    // set-then-wait (Dekker): if our fence load below reads false, this
+    // increment precedes the fence store in the total order, so the
+    // fence holder's quiescence wait observes it and blocks until our
+    // ExitFlush. Either the migration sees us, or we see the migration —
+    // a flush can never run concurrently with a route publish.
+    active_flushes_.fetch_add(1, std::memory_order_seq_cst);
+    TDS_INTERLEAVE_POINT("engine.fence.enter");
+    if (stop_.load(std::memory_order_seq_cst)) {
+      ExitFlush();
+      return Status::FailedPrecondition("engine is stopped");
+    }
+    if (!fence_raised_.load(std::memory_order_seq_cst)) {
+      return Status::OK();
+    }
+    // A migration holds the fence: back out (so its quiescence wait can
+    // reach zero) and park until it lowers. Bounded slices via the same
+    // StagedWait ladder the rings use; a missed notify costs one slice.
+    ExitFlush();
+    if (stalled != nullptr) *stalled = true;
+    if (!wait.Step(fence_mutex_, fence_cv_, fence_waiters_, deadline)) {
+      return Status::Unavailable("route fence held past the deadline");
+    }
   }
-  const uint32_t shard_count = shards();
-  if (shard_count == 1) {
-    return PushToShard(*shards_[0], items, policy, deadline);
+}
+
+void ShardedAggregateEngine::ExitFlush() {
+  active_flushes_.fetch_sub(1, std::memory_order_seq_cst);
+  // Only a raised fence has a quiescence waiter; registration is
+  // advisory (see RaiseFence), so the load order here is not critical.
+  if (fence_raised_.load(std::memory_order_seq_cst) &&
+      quiesce_waiters_.load(std::memory_order_seq_cst) > 0) {
+    MutexLock lock(fence_mutex_);
+    quiesce_cv_.NotifyAll();
   }
-  // Partition into per-shard slices, preserving arrival order within each.
-  const auto slice_count = static_cast<uint32_t>(route_.size());
-  std::vector<std::vector<KeyedItem>> buckets(shard_count);
-  for (const KeyedItem& item : items) {
-    buckets[route_[SliceForKey(item.key, slice_count)]].push_back(item);
+}
+
+void ShardedAggregateEngine::RaiseFence() {
+  fence_raised_.store(true, std::memory_order_seq_cst);
+  // Chaos point: widen the store-to-quiescence-check window the Dekker
+  // pairing with EnterFlush protects.
+  TDS_INTERLEAVE_POINT("engine.fence.raise");
+  StagedWait wait(BackpressurePolicy::kAdaptive);
+  while (active_flushes_.load(std::memory_order_seq_cst) != 0) {
+    (void)wait.Step(fence_mutex_, quiesce_cv_, quiesce_waiters_,
+                    Deadline::Infinite());
   }
-  Status result = Status::OK();
-  for (uint32_t i = 0; i < shard_count; ++i) {
-    if (buckets[i].empty()) continue;
-    // Keep pushing the other shards' shares after one shard rejects:
-    // admission is per shard, and the total drop count is in Stats().
-    const Status status =
-        PushToShard(*shards_[i], buckets[i], policy, deadline);
-    if (result.ok() && !status.ok()) result = status;
+}
+
+void ShardedAggregateEngine::LowerFence() {
+  fence_raised_.store(false, std::memory_order_seq_cst);
+  if (fence_waiters_.load(std::memory_order_seq_cst) > 0) {
+    MutexLock lock(fence_mutex_);
+    fence_cv_.NotifyAll();
   }
-  return result;
 }
 
 Status ShardedAggregateEngine::PushToShard(Shard& shard,
                                            std::span<const KeyedItem> items,
                                            BackpressurePolicy policy,
-                                           const Deadline& deadline) {
+                                           const Deadline& deadline,
+                                           PushCounters* counters) {
   MutexLock lock(shard.producer_mutex);
   StagedWait wait(policy);
   Status result = Status::OK();
@@ -239,12 +295,14 @@ Status ShardedAggregateEngine::PushToShard(Shard& shard,
                    deadline)) {
       const uint64_t dropped = items.size() - offset;
       shard.items_rejected.fetch_add(dropped, std::memory_order_relaxed);
+      if (counters != nullptr) counters->rejected += dropped;
       result = Status::Unavailable("shard queue full past the deadline");
       break;
     }
   }
   shard.park_count.fetch_add(wait.parks(), std::memory_order_relaxed);
   const uint64_t streak = wait.max_streak();
+  if (counters != nullptr && wait.stalled()) counters->stalled = true;
   uint64_t prev = shard.max_queue_stall.load(std::memory_order_relaxed);
   while (streak > prev &&
          !shard.max_queue_stall.compare_exchange_weak(
@@ -283,11 +341,12 @@ Status ShardedAggregateEngine::WaitShardApplied(Shard& shard,
 
 void ShardedAggregateEngine::WaitQueuesDrained() {
   for (auto& shard : shards_) {
-    // Chaos point: producers may still be appending when a migration
-    // drain samples `enqueued`; widen that race.
+    // Chaos point: a flush may have pushed right up until the fence went
+    // up; widen the race between that and the drain's `enqueued` sample.
     TDS_INTERLEAVE_POINT("engine.migrate.drain");
     // Writers are alive here (Stop() drains before raising stop_, and the
-    // other callers refuse stopped engines), so the wait terminates.
+    // other callers refuse stopped engines) and the raised fence keeps
+    // new pushes out, so the wait terminates.
     (void)WaitShardApplied(*shard,
                            shard->enqueued.load(std::memory_order_acquire));
   }
@@ -343,6 +402,17 @@ ShardedAggregateEngine::Stats() const {
     stats.push_back(s);
   }
   return stats;
+}
+
+ShardedAggregateEngine::SessionStats
+ShardedAggregateEngine::SessionTotals() const {
+  SessionStats s;
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  s.items_staged = session_staged_.load(std::memory_order_relaxed);
+  s.items_flushed = session_flushed_.load(std::memory_order_relaxed);
+  s.flush_stalls = session_flush_stalls_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ShardedAggregateEngine::UpdateStats(Shard& shard) {
@@ -555,6 +625,8 @@ std::shared_ptr<const AggregateRegistry> ShardedAggregateEngine::ShardSnapshot(
 StatusOr<MergedSnapshot> ShardedAggregateEngine::Snapshot() {
   // Shared route lock across the whole gather: a migration between two
   // shard captures would otherwise double-count (or drop) the moving keys.
+  // Concurrent flushes are fine — the cut is whatever each writer has
+  // applied — so the fence is not touched.
   std::vector<std::string> blobs;
   {
     ReaderMutexLock route_lock(route_mutex_);
@@ -589,8 +661,9 @@ double ShardedAggregateEngine::QueryKey(uint64_t key, Tick now) {
   // migration between the route read and the snapshot would serve a
   // snapshot that no longer holds the key).
   ReaderMutexLock route_lock(route_mutex_);
-  const uint32_t shard_index =
-      route_[SliceForKey(key, static_cast<uint32_t>(route_.size()))];
+  const auto table = CurrentRoute();
+  const uint32_t shard_index = table->shard_of_slice[SliceForKey(
+      key, static_cast<uint32_t>(table->shard_of_slice.size()))];
   const auto snapshot = TakeShardSnapshot(*shards_[shard_index]).first;
   if (snapshot == nullptr) return 0.0;
   return snapshot->Query(key, std::max(now, snapshot->now()));
@@ -620,19 +693,21 @@ Status ShardedAggregateEngine::MoveSlicesLocked(
     const std::vector<uint32_t>& moving) {
   if (moving.empty() || from_index == to_index) return Status::OK();
   TDS_FAILPOINT_RETURN("engine.migrate");
-  const auto slice_count = static_cast<uint32_t>(route_.size());
+  const auto table = CurrentRoute();
+  const auto slice_count =
+      static_cast<uint32_t>(table->shard_of_slice.size());
   std::vector<char> member(slice_count, 0);
   for (const uint32_t slice : moving) {
     TDS_CHECK_LT(slice, slice_count);
-    TDS_CHECK(route_[slice] == from_index);
+    TDS_CHECK(table->shard_of_slice[slice] == from_index);
     member[slice] = 1;
   }
   Shard& donor = *shards_[from_index];
   Shard& receiver = *shards_[to_index];
   // Both registry mutations run on their owner writer threads — the
-  // registries are never touched from this (caller) thread. The route
-  // flips only after both succeed, so a failure at either step leaves (or
-  // restores) every key on the shard its route entry names.
+  // registries are never touched from this (caller) thread. The successor
+  // table publishes only after both succeed, so a failure at either step
+  // leaves (or restores) every key on the shard its route entry names.
   StatusOr<AggregateRegistry> extracted =
       Status::FailedPrecondition("extraction did not run");
   RunOnWriter(donor, [&](AggregateRegistry& registry) {
@@ -658,11 +733,17 @@ Status ShardedAggregateEngine::MoveSlicesLocked(
     });
     return merge_status;
   }
-  // Chaos point: the route flip happens only after both registries
-  // settled; perturbing just before it hunts readers that cached a stale
-  // shard index across the publish.
+  // Chaos point: the epoch publish happens only after both registries
+  // settled; perturbing just before it hunts readers (and session
+  // flushes) that cached a stale table across the publish.
   TDS_INTERLEAVE_POINT("engine.route.publish");
-  for (const uint32_t slice : moving) route_[slice] = to_index;
+  auto next = std::make_shared<RouteTable>();
+  next->generation = table->generation + 1;
+  next->shard_of_slice = table->shard_of_slice;
+  for (const uint32_t slice : moving) {
+    next->shard_of_slice[slice] = to_index;
+  }
+  PublishRoute(std::move(next));
   rebalances_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -676,24 +757,30 @@ Status ShardedAggregateEngine::MigrateSlices(std::span<const uint32_t> slices,
   if (stop_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine is stopped");
   }
-  const auto slice_count = static_cast<uint32_t>(route_.size());
+  const auto slice_count = route_slices();
   for (const uint32_t slice : slices) {
     if (slice >= slice_count) {
       return Status::InvalidArgument("route slice out of range");
     }
   }
+  // Fence up: in-flight flushes finish, new ones wait, the drain below is
+  // then final — no staged run can land between drain and publish.
+  RaiseFence();
   WaitQueuesDrained();
-  // Group the requested slices by current owner and move per owner.
-  for (uint32_t owner = 0; owner < shards(); ++owner) {
+  Status status = Status::OK();
+  // Group the requested slices by current owner and move per owner. Each
+  // successful move publishes a successor table, so re-read per owner.
+  for (uint32_t owner = 0; owner < shards() && status.ok(); ++owner) {
     if (owner == to_shard) continue;
+    const auto table = CurrentRoute();
     std::vector<uint32_t> moving;
     for (const uint32_t slice : slices) {
-      if (route_[slice] == owner) moving.push_back(slice);
+      if (table->shard_of_slice[slice] == owner) moving.push_back(slice);
     }
-    const Status status = MoveSlicesLocked(owner, to_shard, moving);
-    if (!status.ok()) return status;
+    status = MoveSlicesLocked(owner, to_shard, moving);
   }
-  return Status::OK();
+  LowerFence();
+  return status;
 }
 
 StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
@@ -702,8 +789,15 @@ StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
     return Status::FailedPrecondition("engine is stopped");
   }
   if (shards() < 2) return false;
-  // Drain so the live-key stats are exact and no in-flight item targets a
-  // slice about to move (producers are excluded by the exclusive lock).
+  // Fence + drain so the live-key stats are exact and no in-flight item
+  // targets a slice about to move.
+  RaiseFence();
+  StatusOr<bool> outcome = RebalanceLocked();
+  LowerFence();
+  return outcome;
+}
+
+StatusOr<bool> ShardedAggregateEngine::RebalanceLocked() {
   WaitQueuesDrained();
   uint32_t donor_index = 0;
   uint32_t receiver_index = 0;
@@ -728,27 +822,46 @@ StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
     return false;
   }
   // Per-slice live-key histogram of the donor, computed on its writer.
-  const auto slice_count = static_cast<uint32_t>(route_.size());
+  const auto table = CurrentRoute();
+  const auto slice_count =
+      static_cast<uint32_t>(table->shard_of_slice.size());
   std::vector<uint64_t> slice_keys(slice_count, 0);
   RunOnWriter(*shards_[donor_index], [&](AggregateRegistry& registry) {
     registry.ForEachKey([&](uint64_t key, Tick, const DecayedAggregate&) {
       ++slice_keys[SliceForKey(key, slice_count)];
     });
   });
-  // Greedy heaviest-first selection: accept a slice while it still shrinks
-  // the donor/receiver gap (moving m keys changes the gap by -2m, so a
-  // slice helps iff 2*moved + its_keys < gap).
+  // Offered-load heat since the last selection: sessions publish per-slice
+  // ingest counts at flush; the window diff ranks *hot* slices first so a
+  // small slice taking most of the traffic moves before a populous cold
+  // one (live keys break rate ties, which also covers legacy-only feeds
+  // where every rate is zero — the historical key-count order).
+  std::vector<uint64_t> slice_rate(slice_count, 0);
+  for (uint32_t s = 0; s < slice_count; ++s) {
+    slice_rate[s] =
+        slice_ingest_[s].load(std::memory_order_relaxed) -
+        slice_ingest_seen_[s];
+  }
   std::vector<uint32_t> candidates;
   for (uint32_t s = 0; s < slice_count; ++s) {
-    if (route_[s] == donor_index && slice_keys[s] > 0) candidates.push_back(s);
+    if (table->shard_of_slice[s] == donor_index && slice_keys[s] > 0) {
+      candidates.push_back(s);
+    }
   }
   std::sort(candidates.begin(), candidates.end(),
             [&](uint32_t a, uint32_t b) {
+              if (slice_rate[a] != slice_rate[b]) {
+                return slice_rate[a] > slice_rate[b];
+              }
               if (slice_keys[a] != slice_keys[b]) {
                 return slice_keys[a] > slice_keys[b];
               }
               return a < b;
             });
+  // Greedy hottest-first selection: accept a slice while it still shrinks
+  // the donor/receiver live-key gap (moving m keys changes the gap by
+  // -2m, so a slice helps iff 2*moved + its_keys < gap) — the balance
+  // arithmetic stays on keys, the *order* is by heat.
   const uint64_t gap = donor_keys - receiver_keys;
   std::vector<uint32_t> moving;
   uint64_t moved = 0;
@@ -759,6 +872,12 @@ StatusOr<bool> ShardedAggregateEngine::RebalanceIfSkewed() {
     }
   }
   if (moving.empty()) return false;
+  // Consume the observed window only when a migration actually runs: the
+  // next selection then ranks by fresh heat, while fruitless trigger
+  // checks keep accumulating.
+  for (uint32_t s = 0; s < slice_count; ++s) {
+    slice_ingest_seen_[s] = slice_ingest_[s].load(std::memory_order_relaxed);
+  }
   const Status status = MoveSlicesLocked(donor_index, receiver_index, moving);
   if (!status.ok()) return status;
   return true;
@@ -769,6 +888,13 @@ Status ShardedAggregateEngine::Restore(MergedSnapshot snapshot) {
   if (stop_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("engine is stopped");
   }
+  RaiseFence();
+  const Status status = RestoreLocked(std::move(snapshot));
+  LowerFence();
+  return status;
+}
+
+Status ShardedAggregateEngine::RestoreLocked(MergedSnapshot snapshot) {
   WaitQueuesDrained();
   for (const auto& shard : shards_) {
     if (shard->applied.load(std::memory_order_acquire) != 0 ||
@@ -778,13 +904,12 @@ Status ShardedAggregateEngine::Restore(MergedSnapshot snapshot) {
     }
   }
   AggregateRegistry full = std::move(snapshot).ReleaseRegistry();
-  const auto slice_count = static_cast<uint32_t>(route_.size());
-  // Copy the route out of the guarded field: the partition predicate runs
-  // inside lambdas the analysis cannot follow.
-  const std::vector<uint32_t> route_copy = route_;
+  const auto table = CurrentRoute();
+  const auto slice_count =
+      static_cast<uint32_t>(table->shard_of_slice.size());
   for (uint32_t i = 0; i < shards(); ++i) {
     StatusOr<AggregateRegistry> part = full.ExtractIf([&](uint64_t key) {
-      return route_copy[SliceForKey(key, slice_count)] == i;
+      return table->shard_of_slice[SliceForKey(key, slice_count)] == i;
     });
     if (!part.ok()) return part.status();
     if (part->KeyCount() == 0) continue;

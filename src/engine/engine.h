@@ -24,12 +24,40 @@
 
 namespace tds {
 
+class ProducerSession;
+
+/// Per-session knobs for ShardedAggregateEngine::NewProducer().
+struct ProducerSessionOptions {
+  /// Items a session stages across its per-shard buffers before Add /
+  /// AddBatch auto-flushes them to the rings. Larger runs amortize the
+  /// per-flush route load and ring handoff; staged items are invisible to
+  /// queries (and to engine Flush()) until a session flush — explicit,
+  /// automatic, or on destruction.
+  size_t staging_capacity = 4096;
+  /// Full-queue behavior for this session's flushes; defaults to the
+  /// engine-wide Options::backpressure.
+  std::optional<BackpressurePolicy> backpressure;
+  /// Admission deadline per flush episode when the effective policy is
+  /// kBlockWithDeadline; defaults to Options::block_deadline.
+  std::optional<std::chrono::nanoseconds> block_deadline;
+};
+
 /// Sharded multi-stream aggregation engine: keys hash to route *slices*
-/// (a fixed salted-hash partition), slices map to N shards through a
-/// mutable route table, and each shard owns one AggregateRegistry mutated
-/// by exactly one writer thread, fed through a lock-free SPSC ring
+/// (a fixed salted-hash partition), slices map to N shards through an
+/// epoch-published route table, and each shard owns one AggregateRegistry
+/// mutated by exactly one writer thread, fed through a lock-free SPSC ring
 /// (multiple front-end producers are serialized by a per-shard mutex
 /// around the push side only — writers never take it).
+///
+/// Ingest surface: producers open a ProducerSession (NewProducer(), see
+/// engine/producer_session.h) that stages items into per-shard runs
+/// locally and publishes whole pre-grouped runs to the target rings — the
+/// hot path takes no shared lock and loads the route table once per flush
+/// (one atomic shared_ptr load per batch, not per item). The engine-global
+/// Ingest/IngestBatch/TryUpdateBatch entry points are DEPRECATED thin
+/// shims over an internal one-shot session; they keep their historical
+/// contracts but new in-tree callers are rejected by tools/tds_lint.py
+/// (rule deprecated-ingest).
 ///
 /// Readers never block writers: queries are served from immutable
 /// point-in-time registry snapshots (encode → decode clones) that the
@@ -46,30 +74,36 @@ namespace tds {
 /// engine/checkpoint.h) rebuilds a fresh engine from a checkpointed
 /// merged snapshot, byte-identical to the checkpointed state.
 ///
-/// Rebalancing: the slice→shard route table can be rewritten at runtime
-/// (RebalanceIfSkewed / MigrateSlices). A migration takes the route lock
-/// exclusively (briefly stalling producers), drains the affected queues,
-/// and moves the keys of the chosen slices between registries on the owner
-/// writer threads via AggregateRegistry::ExtractIf / MergeFrom — which
-/// preserve the engine's bit-identical-to-serial guarantee (per-key states
-/// are never advanced or re-rounded in transit).
+/// Route-epoch protocol: the slice→shard table is an immutable snapshot
+/// (RouteTable) published through an atomic shared_ptr with a
+/// monotonically increasing generation. Flush episodes bracket themselves
+/// with the flush *fence* (EnterFlush/ExitFlush — two atomic RMWs, no
+/// lock); a migration raises the fence (blocking new episodes, waiting
+/// out in-flight ones), drains the rings, moves the keys on the owner
+/// writer threads, publishes the successor table, and lowers the fence.
+/// A session whose staged runs predate the current generation
+/// re-partitions them against the fresh table before pushing, so a staged
+/// item can never land on — and double-count in — a stale shard.
 ///
 /// Locking discipline — machine-checked, not just documented: every
 /// guarded field below carries TDS_GUARDED_BY and every lock-holding
 /// method TDS_REQUIRES, so `tools/check.sh thread-safety` (clang,
-/// -Werror=thread-safety) proves the rules hold on every path. See
-/// util/mutex.h for the annotated lock types and docs/CORRECTNESS.md for
-/// how to annotate new guarded state.
+/// -Werror=thread-safety) proves the rules hold on every path. route_mutex_
+/// is now control-plane only (migrations exclusive; snapshot gathers and
+/// per-key reads shared) — producers never touch it. See util/mutex.h for
+/// the annotated lock types and docs/CORRECTNESS.md for how to annotate
+/// new guarded state.
 ///
 /// Ordering contract: each shard must observe non-decreasing ticks. A
 /// single producer feeding tick-ordered items satisfies this for every
 /// shard; concurrent producers must coordinate externally so their
 /// interleaving per shard stays tick-ordered (e.g. epoch-sliced ingestion,
-/// where all producers use the same tick within a slice and barrier
-/// between slices). Rebalancing additionally requires *globally*
-/// tick-ordered ingest: a migration can raise the receiving registry's
-/// clock to the donor's, so items enqueued later must not carry older
-/// ticks. Both example disciplines above already satisfy this.
+/// where all producers use the same tick within a slice, flush their
+/// sessions, and barrier between slices). Rebalancing additionally
+/// requires *globally* tick-ordered ingest: a migration can raise the
+/// receiving registry's clock to the donor's, so items enqueued later must
+/// not carry older ticks. Both example disciplines above already satisfy
+/// this.
 class ShardedAggregateEngine {
  public:
   struct Options {
@@ -83,13 +117,14 @@ class ShardedAggregateEngine {
     /// two). What a producer does when a queue is full is `backpressure`'s
     /// call.
     size_t queue_capacity = 1 << 16;
-    /// Full-queue behavior for Ingest/IngestBatch (see BackpressurePolicy
-    /// in engine/wait_strategy.h). TryUpdateBatch ignores this: it always
-    /// runs the staged ladder against its caller-supplied deadline.
+    /// Full-queue behavior for session flushes and Ingest/IngestBatch (see
+    /// BackpressurePolicy in engine/wait_strategy.h). TryUpdateBatch
+    /// ignores this: it always runs the staged ladder against its
+    /// caller-supplied deadline.
     BackpressurePolicy backpressure = BackpressurePolicy::kAdaptive;
-    /// Admission deadline for kBlockWithDeadline: how long one
-    /// Ingest/IngestBatch call may block before the remainder of the batch
-    /// is rejected with Status::Unavailable.
+    /// Admission deadline for kBlockWithDeadline: how long one flush
+    /// episode may block before the remainder of the batch is rejected
+    /// with Status::Unavailable.
     std::chrono::nanoseconds block_deadline = std::chrono::milliseconds(100);
     /// Drain the queue through AggregateRegistry::UpdateBatch (amortized
     /// hot path) instead of per-item Update. The resulting state is
@@ -119,6 +154,21 @@ class ShardedAggregateEngine {
     uint64_t max_queue_stall = 0;
   };
 
+  /// Engine-wide producer-session counters (one session's own view is
+  /// ProducerSession::stats()). `items_staged` counts items accepted into
+  /// session staging buffers, `items_flushed` items handed to the shard
+  /// rings, and `flush_stalls` flush episodes that had to wait (route
+  /// fence or full ring). The legacy shims run on internal one-shot
+  /// sessions and contribute to the item counters but not to
+  /// sessions_opened/closed.
+  struct SessionStats {
+    uint64_t sessions_opened = 0;
+    uint64_t sessions_closed = 0;
+    uint64_t items_staged = 0;
+    uint64_t items_flushed = 0;
+    uint64_t flush_stalls = 0;
+  };
+
   static StatusOr<std::unique_ptr<ShardedAggregateEngine>> Create(
       DecayPtr decay, const Options& options);
 
@@ -132,33 +182,46 @@ class ShardedAggregateEngine {
   /// Drains every queue, stops the writer threads, and joins them.
   /// Idempotent. After Stop() the ingest surface returns
   /// kFailedPrecondition (never blocks), while queries keep serving the
-  /// final published snapshots.
+  /// final published snapshots. Items still staged in live sessions are
+  /// not drained — flush sessions first.
   void Stop() TDS_EXCLUDES(route_mutex_);
 
-  /// Enqueues one item (thread-safe). Blocking behavior follows
-  /// Options::backpressure; a stopped engine returns kFailedPrecondition,
-  /// a missed kBlockWithDeadline deadline returns kUnavailable.
-  Status Ingest(uint64_t key, Tick t, uint64_t value)
-      TDS_EXCLUDES(route_mutex_);
+  /// Opens a producer session — the preferred (and fastest) ingest
+  /// surface. One session per producer thread: the handle itself is not
+  /// thread-safe. See ProducerSession in engine/producer_session.h for
+  /// the staging/flush semantics.
+  StatusOr<std::unique_ptr<ProducerSession>> NewProducer(
+      const ProducerSessionOptions& options = {});
 
-  /// Enqueues a batch, preserving per-shard arrival order (thread-safe).
-  /// Error contract as Ingest; on kUnavailable the items that fit were
-  /// enqueued and the remainder is counted in ShardStats::items_rejected.
-  Status IngestBatch(std::span<const KeyedItem> items)
-      TDS_EXCLUDES(route_mutex_);
+  /// DEPRECATED shim over an internal one-shot ProducerSession — prefer
+  /// NewProducer(). Enqueues one item (thread-safe). Blocking behavior
+  /// follows Options::backpressure; a stopped engine returns
+  /// kFailedPrecondition, a missed kBlockWithDeadline deadline returns
+  /// kUnavailable. New in-tree callers are rejected by tools/tds_lint.py
+  /// (rule deprecated-ingest).
+  Status Ingest(uint64_t key, Tick t, uint64_t value);
 
-  /// Admission-controlled enqueue: blocks at most `deadline` (0 = one
-  /// non-blocking attempt per shard), then rejects the remainder with
-  /// kUnavailable and counts it in ShardStats::items_rejected. Ignores
-  /// Options::backpressure.
+  /// DEPRECATED shim over an internal one-shot ProducerSession — prefer
+  /// NewProducer(). Enqueues a batch, preserving per-shard arrival order
+  /// (thread-safe). Error contract as Ingest; on kUnavailable the items
+  /// that fit were enqueued and the remainder is counted in
+  /// ShardStats::items_rejected.
+  Status IngestBatch(std::span<const KeyedItem> items);
+
+  /// DEPRECATED shim over an internal one-shot ProducerSession — prefer
+  /// NewProducer() with kBlockWithDeadline. Admission-controlled enqueue:
+  /// blocks at most `deadline` (0 = one non-blocking attempt per shard),
+  /// then rejects the remainder with kUnavailable and counts it in
+  /// ShardStats::items_rejected. Ignores Options::backpressure.
   Status TryUpdateBatch(std::span<const KeyedItem> items,
-                        std::chrono::nanoseconds deadline)
-      TDS_EXCLUDES(route_mutex_);
+                        std::chrono::nanoseconds deadline);
 
   /// Returns once every item ingested before the call has been applied —
   /// or kFailedPrecondition if the engine stopped with items unapplied
   /// (cannot happen through the public API, which drains before
-  /// stopping; defends against a writer dying mid-drain).
+  /// stopping; defends against a writer dying mid-drain). Covers items
+  /// handed to the rings; items still staged in a live session need a
+  /// session Flush() first.
   Status Flush();
 
   /// Fresh immutable snapshot of one shard's registry, published by the
@@ -186,10 +249,17 @@ class ShardedAggregateEngine {
   /// Per-shard occupancy stats (the rebalance trigger's inputs).
   std::vector<ShardStats> Stats() const;
 
-  /// Checks the live-key skew trigger and, when it fires, migrates the
-  /// heaviest route slices from the busiest shard to the idlest until the
-  /// imbalance is halved. Returns true when a migration ran. Producers are
-  /// stalled for the duration (exclusive route lock + queue drain).
+  /// Engine-wide producer-session counters (see SessionStats).
+  SessionStats SessionTotals() const;
+
+  /// Checks the live-key skew trigger and, when it fires, migrates route
+  /// slices from the busiest shard to the idlest until the imbalance is
+  /// halved. Donor slices are chosen *hottest first* — by offered-load
+  /// ingest rate since the last selection (per-slice counters the session
+  /// flush path maintains), with live keys as the tiebreak — so a small
+  /// but hot slice moves before a populous cold one. Returns true when a
+  /// migration ran. Producers are stalled for the duration (flush fence +
+  /// queue drain).
   StatusOr<bool> RebalanceIfSkewed() TDS_EXCLUDES(route_mutex_);
 
   /// Explicitly re-routes `slices` to `to_shard`, migrating their live
@@ -219,13 +289,19 @@ class ShardedAggregateEngine {
     return rebalances_.load(std::memory_order_relaxed);
   }
 
+  /// Route-table generation: bumped by every published migration. A
+  /// session compares its staged runs' generation against this to decide
+  /// whether to re-partition at flush.
+  uint64_t RouteGeneration() const { return CurrentRoute()->generation; }
+
   /// The route slice a key hashes into (stable across rebalances; salted
   /// independently of the registry's table probe hash).
   static uint32_t SliceForKey(uint64_t key, uint32_t slice_count);
 
   /// The shard currently routed for `key` (advisory: a rebalance may move
   /// it at any time unless the caller also holds ingest quiescent).
-  uint32_t RouteForKey(uint64_t key) const TDS_EXCLUDES(route_mutex_);
+  /// Lock-free — one atomic route-table load.
+  uint32_t RouteForKey(uint64_t key) const;
 
   /// Test hook: runs `fn` against `shard`'s registry on its writer thread
   /// and blocks until done. A blocking `fn` deterministically stalls that
@@ -238,6 +314,23 @@ class ShardedAggregateEngine {
       TDS_EXCLUDES(route_mutex_);
 
  private:
+  friend class ProducerSession;
+
+  /// Immutable slice→shard snapshot, epoch-published (see the class
+  /// comment's route-epoch protocol). Never mutated after publish;
+  /// migrations build a successor with generation + 1.
+  struct RouteTable {
+    uint64_t generation = 0;
+    std::vector<uint32_t> shard_of_slice;
+  };
+
+  /// Per-push-episode feedback for session stats (engine-side shard
+  /// counters are updated regardless).
+  struct PushCounters {
+    uint64_t rejected = 0;
+    bool stalled = false;
+  };
+
   struct Shard {
     explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
 
@@ -339,15 +432,61 @@ class ShardedAggregateEngine {
 
   /// Pushes `items` onto one shard's ring, escalating through the staged
   /// wait when full. Returns kUnavailable once `deadline` expires with
-  /// items still unqueued (the remainder is dropped and counted).
+  /// items still unqueued (the remainder is dropped and counted). Callers
+  /// hold the flush fence (EnterFlush), not the route lock.
   Status PushToShard(Shard& shard, std::span<const KeyedItem> items,
-                     BackpressurePolicy policy, const Deadline& deadline)
-      TDS_REQUIRES_SHARED(route_mutex_);
+                     BackpressurePolicy policy, const Deadline& deadline,
+                     PushCounters* counters = nullptr);
 
-  /// Route + partition + push for the whole ingest surface.
+  /// DEPRECATED-shim core: stages `items` on an internal one-shot session
+  /// and flushes once against `deadline`.
   Status IngestRouted(std::span<const KeyedItem> items,
-                      BackpressurePolicy policy, const Deadline& deadline)
-      TDS_EXCLUDES(route_mutex_);
+                      BackpressurePolicy policy, const Deadline& deadline);
+
+  /// The current epoch-published route snapshot (one plain acquire load —
+  /// no refcount traffic, no lock word). The pointee is immutable and
+  /// stays alive until the engine is destroyed (see route_history_), so
+  /// readers never need to pin it.
+  const RouteTable* CurrentRoute() const {
+    return route_table_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes a successor route table. Only migrations (and Create) do
+  /// this, under the exclusive route lock with the fence raised. The
+  /// table is retired into route_history_ rather than freed on
+  /// replacement: tables are ~1KB and migrations are rare, so retaining
+  /// every epoch is the cheapest safe reclamation (and the one TSan can
+  /// model — gcc's std::atomic<shared_ptr> hides an unmodeled lock bit).
+  void PublishRoute(std::shared_ptr<const RouteTable> next)
+      TDS_REQUIRES(route_mutex_) {
+    const RouteTable* raw = next.get();
+    route_history_.push_back(std::move(next));
+    route_table_.store(raw, std::memory_order_release);
+  }
+
+  /// Flush fence — the generation fence of the route-epoch protocol.
+  /// EnterFlush/ExitFlush bracket every ring-push episode (sessions and
+  /// legacy shims): two seq_cst RMWs on the uncontended fast path.
+  /// EnterFlush fails fast with kFailedPrecondition on a stopped engine
+  /// and with kUnavailable when the fence stays up past `deadline`
+  /// (`*stalled` is set if it had to wait at all).
+  Status EnterFlush(const Deadline& deadline, bool* stalled)
+      TDS_EXCLUDES(fence_mutex_);
+  void ExitFlush() TDS_EXCLUDES(fence_mutex_);
+
+  /// Raises the fence and waits out in-flight flush episodes — the
+  /// quiescence migrations need (the role the exclusive route lock played
+  /// when producers still took it). Seq_cst Dekker pairing with
+  /// EnterFlush: either the migration observes a flusher's active count,
+  /// or the flusher observes the raised fence and backs out.
+  void RaiseFence() TDS_REQUIRES(route_mutex_) TDS_EXCLUDES(fence_mutex_);
+  void LowerFence() TDS_REQUIRES(route_mutex_) TDS_EXCLUDES(fence_mutex_);
+
+  /// Offered-load accounting for the rebalancer's hot-slice selection
+  /// (relaxed; sessions publish batched counts at flush).
+  void AddSliceIngest(uint32_t slice, uint64_t n) {
+    slice_ingest_[slice].fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Blocks (parked) until `shard.applied` reaches `target`;
   /// kFailedPrecondition if the writer exited first.
@@ -356,25 +495,68 @@ class ShardedAggregateEngine {
   /// Wakes the shard's writer if it is parked idle.
   void WakeWriter(Shard& shard);
 
-  /// Waits (parked) until every queue is drained (the exclusive route
-  /// lock guarantees no new items can arrive).
+  /// Waits (parked) until every queue is drained (the raised fence
+  /// guarantees no new items can arrive).
   void WaitQueuesDrained() TDS_REQUIRES(route_mutex_);
 
   /// Moves the live keys of `moving` (all currently routed to
-  /// `from_index`) to `to_index` and flips their route entries. Requires
-  /// the exclusive route lock and drained queues.
+  /// `from_index`) to `to_index` and publishes a successor route table.
+  /// Requires the exclusive route lock, a raised fence, and drained
+  /// queues.
   Status MoveSlicesLocked(uint32_t from_index, uint32_t to_index,
                           const std::vector<uint32_t>& moving)
       TDS_REQUIRES(route_mutex_);
+
+  /// RebalanceIfSkewed's body once the lock is held, the fence raised,
+  /// and the queues drained (single-exit so the caller can lower the
+  /// fence unconditionally).
+  StatusOr<bool> RebalanceLocked() TDS_REQUIRES(route_mutex_);
+
+  /// Restore's body under the same bracket as RebalanceLocked.
+  Status RestoreLocked(MergedSnapshot snapshot) TDS_REQUIRES(route_mutex_);
 
   DecayPtr decay_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// slice → shard. Producers, per-key readers, and the merged-snapshot
-  /// gather hold route_mutex_ shared; migrations hold it exclusive.
+  /// Control-plane lock: migrations/Stop/Restore hold it exclusive;
+  /// snapshot gathers, per-key reads, and the writer-command test hook
+  /// hold it shared. Producers never take it.
   mutable SharedMutex route_mutex_;
-  std::vector<uint32_t> route_ TDS_GUARDED_BY(route_mutex_);
+
+  /// Current epoch-published route snapshot. Load via CurrentRoute()
+  /// (a single acquire load — the whole point is lock-free producer
+  /// routing); store only via PublishRoute() under the exclusive route
+  /// lock. Every table ever published lives in route_history_ until the
+  /// engine dies, so the raw pointer is always valid.
+  std::atomic<const RouteTable*> route_table_{nullptr};
+  std::vector<std::shared_ptr<const RouteTable>> route_history_
+      TDS_GUARDED_BY(route_mutex_);
+
+  /// Flush-fence state (see EnterFlush/RaiseFence). fence_mutex_ guards
+  /// no fields — the waited-on state is the pair of atomics — so waiter
+  /// registration is advisory and parks are bounded slices, exactly the
+  /// StagedWait discipline the shard rings use.
+  std::atomic<uint64_t> active_flushes_{0};
+  std::atomic<bool> fence_raised_{false};
+  mutable Mutex fence_mutex_;
+  CondVar fence_cv_;    ///< flushers park here while the fence is up
+  CondVar quiesce_cv_;  ///< the fence holder parks here until active == 0
+  std::atomic<uint32_t> fence_waiters_{0};
+  std::atomic<uint32_t> quiesce_waiters_{0};
+
+  /// Offered-load per route slice (cumulative), maintained by session
+  /// flushes; RebalanceIfSkewed diffs against slice_ingest_seen_ to rank
+  /// donor slices by recent heat.
+  std::vector<std::atomic<uint64_t>> slice_ingest_;
+  std::vector<uint64_t> slice_ingest_seen_ TDS_GUARDED_BY(route_mutex_);
+
+  /// SessionTotals() mirrors (relaxed; sessions publish at flush/close).
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> session_staged_{0};
+  std::atomic<uint64_t> session_flushed_{0};
+  std::atomic<uint64_t> session_flush_stalls_{0};
 
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<bool> stop_{false};

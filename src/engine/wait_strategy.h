@@ -86,6 +86,11 @@ class StagedWait {
   /// CondVar parks taken so far (ShardStats::park_count).
   uint64_t parks() const { return parks_; }
 
+  /// Whether this wait ever had to step at all — the "did the episode
+  /// stall" bit session flush stats record (parks or any failed-attempt
+  /// streak count).
+  bool stalled() const { return parks_ > 0 || max_streak() > 0; }
+
   /// Longest run of consecutive failed attempts — a unitless stall measure
   /// (ShardStats::max_queue_stall) that needs no clock in the engine.
   uint64_t max_streak() const { return std::max(max_streak_, rounds_); }

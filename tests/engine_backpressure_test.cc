@@ -1,4 +1,8 @@
-// Backpressure and admission-control tests for ShardedAggregateEngine:
+// Backpressure and admission-control tests for ShardedAggregateEngine —
+// both the ProducerSession surface and the deprecated engine-global
+// shims, whose historical contracts these tests pin (hence the
+// deliberate tds-lint allow markers on the legacy calls).
+//
 // staged producer waits, TryUpdateBatch deadlines, overload counters, and
 // the stopped-engine ingest contract (the regression that used to spin a
 // producer forever against a ring whose writer had already exited).
@@ -17,6 +21,7 @@
 
 #include "core/factory.h"
 #include "decay/sliding_window.h"
+#include "engine/producer_session.h"
 #include "engine/registry.h"
 
 namespace tds {
@@ -89,7 +94,8 @@ TEST(BackpressureTest, TryUpdateBatchRejectsOnFullRingWithoutBlocking) {
     uint64_t accepted = 0;
     Status status = Status::OK();
     for (int i = 0; i < 1000 && status.ok(); ++i) {
-      status = (*engine)->TryUpdateBatch({&item, 1},
+      status = (*engine)->TryUpdateBatch(  // tds-lint: allow(deprecated-ingest)
+          {&item, 1},
                                          std::chrono::nanoseconds(0));
       if (status.ok()) ++accepted;
     }
@@ -121,14 +127,16 @@ TEST(BackpressureTest, TryUpdateBatchDeadlineOutlastsStall) {
   // must be admitted in full once the writer drains.
   std::vector<KeyedItem> fill(64, KeyedItem{1, 1, 1});
   ASSERT_TRUE(
-      (*engine)->TryUpdateBatch(fill, std::chrono::nanoseconds(0)).ok());
+      // The deprecated shim itself is the thing under test here.
+      (*engine)->TryUpdateBatch(fill, std::chrono::nanoseconds(0)).ok());  // tds-lint: allow(deprecated-ingest)
   std::vector<KeyedItem> batch(256, KeyedItem{2, 1, 1});
   std::thread releaser([&stall] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     stall.Release();
   });
   const Status status =
-      (*engine)->TryUpdateBatch(batch, std::chrono::seconds(60));
+      // The deprecated shim itself is the thing under test here.
+      (*engine)->TryUpdateBatch(batch, std::chrono::seconds(60));  // tds-lint: allow(deprecated-ingest)
   releaser.join();
   ASSERT_TRUE(status.ok()) << status.message();
   ASSERT_TRUE((*engine)->Flush().ok());
@@ -153,7 +161,7 @@ TEST(BackpressureTest, BlockWithDeadlinePolicyRejectsAndCounts) {
     // More items than the stalled ring can hold: the call must give up
     // after ~block_deadline instead of blocking forever.
     std::vector<KeyedItem> batch(1024, KeyedItem{3, 1, 1});
-    const Status status = (*engine)->IngestBatch(batch);
+    const Status status = (*engine)->IngestBatch(batch);  // tds-lint: allow(deprecated-ingest)
     ASSERT_EQ(status.code(), StatusCode::kUnavailable);
     const auto stats = (*engine)->Stats();
     EXPECT_GE(stats[0].items_rejected, 1u);
@@ -173,7 +181,7 @@ TEST(BackpressureTest, SpinPolicyStillDrains) {
       SlidingWindowDecay::Create(1 << 20).value(), options);
   ASSERT_TRUE(engine.ok());
   std::vector<KeyedItem> batch(4096, KeyedItem{5, 1, 1});
-  ASSERT_TRUE((*engine)->IngestBatch(batch).ok());
+  ASSERT_TRUE((*engine)->IngestBatch(batch).ok());  // tds-lint: allow(deprecated-ingest)
   ASSERT_TRUE((*engine)->Flush().ok());
   EXPECT_EQ((*engine)->ItemsApplied(), 4096u);
 }
@@ -182,21 +190,21 @@ TEST(BackpressureTest, StoppedEngineFailsFastInsteadOfSpinning) {
   auto engine = ShardedAggregateEngine::Create(
       SlidingWindowDecay::Create(1 << 20).value(), TinyRingOptions());
   ASSERT_TRUE(engine.ok());
-  ASSERT_TRUE((*engine)->Ingest(9, 1, 4).ok());
+  ASSERT_TRUE((*engine)->Ingest(9, 1, 4).ok());  // tds-lint: allow(deprecated-ingest)
   ASSERT_TRUE((*engine)->Flush().ok());
   (*engine)->Stop();
 
   // The regression: a batch larger than the ring used to spin forever
   // against writers that had already exited. It must now fail fast.
   std::vector<KeyedItem> batch(1024, KeyedItem{9, 2, 1});
-  EXPECT_EQ((*engine)->IngestBatch(batch).code(),
+  EXPECT_EQ((*engine)->IngestBatch(batch).code(),  // tds-lint: allow(deprecated-ingest)
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ((*engine)->Ingest(9, 2, 1).code(),
+  EXPECT_EQ((*engine)->Ingest(9, 2, 1).code(),  // tds-lint: allow(deprecated-ingest)
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ((*engine)
-                ->TryUpdateBatch(batch, std::chrono::seconds(60))
-                .code(),
-            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(
+      // The deprecated shim itself is the thing under test here.
+      (*engine)->TryUpdateBatch(batch, std::chrono::seconds(60)).code(),  // tds-lint: allow(deprecated-ingest)
+      StatusCode::kFailedPrecondition);
   // Nothing was admitted, so nothing counts as rejected-by-overload.
   EXPECT_EQ((*engine)->Stats()[0].items_rejected, 0u);
 
@@ -214,6 +222,51 @@ TEST(BackpressureTest, StoppedEngineFailsFastInsteadOfSpinning) {
             StatusCode::kFailedPrecondition);
   auto rebalanced = (*engine)->RebalanceIfSkewed();
   EXPECT_FALSE(rebalanced.ok());
+}
+
+// Session flushes honor the per-session kBlockWithDeadline admission
+// contract: a flush that cannot place its staged runs before the deadline
+// rejects the remainder (dropped + counted), and the session is reusable
+// afterwards.
+TEST(BackpressureTest, SessionFlushRespectsBlockDeadline) {
+  auto engine = ShardedAggregateEngine::Create(
+      SlidingWindowDecay::Create(1 << 20).value(), TinyRingOptions());
+  ASSERT_TRUE(engine.ok());
+
+  ProducerSessionOptions session_options;
+  session_options.backpressure = BackpressurePolicy::kBlockWithDeadline;
+  session_options.block_deadline = std::chrono::milliseconds(5);
+  session_options.staging_capacity = 2048;  // no auto-flush mid-test
+  auto session = (*engine)->NewProducer(session_options);
+  ASSERT_TRUE(session.ok());
+  {
+    WriterStall stall(**engine, 0);
+    std::vector<KeyedItem> batch(1024, KeyedItem{3, 1, 1});
+    ASSERT_TRUE((*session)->AddBatch(batch).ok());
+    const Status status = (*session)->Flush();
+    ASSERT_EQ(status.code(), StatusCode::kUnavailable);
+    // The episode is settled either way: nothing stays staged, the
+    // overflow is counted both on the shard and on the session.
+    EXPECT_EQ((*session)->staged(), 0u);
+    const auto stats = (*session)->stats();
+    EXPECT_GE(stats.items_rejected, 1u);
+    EXPECT_EQ(stats.items_flushed + stats.items_rejected, 1024u);
+    EXPECT_GE((*engine)->Stats()[0].items_rejected, 1u);
+    EXPECT_TRUE((*session)->AuditInvariants().ok());
+    stall.Release();
+  }
+  ASSERT_TRUE((*engine)->Flush().ok());
+  // Admitted == applied: nothing lost inside the engine, nothing
+  // duplicated by the rejected remainder.
+  const auto shard_stats = (*engine)->Stats();
+  EXPECT_EQ(shard_stats[0].items_applied + shard_stats[0].items_rejected,
+            1024u);
+  // The session keeps working once pressure clears.
+  ASSERT_TRUE((*session)->Add(3, 2, 1).ok());
+  ASSERT_TRUE((*session)->Flush().ok());
+  ASSERT_TRUE((*engine)->Flush().ok());
+  const auto totals = (*engine)->SessionTotals();
+  EXPECT_GE(totals.flush_stalls, 1u);
 }
 
 TEST(BackpressureTest, CreateValidatesBlockDeadline) {

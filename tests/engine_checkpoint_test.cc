@@ -18,6 +18,7 @@
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
 #include "engine/engine.h"
+#include "engine_test_util.h"
 #include "util/failpoint.h"
 #include "util/random.h"
 
@@ -104,7 +105,7 @@ TEST(CheckpointTest, RoundTripIsByteIdentical) {
 
     auto source = MakeEngine(ec);
     Tick t = 0;
-    ASSERT_TRUE(source->IngestBatch(Stream(1, 1, 5000, &t)).ok());
+    ASSERT_TRUE(SessionIngest(*source, Stream(1, 1, 5000, &t)).ok());
     ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
     const std::string source_blob = MergedBlob(*source);
 
@@ -144,19 +145,19 @@ TEST(CheckpointTest, IngestAfterRestoreStaysByteIdenticalToUninterrupted) {
     const auto first = Stream(2, 1, 4000, &t1);
     Tick t2 = 0;
     const auto second = Stream(3, t1, 4000, &t2);
-    ASSERT_TRUE(uninterrupted->IngestBatch(first).ok());
-    ASSERT_TRUE(uninterrupted->IngestBatch(second).ok());
+    ASSERT_TRUE(SessionIngest(*uninterrupted, first).ok());
+    ASSERT_TRUE(SessionIngest(*uninterrupted, second).ok());
     ASSERT_TRUE(uninterrupted->Flush().ok());
 
     {
       auto crashing = MakeEngine(ec);
-      ASSERT_TRUE(crashing->IngestBatch(first).ok());
+      ASSERT_TRUE(SessionIngest(*crashing, first).ok());
       ASSERT_TRUE(WriteCheckpoint(*crashing, path).ok());
     }  // destroyed: everything after the checkpoint is lost, as in a crash
 
     auto restored = MakeEngine(ec);
     ASSERT_TRUE(RestoreFromCheckpoint(*restored, path).ok());
-    ASSERT_TRUE(restored->IngestBatch(second).ok());
+    ASSERT_TRUE(SessionIngest(*restored, second).ok());
     ASSERT_TRUE(restored->Flush().ok());
     EXPECT_EQ(MergedBlob(*restored), MergedBlob(*uninterrupted));
     RemoveCheckpointFiles(path);
@@ -168,7 +169,7 @@ TEST(CheckpointTest, CorruptionIsDetected) {
   const std::string path = TempPath("corrupt");
   auto source = MakeEngine(ec);
   Tick t = 0;
-  ASSERT_TRUE(source->IngestBatch(Stream(4, 1, 2000, &t)).ok());
+  ASSERT_TRUE(SessionIngest(*source, Stream(4, 1, 2000, &t)).ok());
 
   struct Mutilation {
     const char* label;
@@ -216,7 +217,7 @@ TEST(CheckpointTest, CorruptionIsDetected) {
     auto restored = MakeEngine(ec);
     EXPECT_FALSE(RestoreFromCheckpoint(*restored, path).ok());
     // The failed restore left the engine fresh and usable.
-    EXPECT_TRUE(restored->Ingest(1, 1, 1).ok());
+    EXPECT_TRUE(SessionIngest(*restored, 1, 1, 1).ok());
     EXPECT_TRUE(restored->Flush().ok());
   }
   RemoveCheckpointFiles(path);
@@ -229,14 +230,14 @@ TEST(CheckpointTest, CorruptPrimaryFallsBackToPreviousCheckpoint) {
 
   auto engine = MakeEngine(ec);
   Tick t1 = 0;
-  ASSERT_TRUE(engine->IngestBatch(Stream(5, 1, 3000, &t1)).ok());
+  ASSERT_TRUE(SessionIngest(*engine, Stream(5, 1, 3000, &t1)).ok());
   ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
   const std::string old_blob = MergedBlob(*engine);
 
   // Second checkpoint rotates the first to .prev; then the primary is
   // torn. Recovery must land on the *previous* checkpoint, byte-exact.
   Tick t2 = 0;
-  ASSERT_TRUE(engine->IngestBatch(Stream(6, t1, 3000, &t2)).ok());
+  ASSERT_TRUE(SessionIngest(*engine, Stream(6, t1, 3000, &t2)).ok());
   ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
   ASSERT_TRUE(std::filesystem::exists(path + ".prev"));
   std::filesystem::resize_file(path, std::filesystem::file_size(path) / 3);
@@ -253,11 +254,11 @@ TEST(CheckpointTest, RestoreRequiresFreshEngine) {
   RemoveCheckpointFiles(path);
   auto source = MakeEngine(ec);
   Tick t = 0;
-  ASSERT_TRUE(source->IngestBatch(Stream(7, 1, 500, &t)).ok());
+  ASSERT_TRUE(SessionIngest(*source, Stream(7, 1, 500, &t)).ok());
   ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
 
   auto dirty = MakeEngine(ec);
-  ASSERT_TRUE(dirty->Ingest(1, 1, 1).ok());
+  ASSERT_TRUE(SessionIngest(*dirty, 1, 1, 1).ok());
   ASSERT_TRUE(dirty->Flush().ok());
   EXPECT_EQ(RestoreFromCheckpoint(*dirty, path).code(),
             StatusCode::kFailedPrecondition);
@@ -270,7 +271,7 @@ TEST(CheckpointTest, OptionsMismatchIsRejected) {
   const EngineCase ec = Cases()[0];
   auto source = MakeEngine(ec);
   Tick t = 0;
-  ASSERT_TRUE(source->IngestBatch(Stream(8, 1, 500, &t)).ok());
+  ASSERT_TRUE(SessionIngest(*source, Stream(8, 1, 500, &t)).ok());
   ASSERT_TRUE(WriteCheckpoint(*source, path).ok());
 
   // Same decay, different epsilon: the snapshot header check must refuse.
@@ -300,7 +301,7 @@ TEST(CheckpointTest, InjectedCommitCrashKeepsPreviousCheckpoint) {
 
   auto engine = MakeEngine(ec);
   Tick t1 = 0;
-  ASSERT_TRUE(engine->IngestBatch(Stream(9, 1, 2000, &t1)).ok());
+  ASSERT_TRUE(SessionIngest(*engine, Stream(9, 1, 2000, &t1)).ok());
   ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
   const std::string old_blob = MergedBlob(*engine);
 
@@ -308,7 +309,7 @@ TEST(CheckpointTest, InjectedCommitCrashKeepsPreviousCheckpoint) {
   // after the temp file but before the renames. Either way the previous
   // checkpoint must remain the loadable state.
   Tick t2 = 0;
-  ASSERT_TRUE(engine->IngestBatch(Stream(10, t1, 2000, &t2)).ok());
+  ASSERT_TRUE(SessionIngest(*engine, Stream(10, t1, 2000, &t2)).ok());
   failpoint::ArmNthHit("checkpoint.write", 1);
   EXPECT_EQ(WriteCheckpoint(*engine, path).code(), StatusCode::kUnavailable);
   failpoint::ArmNthHit("checkpoint.commit", 1);

@@ -1,11 +1,13 @@
-// ShardedAggregateEngine concurrency tests: multiple producers feeding the
+// ShardedAggregateEngine concurrency tests: producer sessions feeding the
 // SPSC ingest queues while shard writers drain them and snapshot readers
-// query concurrently. Run under TSan via tools/check.sh tsan.
+// query concurrently. Run under TSan via tools/check.sh tsan (and with
+// schedule chaos via tools/check.sh chaos).
 //
 // The exact-equality oracle works because (a) each key is owned by one
-// producer, so its item order is deterministic, (b) producers barrier
-// between tick slices, so every shard observes non-decreasing ticks, and
-// (c) the registry's batch path is bit-identical to per-item ingestion.
+// producer, so its item order is deterministic, (b) producers flush their
+// sessions and barrier between tick slices, so every shard observes
+// non-decreasing ticks, and (c) the registry's batch path is bit-identical
+// to per-item ingestion.
 #include "engine/engine.h"
 
 #include <algorithm>
@@ -19,6 +21,7 @@
 #include "core/factory.h"
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
+#include "engine/producer_session.h"
 #include "engine/registry.h"
 #include "util/random.h"
 
@@ -35,7 +38,7 @@ AggregateRegistry::Options RegistryOptions(Backend backend, double epsilon) {
   return options;
 }
 
-TEST(ShardedEngineTest, MultiProducerMatchesSerialReference) {
+TEST(ShardedEngineTest, MultiProducerSessionsMatchSerialReference) {
   struct Config {
     DecayPtr decay;
     Backend backend;
@@ -87,10 +90,16 @@ TEST(ShardedEngineTest, MultiProducerMatchesSerialReference) {
     std::vector<std::thread> producers;
     for (int p = 0; p < kProducers; ++p) {
       producers.emplace_back([&, p] {
+        // One session per producer thread — the session is the handle, not
+        // shared state; flush-then-barrier keeps per-shard ticks ordered.
+        auto session = (*engine)->NewProducer();
+        ASSERT_TRUE(session.ok());
         for (int r = 0; r < kRounds; ++r) {
-          EXPECT_TRUE((*engine)->IngestBatch(schedule[p][r]).ok());
+          EXPECT_TRUE((*session)->AddBatch(schedule[p][r]).ok());
+          EXPECT_TRUE((*session)->Flush().ok());
           round_barrier.arrive_and_wait();
         }
+        EXPECT_TRUE((*session)->AuditInvariants().ok());
       });
     }
     for (auto& thread : producers) thread.join();
@@ -204,8 +213,11 @@ TEST(ShardedEngineTest, RebalanceRacesProducersAndSnapshotReaders) {
     std::vector<std::thread> producers;
     for (int p = 0; p < kProducers; ++p) {
       producers.emplace_back([&, p] {
+        auto session = (*engine)->NewProducer();
+        ASSERT_TRUE(session.ok());
         for (int r = 0; r < kRounds; ++r) {
-          EXPECT_TRUE((*engine)->IngestBatch(schedule[p][r]).ok());
+          EXPECT_TRUE((*session)->AddBatch(schedule[p][r]).ok());
+          EXPECT_TRUE((*session)->Flush().ok());
           round_barrier.arrive_and_wait();
         }
       });
@@ -237,11 +249,119 @@ TEST(ShardedEngineTest, RebalanceRacesProducersAndSnapshotReaders) {
   }
 }
 
-// Oversubscription: far more producers than cores, rings far smaller than
-// the offered load, adaptive backpressure. Producers must park (not burn a
-// core each) while writers catch up, and the blocking policy must admit
-// every item exactly once — no loss, no duplication, rejects impossible.
-TEST(ShardedEngineTest, OversubscribedProducersDontLoseOrDuplicate) {
+// The route-epoch protocol under fire: session flushes race explicit
+// MigrateSlices calls (the chaos build stretches the fence and
+// route-publish windows via TDS_INTERLEAVE_POINT). A session whose staged
+// runs predate a migration must re-partition them at flush — so the final
+// state must be byte-identical to a serially-fed registry and conservation
+// must hold exactly: zero double-counted (and zero lost) items.
+TEST(ShardedEngineTest, SessionFlushesRaceMigrations) {
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 30;
+  constexpr int kItemsPerRound = 50;
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kSlices = 64;
+
+  auto decay = PolynomialDecay::Create(1.0).value();
+  ShardedAggregateEngine::Options options;
+  options.registry = RegistryOptions(Backend::kWbmh, 0.15);
+  options.registry.expiry_weight_floor = -1.0;  // byte-equality oracle
+  options.shards = kShards;
+  options.route_slices = kSlices;
+  options.queue_capacity = 1 << 12;
+  auto engine = ShardedAggregateEngine::Create(decay, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<std::vector<std::vector<KeyedItem>>> schedule(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    Rng rng(4000 + p);
+    schedule[p].resize(kRounds);
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kItemsPerRound; ++i) {
+        const uint64_t key = 1 + p * 64 + rng.NextBelow(48);
+        schedule[p][r].push_back(KeyedItem{key, r + 1, rng.NextBelow(5)});
+      }
+    }
+  }
+
+  std::barrier round_barrier(kProducers);
+  std::atomic<bool> done{false};
+  // Rotate every slice through every shard while producers flush: each
+  // successful call publishes a new route generation, so in-flight
+  // sessions keep tripping the stale-generation repartition path.
+  std::thread migrator([&] {
+    uint64_t turn = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint32_t slice = static_cast<uint32_t>(turn % kSlices);
+      const uint32_t to = static_cast<uint32_t>((turn / kSlices) % kShards);
+      ASSERT_TRUE(
+          (*engine)->MigrateSlices(std::vector<uint32_t>{slice}, to).ok());
+      ++turn;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto session = (*engine)->NewProducer();
+      ASSERT_TRUE(session.ok());
+      for (int r = 0; r < kRounds; ++r) {
+        // Stage in two halves with a scheduling gap between them so the
+        // staged runs routinely straddle a route publish before Flush.
+        const auto& batch = schedule[p][r];
+        const size_t half = batch.size() / 2;
+        const std::span<const KeyedItem> items(batch);
+        EXPECT_TRUE((*session)->AddBatch(items.first(half)).ok());
+        std::this_thread::yield();
+        EXPECT_TRUE((*session)->AddBatch(items.subspan(half)).ok());
+        EXPECT_TRUE((*session)->Flush().ok());
+        EXPECT_TRUE((*session)->AuditInvariants().ok());
+        round_barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  done.store(true, std::memory_order_release);
+  migrator.join();
+  ASSERT_TRUE((*engine)->Flush().ok());
+
+  // Conservation: the adaptive policy never rejects, so every staged item
+  // must be applied exactly once — a double-counted (or dropped) item
+  // shifts this total.
+  const uint64_t offered =
+      uint64_t{kProducers} * kRounds * kItemsPerRound;
+  EXPECT_EQ((*engine)->ItemsApplied(), offered);
+  const auto totals = (*engine)->SessionTotals();
+  EXPECT_EQ(totals.items_staged, offered);
+  EXPECT_EQ(totals.items_flushed, offered);
+  uint64_t rejected = 0;
+  for (const auto& stats : (*engine)->Stats()) rejected += stats.items_rejected;
+  EXPECT_EQ(rejected, 0u);
+
+  auto reference = AggregateRegistry::Create(decay, options.registry);
+  ASSERT_TRUE(reference.ok());
+  for (int r = 0; r < kRounds; ++r) {
+    for (int p = 0; p < kProducers; ++p) {
+      for (const KeyedItem& item : schedule[p][r]) {
+        reference->Update(item.key, item.t, item.value);
+      }
+    }
+  }
+  auto merged = (*engine)->Snapshot();
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  std::string merged_blob;
+  ASSERT_TRUE(merged->EncodeRegistryState(&merged_blob).ok());
+  std::string reference_blob;
+  ASSERT_TRUE(reference->EncodeState(&reference_blob).ok());
+  EXPECT_EQ(merged_blob, reference_blob);
+}
+
+// Oversubscription: 2× more producer sessions than cores, rings far
+// smaller than the offered load, adaptive backpressure. Producers must
+// park (not burn a core each) while writers catch up, and the blocking
+// policy must admit every item exactly once — no loss, no duplication,
+// zero rejects.
+TEST(ShardedEngineTest, OversubscribedSessionsDontLoseOrDuplicate) {
   const int kProducers =
       2 * std::max(4u, std::thread::hardware_concurrency());
   constexpr int kRounds = 8;
@@ -274,17 +394,29 @@ TEST(ShardedEngineTest, OversubscribedProducersDontLoseOrDuplicate) {
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
+      // Mix staging shapes across producers: tiny capacities force
+      // mid-round auto-flushes against full rings (same tick, so the
+      // per-shard ordering contract still holds).
+      ProducerSessionOptions session_options;
+      session_options.staging_capacity = (p % 2 == 0) ? 4096 : 48;
+      auto session = (*engine)->NewProducer(session_options);
+      ASSERT_TRUE(session.ok());
       for (int r = 0; r < kRounds; ++r) {
-        // Mix the two blocking admission paths across producers.
-        if (p % 2 == 0) {
-          EXPECT_TRUE((*engine)->IngestBatch(schedule[p][r]).ok());
-        } else {
+        if (p % 3 == 0) {
           for (const KeyedItem& item : schedule[p][r]) {
-            EXPECT_TRUE((*engine)->Ingest(item.key, item.t, item.value).ok());
+            EXPECT_TRUE((*session)->Add(item.key, item.t, item.value).ok());
           }
+        } else {
+          EXPECT_TRUE((*session)->AddBatch(schedule[p][r]).ok());
         }
+        EXPECT_TRUE((*session)->Flush().ok());
         round_barrier.arrive_and_wait();
       }
+      EXPECT_EQ((*session)->staged(), 0u);
+      const auto stats = (*session)->stats();
+      EXPECT_EQ(stats.items_staged, uint64_t{kRounds} * kItemsPerRound);
+      EXPECT_EQ(stats.items_flushed, uint64_t{kRounds} * kItemsPerRound);
+      EXPECT_EQ(stats.items_rejected, 0u);
     });
   }
   for (auto& thread : producers) thread.join();
@@ -305,6 +437,13 @@ TEST(ShardedEngineTest, OversubscribedProducersDontLoseOrDuplicate) {
   // Stall streaks stay bounded: parked waits reset on progress, so no
   // producer can have been wedged in a single astronomically long streak.
   EXPECT_LT(stall_ceiling, 1u << 20);
+  // Engine-wide session accounting closes: every session opened was
+  // closed, everything staged was flushed.
+  const auto totals = (*engine)->SessionTotals();
+  EXPECT_EQ(totals.sessions_opened, static_cast<uint64_t>(kProducers));
+  EXPECT_EQ(totals.sessions_closed, static_cast<uint64_t>(kProducers));
+  EXPECT_EQ(totals.items_staged, expected_items);
+  EXPECT_EQ(totals.items_flushed, expected_items);
 
   auto reference = AggregateRegistry::Create(decay, options.registry);
   ASSERT_TRUE(reference.ok());
@@ -344,10 +483,13 @@ TEST(ShardedEngineTest, BatchedAndUnbatchedApplyAgree) {
     if (rng.NextBelow(4) == 0) ++t;
     items.push_back(KeyedItem{rng.NextBelow(64), t, rng.NextBelow(3)});
   }
-  ASSERT_TRUE((*batched)->IngestBatch(items).ok());
-  ASSERT_TRUE((*unbatched)->IngestBatch(items).ok());
-  ASSERT_TRUE((*batched)->Flush().ok());
-  ASSERT_TRUE((*unbatched)->Flush().ok());
+  for (auto* engine : {&*batched, &*unbatched}) {
+    auto session = (*engine)->NewProducer();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE((*session)->AddBatch(items).ok());
+    ASSERT_TRUE((*session)->Flush().ok());
+    ASSERT_TRUE((*engine)->Flush().ok());
+  }
 
   for (uint64_t key = 0; key < 64; ++key) {
     EXPECT_DOUBLE_EQ((*batched)->QueryKey(key, t),
@@ -365,14 +507,17 @@ TEST(ShardedEngineTest, SnapshotReflectsFlushedItems) {
   auto engine = ShardedAggregateEngine::Create(decay, options);
   ASSERT_TRUE(engine.ok());
 
+  auto session = (*engine)->NewProducer();
+  ASSERT_TRUE(session.ok());
   auto reference = AggregateRegistry::Create(decay, options.registry);
   ASSERT_TRUE(reference.ok());
   for (Tick t = 1; t <= 100; ++t) {
     for (uint64_t key = 0; key < 10; ++key) {
-      ASSERT_TRUE((*engine)->Ingest(key, t, key + 1).ok());
+      ASSERT_TRUE((*session)->Add(key, t, key + 1).ok());
       reference->Update(key, t, key + 1);
     }
   }
+  ASSERT_TRUE((*session)->Flush().ok());
   ASSERT_TRUE((*engine)->Flush().ok());
 
   size_t snapshot_keys = 0;
@@ -400,7 +545,12 @@ TEST(ShardedEngineTest, DestructorDrainsPendingItems) {
   for (int i = 0; i < 10000; ++i) {
     items.push_back(KeyedItem{static_cast<uint64_t>(i % 97), 1, 1});
   }
-  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  {
+    auto session = (*engine)->NewProducer();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE((*session)->AddBatch(items).ok());
+    // Session destructor flushes the staged remainder best-effort.
+  }
   // Destroy without Flush: the writers must drain and join cleanly.
   engine.value().reset();
 }

@@ -16,6 +16,7 @@
 #include "decay/sliding_window.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
+#include "engine_test_util.h"
 #include "util/random.h"
 
 namespace tds {
@@ -66,7 +67,7 @@ class EngineFaultTest : public ::testing::Test {
       if (rng.NextBelow(4) == 0) ++t;
       items.push_back(KeyedItem{rng.NextBelow(kKeys), t, 1 + rng.NextBelow(3)});
     }
-    EXPECT_TRUE(fx.engine->IngestBatch(items).ok());
+    EXPECT_TRUE(SessionIngest(*fx.engine, items).ok());
     EXPECT_TRUE(fx.engine->Flush().ok());
     fx.tick = t;
     for (uint64_t key = 0; key < kKeys; ++key) {
@@ -102,7 +103,7 @@ TEST_F(EngineFaultTest, EncodeFailurePublishesNullAndRecovers) {
   EXPECT_GE(failpoint::Fires("registry.encode"), 1u);
   // Ingest keeps working through the outage (publishes are the only
   // casualty), and everything recovers once the fault clears.
-  EXPECT_TRUE(fx.engine->Ingest(3, fx.tick, 0).ok());
+  EXPECT_TRUE(SessionIngest(*fx.engine, 3, fx.tick, 0).ok());
   EXPECT_TRUE(fx.engine->Flush().ok());
   failpoint::DisarmAll();
   ExpectServesExpected(fx);
@@ -196,7 +197,7 @@ TEST_F(EngineFaultTest, RingPushFaultsRetryUnderBlockingPolicy) {
   for (int i = 0; i < 5000; ++i) {
     items.push_back(KeyedItem{static_cast<uint64_t>(i % 50), 1, 1});
   }
-  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE(SessionIngest(**engine, items).ok());
   failpoint::DisarmAll();
   ASSERT_TRUE((*engine)->Flush().ok());
   EXPECT_EQ((*engine)->ItemsApplied(), 5000u);
@@ -211,14 +212,16 @@ TEST_F(EngineFaultTest, RingPushStickyFaultRejectsNonBlockingAdmission) {
       SlidingWindowDecay::Create(1 << 20).value(), options);
   ASSERT_TRUE(engine.ok());
   failpoint::Arm("engine.ring.push", {.fire_on_hit = 1, .sticky = true});
+  // Deliberately exercises the deprecated TryUpdateBatch shim: its
+  // zero-deadline admission contract under sticky faults is pinned here.
   const KeyedItem item{1, 1, 1};
-  const Status status =
-      (*engine)->TryUpdateBatch({&item, 1}, std::chrono::nanoseconds(0));
+  const Status status = (*engine)->TryUpdateBatch(  // tds-lint: allow(deprecated-ingest)
+      {&item, 1}, std::chrono::nanoseconds(0));
   EXPECT_EQ(status.code(), StatusCode::kUnavailable);
   EXPECT_GE((*engine)->Stats()[0].items_rejected, 1u);
   failpoint::DisarmAll();
-  ASSERT_TRUE(
-      (*engine)->TryUpdateBatch({&item, 1}, std::chrono::nanoseconds(0)).ok());
+  ASSERT_TRUE((*engine)->TryUpdateBatch(  // tds-lint: allow(deprecated-ingest)
+      {&item, 1}, std::chrono::nanoseconds(0)).ok());
   ASSERT_TRUE((*engine)->Flush().ok());
   EXPECT_EQ((*engine)->ItemsApplied(), 1u);
 }

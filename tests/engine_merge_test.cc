@@ -20,6 +20,7 @@
 #include "decay/sliding_window.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
+#include "engine_test_util.h"
 #include "util/random.h"
 
 namespace tds {
@@ -162,7 +163,7 @@ void FeedBoth(ShardedAggregateEngine& engine, AggregateRegistry& reference,
   constexpr size_t kChunk = 512;
   for (size_t i = 0; i < items.size(); i += kChunk) {
     const size_t n = std::min(kChunk, items.size() - i);
-    ASSERT_TRUE(engine.IngestBatch({items.data() + i, n}).ok());
+    ASSERT_TRUE(SessionIngest(engine, {items.data() + i, n}).ok());
   }
   for (const KeyedItem& item : items) {
     reference.Update(item.key, item.t, item.value);
@@ -325,7 +326,7 @@ TEST(MergedSnapshotTest, CodecRoundTripsAndRejectsCorruption) {
       if (rng.NextBelow(4) == 0) ++t;
       items.push_back(KeyedItem{rng.NextBelow(50), t, 1 + rng.NextBelow(3)});
     }
-    ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+    ASSERT_TRUE(SessionIngest(**engine, items).ok());
     ASSERT_TRUE((*engine)->Flush().ok());
     auto merged = (*engine)->Snapshot();
     ASSERT_TRUE(merged.ok());
@@ -370,7 +371,7 @@ TEST(MergedSnapshotTest, TopKMatchesBruteForce) {
     const uint64_t key = rng.NextBelow(1 + rng.NextBelow(80));
     items.push_back(KeyedItem{key, t, 1 + rng.NextBelow(4)});
   }
-  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE(SessionIngest(**engine, items).ok());
   ASSERT_TRUE((*engine)->Flush().ok());
   auto merged = (*engine)->Snapshot();
   ASSERT_TRUE(merged.ok());
@@ -415,7 +416,7 @@ TEST(MergedSnapshotTest, TopKBreaksTiesByKeyForEveryK) {
   for (uint64_t key = 0; key < 30; ++key) {
     items.push_back(KeyedItem{key, 1, 3 - key / 10});
   }
-  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE(SessionIngest(**engine, items).ok());
   ASSERT_TRUE((*engine)->Flush().ok());
   auto merged = (*engine)->Snapshot();
   ASSERT_TRUE(merged.ok());
@@ -467,7 +468,7 @@ TEST(ShardedEngineTest, RebalanceBelowThresholdsIsANoOp) {
   for (uint64_t key = 0; key < 100; ++key) {
     items.push_back(KeyedItem{key, 1, 1});
   }
-  ASSERT_TRUE((*engine)->IngestBatch(items).ok());
+  ASSERT_TRUE(SessionIngest(**engine, items).ok());
   ASSERT_TRUE((*engine)->Flush().ok());
   auto rebalanced = (*engine)->RebalanceIfSkewed();
   ASSERT_TRUE(rebalanced.ok());

@@ -9,9 +9,10 @@
 // invariants audit clean, and every submitted item is accounted for as
 // applied or rejected (conservation: nothing lost, nothing duplicated).
 //
-// Ingest always uses TryUpdateBatch with a finite deadline so that even a
-// sticky "engine.ring.push" fault ends in kUnavailable, keeping the driver
-// hang-free by construction. The whole suite skips without -DTDS_FAILPOINTS
+// Ingest goes through a ProducerSession flushed under
+// kBlockWithDeadline with a finite deadline so that even a sticky
+// "engine.ring.push" fault ends in kUnavailable (staged items dropped as
+// rejected), keeping the driver hang-free by construction. The whole suite skips without -DTDS_FAILPOINTS
 // (tools/check.sh runs it in the `faults` stage under ASan+UBSan).
 #include <chrono>
 #include <cstdint>
@@ -28,6 +29,7 @@
 #include "engine/checkpoint.h"
 #include "engine/engine.h"
 #include "engine/merged_snapshot.h"
+#include "engine/producer_session.h"
 #include "engine/registry.h"
 #include "fuzz_util.h"
 #include "util/failpoint.h"
@@ -108,8 +110,14 @@ FaultFuzzCoverage RunEngineFaultFuzz(const DecayPtr& decay, Backend backend,
         if (in.Below(4) == 0) ++t;
         batch.push_back(KeyedItem{in.Below(kKeySpace), t, 1 + in.Below(4)});
       }
-      ExpectCleanStatus(
-          engine.TryUpdateBatch(batch, std::chrono::milliseconds(50)), in);
+      ProducerSessionOptions session_options;
+      session_options.staging_capacity = batch.size() + 1;
+      session_options.backpressure = BackpressurePolicy::kBlockWithDeadline;
+      session_options.block_deadline = std::chrono::milliseconds(50);
+      auto session = engine.NewProducer(session_options);
+      TDS_FUZZ_CHECK(session.ok(), in, session.status().ToString());
+      ExpectCleanStatus((*session)->AddBatch(batch), in);
+      ExpectCleanStatus((*session)->Flush(), in);
       // Accepted or rejected, every item is now the engine's to
       // account for (partial admission lands in items_rejected).
       submitted += size;

@@ -105,7 +105,7 @@ for stage in $STAGES; do
       log "TSan leg: engine merge differential + fuzz drivers present"
       ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
         --no-tests=error \
-        -R 'EngineMerge|MergedSnapshot|RebalanceRaces|Oversubscribed'
+        -R 'EngineMerge|MergedSnapshot|RebalanceRaces|Oversubscribed|SessionFlushesRace'
       ;;
     faults)
       log "Fault-injection build (failpoints + ASan+UBSan + audits) + ctest"

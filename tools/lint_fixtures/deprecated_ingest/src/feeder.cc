@@ -1,0 +1,12 @@
+// Fixture violation: feeding the engine through the deprecated
+// engine-global shim instead of a ProducerSession.
+#include "engine/engine.h"
+
+namespace tds {
+
+void FeedLegacy(ShardedAggregateEngine& engine) {
+  const KeyedItem item{1, 1, 1};
+  (void)engine.IngestBatch({&item, 1});
+}
+
+}  // namespace tds

@@ -35,6 +35,7 @@
 #include "decay/sliding_window.h"
 #include "engine/checkpoint.h"
 #include "engine/engine.h"
+#include "engine/producer_session.h"
 #include "engine/merged_snapshot.h"
 
 namespace {
@@ -120,6 +121,14 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
   }
 
   constexpr size_t kBatch = 4096;
+  ProducerSessionOptions session_options;
+  session_options.staging_capacity = kBatch;
+  auto producer = (*engine)->NewProducer(session_options);
+  if (!producer.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 producer.status().ToString().c_str());
+    return 1;
+  }
   std::vector<KeyedItem> batch;
   batch.reserve(kBatch);
   std::string line;
@@ -128,7 +137,8 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
   size_t line_number = 0;
   const auto flush_batch = [&] {
     if (batch.empty()) return true;
-    const Status ingested = (*engine)->IngestBatch(batch);
+    Status ingested = (*producer)->AddBatch(batch);
+    if (ingested.ok()) ingested = (*producer)->Flush();
     if (!ingested.ok()) {
       std::fprintf(stderr, "error: %s\n", ingested.ToString().c_str());
       return false;
