@@ -34,10 +34,24 @@ void CoarseCehDecayedSum::AdvanceTo(Tick t) {
   const Tick gap = t - now_;
   now_ = t;
   if (gap == 0) return;
-  for (auto& cls : classes_) {
-    for (Bucket& bucket : cls) {
-      bucket.age.Advance(gap, rng_);
-      max_age_seen_ = std::max(max_age_seen_, bucket.age.Estimate());
+  if (options_.layout == HistogramLayout::kFlat) {
+    // Ascending-class segment order == the chain layout's `for (cls :
+    // classes_)` order, so the shared RNG is consumed identically and the
+    // two layouts stay bit-identical through stochastic aging.
+    flat_.ForEachSegmentAscendingClass(
+        [this, gap](size_t, size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            ApproxAge& age = flat_.stamp(k);
+            age.Advance(gap, rng_);
+            max_age_seen_ = std::max(max_age_seen_, age.Estimate());
+          }
+        });
+  } else {
+    for (auto& cls : classes_) {
+      for (Bucket& bucket : cls) {
+        bucket.age.Advance(gap, rng_);
+        max_age_seen_ = std::max(max_age_seen_, bucket.age.Estimate());
+      }
     }
   }
   Expire();
@@ -55,6 +69,16 @@ void CoarseCehDecayedSum::InsertUnits(uint64_t incoming_units) {
   // Same canonical digit arithmetic as ExponentialHistogram::InsertUnits,
   // with approximate ages in place of timestamps: all incoming buckets are
   // brand new (age 1); a merge keeps the *younger* boundary.
+  if (options_.layout == HistogramLayout::kFlat) {
+    const ApproxAge fresh_age(options_.boundary_delta);
+    flat_.InsertUnits(incoming_units, fresh_age, cap_,
+                      [](const ApproxAge& older, const ApproxAge& newer) {
+                        ApproxAge merged = older;
+                        merged.TakeYounger(newer);
+                        return merged;
+                      });
+    return;
+  }
   uint64_t virtual_new = incoming_units;
   std::vector<Bucket> real_carries;
   const ApproxAge fresh(options_.boundary_delta);
@@ -108,6 +132,13 @@ void CoarseCehDecayedSum::InsertUnits(uint64_t incoming_units) {
 void CoarseCehDecayedSum::Expire() {
   const Tick horizon = decay_->Horizon();
   if (horizon == kInfiniteHorizon || total_count_ == 0) return;
+  if (options_.layout == HistogramLayout::kFlat) {
+    const double horizon_age = static_cast<double>(horizon);
+    total_count_ -= flat_.ExpireOldest([horizon_age](const ApproxAge& age) {
+      return age.Estimate() > horizon_age;
+    });
+    return;
+  }
   for (size_t c = classes_.size(); c-- > 0;) {
     auto& cls = classes_[c];
     while (!cls.empty() &&
@@ -128,21 +159,51 @@ Status CoarseCehDecayedSum::AuditInvariants() const {
   TDS_AUDIT_CHECK(now_ >= 0, "negative clock");
   TDS_AUDIT_CHECK(std::isfinite(max_age_seen_) && max_age_seen_ >= 1.0,
                   "max age must be finite and >= 1");
-  TDS_AUDIT_CHECK(classes_.size() <= 64, "more than 64 size classes");
   uint64_t checksum = 0;
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    const auto& cls = classes_[c];
-    TDS_AUDIT_CHECK(cls.size() <= 2 * cap_ + 2, "class exceeds cap bound");
-    const uint64_t expected = uint64_t{1} << c;
-    for (const Bucket& bucket : cls) {
-      TDS_AUDIT_CHECK(bucket.count == expected,
-                      "bucket count not the class power of two");
-      const double age = bucket.age.Estimate();
-      TDS_AUDIT_CHECK(std::isfinite(age) && age >= 1.0,
-                      "boundary age must be finite and >= 1");
-      TDS_AUDIT_CHECK(age <= max_age_seen_,
-                      "boundary age past the recorded maximum");
-      checksum += bucket.count;
+  auto check_bucket = [&](size_t c, const ApproxAge& boundary,
+                          uint64_t count) -> Status {
+    TDS_AUDIT_CHECK(count == (uint64_t{1} << c),
+                    "bucket count not the class power of two");
+    const double age = boundary.Estimate();
+    TDS_AUDIT_CHECK(std::isfinite(age) && age >= 1.0,
+                    "boundary age must be finite and >= 1");
+    TDS_AUDIT_CHECK(age <= max_age_seen_,
+                    "boundary age past the recorded maximum");
+    checksum += count;
+    return Status::OK();
+  };
+  if (options_.layout == HistogramLayout::kFlat) {
+    TDS_AUDIT_CHECK(classes_.empty(),
+                    "chain storage populated under the flat layout");
+    TDS_AUDIT_CHECK(flat_.num_classes() <= 64, "more than 64 size classes");
+    size_t segment_sum = 0;
+    for (size_t c = 0; c < flat_.num_classes(); ++c) {
+      TDS_AUDIT_CHECK(flat_.class_size(c) <= 2 * cap_ + 2,
+                      "class exceeds cap bound");
+      segment_sum += flat_.class_size(c);
+    }
+    TDS_AUDIT_CHECK(segment_sum == flat_.size(),
+                    "flat class segments disagree with bucket storage");
+    Status bucket_status = Status::OK();
+    flat_.ForEachSegmentAscendingClass(
+        [&](size_t c, size_t begin, size_t end) {
+          for (size_t k = begin; k < end && bucket_status.ok(); ++k) {
+            bucket_status = check_bucket(c, flat_.stamp(k), flat_.count(k));
+          }
+        });
+    if (!bucket_status.ok()) return bucket_status;
+  } else {
+    TDS_AUDIT_CHECK(flat_.empty() && flat_.num_classes() == 0,
+                    "flat storage populated under the chain layout");
+    TDS_AUDIT_CHECK(classes_.size() <= 64, "more than 64 size classes");
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      const auto& cls = classes_[c];
+      TDS_AUDIT_CHECK(cls.size() <= 2 * cap_ + 2, "class exceeds cap bound");
+      for (const Bucket& bucket : cls) {
+        const Status bucket_status =
+            check_bucket(c, bucket.age, bucket.count);
+        if (!bucket_status.ok()) return bucket_status;
+      }
     }
   }
   TDS_AUDIT_CHECK(checksum == total_count_,
@@ -155,19 +216,31 @@ double CoarseCehDecayedSum::Query(Tick now) const {
   const double gap = static_cast<double>(now - now_);
   const Tick horizon = decay_->Horizon();
   double sum = 0.0;
-  for (const auto& cls : classes_) {
-    for (const Bucket& bucket : cls) {
-      const double age_estimate =
-          std::max(1.0, bucket.age.Estimate() + gap);
-      const auto age = static_cast<Tick>(std::llround(age_estimate));
-      if (age > horizon) continue;
-      sum += static_cast<double>(bucket.count) * decay_->Weight(age);
+  auto accumulate = [&](const ApproxAge& boundary, uint64_t count) {
+    const double age_estimate = std::max(1.0, boundary.Estimate() + gap);
+    const auto age = static_cast<Tick>(std::llround(age_estimate));
+    if (age > horizon) return;
+    sum += static_cast<double>(count) * decay_->Weight(age);
+  };
+  if (options_.layout == HistogramLayout::kFlat) {
+    // Ascending-class order matches the chain walk, keeping the floating-
+    // point summation order — and so the query answer — bit-identical.
+    flat_.ForEachSegmentAscendingClass(
+        [&](size_t, size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            accumulate(flat_.stamp(k), flat_.count(k));
+          }
+        });
+  } else {
+    for (const auto& cls : classes_) {
+      for (const Bucket& bucket : cls) accumulate(bucket.age, bucket.count);
     }
   }
   return sum;
 }
 
 size_t CoarseCehDecayedSum::BucketCount() const {
+  if (options_.layout == HistogramLayout::kFlat) return flat_.size();
   size_t n = 0;
   for (const auto& cls : classes_) n += cls.size();
   return n;
@@ -175,6 +248,12 @@ size_t CoarseCehDecayedSum::BucketCount() const {
 
 std::vector<double> CoarseCehDecayedSum::BoundaryAges() const {
   std::vector<double> ages;
+  if (options_.layout == HistogramLayout::kFlat) {
+    flat_.ForEachOldestFirst([&ages](const ApproxAge& age, uint64_t) {
+      ages.push_back(age.Estimate());
+    });
+    return ages;
+  }
   for (size_t c = classes_.size(); c-- > 0;) {
     for (const Bucket& bucket : classes_[c]) {
       ages.push_back(bucket.age.Estimate());
@@ -192,6 +271,20 @@ void CoarseCehDecayedSum::EncodeState(Encoder& encoder) const {
   uint64_t rng_state[4];
   rng_.SaveState(rng_state);
   for (uint64_t word : rng_state) encoder.PutVarint(word);
+  if (options_.layout == HistogramLayout::kFlat) {
+    // Same wire format as the chain branch (class count includes emptied
+    // classes; per-class buckets oldest first) — byte-identical output.
+    encoder.PutVarint(flat_.num_classes());
+    flat_.ForEachSegmentAscendingClass(
+        [this, &encoder](size_t, size_t begin, size_t end) {
+          encoder.PutVarint(end - begin);
+          for (size_t k = begin; k < end; ++k) {
+            flat_.stamp(k).EncodeTo(encoder);
+            encoder.PutVarint(flat_.count(k));
+          }
+        });
+    return;
+  }
   encoder.PutVarint(classes_.size());
   for (const auto& cls : classes_) {
     encoder.PutVarint(cls.size());
@@ -227,10 +320,10 @@ Status CoarseCehDecayedSum::DecodeState(Decoder& decoder) {
     return CorruptSnapshot("CoarseCEH clock");
   }
   total_count_ = total;
-  classes_.assign(class_count, {});
+  std::vector<std::deque<Bucket>> decoded(class_count);
   uint64_t checksum = 0;
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    auto& cls = classes_[c];
+  for (size_t c = 0; c < decoded.size(); ++c) {
+    auto& cls = decoded[c];
     uint64_t buckets = 0;
     if (!decoder.GetVarint(&buckets) || buckets > 2 * cap_ + 2) {
       return CorruptSnapshot("CoarseCEH class");
@@ -245,6 +338,14 @@ Status CoarseCehDecayedSum::DecodeState(Decoder& decoder) {
       checksum += bucket.count;
       cls.push_back(bucket);
     }
+  }
+  if (options_.layout == HistogramLayout::kFlat) {
+    classes_.clear();
+    flat_.AssignFromClasses(
+        decoded, [](const Bucket& b) { return b.age; },
+        [](const Bucket& b) { return b.count; });
+  } else {
+    classes_ = std::move(decoded);
   }
   if (checksum != total_count_) return CorruptSnapshot("CoarseCEH total");
   // Hostile-snapshot funnel: reject blobs whose state fails the audit.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/decayed_aggregate.h"
+#include "histogram/flat_store.h"
 #include "util/approx_age.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -38,6 +39,10 @@ class CoarseCehDecayedSum : public DecayedAggregate {
     /// Boundary grid ratio (1 + delta): the age quantization coarseness.
     double boundary_delta = 0.25;
     uint64_t seed = 0xa9e5;
+    /// Bucket-storage layout; see ExponentialHistogram::Options::layout.
+    /// Bit-identical either way, including the RNG consumption order of the
+    /// stochastic aging sweep.
+    HistogramLayout layout = HistogramLayout::kFlat;
   };
 
   static StatusOr<std::unique_ptr<CoarseCehDecayedSum>> Create(
@@ -87,9 +92,13 @@ class CoarseCehDecayedSum : public DecayedAggregate {
   uint64_t cap_;
   Rng rng_;
 
-  /// classes_[i]: buckets of count 2^i, oldest at the front; every bucket
-  /// in classes_[i] is newer than every bucket in classes_[i+1].
+  /// kChain storage — classes_[i]: buckets of count 2^i, oldest at the
+  /// front; every bucket in classes_[i] is newer than every bucket in
+  /// classes_[i+1]. Empty under kFlat.
   std::vector<std::deque<Bucket>> classes_;
+  /// kFlat storage: the same buckets in contiguous SoA arrays (stamps =
+  /// approximate boundary ages). Empty under kChain.
+  FlatBucketStore<ApproxAge> flat_;
 
   Tick now_ = 0;
   uint64_t total_count_ = 0;

@@ -81,11 +81,13 @@ StatusOr<std::unique_ptr<DecayedAggregate>> MakeDecayedSum(
     case Backend::kCeh: {
       CehDecayedSum::Options ceh_options;
       ceh_options.epsilon = options.epsilon();
+      ceh_options.layout = options.layout();
       return Upcast(CehDecayedSum::Create(std::move(decay), ceh_options));
     }
     case Backend::kCoarseCeh: {
       CoarseCehDecayedSum::Options coarse_options;
       coarse_options.epsilon = options.epsilon();
+      coarse_options.layout = options.layout();
       return Upcast(
           CoarseCehDecayedSum::Create(std::move(decay), coarse_options));
     }

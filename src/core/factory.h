@@ -5,6 +5,7 @@
 
 #include "core/decayed_aggregate.h"
 #include "core/decayed_average.h"
+#include "util/common.h"
 #include "util/status.h"
 
 namespace tds {
@@ -59,11 +60,17 @@ class AggregateOptions {
   double epsilon() const { return epsilon_; }
   /// First tick of the stream (WBMH layout origin), >= 1.
   Tick start() const { return start_; }
+  /// Histogram bucket-storage layout for EH-family backends (CEH,
+  /// CoarseCEH); other backends ignore it. kFlat and kChain are
+  /// bit-identical in every observable way — the flag exists so the two can
+  /// be diffed in-process (tests/flat_layout_differential_test.cc).
+  HistogramLayout layout() const { return layout_; }
 
  private:
   Backend backend_ = Backend::kAuto;
   double epsilon_ = 0.1;
   Tick start_ = 1;
+  HistogramLayout layout_ = HistogramLayout::kFlat;
 };
 
 class AggregateOptions::Builder {
@@ -80,6 +87,10 @@ class AggregateOptions::Builder {
   }
   Builder& start(Tick start) {
     options_.start_ = start;
+    return *this;
+  }
+  Builder& layout(HistogramLayout layout) {
+    options_.layout_ = layout;
     return *this;
   }
 

@@ -66,7 +66,7 @@ Status EncodeDecayedSum(DecayedAggregate& aggregate, std::string* out) {
 }
 
 StatusOr<std::unique_ptr<DecayedAggregate>> DecodeDecayedSum(
-    DecayPtr decay, std::string_view data) {
+    DecayPtr decay, std::string_view data, HistogramLayout layout) {
   if (decay == nullptr) {
     return Status::InvalidArgument("decay function required");
   }
@@ -121,6 +121,7 @@ StatusOr<std::unique_ptr<DecayedAggregate>> DecodeDecayedSum(
     if (!peek.GetDouble(&epsilon)) return CorruptSnapshot("CEH options");
     CehDecayedSum::Options options;
     options.epsilon = epsilon;
+    options.layout = layout;
     auto created = CehDecayedSum::Create(std::move(decay), options);
     if (!created.ok()) return created.status();
     status = (*created)->DecodeState(body);
@@ -131,6 +132,7 @@ StatusOr<std::unique_ptr<DecayedAggregate>> DecodeDecayedSum(
         !peek.GetDouble(&options.boundary_delta)) {
       return CorruptSnapshot("CoarseCEH options");
     }
+    options.layout = layout;
     auto created = CoarseCehDecayedSum::Create(std::move(decay), options);
     if (!created.ok()) return created.status();
     status = (*created)->DecodeState(body);

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/decayed_aggregate.h"
+#include "util/common.h"
 #include "util/status.h"
 
 namespace tds {
@@ -30,9 +31,12 @@ Status EncodeDecayedSum(DecayedAggregate& aggregate, std::string* out);
 
 /// Reconstructs a structure from `data`, bound to `decay` (which must be
 /// the same decay function — verified by name — the snapshot was taken
-/// with).
+/// with). `layout` selects the in-memory bucket storage for EH-family
+/// structures (CEH, CoarseCEH); snapshots do not encode the layout because
+/// both layouts produce byte-identical payloads.
 StatusOr<std::unique_ptr<DecayedAggregate>> DecodeDecayedSum(
-    DecayPtr decay, std::string_view data);
+    DecayPtr decay, std::string_view data,
+    HistogramLayout layout = HistogramLayout::kFlat);
 
 /// Snapshots a decayed L_p norm sketch (all row structures; the projection
 /// matrix is regenerated from the encoded seed).

@@ -71,6 +71,7 @@ StatusOr<AggregateRegistry> AggregateRegistry::Create(DecayPtr decay,
                       .backend(backend)
                       .epsilon(options.aggregate.epsilon())
                       .start(options.aggregate.start())
+                      .layout(options.aggregate.layout())
                       .Build();
   if (!resolved.ok()) return resolved.status();
   AggregateRegistry registry(decay, options, backend, resolved.value());
@@ -332,7 +333,33 @@ size_t AggregateRegistry::IngestTickSegment(Tick t,
       probe = (probe + 1) & cap_mask;
     }
   }
-  for (const Run& run : runs_) {
+  // Two-stage prefetch pipeline over the run directory: the cold-key wall is
+  // two dependent misses per run (the table line, then the slot it names),
+  // so run r+2's table line and run r+1's slot guess are requested while run
+  // r does real work. The slot guess reads only the first probe entry — on a
+  // collision the guess line is wasted but never wrong, and a rehash inside
+  // GetOrCreate merely stales pending hints (prefetches are hints, never
+  // loads). Semantically inert by construction; options_.prefetch == false
+  // must be byte-identical (tests/property_test.cc diffs the two).
+  const size_t num_runs = runs_.size();
+  auto prefetch_table = [this](size_t r) {
+    TDS_PREFETCH(&table_[SplitMix64(runs_[r].key) & table_mask_]);
+  };
+  auto prefetch_slot_guess = [this](size_t r) {
+    const uint32_t entry = table_[SplitMix64(runs_[r].key) & table_mask_];
+    if (entry != kEmptyEntry && entry != kTombEntry) arena_.Prefetch(entry);
+  };
+  if (options_.prefetch && num_runs > 0) {
+    prefetch_table(0);
+    if (num_runs > 1) prefetch_table(1);
+    prefetch_slot_guess(0);
+  }
+  for (size_t r = 0; r < num_runs; ++r) {
+    if (options_.prefetch) {
+      if (r + 2 < num_runs) prefetch_table(r + 2);
+      if (r + 1 < num_runs) prefetch_slot_guess(r + 1);
+    }
+    const Run& run = runs_[r];
     run_scratch_.clear();
     for (uint32_t i = run.head;; i = chain_[i]) {
       run_scratch_.push_back(StreamItem{t, segment[i].value});
@@ -716,7 +743,8 @@ StatusOr<AggregateRegistry> AggregateRegistry::Decode(DecayPtr decay,
       if (!status.ok()) return status;
       if (!sub.Done()) return CorruptSnapshot("counter trailer");
     } else {
-      auto decoded = DecodeDecayedSum(registry.decay_, payload);
+      auto decoded = DecodeDecayedSum(registry.decay_, payload,
+                                      registry.resolved_.layout());
       if (!decoded.ok()) return decoded.status();
       if ((*decoded)->Name() != BackendTypeName(registry.backend_)) {
         return Status::InvalidArgument(

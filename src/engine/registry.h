@@ -70,6 +70,11 @@ class AggregateRegistry {
     /// (a single Update is one run, so the per-item path sweeps this many
     /// slots per item; a coalesced batch sweeps per distinct run).
     uint32_t sweep_per_update = 2;
+    /// Software-prefetch the next runs' table lines and slot guesses in the
+    /// grouped batch path. Semantically inert — prefetches only issue cache
+    /// hints — so disabling it must be byte-identical (the property test's
+    /// prefetch oracle diffs the two settings).
+    bool prefetch = true;
   };
 
   static StatusOr<AggregateRegistry> Create(DecayPtr decay,
@@ -170,10 +175,15 @@ class AggregateRegistry {
                                             std::string_view data);
 
  private:
+  /// Hot-first field order: the ingest loop touches key (probe-chain
+  /// confirmation), then last_tick and the aggregate pointer, in the first
+  /// 24 bytes — with the arena's cache-line-aligned chunks, one prefetched
+  /// line covers the whole header plus the start of the aggregate object's
+  /// pointer chase.
   struct Slot {
-    std::unique_ptr<DecayedAggregate> aggregate;  ///< null == free slot
     uint64_t key = 0;
     Tick last_tick = 0;
+    std::unique_ptr<DecayedAggregate> aggregate;  ///< null == free slot
   };
 
   static constexpr uint32_t kEmptyEntry = 0xffffffffu;

@@ -10,7 +10,9 @@
 namespace tds {
 
 ExponentialHistogram::ExponentialHistogram(const Options& options)
-    : epsilon_(options.epsilon), window_(options.window) {
+    : epsilon_(options.epsilon),
+      window_(options.window),
+      layout_(options.layout) {
   // Per-class bucket budget k = ceil(1/eps) + 1 (Datar et al.): with at
   // least cap_-1 buckets per smaller class, the straddling bucket's
   // half-count correction is at most an eps fraction of the window count,
@@ -56,6 +58,13 @@ void ExponentialHistogram::Add(Tick t, uint64_t value) {
 }
 
 void ExponentialHistogram::InsertUnits(Tick t, uint64_t incoming_units) {
+  if (layout_ == HistogramLayout::kFlat) {
+    // Same digit arithmetic, run by the flat store as a suffix compaction
+    // sweep; a merged bucket keeps the newer partner's end timestamp.
+    flat_.InsertUnits(incoming_units, t, cap_,
+                      [](Tick /*older*/, Tick newer) { return newer; });
+    return;
+  }
   // `virtual_new` tracks not-yet-materialized buckets of count 2^i, all with
   // timestamp t. Real carry buckets (which may carry older timestamps when
   // pre-existing buckets get merged) are materialized eagerly; there are at
@@ -119,6 +128,11 @@ void ExponentialHistogram::InsertUnits(Tick t, uint64_t incoming_units) {
 void ExponentialHistogram::Expire() {
   if (window_ == kInfiniteHorizon || total_count_ == 0) return;
   const Tick cutoff = now_ - window_ + 1;  // arrivals < cutoff have age > W
+  if (layout_ == HistogramLayout::kFlat) {
+    total_count_ -=
+        flat_.ExpireOldest([cutoff](Tick end) { return end < cutoff; });
+    return;
+  }
   for (size_t c = classes_.size(); c-- > 0;) {
     auto& cls = classes_[c];
     while (!cls.empty() && cls.front().end < cutoff) {
@@ -170,6 +184,7 @@ double ExponentialHistogram::EstimateWindow(Tick w) const {
 }
 
 size_t ExponentialHistogram::BucketCount() const {
+  if (layout_ == HistogramLayout::kFlat) return flat_.size();
   size_t n = 0;
   for (const auto& cls : classes_) n += cls.size();
   return n;
@@ -251,6 +266,7 @@ Status ExponentialHistogram::MergeFrom(const ExponentialHistogram& other) {
   }
 
   classes_.clear();
+  flat_.Clear();
   total_count_ = 0;
   now_ = 0;
   first_arrival_ = 0;
@@ -270,6 +286,22 @@ void ExponentialHistogram::EncodeState(Encoder& encoder) const {
   encoder.PutSigned(now_);
   encoder.PutSigned(first_arrival_);
   encoder.PutVarint(total_count_);
+  if (layout_ == HistogramLayout::kFlat) {
+    // Identical wire format to the chain branch below: the flat store keeps
+    // the same class count (empty classes included) and the same per-class
+    // oldest-first order, so the delta stream matches byte-for-byte.
+    encoder.PutVarint(flat_.num_classes());
+    flat_.ForEachSegmentAscendingClass([&](size_t, size_t begin, size_t end) {
+      encoder.PutVarint(end - begin);
+      Tick previous = 0;
+      for (size_t k = begin; k < end; ++k) {
+        encoder.PutVarint(static_cast<uint64_t>(flat_.stamp(k) - previous));
+        previous = flat_.stamp(k);
+        encoder.PutVarint(flat_.count(k));
+      }
+    });
+    return;
+  }
   encoder.PutVarint(classes_.size());
   for (const auto& cls : classes_) {
     encoder.PutVarint(cls.size());
@@ -301,8 +333,8 @@ Status ExponentialHistogram::DecodeState(Decoder& decoder) {
   now_ = now;
   first_arrival_ = first_arrival;
   total_count_ = total;
-  classes_.assign(class_count, {});
-  for (auto& cls : classes_) {
+  std::vector<std::deque<Bucket>> decoded(class_count);
+  for (auto& cls : decoded) {
     uint64_t buckets = 0;
     if (!decoder.GetVarint(&buckets) || buckets > 2 * cap_ + 2) {
       return CorruptSnapshot("EH class size");
@@ -316,6 +348,14 @@ Status ExponentialHistogram::DecodeState(Decoder& decoder) {
       previous += static_cast<Tick>(delta);
       cls.push_back(Bucket{previous, count});
     }
+  }
+  if (layout_ == HistogramLayout::kFlat) {
+    classes_.clear();
+    flat_.AssignFromClasses(
+        decoded, [](const Bucket& b) { return b.end; },
+        [](const Bucket& b) { return b.count; });
+  } else {
+    classes_ = std::move(decoded);
   }
   // Structural validation (hostile snapshots must not yield a structure
   // that later trips internal CHECKs) is exactly the audit protocol:
@@ -333,7 +373,6 @@ Status ExponentialHistogram::AuditInvariants() const {
   TDS_AUDIT_CHECK(
       cap_ == static_cast<uint64_t>(std::ceil(1.0 / epsilon_)) + 1,
       "per-class budget must be ceil(1/eps) + 1");
-  TDS_AUDIT_CHECK(classes_.size() <= 64, "more than 64 size classes");
   TDS_AUDIT_CHECK(first_arrival_ >= 0 && now_ >= first_arrival_,
                   "clock precedes first arrival");
   if (first_arrival_ == 0) {
@@ -345,26 +384,60 @@ Status ExponentialHistogram::AuditInvariants() const {
                           : now_ - window_ + 1;
   uint64_t checksum = 0;
   Tick previous_end = std::numeric_limits<Tick>::min();
-  for (size_t c = classes_.size(); c-- > 0;) {
-    const auto& cls = classes_[c];
-    TDS_AUDIT_CHECK(cls.size() <= cap_,
-                    "class " + std::to_string(c) + " holds " +
-                        std::to_string(cls.size()) + " buckets, cap " +
-                        std::to_string(cap_));
-    const uint64_t expected = uint64_t{1} << c;
-    for (const Bucket& b : cls) {
-      TDS_AUDIT_CHECK(b.count == expected,
-                      "class " + std::to_string(c) + " bucket count " +
-                          std::to_string(b.count));
-      // Canonical EH ordering: walking classes oldest-to-newest, end
-      // timestamps never decrease (equal stamps are legal — one batch
-      // insert spawns buckets in several classes).
-      TDS_AUDIT_CHECK(b.end >= previous_end, "canonical ordering violated");
-      TDS_AUDIT_CHECK(b.end >= first_arrival_ && b.end <= now_,
-                      "bucket timestamp outside [first_arrival, now]");
-      TDS_AUDIT_CHECK(b.end >= cutoff, "expired bucket retained");
-      previous_end = b.end;
-      checksum += b.count;
+  auto check_bucket = [&](size_t c, uint64_t count, Tick end) -> Status {
+    TDS_AUDIT_CHECK(count == (uint64_t{1} << c),
+                    "class " + std::to_string(c) + " bucket count " +
+                        std::to_string(count));
+    // Canonical EH ordering: walking classes oldest-to-newest, end
+    // timestamps never decrease (equal stamps are legal — one batch
+    // insert spawns buckets in several classes).
+    TDS_AUDIT_CHECK(end >= previous_end, "canonical ordering violated");
+    TDS_AUDIT_CHECK(end >= first_arrival_ && end <= now_,
+                    "bucket timestamp outside [first_arrival, now]");
+    TDS_AUDIT_CHECK(end >= cutoff, "expired bucket retained");
+    previous_end = end;
+    checksum += count;
+    return Status::OK();
+  };
+  if (layout_ == HistogramLayout::kFlat) {
+    TDS_AUDIT_CHECK(classes_.empty(),
+                    "chain storage populated under the flat layout");
+    TDS_AUDIT_CHECK(flat_.num_classes() <= 64, "more than 64 size classes");
+    size_t segment_sum = 0;
+    for (size_t c = 0; c < flat_.num_classes(); ++c) {
+      segment_sum += flat_.class_size(c);
+    }
+    TDS_AUDIT_CHECK(segment_sum == flat_.size(),
+                    "flat class segments disagree with bucket storage");
+    size_t pos = flat_.begin_index();
+    for (size_t c = flat_.num_classes(); c-- > 0;) {
+      const size_t segment = flat_.class_size(c);
+      TDS_AUDIT_CHECK(segment <= cap_,
+                      "class " + std::to_string(c) + " holds " +
+                          std::to_string(segment) + " buckets, cap " +
+                          std::to_string(cap_));
+      for (size_t k = 0; k < segment; ++k, ++pos) {
+        const Status bucket_status =
+            check_bucket(c, flat_.count(pos), flat_.stamp(pos));
+        if (!bucket_status.ok()) return bucket_status;
+      }
+    }
+    TDS_AUDIT_CHECK(pos == flat_.end_index(),
+                    "flat segment walk missed trailing buckets");
+  } else {
+    TDS_AUDIT_CHECK(flat_.empty() && flat_.num_classes() == 0,
+                    "flat storage populated under the chain layout");
+    TDS_AUDIT_CHECK(classes_.size() <= 64, "more than 64 size classes");
+    for (size_t c = classes_.size(); c-- > 0;) {
+      const auto& cls = classes_[c];
+      TDS_AUDIT_CHECK(cls.size() <= cap_,
+                      "class " + std::to_string(c) + " holds " +
+                          std::to_string(cls.size()) + " buckets, cap " +
+                          std::to_string(cap_));
+      for (const Bucket& b : cls) {
+        const Status bucket_status = check_bucket(c, b.count, b.end);
+        if (!bucket_status.ok()) return bucket_status;
+      }
     }
   }
   TDS_AUDIT_CHECK(checksum == total_count_,

@@ -1,0 +1,300 @@
+// Differential test for the flat (SoA) histogram layout: a structure built
+// with HistogramLayout::kFlat must be bit-identical to its kChain twin at
+// every step of a randomized op sequence — equal query results (exact
+// double equality, not ULP-tolerant), byte-identical EncodeState output,
+// equal storage accounting, green audits — and snapshots must decode across
+// layouts (a blob written by one layout resumes under the other).
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ceh.h"
+#include "core/coarse_ceh.h"
+#include "core/factory.h"
+#include "core/snapshot.h"
+#include "decay/exponential.h"
+#include "decay/polyexponential.h"
+#include "decay/polynomial.h"
+#include "decay/sliding_window.h"
+#include "histogram/exponential_histogram.h"
+#include "stream/stream.h"
+#include "util/codec.h"
+#include "util/random.h"
+
+namespace tds {
+namespace {
+
+ExponentialHistogram MakeEh(double epsilon, Tick window,
+                            HistogramLayout layout) {
+  ExponentialHistogram::Options options;
+  options.epsilon = epsilon;
+  options.window = window;
+  options.layout = layout;
+  auto created = ExponentialHistogram::Create(options);
+  TDS_CHECK(created.ok());
+  return std::move(created).value();
+}
+
+std::string Encoded(const ExponentialHistogram& eh) {
+  Encoder encoder;
+  eh.EncodeState(encoder);
+  return encoder.Finish();
+}
+
+// Randomized Add/AdvanceTo/Query/Encode/Decode/Merge sequence over twin
+// histograms; every observable must match exactly at every step.
+TEST(FlatLayoutDifferentialTest, EhFlatMatchesChainUnderFuzz) {
+  struct Shape {
+    double epsilon;
+    Tick window;
+  };
+  const std::vector<Shape> shapes = {
+      {0.1, 1024}, {0.5, 64}, {0.05, kInfiniteHorizon}, {1.0, 256}};
+  for (const Shape& shape : shapes) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      ExponentialHistogram flat =
+          MakeEh(shape.epsilon, shape.window, HistogramLayout::kFlat);
+      ExponentialHistogram chain =
+          MakeEh(shape.epsilon, shape.window, HistogramLayout::kChain);
+      Rng rng(seed * 1315423911u + static_cast<uint64_t>(shape.window));
+      Tick t = 1;
+      for (int step = 0; step < 400; ++step) {
+        const uint64_t op = rng.NextBelow(10);
+        if (op < 6) {
+          // Bursty adds: occasionally large values to force deep cascades.
+          t += static_cast<Tick>(rng.NextBelow(3));
+          const uint64_t value =
+              rng.NextBelow(8) == 0 ? rng.NextBelow(5000) : rng.NextBelow(7);
+          flat.Add(t, value);
+          chain.Add(t, value);
+        } else if (op < 8) {
+          // Jump the clock, sometimes far enough to expire whole classes.
+          t += static_cast<Tick>(rng.NextBelow(8) == 0
+                                     ? rng.NextBelow(4 * 1024)
+                                     : rng.NextBelow(16));
+          flat.AdvanceTo(t);
+          chain.AdvanceTo(t);
+        } else if (op == 8) {
+          // Snapshot round-trip ACROSS layouts: flat's bytes restore onto a
+          // chain twin and vice versa, and both twins continue from the
+          // decoded state (resumption is layout-portable).
+          const std::string flat_bytes = Encoded(flat);
+          ASSERT_EQ(flat_bytes, Encoded(chain));
+          ExponentialHistogram flat2 =
+              MakeEh(shape.epsilon, shape.window, HistogramLayout::kFlat);
+          ExponentialHistogram chain2 =
+              MakeEh(shape.epsilon, shape.window, HistogramLayout::kChain);
+          Decoder to_chain(flat_bytes);
+          Decoder to_flat(flat_bytes);
+          ASSERT_TRUE(chain2.DecodeState(to_chain).ok());
+          ASSERT_TRUE(flat2.DecodeState(to_flat).ok());
+          flat = std::move(flat2);
+          chain = std::move(chain2);
+        } else {
+          // Disjoint-substream merge from a freshly fuzzed donor pair.
+          ExponentialHistogram flat_donor =
+              MakeEh(shape.epsilon, shape.window, HistogramLayout::kFlat);
+          ExponentialHistogram chain_donor =
+              MakeEh(shape.epsilon, shape.window, HistogramLayout::kChain);
+          Tick dt = 1;
+          const size_t donor_items = rng.NextBelow(40);
+          for (size_t i = 0; i < donor_items; ++i) {
+            dt += static_cast<Tick>(rng.NextBelow(5));
+            const uint64_t value = rng.NextBelow(9);
+            flat_donor.Add(dt, value);
+            chain_donor.Add(dt, value);
+          }
+          ASSERT_TRUE(flat.MergeFrom(flat_donor).ok());
+          ASSERT_TRUE(chain.MergeFrom(chain_donor).ok());
+          t = std::max(t, dt);
+        }
+        ASSERT_TRUE(flat.AuditInvariants().ok()) << "step=" << step;
+        ASSERT_TRUE(chain.AuditInvariants().ok()) << "step=" << step;
+        ASSERT_EQ(flat.BucketCount(), chain.BucketCount()) << "step=" << step;
+        ASSERT_EQ(flat.TotalCount(), chain.TotalCount()) << "step=" << step;
+        ASSERT_EQ(flat.StorageBits(), chain.StorageBits()) << "step=" << step;
+        ASSERT_EQ(flat.Estimate(), chain.Estimate()) << "step=" << step;
+        if (shape.window != kInfiniteHorizon) {
+          const Tick w = 1 + static_cast<Tick>(rng.NextBelow(
+                                 static_cast<uint64_t>(shape.window)));
+          ASSERT_EQ(flat.EstimateWindow(w), chain.EstimateWindow(w))
+              << "step=" << step << " w=" << w;
+        }
+        ASSERT_EQ(Encoded(flat), Encoded(chain)) << "step=" << step;
+      }
+    }
+  }
+}
+
+std::string EncodedSum(DecayedAggregate& aggregate) {
+  std::string out;
+  TDS_CHECK(EncodeDecayedSum(aggregate, &out).ok());
+  return out;
+}
+
+// Every backend config of the batch differential suite, built once per
+// layout and driven through fuzzed batches, advances, queries, and snapshot
+// round-trips. Non-EH backends ignore the flag, which this test also pins
+// down (the flag must be inert there, not an error).
+TEST(FlatLayoutDifferentialTest, AggregateConfigsFlatMatchesChain) {
+  struct Config {
+    DecayPtr decay;
+    Backend backend;
+  };
+  const std::vector<Config> configs = {
+      {SlidingWindowDecay::Create(1024).value(), Backend::kCeh},
+      {PolynomialDecay::Create(1.0).value(), Backend::kCeh},
+      {PolynomialDecay::Create(1.0).value(), Backend::kWbmh},
+      {PolynomialDecay::Create(2.5).value(), Backend::kWbmh},
+      {PolynomialDecay::Create(1.0).value(), Backend::kCoarseCeh},
+      {ExponentialDecay::Create(0.01).value(), Backend::kEwma},
+      {PolyExponentialDecay::Create(2, 0.05).value(), Backend::kPolyExp},
+      {ExponentialDecay::Create(0.01).value(), Backend::kRecentItems},
+      {PolynomialDecay::Create(1.0).value(), Backend::kExact},
+  };
+  for (const Config& config : configs) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      auto flat_options = AggregateOptions::Builder()
+                              .backend(config.backend)
+                              .epsilon(0.1)
+                              .layout(HistogramLayout::kFlat)
+                              .Build();
+      auto chain_options = AggregateOptions::Builder()
+                               .backend(config.backend)
+                               .epsilon(0.1)
+                               .layout(HistogramLayout::kChain)
+                               .Build();
+      ASSERT_TRUE(flat_options.ok());
+      ASSERT_TRUE(chain_options.ok());
+      auto flat = MakeDecayedSum(config.decay, flat_options.value());
+      auto chain = MakeDecayedSum(config.decay, chain_options.value());
+      ASSERT_TRUE(flat.ok());
+      ASSERT_TRUE(chain.ok());
+
+      Rng rng(seed * 7919 + static_cast<uint64_t>(config.backend));
+      Tick t = 1;
+      for (int round = 0; round < 25; ++round) {
+        std::vector<StreamItem> batch;
+        const size_t size = rng.NextBelow(100);
+        for (size_t i = 0; i < size; ++i) {
+          if (rng.NextBelow(4) == 0) t += static_cast<Tick>(rng.NextBelow(9));
+          batch.push_back(StreamItem{t, rng.NextBelow(6)});
+        }
+        (*flat)->UpdateBatch(batch);
+        (*chain)->UpdateBatch(batch);
+        if (rng.NextBelow(3) == 0) {
+          t += static_cast<Tick>(rng.NextBelow(200));
+          (*flat)->Advance(t);
+          (*chain)->Advance(t);
+        }
+        ASSERT_EQ((*flat)->StorageBits(), (*chain)->StorageBits())
+            << (*flat)->Name() << "/" << config.decay->Name()
+            << " seed=" << seed << " round=" << round;
+        for (const Tick now : {t, t + 13, t + 999}) {
+          ASSERT_EQ((*flat)->Query(now), (*chain)->Query(now))
+              << (*flat)->Name() << "/" << config.decay->Name()
+              << " seed=" << seed << " now=" << now;
+        }
+        const std::string flat_bytes = EncodedSum(**flat);
+        ASSERT_EQ(flat_bytes, EncodedSum(**chain))
+            << (*flat)->Name() << "/" << config.decay->Name()
+            << " seed=" << seed << " round=" << round;
+        if (round % 7 == 3) {
+          // Cross-layout resumption: the flat twin's snapshot restores as a
+          // chain instance (and vice versa), and both carry on.
+          auto as_chain = DecodeDecayedSum(config.decay, flat_bytes,
+                                           HistogramLayout::kChain);
+          auto as_flat = DecodeDecayedSum(config.decay, flat_bytes,
+                                          HistogramLayout::kFlat);
+          ASSERT_TRUE(as_chain.ok());
+          ASSERT_TRUE(as_flat.ok());
+          flat = std::move(as_flat);
+          chain = std::move(as_chain);
+        }
+      }
+    }
+  }
+}
+
+// CEH-level disjoint merge keeps the layouts in lockstep (the distributed
+// coordinator path goes through ForEachBucketOldestFirst + re-insertion,
+// which both layouts must drive identically).
+TEST(FlatLayoutDifferentialTest, CehMergeBitIdenticalAcrossLayouts) {
+  auto decay = PolynomialDecay::Create(1.0).value();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    CehDecayedSum::Options flat_options;
+    flat_options.layout = HistogramLayout::kFlat;
+    CehDecayedSum::Options chain_options;
+    chain_options.layout = HistogramLayout::kChain;
+    auto flat = CehDecayedSum::Create(decay, flat_options);
+    auto chain = CehDecayedSum::Create(decay, chain_options);
+    auto flat_donor = CehDecayedSum::Create(decay, flat_options);
+    auto chain_donor = CehDecayedSum::Create(decay, chain_options);
+    ASSERT_TRUE(flat.ok() && chain.ok() && flat_donor.ok() &&
+                chain_donor.ok());
+    Rng rng(seed * 104729);
+    Tick t = 1;
+    for (int i = 0; i < 300; ++i) {
+      t += static_cast<Tick>(rng.NextBelow(4));
+      const uint64_t value = rng.NextBelow(10);
+      if (rng.NextBelow(2) == 0) {
+        (*flat)->Update(t, value);
+        (*chain)->Update(t, value);
+      } else {
+        (*flat_donor)->Update(t, value);
+        (*chain_donor)->Update(t, value);
+      }
+    }
+    ASSERT_TRUE((*flat)->MergeFrom(**flat_donor).ok());
+    ASSERT_TRUE((*chain)->MergeFrom(**chain_donor).ok());
+    ASSERT_TRUE((*flat)->AuditInvariants().ok());
+    ASSERT_TRUE((*chain)->AuditInvariants().ok());
+    ASSERT_EQ((*flat)->Query(t + 5), (*chain)->Query(t + 5));
+    ASSERT_EQ(EncodedSum(**flat), EncodedSum(**chain));
+  }
+}
+
+// CoarseCEH consumes RNG words during its stochastic aging sweep; the flat
+// layout must consume them in exactly the chain's (ascending-class) order,
+// or the layouts drift apart silently. Long advance-heavy runs make any
+// order mismatch surface quickly.
+TEST(FlatLayoutDifferentialTest, CoarseCehRngConsumptionOrderMatches) {
+  auto decay = PolynomialDecay::Create(1.5).value();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    CoarseCehDecayedSum::Options flat_options;
+    flat_options.seed = 0x5eed + seed;
+    flat_options.layout = HistogramLayout::kFlat;
+    CoarseCehDecayedSum::Options chain_options = flat_options;
+    chain_options.layout = HistogramLayout::kChain;
+    auto flat = CoarseCehDecayedSum::Create(decay, flat_options);
+    auto chain = CoarseCehDecayedSum::Create(decay, chain_options);
+    ASSERT_TRUE(flat.ok() && chain.ok());
+    Rng rng(seed * 2654435761u);
+    Tick t = 1;
+    for (int i = 0; i < 500; ++i) {
+      if (rng.NextBelow(3) != 0) {
+        t += static_cast<Tick>(rng.NextBelow(3));
+        const uint64_t value = 1 + rng.NextBelow(12);
+        (*flat)->Update(t, value);
+        (*chain)->Update(t, value);
+      } else {
+        t += static_cast<Tick>(rng.NextBelow(64));
+        (*flat)->Advance(t);
+        (*chain)->Advance(t);
+      }
+      ASSERT_EQ((*flat)->Query(t), (*chain)->Query(t)) << "i=" << i;
+      ASSERT_EQ((*flat)->BucketCount(), (*chain)->BucketCount()) << "i=" << i;
+      ASSERT_EQ((*flat)->BoundaryAges(), (*chain)->BoundaryAges())
+          << "i=" << i;
+      ASSERT_EQ(EncodedSum(**flat), EncodedSum(**chain)) << "i=" << i;
+      ASSERT_TRUE((*flat)->AuditInvariants().ok()) << "i=" << i;
+      ASSERT_TRUE((*chain)->AuditInvariants().ok()) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tds

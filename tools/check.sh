@@ -49,10 +49,11 @@
 #             then the engine concurrency + ring suites. Catches
 #             interleavings a quiet TSan run rarely reaches; the seed is
 #             pinned so a failure replays.
-#   coverage  gcov line-coverage report over src/core from the fuzz-driver
-#             leg (-DTDS_COVERAGE=ON build), with a hard floor enforced by
-#             tools/coverage_report.py — the guard that keeps the fuzz
-#             drivers actually exercising the core sketches.
+#   coverage  gcov line-coverage reports over src/core and src/histogram
+#             from the fuzz-driver leg (-DTDS_COVERAGE=ON build), each with
+#             a hard floor enforced by tools/coverage_report.py — the guard
+#             that keeps the fuzz drivers actually exercising the core
+#             sketches and both histogram layouts.
 #   fuzz      Coverage-guided fuzzing smoke: clang + -DTDS_LIBFUZZER=ON
 #             builds every tests/fuzz driver as a libFuzzer target
 #             (ASan+UBSan+audits riding along), then runs each briefly
@@ -97,6 +98,12 @@ for stage in $STAGES; do
       log "ASan leg: engine merge differential + fuzz drivers present"
       ctest --test-dir "$ROOT/build-asan" --output-on-failure \
         --no-tests=error -R 'EngineMerge|MergedSnapshot|RegistryMerge'
+      # The flat-vs-chain layout differential and its fuzz driver carry
+      # the bit-identity proof for the SoA histogram rework — they must
+      # run with audits armed, and must never silently vanish.
+      log "ASan leg: flat-layout differential + fuzz driver present"
+      ctest --test-dir "$ROOT/build-asan" --output-on-failure \
+        --no-tests=error -R 'FlatLayoutDifferential|FlatEhFuzz|PrefetchOracle'
       ;;
     tsan)
       log "TSan build + ctest"
@@ -106,6 +113,12 @@ for stage in $STAGES; do
       ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
         --no-tests=error \
         -R 'EngineMerge|MergedSnapshot|RebalanceRaces|Oversubscribed|SessionFlushesRace'
+      # Thread-local cascade scratch (flat_store.h) must hold under TSan:
+      # the layout differential and prefetch oracle exercise it from the
+      # engine's writer threads.
+      log "TSan leg: flat-layout differential + prefetch oracle present"
+      ctest --test-dir "$ROOT/build-tsan" --output-on-failure \
+        --no-tests=error -R 'FlatLayoutDifferential|FlatEhFuzz|PrefetchOracle'
       ;;
     faults)
       log "Fault-injection build (failpoints + ASan+UBSan + audits) + ctest"
@@ -118,6 +131,11 @@ for stage in $STAGES; do
       ctest --test-dir "$ROOT/build-faults" --output-on-failure \
         --no-tests=error \
         -R 'EngineFault|CheckpointTest|BackpressureTest'
+      # The flat-layout twins must also survive the failpoint build (the
+      # decode funnels they drive are failpoint-instrumented).
+      log "faults leg: flat-layout differential + fuzz driver present"
+      ctest --test-dir "$ROOT/build-faults" --output-on-failure \
+        --no-tests=error -R 'FlatLayoutDifferential|FlatEhFuzz'
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -196,13 +214,17 @@ for stage in $STAGES; do
       cmake --build "$ROOT/build-cov" -j "$JOBS" --target \
         core_fuzz_test eh_fuzz_test ceh_fuzz_test wbmh_fuzz_test \
         mvd_fuzz_test snapshot_fuzz_test registry_fuzz_test \
-        engine_merge_fuzz_test engine_fault_fuzz_test
+        engine_merge_fuzz_test engine_fault_fuzz_test flat_eh_fuzz_test
       ctest --test-dir "$ROOT/build-cov" -j "$JOBS" --output-on-failure \
         --no-tests=error -R 'Fuzz'
       # Floor set from a measured 78%: tightening it requires new fuzz
       # coverage, loosening it requires editing this line in review.
       python3 "$ROOT/tools/coverage_report.py" \
         --build-dir "$ROOT/build-cov" --filter src/core --floor 70
+      # The histogram layer (flat store + EH + chain layout) gets its own
+      # floor so the flat-layout fuzz surface cannot quietly rot.
+      python3 "$ROOT/tools/coverage_report.py" \
+        --build-dir "$ROOT/build-cov" --filter src/histogram --floor 70
       ;;
     fuzz)
       if ! command -v clang++ >/dev/null 2>&1; then
@@ -218,14 +240,16 @@ for stage in $STAGES; do
         core_fuzz_test_fuzzer eh_fuzz_test_fuzzer ceh_fuzz_test_fuzzer \
         wbmh_fuzz_test_fuzzer mvd_fuzz_test_fuzzer \
         snapshot_fuzz_test_fuzzer registry_fuzz_test_fuzzer \
-        engine_merge_fuzz_test_fuzzer engine_fault_fuzz_test_fuzzer
+        engine_merge_fuzz_test_fuzzer engine_fault_fuzz_test_fuzzer \
+        flat_eh_fuzz_test_fuzzer
       # Bounded smoke: each driver replays its seed corpus, then fuzzes
       # briefly with coverage feedback. CI keeps this short; drop the cap
       # for a real fuzzing session.
       FUZZ_SECONDS="${FUZZ_SECONDS:-10}"
       for driver in core_fuzz_test eh_fuzz_test ceh_fuzz_test \
           wbmh_fuzz_test mvd_fuzz_test snapshot_fuzz_test \
-          registry_fuzz_test engine_merge_fuzz_test engine_fault_fuzz_test
+          registry_fuzz_test engine_merge_fuzz_test \
+          engine_fault_fuzz_test flat_eh_fuzz_test
       do
         log "fuzz: $driver (${FUZZ_SECONDS}s)"
         "$ROOT/build-fuzz/tests/fuzz/${driver}_fuzzer" \

@@ -1,0 +1,19 @@
+// Lint fixture: a DecayedAggregate implementation that DOES declare
+// AuditInvariants but is named by no fuzz driver must still be rejected
+// (rule: aggregate-coverage, fuzz-coverage arm) — declaring the audit hook
+// alone is not enough; some driver in tests/fuzz/ has to call the type by
+// name. The fixture tree has an empty tests/fuzz/.
+#ifndef TDS_LINT_FIXTURE_UNFUZZED_AGGREGATE_H_
+#define TDS_LINT_FIXTURE_UNFUZZED_AGGREGATE_H_
+
+namespace tds_fixture {
+
+class UnfuzzedAggregate : public DecayedAggregate {
+ public:
+  double Query(long now) const;
+  Status AuditInvariants() const;
+};
+
+}  // namespace tds_fixture
+
+#endif  // TDS_LINT_FIXTURE_UNFUZZED_AGGREGATE_H_
