@@ -18,7 +18,13 @@
 //   --smoke-coldkey   flat-layout gate only: on a run-length-1 shuffled
 //                     cold-key stream the flat (SoA) histogram layout must
 //                     ingest >= 0.9x the legacy chain layout
+//   --smoke-atomics   wrapper-parity gate only: a tds::Atomic SpscRing must
+//                     hold >= 0.95x the throughput of a raw std::atomic
+//                     twin, proving the -DTDS_MODELCHECK=OFF wrappers are
+//                     zero-cost; self-skips in chaos/modelcheck builds
+//                     where the wrapped ring is deliberately instrumented
 //   --out             JSON results path (default BENCH_engine.json)
+#include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +41,7 @@
 #include "engine/engine.h"
 #include "engine/producer_session.h"
 #include "engine/registry.h"
+#include "engine/spsc_ring.h"
 #include "util/random.h"
 
 namespace tds {
@@ -294,6 +301,94 @@ Row RunSessionCase(const BackendCase& bc, const std::vector<KeyedItem>& stream,
   return row;
 }
 
+/// Raw std::atomic twin of SpscRing's cursor protocol (engine/spsc_ring.h):
+/// the same loads, stores, and memory orders, without the tds::Atomic
+/// wrapper in between. Exists only for the --smoke-atomics parity gate —
+/// if the wrapper costs anything with -DTDS_MODELCHECK=OFF, this twin
+/// pulls ahead and the gate fails. bench/ sits outside the raw-atomic lint
+/// rule's src/ scope, so the std::atomic here needs no suppression.
+class RawSpscRing {
+ public:
+  explicit RawSpscRing(size_t capacity) {
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  size_t TryPushN(const uint64_t* items, size_t n) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const size_t free_slots = slots_.size() - static_cast<size_t>(tail - head);
+    const size_t count = n < free_slots ? n : free_slots;
+    for (size_t i = 0; i < count; ++i) {
+      slots_[static_cast<size_t>(tail + i) & mask_] = items[i];
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  size_t TryPopN(uint64_t* out, size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const size_t available = static_cast<size_t>(tail - head);
+    const size_t count = max < available ? max : available;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = slots_[static_cast<size_t>(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+ private:
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+/// One timed pass of `items` values through a ring in 64-item bursts —
+/// push a burst, pop it back, accumulate a checksum so the compiler cannot
+/// elide the copies. Works for both SpscRing<uint64_t> and RawSpscRing,
+/// which share the TryPushN/TryPopN shape by construction.
+template <typename Ring>
+Row RunAtomicsCase(const char* label, size_t items) {
+  constexpr size_t kBurst = 64;
+  Ring ring(1024);
+  uint64_t in[kBurst];
+  uint64_t out[kBurst];
+  for (size_t i = 0; i < kBurst; ++i) in[i] = i + 1;
+  uint64_t checksum = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t done = 0; done < items; done += kBurst) {
+    TDS_CHECK(ring.TryPushN(in, kBurst) == kBurst);
+    TDS_CHECK(ring.TryPopN(out, kBurst) == kBurst);
+    checksum += out[kBurst - 1];
+  }
+  const double seconds = SecondsSince(start);
+  Row row;
+  row.backend = label;
+  row.sweep = "atomics";
+  row.param = kBurst;
+  row.items = items;
+  row.seconds = seconds;
+  row.items_per_sec = static_cast<double>(items) / seconds;
+  row.check = static_cast<double>(checksum);
+  return row;
+}
+
+/// Interleaved best-of-`runs` for the wrapped and raw rings: alternating
+/// the two variants run-by-run cancels frequency drift, and best-of picks
+/// each variant's least-disturbed pass on a busy host.
+void RunAtomicsParity(size_t items, int runs, Row* wrapped, Row* raw) {
+  for (int r = 0; r < runs; ++r) {
+    Row w = RunAtomicsCase<SpscRing<uint64_t>>("ring-wrapped", items);
+    Row x = RunAtomicsCase<RawSpscRing>("ring-raw", items);
+    if (w.items_per_sec > wrapped->items_per_sec) *wrapped = w;
+    if (x.items_per_sec > raw->items_per_sec) *raw = x;
+  }
+}
+
 void WriteJson(const std::string& path, const std::string& mode,
                const std::vector<Row>& rows, double max_speedup) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -325,6 +420,7 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   bool smoke_sessions = false;
   bool smoke_coldkey = false;
+  bool smoke_atomics = false;
   bool require_sanitizer_skip = false;
   std::string out = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
@@ -334,6 +430,8 @@ int Main(int argc, char** argv) {
       smoke_sessions = true;
     } else if (std::strcmp(argv[i], "--smoke-coldkey") == 0) {
       smoke_coldkey = true;
+    } else if (std::strcmp(argv[i], "--smoke-atomics") == 0) {
+      smoke_atomics = true;
     } else if (std::strcmp(argv[i], "--require-sanitizer-skip") == 0) {
       require_sanitizer_skip = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -341,8 +439,8 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--smoke-sessions] "
-                   "[--smoke-coldkey] [--require-sanitizer-skip] "
-                   "[--out PATH]\n",
+                   "[--smoke-coldkey] [--smoke-atomics] "
+                   "[--require-sanitizer-skip] [--out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -395,6 +493,39 @@ int Main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  }
+  if (smoke_atomics) {
+    // Wrapper zero-cost gate: with -DTDS_MODELCHECK=OFF, tds::Atomic is a
+    // forwarding shim over std::atomic with no instrumentation branch, so
+    // a SpscRing built on it must match a raw std::atomic twin. In builds
+    // that deliberately instrument the wrapped ring the comparison would
+    // measure the instrumentation, not the wrapper — skip with a
+    // ctest-visible banner, same contract as the sanitizer skip.
+#if defined(TDS_SCHED_CHAOS) || defined(TDS_MODELCHECK)
+    std::printf(
+        "SKIPPED: engine_throughput atomics parity gate skipped: the "
+        "wrapped ring is deliberately instrumented in this build flavor "
+        "(schedule chaos / model check), so wrapper-vs-raw parity is not "
+        "measurable\n");
+    return 0;
+#else
+    const size_t gate_items = size_t{1} << 25;
+    Row wrapped;
+    Row raw;
+    RunAtomicsParity(gate_items, 5, &wrapped, &raw);
+    const double ratio = wrapped.items_per_sec / raw.items_per_sec;
+    std::printf(
+        "atomics wrapped vs raw ring: %.0f vs %.0f items/sec (%.3fx)\n",
+        wrapped.items_per_sec, raw.items_per_sec, ratio);
+    if (ratio < 0.95) {
+      std::fprintf(stderr,
+                   "FAIL: atomics parity gate requires the tds::Atomic ring "
+                   ">= 0.95x the raw std::atomic ring (the production "
+                   "wrappers are supposed to be zero-cost)\n");
+      return 1;
+    }
+    return 0;
+#endif
   }
   if (smoke_coldkey) {
     // Regression gate for the flat-layout rework: on the run-length-1
@@ -494,6 +625,23 @@ int Main(int argc, char** argv) {
                   row.items_per_sec);
     }
   }
+  // Wrapper-parity rows: the tds::Atomic ring vs its raw std::atomic twin
+  // (best-of-3, interleaved). The smoke gate asserts the >= 0.95x floor;
+  // the full bench records the measured ratio here so BENCH_engine.json
+  // carries the zero-cost evidence alongside the throughput sweeps.
+#if !defined(TDS_SCHED_CHAOS) && !defined(TDS_MODELCHECK)
+  {
+    Row wrapped;
+    Row raw;
+    RunAtomicsParity(size_t{1} << 25, 3, &wrapped, &raw);
+    for (const Row& row : {wrapped, raw}) {
+      rows.push_back(row);
+      std::printf("%-14s %-7s %8zu %12.3f %14.0f\n", row.backend.c_str(),
+                  row.sweep.c_str(), row.param, row.seconds,
+                  row.items_per_sec);
+    }
+  }
+#endif
   struct Combo {
     size_t producers;
     uint32_t shards;

@@ -1,7 +1,6 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <string>
 #include <thread>
 #include <utility>
@@ -75,8 +74,7 @@ ShardedAggregateEngine::Create(DecayPtr decay, const Options& options) {
     shard->registry.emplace(std::move(registry).value());
     engine->shards_.push_back(std::move(shard));
   }
-  engine->slice_ingest_ =
-      std::vector<std::atomic<uint64_t>>(options.route_slices);
+  engine->slice_ingest_ = std::vector<Atomic<uint64_t>>(options.route_slices);
   {
     // Initial route: slices round-robin over shards, published as epoch 1.
     // No other thread can hold route_mutex_ yet; locking anyway keeps the
@@ -112,11 +110,15 @@ void ShardedAggregateEngine::Stop() {
     // Quiesce the ingest surface: the raised fence blocks new flush
     // episodes and waits out the in-flight ones (the role the exclusive
     // route lock played when producers still took it), so the drain below
-    // terminates. stop_ is published seq_cst *before* the fence drops —
-    // in the seq_cst total order any flusher that wakes to a lowered
-    // fence has its stop_ re-check after this store, so it fails fast
-    // with kFailedPrecondition instead of queueing onto (or spinning
-    // against) writers that are about to exit.
+    // terminates. stop_ is published seq_cst *before* the fence drops,
+    // and EnterFlush checks stop_ only *after* observing a lowered fence
+    // — so in the seq_cst total order any flusher admitted past the
+    // fence either pushed before this quiescence (drained below) or sees
+    // stop_ and fails fast with kFailedPrecondition instead of queueing
+    // onto writers that are about to exit. The check order is
+    // load-bearing: the stop-vs-ingest model-check suite proves this
+    // pairing and catches both seeded inversions (stop after lower,
+    // stop checked before the fence).
     RaiseFence();
     WaitQueuesDrained();
     stop_.store(true, std::memory_order_seq_cst);
@@ -195,11 +197,21 @@ Status ShardedAggregateEngine::EnterFlush(const Deadline& deadline,
     // a flush can never run concurrently with a route publish.
     active_flushes_.fetch_add(1, std::memory_order_seq_cst);
     TDS_INTERLEAVE_POINT("engine.fence.enter");
-    if (stop_.load(std::memory_order_seq_cst)) {
-      ExitFlush();
-      return Status::FailedPrecondition("engine is stopped");
-    }
     if (!fence_raised_.load(std::memory_order_seq_cst)) {
+      // Fence down: check stop_ only AFTER the fence load. Stop()
+      // publishes stop_ seq_cst before LowerFence's store, so in the
+      // seq_cst total order observing the lowered fence implies
+      // observing a concurrent Stop's stop_. Checking stop_ first
+      // (the previous order) left a window — found by the
+      // stop-vs-ingest model-check suite — where a flusher slipping
+      // in between Stop's quiescence check and its stop_ publish read
+      // both flags as clear and pushed onto an already-drained
+      // engine: an acknowledged ingest whose items no writer would
+      // ever apply.
+      if (stop_.load(std::memory_order_seq_cst)) {
+        ExitFlush();
+        return Status::FailedPrecondition("engine is stopped");
+      }
       return Status::OK();
     }
     // A migration holds the fence: back out (so its quiescence wait can
@@ -214,22 +226,38 @@ Status ShardedAggregateEngine::EnterFlush(const Deadline& deadline,
 }
 
 void ShardedAggregateEngine::ExitFlush() {
-  active_flushes_.fetch_sub(1, std::memory_order_seq_cst);
-  // Only a raised fence has a quiescence waiter; registration is
-  // advisory (see RaiseFence), so the load order here is not critical.
-  if (fence_raised_.load(std::memory_order_seq_cst) &&
-      quiesce_waiters_.load(std::memory_order_seq_cst) > 0) {
+  // Release: pairs with RaiseFence's seq_cst (hence acquire) load of
+  // active_flushes_ — when the fence holder observes the count hit zero,
+  // every ring push this episode made happens-before its drain. The
+  // decrement itself is not part of the Dekker pairing (that's
+  // EnterFlush's increment vs RaiseFence's fence store), so seq_cst buys
+  // nothing here.
+  active_flushes_.fetch_sub(1, std::memory_order_release);
+  // Relaxed: only a raised fence has a quiescence waiter, and waiter
+  // registration is advisory — a stale read here at worst skips a notify
+  // the waiter's bounded park slice (StagedWait) re-checks past anyway.
+  if (fence_raised_.load(std::memory_order_relaxed) &&
+      quiesce_waiters_.load(std::memory_order_relaxed) > 0) {
     MutexLock lock(fence_mutex_);
     quiesce_cv_.NotifyAll();
   }
 }
 
 void ShardedAggregateEngine::RaiseFence() {
+  // seq_cst store-then-load against EnterFlush's seq_cst add-then-load
+  // (Dekker): demoting either side admits the store-buffer outcome where
+  // the migration reads a stale zero count while the flusher reads a
+  // stale lowered fence — a flush racing a route publish. The fence
+  // model-check suite proves both the protocol and that exact demotion
+  // failure (tests/modelcheck_suites_test.cc, tso mode).
   fence_raised_.store(true, std::memory_order_seq_cst);
   // Chaos point: widen the store-to-quiescence-check window the Dekker
   // pairing with EnterFlush protects.
   TDS_INTERLEAVE_POINT("engine.fence.raise");
   StagedWait wait(BackpressurePolicy::kAdaptive);
+  // seq_cst: the Dekker partner load (see above); also acquires the
+  // release decrements in ExitFlush, so a zero count means every
+  // in-flight episode's pushes are visible to the drain that follows.
   while (active_flushes_.load(std::memory_order_seq_cst) != 0) {
     (void)wait.Step(fence_mutex_, quiesce_cv_, quiesce_waiters_,
                     Deadline::Infinite());
@@ -237,8 +265,14 @@ void ShardedAggregateEngine::RaiseFence() {
 }
 
 void ShardedAggregateEngine::LowerFence() {
+  // seq_cst: EnterFlush re-checks stop_ after observing the lowered
+  // fence; keeping this store in the seq_cst total order with Stop()'s
+  // stop_ publish is what makes "woke to a lowered fence" imply "sees
+  // stop_ set" during shutdown (see Stop()).
   fence_raised_.store(false, std::memory_order_seq_cst);
-  if (fence_waiters_.load(std::memory_order_seq_cst) > 0) {
+  // Relaxed: waiter registration is advisory; a missed notify costs one
+  // bounded fence park slice, not correctness.
+  if (fence_waiters_.load(std::memory_order_relaxed) > 0) {
     MutexLock lock(fence_mutex_);
     fence_cv_.NotifyAll();
   }
@@ -443,13 +477,15 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
       UpdateStats(shard);
       shard.applied.fetch_add(n, std::memory_order_release);
       // Consumption freed ring space and may have completed a drain: wake
-      // parked producers / flushers. Registration is advisory (a waiter
-      // racing these reads re-checks within its bounded park slice).
-      if (shard.space_waiters.load(std::memory_order_seq_cst) > 0) {
+      // parked producers / flushers. Relaxed: registration is advisory —
+      // a waiter whose fetch_add races these loads misses one notify and
+      // re-checks within its bounded park slice (the documented one-slice
+      // missed-wake bound; see StagedWait::Step).
+      if (shard.space_waiters.load(std::memory_order_relaxed) > 0) {
         MutexLock lock(shard.space_mutex);
         shard.space_cv.NotifyAll();
       }
-      if (shard.drain_waiters.load(std::memory_order_seq_cst) > 0) {
+      if (shard.drain_waiters.load(std::memory_order_relaxed) > 0) {
         MutexLock lock(shard.drain_mutex);
         shard.drain_cv.NotifyAll();
       }
@@ -492,7 +528,9 @@ void ShardedAggregateEngine::WriterLoop(Shard& shard) {
         (void)shard.wake_cv.WaitFor(shard.wake_mutex, kWriterParkSlice);
       }
     }
-    shard.writer_parked.store(false, std::memory_order_release);
+    // Relaxed: the flag only gates WakeWriter's notify; a staler true
+    // causes at most one spurious notify to an already-awake writer.
+    shard.writer_parked.store(false, std::memory_order_relaxed);
     // Re-park after one confirming poll rather than resetting to zero: a
     // timed-out slice on an idle engine should not pay the full spin
     // ladder again before the next park.

@@ -1,7 +1,6 @@
 #ifndef TDS_ENGINE_ENGINE_H_
 #define TDS_ENGINE_ENGINE_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -17,6 +16,7 @@
 #include "engine/registry.h"
 #include "engine/spsc_ring.h"
 #include "engine/wait_strategy.h"
+#include "util/atomic.h"
 #include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -336,8 +336,8 @@ class ShardedAggregateEngine {
 
     SpscRing<KeyedItem> queue;
     Mutex producer_mutex;  ///< serializes producers; writer never takes it
-    std::atomic<uint64_t> enqueued{0};
-    std::atomic<uint64_t> applied{0};
+    Atomic<uint64_t> enqueued{0};
+    Atomic<uint64_t> applied{0};
 
     /// Full-queue producer parking (backpressure). The mutex guards no
     /// fields — the waited-on state is the lock-free ring itself — so
@@ -346,29 +346,29 @@ class ShardedAggregateEngine {
     /// `space_waiters` is nonzero.
     Mutex space_mutex;
     CondVar space_cv;
-    std::atomic<uint32_t> space_waiters{0};
+    Atomic<uint32_t> space_waiters{0};
 
     /// Drain watchers (Flush / WaitQueuesDrained) park here; the writer
     /// notifies after advancing `applied` when `drain_waiters` is nonzero.
     Mutex drain_mutex;
     CondVar drain_cv;
-    std::atomic<uint32_t> drain_waiters{0};
+    Atomic<uint32_t> drain_waiters{0};
 
     /// Writer-idle parking: the writer parks in bounded slices when it has
     /// nothing to do; producers, snapshot requesters, command posters, and
     /// Stop() wake it through WakeWriter().
     Mutex wake_mutex;
     CondVar wake_cv;
-    std::atomic<bool> writer_parked{false};
+    Atomic<bool> writer_parked{false};
 
     /// Overload counters (ShardStats mirrors).
-    std::atomic<uint64_t> items_rejected{0};
-    std::atomic<uint64_t> park_count{0};
-    std::atomic<uint64_t> max_queue_stall{0};
+    Atomic<uint64_t> items_rejected{0};
+    Atomic<uint64_t> park_count{0};
+    Atomic<uint64_t> max_queue_stall{0};
 
     /// Set by the writer thread on exit (Flush's defense against waiting
     /// on a writer that no longer exists).
-    std::atomic<bool> writer_done{false};
+    Atomic<bool> writer_done{false};
 
     /// Written only by the shard's writer thread (constructed before the
     /// thread starts, which establishes the happens-before edge; a
@@ -379,15 +379,15 @@ class ShardedAggregateEngine {
 
     /// Occupancy stats mirrored by the writer after every applied batch
     /// and every command (readable without stopping the writer).
-    std::atomic<uint64_t> live_keys{0};
-    std::atomic<uint64_t> arena_extent{0};
+    Atomic<uint64_t> live_keys{0};
+    Atomic<uint64_t> arena_extent{0};
 
     /// Snapshot ticket channel: readers post a ticket and block; the
     /// writer publishes a clone and serves every ticket issued before the
     /// publish began.
     Mutex snapshot_mutex;
     CondVar snapshot_cv;
-    std::atomic<bool> snapshot_requested{false};
+    Atomic<bool> snapshot_requested{false};
     std::shared_ptr<const AggregateRegistry> snapshot
         TDS_GUARDED_BY(snapshot_mutex);
     std::shared_ptr<const std::string> snapshot_blob
@@ -404,7 +404,7 @@ class ShardedAggregateEngine {
     std::function<void(AggregateRegistry&)> command
         TDS_GUARDED_BY(command_mutex);
     bool command_done TDS_GUARDED_BY(command_mutex) = false;
-    std::atomic<bool> command_requested{false};
+    Atomic<bool> command_requested{false};
 
     std::thread writer;
   };
@@ -529,7 +529,7 @@ class ShardedAggregateEngine {
   /// routing); store only via PublishRoute() under the exclusive route
   /// lock. Every table ever published lives in route_history_ until the
   /// engine dies, so the raw pointer is always valid.
-  std::atomic<const RouteTable*> route_table_{nullptr};
+  Atomic<const RouteTable*> route_table_{nullptr};
   std::vector<std::shared_ptr<const RouteTable>> route_history_
       TDS_GUARDED_BY(route_mutex_);
 
@@ -537,29 +537,29 @@ class ShardedAggregateEngine {
   /// no fields — the waited-on state is the pair of atomics — so waiter
   /// registration is advisory and parks are bounded slices, exactly the
   /// StagedWait discipline the shard rings use.
-  std::atomic<uint64_t> active_flushes_{0};
-  std::atomic<bool> fence_raised_{false};
+  Atomic<uint64_t> active_flushes_{0};
+  Atomic<bool> fence_raised_{false};
   mutable Mutex fence_mutex_;
   CondVar fence_cv_;    ///< flushers park here while the fence is up
   CondVar quiesce_cv_;  ///< the fence holder parks here until active == 0
-  std::atomic<uint32_t> fence_waiters_{0};
-  std::atomic<uint32_t> quiesce_waiters_{0};
+  Atomic<uint32_t> fence_waiters_{0};
+  Atomic<uint32_t> quiesce_waiters_{0};
 
   /// Offered-load per route slice (cumulative), maintained by session
   /// flushes; RebalanceIfSkewed diffs against slice_ingest_seen_ to rank
   /// donor slices by recent heat.
-  std::vector<std::atomic<uint64_t>> slice_ingest_;
+  std::vector<Atomic<uint64_t>> slice_ingest_;
   std::vector<uint64_t> slice_ingest_seen_ TDS_GUARDED_BY(route_mutex_);
 
   /// SessionTotals() mirrors (relaxed; sessions publish at flush/close).
-  std::atomic<uint64_t> sessions_opened_{0};
-  std::atomic<uint64_t> sessions_closed_{0};
-  std::atomic<uint64_t> session_staged_{0};
-  std::atomic<uint64_t> session_flushed_{0};
-  std::atomic<uint64_t> session_flush_stalls_{0};
+  Atomic<uint64_t> sessions_opened_{0};
+  Atomic<uint64_t> sessions_closed_{0};
+  Atomic<uint64_t> session_staged_{0};
+  Atomic<uint64_t> session_flushed_{0};
+  Atomic<uint64_t> session_flush_stalls_{0};
 
-  std::atomic<uint64_t> rebalances_{0};
-  std::atomic<bool> stop_{false};
+  Atomic<uint64_t> rebalances_{0};
+  Atomic<bool> stop_{false};
 };
 
 }  // namespace tds

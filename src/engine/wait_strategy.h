@@ -2,11 +2,11 @@
 #define TDS_ENGINE_WAIT_STRATEGY_H_
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
 
+#include "util/atomic.h"
 #include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -53,7 +53,7 @@ class StagedWait {
 
   /// One escalation step after a failed attempt. Returns true to retry,
   /// false once `deadline` is expired (give up; nothing waited on then).
-  bool Step(Mutex& mu, CondVar& cv, std::atomic<uint32_t>& waiters,
+  bool Step(Mutex& mu, CondVar& cv, Atomic<uint32_t>& waiters,
             const Deadline& deadline) TDS_EXCLUDES(mu) {
     if (deadline.Expired()) return false;
     const uint64_t round = ++rounds_;
@@ -66,12 +66,18 @@ class StagedWait {
       std::this_thread::yield();
       return true;
     }
-    waiters.fetch_add(1, std::memory_order_seq_cst);
+    // Relaxed: waiter registration is advisory by design. If the writer's
+    // load of `waiters` misses this increment, the notify is skipped and
+    // this park simply runs out its bounded kParkSlice — the documented
+    // one-slice missed-wake bound (proven in the park/wake model-check
+    // suite). No release/acquire edge is needed because no data is
+    // published through the counter.
+    waiters.fetch_add(1, std::memory_order_relaxed);
     {
       MutexLock lock(mu);
       (void)cv.WaitFor(mu, deadline.RemainingCapped(kParkSlice));
     }
-    waiters.fetch_sub(1, std::memory_order_seq_cst);
+    waiters.fetch_sub(1, std::memory_order_relaxed);
     ++parks_;
     return !deadline.Expired();
   }

@@ -1,0 +1,56 @@
+#ifndef TDS_MODELCHECK_HOOKS_H_
+#define TDS_MODELCHECK_HOOKS_H_
+
+#include <cstdint>
+
+namespace tds {
+namespace modelcheck {
+
+/// The narrow waist between `tds::Atomic<T>` (src/util/atomic.h) and the
+/// model-check scheduler (src/modelcheck/sched.{h,cc}). Kept to plain
+/// function declarations and POD argument types so atomic.h — included by
+/// every hot-path header — pulls in no scheduler machinery; sched.cc owns
+/// the implementations.
+///
+/// Values cross this boundary as zero-extended uint64 images (the wrappers
+/// static_assert trivially-copyable and sizeof ≤ 8), and memory orders as
+/// the integer value of std::memory_order so this header needs no <atomic>.
+
+/// Type-erased access to the wrapper's underlying std::atomic<T>. `load`
+/// and `store` are relaxed on the real atomic: under the scheduler exactly
+/// one model thread runs at a time, so these are data-race-free; ordering
+/// semantics are modeled by the scheduler, not delegated to the hardware.
+struct RawAtomicOps {
+  std::uint64_t (*load)(const void* obj);
+  void (*store)(void* obj, std::uint64_t value);
+};
+
+/// Computes an RMW's new value from the committed one. Writes the result
+/// through `*out_new` and returns whether to store it (false models a
+/// failed compare_exchange). `ctx` is the wrapper-side closure state.
+using RmwModifyFn = bool (*)(std::uint64_t current, void* ctx,
+                             std::uint64_t* out_new);
+
+/// True iff the calling thread is a model thread of an active exploration.
+/// Production-mode wrappers never call this; TDS_MODELCHECK-mode wrappers
+/// branch on it so ordinary tests in a modelcheck build still run on plain
+/// std::atomic.
+bool InModelRun();
+
+/// Scheduling points. Each announces the operation (address + memory-order
+/// metadata), blocks until the scheduler picks this thread, then performs
+/// the operation against the modeled memory system (TSO store buffers +
+/// happens-before clocks) and returns.
+std::uint64_t HookAtomicLoad(void* obj, const RawAtomicOps& ops, int order);
+void HookAtomicStore(void* obj, const RawAtomicOps& ops, int order,
+                     std::uint64_t value);
+/// Returns the old (committed) value; *stored reports whether the modify
+/// function asked for the write (compare_exchange success bit).
+std::uint64_t HookAtomicRmw(void* obj, const RawAtomicOps& ops, int order,
+                            RmwModifyFn modify, void* ctx, bool* stored);
+void HookFence(int order);
+
+}  // namespace modelcheck
+}  // namespace tds
+
+#endif  // TDS_MODELCHECK_HOOKS_H_

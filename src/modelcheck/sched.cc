@@ -1,0 +1,914 @@
+#include "modelcheck/sched.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "modelcheck/vector_clock.h"
+#include "util/mutex.h"
+#include "util/random.h"
+
+namespace tds {
+namespace modelcheck {
+
+namespace {
+
+constexpr int kController = -1;
+/// Transition ids: [0, kMaxThreads) are thread steps; kFlushBase + tid is
+/// "commit the oldest entry of thread tid's store buffer".
+constexpr std::uint32_t kFlushBase = 64;
+
+/// std::memory_order's integer values (relaxed=0 … seq_cst=5), as shipped
+/// across hooks.h without <atomic>.
+bool IsAcquire(int order) {
+  return order == 1 /*consume*/ || order == 2 /*acquire*/ ||
+         order == 4 /*acq_rel*/ || order == 5 /*seq_cst*/;
+}
+bool IsRelease(int order) { return order >= 3; }
+bool IsSeqCst(int order) { return order == 5; }
+
+enum class OpKind : std::uint8_t {
+  kBegin,     ///< thread's first step (start running user code)
+  kLoad,
+  kStore,
+  kRmw,
+  kFence,
+  kVarRead,
+  kVarWrite,
+  kPark,
+  kWake,
+  kPrepare,   ///< Gate::PrepareWait epoch read
+  kUnpark,    ///< resume after a Gate wake
+  kFlush,     ///< controller-performed store-buffer commit
+};
+
+const char* KindName(OpKind k) {
+  switch (k) {
+    case OpKind::kBegin: return "begin";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kFence: return "fence";
+    case OpKind::kVarRead: return "var-read";
+    case OpKind::kVarWrite: return "var-write";
+    case OpKind::kPark: return "park";
+    case OpKind::kWake: return "wake";
+    case OpKind::kPrepare: return "prepare-wait";
+    case OpKind::kUnpark: return "unpark";
+    case OpKind::kFlush: return "flush";
+  }
+  return "?";
+}
+
+bool IsWriteKind(OpKind k) {
+  return k == OpKind::kStore || k == OpKind::kRmw ||
+         k == OpKind::kVarWrite || k == OpKind::kFlush;
+}
+
+struct OpDesc {
+  OpKind kind = OpKind::kBegin;
+  const void* addr = nullptr;
+  int order = 5;
+};
+
+/// Sleep-set dependence: two transitions commute unless they can interfere.
+/// Conservative on fences (dependent with everything) — soundness over
+/// pruning power.
+bool Dependent(const OpDesc& a, const OpDesc& b) {
+  if (a.kind == OpKind::kFence || b.kind == OpKind::kFence) return true;
+  if (a.kind == OpKind::kBegin || b.kind == OpKind::kBegin) return false;
+  if (a.kind == OpKind::kUnpark || b.kind == OpKind::kUnpark) return false;
+  if (a.addr == nullptr || b.addr == nullptr) return false;
+  if (a.addr != b.addr) return false;
+  // Gate ops: a wake mutates the gate (epoch + parked set), so it
+  // interferes with every other op on the same gate; parks and prepares
+  // among themselves commute.
+  const bool a_gate = a.kind == OpKind::kPark || a.kind == OpKind::kWake ||
+                      a.kind == OpKind::kPrepare;
+  const bool b_gate = b.kind == OpKind::kPark || b.kind == OpKind::kWake ||
+                      b.kind == OpKind::kPrepare;
+  if (a_gate || b_gate) {
+    return a.kind == OpKind::kWake || b.kind == OpKind::kWake;
+  }
+  return IsWriteKind(a.kind) || IsWriteKind(b.kind);
+}
+
+/// Internal unwind token for halting model threads and failing schedules;
+/// never escapes Explore/Replay.
+struct HaltError {};
+
+struct StoreEntry {
+  void* obj = nullptr;
+  const RawAtomicOps* ops = nullptr;
+  std::uint64_t value = 0;
+  int order = 0;
+  VectorClock release_clock;  ///< writer's clock, if the store releases
+};
+
+struct ModelThread {
+  enum Phase : std::uint8_t { kNew, kReady, kRunning, kParked, kDone };
+
+  std::function<void()> fn;
+  std::thread os;
+  Phase phase = kNew;
+  OpDesc pending;  ///< announced next op, valid in kReady
+  const void* parked_on = nullptr;
+  VectorClock clock;
+  std::deque<StoreEntry> buffer;  ///< TSO store buffer, oldest first
+};
+
+struct Transition {
+  std::uint32_t id = 0;
+  OpDesc op;
+  int tid = kController;  ///< owning thread for thread steps, else buffer owner
+  bool is_flush = false;
+};
+
+/// DFS frame: one scheduling decision, persisted across the stateless
+/// re-executions so backtracking can revisit it with a different choice.
+struct DfsNode {
+  std::vector<Transition> enabled;
+  std::uint32_t chosen = 0;
+  std::set<std::uint32_t> sleep;  ///< entry sleep set + explored siblings
+  int preemptions_before = 0;
+  int prev_running = kController;
+};
+
+thread_local Run* tl_run = nullptr;
+thread_local int tl_tid = kController;
+thread_local Run* tl_controller_run = nullptr;
+
+}  // namespace
+
+Run* ActiveRun() { return tl_run; }
+
+/// Exploration state that outlives individual schedules.
+struct Explorer {
+  Options opts;
+  const std::vector<std::uint32_t>* replay = nullptr;
+
+  std::vector<DfsNode> stack;           // DFS mode
+  std::uint64_t schedule_index = 0;     // random mode ordinal
+  std::uint64_t schedules = 0;
+  std::uint64_t distinct = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t attempts = 0;
+  std::unordered_set<std::uint64_t> hashes;
+  bool done = false;
+  bool exhausted = false;
+};
+
+struct Run::Impl {
+  explicit Impl(Explorer* explorer) : ex(explorer) {}
+
+  Explorer* ex;
+  Run* self = nullptr;
+
+  Mutex mu;
+  CondVar cv;
+  int active = kController;  // baton: which thread may run (guarded by mu)
+  bool halt = false;         // unwind everything (guarded by mu)
+
+  std::vector<std::unique_ptr<ModelThread>> threads;
+
+  std::map<const void*, VectorClock> atomic_msg;  // release messages
+  std::map<const void*, VectorClock> gate_msg;    // wake → unpark edges
+  std::map<const void*, std::uint64_t> gate_epoch;  // eventcount generations
+  VectorClock fence_msg;  // release-fence bulletin (acquire fences join it)
+  VectorClock sc_clock;   // seq_cst-fence global clock
+
+  struct VarMeta {
+    bool has_write = false;
+    std::size_t wtid = 0;
+    std::uint32_t wts = 0;
+    std::vector<std::pair<std::size_t, std::uint32_t>> reads;  // epochs
+    const char* name = "var";
+  };
+  std::map<const void*, VarMeta> vars;
+
+  std::vector<std::uint32_t> trace;  // executed transition ids
+  std::uint64_t steps = 0;
+  int running = kController;  // last thread-step's tid (preemption account)
+  int preemptions = 0;
+  bool schedule_failed = false;
+  bool schedule_pruned = false;
+  std::string failure;
+  bool awaited = false;
+
+  // ---- baton protocol ----
+
+  /// Model thread: announce `op`, hand the baton to the controller, block
+  /// until granted (the scheduler chose this transition) or halted.
+  void YieldToScheduler(int tid, OpDesc op) {
+    MutexLock lock(mu);
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.pending = op;
+    t.phase = ModelThread::kReady;
+    active = kController;
+    cv.NotifyAll();
+    while (!halt && active != tid) cv.Wait(mu);
+    if (halt) throw HaltError{};
+    t.phase = ModelThread::kRunning;
+  }
+
+  /// Controller: hand the baton to `tid`, wait for it to come back (the
+  /// thread announced its next op, parked, or finished).
+  void GrantAndWait(int tid) {
+    MutexLock lock(mu);
+    active = tid;
+    cv.NotifyAll();
+    while (active != kController) cv.Wait(mu);
+  }
+
+  void RecordFailure(std::string message) {
+    MutexLock lock(mu);
+    if (!schedule_failed) {
+      schedule_failed = true;
+      failure = std::move(message);
+    }
+  }
+
+  void HaltAllAndJoin() {
+    {
+      MutexLock lock(mu);
+      halt = true;
+      cv.NotifyAll();
+    }
+    for (auto& t : threads) {
+      if (t->os.joinable()) t->os.join();
+    }
+  }
+
+  // ---- memory-system semantics (run by whoever holds the baton) ----
+
+  void CommitStore(const StoreEntry& e) {
+    e.ops->store(e.obj, e.value);
+    VectorClock& msg = atomic_msg[e.obj];
+    if (IsRelease(e.order)) {
+      msg = e.release_clock;  // fresh release message
+    } else {
+      msg.Clear();  // a relaxed store breaks the release sequence
+    }
+  }
+
+  void DrainBuffer(int tid) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    while (!t.buffer.empty()) {
+      CommitStore(t.buffer.front());
+      t.buffer.pop_front();
+    }
+  }
+
+  std::uint64_t ExecLoad(int tid, void* obj, const RawAtomicOps& ops,
+                         int order) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    // TSO store forwarding: the youngest own buffered store wins.
+    for (auto it = t.buffer.rbegin(); it != t.buffer.rend(); ++it) {
+      if (it->obj == obj) return it->value;
+    }
+    const std::uint64_t value = ops.load(obj);
+    if (IsAcquire(order)) {
+      auto it = atomic_msg.find(obj);
+      if (it != atomic_msg.end()) t.clock.Join(it->second);
+    }
+    return value;
+  }
+
+  void ExecStore(int tid, void* obj, const RawAtomicOps& ops, int order,
+                 std::uint64_t value) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    StoreEntry e;
+    e.obj = obj;
+    e.ops = &ops;
+    e.value = value;
+    e.order = order;
+    if (IsRelease(order)) e.release_clock = t.clock;
+    if (ex->opts.tso && !IsSeqCst(order)) {
+      t.buffer.push_back(std::move(e));  // invisible until a flush step
+      return;
+    }
+    DrainBuffer(tid);  // a seq_cst store drains prior buffered stores
+    CommitStore(e);
+  }
+
+  std::uint64_t ExecRmw(int tid, void* obj, const RawAtomicOps& ops,
+                        int order, RmwModifyFn modify, void* ctx,
+                        bool* stored) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    DrainBuffer(tid);  // RMWs act on the committed latest value
+    const std::uint64_t current = ops.load(obj);
+    VectorClock& msg = atomic_msg[obj];
+    if (IsAcquire(order)) t.clock.Join(msg);
+    std::uint64_t next = 0;
+    const bool do_store = modify(current, ctx, &next);
+    if (do_store) {
+      ops.store(obj, next);
+      // A releasing RMW joins (not replaces) the message: it extends the
+      // release sequence it read from; a relaxed RMW leaves it intact.
+      if (IsRelease(order)) msg.Join(t.clock);
+    }
+    *stored = do_store;
+    return current;
+  }
+
+  void ExecFence(int tid, int order) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    if (IsSeqCst(order)) {
+      DrainBuffer(tid);
+      t.clock.Join(sc_clock);
+      sc_clock.Join(t.clock);
+    }
+    if (IsRelease(order)) fence_msg.Join(t.clock);
+    if (IsAcquire(order)) t.clock.Join(fence_msg);
+  }
+
+  [[noreturn]] void FailRace(const char* kind, const VarMeta& m, int tid,
+                             std::size_t other_tid) {
+    std::ostringstream os;
+    os << "data race: " << kind << " of '" << m.name << "' by thread " << tid
+       << " is concurrent with thread " << other_tid
+       << " (no happens-before edge — missing release/acquire pairing?)";
+    self->Fail(os.str());
+  }
+
+  void ExecVarRead(int tid, const void* addr, const char* name) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    VarMeta& m = vars[addr];
+    m.name = name;
+    if (m.has_write &&
+        !t.clock.Covers(m.wtid, m.wts)) {
+      FailRace("read", m, tid, m.wtid);
+    }
+    for (auto& read : m.reads) {
+      if (read.first == static_cast<std::size_t>(tid)) {
+        read.second = t.clock.Get(read.first);
+        return;
+      }
+    }
+    m.reads.emplace_back(static_cast<std::size_t>(tid),
+                         t.clock.Get(static_cast<std::size_t>(tid)));
+  }
+
+  void ExecVarWrite(int tid, const void* addr, const char* name) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    VarMeta& m = vars[addr];
+    m.name = name;
+    if (m.has_write && !t.clock.Covers(m.wtid, m.wts)) {
+      FailRace("write", m, tid, m.wtid);
+    }
+    for (const auto& read : m.reads) {
+      if (read.first != static_cast<std::size_t>(tid) &&
+          !t.clock.Covers(read.first, read.second)) {
+        FailRace("write", m, tid, read.first);
+      }
+    }
+    m.has_write = true;
+    m.wtid = static_cast<std::size_t>(tid);
+    m.wts = t.clock.Get(static_cast<std::size_t>(tid));
+    m.reads.clear();
+  }
+
+  /// Wake every thread currently parked on `gate` (a wake with no parked
+  /// thread is lost, like NotifyOne with no waiter).
+  void ExecWake(int tid, const void* gate) {
+    ModelThread& waker = *threads[static_cast<std::size_t>(tid)];
+    waker.clock.Tick(static_cast<std::size_t>(tid));
+    gate_msg[gate].Join(waker.clock);
+    ++gate_epoch[gate];
+    MutexLock lock(mu);
+    for (auto& t : threads) {
+      if (t->phase == ModelThread::kParked && t->parked_on == gate) {
+        t->phase = ModelThread::kReady;
+        t->parked_on = nullptr;
+        t->pending = OpDesc{OpKind::kUnpark, gate, 0};
+      }
+    }
+  }
+
+  /// Second half of Park: the park transition was granted; become parked
+  /// and hand the baton back without announcing a pending op. Returns once
+  /// a Wake made this thread ready again and the scheduler granted its
+  /// unpark transition.
+  void ParkAndWait(int tid, const void* gate) {
+    ModelThread& t = *threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    {
+      MutexLock lock(mu);
+      t.phase = ModelThread::kParked;
+      t.parked_on = gate;
+      active = kController;
+      cv.NotifyAll();
+      while (!halt && active != tid) cv.Wait(mu);
+      if (halt) throw HaltError{};
+      t.phase = ModelThread::kRunning;
+    }
+    // Unpark semantics: the wake that released us happens-before here.
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    auto it = gate_msg.find(gate);
+    if (it != gate_msg.end()) t.clock.Join(it->second);
+  }
+
+  // ---- controller: schedule driving ----
+
+  std::vector<Transition> ComputeEnabled() {
+    std::vector<Transition> enabled;
+    for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+      if (threads[tid]->phase == ModelThread::kReady) {
+        Transition tr;
+        tr.id = static_cast<std::uint32_t>(tid);
+        tr.op = threads[tid]->pending;
+        tr.tid = static_cast<int>(tid);
+        enabled.push_back(tr);
+      }
+    }
+    if (ex->opts.tso) {
+      for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+        if (!threads[tid]->buffer.empty()) {
+          Transition tr;
+          tr.id = kFlushBase + static_cast<std::uint32_t>(tid);
+          tr.op = OpDesc{OpKind::kFlush, threads[tid]->buffer.front().obj, 0};
+          tr.tid = static_cast<int>(tid);
+          tr.is_flush = true;
+          enabled.push_back(tr);
+        }
+      }
+    }
+    return enabled;
+  }
+
+  bool AllDone() const {
+    for (const auto& t : threads) {
+      if (t->phase != ModelThread::kDone) return false;
+    }
+    return true;
+  }
+
+  /// Would choosing `tr` preempt a still-runnable thread, and is that
+  /// within the bound? (Flush steps model the memory system, not a thread
+  /// switch, and never count.)
+  bool PreemptionOk(const Transition& tr, int prev_running,
+                    int preemptions_before,
+                    const std::vector<Transition>& enabled) const {
+    if (ex->opts.preemption_bound < 0) return true;
+    if (tr.is_flush || prev_running == kController) return true;
+    if (tr.tid == prev_running) return true;
+    bool prev_enabled = false;
+    for (const auto& e : enabled) {
+      if (!e.is_flush && e.tid == prev_running) {
+        prev_enabled = true;
+        break;
+      }
+    }
+    if (!prev_enabled) return true;  // forced switch, not a preemption
+    return preemptions_before + 1 <= ex->opts.preemption_bound;
+  }
+
+  static const Transition* FindById(const std::vector<Transition>& enabled,
+                                    std::uint32_t id) {
+    for (const auto& tr : enabled) {
+      if (tr.id == id) return &tr;
+    }
+    return nullptr;
+  }
+
+  /// Deterministic choice order: keep the running thread running when
+  /// possible (fewest preemptions first), then ascending transition id.
+  static const Transition* PickPreferred(
+      const std::vector<Transition>& avail, int prev_running) {
+    for (const auto& tr : avail) {
+      if (!tr.is_flush && tr.tid == prev_running) return &tr;
+    }
+    return avail.empty() ? nullptr : &avail.front();
+  }
+
+  Transition ChooseDfs(const std::vector<Transition>& enabled) {
+    Explorer& e = *ex;
+    const std::size_t depth = trace.size();
+    if (depth < e.stack.size()) {
+      // Prefix replay: re-issue the recorded decision.
+      const DfsNode& node = e.stack[depth];
+      const Transition* tr = FindById(enabled, node.chosen);
+      if (tr == nullptr) {
+        RecordFailure("internal: DFS replay diverged (body nondeterminism?)");
+        throw HaltError{};
+      }
+      return *tr;
+    }
+    // New frontier node: inherit the parent's sleep set minus everything
+    // dependent with the transition the parent just executed.
+    DfsNode node;
+    node.enabled = enabled;
+    node.preemptions_before = preemptions;
+    node.prev_running = running;
+    if (e.opts.sleep_sets && depth > 0) {
+      const DfsNode& parent = e.stack[depth - 1];
+      const Transition* executed = FindById(parent.enabled, parent.chosen);
+      for (std::uint32_t id : parent.sleep) {
+        const Transition* slept = FindById(parent.enabled, id);
+        if (slept != nullptr && executed != nullptr &&
+            !Dependent(slept->op, executed->op)) {
+          node.sleep.insert(id);
+        }
+      }
+    }
+    std::vector<Transition> avail;
+    for (const auto& tr : enabled) {
+      if (node.sleep.count(tr.id) != 0) continue;
+      if (!PreemptionOk(tr, running, preemptions, enabled)) continue;
+      avail.push_back(tr);
+    }
+    if (avail.empty()) {
+      // Every enabled transition sleeps (or exceeds the bound): this
+      // schedule is equivalent to one already explored — prune it.
+      schedule_pruned = true;
+      throw HaltError{};
+    }
+    const Transition chosen = *PickPreferred(avail, running);
+    node.chosen = chosen.id;
+    e.stack.push_back(std::move(node));
+    return chosen;
+  }
+
+  Transition ChooseRandom(const std::vector<Transition>& enabled,
+                          std::uint64_t* rng) {
+    std::vector<Transition> avail;
+    for (const auto& tr : enabled) {
+      if (PreemptionOk(tr, running, preemptions, enabled)) avail.push_back(tr);
+    }
+    if (avail.empty()) avail = enabled;
+    *rng = SplitMix64(*rng);
+    return avail[static_cast<std::size_t>(*rng % avail.size())];
+  }
+
+  Transition ChooseReplay(const std::vector<Transition>& enabled) {
+    const std::vector<std::uint32_t>& schedule = *ex->replay;
+    if (trace.size() >= schedule.size()) {
+      RecordFailure("replay: schedule exhausted before the run completed");
+      throw HaltError{};
+    }
+    const Transition* tr = FindById(enabled, schedule[trace.size()]);
+    if (tr == nullptr) {
+      std::ostringstream os;
+      os << "replay: transition " << schedule[trace.size()] << " at step "
+         << trace.size() << " is not enabled";
+      RecordFailure(os.str());
+      throw HaltError{};
+    }
+    return *tr;
+  }
+
+  void ExecuteTransition(const Transition& tr) {
+    trace.push_back(tr.id);
+    ++steps;
+    if (tr.is_flush) {
+      ModelThread& t = *threads[static_cast<std::size_t>(tr.tid)];
+      CommitStore(t.buffer.front());
+      t.buffer.pop_front();
+      return;
+    }
+    if (tr.tid != running && running != kController &&
+        static_cast<std::size_t>(running) < threads.size() &&
+        threads[static_cast<std::size_t>(running)]->phase ==
+            ModelThread::kReady) {
+      ++preemptions;
+    }
+    running = tr.tid;
+    GrantAndWait(tr.tid);
+  }
+
+  [[noreturn]] void FailDeadlock() {
+    std::ostringstream os;
+    os << "deadlock: no enabled transition;";
+    for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+      const ModelThread& t = *threads[tid];
+      if (t.phase == ModelThread::kDone) continue;
+      os << " thread " << tid
+         << (t.phase == ModelThread::kParked
+                 ? " parked (missed wake beyond the bounded-park model?)"
+                 : " blocked");
+      if (t.phase == ModelThread::kReady) {
+        os << " at " << KindName(t.pending.kind);
+      }
+      os << ";";
+    }
+    RecordFailure(os.str());
+    throw HaltError{};
+  }
+
+  void Await() {
+    awaited = true;
+    {
+      // Wait for every spawned thread to reach its first scheduling point.
+      MutexLock lock(mu);
+      for (;;) {
+        bool all_announced = active == kController;
+        for (const auto& t : threads) {
+          if (t->phase == ModelThread::kNew) all_announced = false;
+        }
+        if (all_announced) break;
+        cv.Wait(mu);
+      }
+    }
+    std::uint64_t rng =
+        SplitMix64(HashCombine(ex->opts.seed, ex->schedule_index));
+    for (;;) {
+      if (AllDone()) break;
+      const std::vector<Transition> enabled = ComputeEnabled();
+      if (enabled.empty()) FailDeadlock();
+      if (steps >= ex->opts.max_steps) {
+        RecordFailure("livelock: per-schedule transition budget exceeded");
+        throw HaltError{};
+      }
+      Transition chosen;
+      if (ex->replay != nullptr) {
+        chosen = ChooseReplay(enabled);
+      } else if (ex->opts.mode == Options::Mode::kRandom) {
+        chosen = ChooseRandom(enabled, &rng);
+      } else {
+        chosen = ChooseDfs(enabled);
+      }
+      ExecuteTransition(chosen);
+      if (schedule_failed) throw HaltError{};
+    }
+    // Write-back: commit leftover buffered stores (tid order, FIFO within
+    // a thread) so the controller's post-Await reads see final values.
+    for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+      DrainBuffer(static_cast<int>(tid));
+    }
+    for (auto& t : threads) {
+      if (t->os.joinable()) t->os.join();
+    }
+  }
+};
+
+namespace {
+
+void ThreadMain(Run::Impl* impl, int tid) {
+  tl_run = impl->self;
+  tl_tid = tid;
+  try {
+    // First lock happens inside YieldToScheduler; only after the kBegin
+    // grant is the threads vector stable (Spawn has finished), so the
+    // reference is taken after it.
+    impl->YieldToScheduler(tid, OpDesc{OpKind::kBegin, nullptr, 0});
+    ModelThread& t = *impl->threads[static_cast<std::size_t>(tid)];
+    t.clock.Tick(static_cast<std::size_t>(tid));
+    t.fn();
+  } catch (const HaltError&) {
+    // Failure already recorded (or halt requested); just unwind.
+  }
+  tl_run = nullptr;
+  MutexLock lock(impl->mu);
+  impl->threads[static_cast<std::size_t>(tid)]->phase = ModelThread::kDone;
+  impl->active = kController;
+  impl->cv.NotifyAll();
+}
+
+std::uint64_t HashTrace(const std::vector<std::uint32_t>& trace) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint32_t id : trace) h = HashCombine(h, id);
+  return h;
+}
+
+}  // namespace
+
+void Run::Spawn(std::function<void()> fn) {
+  Impl* im = impl_;
+  if (im->awaited) Fail("Spawn after Await is not supported");
+  if (im->threads.size() >= static_cast<std::size_t>(kMaxThreads)) {
+    Fail("too many model threads");
+  }
+  auto t = std::make_unique<ModelThread>();
+  t->fn = std::move(fn);
+  // The vector is mutated under mu: already-spawned threads index it from
+  // inside YieldToScheduler (which holds mu) until Await starts granting.
+  MutexLock lock(im->mu);
+  const int tid = static_cast<int>(im->threads.size());
+  im->threads.push_back(std::move(t));
+  im->threads.back()->os = std::thread(ThreadMain, im, tid);
+}
+
+void Run::Await() { impl_->Await(); }
+
+std::uint64_t Run::OnAtomicLoad(void* obj, const RawAtomicOps& ops,
+                                int order) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kLoad, obj, order});
+  return impl_->ExecLoad(tl_tid, obj, ops, order);
+}
+
+void Run::OnAtomicStore(void* obj, const RawAtomicOps& ops, int order,
+                        std::uint64_t value) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kStore, obj, order});
+  impl_->ExecStore(tl_tid, obj, ops, order, value);
+}
+
+std::uint64_t Run::OnAtomicRmw(void* obj, const RawAtomicOps& ops, int order,
+                               RmwModifyFn modify, void* ctx, bool* stored) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kRmw, obj, order});
+  return impl_->ExecRmw(tl_tid, obj, ops, order, modify, ctx, stored);
+}
+
+void Run::OnFence(int order) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kFence, nullptr, order});
+  impl_->ExecFence(tl_tid, order);
+}
+
+void Run::OnVarRead(const void* addr, const char* name) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kVarRead, addr, 0});
+  impl_->ExecVarRead(tl_tid, addr, name);
+}
+
+void Run::OnVarWrite(const void* addr, const char* name) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kVarWrite, addr, 0});
+  impl_->ExecVarWrite(tl_tid, addr, name);
+}
+
+void Run::OnPark(const void* gate) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kPark, gate, 0});
+  impl_->ParkAndWait(tl_tid, gate);
+}
+
+void Run::OnWake(const void* gate) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kWake, gate, 0});
+  impl_->ExecWake(tl_tid, gate);
+}
+
+std::uint64_t Run::OnGatePrepare(const void* gate) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kPrepare, gate, 0});
+  ModelThread& t = *impl_->threads[static_cast<std::size_t>(tl_tid)];
+  t.clock.Tick(static_cast<std::size_t>(tl_tid));
+  return impl_->gate_epoch[gate];
+}
+
+void Run::OnGateCommitWait(const void* gate, std::uint64_t epoch) {
+  impl_->YieldToScheduler(tl_tid, OpDesc{OpKind::kPark, gate, 0});
+  // A wake since PrepareWait makes the commit a no-op — the notify-under-
+  // lock discipline the eventcount models; only a still-current epoch
+  // actually parks.
+  if (impl_->gate_epoch[gate] != epoch) {
+    ModelThread& t = *impl_->threads[static_cast<std::size_t>(tl_tid)];
+    t.clock.Tick(static_cast<std::size_t>(tl_tid));
+    auto it = impl_->gate_msg.find(gate);
+    if (it != impl_->gate_msg.end()) t.clock.Join(it->second);
+    return;
+  }
+  impl_->ParkAndWait(tl_tid, gate);
+}
+
+void Run::Fail(std::string message) {
+  impl_->RecordFailure(std::move(message));
+  throw HaltError{};
+}
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "MC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (Run* run = tl_run) run->Fail(os.str());
+  if (Run* run = tl_controller_run) run->Fail(os.str());
+  throw std::logic_error(os.str());
+}
+
+// ---- hooks (src/util/atomic.h entry points) ----
+
+bool InModelRun() { return tl_run != nullptr; }
+
+std::uint64_t HookAtomicLoad(void* obj, const RawAtomicOps& ops, int order) {
+  return tl_run->OnAtomicLoad(obj, ops, order);
+}
+
+void HookAtomicStore(void* obj, const RawAtomicOps& ops, int order,
+                     std::uint64_t value) {
+  tl_run->OnAtomicStore(obj, ops, order, value);
+}
+
+std::uint64_t HookAtomicRmw(void* obj, const RawAtomicOps& ops, int order,
+                            RmwModifyFn modify, void* ctx, bool* stored) {
+  return tl_run->OnAtomicRmw(obj, ops, order, modify, ctx, stored);
+}
+
+void HookFence(int order) { tl_run->OnFence(order); }
+
+// ---- exploration driver ----
+
+Result ExploreImpl(const Options& options,
+                   const std::vector<std::uint32_t>* replay,
+                   const std::function<void(Run&)>& body) {
+  Explorer ex;
+  ex.opts = options;
+  ex.replay = replay;
+  Result result;
+  // Hard cap on attempts (schedules + prunes) so a pathological model
+  // cannot loop forever; generous enough that real suites never hit it.
+  const std::uint64_t max_attempts =
+      options.max_schedules * 16 + 65536;
+  while (!ex.done) {
+    ++ex.attempts;
+    Run::Impl impl(&ex);
+    Run run(&impl);
+    impl.self = &run;
+    tl_controller_run = &run;
+    bool threw = false;
+    try {
+      body(run);
+      if (!impl.awaited) impl.Await();
+    } catch (const HaltError&) {
+      threw = true;
+    }
+    tl_controller_run = nullptr;
+    impl.HaltAllAndJoin();
+    ex.transitions += impl.steps;
+
+    if (impl.schedule_failed) {
+      result.failed = true;
+      result.failure = impl.failure;
+      result.failing_schedule = impl.trace;
+      result.failing_index =
+          replay != nullptr ? 0
+          : options.mode == Options::Mode::kRandom ? ex.schedule_index
+                                                   : ex.schedules;
+      break;
+    }
+    if (impl.schedule_pruned) {
+      ++ex.pruned;
+    } else {
+      (void)threw;  // completed (threw only on fail/prune paths)
+      ++ex.schedules;
+      if (ex.hashes.insert(HashTrace(impl.trace)).second) ++ex.distinct;
+    }
+
+    // Advance to the next schedule.
+    if (replay != nullptr) {
+      ex.done = true;
+    } else if (options.mode == Options::Mode::kRandom) {
+      ++ex.schedule_index;
+      if (ex.schedules >= options.max_schedules) ex.done = true;
+    } else {
+      if (ex.schedules >= options.max_schedules) {
+        ex.done = true;
+      } else {
+        // DFS backtrack: the explored choice goes to sleep; revisit the
+        // deepest node with a live alternative.
+        bool advanced = false;
+        while (!ex.stack.empty()) {
+          DfsNode& node = ex.stack.back();
+          node.sleep.insert(node.chosen);
+          std::vector<Transition> avail;
+          for (const auto& tr : node.enabled) {
+            if (node.sleep.count(tr.id) != 0) continue;
+            if (!impl.PreemptionOk(tr, node.prev_running,
+                                   node.preemptions_before, node.enabled)) {
+              continue;
+            }
+            avail.push_back(tr);
+          }
+          if (!avail.empty()) {
+            node.chosen =
+                Run::Impl::PickPreferred(avail, node.prev_running)->id;
+            advanced = true;
+            break;
+          }
+          ex.stack.pop_back();
+        }
+        if (!advanced) {
+          ex.done = true;
+          ex.exhausted = true;
+        }
+      }
+    }
+    if (ex.attempts >= max_attempts) ex.done = true;
+  }
+  result.schedules = ex.schedules;
+  result.distinct = ex.distinct;
+  result.transitions = ex.transitions;
+  result.sleep_pruned = ex.pruned;
+  result.exhausted = ex.exhausted && !result.failed;
+  return result;
+}
+
+Result Explore(const Options& options,
+               const std::function<void(Run&)>& body) {
+  return ExploreImpl(options, nullptr, body);
+}
+
+Result Replay(const Options& options,
+              const std::vector<std::uint32_t>& schedule,
+              const std::function<void(Run&)>& body) {
+  return ExploreImpl(options, &schedule, body);
+}
+
+}  // namespace modelcheck
+}  // namespace tds

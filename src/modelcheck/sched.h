@@ -1,0 +1,228 @@
+#ifndef TDS_MODELCHECK_SCHED_H_
+#define TDS_MODELCHECK_SCHED_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "modelcheck/hooks.h"
+
+namespace tds {
+namespace modelcheck {
+
+/// tds::modelcheck — a bounded systematic concurrency model checker
+/// (docs/CORRECTNESS.md, "Model checking"). A test body spawns a handful of
+/// model threads whose every instrumented operation (`tds::Atomic` /
+/// `tds::InstrumentedAtomic` access, `modelcheck::Var` access, `Gate` park/wake,
+/// fences) is a scheduling point: the thread announces the operation with
+/// its memory-order metadata and blocks until the scheduler grants it the
+/// single execution baton. The scheduler then enumerates interleavings —
+/// exhaustively (DFS with sleep-set pruning and an optional CHESS-style
+/// preemption bound) or randomly by seed — re-running the body once per
+/// schedule, stateless-model-checking style.
+///
+/// The memory system is modeled, not delegated to the hardware:
+///  - TSO store buffers (Options::tso): non-seq_cst stores sit in a
+///    per-thread FIFO buffer, invisible to other threads until a flush —
+///    itself an explorable transition — while seq_cst stores, RMWs and
+///    seq_cst fences drain the buffer first. This is what catches a
+///    demoted Dekker handshake: with both stores buffered, both sides can
+///    read the other's flag as stale 0, which sequential-consistency-only
+///    interleaving can never exhibit.
+///  - Vector-clock happens-before (vector_clock.h): release stores publish
+///    the writer's clock as the location's message, acquire loads join it,
+///    and `Var` (plain, non-atomic data) accesses are race-checked against
+///    those clocks — so dropping the release off an RCU pointer publish
+///    surfaces as a data race on the pointee's fields.
+///
+/// Failures (MC_CHECK, data race, deadlock, step-budget livelock) stop the
+/// exploration and report the exact transition sequence; Replay() re-runs
+/// it, and random-mode failures reproduce from (seed, failing_index).
+
+class Run;
+
+/// Exploration knobs. Defaults suit small protocol models (2–4 threads,
+/// tens of transitions).
+struct Options {
+  enum class Mode : std::uint8_t {
+    kDfs,     ///< systematic DFS over schedules, sleep-set pruned
+    kRandom,  ///< max_schedules seeded-random schedules
+  };
+
+  Mode mode = Mode::kDfs;
+  /// Stop after this many completed schedules (DFS may finish earlier —
+  /// see Result::exhausted).
+  std::uint64_t max_schedules = 1000;
+  /// CHESS-style bound: max times the scheduler switches away from a
+  /// still-enabled thread. -1 = unbounded.
+  int preemption_bound = -1;
+  /// Seed for kRandom schedule generation; (seed, schedule index) fully
+  /// determines a schedule.
+  std::uint64_t seed = 1;
+  /// Per-schedule transition budget; exceeding it reports a livelock.
+  std::uint64_t max_steps = 20000;
+  /// Model TSO store buffers (see file comment). Off = every store commits
+  /// at its program point (sequential consistency over the interleaving).
+  bool tso = false;
+  /// DFS sleep-set pruning; disable to measure the pruning against the
+  /// full schedule space (the soundness test does).
+  bool sleep_sets = true;
+};
+
+struct Result {
+  std::uint64_t schedules = 0;        ///< completed executions
+  std::uint64_t distinct = 0;         ///< unique transition sequences seen
+  std::uint64_t transitions = 0;      ///< total transitions executed
+  std::uint64_t sleep_pruned = 0;     ///< schedules cut by sleep sets
+  bool exhausted = false;             ///< DFS covered the whole (bounded) space
+  bool failed = false;
+  std::string failure;                ///< human-readable failure description
+  std::vector<std::uint32_t> failing_schedule;  ///< transition ids, for Replay
+  std::uint64_t failing_index = 0;    ///< schedule ordinal (random replay)
+};
+
+/// Runs `body` once per schedule until the space or the budget is
+/// exhausted or a schedule fails. The body must be deterministic apart
+/// from scheduling: construct fresh state, Spawn the model threads, call
+/// Await(), then MC_CHECK final-state invariants.
+Result Explore(const Options& options,
+               const std::function<void(Run&)>& body);
+
+/// Re-executes exactly one schedule (e.g. Result::failing_schedule).
+Result Replay(const Options& options,
+              const std::vector<std::uint32_t>& schedule,
+              const std::function<void(Run&)>& body);
+
+/// The calling model thread's active run, or nullptr outside one (then
+/// instrumented types fall through to their plain behavior).
+Run* ActiveRun();
+
+/// One schedule's execution context. Created by Explore per schedule;
+/// tests only call Spawn/Await. The On* members are the instrumentation
+/// surface used by the hooks, Var and Gate — not for direct test use.
+class Run {
+ public:
+  /// Registers a model thread. Must be called before Await; at most
+  /// kMaxThreads threads.
+  void Spawn(std::function<void()> fn);
+
+  /// Drives the schedule to completion (all model threads finished),
+  /// joining their OS threads. Throws the internal halt exception on
+  /// failure — Explore catches it.
+  void Await();
+
+  static constexpr int kMaxThreads = 16;
+
+  // -- instrumentation surface (internal) --
+  std::uint64_t OnAtomicLoad(void* obj, const RawAtomicOps& ops, int order);
+  void OnAtomicStore(void* obj, const RawAtomicOps& ops, int order,
+                     std::uint64_t value);
+  std::uint64_t OnAtomicRmw(void* obj, const RawAtomicOps& ops, int order,
+                            RmwModifyFn modify, void* ctx, bool* stored);
+  void OnFence(int order);
+  void OnVarRead(const void* addr, const char* name);
+  void OnVarWrite(const void* addr, const char* name);
+  void OnPark(const void* gate);
+  void OnWake(const void* gate);
+  std::uint64_t OnGatePrepare(const void* gate);
+  void OnGateCommitWait(const void* gate, std::uint64_t epoch);
+  /// Records `message` as this schedule's failure and unwinds.
+  [[noreturn]] void Fail(std::string message);
+
+  struct Impl;
+
+ private:
+  friend struct Impl;
+  friend Result ExploreImpl(const Options&,
+                            const std::vector<std::uint32_t>*,
+                            const std::function<void(Run&)>&);
+  explicit Run(Impl* impl) : impl_(impl) {}
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  Impl* impl_;
+};
+
+/// Reports an MC_CHECK failure: fails the active run (model thread or the
+/// Explore controller between Await and body return); outside any run it
+/// throws std::logic_error.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+
+/// Model-checker assertion: inside a run, a violation fails the schedule
+/// and reports its transition trace; harmless to leave in shared fixtures.
+#define MC_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::tds::modelcheck::CheckFailed(#cond, __FILE__, __LINE__);      \
+    }                                                                 \
+  } while (0)
+
+/// Instrumented plain (non-atomic) variable: every access is a scheduling
+/// point race-checked against the happens-before clocks. Outside a run it
+/// is an ordinary variable. Use it for the payload a protocol publishes —
+/// the racy read is where a missing release/acquire edge becomes visible.
+template <typename T>
+class Var {
+ public:
+  Var() : v_() {}
+  explicit Var(T init, const char* name = "var") : v_(init), name_(name) {}
+
+  T Read() const {
+    if (Run* run = ActiveRun()) run->OnVarRead(&v_, name_);
+    return v_;
+  }
+
+  void Write(T value) {
+    if (Run* run = ActiveRun()) run->OnVarWrite(&v_, name_);
+    v_ = value;
+  }
+
+ private:
+  T v_;
+  const char* name_ = "var";
+};
+
+/// Condition-variable model. Two idioms:
+///
+///  - Naive: Park() blocks until a *subsequent* Wake() on the same gate; a
+///    Wake with nobody parked is lost, exactly like CondVar::NotifyOne
+///    with no waiter. A schedule in which every unfinished thread is
+///    blocked is reported as a deadlock — so modeling a bounded real-world
+///    park (StagedWait slices) as an unbounded Gate park turns "missed
+///    wake beyond the documented one-slice bound" into a checkable
+///    property.
+///
+///  - Eventcount: epoch = PrepareWait(); re-check the predicate;
+///    CommitWait(epoch) parks only if no Wake has bumped the epoch since.
+///    This models the engine's real discipline — the pre-park re-check and
+///    the wait happen under the same mutex the waker must take to notify,
+///    so a wake cannot slip between re-check and park.
+class Gate {
+ public:
+  Gate() = default;
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  void Park() {
+    if (Run* run = ActiveRun()) run->OnPark(this);
+  }
+
+  void Wake() {
+    if (Run* run = ActiveRun()) run->OnWake(this);
+  }
+
+  std::uint64_t PrepareWait() {
+    Run* run = ActiveRun();
+    return run != nullptr ? run->OnGatePrepare(this) : 0;
+  }
+
+  void CommitWait(std::uint64_t epoch) {
+    if (Run* run = ActiveRun()) run->OnGateCommitWait(this, epoch);
+  }
+};
+
+}  // namespace modelcheck
+}  // namespace tds
+
+#endif  // TDS_MODELCHECK_SCHED_H_

@@ -1,0 +1,81 @@
+#ifndef TDS_MODELCHECK_VECTOR_CLOCK_H_
+#define TDS_MODELCHECK_VECTOR_CLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tds {
+namespace modelcheck {
+
+/// Vector clock over model-thread ids, the happens-before algebra of the
+/// model checker (docs/CORRECTNESS.md, "Model checking"). Component `t`
+/// counts the steps of thread `t` that the clock's owner has synchronized
+/// with: release stores publish the writer's clock as the location's
+/// message, acquire loads join the message into the reader, and two plain
+/// accesses race exactly when neither side's epoch is covered by the
+/// other's clock. Clocks grow on demand so the checker never fixes a
+/// thread-count ceiling.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  std::uint32_t Get(std::size_t tid) const {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+
+  void Set(std::size_t tid, std::uint32_t value) {
+    Grow(tid);
+    c_[tid] = value;
+  }
+
+  /// Advance the owner's own component (one per executed step).
+  void Tick(std::size_t tid) {
+    Grow(tid);
+    ++c_[tid];
+  }
+
+  /// Pointwise maximum: after Join(o) the owner has synchronized with
+  /// everything either clock had synchronized with.
+  void Join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+  /// Epoch test: does the single event (tid, ts) happen-before this clock?
+  bool Covers(std::size_t tid, std::uint32_t ts) const {
+    return ts <= Get(tid);
+  }
+
+  /// Pointwise ≤: every event this clock knows of, `other` knows too.
+  bool HappensBefore(const VectorClock& other) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.Get(i)) return false;
+    }
+    return true;
+  }
+
+  /// Neither clock covers the other — the defining condition of a race
+  /// between the two owners' latest events.
+  bool ConcurrentWith(const VectorClock& other) const {
+    return !HappensBefore(other) && !other.HappensBefore(*this);
+  }
+
+  void Clear() { c_.clear(); }
+
+  std::size_t size() const { return c_.size(); }
+
+ private:
+  void Grow(std::size_t tid) {
+    if (tid >= c_.size()) c_.resize(tid + 1, 0);
+  }
+
+  std::vector<std::uint32_t> c_;
+};
+
+}  // namespace modelcheck
+}  // namespace tds
+
+#endif  // TDS_MODELCHECK_VECTOR_CLOCK_H_

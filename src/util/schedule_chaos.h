@@ -1,12 +1,12 @@
 #ifndef TDS_UTIL_SCHEDULE_CHAOS_H_
 #define TDS_UTIL_SCHEDULE_CHAOS_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <thread>
 
+#include "util/atomic.h"
 #include "util/random.h"
 
 namespace tds {
@@ -93,9 +93,12 @@ inline void Perturb(const char* name, std::uint64_t hit) {
 }  // namespace tds
 
 #ifdef TDS_SCHED_CHAOS
+// PlainAtomic (never instrumented): the hit counter is chaos bookkeeping,
+// not protocol state — it must stay out of the model-check interleaving
+// space even when both flags are on.
 #define TDS_INTERLEAVE_POINT(name)                                        \
   do {                                                                    \
-    static std::atomic<std::uint64_t> tds_interleave_hits{0};             \
+    static ::tds::PlainAtomic<std::uint64_t> tds_interleave_hits{0};      \
     ::tds::sched_chaos::Perturb(                                          \
         name, tds_interleave_hits.fetch_add(1, std::memory_order_relaxed)); \
   } while (0)

@@ -1,0 +1,442 @@
+// Model-check suites for the engine's four concurrency protocols
+// (docs/CORRECTNESS.md, "Model checking"). Built only under
+// -DTDS_MODELCHECK=ON, so the *production* tds::Atomic call sites —
+// SpscRing cursors, the engine's flags and counters — are instrumented and
+// the real headers run under the controlled scheduler:
+//
+//   1. SpscRing FIFO (including cursor wraparound at 2^32 and 2^64),
+//   2. RCU route publish vs concurrent routing (PublishRoute/CurrentRoute),
+//   3. the park/wake Dekker handshake (WakeWriter vs the writer's
+//      park sequence) and its documented missed-wake bound,
+//   4. stop-vs-ingest termination (the flush fence quiescence protocol).
+//
+// Each correct protocol must explore its space without a failure; each
+// deliberately seeded bug (dropped release on the route publish, demoted
+// Dekker orders under TSO, a forgotten quiescence wake, stop published
+// only after the fence drops) must be caught. The suites together must
+// enumerate at least 10,000 interleavings (the PR's acceptance floor);
+// CoverageFloor tops the count up with seeded-random ring schedules if the
+// DFS spaces come in under it.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/spsc_ring.h"
+#include "modelcheck/sched.h"
+#include "util/atomic.h"
+
+namespace tds {
+namespace {
+
+using McRun = ::tds::modelcheck::Run;
+using ::tds::modelcheck::Explore;
+using ::tds::modelcheck::Gate;
+using ::tds::modelcheck::Options;
+using ::tds::modelcheck::Result;
+using ::tds::modelcheck::Var;
+
+#ifndef TDS_MODELCHECK
+#error "modelcheck_suites_test requires -DTDS_MODELCHECK=ON"
+#endif
+
+/// Interleavings explored across every suite in this binary; CoverageFloor
+/// asserts the ≥10k acceptance floor against it (and tops it up first).
+std::uint64_t g_explored = 0;
+
+Result Record(Result result) {
+  g_explored += result.schedules;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 1: SpscRing FIFO + cursor wraparound.
+//
+// The real production ring. The producer pushes 1..4 (capacity 8, so no
+// full-ring retry loop is needed under the model); the consumer makes a
+// bounded number of pop attempts concurrently; the controller drains the
+// rest after Await. Every interleaving must yield exactly 1,2,3,4 in
+// order — FIFO, no loss, no duplication — which exercises the
+// release/acquire cursor pairing (tail_ publish → pop's acquire; head_
+// publish → push's acquire free-space read).
+// ---------------------------------------------------------------------------
+
+void RingFifoBody(McRun& run, uint64_t start_cursor) {
+  auto ring = std::make_unique<SpscRing<int>>(8, start_cursor);
+  auto popped = std::make_unique<std::vector<int>>();
+  SpscRing<int>* r = ring.get();
+  std::vector<int>* out = popped.get();
+  run.Spawn([r] {
+    for (int i = 1; i <= 4; ++i) {
+      MC_CHECK(r->TryPushN(&i, 1) == 1);  // capacity 8: can never be full
+    }
+  });
+  run.Spawn([r, out] {
+    int buf[2];
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const size_t n = r->TryPopN(buf, 2);
+      for (size_t k = 0; k < n; ++k) out->push_back(buf[k]);
+    }
+  });
+  run.Await();
+  // Controller drain (outside the model: threads are joined, state final).
+  int buf[8];
+  size_t n = 0;
+  while ((n = r->TryPopN(buf, 8)) > 0) {
+    for (size_t k = 0; k < n; ++k) out->push_back(buf[k]);
+  }
+  MC_CHECK(out->size() == 4);
+  for (int i = 0; i < 4; ++i) MC_CHECK((*out)[i] == i + 1);
+}
+
+Result ExploreRing(uint64_t start_cursor, std::uint64_t max_schedules) {
+  Options opts;
+  opts.mode = Options::Mode::kDfs;
+  opts.max_schedules = max_schedules;
+  // Unbounded preemptions: the cursor protocol is small enough that the
+  // sleep-set-pruned DFS covers tens of thousands of schedules in
+  // seconds; max_schedules caps the sweep.
+  opts.preemption_bound = -1;
+  return Record(Explore(opts, [start_cursor](McRun& run) {
+    RingFifoBody(run, start_cursor);
+  }));
+}
+
+TEST(SpscRingSuite, FifoHoldsUnderAllBoundedInterleavings) {
+  const Result result = ExploreRing(0, 20000);
+  EXPECT_FALSE(result.failed) << result.failure;
+  EXPECT_GT(result.schedules, 100u);
+}
+
+TEST(SpscRingSuite, FifoHoldsAcrossThe32BitCursorBoundary) {
+  // Cursors seeded two short of 2^32: the pushes walk the difference
+  // arithmetic (tail - head) and the mask indexing across the boundary.
+  const Result result = ExploreRing((uint64_t{1} << 32) - 2, 20000);
+  EXPECT_FALSE(result.failed) << result.failure;
+}
+
+TEST(SpscRingSuite, FifoHoldsAcrossThe64BitCursorWrap) {
+  // Two short of 2^64: tail + count wraps to ~0; free-space and
+  // availability math must stay exact through the wrap.
+  const Result result = ExploreRing(~uint64_t{0} - 1, 20000);
+  EXPECT_FALSE(result.failed) << result.failure;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 2: RCU route publish vs concurrent batch routing.
+//
+// The PublishRoute/CurrentRoute shape: an immutable table published
+// through Atomic<const T*> with release, loaded with acquire, pointee
+// fields read without synchronization. The payload fields are
+// modelcheck::Var so the happens-before clocks race-check them: with the
+// release edge every interleaving is clean; dropping the release (the
+// seeded bug the analyze fixture mirrors) makes the reader's field loads
+// a data race.
+// ---------------------------------------------------------------------------
+
+struct RouteModel {
+  Var<uint64_t> generation{1, "route_generation"};
+  Var<uint64_t> shard_of_slice0{0, "route_shard_of_slice"};
+};
+
+Result ExploreRoutePublish(std::memory_order publish_order) {
+  Options opts;
+  opts.mode = Options::Mode::kDfs;
+  opts.max_schedules = 20000;
+  return Record(Explore(opts, [publish_order](McRun& run) {
+    auto initial = std::make_unique<RouteModel>();
+    auto successor = std::make_unique<RouteModel>();
+    auto table = std::make_unique<Atomic<RouteModel*>>(initial.get());
+    RouteModel* next = successor.get();
+    Atomic<RouteModel*>* route_table = table.get();
+    run.Spawn([route_table, next, publish_order] {
+      // Migration: fill the successor's fields, then publish — the
+      // PublishRoute shape, with the store order under test.
+      next->generation.Write(2);
+      next->shard_of_slice0.Write(1);
+      route_table->store(next, publish_order);
+    });
+    run.Spawn([route_table] {
+      // Producer flush: one acquire route load per batch (CurrentRoute),
+      // then unsynchronized pointee field reads.
+      RouteModel* t = route_table->load(std::memory_order_acquire);
+      const uint64_t gen = t->generation.Read();
+      const uint64_t shard = t->shard_of_slice0.Read();
+      MC_CHECK(gen == 1 || gen == 2);
+      MC_CHECK(shard == 0 || shard == 1);
+    });
+    run.Await();
+  }));
+}
+
+TEST(RoutePublishSuite, ReleasePublishIsRaceFreeExhaustively) {
+  const Result result = ExploreRoutePublish(std::memory_order_release);
+  EXPECT_FALSE(result.failed) << result.failure;
+}
+
+TEST(RoutePublishSuite, DroppedReleaseOnPublishIsCaught) {
+  // The seeded bug from the issue: PublishRoute with a relaxed store. The
+  // checker must flag the reader's pointee field access as a data race.
+  const Result result = ExploreRoutePublish(std::memory_order_relaxed);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("data race"), std::string::npos)
+      << result.failure;
+  EXPECT_NE(result.failure.find("route_"), std::string::npos)
+      << result.failure;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 3: the park/wake Dekker handshake (WakeWriter vs WriterLoop's park
+// sequence), under TSO store buffering.
+//
+// Producer: publish work (seq_cst RMW on `enqueued`), then load
+// `writer_parked` and wake if set. Writer: store `writer_parked`
+// (seq_cst), then re-check `enqueued` before parking; the re-check-to-wait
+// window is closed by the eventcount Gate, which models the engine's
+// notify-under-mutex (WakeWriter locks wake_mutex before NotifyAll).
+//
+// With seq_cst on both sides, the seq_cst total order guarantees at least
+// one side sees the other — no interleaving deadlocks. Demoting the
+// handshake to relaxed under TSO admits the store-buffer outcome: both
+// sides read stale values, the wake is skipped, and the writer parks with
+// work pending. The engine bounds that stall at one kWriterParkSlice; the
+// model parks unboundedly, so the same outcome surfaces as a detected
+// deadlock — which is exactly the documented missed-wake bound made
+// checkable.
+// ---------------------------------------------------------------------------
+
+struct ParkModel {
+  Atomic<uint64_t> enqueued{0};
+  Atomic<bool> writer_parked{false};
+  Gate wake;
+};
+
+Result ExploreParkWake(std::memory_order handshake_order) {
+  Options opts;
+  opts.mode = Options::Mode::kDfs;
+  opts.max_schedules = 20000;
+  opts.tso = true;  // the store-buffer outcome is the whole point
+  return Record(Explore(opts, [handshake_order](McRun& run) {
+    auto model = std::make_unique<ParkModel>();
+    ParkModel* m = model.get();
+    run.Spawn([m, handshake_order] {
+      // PushToShard: publish the work, then the WakeWriter probe.
+      m->enqueued.fetch_add(1, handshake_order);
+      if (m->writer_parked.load(handshake_order)) m->wake.Wake();
+    });
+    run.Spawn([m, handshake_order] {
+      // WriterLoop idle path: announce the park, then re-check under the
+      // (modeled) wake mutex before committing to the wait.
+      m->writer_parked.store(true, handshake_order);
+      const uint64_t epoch = m->wake.PrepareWait();
+      if (m->enqueued.load(handshake_order) == 0) {
+        m->wake.CommitWait(epoch);
+      }
+      m->writer_parked.store(false, std::memory_order_relaxed);
+      MC_CHECK(m->enqueued.load(std::memory_order_seq_cst) == 1);
+    });
+    run.Await();
+  }));
+}
+
+TEST(ParkWakeSuite, SeqCstHandshakeNeverMissesTheWake) {
+  const Result result = ExploreParkWake(std::memory_order_seq_cst);
+  EXPECT_FALSE(result.failed) << result.failure;
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ParkWakeSuite, DemotedHandshakeDeadlocksUnderTso) {
+  // The seeded bug: both Dekker sides relaxed. TSO buffers the writer's
+  // parked flag; producer reads stale false and skips the wake; writer
+  // reads stale zero and parks — a missed wake past the documented bound.
+  const Result result = ExploreParkWake(std::memory_order_relaxed);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("deadlock"), std::string::npos)
+      << result.failure;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 4: stop-vs-ingest termination — the flush fence quiescence
+// protocol (EnterFlush/ExitFlush vs Stop's RaiseFence → drain → publish
+// stop_ → LowerFence).
+//
+// The flusher enters (seq_cst increment), fails fast on stop_, backs out
+// when the fence is up and parks for the lowered fence; ExitFlush wakes
+// the quiescence waiter. Stop raises the fence, waits out in-flight
+// episodes, publishes stop_ seq_cst *before* lowering the fence, then
+// wakes fence waiters. Checked properties:
+//  - termination: no interleaving deadlocks (every park has a paired wake
+//    or a pre-empting epoch bump);
+//  - quiescence: the drain's read of the pushed count happens-after every
+//    push (a racy late push would be flagged on the "pushed" Var);
+//  - shutdown: no push can land after the drain completed. Publishing
+//    stop_ only after the fence drops (the seeded bug) lets a woken
+//    flusher re-enter, miss stop_, and push onto the drained engine —
+//    caught as drained_at_stop disagreeing with the final push count.
+// ---------------------------------------------------------------------------
+
+struct StopModel {
+  Atomic<uint64_t> active_flushes{0};
+  Atomic<bool> fence_raised{false};
+  Atomic<bool> stopped{false};
+  Gate fence_gate;    // flushers park here while the fence is up
+  Gate quiesce_gate;  // the stopper parks here until active hits zero
+  Var<int> pushed{0, "pushed"};
+  /// What the drain observed (written single-threaded by the stopper,
+  /// read by the controller after Await).
+  int drained_at_stop = -1;
+};
+
+void ModelExitFlush(StopModel* m, bool wake_quiescer) {
+  m->active_flushes.fetch_sub(1, std::memory_order_release);
+  if (wake_quiescer && m->fence_raised.load(std::memory_order_relaxed)) {
+    m->quiesce_gate.Wake();
+  }
+}
+
+/// EnterFlush + one push. `wake_quiescer=false` seeds the forgotten
+/// quiescence wake. `stop_check_first=true` seeds the check-order
+/// inversion this suite originally FOUND in the real EnterFlush: with
+/// stop_ checked before the fence, a flusher can slip in between Stop's
+/// quiescence check and its stop_ publish, read both flags clear, and
+/// push after the drain. Checking the fence first closes it — observing
+/// the lowered fence implies (seq_cst transitivity via LowerFence's
+/// store) observing stop_.
+void ModelFlusher(StopModel* m, bool wake_quiescer, bool stop_check_first) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    m->active_flushes.fetch_add(1, std::memory_order_seq_cst);
+    if (stop_check_first &&
+        m->stopped.load(std::memory_order_seq_cst)) {
+      ModelExitFlush(m, wake_quiescer);
+      return;  // rejected: kFailedPrecondition
+    }
+    if (!m->fence_raised.load(std::memory_order_seq_cst)) {
+      if (!stop_check_first &&
+          m->stopped.load(std::memory_order_seq_cst)) {
+        ModelExitFlush(m, wake_quiescer);
+        return;  // rejected: kFailedPrecondition
+      }
+      m->pushed.Write(m->pushed.Read() + 1);  // the ring push
+      ModelExitFlush(m, wake_quiescer);
+      return;
+    }
+    // Fence up: back out so the quiescence wait can reach zero, then park
+    // until it is lowered (eventcount models the bounded StagedWait park).
+    ModelExitFlush(m, wake_quiescer);
+    const uint64_t epoch = m->fence_gate.PrepareWait();
+    if (m->fence_raised.load(std::memory_order_seq_cst)) {
+      m->fence_gate.CommitWait(epoch);
+    }
+  }
+  MC_CHECK(false);  // the fence never rises twice: unreachable
+}
+
+void ModelStop(StopModel* m, bool stop_before_lower) {
+  m->fence_raised.store(true, std::memory_order_seq_cst);
+  while (true) {
+    const uint64_t epoch = m->quiesce_gate.PrepareWait();
+    if (m->active_flushes.load(std::memory_order_seq_cst) == 0) break;
+    m->quiesce_gate.CommitWait(epoch);
+  }
+  // Drain: happens-after every completed push via ExitFlush's release
+  // decrement → the seq_cst (acquire) zero read above.
+  m->drained_at_stop = m->pushed.Read();
+  MC_CHECK(m->drained_at_stop >= 0 && m->drained_at_stop <= 1);
+  if (stop_before_lower) {
+    m->stopped.store(true, std::memory_order_seq_cst);
+  }
+  m->fence_raised.store(false, std::memory_order_seq_cst);
+  m->fence_gate.Wake();
+  if (!stop_before_lower) {
+    // The seeded shutdown bug: stop_ published only after the fence
+    // dropped — a woken flusher can re-enter, miss it, and push onto a
+    // drained engine (a Var race against the drain read above).
+    m->stopped.store(true, std::memory_order_seq_cst);
+  }
+}
+
+Result ExploreStop(bool wake_quiescer, bool stop_before_lower,
+                   bool stop_check_first) {
+  Options opts;
+  opts.mode = Options::Mode::kDfs;
+  opts.max_schedules = 20000;
+  return Record(Explore(
+      opts, [wake_quiescer, stop_before_lower, stop_check_first](McRun& run) {
+        auto model = std::make_unique<StopModel>();
+        StopModel* m = model.get();
+        run.Spawn([m, wake_quiescer, stop_check_first] {
+          ModelFlusher(m, wake_quiescer, stop_check_first);
+        });
+        run.Spawn(
+            [m, stop_before_lower] { ModelStop(m, stop_before_lower); });
+        run.Await();
+        // Shutdown invariant: the drain saw everything ever pushed.
+        MC_CHECK(m->pushed.Read() == m->drained_at_stop);
+      }));
+}
+
+TEST(StopIngestSuite, StopTerminatesAgainstConcurrentIngest) {
+  const Result result = ExploreStop(/*wake_quiescer=*/true,
+                                    /*stop_before_lower=*/true,
+                                    /*stop_check_first=*/false);
+  EXPECT_FALSE(result.failed) << result.failure;
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(StopIngestSuite, ForgettingTheQuiescenceWakeDeadlocksStop) {
+  const Result result = ExploreStop(/*wake_quiescer=*/false,
+                                    /*stop_before_lower=*/true,
+                                    /*stop_check_first=*/false);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("deadlock"), std::string::npos)
+      << result.failure;
+}
+
+TEST(StopIngestSuite, PublishingStopAfterLoweringTheFenceIsCaught) {
+  const Result result = ExploreStop(/*wake_quiescer=*/true,
+                                    /*stop_before_lower=*/false,
+                                    /*stop_check_first=*/false);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("drained_at_stop"), std::string::npos)
+      << result.failure;
+}
+
+TEST(StopIngestSuite, CheckingStopBeforeTheFenceLosesAnAcknowledgedPush) {
+  // The inversion this suite found in the shipped EnterFlush (fixed in
+  // this PR): stop_ checked before the fence admits a push after the
+  // drain — the flusher's stop load precedes Stop's publish in the
+  // seq_cst order while its fence load follows LowerFence.
+  const Result result = ExploreStop(/*wake_quiescer=*/true,
+                                    /*stop_before_lower=*/true,
+                                    /*stop_check_first=*/true);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("drained_at_stop"), std::string::npos)
+      << result.failure;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance floor: ≥10,000 interleavings across the suites. Runs last by
+// declaration order, but does not depend on it — if the DFS spaces above
+// came in under the floor (or the filter skipped them), seeded-random
+// ring schedules top the count up deterministically.
+// ---------------------------------------------------------------------------
+
+TEST(CoverageFloor, AtLeastTenThousandInterleavingsExplored) {
+  constexpr std::uint64_t kFloor = 10000;
+  std::uint64_t seed = 7;
+  while (g_explored < kFloor) {
+    Options opts;
+    opts.mode = Options::Mode::kRandom;
+    opts.max_schedules = 1000;
+    opts.seed = seed++;
+    const Result result =
+        Record(Explore(opts, [](McRun& run) { RingFifoBody(run, 0); }));
+    ASSERT_FALSE(result.failed) << result.failure;
+  }
+  EXPECT_GE(g_explored, kFloor);
+}
+
+}  // namespace
+}  // namespace tds

@@ -1,0 +1,47 @@
+// Analyze fixture: memory-order violations the rule must reject, one per
+// sub-check. The Publish/Read pair is the seeded route-table bug shape —
+// the same dropped release the RoutePublishSuite model-check test
+// (tests/modelcheck_suites_test.cc) catches dynamically as a data race.
+#ifndef TDS_ANALYZE_FIXTURE_BAD_ORDERS_H_
+#define TDS_ANALYZE_FIXTURE_BAD_ORDERS_H_
+
+#include <cstdint>
+
+#include "util/atomic.h"
+
+namespace tds_fixture {
+
+struct RouteTable {
+  std::uint32_t generation;
+};
+
+class BadOrders {
+ public:
+  void Publish(const RouteTable* next) {
+    // Sub-check 2: relaxed publish of an RCU pointer (dropped release).
+    table_.store(next, std::memory_order_relaxed);
+  }
+
+  const RouteTable* Route() {
+    // Sub-check 2: relaxed load of an RCU pointer (dropped acquire).
+    return table_.load(std::memory_order_relaxed);
+  }
+
+  void Count() {
+    // Sub-check 1: defaulted seq_cst on a hot-path (src/engine) op.
+    hits_.fetch_add(1);
+  }
+
+  void HalfBarrier() {
+    // Sub-check 3: release fence with no acquire fence anywhere.
+    tds::AtomicFence(std::memory_order_release);
+  }
+
+ private:
+  tds::Atomic<const RouteTable*> table_{nullptr};
+  tds::Atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace tds_fixture
+
+#endif  // TDS_ANALYZE_FIXTURE_BAD_ORDERS_H_

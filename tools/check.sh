@@ -34,15 +34,30 @@
 #             clang++ is not installed; CI installs it.
 #   lint      Project-rule linter (tools/tds_lint.py) and its selftest:
 #             aggregate audit/fuzz coverage, no raw std::mutex outside
-#             util/mutex.h, no wall-clock or ambient randomness in
-#             src/core + src/engine, no ownerless task markers, every
-#             fuzz driver registered in both execution modes.
+#             util/mutex.h, no raw std::atomic outside util/atomic.h (the
+#             model-check instrumentation seam), no wall-clock or ambient
+#             randomness in src/core + src/engine, no ownerless task
+#             markers, every fuzz driver registered in both execution
+#             modes.
 #   analyze   Semantic analyzer (tools/tds_analyze.py) and its selftest:
 #             lock-acquisition-order cycles, const-Query purity,
-#             audit-hooked Status mutators, no-write-before-failpoint.
+#             audit-hooked Status mutators, no-write-before-failpoint,
+#             and the memory-order audit (explicit orders on hot-path
+#             atomics, no relaxed RCU pointer access, cross-file fence
+#             pairing).
 #             Uses the libclang AST frontend when the clang python
 #             bindings are installed, else the builtin frontend — both
 #             enforce the same rules, so this stage never skips.
+#   modelcheck
+#             Stateless model checker (src/modelcheck/, docs/CORRECTNESS.md
+#             "Model checking"): -DTDS_MODELCHECK=ON routes every
+#             tds::Atomic operation through the bounded-exploration
+#             scheduler, then runs the checker's own unit suite
+#             (vector-clock algebra, sleep sets, replay determinism) and
+#             the protocol suites — SpscRing FIFO + cursor wrap, RCU route
+#             publish, the park/wake handshake, stop-vs-ingest — which
+#             exhaustively or boundedly enumerate the interleavings and
+#             prove the engine's memory-order choices minimal.
 #   chaos     Schedule-perturbation race amplifier: TSan build with
 #             -DTDS_SCHED_CHAOS=ON so every TDS_INTERLEAVE_POINT
 #             (util/schedule_chaos.h) yields/sleeps on a seeded schedule,
@@ -66,9 +81,9 @@ set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-STAGES="${*:-release asan tsan faults tidy thread-safety lint analyze chaos coverage fuzz}"
+STAGES="${*:-release asan tsan faults tidy thread-safety lint analyze modelcheck chaos coverage fuzz}"
 if [ "$STAGES" = "all" ]; then
-  STAGES="release asan tsan faults tidy thread-safety lint analyze chaos coverage fuzz"
+  STAGES="release asan tsan faults tidy thread-safety lint analyze modelcheck chaos coverage fuzz"
 fi
 
 log() { printf '\n== check.sh: %s ==\n' "$*"; }
@@ -194,6 +209,18 @@ for stage in $STAGES; do
       log "seed-corpus freshness (make_fuzz_corpus.py --check)"
       python3 "$ROOT/tools/make_fuzz_corpus.py" --check
       ;;
+    modelcheck)
+      log "model checker (TDS_MODELCHECK=ON): scheduler unit + protocol suites"
+      cmake -S "$ROOT" -B "$ROOT/build-modelcheck" -DTDS_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTDS_MODELCHECK=ON
+      cmake --build "$ROOT/build-modelcheck" -j "$JOBS" \
+        --target modelcheck_unit_test modelcheck_suites_test
+      # --no-tests=error: the suites only exist under TDS_MODELCHECK=ON,
+      # so "zero tests matched" means the gate silently vanished.
+      ctest --test-dir "$ROOT/build-modelcheck" --output-on-failure \
+        --no-tests=error \
+        -R 'ModelCheck|SpscRingSuite|RoutePublishSuite|ParkWakeSuite|StopIngestSuite|CoverageFloor'
+      ;;
     chaos)
       log "TSan + schedule chaos (TDS_SCHED_CHAOS=ON, pinned seed) + engine suites"
       cmake -S "$ROOT" -B "$ROOT/build-chaos" -DTDS_WERROR=ON \
@@ -261,7 +288,7 @@ for stage in $STAGES; do
     *)
       echo "check.sh: unknown stage '$stage'" >&2
       echo "known stages: release asan tsan faults tidy thread-safety" \
-        "lint analyze chaos coverage fuzz all" >&2
+        "lint analyze modelcheck chaos coverage fuzz all" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,26 @@
+// Lint fixture: raw standard-library atomics outside src/util/atomic.h
+// must be rejected (rule: raw-atomic). Each flagged line is a distinct
+// shape the rule has to catch: the header include, an atomic object, a
+// free fence. Prose mentions of the std names (like this comment's) are
+// stripped before matching and must NOT be flagged.
+#ifndef TDS_LINT_FIXTURE_BAD_ATOMIC_H_
+#define TDS_LINT_FIXTURE_BAD_ATOMIC_H_
+
+#include <atomic>
+
+namespace tds_fixture {
+
+class BadAtomic {
+ public:
+  void Publish() {
+    std::atomic_thread_fence(std::memory_order_release);
+    ready_.store(1);
+  }
+
+ private:
+  std::atomic<int> ready_{0};
+};
+
+}  // namespace tds_fixture
+
+#endif  // TDS_LINT_FIXTURE_BAD_ATOMIC_H_

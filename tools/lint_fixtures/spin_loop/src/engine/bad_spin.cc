@@ -1,12 +1,13 @@
 // Fixture: an unbounded yield-spin retry loop in engine code — the idiom
 // the spin-loop rule exists to reject (it burns a full core for the whole
 // stall instead of going through StagedWait's bounded spin + parked wait).
-#include <atomic>
 #include <thread>
+
+#include "util/atomic.h"
 
 namespace tds {
 
-void WaitForSpace(const std::atomic<bool>& has_space) {
+void WaitForSpace(const Atomic<bool>& has_space) {
   while (!has_space.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }

@@ -28,6 +28,19 @@ tools/tds_lint.py's per-line conventions, one level below a compiler:
                   the failpoint: the injected early return must exit while
                   the object is still untouched, or the documentation (and
                   the fault-fuzz oracle built on it) is a lie.
+  memory-order    Program-wide memory-order audit over the tds::Atomic
+                  call sites (src/util/atomic.h itself is exempt — it is
+                  the sanctioned implementation). Three sub-checks: (1)
+                  hot-path (src/engine) operations must spell their order
+                  out — a defaulted seq_cst hides whether the strength is
+                  load-bearing or an accident; (2) pointer-typed atomic
+                  members (`Atomic<T*>`, the RCU-publish idiom) must never
+                  be loaded or published relaxed — dropping the release/
+                  acquire pair severs the happens-before edge to the
+                  pointee's fields; (3) a release fence must have a paired
+                  acquire fence somewhere in the tree and vice versa —
+                  fences pair across files, which is exactly why no
+                  per-file check can see a missing half.
 
 Frontends (--frontend=auto|libclang|builtin):
 
@@ -98,6 +111,28 @@ MEMBER_WRITE_PATTERN = re.compile(
 
 ALLOW_PATTERN = re.compile(r"tds-analyze:\s*allow\(([\w-]+)\)")
 
+# An operation on a tds::Atomic (or raw std::atomic) object: the member /
+# variable name, the operation, and the argument list (scanned for
+# std::memory_order tokens via paren matching, so multi-line calls work).
+ATOMIC_OP_PATTERN = re.compile(
+    r"\b(?P<member>\w+)\s*(?:\.|->)\s*"
+    r"(?P<op>load|store|exchange|fetch_add|fetch_sub|"
+    r"compare_exchange_strong|compare_exchange_weak)\s*\("
+)
+
+# Pointer-typed atomic member declarations — the RCU-publish idiom
+# (`Atomic<const RouteTable*> route_table_`).
+ATOMIC_PTR_MEMBER_PATTERN = re.compile(
+    r"\b(?:Instrumented|Plain)?Atomic\s*<[^<>;{}()]*\*\s*>\s+(\w+)\s*[;{=]"
+)
+
+FENCE_SITE_PATTERN = re.compile(
+    r"\b(?:(?:Instrumented)?AtomicFence|std::atomic_thread_fence)\s*\(\s*"
+    r"std::memory_order_(\w+)"
+)
+
+ORDER_TOKEN_PATTERN = re.compile(r"std::memory_order_(\w+)")
+
 
 @dataclass
 class MethodDecl:
@@ -137,6 +172,22 @@ class Acquisition:
 
 
 @dataclass
+class AtomicOp:
+    member: str
+    op: str
+    orders: tuple  # memory_order tokens in the argument list; () = defaulted
+    path: Path
+    line: int
+
+
+@dataclass
+class FenceSite:
+    order: str
+    path: Path
+    line: int
+
+
+@dataclass
 class Facts:
     # (held, acquired) -> first Acquisition proving the edge.
     lock_edges: dict = field(default_factory=dict)
@@ -144,6 +195,12 @@ class Facts:
     methods: dict = field(default_factory=dict)
     # (cls, name) -> [Definition]
     definitions: dict = field(default_factory=dict)
+    # Every atomic load/store/RMW call site in the tree.
+    atomic_ops: list = field(default_factory=list)
+    # Member names declared as pointer-typed atomics (RCU-published).
+    atomic_ptr_members: set = field(default_factory=set)
+    # Every explicit fence call site in the tree.
+    fences: list = field(default_factory=list)
 
 
 @dataclass
@@ -356,6 +413,35 @@ def scan_method_decls(path, text, stripped, cls, start, end, facts):
         i += 1
 
 
+def parse_atomic_facts(path: Path, stripped: str, facts: Facts):
+    """Atomic call sites, pointer-typed atomic members, and fence sites.
+
+    src/util/atomic.h is exempt: it is the one sanctioned home of raw
+    std::atomic (the raw-atomic lint rule enforces that), and its internal
+    forwarding calls are not program memory-ordering decisions."""
+    if path.name == "atomic.h" and path.parent.name == "util":
+        return
+    for match in ATOMIC_PTR_MEMBER_PATTERN.finditer(stripped):
+        facts.atomic_ptr_members.add(match.group(1))
+    for match in ATOMIC_OP_PATTERN.finditer(stripped):
+        args_end = match_paren(stripped, match.end() - 1)
+        orders = tuple(
+            ORDER_TOKEN_PATTERN.findall(stripped[match.end() - 1:args_end]))
+        facts.atomic_ops.append(AtomicOp(
+            member=match.group("member"),
+            op=match.group("op"),
+            orders=orders,
+            path=path,
+            line=line_of(stripped, match.start()),
+        ))
+    for match in FENCE_SITE_PATTERN.finditer(stripped):
+        facts.fences.append(FenceSite(
+            order=match.group(1),
+            path=path,
+            line=line_of(stripped, match.start()),
+        ))
+
+
 def parse_definitions(path: Path, text: str, stripped: str, facts: Facts):
     """Out-of-line `Class::Method(...)` definitions with their bodies."""
     for match in DEFINITION_PATTERN.finditer(stripped):
@@ -430,6 +516,7 @@ def builtin_extract(root: Path) -> Facts:
         files.append((path, text, stripped))
         parse_class_methods(path, text, stripped, facts)
         parse_definitions(path, text, stripped, facts)
+        parse_atomic_facts(path, stripped, facts)
 
     # TDS_REQUIRES comes from header declarations and from definition
     # signatures; a position inside a definition inherits its function's set.
@@ -744,6 +831,62 @@ def rule_failpoint_order(facts: Facts, out):
                     "writes member state before TDS_FAILPOINT_RETURN"))
 
 
+def rule_memory_order(facts: Facts, out):
+    # (1) Hot-path operations (src/engine) must state their order. The
+    # wrappers default to seq_cst like std::atomic, so a bare call is
+    # correct-but-mute: the reader cannot tell a load-bearing seq_cst (the
+    # Dekker sites in engine.cc) from one nobody thought about.
+    for op in facts.atomic_ops:
+        if "engine" in op.path.parts and not op.orders:
+            if allowed("memory-order", read_line(op.path, op.line)):
+                continue
+            out.append(Finding(
+                "memory-order", op.path, op.line,
+                f"defaulted seq_cst on hot-path {op.member}.{op.op}(); "
+                "state the order explicitly and name its pairing edge"))
+
+    # (2) Pointer-typed atomic members are RCU publishes: the pointee's
+    # fields are only visible through the release-store -> acquire-load
+    # edge, so a relaxed access on either side is a latent data race even
+    # when every run happens to work.
+    for op in facts.atomic_ops:
+        if op.member not in facts.atomic_ptr_members:
+            continue
+        if op.op not in ("load", "store", "exchange"):
+            continue
+        # For store/exchange the success order is the first token.
+        effective = op.orders[0] if op.orders else "seq_cst"
+        if effective != "relaxed":
+            continue
+        if allowed("memory-order", read_line(op.path, op.line)):
+            continue
+        side = ("relaxed load of RCU-published pointer "
+                f"{op.member} (needs acquire to see the pointee's fields)"
+                if op.op == "load" else
+                f"relaxed publish of RCU-published pointer {op.member} "
+                "(dropping the release severs the happens-before edge "
+                "to readers)")
+        out.append(Finding("memory-order", op.path, op.line, side))
+
+    # (3) Fences pair across files — a release fence in one translation
+    # unit synchronizes with an acquire fence in another, which is exactly
+    # why no per-file check can notice a missing half. acq_rel / seq_cst
+    # fences count as both halves.
+    releases = [f for f in facts.fences
+                if f.order in ("release", "acq_rel", "seq_cst")]
+    acquires = [f for f in facts.fences
+                if f.order in ("acquire", "acq_rel", "seq_cst")]
+    for fence, missing in (
+            [(f, "acquire") for f in releases if not acquires]
+            + [(f, "release") for f in acquires if not releases]):
+        if allowed("memory-order", read_line(fence.path, fence.line)):
+            continue
+        out.append(Finding(
+            "memory-order", fence.path, fence.line,
+            f"{fence.order} fence has no paired {missing} fence anywhere "
+            "in the tree; an unpaired fence orders nothing"))
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
@@ -789,6 +932,7 @@ def analyze(root: Path, frontend: str, compdb: Path):
     rule_const_query(facts, out)
     rule_audit_hook(facts, out)
     rule_failpoint_order(facts, out)
+    rule_memory_order(facts, out)
     return out, None
 
 
@@ -801,6 +945,7 @@ def selftest(repo_root: Path, compdb: Path) -> int:
         "const-query": fixtures / "const_query",
         "audit-hook": fixtures / "audit_hook",
         "failpoint-order": fixtures / "failpoint_order",
+        "memory-order": fixtures / "memory_order",
     }
     failures = 0
     for rule, tree in expected.items():

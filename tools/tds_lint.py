@@ -11,6 +11,13 @@ Mechanical checks for conventions the compiler cannot enforce:
                       adapters) outside src/util/mutex.h — everything else
                       uses the annotated tds::Mutex wrappers so Clang's
                       thread-safety analysis sees every lock.
+  raw-atomic          No raw `std::atomic` / `std::atomic_thread_fence`
+                      (or the <atomic> header) outside src/util/atomic.h —
+                      everything else uses tds::Atomic / tds::AtomicFence,
+                      whose call sites route through the model-check
+                      scheduler under -DTDS_MODELCHECK=ON (src/modelcheck).
+                      Comments are stripped before matching, so prose may
+                      name the std types.
   wall-clock          No wall-clock reads or ambient randomness in src/core
                       or src/engine: ticks come from the caller and
                       randomness from seeded tds::Rng, so every run is
@@ -69,6 +76,14 @@ RAW_MUTEX_PATTERN = re.compile(
     r"condition_variable(_any)?|lock_guard|scoped_lock|unique_lock|"
     r"shared_lock)\b"
     r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+RAW_ATOMIC_PATTERN = re.compile(
+    r"std::atomic(_flag)?\s*<"
+    r"|std::atomic_flag\b"
+    r"|std::atomic_thread_fence\s*\("
+    r"|std::atomic_signal_fence\s*\("
+    r"|#\s*include\s*<atomic>"
 )
 
 WALL_CLOCK_PATTERN = re.compile(
@@ -132,14 +147,15 @@ def iter_source_files(root: Path, subdirs, suffixes):
                 yield path
 
 
-def scan_pattern(rule, pattern, path, message, out):
+def scan_pattern(rule, pattern, path, message, out, strip_comments=False):
     try:
         text = path.read_text(errors="replace")
     except OSError as err:
         out.append(Violation(rule, path, 0, f"unreadable: {err}"))
         return
     for number, line in enumerate(text.splitlines(), start=1):
-        if pattern.search(line) and not allowed(rule, line):
+        subject = line.split("//", 1)[0] if strip_comments else line
+        if pattern.search(subject) and not allowed(rule, line):
             out.append(Violation(rule, path, number, message))
 
 
@@ -155,6 +171,23 @@ def check_raw_mutex(root: Path, out):
             "raw standard mutex/condvar primitive; use the annotated "
             "wrappers from util/mutex.h",
             out,
+        )
+
+
+def check_raw_atomic(root: Path, out):
+    exempt = root / "src" / "util" / "atomic.h"
+    for path in iter_source_files(root, ["src"], CXX_SUFFIXES):
+        if path == exempt:
+            continue
+        scan_pattern(
+            "raw-atomic",
+            RAW_ATOMIC_PATTERN,
+            path,
+            "raw std::atomic primitive; use tds::Atomic / tds::AtomicFence "
+            "from util/atomic.h so the model-check scheduler sees every "
+            "operation",
+            out,
+            strip_comments=True,
         )
 
 
@@ -316,6 +349,7 @@ def check_fuzz_dual_mode(root: Path, out):
 def lint(root: Path):
     out = []
     check_raw_mutex(root, out)
+    check_raw_atomic(root, out)
     check_wall_clock(root, out)
     check_todo_owner(root, out)
     check_spin_loop(root, out)
@@ -332,6 +366,7 @@ def selftest(repo_root: Path) -> int:
     fixtures = repo_root / "tools" / "lint_fixtures"
     expected = {
         "raw-mutex": fixtures / "raw_mutex",
+        "raw-atomic": fixtures / "raw_atomic",
         "wall-clock": fixtures / "wall_clock",
         "todo-owner": fixtures / "todo_owner",
         "spin-loop": fixtures / "spin_loop",
