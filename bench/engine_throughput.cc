@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -38,6 +39,7 @@
 #include "decay/exponential.h"
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
+#include "engine/checkpoint_log.h"
 #include "engine/engine.h"
 #include "engine/producer_session.h"
 #include "engine/registry.h"
@@ -122,8 +124,8 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 struct Row {
   std::string backend;
-  std::string sweep;       // "batch", "shard", or "session"
-  size_t param = 0;        // batch size or shard count
+  std::string sweep;       // "batch", "shard", "session", or "ckpt"
+  size_t param = 0;        // batch size, shard count, or churn percentage
   size_t producers = 1;    // concurrent ProducerSessions feeding the engine
   size_t items = 0;
   size_t keys = 0;
@@ -131,6 +133,84 @@ struct Row {
   double items_per_sec = 0.0;
   double check = 0.0;  // QueryTotal at the end: keeps work observable
 };
+
+/// Incremental-checkpoint write amplification: seed `population` keys,
+/// commit the full generation, then touch `churn_pct`% of the keys and
+/// commit again. The row records the churn generation's bytes (items)
+/// against the full generation's (keys); query_total carries the ratio —
+/// the <0.10 @ 1% churn claim docs/ENGINE.md makes for the segment log.
+Row RunCheckpointChurnCase(const BackendCase& bc, size_t population,
+                           size_t churn_pct) {
+  ShardedAggregateEngine::Options options;
+  options.registry.aggregate = AggregateOptions::Builder()
+                                   .backend(bc.backend)
+                                   .epsilon(0.1)
+                                   .Build()
+                                   .value();
+  options.shards = 4;
+  auto engine = ShardedAggregateEngine::Create(bc.decay, options);
+  TDS_CHECK(engine.ok());
+  TDS_CHECK((*engine)->EnableCheckpointTracking().ok());
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tds_bench_ckptlog").string();
+  std::filesystem::remove_all(dir);
+  auto log = CheckpointLog::Create(**engine, dir, {});
+  TDS_CHECK(log.ok());
+
+  Rng rng(91);
+  constexpr size_t kBatch = 4096;
+  ProducerSessionOptions session_options;
+  session_options.staging_capacity = kBatch;
+  auto producer = (*engine)->NewProducer(session_options);
+  TDS_CHECK(producer.ok());
+  std::vector<KeyedItem> batch;
+  batch.reserve(kBatch);
+  Tick t = 1;
+  const auto drain = [&] {
+    TDS_CHECK((*producer)->AddBatch(batch).ok());
+    TDS_CHECK((*producer)->Flush().ok());
+    batch.clear();
+  };
+  for (uint64_t k = 0; k < population; ++k) {
+    batch.push_back(KeyedItem{k, t, 1 + rng.NextBelow(4)});
+    if (batch.size() >= kBatch) drain();
+  }
+  drain();
+  TDS_CHECK(log->WriteIncremental().ok());
+  const uint64_t full_bytes = log->LiveBytes();
+
+  ++t;
+  const size_t churn = std::max<size_t>(1, population * churn_pct / 100);
+  for (size_t i = 0; i < churn; ++i) {
+    batch.push_back(KeyedItem{rng.NextBelow(population), t, 1});
+    if (batch.size() >= kBatch) drain();
+  }
+  drain();
+  const auto start = std::chrono::steady_clock::now();
+  TDS_CHECK(log->WriteIncremental().ok());
+  const double seconds = SecondsSince(start);
+  uint64_t delta_bytes = 0;
+  for (const CheckpointLog::ManifestEntry& entry : log->manifest().entries) {
+    if (entry.gen_hi == log->manifest().generation) {
+      delta_bytes += entry.length;
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  Row row;
+  row.backend = bc.label;
+  row.sweep = "ckpt";
+  row.param = churn_pct;
+  row.items = delta_bytes;
+  row.keys = full_bytes;
+  row.seconds = seconds;
+  row.items_per_sec = static_cast<double>(delta_bytes) / seconds;
+  row.check = full_bytes == 0
+                  ? 0.0
+                  : static_cast<double>(delta_bytes) /
+                        static_cast<double>(full_bytes);
+  return row;
+}
 
 Row RunBatchCase(const BackendCase& bc, const std::vector<KeyedItem>& stream,
                  size_t key_space, size_t batch) {
@@ -623,6 +703,20 @@ int Main(int argc, char** argv) {
       std::printf("%-14s %-7s %8zu %12.3f %14.0f\n", row.backend.c_str(),
                   row.sweep.c_str(), row.param, row.seconds,
                   row.items_per_sec);
+    }
+  }
+  // Checkpoint write-amplification sweep: incremental bytes committed
+  // after touching 100% / 10% / 1% of a settled key population. The 1%
+  // row is the segment-log claim — its ratio (query_total) must sit well
+  // under the 0.10 that rewriting the full snapshot would approximate.
+  {
+    const size_t population = smoke ? size_t{1} << 12 : size_t{1} << 15;
+    for (const size_t churn_pct : {size_t{100}, size_t{10}, size_t{1}}) {
+      const Row row = RunCheckpointChurnCase(cases[0], population, churn_pct);
+      rows.push_back(row);
+      std::printf("%-8s %-6s %9zu%% %12.3f %10zu/%zu B (%.3fx)\n",
+                  row.backend.c_str(), row.sweep.c_str(), row.param,
+                  row.seconds, row.items, row.keys, row.check);
     }
   }
   // Wrapper-parity rows: the tds::Atomic ring vs its raw std::atomic twin

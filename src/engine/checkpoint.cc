@@ -1,136 +1,24 @@
 #include "engine/checkpoint.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <string_view>
 #include <utility>
 
+#include "engine/checkpoint_io.h"
 #include "util/failpoint.h"
 
 namespace tds {
 namespace {
 
-constexpr char kFooterMagic[8] = {'T', 'D', 'S', 'C', 'K', 'P', 'T', '1'};
-constexpr size_t kFooterSize = sizeof(kFooterMagic) + 8 + 8;
-
-uint64_t Fnv1a(std::string_view data) {
-  uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : data) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-void AppendU64Le(std::string* out, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
-  }
-}
-
-uint64_t ReadU64Le(const char* p) {
-  uint64_t value = 0;
-  for (int i = 0; i < 8; ++i) {
-    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i]))
-             << (8 * i);
-  }
-  return value;
-}
-
-Status IoError(const std::string& what, const std::string& path) {
-  // kUnavailable: environmental IO failures are transient from the
-  // engine's point of view — the in-memory state is intact and the write
-  // can be retried (against another path if need be).
-  // strerror's static buffer is racy only if two threads fail IO in the
-  // same instant and both read the result later; checkpoint IO is
-  // serialized per engine, and a garbled message string cannot corrupt
-  // state.
-  return Status::Unavailable(what + " " + path + ": " +
-                             std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
-}
-
-/// write(2) the whole buffer, riding out partial writes and EINTR.
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
-  size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return IoError("write", path);
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-std::string DirOf(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return path.substr(0, slash);
-}
-
-/// fsync the directory so the renames themselves are durable. Best-effort:
-/// some filesystems refuse O_RDONLY directory syncs; the data file itself
-/// is already synced.
-void SyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return;
-  (void)::fsync(fd);
-  (void)::close(fd);
-}
-
-StatusOr<std::string> ReadWholeFile(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return IoError("open", path);
-  std::string contents;
-  char buffer[1 << 16];
-  while (true) {
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const Status status = IoError("read", path);
-      ::close(fd);
-      return status;
-    }
-    if (n == 0) break;
-    contents.append(buffer, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return contents;
-}
-
-/// Splits a raw checkpoint file into its validated payload, or explains
-/// exactly which integrity check failed.
-StatusOr<std::string_view> ValidateFooter(std::string_view file) {
-  if (file.size() < kFooterSize) {
-    return Status::InvalidArgument("checkpoint truncated: no footer");
-  }
-  const char* footer = file.data() + (file.size() - kFooterSize);
-  if (std::memcmp(footer, kFooterMagic, sizeof(kFooterMagic)) != 0) {
-    return Status::InvalidArgument("checkpoint footer magic mismatch");
-  }
-  const uint64_t payload_size = ReadU64Le(footer + sizeof(kFooterMagic));
-  const std::string_view payload = file.substr(0, file.size() - kFooterSize);
-  if (payload_size != payload.size()) {
-    return Status::InvalidArgument("checkpoint payload length mismatch");
-  }
-  const uint64_t checksum = ReadU64Le(footer + sizeof(kFooterMagic) + 8);
-  if (checksum != Fnv1a(payload)) {
-    return Status::InvalidArgument("checkpoint checksum mismatch");
-  }
-  return payload;
-}
-
 StatusOr<MergedSnapshot> LoadOne(DecayPtr decay,
                                  const AggregateRegistry::Options& options,
                                  const std::string& path) {
-  StatusOr<std::string> contents = ReadWholeFile(path);
+  StatusOr<std::string> contents = ckptio::ReadWholeFile(path);
   if (!contents.ok()) return contents.status();
-  StatusOr<std::string_view> payload = ValidateFooter(*contents);
+  StatusOr<std::string_view> payload =
+      ckptio::ValidateFooter(*contents, "checkpoint");
   if (!payload.ok()) return payload.status();
   // The registry codec re-audits every structural invariant on decode, so
   // a payload that passes the checksum but encodes an impossible state is
@@ -146,22 +34,11 @@ Status WriteCheckpointSnapshot(MergedSnapshot& snapshot,
   std::string file;
   Status encoded = snapshot.EncodeState(&file);
   if (!encoded.ok()) return encoded;
-  const uint64_t payload_size = file.size();
-  const uint64_t checksum = Fnv1a(file);
-  file.append(kFooterMagic, sizeof(kFooterMagic));
-  AppendU64Le(&file, payload_size);
-  AppendU64Le(&file, checksum);
+  ckptio::AppendFooter(&file);
 
   const std::string tmp_path = path + ".tmp";
-  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return IoError("open", tmp_path);
-  Status written = WriteAll(fd, file, tmp_path);
-  if (written.ok() && ::fsync(fd) != 0) written = IoError("fsync", tmp_path);
-  if (::close(fd) != 0 && written.ok()) written = IoError("close", tmp_path);
-  if (!written.ok()) {
-    (void)::unlink(tmp_path.c_str());
-    return written;
-  }
+  Status written = ckptio::WriteTmpDurable(tmp_path, file);
+  if (!written.ok()) return written;
 
   if (TDS_FAILPOINT("checkpoint.commit")) {
     // Simulated crash between the temp-file sync and the commit renames:
@@ -175,12 +52,12 @@ Status WriteCheckpointSnapshot(MergedSnapshot& snapshot,
   // atomic, so `path` never holds a half-written file.
   const std::string prev_path = path + ".prev";
   if (::rename(path.c_str(), prev_path.c_str()) != 0 && errno != ENOENT) {
-    return IoError("rename to .prev", path);
+    return ckptio::IoError("rename to .prev", path);
   }
   if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    return IoError("rename", tmp_path);
+    return ckptio::IoError("rename", tmp_path);
   }
-  SyncDir(DirOf(path));
+  ckptio::SyncDir(ckptio::DirOf(path));
   return Status::OK();
 }
 
@@ -201,9 +78,12 @@ StatusOr<MergedSnapshot> LoadCheckpoint(
   StatusOr<MergedSnapshot> fallback =
       LoadOne(decay, options, path + ".prev");
   if (fallback.ok()) return fallback;
-  // Surface the primary's failure: "checksum mismatch" on the file the
-  // caller named beats ENOENT on a rotation that never happened.
-  return primary.status();
+  // Both generations failed: report both, so a checksum mismatch on the
+  // file the caller named is never hidden by the fallback's ENOENT — and a
+  // corrupted fallback is never hidden by the primary's error either.
+  return Status(primary.status().code(),
+                primary.status().message() + "; fallback " + path +
+                    ".prev: " + fallback.status().message());
 }
 
 Status RestoreFromCheckpoint(ShardedAggregateEngine& engine,

@@ -694,6 +694,60 @@ StatusOr<MergedSnapshot> ShardedAggregateEngine::Snapshot() {
   return MergedSnapshot::FromShardBlobs(decay_, options_.registry, blobs);
 }
 
+Status ShardedAggregateEngine::EnableCheckpointTracking() {
+  ReaderMutexLock route_lock(route_mutex_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "EnableCheckpointTracking on a stopped engine");
+  }
+  for (auto& shard : shards_) {
+    RunOnWriter(*shard, [](AggregateRegistry& registry) {
+      registry.EnableCheckpointTracking();
+    });
+  }
+  ckpt_tracking_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ShardedAggregateEngine::CaptureCheckpointDeltas(
+    std::span<const uint64_t> since,
+    std::vector<ShardCheckpointDelta>* out) {
+  TDS_CHECK(out != nullptr);
+  if (!checkpoint_tracking()) {
+    return Status::FailedPrecondition(
+        "CaptureCheckpointDeltas requires EnableCheckpointTracking");
+  }
+  if (since.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "CaptureCheckpointDeltas: one since-epoch per shard required");
+  }
+  out->clear();
+  out->resize(shards_.size());
+  // Shared route lock across every shard capture — one route-table cut, so
+  // a migration's donor-eviction and receiver-update always land in the
+  // same manifest generation (migrations take the lock exclusively).
+  ReaderMutexLock route_lock(route_mutex_);
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "CaptureCheckpointDeltas on a stopped engine");
+  }
+  Status capture = Status::OK();
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    (*out)[i].shard = i;
+    const uint64_t shard_since = since[i];
+    AggregateRegistry::CheckpointDelta* delta = &(*out)[i].delta;
+    Status shard_status = Status::OK();
+    RunOnWriter(*shards_[i], [&](AggregateRegistry& registry) {
+      shard_status = registry.CaptureCheckpointDelta(shard_since, delta);
+    });
+    // Keep capturing the remaining shards even after a failure: epochs a
+    // failed pass already opened are harmless (the caller's committed
+    // watermarks don't move), and a full pass keeps shards in lockstep.
+    if (!shard_status.ok() && capture.ok()) capture = shard_status;
+  }
+  return capture;
+}
+
 double ShardedAggregateEngine::QueryKey(uint64_t key, Tick now) {
   // The shared route lock pins the key's shard for the duration (a
   // migration between the route read and the snapshot would serve a

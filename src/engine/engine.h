@@ -277,6 +277,33 @@ class ShardedAggregateEngine {
   /// checkpointed state.
   Status Restore(MergedSnapshot snapshot) TDS_EXCLUDES(route_mutex_);
 
+  /// One shard's incremental-checkpoint delta (the unit the checkpoint log
+  /// turns into a segment file — see engine/checkpoint_log.h).
+  struct ShardCheckpointDelta {
+    uint32_t shard = 0;
+    AggregateRegistry::CheckpointDelta delta;
+  };
+
+  /// Switches every shard registry to checkpoint dirty tracking (see
+  /// AggregateRegistry::EnableCheckpointTracking). Idempotent; existing
+  /// keys are stamped so the first capture is a complete snapshot. Runs a
+  /// command on every shard writer, so the engine must not be stopped.
+  Status EnableCheckpointTracking() TDS_EXCLUDES(route_mutex_);
+  bool checkpoint_tracking() const {
+    return ckpt_tracking_.load(std::memory_order_acquire);
+  }
+
+  /// Captures each shard's delta since `since[shard]` (one watermark per
+  /// shard, 0 = everything) at a single route-table cut — the shared route
+  /// lock spans all shard captures, so a migration can never split a
+  /// moving key's donor-eviction and receiver-update across two manifest
+  /// generations (the same guarantee Snapshot() gives its gather). Each
+  /// capture runs on its shard's writer thread (no torn reads). Requires
+  /// EnableCheckpointTracking; callers wanting a drained cut Flush first.
+  Status CaptureCheckpointDeltas(std::span<const uint64_t> since,
+                                 std::vector<ShardCheckpointDelta>* out)
+      TDS_EXCLUDES(route_mutex_);
+
   uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t route_slices() const { return options_.route_slices; }
   const Options& options() const { return options_; }
@@ -559,6 +586,8 @@ class ShardedAggregateEngine {
   Atomic<uint64_t> session_flush_stalls_{0};
 
   Atomic<uint64_t> rebalances_{0};
+  /// Set (once) by EnableCheckpointTracking; read by the checkpoint log.
+  Atomic<bool> ckpt_tracking_{false};
   Atomic<bool> stop_{false};
 };
 

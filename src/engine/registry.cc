@@ -179,6 +179,7 @@ uint32_t AggregateRegistry::GetOrCreate(uint64_t key) {
   slot.aggregate = std::move(aggregate).value();
   slot.key = key;
   slot.last_tick = now_;
+  if (ckpt_tracking_) slot.dirty_epoch = ckpt_epoch_;
   table_[insert_pos] = index;
   ++live_;
   return index;
@@ -215,6 +216,10 @@ void AggregateRegistry::Rehash(size_t new_capacity) {
 }
 
 void AggregateRegistry::Evict(uint32_t index) {
+  // The eviction must reach the next checkpoint delta so appliers drop the
+  // key too; SlotArena::Free resets the slot (dirty_epoch included), so the
+  // record has to be taken before the slot dies.
+  if (ckpt_tracking_) dead_keys_.push_back({arena_.at(index).key, ckpt_epoch_});
   size_t pos = SplitMix64(arena_.at(index).key) & table_mask_;
   while (table_[pos] != index) {
     TDS_CHECK(table_[pos] != kEmptyEntry);
@@ -267,6 +272,7 @@ void AggregateRegistry::Update(uint64_t key, Tick t, uint64_t value) {
   Slot& slot = arena_.at(index);
   slot.aggregate->Update(t, value);
   slot.last_tick = t;
+  if (ckpt_tracking_) slot.dirty_epoch = ckpt_epoch_;
   SweepStep(options_.sweep_per_update);
   MaybeTrimSharedLog();
   TDS_AUDIT_MUTATION(AuditInvariants());
@@ -369,6 +375,7 @@ size_t AggregateRegistry::IngestTickSegment(Tick t,
     Slot& slot = arena_.at(index);
     slot.aggregate->UpdateBatch(run_scratch_);
     slot.last_tick = t;
+    if (ckpt_tracking_) slot.dirty_epoch = ckpt_epoch_;
   }
   return runs_.size();
 }
@@ -502,7 +509,12 @@ void AggregateRegistry::Advance(Tick now) {
   now_ = now;
   for (uint32_t i = 0; i < arena_.extent(); ++i) {
     Slot& slot = arena_.at(i);
-    if (slot.aggregate != nullptr) slot.aggregate->Advance(now);
+    if (slot.aggregate == nullptr) continue;
+    slot.aggregate->Advance(now);
+    // An eager advance rewrites every aggregate's internal representation
+    // (decay, cascades, re-rounding), so every key's encoded payload
+    // changes — the whole registry is dirty for checkpoint purposes.
+    if (ckpt_tracking_) slot.dirty_epoch = ckpt_epoch_;
   }
   if (expiry_age_ != kInfiniteHorizon) {
     for (uint32_t i = 0; i < arena_.extent(); ++i) {
@@ -618,6 +630,13 @@ Status AggregateRegistry::AuditInvariants() {
 }
 
 Status AggregateRegistry::EncodeState(std::string* out) {
+  size_t entry_count = 0;
+  return EncodeStateImpl(out, /*partial=*/false, /*since=*/0, &entry_count);
+}
+
+Status AggregateRegistry::EncodeStateImpl(std::string* out, bool partial,
+                                          uint64_t since,
+                                          size_t* entry_count) {
   TDS_CHECK(out != nullptr);
   TDS_FAILPOINT_RETURN("registry.encode");
   Encoder encoder;
@@ -629,13 +648,19 @@ Status AggregateRegistry::EncodeState(std::string* out) {
   encoder.PutSigned(now_);
   // Sorted keys: the codec's self-inverse contract (byte-identical
   // re-encode, see AuditSnapshotRoundTrip) rules out hash-order iteration.
+  // A partial encode keeps only the slots dirtied after `since`; the
+  // header (clock, layout) is always emitted so appliers stay in lockstep
+  // even across update-free stretches.
   std::vector<std::pair<uint64_t, uint32_t>> entries;
-  entries.reserve(live_);
+  entries.reserve(partial ? 0 : live_);
   for (uint32_t i = 0; i < arena_.extent(); ++i) {
     const Slot& slot = arena_.at(i);
-    if (slot.aggregate != nullptr) entries.push_back({slot.key, i});
+    if (slot.aggregate == nullptr) continue;
+    if (partial && slot.dirty_epoch <= since) continue;
+    entries.push_back({slot.key, i});
   }
   std::sort(entries.begin(), entries.end());
+  *entry_count = entries.size();
   encoder.PutVarint(entries.size());
   if (layout_ != nullptr) {
     // Layout snapshots carry no op log, so every counter must be at the
@@ -668,6 +693,58 @@ Status AggregateRegistry::EncodeState(std::string* out) {
   *out = encoder.Finish();
   // Encoding syncs counters and trims the layout log — representation
   // mutations that deserve the same audit net as logical ones.
+  TDS_AUDIT_MUTATION(AuditInvariants());
+  return Status::OK();
+}
+
+void AggregateRegistry::EnableCheckpointTracking() {
+  if (ckpt_tracking_) return;
+  ckpt_tracking_ = true;
+  // Stamp the present population so the first capture (since == 0) is a
+  // complete snapshot no matter when tracking was switched on.
+  for (uint32_t i = 0; i < arena_.extent(); ++i) {
+    Slot& slot = arena_.at(i);
+    if (slot.aggregate != nullptr) slot.dirty_epoch = ckpt_epoch_;
+  }
+}
+
+Status AggregateRegistry::CaptureCheckpointDelta(uint64_t since,
+                                                 CheckpointDelta* out) {
+  TDS_CHECK(out != nullptr);
+  if (!ckpt_tracking_) {
+    return Status::FailedPrecondition(
+        "CaptureCheckpointDelta requires EnableCheckpointTracking");
+  }
+  if (since >= ckpt_epoch_) {
+    return Status::InvalidArgument(
+        "CaptureCheckpointDelta: since epoch is not in the past");
+  }
+  out->epoch = ckpt_epoch_;
+  out->dead_keys.clear();
+  const Status encoded =
+      EncodeStateImpl(&out->blob, /*partial=*/true, since, &out->dirty_count);
+  if (!encoded.ok()) return encoded;
+  // Dead keys: evicted after `since` and not alive now. A key recreated
+  // after its eviction is covered by its (dirty) update entry — appliers
+  // replace it wholesale — so only keys that stayed dead need a tombstone.
+  // Entries at or before `since` were carried by a capture the caller has
+  // already committed, so the log is pruned to what later captures might
+  // still need.
+  std::vector<std::pair<uint64_t, uint64_t>> keep;
+  keep.reserve(dead_keys_.size());
+  for (const auto& [key, epoch] : dead_keys_) {
+    if (epoch <= since) continue;
+    keep.push_back({key, epoch});
+    if (Find(key) == SlotArena<Slot>::kNone) out->dead_keys.push_back(key);
+  }
+  dead_keys_ = std::move(keep);
+  std::sort(out->dead_keys.begin(), out->dead_keys.end());
+  out->dead_keys.erase(
+      std::unique(out->dead_keys.begin(), out->dead_keys.end()),
+      out->dead_keys.end());
+  // Open the next epoch only after a successful capture; mutations landing
+  // from here on stamp the new epoch and belong to the next delta.
+  ++ckpt_epoch_;
   TDS_AUDIT_MUTATION(AuditInvariants());
   return Status::OK();
 }

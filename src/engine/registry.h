@@ -168,11 +168,52 @@ class AggregateRegistry {
 
   /// Snapshot codec (self-inverse: decode then re-encode is
   /// byte-identical). Non-const: WBMH counters sync and the layout log is
-  /// trimmed first.
-  Status EncodeState(std::string* out);
+  /// trimmed first. Thin wrapper over EncodeStateImpl, which runs the
+  /// audit hook after the counter sync.
+  Status EncodeState(std::string* out);  // tds-analyze: allow(audit-hook)
   static StatusOr<AggregateRegistry> Decode(DecayPtr decay,
                                             const Options& options,
                                             std::string_view data);
+
+  /// --- Incremental-checkpoint dirty tracking (engine/checkpoint_log.h) ---
+  ///
+  /// When enabled, every slot mutation stamps the slot with the current
+  /// checkpoint epoch and every eviction is appended to a dead-key log, so
+  /// CaptureCheckpointDelta can encode exactly the keys that changed since
+  /// a given epoch. Off by default: the stamp is one store per mutated
+  /// slot, but the dead-key log grows with evictions between captures, so
+  /// tracking only runs when someone is actually draining it.
+  ///
+  /// Epoch discipline: the current epoch is stamped on mutations; a capture
+  /// returns the epoch it covered *and then* opens the next one. The caller
+  /// advances its own "last committed" watermark only after the capture has
+  /// durably landed — re-capturing with the old watermark after a failed
+  /// write yields a superset of the lost delta, so nothing is dropped.
+  void EnableCheckpointTracking();
+  bool checkpoint_tracking() const { return ckpt_tracking_; }
+
+  /// One shard's dirty-set since `since` (a previously returned epoch, or
+  /// 0 for everything — the first capture is a full snapshot).
+  struct CheckpointDelta {
+    /// Epoch this delta covers, i.e. the `since` for the *next* capture
+    /// once this one is durably committed.
+    uint64_t epoch = 0;
+    /// Registry sub-blob ("TDSREG1", AggregateRegistry::Decode-compatible)
+    /// restricted to slots dirtied after `since`. Always carries the
+    /// registry clock (and the shared WBMH layout), even when no slot
+    /// qualifies — appliers need the clock to stay in lockstep.
+    std::string blob;
+    /// Keys evicted after `since` and not currently live, sorted + unique.
+    std::vector<uint64_t> dead_keys;
+    /// Number of per-key entries encoded into `blob`.
+    size_t dirty_count = 0;
+  };
+
+  /// Captures the delta since `since`, prunes dead-key-log entries that
+  /// `since` proves committed, and opens the next epoch. Requires
+  /// EnableCheckpointTracking; same exclusive-access contract as
+  /// EncodeState (the engine runs it on the shard writer thread).
+  Status CaptureCheckpointDelta(uint64_t since, CheckpointDelta* out);
 
  private:
   /// Hot-first field order: the ingest loop touches key (probe-chain
@@ -184,6 +225,10 @@ class AggregateRegistry {
     uint64_t key = 0;
     Tick last_tick = 0;
     std::unique_ptr<DecayedAggregate> aggregate;  ///< null == free slot
+    /// Checkpoint epoch of the last mutation (0 = never stamped / tracking
+    /// off). Cold by design — the ingest hot loop touches it only when
+    /// tracking is enabled, and it sits past the hot 24-byte header.
+    uint64_t dirty_epoch = 0;
   };
 
   static constexpr uint32_t kEmptyEntry = 0xffffffffu;
@@ -201,6 +246,12 @@ class AggregateRegistry {
 
   uint32_t Find(uint64_t key) const;
   uint32_t GetOrCreate(uint64_t key);
+
+  /// Shared body of EncodeState (partial == false: every live key) and
+  /// CaptureCheckpointDelta (partial == true: keys with dirty_epoch >
+  /// `since` only). `entry_count` reports how many keys were encoded.
+  Status EncodeStateImpl(std::string* out, bool partial, uint64_t since,
+                         size_t* entry_count);
 
   /// GetOrCreate with injectable allocation failure: the failpoint
   /// "registry.arena.grow" fires when `key` is absent and the slot arena
@@ -232,6 +283,13 @@ class AggregateRegistry {
   Tick expiry_age_ = kInfiniteHorizon;
   uint32_t sweep_cursor_ = 0;
   uint64_t epoch_ = 0;
+
+  /// Incremental-checkpoint state (see EnableCheckpointTracking): the open
+  /// epoch, the tracking gate, and the (key, eviction epoch) log drained
+  /// and pruned by CaptureCheckpointDelta.
+  uint64_t ckpt_epoch_ = 1;
+  bool ckpt_tracking_ = false;
+  std::vector<std::pair<uint64_t, uint64_t>> dead_keys_;
 
   /// Batch regrouping scratch (IngestTickSegment): an open-addressing map
   /// from key to run id, index chains threading each key's items in

@@ -1,0 +1,65 @@
+#ifndef TDS_UTIL_BACKOFF_H_
+#define TDS_UTIL_BACKOFF_H_
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace tds {
+
+/// Bounded exponential backoff for transient-IO retry loops (the
+/// checkpoint log's kUnavailable retries, engine/checkpoint_log.h).
+///
+/// The *decision* side (how many attempts, which delay each attempt gets)
+/// is pure arithmetic and fully deterministic; only the *sleeping* side
+/// touches the OS, and it is injectable so tests swap in a recorder and
+/// retry loops stay deterministic under failpoints. Deliberately no
+/// jitter: this backs off a local filesystem, not a shared service, and
+/// reproducibility is worth more than decorrelation here.
+///
+/// Lives in src/util (not src/engine) on purpose: engine code may not
+/// sleep (tools/tds_lint.py rule spin-loop) — callers hold no engine locks
+/// while waiting out a retry delay, so the blanket ban does not apply to
+/// the IO layer's sleeper.
+class ExponentialBackoff {
+ public:
+  struct Options {
+    std::chrono::nanoseconds initial_delay = std::chrono::milliseconds(1);
+    double multiplier = 2.0;
+    std::chrono::nanoseconds max_delay = std::chrono::milliseconds(50);
+    /// How the delay is actually spent. Defaults to a real sleep; tests
+    /// inject a recorder (or a no-op) for deterministic retry loops.
+    std::function<void(std::chrono::nanoseconds)> sleeper;
+  };
+
+  explicit ExponentialBackoff(const Options& options)
+      : options_(options), next_delay_(options.initial_delay) {}
+
+  /// The delay the next Wait() will spend (peek; does not advance).
+  std::chrono::nanoseconds next_delay() const { return next_delay_; }
+
+  /// Spends the current delay through the sleeper, then advances the
+  /// schedule: delay *= multiplier, capped at max_delay.
+  void Wait() {
+    const std::chrono::nanoseconds delay = next_delay_;
+    if (options_.sleeper) {
+      options_.sleeper(delay);
+    } else {
+      std::this_thread::sleep_for(delay);
+    }
+    const auto scaled = std::chrono::nanoseconds(static_cast<int64_t>(
+        static_cast<double>(next_delay_.count()) * options_.multiplier));
+    next_delay_ = scaled < options_.max_delay ? scaled : options_.max_delay;
+  }
+
+  /// Restarts the schedule at initial_delay (a fresh retry episode).
+  void Reset() { next_delay_ = options_.initial_delay; }
+
+ private:
+  Options options_;
+  std::chrono::nanoseconds next_delay_;
+};
+
+}  // namespace tds
+
+#endif  // TDS_UTIL_BACKOFF_H_

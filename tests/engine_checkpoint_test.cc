@@ -248,6 +248,42 @@ TEST(CheckpointTest, CorruptPrimaryFallsBackToPreviousCheckpoint) {
   RemoveCheckpointFiles(path);
 }
 
+TEST(CheckpointTest, BothGenerationsFailingReportsBothErrors) {
+  // Regression: with the primary *and* .prev both damaged, the error used
+  // to surface only the primary's failure — hiding that the fallback was
+  // also tried (and why it failed). Both must be named.
+  const EngineCase ec = Cases()[0];
+  const std::string path = TempPath("both_bad");
+  RemoveCheckpointFiles(path);
+  auto engine = MakeEngine(ec);
+  Tick t1 = 0;
+  ASSERT_TRUE(SessionIngest(*engine, Stream(11, 1, 1000, &t1)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
+  Tick t2 = 0;
+  ASSERT_TRUE(SessionIngest(*engine, Stream(12, t1, 1000, &t2)).ok());
+  ASSERT_TRUE(WriteCheckpoint(*engine, path).ok());
+  ASSERT_TRUE(std::filesystem::exists(path + ".prev"));
+
+  // Different failure shapes: truncate the primary below the footer,
+  // corrupt a payload byte in the fallback.
+  std::filesystem::resize_file(path, 5);
+  {
+    std::fstream f(path + ".prev",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    const char byte = 0x3c;
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadCheckpoint(ec.decay, EngineOptions(ec).registry, path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string& msg = loaded.status().message();
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fallback"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(".prev"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("mismatch"), std::string::npos) << msg;
+  RemoveCheckpointFiles(path);
+}
+
 TEST(CheckpointTest, RestoreRequiresFreshEngine) {
   const EngineCase ec = Cases()[0];
   const std::string path = TempPath("fresh");

@@ -9,6 +9,7 @@
 /// production tds::Atomic; see tests/modelcheck_suites_test.cc).
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -94,8 +95,13 @@ Options SmallDfs() {
   return opts;
 }
 
+// Model state is shared_ptr-captured by the spawned lambdas, never owned
+// by bare new/delete in the body: a failing schedule unwinds out of the
+// body via the halt exception before HaltAllAndJoin stops the model
+// threads, so body-frame cleanup would either leak (skipped delete) or
+// free state a halting thread still references (stack locals).
 void LostUpdateBody(McRun& run) {
-  auto* counter = new InstrumentedAtomic<int>(0);
+  auto counter = std::make_shared<InstrumentedAtomic<int>>(0);
   auto inc = [counter] {
     const int v = counter->load(std::memory_order_relaxed);
     counter->store(v + 1, std::memory_order_relaxed);
@@ -103,9 +109,7 @@ void LostUpdateBody(McRun& run) {
   run.Spawn(inc);
   run.Spawn(inc);
   run.Await();
-  const int final_value = counter->load(std::memory_order_relaxed);
-  delete counter;
-  MC_CHECK(final_value == 2);
+  MC_CHECK(counter->load(std::memory_order_relaxed) == 2);
 }
 
 TEST(ModelCheckTest, FindsLostUpdate) {
@@ -239,8 +243,8 @@ TEST(ModelCheckTest, PreemptionBoundGatesTheBug) {
 /// demoted to relaxed must be flagged — this is the "dropped release on
 /// publish" seeded bug at model scale.
 void PublishBody(McRun& run, std::memory_order publish_order) {
-  auto* data = new Var<int>(0, "payload");
-  auto* flag = new InstrumentedAtomic<int>(0);
+  auto data = std::make_shared<Var<int>>(0, "payload");
+  auto flag = std::make_shared<InstrumentedAtomic<int>>(0);
   run.Spawn([data, flag, publish_order] {
     data->Write(42);
     flag->store(1, publish_order);
@@ -251,8 +255,6 @@ void PublishBody(McRun& run, std::memory_order publish_order) {
     }
   });
   run.Await();
-  delete data;
-  delete flag;
 }
 
 TEST(ModelCheckTest, ReleaseAcquirePublishIsRaceFree) {
@@ -276,11 +278,10 @@ TEST(ModelCheckTest, DroppedReleaseOnPublishIsARace) {
 /// plain variable. The checker must flag it on some schedule.
 TEST(ModelCheckTest, FlagsTheSeededRacyFixture) {
   const Result r = Explore(SmallDfs(), [](McRun& run) {
-    auto* data = new Var<int>(0, "racy_cell");
+    auto data = std::make_shared<Var<int>>(0, "racy_cell");
     run.Spawn([data] { data->Write(1); });
     run.Spawn([data] { (void)data->Read(); });
     run.Await();
-    delete data;
   });
   ASSERT_TRUE(r.failed);
   EXPECT_NE(r.failure.find("data race"), std::string::npos) << r.failure;
@@ -300,7 +301,7 @@ void SbLitmusBody(McRun& run, std::memory_order store_order,
     int r0 = -1;
     int r1 = -1;
   };
-  auto* s = new State;
+  auto s = std::make_shared<State>();
   run.Spawn([s, store_order, load_order] {
     s->x.store(1, store_order);
     s->r0 = s->y.load(load_order);
@@ -311,7 +312,6 @@ void SbLitmusBody(McRun& run, std::memory_order store_order,
   });
   run.Await();
   MC_CHECK(!(s->r0 == 0 && s->r1 == 0));
-  delete s;
 }
 
 TEST(ModelCheckTest, TsoExposesRelaxedStoreBuffering) {
@@ -351,7 +351,7 @@ TEST(ModelCheckTest, DetectsMissedWakeDeadlock) {
       InstrumentedAtomic<int> work{0};
       Gate gate;
     };
-    auto* s = new State;
+    auto s = std::make_shared<State>();
     run.Spawn([s] {
       if (s->work.load(std::memory_order_seq_cst) == 0) {
         s->gate.Park();
@@ -362,7 +362,6 @@ TEST(ModelCheckTest, DetectsMissedWakeDeadlock) {
       s->gate.Wake();
     });
     run.Await();
-    delete s;
   });
   ASSERT_TRUE(r.failed);
   EXPECT_NE(r.failure.find("deadlock"), std::string::npos) << r.failure;
@@ -379,7 +378,7 @@ TEST(ModelCheckTest, ParkRecheckProtocolHasNoDeadlock) {
       InstrumentedAtomic<int> parked{0};
       Gate gate;
     };
-    auto* s = new State;
+    auto s = std::make_shared<State>();
     run.Spawn([s] {
       s->parked.store(1, std::memory_order_seq_cst);
       const std::uint64_t epoch = s->gate.PrepareWait();
@@ -394,7 +393,6 @@ TEST(ModelCheckTest, ParkRecheckProtocolHasNoDeadlock) {
       }
     });
     run.Await();
-    delete s;
   });
   EXPECT_FALSE(r.failed) << r.failure;
   EXPECT_TRUE(r.exhausted);

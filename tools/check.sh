@@ -145,7 +145,7 @@ for stage in $STAGES; do
       log "faults leg: fault matrix + checkpoint/backpressure suites present"
       ctest --test-dir "$ROOT/build-faults" --output-on-failure \
         --no-tests=error \
-        -R 'EngineFault|CheckpointTest|BackpressureTest'
+        -R 'EngineFault|CheckpointTest|BackpressureTest|CheckpointLog|Standby'
       # The flat-layout twins must also survive the failpoint build (the
       # decode funnels they drive are failpoint-instrumented).
       log "faults leg: flat-layout differential + fuzz driver present"
@@ -241,7 +241,8 @@ for stage in $STAGES; do
       cmake --build "$ROOT/build-cov" -j "$JOBS" --target \
         core_fuzz_test eh_fuzz_test ceh_fuzz_test wbmh_fuzz_test \
         mvd_fuzz_test snapshot_fuzz_test registry_fuzz_test \
-        engine_merge_fuzz_test engine_fault_fuzz_test flat_eh_fuzz_test
+        engine_merge_fuzz_test engine_fault_fuzz_test flat_eh_fuzz_test \
+        checkpoint_log_fuzz_test
       ctest --test-dir "$ROOT/build-cov" -j "$JOBS" --output-on-failure \
         --no-tests=error -R 'Fuzz'
       # Floor set from a measured 78%: tightening it requires new fuzz
@@ -268,7 +269,7 @@ for stage in $STAGES; do
         wbmh_fuzz_test_fuzzer mvd_fuzz_test_fuzzer \
         snapshot_fuzz_test_fuzzer registry_fuzz_test_fuzzer \
         engine_merge_fuzz_test_fuzzer engine_fault_fuzz_test_fuzzer \
-        flat_eh_fuzz_test_fuzzer
+        flat_eh_fuzz_test_fuzzer checkpoint_log_fuzz_test_fuzzer
       # Bounded smoke: each driver replays its seed corpus, then fuzzes
       # briefly with coverage feedback. CI keeps this short; drop the cap
       # for a real fuzzing session.
@@ -276,7 +277,7 @@ for stage in $STAGES; do
       for driver in core_fuzz_test eh_fuzz_test ceh_fuzz_test \
           wbmh_fuzz_test mvd_fuzz_test snapshot_fuzz_test \
           registry_fuzz_test engine_merge_fuzz_test \
-          engine_fault_fuzz_test flat_eh_fuzz_test
+          engine_fault_fuzz_test flat_eh_fuzz_test checkpoint_log_fuzz_test
       do
         log "fuzz: $driver (${FUZZ_SECONDS}s)"
         "$ROOT/build-fuzz/tests/fuzz/${driver}_fuzzer" \

@@ -75,4 +75,44 @@ if "$CLI" --checkpoint="$TMP/x.ckpt" "$TMP/stream.txt" > /dev/null 2>&1; then
   echo "expected --checkpoint without --engine to fail" >&2
   exit 1
 fi
+
+# Incremental checkpoint log: two chained runs committing generations 1 and
+# 2 into one directory must equal the uninterrupted run (same rows as the
+# monolithic-checkpoint scenario above).
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 \
+  --checkpoint-dir="$TMP/ckptlog" "$TMP/keyed_p1.txt" \
+  > /dev/null 2> "$TMP/ckptlog_err1.txt"
+grep -q 'generation 1' "$TMP/ckptlog_err1.txt"
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 \
+  --checkpoint-dir="$TMP/ckptlog" "$TMP/keyed_p2.txt" \
+  2> "$TMP/ckptlog_err2.txt" | grep -v '^#' > "$TMP/ckptlog_rows.txt"
+grep -q '# resumed from checkpoint log' "$TMP/ckptlog_err2.txt"
+grep -q 'generation 2' "$TMP/ckptlog_err2.txt"
+cmp "$TMP/ckptlog_rows.txt" "$TMP/ckpt_rows.txt"
+
+# Standby catch-up + promote: a follower fed only the checkpoint directory
+# must promote into an engine with the identical report, and the promoted
+# engine must keep ingesting (failover without data loss).
+"$CLI" --decay=sliwin:64 --engine=2 --topk=3 \
+  --promote-from="$TMP/ckptlog" "$TMP/empty.txt" \
+  2> "$TMP/standby_err.txt" | grep -v '^#' > "$TMP/promoted_rows.txt"
+grep -q 'standby caught up to generation 2' "$TMP/standby_err.txt"
+grep -q 'promoted standby -> primary' "$TMP/standby_err.txt"
+cmp "$TMP/promoted_rows.txt" "$TMP/ckpt_rows.txt"
+printf '4 7 2\n' > "$TMP/keyed_p3.txt"
+"$CLI" --decay=sliwin:64 --engine=2 --topk=1 \
+  --promote-from="$TMP/ckptlog" "$TMP/keyed_p3.txt" 2> /dev/null \
+  | grep -q '^7	10.000000$'
+
+# A fingerprint mismatch must refuse both resume and promote.
+if "$CLI" --decay=sliwin:64 --engine=2 --epsilon=0.2 \
+  --checkpoint-dir="$TMP/ckptlog" "$TMP/empty.txt" > /dev/null 2>&1; then
+  echo "expected checkpoint-log fingerprint mismatch to fail" >&2
+  exit 1
+fi
+if "$CLI" --decay=sliwin:32 --engine=2 \
+  --promote-from="$TMP/ckptlog" "$TMP/empty.txt" > /dev/null 2>&1; then
+  echo "expected standby decay mismatch to fail" >&2
+  exit 1
+fi
 echo CLI_SMOKE_OK

@@ -141,6 +141,11 @@ CORPUS = {
         ("fault_ceh", bytes([0]), 1 * 9176 + 4),
         ("fault_wbmh", bytes([1]), 2 * 9176 + 7),
     ],
+    "checkpoint_log_fuzz_test": [
+        # prefix: [config Below(2)]
+        ("ckptlog_ceh", bytes([0]), 1 * 5261 + 4),
+        ("ckptlog_wbmh", bytes([1]), 2 * 5261 + 7),
+    ],
 }
 
 

@@ -34,9 +34,11 @@
 #include "decay/polynomial.h"
 #include "decay/sliding_window.h"
 #include "engine/checkpoint.h"
+#include "engine/checkpoint_log.h"
 #include "engine/engine.h"
 #include "engine/producer_session.h"
 #include "engine/merged_snapshot.h"
+#include "engine/standby.h"
 
 namespace {
 
@@ -64,7 +66,16 @@ void Usage() {
       "                       checkpoint after the stream ends\n"
       "  --restore=FILE       (engine mode) restore from a checkpoint\n"
       "                       before ingesting (decay/backend/epsilon must\n"
-      "                       match the checkpointed run)\n");
+      "                       match the checkpointed run)\n"
+      "  --checkpoint-dir=DIR (engine mode) incremental checkpoint log:\n"
+      "                       resume from DIR's committed manifest if one\n"
+      "                       exists, then commit one incremental segment\n"
+      "                       generation after the stream ends (only keys\n"
+      "                       dirtied this run are written)\n"
+      "  --promote-from=DIR   (engine mode) warm-standby failover: catch a\n"
+      "                       follower up on DIR's checkpoint log, promote\n"
+      "                       it, and continue ingesting on the promoted\n"
+      "                       engine\n");
 }
 
 StatusOr<DecayPtr> ParseDecay(const std::string& spec) {
@@ -98,7 +109,9 @@ StatusOr<Backend> ParseBackend(const std::string& name) {
 int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
                   uint32_t shards, size_t topk,
                   const std::string& checkpoint_path,
-                  const std::string& restore_path, std::istream& in) {
+                  const std::string& restore_path,
+                  const std::string& checkpoint_dir,
+                  const std::string& promote_dir, std::istream& in) {
   ShardedAggregateEngine::Options options;
   options.registry.aggregate = AggregateOptions::Builder()
                                    .backend(backend)
@@ -106,7 +119,34 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
                                    .Build()
                                    .value();
   options.shards = shards;
-  auto engine = ShardedAggregateEngine::Create(std::move(decay), options);
+  StatusOr<std::unique_ptr<ShardedAggregateEngine>> engine =
+      Status::FailedPrecondition("engine not created");
+  if (!promote_dir.empty()) {
+    // Failover path: catch a standby up on the checkpoint log and promote
+    // it; the promoted engine then ingests the rest of the stream.
+    auto follower = StandbyFollower::Create(decay, options.registry,
+                                            promote_dir);
+    if (!follower.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   follower.status().ToString().c_str());
+      return 1;
+    }
+    const Status applied = follower->ApplyNew();
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: %s\n", applied.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# standby caught up to generation %llu of %s\n",
+                 static_cast<unsigned long long>(
+                     follower->applied_generation()),
+                 promote_dir.c_str());
+    engine = std::move(follower).value().Promote(options);
+    if (engine.ok()) {
+      std::fprintf(stderr, "# promoted standby -> primary\n");
+    }
+  } else {
+    engine = ShardedAggregateEngine::Create(decay, options);
+  }
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
@@ -118,6 +158,37 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
       return 1;
     }
     std::fprintf(stderr, "# restored from %s\n", restore_path.c_str());
+  }
+  std::unique_ptr<CheckpointLog> ckpt_log;
+  if (!checkpoint_dir.empty()) {
+    // Incremental mode: resume from the directory's committed manifest if
+    // one exists (promote mode already holds that state), track dirtied
+    // keys through the run, and commit one segment generation at the end.
+    if (promote_dir.empty()) {
+      std::ifstream manifest(checkpoint_dir + "/MANIFEST.tds",
+                             std::ios::binary);
+      if (manifest) {
+        const Status restored = RestoreFromCheckpointLog(**engine,
+                                                         checkpoint_dir);
+        if (!restored.ok()) {
+          std::fprintf(stderr, "error: %s\n", restored.ToString().c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "# resumed from checkpoint log %s\n",
+                     checkpoint_dir.c_str());
+      }
+    }
+    const Status tracking = (*engine)->EnableCheckpointTracking();
+    if (!tracking.ok()) {
+      std::fprintf(stderr, "error: %s\n", tracking.ToString().c_str());
+      return 1;
+    }
+    auto opened = CheckpointLog::Create(**engine, checkpoint_dir, {});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    ckpt_log = std::make_unique<CheckpointLog>(std::move(opened).value());
   }
 
   constexpr size_t kBatch = 4096;
@@ -191,6 +262,19 @@ int RunEngineMode(DecayPtr decay, Backend backend, double epsilon,
     }
     std::fprintf(stderr, "# checkpoint -> %s\n", checkpoint_path.c_str());
   }
+  if (ckpt_log) {
+    const Status committed = ckpt_log->WriteIncremental();
+    if (!committed.ok()) {
+      std::fprintf(stderr, "error: %s\n", committed.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "# checkpoint log %s: generation %llu, %llu live bytes\n",
+                 checkpoint_dir.c_str(),
+                 static_cast<unsigned long long>(
+                     ckpt_log->manifest().generation),
+                 static_cast<unsigned long long>(ckpt_log->LiveBytes()));
+  }
 
   auto merged = (*engine)->Snapshot();
   if (!merged.ok()) {
@@ -221,6 +305,7 @@ int main(int argc, char** argv) {
   std::string backend_name = "auto";
   std::string save_path, load_path, input_path;
   std::string checkpoint_path, restore_path;
+  std::string checkpoint_dir, promote_dir;
   double epsilon = 0.1;
   Tick probe = 0;
   long long engine_shards = 0;
@@ -252,6 +337,10 @@ int main(int argc, char** argv) {
       checkpoint_path = v;
     } else if (const char* v = value_of("--restore=")) {
       restore_path = v;
+    } else if (const char* v = value_of("--checkpoint-dir=")) {
+      checkpoint_dir = v;
+    } else if (const char* v = value_of("--promote-from=")) {
+      promote_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -296,13 +385,21 @@ int main(int argc, char** argv) {
       }
       engine_in = &engine_file;
     }
+    if (!promote_dir.empty() && !restore_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --promote-from is incompatible with --restore\n");
+      return 2;
+    }
     return RunEngineMode(std::move(decay).value(), *backend, epsilon,
                          static_cast<uint32_t>(engine_shards), topk,
-                         checkpoint_path, restore_path, *engine_in);
+                         checkpoint_path, restore_path, checkpoint_dir,
+                         promote_dir, *engine_in);
   }
-  if (!checkpoint_path.empty() || !restore_path.empty()) {
+  if (!checkpoint_path.empty() || !restore_path.empty() ||
+      !checkpoint_dir.empty() || !promote_dir.empty()) {
     std::fprintf(stderr,
-                 "error: --checkpoint/--restore require --engine mode\n");
+                 "error: --checkpoint/--restore/--checkpoint-dir/"
+                 "--promote-from require --engine mode\n");
     return 2;
   }
 
